@@ -1,0 +1,53 @@
+// Ablation: wire accounting of the recursive result's link rows. The
+// paper's eq. (5) charges n_v * size_n — object rows only (structure
+// info rides along, as in navigational responses). Charging the link
+// rows separately roughly doubles the recursive transfer volume; the
+// headline saving barely moves because latency dominated the baseline.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+int Run() {
+  PrintBanner("Ablation: charging link rows in the recursive response");
+  std::printf("%-18s %-12s %12s %12s %12s\n", "shape", "link-rows",
+              "rec-MLE s", "late-MLE s", "saving %");
+
+  model::NetworkParams net{0.15, 256, 4096, 512};
+  const model::TreeParams shapes[] = {{3, 9, 0.6}, {9, 3, 0.6}, {7, 5, 0.6}};
+  for (const model::TreeParams& tree : shapes) {
+    for (bool charge : {false, true}) {
+      client::ExperimentConfig config = MakeExperimentConfig(tree, net);
+      config.client.charge_link_rows = charge;
+      Result<std::unique_ptr<client::Experiment>> experiment =
+          client::Experiment::Create(config);
+      if (!experiment.ok()) return 1;
+      Result<client::ActionResult> rec = (*experiment)->RunAction(
+          StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+      Result<client::ActionResult> late = (*experiment)->RunAction(
+          StrategyKind::kNavigationalLate, ActionKind::kMultiLevelExpand);
+      if (!rec.ok() || !late.ok()) {
+        std::fprintf(stderr, "action failed\n");
+        return 1;
+      }
+      double saving =
+          (late->seconds() - rec->seconds()) / late->seconds() * 100.0;
+      std::printf("α=%d,ω=%d %10s %-12s %12.2f %12.2f %12.1f\n", tree.depth,
+                  tree.branching, "", charge ? "charged" : "free",
+                  rec->seconds(), late->seconds(), saving);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main() { return pdm::bench::Run(); }

@@ -1,0 +1,88 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace pdm::bench {
+
+client::ExperimentConfig MakeExperimentConfig(const model::TreeParams& tree,
+                                              const model::NetworkParams& net,
+                                              uint64_t seed) {
+  client::ExperimentConfig config;
+  config.generator.depth = tree.depth;
+  config.generator.branching = tree.branching;
+  config.generator.sigma = tree.sigma;
+  config.generator.seed = seed;
+  config.wan.latency_s = net.latency_s;
+  config.wan.dtr_kbit = net.dtr_kbit;
+  config.wan.packet_bytes = static_cast<size_t>(net.packet_bytes);
+  config.client.node_bytes = static_cast<size_t>(net.node_bytes);
+  return config;
+}
+
+Result<SimCell> SimulateCell(const model::TreeParams& tree,
+                             const model::NetworkParams& net,
+                             model::StrategyKind strategy,
+                             model::ActionKind action, uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  client::ExperimentConfig config = MakeExperimentConfig(tree, net, seed);
+  Clock::time_point start = Clock::now();
+  PDM_ASSIGN_OR_RETURN(std::unique_ptr<client::Experiment> experiment,
+                       client::Experiment::Create(config));
+  PDM_ASSIGN_OR_RETURN(client::ActionResult result,
+                       experiment->RunAction(strategy, action));
+  Clock::time_point end = Clock::now();
+
+  SimCell cell;
+  cell.latency = result.wan.latency_seconds;
+  cell.transfer = result.wan.transfer_seconds;
+  cell.total = result.wan.total_seconds();
+  cell.round_trips = result.wan.round_trips;
+  cell.transmitted_rows = result.transmitted_rows;
+  cell.visible_nodes = result.visible_nodes;
+  cell.wall_seconds = std::chrono::duration<double>(end - start).count();
+  return cell;
+}
+
+std::string Sec(double seconds, int width) {
+  return StrFormat("%*.2f", width, seconds);
+}
+
+void PrintBanner(const std::string& title) {
+  std::string rule(title.size() + 4, '=');
+  std::printf("%s\n| %s |\n%s\n", rule.c_str(), title.c_str(), rule.c_str());
+}
+
+namespace {
+
+// Paper totals, transcribed from the ICDE 2001 text. Order:
+// [net 0..2 = (150ms,256) (150ms,512) (50ms,1024)]
+// [tree 0..2 = (α3,ω9) (α9,ω3) (α7,ω5)]
+// [action 0..2 = Query, Expand, MLE].
+constexpr double kTable2[3][3][3] = {
+    {{13.28, 0.63, 99.10}, {461.78, 0.53, 228.53}, {1526.35, 0.57, 1684.39}},
+    {{6.79, 0.46, 78.50}, {231.04, 0.42, 181.02}, {763.32, 0.43, 1334.20}},
+    {{3.35, 0.18, 29.60}, {115.47, 0.16, 68.26}, {381.61, 0.17, 503.10}},
+};
+
+constexpr double kTable3[3][3][3] = {
+    {{3.49, 0.57, 97.10}, {7.43, 0.52, 223.90}, {51.72, 0.53, 1650.23}},
+    {{1.89, 0.44, 77.50}, {3.86, 0.41, 178.71}, {26.01, 0.42, 1317.12}},
+    {{0.90, 0.17, 29.10}, {1.88, 0.15, 67.10}, {12.96, 0.16, 494.56}},
+};
+
+constexpr double kTable4[3][3] = {
+    {3.49, 7.43, 51.72},
+    {1.89, 3.86, 26.01},
+    {0.90, 1.88, 12.96},
+};
+
+}  // namespace
+
+const double (*PaperTable2Totals())[3][3] { return kTable2; }
+const double (*PaperTable3Totals())[3][3] { return kTable3; }
+const double (*PaperTable4MleTotals())[3] { return kTable4; }
+
+}  // namespace pdm::bench

@@ -1,0 +1,58 @@
+#ifndef PDM_BENCH_BENCH_UTIL_H_
+#define PDM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/experiment.h"
+#include "common/result.h"
+#include "model/cost_model.h"
+
+namespace pdm::bench {
+
+/// One simulated measurement: the WAN-accounted response time split plus
+/// raw counters, and the local wall-clock cost of producing it.
+struct SimCell {
+  double latency = 0;
+  double transfer = 0;
+  double total = 0;
+  size_t round_trips = 0;
+  size_t transmitted_rows = 0;
+  size_t visible_nodes = 0;
+  double wall_seconds = 0;
+};
+
+/// Builds a deployment for (tree, net) and runs one action under one
+/// strategy, returning the simulated WAN response time. The generator's
+/// σ realization is the deterministic error-diffusion pattern, so runs
+/// are exactly reproducible.
+Result<SimCell> SimulateCell(const model::TreeParams& tree,
+                             const model::NetworkParams& net,
+                             model::StrategyKind strategy,
+                             model::ActionKind action, uint64_t seed = 1);
+
+/// Converts model parameters into the experiment configuration used by
+/// SimulateCell (exposed for the ablation benches that tweak it).
+client::ExperimentConfig MakeExperimentConfig(const model::TreeParams& tree,
+                                              const model::NetworkParams& net,
+                                              uint64_t seed = 1);
+
+/// Formats seconds with two decimals, right-aligned to `width`.
+std::string Sec(double seconds, int width = 9);
+
+/// Prints the standard bench header naming the experiment.
+void PrintBanner(const std::string& title);
+
+/// The paper's printed response-time totals (two decimals), used to
+/// report paper-vs-model-vs-simulation deviations. Indexing:
+/// [network-scenario 0..2][tree-scenario 0..2][action 0..2], where
+/// actions are Query / Expand / MLE in paper order. Table 4 carries MLE
+/// only (other entries are negative sentinels).
+const double (*PaperTable2Totals())[3][3];
+const double (*PaperTable3Totals())[3][3];
+const double (*PaperTable4MleTotals())[3];
+
+}  // namespace pdm::bench
+
+#endif  // PDM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+// Extension figure: where does the crossover lie? The paper's fixed
+// scenarios show recursion winning at WAN latencies; this sweep varies
+// the one-way latency from LAN (0.5 ms) to satellite (600 ms) and prints
+// the saving of each approach over the late baseline — showing that the
+// benefit is a latency effect (the paper's "hardly any problem ... in
+// local-area networks" observation, quantified).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+int Run() {
+  PrintBanner("Extension: MLE response time vs one-way latency (α=5, ω=4)");
+  std::printf("%-12s %12s %12s %12s | %10s %10s\n", "latency", "late-s",
+              "early-s", "recursive-s", "early-sav%", "rec-sav%");
+
+  model::TreeParams tree{5, 4, 0.6};
+  const double latencies_ms[] = {0.5, 2, 10, 50, 150, 300, 600};
+  for (double lat : latencies_ms) {
+    model::NetworkParams net{lat / 1000.0, 256, 4096, 512};
+    double totals[3];
+    int i = 0;
+    for (StrategyKind strategy :
+         {StrategyKind::kNavigationalLate, StrategyKind::kNavigationalEarly,
+          StrategyKind::kRecursive}) {
+      Result<SimCell> cell =
+          SimulateCell(tree, net, strategy, ActionKind::kMultiLevelExpand);
+      if (!cell.ok()) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      totals[i++] = cell->total;
+    }
+    std::printf("%9.1fms %12.2f %12.2f %12.2f | %10.1f %10.1f\n", lat,
+                totals[0], totals[1], totals[2],
+                (totals[0] - totals[1]) / totals[0] * 100.0,
+                (totals[0] - totals[2]) / totals[0] * 100.0);
+  }
+  std::printf(
+      "\nTwo separable effects: per-message overhead (each navigational\n"
+      "response pads its last packet, so hundreds of small responses lose\n"
+      "even at LAN latency under the paper's accounting) and per-message\n"
+      "latency, which grows the absolute gap from seconds to minutes as\n"
+      "the link stretches to intercontinental delays. Early evaluation\n"
+      "alone never rescues the MLE (~2-5%%), exactly as in Table 3.\n\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main() { return pdm::bench::Run(); }

@@ -1,0 +1,11 @@
+// Regenerates the paper's Figure 4: response times for α=9, ω=3, σ=0.6
+// at T_Lat=150ms / dtr=512 kbit/s under the three regimes.
+
+#include "fig_bars.h"
+
+int main() {
+  pdm::model::TreeParams tree{9, 3, 0.6};
+  pdm::model::NetworkParams net{0.15, 512, 4096, 512};
+  return pdm::bench::RunFigureBars(
+      "Figure 4: α=9, ω=3, σ=0.6, T_Lat=150ms, dtr=512kbit/s", tree, net);
+}

@@ -1,0 +1,11 @@
+// Regenerates the paper's Figure 5: response times for α=7, ω=5, σ=0.6
+// at T_Lat=150ms / dtr=256 kbit/s under the three regimes.
+
+#include "fig_bars.h"
+
+int main() {
+  pdm::model::TreeParams tree{7, 5, 0.6};
+  pdm::model::NetworkParams net{0.15, 256, 4096, 512};
+  return pdm::bench::RunFigureBars(
+      "Figure 5: α=7, ω=5, σ=0.6, T_Lat=150ms, dtr=256kbit/s", tree, net);
+}

@@ -1,0 +1,68 @@
+#include "fig_bars.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pdm::bench {
+
+namespace {
+using model::ActionKind;
+using model::StrategyKind;
+}  // namespace
+
+int RunFigureBars(const char* title, const model::TreeParams& tree,
+                  const model::NetworkParams& net) {
+  PrintBanner(title);
+  std::printf("α=%d ω=%d σ=%.1f, T_Lat=%.0fms, dtr=%.0f kbit/s\n\n",
+              tree.depth, tree.branching, tree.sigma, net.latency_s * 1000,
+              net.dtr_kbit);
+
+  const StrategyKind strategies[] = {StrategyKind::kNavigationalLate,
+                                     StrategyKind::kNavigationalEarly,
+                                     StrategyKind::kRecursive};
+  const ActionKind actions[] = {ActionKind::kQuery,
+                                ActionKind::kSingleLevelExpand,
+                                ActionKind::kMultiLevelExpand};
+
+  double sim[3][3];
+  double max_value = 0;
+  for (int s = 0; s < 3; ++s) {
+    for (int a = 0; a < 3; ++a) {
+      Result<SimCell> cell =
+          SimulateCell(tree, net, strategies[s], actions[a]);
+      if (!cell.ok()) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     cell.status().ToString().c_str());
+        return 1;
+      }
+      sim[s][a] = cell->total;
+      max_value = std::max(max_value, cell->total);
+    }
+  }
+
+  std::printf("%-20s %10s %10s %10s   (simulated seconds)\n", "",
+              "Query", "Expand", "MLE");
+  for (int s = 0; s < 3; ++s) {
+    std::printf("%-20s %10.2f %10.2f %10.2f\n",
+                std::string(model::StrategyKindName(strategies[s])).c_str(),
+                sim[s][0], sim[s][1], sim[s][2]);
+  }
+
+  std::printf("\nbars (one '#' per %.1f s):\n", max_value / 50.0);
+  for (int s = 0; s < 3; ++s) {
+    for (int a = 0; a < 3; ++a) {
+      int len = max_value > 0
+                    ? static_cast<int>(sim[s][a] / max_value * 50.0 + 0.5)
+                    : 0;
+      std::printf("%-12s %-7s |%s %.2f\n",
+                  std::string(model::StrategyKindName(strategies[s])).c_str(),
+                  std::string(model::ActionKindName(actions[a])).c_str(),
+                  std::string(static_cast<size_t>(len), '#').c_str(),
+                  sim[s][a]);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace pdm::bench

@@ -1,0 +1,17 @@
+#ifndef PDM_BENCH_FIG_BARS_H_
+#define PDM_BENCH_FIG_BARS_H_
+
+#include "bench_util.h"
+
+namespace pdm::bench {
+
+/// Reproduces the paper's Figure 4 / Figure 5 bar charts: response times
+/// of Query / Expand / MLE under the three regimes at one fixed network
+/// configuration, printed as a table plus ASCII bars. Returns non-zero
+/// on failure.
+int RunFigureBars(const char* title, const model::TreeParams& tree,
+                  const model::NetworkParams& net);
+
+}  // namespace pdm::bench
+
+#endif  // PDM_BENCH_FIG_BARS_H_

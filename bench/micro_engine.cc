@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks for the SQL engine substrate:
+// lexing/parsing, point lookups, joins, recursive CTE evaluation, and
+// the rule modificator. These measure local engine cost (the component
+// the paper deliberately ignores: "local query evaluation costs were
+// ignored ... transmission costs are the dominating limitation factor").
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+#include "sql/parser.h"
+
+namespace pdm::bench {
+namespace {
+
+std::unique_ptr<client::Experiment>& SharedExperiment() {
+  static std::unique_ptr<client::Experiment>* kExperiment = [] {
+    model::TreeParams tree{5, 5, 0.6};
+    model::NetworkParams net;
+    Result<std::unique_ptr<client::Experiment>> experiment =
+        client::Experiment::Create(MakeExperimentConfig(tree, net));
+    if (!experiment.ok()) std::abort();
+    return new std::unique_ptr<client::Experiment>(
+        std::move(*experiment));
+  }();
+  return *kExperiment;
+}
+
+void BM_LexAndParseRecursiveQuery(benchmark::State& state) {
+  std::string sql = rules::BuildRecursiveTreeQuery(1)->ToSql();
+  for (auto _ : state) {
+    Result<sql::StatementPtr> stmt = sql::ParseSql(sql);
+    if (!stmt.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sql.size()));
+}
+BENCHMARK(BM_LexAndParseRecursiveQuery);
+
+void BM_RenderRecursiveQuery(benchmark::State& state) {
+  std::unique_ptr<sql::SelectStmt> stmt = rules::BuildRecursiveTreeQuery(1);
+  for (auto _ : state) {
+    std::string sql = stmt->ToSql();
+    benchmark::DoNotOptimize(sql);
+  }
+}
+BENCHMARK(BM_RenderRecursiveQuery);
+
+void BM_PointLookup(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  Database& db = e.server().database();
+  std::string sql = "SELECT name FROM assy WHERE obid = " +
+                    std::to_string(e.product().root_obid);
+  for (auto _ : state) {
+    Result<ResultSet> result = db.Query(sql);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PointLookup);
+
+void BM_ExpandQuery(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  Database& db = e.server().database();
+  std::string sql =
+      rules::BuildExpandQuery(e.product().root_obid)->ToSql();
+  for (auto _ : state) {
+    Result<ResultSet> result = db.Query(sql);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExpandQuery);
+
+void BM_RecursiveMleLocal(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  Database& db = e.server().database();
+  std::unique_ptr<sql::SelectStmt> stmt =
+      rules::BuildRecursiveTreeQuery(e.product().root_obid);
+  rules::QueryModificator modificator(&e.rule_table(), e.user());
+  if (!modificator
+           .ApplyToRecursiveQuery(stmt.get(),
+                                  rules::RuleAction::kMultiLevelExpand)
+           .ok()) {
+    state.SkipWithError("modification failed");
+    return;
+  }
+  std::string sql = stmt->ToSql();
+  for (auto _ : state) {
+    Result<ResultSet> result = db.Query(sql);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result_rows"] = static_cast<double>(
+      db.Query(sql)->num_rows());
+}
+BENCHMARK(BM_RecursiveMleLocal);
+
+void BM_QueryModification(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  rules::QueryModificator modificator(&e.rule_table(), e.user());
+  for (auto _ : state) {
+    std::unique_ptr<sql::SelectStmt> stmt =
+        rules::BuildRecursiveTreeQuery(e.product().root_obid);
+    Result<rules::ModificationSummary> summary =
+        modificator.ApplyToRecursiveQuery(
+            stmt.get(), rules::RuleAction::kMultiLevelExpand);
+    if (!summary.ok()) state.SkipWithError("modification failed");
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_QueryModification);
+
+void BM_FlatQueryScan(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  Database& db = e.server().database();
+  for (auto _ : state) {
+    Result<ResultSet> result =
+        db.Query("SELECT COUNT(*) FROM comp WHERE acc = '+'");
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FlatQueryScan);
+
+void BM_AggregateGroupBy(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  Database& db = e.server().database();
+  for (auto _ : state) {
+    Result<ResultSet> result = db.Query(
+        "SELECT material, COUNT(*), AVG(weight) FROM comp GROUP BY "
+        "material");
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AggregateGroupBy);
+
+}  // namespace
+}  // namespace pdm::bench
+
+BENCHMARK_MAIN();

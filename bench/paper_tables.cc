@@ -1,0 +1,109 @@
+#include "paper_tables.h"
+
+#include <cstdio>
+#include <cmath>
+
+namespace pdm::bench {
+
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+const char* TableName(StrategyKind strategy) {
+  switch (strategy) {
+    case StrategyKind::kNavigationalLate:
+      return "Table 2: late rule evaluation (baseline)";
+    case StrategyKind::kNavigationalEarly:
+      return "Table 3: early rule evaluation (Approach 1)";
+    case StrategyKind::kRecursive:
+      return "Table 4: recursive queries + early evaluation (Approach 2)";
+  }
+  return "?";
+}
+
+double PaperValue(StrategyKind strategy, size_t net, size_t tree,
+                  ActionKind action) {
+  size_t a = static_cast<size_t>(action);
+  switch (strategy) {
+    case StrategyKind::kNavigationalLate:
+      return PaperTable2Totals()[net][tree][a];
+    case StrategyKind::kNavigationalEarly:
+      return PaperTable3Totals()[net][tree][a];
+    case StrategyKind::kRecursive:
+      return PaperTable4MleTotals()[net][tree];
+  }
+  return -1;
+}
+
+}  // namespace
+
+int RunPaperTable(StrategyKind strategy) {
+  PrintBanner(TableName(strategy));
+  std::printf(
+      "%-18s %-7s %-6s | %9s %9s %9s | %6s %6s | %7s %7s\n",
+      "network", "tree", "action", "paper", "model", "sim", "d-mod%",
+      "d-sim%", "sav-mod", "sav-sim");
+
+  std::vector<model::NetworkParams> nets = model::PaperNetworkScenarios();
+  std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
+  std::vector<ActionKind> actions = {ActionKind::kQuery,
+                                     ActionKind::kSingleLevelExpand,
+                                     ActionKind::kMultiLevelExpand};
+  if (strategy == StrategyKind::kRecursive) {
+    actions = {ActionKind::kMultiLevelExpand};
+  }
+
+  double worst_sim_dev = 0;
+  for (size_t n = 0; n < nets.size(); ++n) {
+    for (size_t t = 0; t < trees.size(); ++t) {
+      for (ActionKind action : actions) {
+        double paper = PaperValue(strategy, n, t, action);
+        model::ResponseTime predicted =
+            model::Predict(strategy, action, trees[t], nets[n]);
+        Result<SimCell> sim = SimulateCell(trees[t], nets[n], strategy, action);
+        if (!sim.ok()) {
+          std::fprintf(stderr, "simulation failed: %s\n",
+                       sim.status().ToString().c_str());
+          return 1;
+        }
+        double dev_model = (predicted.total() - paper) / paper * 100.0;
+        double dev_sim = (sim->total - paper) / paper * 100.0;
+        worst_sim_dev = std::max(worst_sim_dev, std::fabs(dev_sim));
+
+        std::string savings_model = "-";
+        std::string savings_sim = "-";
+        if (strategy != StrategyKind::kNavigationalLate) {
+          model::ResponseTime baseline =
+              model::Predict(StrategyKind::kNavigationalLate, action,
+                             trees[t], nets[n]);
+          Result<SimCell> base_sim = SimulateCell(
+              trees[t], nets[n], StrategyKind::kNavigationalLate, action);
+          if (!base_sim.ok()) {
+            std::fprintf(stderr, "baseline simulation failed: %s\n",
+                         base_sim.status().ToString().c_str());
+            return 1;
+          }
+          savings_model = Sec(model::SavingPercent(baseline, predicted), 6);
+          double sim_saving =
+              (base_sim->total - sim->total) / base_sim->total * 100.0;
+          savings_sim = Sec(sim_saving, 6);
+        }
+
+        std::printf(
+            "lat=%3.0fms %4.0fkbit α=%d,ω=%d %-6s | %9.2f %9.2f %9.2f | "
+            "%6.2f %6.2f | %7s %7s\n",
+            nets[n].latency_s * 1000, nets[n].dtr_kbit, trees[t].depth,
+            trees[t].branching,
+            std::string(model::ActionKindName(action)).c_str(), paper,
+            predicted.total(), sim->total, dev_model, dev_sim,
+            savings_model.c_str(), savings_sim.c_str());
+      }
+    }
+  }
+  std::printf("\nworst simulation deviation from the paper: %.2f%%\n\n",
+              worst_sim_dev);
+  return 0;
+}
+
+}  // namespace pdm::bench

@@ -1,0 +1,18 @@
+#ifndef PDM_BENCH_PAPER_TABLES_H_
+#define PDM_BENCH_PAPER_TABLES_H_
+
+#include "bench_util.h"
+
+namespace pdm::bench {
+
+/// Reproduces one of the paper's response-time tables: for every network
+/// scenario × tree shape × action it prints the value the paper printed,
+/// our closed-form prediction, and the simulated measurement (actual SQL
+/// through the engine + WAN model), with relative deviations. For
+/// Table 3/4 it also prints the savings versus the late-eval baseline,
+/// as the paper does. Returns non-zero on failure.
+int RunPaperTable(model::StrategyKind strategy);
+
+}  // namespace pdm::bench
+
+#endif  // PDM_BENCH_PAPER_TABLES_H_

@@ -1,0 +1,9 @@
+// Regenerates the paper's Table 2 (response times under late rule
+// evaluation) from both the closed-form model and the simulated system.
+
+#include "paper_tables.h"
+
+int main() {
+  return pdm::bench::RunPaperTable(
+      pdm::model::StrategyKind::kNavigationalLate);
+}

@@ -1,0 +1,9 @@
+// Regenerates the paper's Table 3 (early rule evaluation, Approach 1)
+// including the saving-vs-baseline percentages.
+
+#include "paper_tables.h"
+
+int main() {
+  return pdm::bench::RunPaperTable(
+      pdm::model::StrategyKind::kNavigationalEarly);
+}

@@ -1,0 +1,8 @@
+// Regenerates the paper's Table 4 (multi-level expands via recursive
+// queries, Approach 2) including the saving-vs-baseline percentages.
+
+#include "paper_tables.h"
+
+int main() {
+  return pdm::bench::RunPaperTable(pdm::model::StrategyKind::kRecursive);
+}

@@ -1,0 +1,62 @@
+// Parallel hierarchical views: the same flat object set carries both the
+// physical product structure and a functional grouping (the paper's
+// footnote 1: hierarchically structured complex objects cannot support
+// "different hierarchical views ... in parallel on the same set of
+// data", which is why PDM systems store flat tables).
+//
+// The example expands the same product through both views and prints the
+// two structures side by side, plus the WAN cost of each (identical:
+// the recursive compilation is view-agnostic).
+
+#include <cstdio>
+
+#include "client/experiment.h"
+#include "pdm/pdm_schema.h"
+
+using namespace pdm;          // NOLINT: example brevity
+using namespace pdm::client;  // NOLINT
+
+int main() {
+  ExperimentConfig config;
+  config.generator.depth = 3;
+  config.generator.branching = 3;
+  config.generator.sigma = 1.0;
+  config.generator.build_functional_view = true;
+  config.wan.latency_s = 0.15;
+  config.wan.dtr_kbit = 256;
+
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  Experiment& e = **experiment;
+  std::printf("One flat object set: %zu assemblies, %zu components.\n",
+              e.product().num_assemblies, e.product().num_components);
+  std::printf("Two link sets: %zu physical, %zu functional.\n\n",
+              e.product().total_links, e.product().functional_links);
+
+  for (const char* hierarchy :
+       {pdmsys::kPhysicalHierarchy, pdmsys::kFunctionalHierarchy}) {
+    ClientConfig client;
+    client.hierarchy = hierarchy;
+    RecursiveStrategy strategy(&e.connection(), &e.rule_table(), e.user(),
+                               client);
+    Result<ActionResult> result =
+        strategy.MultiLevelExpand(e.product().root_obid);
+    if (!result.ok()) {
+      std::fprintf(stderr, "expand failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("--- %s view: %zu nodes in %.2f s (1 round trip) ---\n%s\n",
+                hierarchy, result->tree.num_nodes(), result->seconds(),
+                result->tree.ToString(/*max_nodes=*/9).c_str());
+  }
+  std::printf(
+      "Both views are produced by the same recursive query machinery —\n"
+      "only the link.hier predicate differs.\n");
+  return 0;
+}

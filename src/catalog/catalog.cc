@@ -1,0 +1,58 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace pdm {
+
+std::string Catalog::Key(std::string_view name) { return ToLowerAscii(name); }
+
+Status Catalog::CreateTable(std::string_view name, Schema schema,
+                            bool if_not_exists) {
+  std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    if (if_not_exists) return Status::OK();
+    return Status::AlreadyExists("table '" + std::string(name) +
+                                 "' already exists");
+  }
+  tables_[key] =
+      std::make_unique<Table>(std::string(name), std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(std::string_view name, bool if_exists) {
+  std::string key = Key(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::FindTable(std::string_view name) {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::FindTable(std::string_view name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Catalog::GetTable(std::string_view name) {
+  Table* table = FindTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  return table;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace pdm

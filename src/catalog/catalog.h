@@ -1,0 +1,54 @@
+#ifndef PDM_CATALOG_CATALOG_H_
+#define PDM_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pdm {
+
+/// Owns all tables of one database. Table names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; fails with AlreadyExists unless `if_not_exists`.
+  Status CreateTable(std::string_view name, Schema schema,
+                     bool if_not_exists = false);
+
+  /// Drops a table; fails with NotFound unless `if_exists`.
+  Status DropTable(std::string_view name, bool if_exists = false);
+
+  /// Looks a table up; nullptr if absent.
+  Table* FindTable(std::string_view name);
+  const Table* FindTable(std::string_view name) const;
+
+  /// Like FindTable but returns NotFound as a Status.
+  Result<Table*> GetTable(std::string_view name);
+
+  bool HasTable(std::string_view name) const {
+    return FindTable(name) != nullptr;
+  }
+
+  /// Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  static std::string Key(std::string_view name);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_CATALOG_CATALOG_H_

@@ -1,0 +1,26 @@
+#include "catalog/table.h"
+
+namespace pdm {
+
+Status Table::Insert(Row row) {
+  PDM_RETURN_NOT_OK(schema_.ValidateRow(row).WithContext(
+      "insert into table '" + name_ + "'"));
+  InvalidateIndexes();
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
+  auto it = indexes_.find(column);
+  if (it != indexes_.end()) return it->second;
+  ColumnIndex index;
+  index.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Value& key = rows_[i][column];
+    if (key.is_null()) continue;
+    index[key].push_back(i);
+  }
+  return indexes_.emplace(column, std::move(index)).first->second;
+}
+
+}  // namespace pdm

@@ -1,0 +1,96 @@
+#ifndef PDM_CATALOG_TABLE_H_
+#define PDM_CATALOG_TABLE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pdm {
+
+/// In-memory row store for one table. Rows are kept in insertion order
+/// (scans are deterministic, which keeps experiments reproducible).
+///
+/// Tables maintain lazily built per-column hash indexes (value -> row
+/// positions) that executors use for equality scans and index joins —
+/// the moral equivalent of the B-trees a production RDBMS would keep on
+/// link.left / obid. Any mutation invalidates all indexes.
+class Table {
+ public:
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Tables are heavyweight (own all rows); handled by pointer.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Validates against the schema and appends.
+  Status Insert(Row row);
+
+  /// Appends without validation (trusted internal callers, e.g. bulk
+  /// generation that constructs rows straight from the schema).
+  void InsertUnchecked(Row row) {
+    InvalidateIndexes();
+    rows_.push_back(std::move(row));
+  }
+
+  /// In-place update: for each row matching `predicate`, `mutator` is
+  /// applied. Returns the number of rows touched.
+  template <typename Pred, typename Mut>
+  size_t UpdateRows(Pred predicate, Mut mutator) {
+    InvalidateIndexes();
+    size_t n = 0;
+    for (Row& row : rows_) {
+      if (predicate(row)) {
+        mutator(row);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Deletes rows matching `predicate`; returns how many were removed.
+  template <typename Pred>
+  size_t DeleteRows(Pred predicate) {
+    InvalidateIndexes();
+    size_t before = rows_.size();
+    std::erase_if(rows_, predicate);
+    return before - rows_.size();
+  }
+
+  /// Direct mutable access for the engine's UPDATE/DELETE executors
+  /// (conservatively invalidates all indexes).
+  std::vector<Row>& mutable_rows() {
+    InvalidateIndexes();
+    return rows_;
+  }
+
+  /// Hash index on `column` (built on first use, then cached until the
+  /// next mutation). NULL values are not indexed — equality never
+  /// matches them.
+  const ColumnIndex& GetOrBuildIndex(size_t column) const;
+
+  /// Drops all cached indexes; called by every mutating entry point.
+  void InvalidateIndexes() { indexes_.clear(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  mutable std::map<size_t, ColumnIndex> indexes_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_CATALOG_TABLE_H_

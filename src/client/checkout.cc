@@ -1,0 +1,170 @@
+#include "client/checkout.h"
+
+#include <deque>
+#include <map>
+
+#include "client/rule_eval.h"
+#include "common/string_util.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+
+namespace pdm::client {
+
+using rules::QueryModificator;
+using rules::RuleAction;
+
+std::string_view CheckOutMethodName(CheckOutMethod method) {
+  switch (method) {
+    case CheckOutMethod::kNavigational:
+      return "navigational";
+    case CheckOutMethod::kRecursiveBatched:
+      return "recursive-batched";
+    case CheckOutMethod::kStoredProcedure:
+      return "stored-procedure";
+  }
+  return "?";
+}
+
+Result<CheckOutResult> CheckOutClient::Run(int64_t root,
+                                           CheckOutMethod method,
+                                           bool checking_out) {
+  switch (method) {
+    case CheckOutMethod::kNavigational:
+      return RunClientSide(root, /*navigational=*/true, checking_out);
+    case CheckOutMethod::kRecursiveBatched:
+      return RunClientSide(root, /*navigational=*/false, checking_out);
+    case CheckOutMethod::kStoredProcedure:
+      return RunStoredProcedure(root, checking_out);
+  }
+  return Status::Internal("unhandled check-out method");
+}
+
+Result<CheckOutResult> CheckOutClient::RunClientSide(int64_t root,
+                                                     bool navigational,
+                                                     bool checking_out) {
+  conn_->ResetStats();
+  CheckOutResult out;
+  RuleAction action =
+      checking_out ? RuleAction::kCheckOut : RuleAction::kCheckIn;
+  QueryModificator modificator(rules_, user_);
+
+  // Phase 1: retrieve the (visible) subtree.
+  std::map<std::string, std::vector<int64_t>> obids_by_type;
+  obids_by_type["assy"].push_back(root);  // the root is part of the flow
+  bool denied = false;
+
+  if (navigational) {
+    // One expand query per visible node; row conditions pushed into each
+    // query, tree conditions verified at the client afterwards.
+    ClientRuleEvaluator evaluator(rules_, user_);
+    ResultSet fetched_nodes;
+    std::deque<int64_t> frontier{root};
+    while (!frontier.empty()) {
+      int64_t obid = frontier.front();
+      frontier.pop_front();
+      std::unique_ptr<sql::SelectStmt> stmt =
+          rules::BuildExpandQuery(obid, config_.hierarchy);
+      PDM_RETURN_NOT_OK(
+          modificator.ApplyToNavigationalQuery(&stmt->query, action)
+              .status());
+      ResultSet children;
+      PDM_RETURN_NOT_OK(conn_->ExecuteSized(
+          stmt->ToSql(), &children, [this](const ResultSet& r) {
+            return HomogenizedResponseBytes(r, config_);
+          }));
+      if (fetched_nodes.schema.num_columns() == 0) {
+        fetched_nodes.schema = children.schema;
+      }
+      std::optional<size_t> obid_col = children.schema.FindColumn("obid");
+      std::optional<size_t> type_col = children.schema.FindColumn("type");
+      for (const Row& row : children.rows) {
+        int64_t child = row[*obid_col].int64_value();
+        obids_by_type[row[*type_col].ToString()].push_back(child);
+        frontier.push_back(child);
+        fetched_nodes.rows.push_back(row);
+      }
+    }
+    PDM_ASSIGN_OR_RETURN(bool tree_ok,
+                         evaluator.TreeConditionsPass(fetched_nodes, action));
+    denied = !tree_ok;
+  } else {
+    // One recursive query with all rule classes (incl. the ∀rows
+    // check-out condition) evaluated at the server: an empty result
+    // means the action is denied (all-or-nothing).
+    std::unique_ptr<sql::SelectStmt> stmt =
+        rules::BuildRecursiveTreeQuery(root, /*max_depth=*/0,
+                                       config_.hierarchy);
+    PDM_RETURN_NOT_OK(
+        modificator.ApplyToRecursiveQuery(stmt.get(), action).status());
+    ResultSet tree;
+    PDM_RETURN_NOT_OK(conn_->ExecuteSized(
+        stmt->ToSql(), &tree, [this](const ResultSet& r) {
+          return HomogenizedResponseBytes(r, config_);
+        }));
+    denied = tree.rows.empty();
+    std::optional<size_t> obid_col = tree.schema.FindColumn("obid");
+    std::optional<size_t> type_col = tree.schema.FindColumn("type");
+    std::optional<size_t> left_col = tree.schema.FindColumn("LEFT");
+    for (const Row& row : tree.rows) {
+      if (!row[*left_col].is_null()) continue;  // link row
+      obids_by_type[row[*type_col].ToString()].push_back(
+          row[*obid_col].int64_value());
+    }
+  }
+
+  if (denied) {
+    out.success = false;
+    out.wan = conn_->stats();
+    return out;
+  }
+
+  // Phase 2: flip the flags — the "separate WAN communication" the paper
+  // points out. Navigational: one UPDATE per object; batched: one UPDATE
+  // per object table.
+  size_t flipped = 0;
+  for (const auto& [type, obids] : obids_by_type) {
+    if (type == "link" || obids.empty()) continue;
+    if (navigational) {
+      for (int64_t obid : obids) {
+        std::unique_ptr<sql::Statement> update =
+            rules::BuildCheckOutUpdate(type, {obid}, checking_out);
+        ResultSet ack;
+        PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
+        flipped += ack.affected_rows;
+      }
+    } else {
+      std::unique_ptr<sql::Statement> update =
+          rules::BuildCheckOutUpdate(type, obids, checking_out);
+      ResultSet ack;
+      PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
+      flipped += ack.affected_rows;
+    }
+  }
+  out.success = true;
+  out.objects = flipped;
+  out.wan = conn_->stats();
+  return out;
+}
+
+Result<CheckOutResult> CheckOutClient::RunStoredProcedure(int64_t root,
+                                                          bool checking_out) {
+  conn_->ResetStats();
+  CheckOutResult out;
+  std::string call = StrFormat(
+      "CALL %s(%lld, '%s', %lld, %lld, %lld)",
+      checking_out ? "pdm_checkout" : "pdm_checkin",
+      static_cast<long long>(root), user_.name.c_str(),
+      static_cast<long long>(user_.strc_opt),
+      static_cast<long long>(user_.eff_from),
+      static_cast<long long>(user_.eff_to));
+  ResultSet result;
+  PDM_RETURN_NOT_OK(conn_->Execute(call, &result));
+  if (result.num_rows() == 1 && result.At(0, 0).is_int64()) {
+    out.objects = static_cast<size_t>(result.At(0, 0).int64_value());
+  }
+  out.success = out.objects > 0;
+  out.wan = conn_->stats();
+  return out;
+}
+
+}  // namespace pdm::client

@@ -1,0 +1,68 @@
+#ifndef PDM_CLIENT_CHECKOUT_H_
+#define PDM_CLIENT_CHECKOUT_H_
+
+#include <string>
+#include <string_view>
+
+#include "client/connection.h"
+#include "client/strategies.h"
+#include "common/result.h"
+#include "pdm/user_context.h"
+#include "rules/rule.h"
+
+namespace pdm::client {
+
+/// The three ways to run the paper's check-out action (Section 6
+/// discussion): it "cannot be represented in one single query" —
+/// retrieval and the flag update need separate communications unless the
+/// whole flow moves to the server.
+enum class CheckOutMethod {
+  /// Navigational retrieval + one UPDATE per object: the status quo.
+  kNavigational,
+  /// One recursive retrieval + one batched UPDATE per object table.
+  kRecursiveBatched,
+  /// One CALL to a server-side procedure (function shipping).
+  kStoredProcedure,
+};
+
+std::string_view CheckOutMethodName(CheckOutMethod method);
+
+struct CheckOutResult {
+  bool success = false;       // denied if a rule failed (e.g. ∀rows)
+  size_t objects = 0;         // objects whose flag was flipped
+  net::WanStats wan;          // traffic of the whole flow
+  double seconds() const { return wan.total_seconds(); }
+};
+
+/// Client driver for check-out / check-in over the simulated WAN.
+/// The rule table must contain the check-out rules (typically a ∀rows
+/// condition "no node already checked out", the paper's rule example 2).
+class CheckOutClient {
+ public:
+  CheckOutClient(Connection* conn, const rules::RuleTable* rules,
+                 pdmsys::UserContext user, ClientConfig config)
+      : conn_(conn), rules_(rules), user_(std::move(user)), config_(config) {}
+
+  Result<CheckOutResult> CheckOut(int64_t root, CheckOutMethod method) {
+    return Run(root, method, /*checking_out=*/true);
+  }
+  Result<CheckOutResult> CheckIn(int64_t root, CheckOutMethod method) {
+    return Run(root, method, /*checking_out=*/false);
+  }
+
+ private:
+  Result<CheckOutResult> Run(int64_t root, CheckOutMethod method,
+                             bool checking_out);
+  Result<CheckOutResult> RunClientSide(int64_t root, bool navigational,
+                                       bool checking_out);
+  Result<CheckOutResult> RunStoredProcedure(int64_t root, bool checking_out);
+
+  Connection* conn_;
+  const rules::RuleTable* rules_;
+  pdmsys::UserContext user_;
+  ClientConfig config_;
+};
+
+}  // namespace pdm::client
+
+#endif  // PDM_CLIENT_CHECKOUT_H_

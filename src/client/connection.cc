@@ -1,0 +1,23 @@
+#include "client/connection.h"
+
+namespace pdm::client {
+
+Status Connection::Execute(std::string_view sql, ResultSet* out) {
+  ResultSet scratch;
+  if (out == nullptr) out = &scratch;
+  size_t response_bytes = 0;
+  PDM_RETURN_NOT_OK(server_->Execute(sql, out, &response_bytes));
+  link_.RecordRoundTrip(sql.size(), response_bytes);
+  return Status::OK();
+}
+
+Status Connection::ExecuteSized(std::string_view sql, ResultSet* out,
+                                const ResponseSizer& sizer) {
+  ResultSet scratch;
+  if (out == nullptr) out = &scratch;
+  PDM_RETURN_NOT_OK(server_->Execute(sql, out, nullptr));
+  link_.RecordRoundTrip(sql.size(), sizer(*out));
+  return Status::OK();
+}
+
+}  // namespace pdm::client

@@ -1,0 +1,50 @@
+#ifndef PDM_CLIENT_CONNECTION_H_
+#define PDM_CLIENT_CONNECTION_H_
+
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+#include "exec/result_set.h"
+#include "net/wan_model.h"
+#include "server/db_server.h"
+
+namespace pdm::client {
+
+/// A PDM client's connection to the database server through the
+/// simulated WAN. Every Execute() is one round trip: the SQL text goes
+/// out (padded to packets), the serialized result comes back; the link
+/// accumulates latency/transfer statistics.
+class Connection {
+ public:
+  /// Sizes a result set on the wire; overrides the server's policy.
+  using ResponseSizer = std::function<size_t(const ResultSet&)>;
+
+  Connection(DbServer* server, net::WanConfig wan)
+      : server_(server), link_(wan) {}
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// One query/response round trip with the server's response sizing.
+  Status Execute(std::string_view sql, ResultSet* out);
+
+  /// One round trip with caller-controlled response sizing (used by the
+  /// recursive strategy to charge node rows at the paper's per-node
+  /// size; see DESIGN.md).
+  Status ExecuteSized(std::string_view sql, ResultSet* out,
+                      const ResponseSizer& sizer);
+
+  DbServer& server() { return *server_; }
+  net::WanLink& link() { return link_; }
+  const net::WanStats& stats() const { return link_.stats(); }
+  void ResetStats() { link_.ResetStats(); }
+
+ private:
+  DbServer* server_;
+  net::WanLink link_;
+};
+
+}  // namespace pdm::client
+
+#endif  // PDM_CLIENT_CONNECTION_H_

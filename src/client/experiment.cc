@@ -1,0 +1,111 @@
+#include "client/experiment.h"
+
+#include "pdm/pdm_schema.h"
+#include "rules/procedures.h"
+#include "sql/parser.h"
+
+namespace pdm::client {
+
+Status InstallStandardRules(rules::RuleTable* table) {
+  // Object access rule: only objects whose materialized visibility flag
+  // is '+' may be seen (see DESIGN.md on the acc column).
+  {
+    PDM_ASSIGN_OR_RETURN(std::unique_ptr<rules::RowCondition> cond,
+                         rules::RowCondition::Parse("*", "acc = '+'"));
+    rules::Rule rule;
+    rule.user = "*";
+    rule.action = rules::RuleAction::kAccess;
+    rule.object_type = "*";
+    rule.condition = std::move(cond);
+    table->AddRule(std::move(rule));
+  }
+  // Relation access rule (paper rule example 3): the link's effectivity
+  // must overlap the user's selected window AND its structure-option set
+  // must overlap the user's selected options.
+  {
+    PDM_ASSIGN_OR_RETURN(
+        std::unique_ptr<rules::RowCondition> cond,
+        rules::RowCondition::Parse(
+            pdmsys::kLinkTable,
+            "eff_from <= $user.eff_to AND eff_to >= $user.eff_from "
+            "AND BITAND(strc_opt, $user.strc_opt) <> 0"));
+    rules::Rule rule;
+    rule.user = "*";
+    rule.action = rules::RuleAction::kAccess;
+    rule.object_type = pdmsys::kLinkTable;
+    rule.condition = std::move(cond);
+    table->AddRule(std::move(rule));
+  }
+  // Check-out rule (paper rule example 2): the whole subtree must be
+  // checked in.
+  {
+    PDM_ASSIGN_OR_RETURN(sql::ExprPtr pred,
+                         sql::ParseSqlExpression("checkedout = FALSE"));
+    rules::Rule rule;
+    rule.user = "*";
+    rule.action = rules::RuleAction::kCheckOut;
+    rule.object_type = "*";
+    rule.condition = std::make_unique<rules::ForAllRowsCondition>(
+        "", std::move(pred));
+    table->AddRule(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Experiment>> Experiment::Create(
+    const ExperimentConfig& config) {
+  std::unique_ptr<Experiment> experiment(new Experiment(config));
+  PDM_RETURN_NOT_OK(experiment->Init());
+  return experiment;
+}
+
+Status Experiment::Init() {
+  PDM_ASSIGN_OR_RETURN(product_, pdmsys::GenerateProduct(&server_.database(),
+                                                         config_.generator));
+  PDM_RETURN_NOT_OK(InstallStandardRules(&rule_table_));
+  // The server keeps its own reference to the (shared) rule table for
+  // the function-shipping procedures.
+  PDM_RETURN_NOT_OK(
+      rules::RegisterPdmProcedures(&server_.database(), &rule_table_));
+  connection_ = std::make_unique<Connection>(&server_, config_.wan);
+  return Status::OK();
+}
+
+std::unique_ptr<AccessStrategy> Experiment::MakeStrategy(
+    model::StrategyKind kind) {
+  switch (kind) {
+    case model::StrategyKind::kNavigationalLate:
+      return std::make_unique<NavigationalStrategy>(
+          connection_.get(), &rule_table_, user(), config_.client,
+          /*early_evaluation=*/false);
+    case model::StrategyKind::kNavigationalEarly:
+      return std::make_unique<NavigationalStrategy>(
+          connection_.get(), &rule_table_, user(), config_.client,
+          /*early_evaluation=*/true);
+    case model::StrategyKind::kRecursive:
+      return std::make_unique<RecursiveStrategy>(
+          connection_.get(), &rule_table_, user(), config_.client);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CheckOutClient> Experiment::MakeCheckOutClient() {
+  return std::make_unique<CheckOutClient>(connection_.get(), &rule_table_,
+                                          user(), config_.client);
+}
+
+Result<ActionResult> Experiment::RunAction(model::StrategyKind strategy,
+                                           model::ActionKind action) {
+  std::unique_ptr<AccessStrategy> impl = MakeStrategy(strategy);
+  switch (action) {
+    case model::ActionKind::kQuery:
+      return impl->QueryAll();
+    case model::ActionKind::kSingleLevelExpand:
+      return impl->SingleLevelExpand(product_.root_obid);
+    case model::ActionKind::kMultiLevelExpand:
+      return impl->MultiLevelExpand(product_.root_obid);
+  }
+  return Status::Internal("unhandled action kind");
+}
+
+}  // namespace pdm::client

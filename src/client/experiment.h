@@ -1,0 +1,77 @@
+#ifndef PDM_CLIENT_EXPERIMENT_H_
+#define PDM_CLIENT_EXPERIMENT_H_
+
+#include <memory>
+
+#include "client/checkout.h"
+#include "client/connection.h"
+#include "client/strategies.h"
+#include "common/result.h"
+#include "model/cost_model.h"
+#include "net/wan_model.h"
+#include "pdm/generator.h"
+#include "rules/rule.h"
+#include "server/db_server.h"
+
+namespace pdm::client {
+
+/// Full configuration of one simulated deployment.
+struct ExperimentConfig {
+  pdmsys::GeneratorConfig generator;
+  net::WanConfig wan;
+  ClientConfig client;
+};
+
+/// A fully wired simulated PDM installation: database server with one
+/// generated product, the standard rule set (object access rule,
+/// relation effectivity/option rule, check-out ∀rows rule), server-side
+/// procedures, and one client connection over the simulated WAN.
+///
+/// The standard rules are calibrated so that the reference user sees
+/// exactly the generator's `visible_nodes` ground truth:
+///   * object rule (row, all types):  acc = '+'
+///   * relation rule (row, link):     effectivity overlaps the user's
+///     window AND option sets overlap (BITAND) — the paper's rule
+///     example 3 pair
+///   * check-out rule (∀rows):        checkedout = FALSE on every node
+///     (the paper's rule example 2)
+class Experiment {
+ public:
+  static Result<std::unique_ptr<Experiment>> Create(
+      const ExperimentConfig& config);
+
+  DbServer& server() { return server_; }
+  Connection& connection() { return *connection_; }
+  rules::RuleTable& rule_table() { return rule_table_; }
+  const pdmsys::GeneratedProduct& product() const { return product_; }
+  const pdmsys::UserContext& user() const { return config_.generator.user; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Strategy instance for one of the paper's three regimes.
+  std::unique_ptr<AccessStrategy> MakeStrategy(model::StrategyKind kind);
+
+  /// Check-out driver bound to this deployment.
+  std::unique_ptr<CheckOutClient> MakeCheckOutClient();
+
+  /// Runs the model-equivalent action with the given strategy regime.
+  Result<ActionResult> RunAction(model::StrategyKind strategy,
+                                 model::ActionKind action);
+
+ private:
+  explicit Experiment(ExperimentConfig config) : config_(config) {}
+
+  Status Init();
+
+  ExperimentConfig config_;
+  DbServer server_;
+  rules::RuleTable rule_table_;
+  pdmsys::GeneratedProduct product_;
+  std::unique_ptr<Connection> connection_;
+};
+
+/// Installs the standard rule set described above into `table`.
+Status InstallStandardRules(rules::RuleTable* table);
+
+}  // namespace pdm::client
+
+#endif  // PDM_CLIENT_EXPERIMENT_H_

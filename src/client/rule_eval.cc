@@ -1,0 +1,232 @@
+#include "client/rule_eval.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "exec/expr_eval.h"
+#include "pdm/pdm_schema.h"
+#include "plan/binder.h"
+
+namespace pdm::client {
+
+using rules::ConditionClass;
+using rules::Rule;
+using rules::RuleAction;
+
+ClientRuleEvaluator::ClientRuleEvaluator(const rules::RuleTable* rule_table,
+                                         pdmsys::UserContext user)
+    : rule_table_(rule_table),
+      user_(std::move(user)),
+      functions_(std::make_unique<FunctionRegistry>()),
+      scratch_catalog_(std::make_unique<Catalog>()) {
+  Status status = functions_->RegisterBuiltins();
+  assert(status.ok());
+  (void)status;
+}
+
+ClientRuleEvaluator::~ClientRuleEvaluator() = default;
+
+namespace {
+
+/// Binds `predicate` against the result-row schema (as the single table
+/// "r" in scope).
+Result<BoundExprPtr> BindAgainstSchema(const sql::Expr& predicate,
+                                       const Schema& schema,
+                                       const Catalog* catalog,
+                                       const FunctionRegistry* functions) {
+  Binder binder(catalog, functions);
+  Scope scope;
+  scope.AddTable("r", schema);
+  return binder.BindExprInScope(predicate, &scope);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PreparedRowFilter>> ClientRuleEvaluator::Prepare(
+    const Schema& schema, RuleAction action) const {
+  std::optional<size_t> type_col = schema.FindColumn("type");
+  if (!type_col.has_value()) {
+    return Status::InvalidArgument(
+        "result schema lacks the 'type' discriminator column");
+  }
+  auto filter = std::unique_ptr<PreparedRowFilter>(
+      new PreparedRowFilter(this, *type_col));
+
+  std::vector<std::string> tables = pdmsys::ObjectTables();
+  tables.push_back(pdmsys::kLinkTable);
+  for (const std::string& table : tables) {
+    std::vector<const Rule*> relevant = rule_table_->FetchRelevant(
+        user_.name, action, ConditionClass::kRow, table);
+    // "*" covers object types only; relation rules must name the table.
+    if (table == pdmsys::kLinkTable) {
+      std::erase_if(relevant,
+                    [](const Rule* r) { return r->object_type == "*"; });
+    }
+    if (relevant.empty()) continue;
+    std::vector<sql::ExprPtr> preds;
+    for (const Rule* rule : relevant) {
+      const auto& cond = static_cast<const rules::RowCondition&>(
+          *rule->condition);
+      // Unqualified: attribute names resolve against the result schema.
+      PDM_ASSIGN_OR_RETURN(sql::ExprPtr pred, cond.Instantiate(user_, ""));
+      preds.push_back(std::move(pred));
+    }
+    sql::ExprPtr group = sql::MakeDisjunction(std::move(preds));
+    Result<BoundExprPtr> bound = BindAgainstSchema(
+        *group, schema, scratch_catalog_.get(), functions_.get());
+    if (!bound.ok()) {
+      if (bound.status().code() == StatusCode::kBindError) {
+        // The schema lacks the attributes this group tests (e.g. link
+        // conditions on a structure-less result): group does not apply.
+        continue;
+      }
+      return bound.status();
+    }
+    if (table == pdmsys::kLinkTable) {
+      filter->link_group_ = std::move(bound).value();
+    } else {
+      filter->type_groups_[table] = std::move(bound).value();
+    }
+  }
+  return filter;
+}
+
+Result<bool> PreparedRowFilter::Passes(const Row& row) const {
+  ExecStats stats;
+  ExecContext ctx(owner_->scratch_catalog_.get(), &owner_->exec_options_,
+                  &stats);
+  const std::string type = row[type_column_].ToString();
+  auto it = type_groups_.find(type);
+  if (it != type_groups_.end() && it->second != nullptr) {
+    PDM_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*it->second, row, &ctx));
+    if (!pass) return false;
+  }
+  if (link_group_ != nullptr) {
+    PDM_ASSIGN_OR_RETURN(bool pass,
+                         EvaluatePredicate(*link_group_, row, &ctx));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Result<bool> ClientRuleEvaluator::TreeConditionsPass(
+    const ResultSet& nodes, RuleAction action) const {
+  ExecStats stats;
+  ExecContext ctx(scratch_catalog_.get(), &exec_options_, &stats);
+  std::optional<size_t> type_col = nodes.schema.FindColumn("type");
+  if (!type_col.has_value()) {
+    return Status::InvalidArgument("node rows lack the 'type' column");
+  }
+
+  // ∀rows: every (type-matching) node must satisfy the row predicate.
+  for (const Rule* rule : rule_table_->FetchRelevant(
+           user_.name, action, ConditionClass::kForAllRows)) {
+    const auto& cond =
+        static_cast<const rules::ForAllRowsCondition&>(*rule->condition);
+    PDM_ASSIGN_OR_RETURN(sql::ExprPtr pred,
+                         cond.InstantiateRowPredicate(user_, ""));
+    PDM_ASSIGN_OR_RETURN(
+        BoundExprPtr bound,
+        BindAgainstSchema(*pred, nodes.schema, scratch_catalog_.get(),
+                          functions_.get()));
+    const std::string& filter = cond.node_type_filter();
+    bool all_filter = filter.empty() || filter == "*";
+    for (const Row& row : nodes.rows) {
+      if (!all_filter && row[*type_col].ToString() != filter) continue;
+      PDM_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*bound, row, &ctx));
+      if (!pass) return false;  // all-or-nothing
+    }
+  }
+
+  // Tree aggregates over the fetched node set.
+  for (const Rule* rule : rule_table_->FetchRelevant(
+           user_.name, action, ConditionClass::kTreeAggregate)) {
+    const auto& cond =
+        static_cast<const rules::TreeAggregateCondition&>(*rule->condition);
+    const std::string& filter = cond.node_type_filter();
+    bool all_filter = filter.empty() || filter == "*";
+    std::optional<size_t> attr_col;
+    if (!cond.attribute().empty()) {
+      attr_col = nodes.schema.FindColumn(cond.attribute());
+      if (!attr_col.has_value()) {
+        return Status::InvalidArgument("tree-aggregate attribute '" +
+                                       cond.attribute() + "' not in result");
+      }
+    }
+
+    int64_t count = 0;
+    double sum = 0;
+    Value extreme;
+    for (const Row& row : nodes.rows) {
+      if (!all_filter && row[*type_col].ToString() != filter) continue;
+      if (!attr_col.has_value()) {
+        ++count;
+        continue;
+      }
+      const Value& v = row[*attr_col];
+      if (v.is_null()) continue;
+      ++count;
+      if (v.is_numeric()) sum += v.AsDouble();
+      if (extreme.is_null() ||
+          (Value::Comparable(extreme, v) &&
+           ((cond.agg() == AggKind::kMin && Value::Compare(v, extreme) < 0) ||
+            (cond.agg() == AggKind::kMax &&
+             Value::Compare(v, extreme) > 0)))) {
+        extreme = v;
+      }
+    }
+
+    Value aggregate;
+    switch (cond.agg()) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        aggregate = Value::Int64(count);
+        break;
+      case AggKind::kSum:
+        aggregate = count > 0 ? Value::Double(sum) : Value::Null();
+        break;
+      case AggKind::kAvg:
+        aggregate = count > 0 ? Value::Double(sum / static_cast<double>(count))
+                              : Value::Null();
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        aggregate = extreme;
+        break;
+    }
+    if (aggregate.is_null()) return false;
+    if (!Value::Comparable(aggregate, cond.threshold())) {
+      return Status::InvalidArgument(
+          "tree-aggregate threshold incomparable with aggregate value");
+    }
+    int c = Value::Compare(aggregate, cond.threshold());
+    bool pass = false;
+    switch (cond.cmp()) {
+      case sql::BinaryOp::kEq:
+        pass = c == 0;
+        break;
+      case sql::BinaryOp::kNotEq:
+        pass = c != 0;
+        break;
+      case sql::BinaryOp::kLess:
+        pass = c < 0;
+        break;
+      case sql::BinaryOp::kLessEq:
+        pass = c <= 0;
+        break;
+      case sql::BinaryOp::kGreater:
+        pass = c > 0;
+        break;
+      case sql::BinaryOp::kGreaterEq:
+        pass = c >= 0;
+        break;
+      default:
+        return Status::InvalidArgument(
+            "tree-aggregate comparison operator must be a comparison");
+    }
+    if (!pass) return false;
+  }
+  return true;
+}
+
+}  // namespace pdm::client

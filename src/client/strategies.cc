@@ -1,0 +1,255 @@
+#include "client/strategies.h"
+
+#include <deque>
+
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+
+namespace pdm::client {
+
+using rules::QueryModificator;
+using rules::RuleAction;
+
+AccessStrategy::AccessStrategy(Connection* conn,
+                               const rules::RuleTable* rules,
+                               pdmsys::UserContext user, ClientConfig config)
+    : conn_(conn),
+      rules_(rules),
+      user_(std::move(user)),
+      config_(config),
+      evaluator_(rules, user_) {}
+
+size_t HomogenizedResponseBytes(const ResultSet& result,
+                                const ClientConfig& config) {
+  // Pure link rows (type = 'link', as in the recursive result's second
+  // UNION branch) carry structure info only; object rows — including
+  // expand-result rows that have their link attributes inlined — are
+  // charged the per-node size.
+  std::optional<size_t> type_col = result.schema.FindColumn("type");
+  size_t object_rows = 0;
+  size_t link_rows = 0;
+  for (const Row& row : result.rows) {
+    if (type_col.has_value() && row[*type_col].is_string() &&
+        row[*type_col].string_value() == "link") {
+      ++link_rows;
+    } else {
+      ++object_rows;
+    }
+  }
+  size_t bytes = object_rows * config.node_bytes;
+  if (config.charge_link_rows) bytes += link_rows * config.node_bytes;
+  return bytes == 0 ? 64 : bytes;
+}
+
+size_t AccessStrategy::SizeHomogenizedResponse(const ResultSet& result) const {
+  return HomogenizedResponseBytes(result, config_);
+}
+
+// --- NavigationalStrategy ------------------------------------------------------
+
+Result<ResultSet> NavigationalStrategy::ExpandOnce(
+    int64_t node, PreparedRowFilter* late_filter, size_t* transmitted_rows) {
+  std::unique_ptr<sql::SelectStmt> stmt =
+      rules::BuildExpandQuery(node, config_.hierarchy);
+  if (early_) {
+    QueryModificator modificator(rules_, user_);
+    PDM_RETURN_NOT_OK(modificator
+                          .ApplyToNavigationalQuery(&stmt->query,
+                                                    RuleAction::kExpand)
+                          .status());
+  }
+  ResultSet rows;
+  PDM_RETURN_NOT_OK(conn_->ExecuteSized(
+      stmt->ToSql(), &rows,
+      [this](const ResultSet& r) { return SizeHomogenizedResponse(r); }));
+  if (transmitted_rows != nullptr) *transmitted_rows += rows.num_rows();
+
+  if (!early_ && late_filter != nullptr) {
+    // Late evaluation: the rows crossed the WAN; filter at the client.
+    ResultSet kept;
+    kept.schema = rows.schema;
+    for (const Row& row : rows.rows) {
+      PDM_ASSIGN_OR_RETURN(bool pass, late_filter->Passes(row));
+      if (pass) kept.rows.push_back(row);
+    }
+    return kept;
+  }
+  return rows;
+}
+
+Result<ActionResult> NavigationalStrategy::QueryAll() {
+  conn_->ResetStats();
+  ActionResult out;
+
+  std::unique_ptr<sql::SelectStmt> stmt = rules::BuildFlatQuery();
+  if (early_) {
+    QueryModificator modificator(rules_, user_);
+    PDM_RETURN_NOT_OK(modificator
+                          .ApplyToNavigationalQuery(&stmt->query,
+                                                    RuleAction::kQuery)
+                          .status());
+  }
+  ResultSet rows;
+  PDM_RETURN_NOT_OK(conn_->ExecuteSized(
+      stmt->ToSql(), &rows,
+      [this](const ResultSet& r) { return SizeHomogenizedResponse(r); }));
+  out.transmitted_rows = rows.num_rows();
+
+  if (early_) {
+    out.visible_nodes = rows.num_rows();
+  } else {
+    PDM_ASSIGN_OR_RETURN(std::unique_ptr<PreparedRowFilter> filter,
+                         evaluator_.Prepare(rows.schema, RuleAction::kQuery));
+    for (const Row& row : rows.rows) {
+      PDM_ASSIGN_OR_RETURN(bool pass, filter->Passes(row));
+      if (pass) out.visible_nodes++;
+    }
+  }
+  out.wan = conn_->stats();
+  return out;
+}
+
+Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
+  conn_->ResetStats();
+  ActionResult out;
+
+  std::unique_ptr<PreparedRowFilter> filter;
+  if (!early_) {
+    // The expand result schema is fixed; prepare against a probe result.
+    std::unique_ptr<sql::SelectStmt> probe =
+        rules::BuildExpandQuery(node, config_.hierarchy);
+    ResultSet rows;
+    PDM_RETURN_NOT_OK(conn_->server().database().Execute(probe->ToSql(),
+                                                         &rows));
+    conn_->ResetStats();  // the probe ran locally, not over the WAN
+    PDM_ASSIGN_OR_RETURN(filter,
+                         evaluator_.Prepare(rows.schema, RuleAction::kExpand));
+  }
+  size_t transmitted = 0;
+  PDM_ASSIGN_OR_RETURN(ResultSet kept,
+                       ExpandOnce(node, filter.get(), &transmitted));
+  out.transmitted_rows = transmitted;
+  out.visible_nodes = kept.num_rows();
+  out.wan = conn_->stats();
+  return out;
+}
+
+Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
+  conn_->ResetStats();
+  ActionResult out;
+
+  // The root object is already at the client (paper footnote 4).
+  size_t root_index = out.tree.AddNode(root, "assy", "", std::nullopt);
+
+  std::unique_ptr<PreparedRowFilter> filter;
+  ResultSet kept_nodes;  // homogenized rows kept, for tree conditions
+  bool filter_ready = false;
+
+  std::deque<std::pair<int64_t, size_t>> frontier;  // (obid, tree index)
+  frontier.emplace_back(root, root_index);
+  while (!frontier.empty()) {
+    auto [obid, index] = frontier.front();
+    frontier.pop_front();
+
+    if (!early_ && !filter_ready) {
+      // Prepare the late filter from the first response's schema.
+      std::unique_ptr<sql::SelectStmt> probe =
+          rules::BuildExpandQuery(obid, config_.hierarchy);
+      ResultSet rows;
+      PDM_RETURN_NOT_OK(
+          conn_->server().database().Execute(probe->ToSql(), &rows));
+      PDM_ASSIGN_OR_RETURN(filter,
+                           evaluator_.Prepare(rows.schema,
+                                              RuleAction::kMultiLevelExpand));
+      filter_ready = true;
+    }
+
+    PDM_ASSIGN_OR_RETURN(
+        ResultSet children,
+        ExpandOnce(obid, filter.get(), &out.transmitted_rows));
+    if (kept_nodes.schema.num_columns() == 0) {
+      kept_nodes.schema = children.schema;
+    }
+    std::optional<size_t> obid_col = children.schema.FindColumn("obid");
+    std::optional<size_t> type_col = children.schema.FindColumn("type");
+    std::optional<size_t> name_col = children.schema.FindColumn("name");
+    for (const Row& row : children.rows) {
+      int64_t child_obid = row[*obid_col].int64_value();
+      size_t child_index =
+          out.tree.AddNode(child_obid, row[*type_col].ToString(),
+                           row[*name_col].ToString(), index);
+      frontier.emplace_back(child_obid, child_index);
+      kept_nodes.rows.push_back(row);
+    }
+  }
+
+  // Tree conditions are evaluated at the client in both navigational
+  // modes (they cannot be compiled into per-node queries, Section 4.1).
+  PDM_ASSIGN_OR_RETURN(
+      bool tree_ok,
+      evaluator_.TreeConditionsPass(kept_nodes,
+                                    RuleAction::kMultiLevelExpand));
+  if (!tree_ok) out.tree = pdmsys::ProductTree();  // all-or-nothing
+
+  out.visible_nodes =
+      out.tree.num_nodes() > 0 ? out.tree.num_nodes() - 1 : 0;
+  out.wan = conn_->stats();
+  return out;
+}
+
+// --- RecursiveStrategy ----------------------------------------------------------
+
+Result<ActionResult> RecursiveStrategy::QueryAll() {
+  // A flat query is a single statement already; Approach 2 simply keeps
+  // the early rule evaluation of Approach 1 for it.
+  NavigationalStrategy early(conn_, rules_, user_, config_,
+                             /*early_evaluation=*/true);
+  return early.QueryAll();
+}
+
+Result<ActionResult> RecursiveStrategy::SingleLevelExpand(int64_t node) {
+  NavigationalStrategy early(conn_, rules_, user_, config_,
+                             /*early_evaluation=*/true);
+  return early.SingleLevelExpand(node);
+}
+
+Result<ActionResult> RecursiveStrategy::MultiLevelExpand(int64_t root) {
+  return RunTreeQuery(root, /*max_depth=*/0);
+}
+
+Result<ActionResult> RecursiveStrategy::PartialExpand(int64_t root,
+                                                      int levels) {
+  if (levels < 1) {
+    return Status::InvalidArgument("partial expand needs >= 1 level");
+  }
+  return RunTreeQuery(root, levels);
+}
+
+Result<ActionResult> RecursiveStrategy::RunTreeQuery(int64_t root,
+                                                     int max_depth) {
+  conn_->ResetStats();
+  ActionResult out;
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      rules::BuildRecursiveTreeQuery(root, max_depth, config_.hierarchy);
+  QueryModificator modificator(rules_, user_);
+  PDM_RETURN_NOT_OK(
+      modificator
+          .ApplyToRecursiveQuery(stmt.get(), RuleAction::kMultiLevelExpand)
+          .status());
+
+  ResultSet result;
+  PDM_RETURN_NOT_OK(conn_->ExecuteSized(
+      stmt->ToSql(), &result,
+      [this](const ResultSet& r) { return SizeHomogenizedResponse(r); }));
+
+  PDM_ASSIGN_OR_RETURN(out.tree,
+                       pdmsys::AssembleFromHomogenized(result, root));
+  out.transmitted_rows = result.num_rows();
+  out.visible_nodes =
+      out.tree.num_nodes() > 0 ? out.tree.num_nodes() - 1 : 0;
+  out.wan = conn_->stats();
+  return out;
+}
+
+}  // namespace pdm::client

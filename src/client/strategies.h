@@ -1,0 +1,134 @@
+#ifndef PDM_CLIENT_STRATEGIES_H_
+#define PDM_CLIENT_STRATEGIES_H_
+
+#include <memory>
+#include <string_view>
+
+#include "client/connection.h"
+#include "client/rule_eval.h"
+#include "common/result.h"
+#include "net/wan_model.h"
+#include "pdm/product_tree.h"
+#include "pdm/user_context.h"
+#include "rules/rule.h"
+
+namespace pdm::client {
+
+/// Client-side knobs for wire accounting (see DESIGN.md: the paper
+/// charges a fixed per-node size; structure information rides along with
+/// the child node's payload).
+struct ClientConfig {
+  size_t node_bytes = 512;        // the paper's avg node size
+  bool charge_link_rows = false;  // ablation: charge link rows separately
+  /// Which of the parallel product structures to traverse (physical by
+  /// default; see pdm/pdm_schema.h hierarchy constants).
+  std::string hierarchy = "phys";
+};
+
+/// Wire size of a homogenized response: `node_bytes` per object row;
+/// link rows ride along free unless `charge_link_rows` (see DESIGN.md).
+size_t HomogenizedResponseBytes(const ResultSet& result,
+                                const ClientConfig& config);
+
+/// Outcome of one PDM user action, with the WAN traffic it caused.
+struct ActionResult {
+  pdmsys::ProductTree tree;    // assembled structure (tree actions)
+  size_t transmitted_rows = 0; // rows that crossed the WAN
+  size_t visible_nodes = 0;    // objects visible to the user (kept)
+  net::WanStats wan;           // per-action traffic/delay
+  double seconds() const { return wan.total_seconds(); }
+};
+
+/// Interface of the three access strategies the paper compares. Each
+/// action resets the connection's WAN statistics and reports the
+/// traffic it alone caused.
+class AccessStrategy {
+ public:
+  AccessStrategy(Connection* conn, const rules::RuleTable* rules,
+                 pdmsys::UserContext user, ClientConfig config);
+  virtual ~AccessStrategy() = default;
+
+  AccessStrategy(const AccessStrategy&) = delete;
+  AccessStrategy& operator=(const AccessStrategy&) = delete;
+
+  /// The "query" action: all nodes of the product, no structure info.
+  virtual Result<ActionResult> QueryAll() = 0;
+
+  /// Single-level expand: the direct children of `node`.
+  virtual Result<ActionResult> SingleLevelExpand(int64_t node) = 0;
+
+  /// Multi-level expand: the whole (visible) subtree under `root`.
+  virtual Result<ActionResult> MultiLevelExpand(int64_t root) = 0;
+
+  virtual std::string_view name() const = 0;
+
+ protected:
+  /// Response sizer charging `node_bytes` per transmitted object row
+  /// (link rows free unless configured otherwise).
+  size_t SizeHomogenizedResponse(const ResultSet& result) const;
+
+  Connection* conn_;
+  const rules::RuleTable* rules_;
+  pdmsys::UserContext user_;
+  ClientConfig config_;
+  ClientRuleEvaluator evaluator_;
+};
+
+/// The baseline and Approach-1 client: one isolated SQL query per
+/// navigation step. With `early_evaluation` = false rules are applied at
+/// the client after the data crossed the WAN (the paper's status quo);
+/// with true, row conditions are compiled into each query's WHERE clause
+/// (Section 4).
+class NavigationalStrategy : public AccessStrategy {
+ public:
+  NavigationalStrategy(Connection* conn, const rules::RuleTable* rules,
+                       pdmsys::UserContext user, ClientConfig config,
+                       bool early_evaluation)
+      : AccessStrategy(conn, rules, std::move(user), config),
+        early_(early_evaluation) {}
+
+  Result<ActionResult> QueryAll() override;
+  Result<ActionResult> SingleLevelExpand(int64_t node) override;
+  Result<ActionResult> MultiLevelExpand(int64_t root) override;
+  std::string_view name() const override {
+    return early_ ? "navigational-early" : "navigational-late";
+  }
+
+ private:
+  /// One expand round trip; returns the (filtered, when late) child rows
+  /// and accumulates the transmitted row count.
+  Result<ResultSet> ExpandOnce(int64_t node, PreparedRowFilter* late_filter,
+                               size_t* transmitted_rows);
+
+  bool early_;
+};
+
+/// The Approach-2 client (Section 5): multi-level expands compile into a
+/// single WITH RECURSIVE statement with all rule classes injected by the
+/// QueryModificator; two WAN messages total. Query and single-level
+/// expand already take one round trip, so they use the early-evaluation
+/// navigational form.
+class RecursiveStrategy : public AccessStrategy {
+ public:
+  RecursiveStrategy(Connection* conn, const rules::RuleTable* rules,
+                    pdmsys::UserContext user, ClientConfig config)
+      : AccessStrategy(conn, rules, std::move(user), config) {}
+
+  Result<ActionResult> QueryAll() override;
+  Result<ActionResult> SingleLevelExpand(int64_t node) override;
+  Result<ActionResult> MultiLevelExpand(int64_t root) override;
+
+  /// Partial multi-level expand: the subtree under `root` down to
+  /// `levels` levels, still in one round trip (the depth bound is
+  /// compiled into the recursive members).
+  Result<ActionResult> PartialExpand(int64_t root, int levels);
+
+  std::string_view name() const override { return "recursive"; }
+
+ private:
+  Result<ActionResult> RunTreeQuery(int64_t root, int max_depth);
+};
+
+}  // namespace pdm::client
+
+#endif  // PDM_CLIENT_STRATEGIES_H_

@@ -1,0 +1,96 @@
+#ifndef PDM_COMMON_STATUS_H_
+#define PDM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pdm {
+
+/// Machine-readable classification of an error carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied a bad value
+  kParseError,        // SQL text could not be parsed
+  kBindError,         // name resolution / semantic analysis failed
+  kExecutionError,    // runtime failure while evaluating a plan
+  kNotFound,          // a named entity (table, column, rule, ...) is missing
+  kAlreadyExists,     // attempt to create a duplicate entity
+  kNotImplemented,    // feature outside the supported dialect/scope
+  kInternal,          // invariant violation inside the library
+};
+
+/// Returns a stable human-readable name ("ParseError", ...) for a code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style error carrier. The library does not throw; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and carry a
+/// message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the error message with additional context; no-op on OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller.
+#define PDM_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::pdm::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_STATUS_H_

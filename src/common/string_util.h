@@ -1,0 +1,38 @@
+#ifndef PDM_COMMON_STRING_UTIL_H_
+#define PDM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdm {
+
+/// ASCII-only case mapping (SQL identifiers/keywords are ASCII).
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality, for keyword and identifier matching.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAscii(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE match: '%' = any run, '_' = any single char. Case-sensitive,
+/// no escape character (matches the dialect subset we accept).
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_STRING_UTIL_H_

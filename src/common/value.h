@@ -1,0 +1,137 @@
+#ifndef PDM_COMMON_VALUE_H_
+#define PDM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace pdm {
+
+/// Runtime type tag of a Value. NULL is modeled as its own kind so that a
+/// Value is self-describing (three-valued logic lives in the expression
+/// evaluator, see exec/expr_eval.h).
+enum class ValueKind {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view ValueKindName(ValueKind kind);
+
+/// A dynamically typed SQL value. Small, copyable, ordered and hashable;
+/// used for table cells, expression results and wire serialization.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int64(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value String(const char* v) { return String(std::string(v)); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int64() const { return kind() == ValueKind::kInt64; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  /// Accessors; the caller must check the kind first.
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric value widened to double (valid for INT64 and DOUBLE).
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64_value()) : double_value();
+  }
+
+  /// True if `a` and `b` are comparable: same kind, or both numeric.
+  static bool Comparable(const Value& a, const Value& b);
+
+  /// Three-way comparison for comparable non-NULL values:
+  /// -1, 0, +1. NULLs order first (used only for ORDER BY / DISTINCT,
+  /// where SQL NULL grouping applies; predicate NULL semantics are
+  /// handled by the evaluator).
+  static int Compare(const Value& a, const Value& b);
+
+  /// Structural equality (NULL == NULL here; this is *identity*, used by
+  /// containers — SQL equality is in the evaluator).
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+  /// Stable hash consistent with operator== (numerics hash by double
+  /// value so 1 and 1.0 collide, matching Compare).
+  size_t Hash() const;
+
+  /// Display form: NULL -> "NULL", strings unquoted.
+  std::string ToString() const;
+
+  /// SQL literal form: strings quoted with '' escaping, bools as
+  /// TRUE/FALSE. Round-trips through the parser.
+  std::string ToSqlLiteral() const;
+
+  /// Approximate serialized size in bytes on the simulated wire.
+  size_t WireSize() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Payload data) : data_(std::move(data)) {}
+
+  Payload data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// A row is a flat vector of values; schemas (catalog/schema.h) give the
+/// positions meaning.
+using Row = std::vector<Value>;
+
+/// Hash of a full row, for hash joins / DISTINCT / UNION.
+size_t HashRow(const Row& row);
+
+/// Identity-equality of full rows (NULLs compare equal, as in UNION
+/// DISTINCT / GROUP BY semantics).
+bool RowsEqual(const Row& a, const Row& b);
+
+/// Functor pair for unordered containers keyed by Row.
+struct RowHash {
+  size_t operator()(const Row& row) const { return HashRow(row); }
+};
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+};
+
+/// Functor pair for unordered containers keyed by a single Value,
+/// consistent with RowHash/RowEq (numerics compare across kinds; strings
+/// never equal numbers).
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) == 0 && a.is_string() == b.is_string();
+  }
+};
+
+}  // namespace pdm
+
+#endif  // PDM_COMMON_VALUE_H_

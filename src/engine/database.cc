@@ -1,0 +1,282 @@
+#include "engine/database.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "exec/expr_eval.h"
+#include "exec/recursive_cte.h"
+#include "sql/parser.h"
+
+namespace pdm {
+
+Database::Database() {
+  Status status = functions_.RegisterBuiltins();
+  assert(status.ok());
+  (void)status;
+}
+
+Status Database::Execute(std::string_view sql, ResultSet* out) {
+  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseSql(sql));
+  return ExecuteStatement(*stmt, out);
+}
+
+Result<ResultSet> Database::Query(std::string_view sql) {
+  ResultSet result;
+  PDM_RETURN_NOT_OK(Execute(sql, &result));
+  return result;
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  PDM_ASSIGN_OR_RETURN(std::vector<sql::StatementPtr> stmts,
+                       sql::ParseSqlScript(sql));
+  for (const sql::StatementPtr& stmt : stmts) {
+    PDM_RETURN_NOT_OK(ExecuteStatement(*stmt, nullptr));
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
+  stats_.Reset();
+  ResultSet scratch;
+  if (out == nullptr) out = &scratch;
+  out->schema = Schema();
+  out->rows.clear();
+  out->affected_rows = 0;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), out);
+    case sql::StatementKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const sql::CreateTableStmt&>(stmt), out);
+    case sql::StatementKind::kDropTable:
+      return ExecuteDropTable(static_cast<const sql::DropTableStmt&>(stmt),
+                              out);
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), out);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), out);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), out);
+    case sql::StatementKind::kCall:
+      return ExecuteCall(static_cast<const sql::CallStmt&>(stmt), out);
+    case sql::StatementKind::kExplain:
+      return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt), out);
+    case sql::StatementKind::kCreateView:
+      return ExecuteCreateView(static_cast<const sql::CreateViewStmt&>(stmt),
+                               out);
+    case sql::StatementKind::kDropView:
+      return ExecuteDropView(static_cast<const sql::DropViewStmt&>(stmt),
+                             out);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out) {
+  Binder binder(&catalog_, &functions_, options_.binder, &views_);
+  PDM_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(stmt));
+
+  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  std::map<std::string, std::vector<Row>> cte_storage;
+  PDM_RETURN_NOT_OK(MaterializeCtes(bound.ctes, &ctx, &cte_storage));
+  PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*bound.root, &ctx));
+  stats_.rows_emitted = rows.size();
+  out->schema = bound.root->schema;
+  out->rows = std::move(rows);
+  return Status::OK();
+}
+
+Status Database::ExecuteCreateTable(const sql::CreateTableStmt& stmt,
+                                    ResultSet* out) {
+  (void)out;
+  return catalog_.CreateTable(stmt.table_name, Schema(stmt.columns),
+                              stmt.if_not_exists);
+}
+
+Status Database::ExecuteDropTable(const sql::DropTableStmt& stmt,
+                                  ResultSet* out) {
+  (void)out;
+  return catalog_.DropTable(stmt.table_name, stmt.if_exists);
+}
+
+Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out) {
+  Binder binder(&catalog_, &functions_, options_.binder);
+  PDM_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
+  PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
+
+  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  Row empty;
+  for (const std::vector<BoundExprPtr>& exprs : bound.rows) {
+    Row row;
+    row.reserve(exprs.size());
+    for (const BoundExprPtr& e : exprs) {
+      PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, empty, &ctx));
+      row.push_back(std::move(v));
+    }
+    PDM_RETURN_NOT_OK(table->Insert(std::move(row)));
+    out->affected_rows++;
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out) {
+  Binder binder(&catalog_, &functions_, options_.binder);
+  PDM_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
+  PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
+  const Schema& schema = table->schema();
+
+  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+
+  // Phase 1: decide matches and compute new values against the old rows,
+  // so predicates/subqueries never observe partially applied updates.
+  struct PendingUpdate {
+    size_t row_index;
+    std::vector<Value> values;  // aligned with bound.assignments
+  };
+  std::vector<PendingUpdate> pending;
+  const std::vector<Row>& rows = table->rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (bound.predicate != nullptr) {
+      PDM_ASSIGN_OR_RETURN(bool pass,
+                           EvaluatePredicate(*bound.predicate, rows[i], &ctx));
+      if (!pass) continue;
+    }
+    PendingUpdate update;
+    update.row_index = i;
+    for (const auto& [col, expr] : bound.assignments) {
+      PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, rows[i], &ctx));
+      if (!KindFitsColumn(v.kind(), schema.column(col).type)) {
+        return Status::ExecutionError(StrFormat(
+            "UPDATE value of kind %s does not fit column '%s'",
+            std::string(ValueKindName(v.kind())).c_str(),
+            schema.column(col).name.c_str()));
+      }
+      update.values.push_back(std::move(v));
+    }
+    pending.push_back(std::move(update));
+  }
+
+  // Phase 2: apply.
+  std::vector<Row>& mutable_rows = table->mutable_rows();
+  for (const PendingUpdate& update : pending) {
+    for (size_t a = 0; a < bound.assignments.size(); ++a) {
+      mutable_rows[update.row_index][bound.assignments[a].first] =
+          update.values[a];
+    }
+  }
+  out->affected_rows = pending.size();
+  return Status::OK();
+}
+
+Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out) {
+  Binder binder(&catalog_, &functions_, options_.binder);
+  PDM_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));
+  PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
+
+  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+
+  // Phase 1: decide, phase 2: erase (see ExecuteUpdate).
+  std::vector<bool> doomed(table->num_rows(), false);
+  const std::vector<Row>& rows = table->rows();
+  size_t matched = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool pass = true;
+    if (bound.predicate != nullptr) {
+      PDM_ASSIGN_OR_RETURN(pass,
+                           EvaluatePredicate(*bound.predicate, rows[i], &ctx));
+    }
+    if (pass) {
+      doomed[i] = true;
+      ++matched;
+    }
+  }
+  std::vector<Row>& mutable_rows = table->mutable_rows();
+  std::vector<Row> kept;
+  kept.reserve(mutable_rows.size() - matched);
+  for (size_t i = 0; i < mutable_rows.size(); ++i) {
+    if (!doomed[i]) kept.push_back(std::move(mutable_rows[i]));
+  }
+  mutable_rows = std::move(kept);
+  out->affected_rows = matched;
+  return Status::OK();
+}
+
+Status Database::ExecuteCall(const sql::CallStmt& stmt, ResultSet* out) {
+  auto it = procedures_.find(ToLowerAscii(stmt.procedure_name));
+  if (it == procedures_.end()) {
+    return Status::NotFound("unknown procedure '" + stmt.procedure_name + "'");
+  }
+  Binder binder(&catalog_, &functions_, options_.binder);
+  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  Row empty;
+  std::vector<Value> args;
+  args.reserve(stmt.args.size());
+  for (const sql::ExprPtr& arg : stmt.args) {
+    PDM_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.BindConstantExpr(*arg));
+    PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*bound, empty, &ctx));
+    args.push_back(std::move(v));
+  }
+  return it->second(*this, args, out);
+}
+
+Status Database::ExecuteExplain(const sql::ExplainStmt& stmt,
+                                ResultSet* out) {
+  Binder binder(&catalog_, &functions_, options_.binder, &views_);
+  PDM_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(*stmt.select));
+
+  std::string text;
+  for (const BoundCte& cte : bound.ctes) {
+    text += std::string(cte.recursive ? "RecursiveCTE " : "CTE ") + cte.name +
+            ":\n";
+    text += cte.seed->ToString(1);
+    for (size_t i = 0; i < cte.recursive_terms.size(); ++i) {
+      text += StrFormat("  recursive term %zu:\n", i + 1);
+      text += cte.recursive_terms[i]->ToString(2);
+    }
+  }
+  text += bound.root->ToString();
+
+  out->schema = Schema({Column{"plan", ColumnType::kString}});
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    out->rows.push_back(
+        Row{Value::String(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteCreateView(const sql::CreateViewStmt& stmt,
+                                   ResultSet* out) {
+  (void)out;
+  if (catalog_.HasTable(stmt.view_name)) {
+    return Status::AlreadyExists("a table named '" + stmt.view_name +
+                                 "' already exists");
+  }
+  // Validate the definition binds against the current schema.
+  Binder binder(&catalog_, &functions_, options_.binder, &views_);
+  PDM_RETURN_NOT_OK(binder.BindSelect(*stmt.select).status().WithContext(
+      "invalid view definition"));
+  return views_.Define(stmt.view_name, stmt.select->CloneSelect(),
+                       stmt.or_replace);
+}
+
+Status Database::ExecuteDropView(const sql::DropViewStmt& stmt,
+                                 ResultSet* out) {
+  (void)out;
+  return views_.Drop(stmt.view_name, stmt.if_exists);
+}
+
+Status Database::RegisterProcedure(std::string_view name,
+                                   Procedure procedure) {
+  std::string key = ToLowerAscii(name);
+  if (procedures_.count(key) > 0) {
+    return Status::AlreadyExists("procedure '" + key + "' already registered");
+  }
+  procedures_[key] = std::move(procedure);
+  return Status::OK();
+}
+
+}  // namespace pdm

@@ -1,0 +1,102 @@
+#ifndef PDM_ENGINE_DATABASE_H_
+#define PDM_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/result_set.h"
+#include "plan/binder.h"
+#include "plan/functions.h"
+#include "plan/view_registry.h"
+#include "sql/ast.h"
+
+namespace pdm {
+
+/// Combined engine configuration: binder/optimizer switches plus
+/// execution switches. Mutable between statements; the ablation benches
+/// flip these.
+struct EngineOptions {
+  BinderOptions binder;
+  ExecOptions exec;
+};
+
+/// The embedded SQL engine: catalog + parser + binder + executor behind a
+/// textual SQL interface. This is the "relational DBMS underneath the PDM
+/// system" substrate; the simulated server (server/db_server.h) wraps one
+/// Database instance.
+class Database {
+ public:
+  /// A stored procedure: runs server-side with full engine access. Used
+  /// to implement the paper's Section 6 outlook of installing
+  /// "application-specific functionality ... at the database server".
+  using Procedure = std::function<Status(
+      Database& db, const std::vector<Value>& args, ResultSet* out)>;
+
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes one statement. `out` (optional) receives rows /
+  /// affected counts.
+  Status Execute(std::string_view sql, ResultSet* out = nullptr);
+
+  /// Execute() returning the result set.
+  Result<ResultSet> Query(std::string_view sql);
+
+  /// Executes a ';'-separated script (DDL + DML); results discarded.
+  Status ExecuteScript(std::string_view sql);
+
+  /// Executes an already-parsed statement (clients that build ASTs avoid
+  /// re-parsing; the simulated wire still ships SQL text).
+  Status ExecuteStatement(const sql::Statement& stmt, ResultSet* out);
+
+  /// Registers a scalar SQL function (see FunctionRegistry).
+  Status RegisterFunction(std::string_view name, size_t min_args,
+                          size_t max_args, ScalarFn fn) {
+    return functions_.Register(name, min_args, max_args, std::move(fn));
+  }
+
+  /// Registers a stored procedure reachable via CALL name(args).
+  Status RegisterProcedure(std::string_view name, Procedure procedure);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  FunctionRegistry& functions() { return functions_; }
+  ViewRegistry& views() { return views_; }
+  const ViewRegistry& views() const { return views_; }
+  EngineOptions& options() { return options_; }
+
+  /// Execution counters of the most recent Execute() call.
+  const ExecStats& last_stats() const { return stats_; }
+
+ private:
+  Status ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out);
+  Status ExecuteCreateTable(const sql::CreateTableStmt& stmt, ResultSet* out);
+  Status ExecuteDropTable(const sql::DropTableStmt& stmt, ResultSet* out);
+  Status ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out);
+  Status ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out);
+  Status ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out);
+  Status ExecuteCall(const sql::CallStmt& stmt, ResultSet* out);
+  Status ExecuteExplain(const sql::ExplainStmt& stmt, ResultSet* out);
+  Status ExecuteCreateView(const sql::CreateViewStmt& stmt, ResultSet* out);
+  Status ExecuteDropView(const sql::DropViewStmt& stmt, ResultSet* out);
+
+  Catalog catalog_;
+  FunctionRegistry functions_;
+  ViewRegistry views_;
+  EngineOptions options_;
+  ExecStats stats_;
+  std::map<std::string, Procedure> procedures_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_ENGINE_DATABASE_H_

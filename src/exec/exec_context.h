@@ -1,0 +1,148 @@
+#ifndef PDM_EXEC_EXEC_CONTEXT_H_
+#define PDM_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pdm {
+
+/// Execution-layer switches, toggled by the ablation benches.
+struct ExecOptions {
+  /// Evaluate recursive CTEs semi-naively (join only against the delta of
+  /// the previous iteration) instead of naively re-deriving from the full
+  /// result set each round.
+  bool semi_naive_recursion = true;
+  /// Evaluate uncorrelated subqueries once per statement and reuse the
+  /// materialized result — the paper's "intelligent query optimizer"
+  /// assumption in Section 5.3.1.
+  bool cache_uncorrelated_subqueries = true;
+  /// Hard bound on recursion rounds (defense against cyclic data under
+  /// UNION ALL semantics).
+  size_t max_recursion_iterations = 100000;
+};
+
+/// Counters accumulated while executing one statement. Exposed through
+/// Database::last_stats() and asserted on by ablation tests/benches.
+struct ExecStats {
+  size_t rows_scanned = 0;           // base-table rows touched by scans
+  size_t cte_rows_scanned = 0;       // CTE rows touched by CTE scans
+  size_t rows_emitted = 0;           // rows leaving the root operator
+  size_t recursion_iterations = 0;   // semi-naive / naive rounds
+  size_t subquery_evaluations = 0;   // subplan executions
+  size_t subquery_cache_hits = 0;    // reused uncorrelated results
+  size_t hash_join_builds = 0;       // hash tables built
+  size_t nl_join_probes = 0;         // nested-loop predicate evaluations
+  size_t index_scans = 0;            // scans answered from a column index
+  size_t index_join_probes = 0;      // hash-join probes against an index
+
+  void Reset() { *this = ExecStats{}; }
+};
+
+/// A materialized uncorrelated subquery result, with a lazily built hash
+/// set over its first column for fast IN evaluation.
+struct SubqueryResult {
+  std::vector<Row> rows;
+
+  using ValueSet = std::unordered_set<Value, ValueHash, ValueEq>;
+  /// Set of non-NULL first-column values (lazily built).
+  const ValueSet& FirstColumnSet() const {
+    if (first_col_set_ == nullptr) {
+      first_col_set_ = std::make_unique<ValueSet>();
+      first_col_set_->reserve(rows.size());
+      for (const Row& row : rows) {
+        if (row[0].is_null()) {
+          first_col_has_null_ = true;
+        } else {
+          first_col_set_->insert(row[0]);
+        }
+      }
+    }
+    return *first_col_set_;
+  }
+  /// Whether any first-column value was NULL (three-valued IN).
+  bool FirstColumnHasNull() const {
+    FirstColumnSet();
+    return first_col_has_null_;
+  }
+
+ private:
+  mutable std::unique_ptr<ValueSet> first_col_set_;
+  mutable bool first_col_has_null_ = false;
+};
+
+/// Per-statement execution state: catalog access, materialized CTE
+/// bindings, the correlation stack for subqueries, and the uncorrelated
+/// subquery cache.
+class ExecContext {
+ public:
+  ExecContext(Catalog* catalog, const ExecOptions* options, ExecStats* stats)
+      : catalog_(catalog), options_(options), stats_(stats) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  Catalog* catalog() { return catalog_; }
+  const ExecOptions& options() const { return *options_; }
+  ExecStats& stats() { return *stats_; }
+
+  /// Binds (or rebinds) the rows a CTE name resolves to. Used both for
+  /// final materialized CTEs and for the rotating delta during recursive
+  /// iteration. Rebinding invalidates the subquery cache.
+  void BindCteRows(const std::string& key, const std::vector<Row>* rows) {
+    cte_rows_[key] = rows;
+    subquery_cache_.clear();
+  }
+
+  /// Rows bound to a CTE key, or nullptr.
+  const std::vector<Row>* FindCteRows(const std::string& key) const {
+    auto it = cte_rows_.find(key);
+    return it == cte_rows_.end() ? nullptr : it->second;
+  }
+
+  // Correlation stack: subquery evaluation pushes the current outer row;
+  // BoundColumnRef{level=k>0} reads the k-th row from the top.
+  void PushOuterRow(const Row* row) { outer_rows_.push_back(row); }
+  void PopOuterRow() { outer_rows_.pop_back(); }
+  size_t outer_depth() const { return outer_rows_.size(); }
+
+  /// Outer row for correlation `level` (1-based: 1 = innermost outer).
+  const Row* OuterRow(size_t level) const {
+    if (level == 0 || level > outer_rows_.size()) return nullptr;
+    return outer_rows_[outer_rows_.size() - level];
+  }
+
+  /// Cached result of an uncorrelated subquery, keyed by the
+  /// BoundSubquery node's address.
+  const SubqueryResult* FindCachedSubquery(const void* key) const {
+    auto it = subquery_cache_.find(key);
+    return it == subquery_cache_.end() ? nullptr : &it->second;
+  }
+  const SubqueryResult* CacheSubquery(const void* key,
+                                      std::vector<Row> rows) {
+    SubqueryResult& entry = subquery_cache_[key];
+    entry = SubqueryResult();
+    entry.rows = std::move(rows);
+    return &entry;
+  }
+
+ private:
+  Catalog* catalog_;
+  const ExecOptions* options_;
+  ExecStats* stats_;
+  std::map<std::string, const std::vector<Row>*> cte_rows_;
+  std::vector<const Row*> outer_rows_;
+  std::unordered_map<const void*, SubqueryResult> subquery_cache_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_EXEC_EXEC_CONTEXT_H_

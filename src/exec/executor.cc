@@ -1,0 +1,772 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "exec/expr_eval.h"
+
+namespace pdm {
+
+namespace {
+
+/// Searches the top-level AND chain of `filter` for a
+/// `column = non-NULL-literal` conjunct usable with a column index.
+/// Returns (column, literal) of the first hit.
+std::optional<std::pair<size_t, const Value*>> FindIndexableEquality(
+    const BoundExpr& filter) {
+  if (filter.kind == BoundExprKind::kBinary) {
+    const auto& bin = static_cast<const BoundBinary&>(filter);
+    if (bin.op == sql::BinaryOp::kAnd) {
+      if (auto hit = FindIndexableEquality(*bin.lhs)) return hit;
+      return FindIndexableEquality(*bin.rhs);
+    }
+    if (bin.op == sql::BinaryOp::kEq) {
+      const BoundExpr* col = bin.lhs.get();
+      const BoundExpr* lit = bin.rhs.get();
+      if (col->kind != BoundExprKind::kColumnRef) std::swap(col, lit);
+      if (col->kind == BoundExprKind::kColumnRef &&
+          lit->kind == BoundExprKind::kLiteral) {
+        const auto& ref = static_cast<const BoundColumnRef&>(*col);
+        const auto& value = static_cast<const BoundLiteral&>(*lit);
+        if (ref.level == 0 && !value.value.is_null()) {
+          return std::make_pair(ref.index, &value.value);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Leaf operators -----------------------------------------------------------
+
+class ScanExecutor : public Executor {
+ public:
+  ScanExecutor(const ScanNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  Status Open() override {
+    PDM_ASSIGN_OR_RETURN(Table * table,
+                         ctx_->catalog()->GetTable(node_.table_name));
+    rows_ = &table->rows();
+    pos_ = 0;
+    candidates_ = nullptr;
+    // Point lookups (e.g. the navigational `link.left = <obid>`) go
+    // through the table's lazily built column index.
+    if (node_.filter != nullptr) {
+      if (auto hit = FindIndexableEquality(*node_.filter)) {
+        const Table::ColumnIndex& index = table->GetOrBuildIndex(hit->first);
+        auto it = index.find(*hit->second);
+        candidates_ = it == index.end() ? &kNoRows() : &it->second;
+        ctx_->stats().index_scans++;
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (candidates_ != nullptr) {
+      while (pos_ < candidates_->size()) {
+        const Row& candidate = (*rows_)[(*candidates_)[pos_++]];
+        ctx_->stats().rows_scanned++;
+        PDM_ASSIGN_OR_RETURN(bool pass,
+                             EvaluatePredicate(*node_.filter, candidate, ctx_));
+        if (!pass) continue;
+        *row = candidate;
+        return true;
+      }
+      return false;
+    }
+    while (pos_ < rows_->size()) {
+      const Row& candidate = (*rows_)[pos_++];
+      ctx_->stats().rows_scanned++;
+      if (node_.filter != nullptr) {
+        PDM_ASSIGN_OR_RETURN(bool pass,
+                             EvaluatePredicate(*node_.filter, candidate, ctx_));
+        if (!pass) continue;
+      }
+      *row = candidate;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static const std::vector<size_t>& kNoRows() {
+    static const std::vector<size_t>* kEmpty = new std::vector<size_t>();
+    return *kEmpty;
+  }
+
+  const ScanNode& node_;
+  ExecContext* ctx_;
+  const std::vector<Row>* rows_ = nullptr;
+  const std::vector<size_t>* candidates_ = nullptr;  // index hits, if any
+  size_t pos_ = 0;
+};
+
+class CteScanExecutor : public Executor {
+ public:
+  CteScanExecutor(const CteScanNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  Status Open() override {
+    rows_ = ctx_->FindCteRows(node_.cte_name);
+    if (rows_ == nullptr) {
+      return Status::Internal("CTE '" + node_.cte_name +
+                              "' is not materialized");
+    }
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_->size()) return false;
+    ctx_->stats().cte_rows_scanned++;
+    *row = (*rows_)[pos_++];
+    return true;
+  }
+
+ private:
+  const CteScanNode& node_;
+  ExecContext* ctx_;
+  const std::vector<Row>* rows_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// --- Row-at-a-time operators ------------------------------------------------------
+
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(const FilterNode& node, std::unique_ptr<Executor> child,
+                 ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      PDM_ASSIGN_OR_RETURN(bool pass,
+                           EvaluatePredicate(*node_.predicate, *row, ctx_));
+      if (pass) return true;
+    }
+  }
+
+ private:
+  const FilterNode& node_;
+  std::unique_ptr<Executor> child_;
+  ExecContext* ctx_;
+};
+
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(const ProjectNode& node, std::unique_ptr<Executor> child,
+                  ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    done_ = false;
+    return child_ != nullptr ? child_->Open() : Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    Row input;
+    if (child_ != nullptr) {
+      PDM_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+      if (!has) return false;
+    } else {
+      // FROM-less SELECT: exactly one empty input row.
+      if (done_) return false;
+      done_ = true;
+    }
+    row->clear();
+    row->reserve(node_.exprs.size());
+    for (const BoundExprPtr& e : node_.exprs) {
+      PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, input, ctx_));
+      row->push_back(std::move(v));
+    }
+    return true;
+  }
+
+ private:
+  const ProjectNode& node_;
+  std::unique_ptr<Executor> child_;
+  ExecContext* ctx_;
+  bool done_ = false;
+};
+
+class LimitExecutor : public Executor {
+ public:
+  LimitExecutor(const LimitNode& node, std::unique_ptr<Executor> child)
+      : node_(node), child_(std::move(child)) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (emitted_ >= node_.limit) return false;
+    PDM_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++emitted_;
+    return true;
+  }
+
+ private:
+  const LimitNode& node_;
+  std::unique_ptr<Executor> child_;
+  int64_t emitted_ = 0;
+};
+
+// --- Joins ------------------------------------------------------------------------
+
+/// Nested-loop inner join: the right side is materialized once in Open()
+/// and re-scanned per left row.
+class NestedLoopJoinExecutor : public Executor {
+ public:
+  NestedLoopJoinExecutor(const NestedLoopJoinNode& node,
+                         std::unique_ptr<Executor> left,
+                         std::unique_ptr<Executor> right, ExecContext* ctx)
+      : node_(node),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    PDM_RETURN_NOT_OK(left_->Open());
+    PDM_RETURN_NOT_OK(right_->Open());
+    right_rows_.clear();
+    Row row;
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+      if (!has) break;
+      right_rows_.push_back(row);
+    }
+    have_left_ = false;
+    right_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!have_left_) {
+        PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        have_left_ = true;
+        right_pos_ = 0;
+      }
+      while (right_pos_ < right_rows_.size()) {
+        const Row& right_row = right_rows_[right_pos_++];
+        Row combined = left_row_;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        if (node_.predicate != nullptr) {
+          ctx_->stats().nl_join_probes++;
+          PDM_ASSIGN_OR_RETURN(
+              bool pass, EvaluatePredicate(*node_.predicate, combined, ctx_));
+          if (!pass) continue;
+        }
+        *row = std::move(combined);
+        return true;
+      }
+      have_left_ = false;
+    }
+  }
+
+ private:
+  const NestedLoopJoinNode& node_;
+  std::unique_ptr<Executor> left_;
+  std::unique_ptr<Executor> right_;
+  ExecContext* ctx_;
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Hash inner join: build on the right child, probe with left rows.
+/// When the right child is a bare base-table scan and the join has a
+/// single key, the table's shared column index substitutes for the
+/// per-query build (an "index join" — this is what makes the hundreds
+/// of navigational point queries cheap, like a B-tree would in a real
+/// RDBMS).
+class HashJoinExecutor : public Executor {
+ public:
+  HashJoinExecutor(const HashJoinNode& node, std::unique_ptr<Executor> left,
+                   std::unique_ptr<Executor> right, ExecContext* ctx)
+      : node_(node),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    PDM_RETURN_NOT_OK(left_->Open());
+    table_.clear();
+    right_rows_.clear();
+    index_ = nullptr;
+    index_table_rows_ = nullptr;
+
+    if (node_.right_keys.size() == 1 &&
+        node_.right->kind == PlanKind::kScan) {
+      const auto& scan = static_cast<const ScanNode&>(*node_.right);
+      if (scan.filter == nullptr) {
+        PDM_ASSIGN_OR_RETURN(Table * table,
+                             ctx_->catalog()->GetTable(scan.table_name));
+        index_ = &table->GetOrBuildIndex(node_.right_keys[0]);
+        index_table_rows_ = &table->rows();
+      }
+    }
+    if (index_ == nullptr) {
+      PDM_RETURN_NOT_OK(right_->Open());
+      ctx_->stats().hash_join_builds++;
+      Row row;
+      while (true) {
+        PDM_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+        if (!has) break;
+        Row key = KeyOf(row, node_.right_keys);
+        // Rows with NULL key columns can never match an equi-join.
+        if (std::any_of(key.begin(), key.end(),
+                        [](const Value& v) { return v.is_null(); })) {
+          continue;
+        }
+        right_rows_.push_back(row);
+        table_[std::move(key)].push_back(right_rows_.size() - 1);
+      }
+    }
+    have_left_ = false;
+    matches_ = nullptr;
+    match_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!have_left_) {
+        PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        have_left_ = true;
+        match_pos_ = 0;
+        if (index_ != nullptr) {
+          ctx_->stats().index_join_probes++;
+          const Value& key = left_row_[node_.left_keys[0]];
+          if (key.is_null()) {
+            matches_ = nullptr;
+          } else {
+            auto it = index_->find(key);
+            matches_ = it == index_->end() ? nullptr : &it->second;
+          }
+        } else {
+          Row key = KeyOf(left_row_, node_.left_keys);
+          if (std::any_of(key.begin(), key.end(),
+                          [](const Value& v) { return v.is_null(); })) {
+            matches_ = nullptr;
+          } else {
+            auto it = table_.find(key);
+            matches_ = it == table_.end() ? nullptr : &it->second;
+          }
+        }
+      }
+      if (matches_ != nullptr) {
+        const std::vector<Row>& pool =
+            index_ != nullptr ? *index_table_rows_ : right_rows_;
+        while (match_pos_ < matches_->size()) {
+          const Row& right_row = pool[(*matches_)[match_pos_++]];
+          Row combined = left_row_;
+          combined.insert(combined.end(), right_row.begin(), right_row.end());
+          if (node_.residual != nullptr) {
+            PDM_ASSIGN_OR_RETURN(
+                bool pass, EvaluatePredicate(*node_.residual, combined, ctx_));
+            if (!pass) continue;
+          }
+          *row = std::move(combined);
+          return true;
+        }
+      }
+      have_left_ = false;
+    }
+  }
+
+ private:
+  static Row KeyOf(const Row& row, const std::vector<size_t>& keys) {
+    Row key;
+    key.reserve(keys.size());
+    for (size_t k : keys) key.push_back(row[k]);
+    return key;
+  }
+
+  const HashJoinNode& node_;
+  std::unique_ptr<Executor> left_;
+  std::unique_ptr<Executor> right_;
+  ExecContext* ctx_;
+  std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> table_;
+  std::vector<Row> right_rows_;
+  const Table::ColumnIndex* index_ = nullptr;        // index-join mode
+  const std::vector<Row>* index_table_rows_ = nullptr;
+  Row left_row_;
+  bool have_left_ = false;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+// --- Blocking operators --------------------------------------------------------------
+
+/// Hash aggregation; with no group expressions it degenerates to a scalar
+/// aggregate that emits exactly one row (even over empty input).
+class AggregateExecutor : public Executor {
+ public:
+  AggregateExecutor(const AggregateNode& node, std::unique_ptr<Executor> child,
+                    ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    PDM_RETURN_NOT_OK(child_->Open());
+    groups_.clear();
+    group_index_.clear();
+    pos_ = 0;
+
+    const size_t nagg = node_.aggregates.size();
+    Row row;
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      Row key;
+      key.reserve(node_.group_exprs.size());
+      for (const BoundExprPtr& g : node_.group_exprs) {
+        PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, row, ctx_));
+        key.push_back(std::move(v));
+      }
+      GroupState* state;
+      auto it = group_index_.find(key);
+      if (it == group_index_.end()) {
+        group_index_[key] = groups_.size();
+        groups_.push_back(GroupState{key, std::vector<AggState>(nagg)});
+        state = &groups_.back();
+      } else {
+        state = &groups_[it->second];
+      }
+      for (size_t i = 0; i < nagg; ++i) {
+        PDM_RETURN_NOT_OK(Accumulate(node_.aggregates[i], row,
+                                     &state->aggs[i]));
+      }
+    }
+
+    // Scalar aggregate over empty input: one all-default group.
+    if (node_.group_exprs.empty() && groups_.empty()) {
+      groups_.push_back(GroupState{Row{}, std::vector<AggState>(nagg)});
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (pos_ < groups_.size()) {
+      GroupState& g = groups_[pos_++];
+      Row out = g.key;
+      for (size_t i = 0; i < node_.aggregates.size(); ++i) {
+        PDM_ASSIGN_OR_RETURN(Value v,
+                             Finalize(node_.aggregates[i], g.aggs[i]));
+        out.push_back(std::move(v));
+      }
+      if (node_.having != nullptr) {
+        PDM_ASSIGN_OR_RETURN(bool pass,
+                             EvaluatePredicate(*node_.having, out, ctx_));
+        if (!pass) continue;
+      }
+      *row = std::move(out);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum_double = 0;
+    int64_t sum_int = 0;
+    bool saw_double = false;
+    Value extreme;  // MIN/MAX accumulator; starts NULL
+    std::unordered_set<Row, RowHash, RowEq> distinct_seen;
+  };
+  struct GroupState {
+    Row key;
+    std::vector<AggState> aggs;
+  };
+
+  Status Accumulate(const BoundAggregate& agg, const Row& row,
+                    AggState* state) {
+    if (agg.agg_kind == AggKind::kCountStar) {
+      state->count++;
+      return Status::OK();
+    }
+    Result<Value> v = EvaluateExpr(*agg.arg, row, ctx_);
+    if (!v.ok()) return v.status();
+    const Value& value = v.value();
+    if (value.is_null()) return Status::OK();  // aggregates skip NULLs
+    if (agg.distinct) {
+      Row key{value};
+      if (!state->distinct_seen.insert(std::move(key)).second) {
+        return Status::OK();
+      }
+    }
+    switch (agg.agg_kind) {
+      case AggKind::kCount:
+        state->count++;
+        break;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (!value.is_numeric()) {
+          return Status::ExecutionError(
+              std::string(AggKindName(agg.agg_kind)) +
+              " over non-numeric values");
+        }
+        state->count++;
+        if (value.is_double()) state->saw_double = true;
+        state->sum_double += value.AsDouble();
+        if (value.is_int64()) state->sum_int += value.int64_value();
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (state->extreme.is_null()) {
+          state->extreme = value;
+          break;
+        }
+        if (!Value::Comparable(state->extreme, value)) {
+          return Status::ExecutionError(
+              std::string(AggKindName(agg.agg_kind)) +
+              " over incomparable values");
+        }
+        int c = Value::Compare(value, state->extreme);
+        if ((agg.agg_kind == AggKind::kMin && c < 0) ||
+            (agg.agg_kind == AggKind::kMax && c > 0)) {
+          state->extreme = value;
+        }
+        break;
+      }
+      default:
+        return Status::Internal("unexpected aggregate kind");
+    }
+    return Status::OK();
+  }
+
+  Result<Value> Finalize(const BoundAggregate& agg, const AggState& state) {
+    switch (agg.agg_kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Value::Int64(state.count);
+      case AggKind::kSum:
+        if (state.count == 0) return Value::Null();
+        return state.saw_double ? Value::Double(state.sum_double)
+                                : Value::Int64(state.sum_int);
+      case AggKind::kAvg:
+        if (state.count == 0) return Value::Null();
+        return Value::Double(state.sum_double /
+                             static_cast<double>(state.count));
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return state.extreme;
+    }
+    return Status::Internal("unexpected aggregate kind");
+  }
+
+  const AggregateNode& node_;
+  std::unique_ptr<Executor> child_;
+  ExecContext* ctx_;
+  std::vector<GroupState> groups_;
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index_;
+  size_t pos_ = 0;
+};
+
+class SortExecutor : public Executor {
+ public:
+  SortExecutor(const SortNode& node, std::unique_ptr<Executor> child)
+      : node_(node), child_(std::move(child)) {}
+
+  Status Open() override {
+    PDM_RETURN_NOT_OK(child_->Open());
+    rows_.clear();
+    pos_ = 0;
+    Row row;
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      rows_.push_back(std::move(row));
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (const SortKey& key : node_.keys) {
+                         int c = Value::Compare(a[key.column], b[key.column]);
+                         if (c != 0) return key.descending ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  const SortNode& node_;
+  std::unique_ptr<Executor> child_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class DistinctExecutor : public Executor {
+ public:
+  explicit DistinctExecutor(std::unique_ptr<Executor> child)
+      : child_(std::move(child)) {}
+
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+      if (!has) return false;
+      if (seen_.insert(*row).second) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<Executor> child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+class UnionExecutor : public Executor {
+ public:
+  explicit UnionExecutor(std::vector<std::unique_ptr<Executor>> children)
+      : children_(std::move(children)) {}
+
+  Status Open() override {
+    for (std::unique_ptr<Executor>& c : children_) {
+      PDM_RETURN_NOT_OK(c->Open());
+    }
+    current_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (current_ < children_.size()) {
+      PDM_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(row));
+      if (has) return true;
+      ++current_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Executor>> children_;
+  size_t current_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Executor>> CreateExecutor(const PlanNode& plan,
+                                                 ExecContext* ctx) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return std::unique_ptr<Executor>(std::make_unique<ScanExecutor>(
+          static_cast<const ScanNode&>(plan), ctx));
+    case PlanKind::kCteScan:
+      return std::unique_ptr<Executor>(std::make_unique<CteScanExecutor>(
+          static_cast<const CteScanNode&>(plan), ctx));
+    case PlanKind::kFilter: {
+      const auto& node = static_cast<const FilterNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                           CreateExecutor(*node.child, ctx));
+      return std::unique_ptr<Executor>(
+          std::make_unique<FilterExecutor>(node, std::move(child), ctx));
+    }
+    case PlanKind::kProject: {
+      const auto& node = static_cast<const ProjectNode&>(plan);
+      std::unique_ptr<Executor> child;
+      if (node.child != nullptr) {
+        PDM_ASSIGN_OR_RETURN(child, CreateExecutor(*node.child, ctx));
+      }
+      return std::unique_ptr<Executor>(
+          std::make_unique<ProjectExecutor>(node, std::move(child), ctx));
+    }
+    case PlanKind::kNestedLoopJoin: {
+      const auto& node = static_cast<const NestedLoopJoinNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> left,
+                           CreateExecutor(*node.left, ctx));
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> right,
+                           CreateExecutor(*node.right, ctx));
+      return std::unique_ptr<Executor>(std::make_unique<NestedLoopJoinExecutor>(
+          node, std::move(left), std::move(right), ctx));
+    }
+    case PlanKind::kHashJoin: {
+      const auto& node = static_cast<const HashJoinNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> left,
+                           CreateExecutor(*node.left, ctx));
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> right,
+                           CreateExecutor(*node.right, ctx));
+      return std::unique_ptr<Executor>(std::make_unique<HashJoinExecutor>(
+          node, std::move(left), std::move(right), ctx));
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                           CreateExecutor(*node.child, ctx));
+      return std::unique_ptr<Executor>(
+          std::make_unique<AggregateExecutor>(node, std::move(child), ctx));
+    }
+    case PlanKind::kSort: {
+      const auto& node = static_cast<const SortNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                           CreateExecutor(*node.child, ctx));
+      return std::unique_ptr<Executor>(
+          std::make_unique<SortExecutor>(node, std::move(child)));
+    }
+    case PlanKind::kDistinct: {
+      const auto& node = static_cast<const DistinctNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                           CreateExecutor(*node.child, ctx));
+      return std::unique_ptr<Executor>(
+          std::make_unique<DistinctExecutor>(std::move(child)));
+    }
+    case PlanKind::kUnion: {
+      const auto& node = static_cast<const UnionNode&>(plan);
+      std::vector<std::unique_ptr<Executor>> children;
+      children.reserve(node.children.size());
+      for (const PlanPtr& c : node.children) {
+        PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                             CreateExecutor(*c, ctx));
+        children.push_back(std::move(child));
+      }
+      return std::unique_ptr<Executor>(
+          std::make_unique<UnionExecutor>(std::move(children)));
+    }
+    case PlanKind::kLimit: {
+      const auto& node = static_cast<const LimitNode&>(plan);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> child,
+                           CreateExecutor(*node.child, ctx));
+      return std::unique_ptr<Executor>(
+          std::make_unique<LimitExecutor>(node, std::move(child)));
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> executor,
+                       CreateExecutor(plan, ctx));
+  PDM_RETURN_NOT_OK(executor->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    PDM_ASSIGN_OR_RETURN(bool has, executor->Next(&row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace pdm

@@ -1,0 +1,37 @@
+#ifndef PDM_EXEC_EXECUTOR_H_
+#define PDM_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "exec/exec_context.h"
+#include "plan/plan_node.h"
+
+namespace pdm {
+
+/// Volcano-style pull iterator over a plan operator. Blocking operators
+/// (sort, aggregate, distinct, hash-join build) materialize in Open().
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Prepares the operator tree; must be called once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next row into *row; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Builds the executor tree for a plan. CTE scans resolve through the
+/// context's CTE bindings, which must be in place before Open().
+Result<std::unique_ptr<Executor>> CreateExecutor(const PlanNode& plan,
+                                                 ExecContext* ctx);
+
+/// Convenience: open and drain a plan into a row vector.
+Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace pdm
+
+#endif  // PDM_EXEC_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#ifndef PDM_EXEC_EXPR_EVAL_H_
+#define PDM_EXEC_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "common/value.h"
+#include "exec/exec_context.h"
+#include "plan/bound_expr.h"
+
+namespace pdm {
+
+/// Evaluates a bound expression against `row` (level 0) with SQL
+/// three-valued logic: NULL is represented by Value::Null(), AND/OR use
+/// Kleene semantics, comparisons with NULL yield NULL. Subqueries are
+/// executed through `ctx` (which also supplies the correlation stack and
+/// the uncorrelated-subquery cache).
+Result<Value> EvaluateExpr(const BoundExpr& expr, const Row& row,
+                           ExecContext* ctx);
+
+/// Evaluates a predicate: true only if the expression evaluates to
+/// boolean TRUE (NULL and FALSE both reject, as in SQL WHERE).
+Result<bool> EvaluatePredicate(const BoundExpr& expr, const Row& row,
+                               ExecContext* ctx);
+
+/// SQL CAST between value kinds; NULL casts to NULL.
+Result<Value> CastValue(const Value& value, ColumnType target);
+
+}  // namespace pdm
+
+#endif  // PDM_EXEC_EXPR_EVAL_H_

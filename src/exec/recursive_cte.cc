@@ -1,0 +1,126 @@
+#include "exec/recursive_cte.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+
+namespace pdm {
+
+namespace {
+
+Status EvaluateSemiNaive(const BoundCte& cte, ExecContext* ctx,
+                         std::vector<Row> seed_rows, std::vector<Row>* out) {
+  std::vector<Row> result;
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  std::vector<Row> delta;
+
+  auto admit = [&](Row row, std::vector<Row>* next_delta) {
+    if (!cte.union_all) {
+      if (!seen.insert(row).second) return;
+    }
+    result.push_back(row);
+    next_delta->push_back(std::move(row));
+  };
+
+  for (Row& row : seed_rows) admit(std::move(row), &delta);
+
+  const size_t max_iters = ctx->options().max_recursion_iterations;
+  size_t iterations = 0;
+  while (!delta.empty()) {
+    if (++iterations > max_iters) {
+      return Status::ExecutionError(
+          StrFormat("recursive CTE '%s' exceeded %zu iterations "
+                    "(cyclic data?)",
+                    cte.name.c_str(), max_iters));
+    }
+    ctx->stats().recursion_iterations++;
+    // The recursive terms see only the previous round's delta.
+    ctx->BindCteRows(cte.name, &delta);
+    std::vector<Row> next_delta;
+    for (const PlanPtr& term : cte.recursive_terms) {
+      PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*term, ctx));
+      for (Row& row : rows) admit(std::move(row), &next_delta);
+    }
+    delta = std::move(next_delta);
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status EvaluateNaive(const BoundCte& cte, ExecContext* ctx,
+                     std::vector<Row> seed_rows, std::vector<Row>* out) {
+  if (cte.union_all) {
+    // Bag-semantics recursion has no stable fixpoint test under naive
+    // evaluation; fall back to semi-naive, which is exact for it.
+    return EvaluateSemiNaive(cte, ctx, std::move(seed_rows), out);
+  }
+  std::vector<Row> result;
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  for (Row& row : seed_rows) {
+    if (seen.insert(row).second) result.push_back(std::move(row));
+  }
+
+  const size_t max_iters = ctx->options().max_recursion_iterations;
+  size_t iterations = 0;
+  while (true) {
+    if (++iterations > max_iters) {
+      return Status::ExecutionError(
+          StrFormat("recursive CTE '%s' exceeded %zu iterations "
+                    "(cyclic data?)",
+                    cte.name.c_str(), max_iters));
+    }
+    ctx->stats().recursion_iterations++;
+    ctx->BindCteRows(cte.name, &result);
+    std::vector<Row> fresh;
+    for (const PlanPtr& term : cte.recursive_terms) {
+      PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*term, ctx));
+      for (Row& row : rows) {
+        if (seen.insert(row).second) fresh.push_back(std::move(row));
+      }
+    }
+    if (fresh.empty()) break;
+    for (Row& row : fresh) result.push_back(std::move(row));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EvaluateRecursiveCte(const BoundCte& cte, ExecContext* ctx,
+                            std::vector<Row>* out) {
+  PDM_ASSIGN_OR_RETURN(std::vector<Row> seed_rows,
+                       ExecutePlan(*cte.seed, ctx));
+  Status status =
+      ctx->options().semi_naive_recursion
+          ? EvaluateSemiNaive(cte, ctx, std::move(seed_rows), out)
+          : EvaluateNaive(cte, ctx, std::move(seed_rows), out);
+  return status;
+}
+
+Status MaterializeCtes(const std::vector<BoundCte>& ctes, ExecContext* ctx,
+                       std::map<std::string, std::vector<Row>>* storage) {
+  for (const BoundCte& cte : ctes) {
+    std::vector<Row> rows;
+    if (cte.recursive) {
+      PDM_RETURN_NOT_OK(EvaluateRecursiveCte(cte, ctx, &rows));
+    } else {
+      PDM_ASSIGN_OR_RETURN(rows, ExecutePlan(*cte.seed, ctx));
+      if (!cte.union_all && cte.seed->kind == PlanKind::kUnion) {
+        // UNION-distinct semantics across seed branches.
+        std::unordered_set<Row, RowHash, RowEq> seen;
+        std::vector<Row> deduped;
+        for (Row& row : rows) {
+          if (seen.insert(row).second) deduped.push_back(std::move(row));
+        }
+        rows = std::move(deduped);
+      }
+    }
+    (*storage)[cte.name] = std::move(rows);
+    ctx->BindCteRows(cte.name, &(*storage)[cte.name]);
+  }
+  return Status::OK();
+}
+
+}  // namespace pdm

@@ -1,0 +1,164 @@
+#include "model/cost_model.h"
+
+#include <cmath>
+
+namespace pdm::model {
+
+std::string_view ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kQuery:
+      return "Query";
+    case ActionKind::kSingleLevelExpand:
+      return "Expand";
+    case ActionKind::kMultiLevelExpand:
+      return "MLE";
+  }
+  return "?";
+}
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNavigationalLate:
+      return "late eval";
+    case StrategyKind::kNavigationalEarly:
+      return "early eval";
+    case StrategyKind::kRecursive:
+      return "recursion";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Σ_{i=1..n} x^i
+double GeometricSum(double x, int n) {
+  double sum = 0;
+  double term = 1;
+  for (int i = 1; i <= n; ++i) {
+    term *= x;
+    sum += term;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double VisibleNodes(const TreeParams& tree) {
+  return GeometricSum(tree.sigma * tree.branching, tree.depth);
+}
+
+double TotalNodes(const TreeParams& tree) {
+  return GeometricSum(tree.branching, tree.depth);
+}
+
+double QueryCount(StrategyKind strategy, ActionKind action,
+                  const TreeParams& tree) {
+  if (strategy == StrategyKind::kRecursive) return 1;
+  switch (action) {
+    case ActionKind::kQuery:
+    case ActionKind::kSingleLevelExpand:
+      return 1;
+    case ActionKind::kMultiLevelExpand:
+      // One expand query per visible node plus the root (which "is
+      // already at the client" but still gets expanded).
+      return VisibleNodes(tree) + 1;
+  }
+  return 1;
+}
+
+double TransmittedNodes(StrategyKind strategy, ActionKind action,
+                        const TreeParams& tree) {
+  double sw = tree.sigma * tree.branching;
+  switch (strategy) {
+    case StrategyKind::kNavigationalLate:
+      switch (action) {
+        case ActionKind::kQuery:
+          return TotalNodes(tree);
+        case ActionKind::kSingleLevelExpand:
+          return tree.branching;
+        case ActionKind::kMultiLevelExpand:
+          // Every expanded (visible) node ships all ω children; the
+          // client filters. ω * Σ_{i=0..α-1} (σω)^i.
+          return tree.branching * (1.0 + GeometricSum(sw, tree.depth - 1));
+      }
+      break;
+    case StrategyKind::kNavigationalEarly:
+    case StrategyKind::kRecursive:
+      switch (action) {
+        case ActionKind::kQuery:
+        case ActionKind::kMultiLevelExpand:
+          return VisibleNodes(tree);
+        case ActionKind::kSingleLevelExpand:
+          return sw;
+      }
+      break;
+  }
+  return 0;
+}
+
+ResponseTime Predict(StrategyKind strategy, ActionKind action,
+                     const TreeParams& tree, const NetworkParams& net,
+                     double query_bytes) {
+  double q = QueryCount(strategy, action, tree);
+  double n_t = TransmittedNodes(strategy, action, tree);
+
+  double request_packets = q;
+  if (strategy == StrategyKind::kRecursive && query_bytes > 0) {
+    // Eq. (5): q_r = packets needed to ship the (large) recursive query.
+    request_packets = std::ceil(query_bytes / net.packet_bytes);
+  }
+
+  // Eq. (3)/(5): requests as full packets, responses as payload plus a
+  // half-filled final packet per response.
+  double vol = request_packets * net.packet_bytes + n_t * net.node_bytes +
+               request_packets * net.packet_bytes / 2.0;
+
+  ResponseTime rt;
+  rt.latency_part = 2.0 * q * net.latency_s;
+  rt.transfer_part = net.TransferSeconds(vol);
+  return rt;
+}
+
+double SavingPercent(const ResponseTime& baseline, const ResponseTime& t) {
+  double base = baseline.total();
+  if (base <= 0) return 0;
+  return (base - t.total()) / base * 100.0;
+}
+
+std::vector<TreeParams> PaperTreeScenarios() {
+  return {
+      TreeParams{3, 9, 0.6},
+      TreeParams{9, 3, 0.6},
+      TreeParams{7, 5, 0.6},
+  };
+}
+
+std::vector<NetworkParams> PaperNetworkScenarios() {
+  return {
+      NetworkParams{0.15, 256, 4096, 512},
+      NetworkParams{0.15, 512, 4096, 512},
+      NetworkParams{0.05, 1024, 4096, 512},
+  };
+}
+
+std::vector<TableCell> ComputePaperTable(StrategyKind strategy) {
+  std::vector<TableCell> cells;
+  std::vector<ActionKind> actions;
+  if (strategy == StrategyKind::kRecursive) {
+    actions = {ActionKind::kMultiLevelExpand};
+  } else {
+    actions = {ActionKind::kQuery, ActionKind::kSingleLevelExpand,
+               ActionKind::kMultiLevelExpand};
+  }
+  for (const NetworkParams& net : PaperNetworkScenarios()) {
+    for (const TreeParams& tree : PaperTreeScenarios()) {
+      for (ActionKind action : actions) {
+        cells.push_back(
+            TableCell{tree, net, action, Predict(strategy, action, tree, net)});
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace pdm::model

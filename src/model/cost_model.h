@@ -1,0 +1,114 @@
+#ifndef PDM_MODEL_COST_MODEL_H_
+#define PDM_MODEL_COST_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdm::model {
+
+/// WAN parameters as used in the paper's Section 2 (Table 1):
+/// `latency_s` = T_Lat, `dtr_kbit` = data transfer rate in kbit/s,
+/// `packet_bytes` = size_p, `node_bytes` = avg node size.
+/// Units decoded from the paper's own numbers: 1 kbit = 1024 bit,
+/// 1 kB = 1024 B.
+struct NetworkParams {
+  double latency_s = 0.15;
+  double dtr_kbit = 256;
+  double packet_bytes = 4096;
+  double node_bytes = 512;
+
+  /// Seconds to push `bytes` through the link (excluding latency).
+  double TransferSeconds(double bytes) const {
+    return bytes * 8.0 / (dtr_kbit * 1024.0);
+  }
+};
+
+/// Product-structure shape: a complete tree of depth `depth` (α) whose
+/// internal nodes have `branching` (ω) children; `sigma` (σ) is the
+/// probability that a user may see a branch (rule selectivity).
+struct TreeParams {
+  int depth = 3;       // α
+  int branching = 9;   // ω
+  double sigma = 0.6;  // σ
+};
+
+/// The paper's three user actions (Section 2).
+enum class ActionKind {
+  kQuery,             // all nodes, no structure information
+  kSingleLevelExpand, // direct children of the root
+  kMultiLevelExpand,  // the entire (visible) structure
+};
+
+/// The paper's three evaluation regimes: Table 2 / Table 3 / Table 4.
+enum class StrategyKind {
+  kNavigationalLate,   // isolated queries, rules evaluated at the client
+  kNavigationalEarly,  // isolated queries, rules pushed into WHERE
+  kRecursive,          // one recursive query + early rule evaluation
+};
+
+std::string_view ActionKindName(ActionKind kind);
+std::string_view StrategyKindName(StrategyKind kind);
+
+/// A predicted response time, split as the paper's tables print it.
+struct ResponseTime {
+  double latency_part = 0;   // c * T_Lat
+  double transfer_part = 0;  // vol / dtr
+  double total() const { return latency_part + transfer_part; }
+};
+
+/// n_v(t) = Σ_{i=1..α} (σω)^i — visible nodes below the root.
+double VisibleNodes(const TreeParams& tree);
+
+/// Σ_{i=1..α} ω^i — all nodes below the root.
+double TotalNodes(const TreeParams& tree);
+
+/// Number of queries q the strategy issues for the action. For
+/// navigational multi-level expands every visible node *including the
+/// root* is expanded once (q = n_v + 1, matching the paper's Table 2
+/// latency entries); the recursive strategy always issues one query.
+double QueryCount(StrategyKind strategy, ActionKind action,
+                  const TreeParams& tree);
+
+/// Number of nodes transmitted over the WAN (n_t in eq. (3), n_v in
+/// eq. (5)).
+double TransmittedNodes(StrategyKind strategy, ActionKind action,
+                        const TreeParams& tree);
+
+/// Full prediction per equations (1)-(6). `query_bytes` (recursive
+/// strategy only) sizes the request; the paper assumes each request fits
+/// one packet, which holds for its examples.
+ResponseTime Predict(StrategyKind strategy, ActionKind action,
+                     const TreeParams& tree, const NetworkParams& net,
+                     double query_bytes = 0);
+
+/// Percentage saving of `t` versus `baseline` (the paper's "saving in %"
+/// rows).
+double SavingPercent(const ResponseTime& baseline, const ResponseTime& t);
+
+// ---------------------------------------------------------------------------
+// The paper's evaluation grid (Tables 2-4, Figures 4-5)
+// ---------------------------------------------------------------------------
+
+/// The three tree shapes of Tables 2-4, in paper order.
+std::vector<TreeParams> PaperTreeScenarios();
+
+/// The three network configurations of Tables 2-4, in paper order.
+std::vector<NetworkParams> PaperNetworkScenarios();
+
+/// One cell of a paper table: predicted latency/transfer/total plus the
+/// value printed in the paper (for EXPERIMENTS.md comparisons).
+struct TableCell {
+  TreeParams tree;
+  NetworkParams net;
+  ActionKind action;
+  ResponseTime predicted;
+};
+
+/// All cells of Table 2 (late), Table 3 (early) or Table 4 (recursive,
+/// MLE only), in row-major paper order.
+std::vector<TableCell> ComputePaperTable(StrategyKind strategy);
+
+}  // namespace pdm::model
+
+#endif  // PDM_MODEL_COST_MODEL_H_

@@ -1,0 +1,67 @@
+#include "net/wan_model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace pdm::net {
+
+void WanStats::Add(const WanStats& other) {
+  round_trips += other.round_trips;
+  messages += other.messages;
+  request_packets += other.request_packets;
+  response_packets += other.response_packets;
+  request_payload_bytes += other.request_payload_bytes;
+  response_payload_bytes += other.response_payload_bytes;
+  charged_bytes += other.charged_bytes;
+  latency_seconds += other.latency_seconds;
+  transfer_seconds += other.transfer_seconds;
+}
+
+std::string WanStats::ToString() const {
+  return StrFormat(
+      "round_trips=%zu charged_bytes=%.0f latency=%.2fs transfer=%.2fs "
+      "total=%.2fs",
+      round_trips, charged_bytes, latency_seconds, transfer_seconds,
+      total_seconds());
+}
+
+double WanLink::RecordRoundTrip(size_t request_bytes,
+                                size_t response_payload_bytes) {
+  const double packet = static_cast<double>(config_.packet_bytes);
+  size_t req_packets = static_cast<size_t>(
+      std::max(1.0, std::ceil(static_cast<double>(request_bytes) / packet)));
+
+  double charged = 0;
+  size_t resp_packets = 0;
+  switch (config_.accounting) {
+    case Accounting::kPaperModel:
+      // Requests padded to whole packets; responses charged payload plus
+      // the expected half-filled last packet (paper eq. (3)).
+      charged = static_cast<double>(req_packets) * packet +
+                static_cast<double>(response_payload_bytes) + packet / 2.0;
+      break;
+    case Accounting::kExactPackets:
+      resp_packets = static_cast<size_t>(std::max(
+          1.0,
+          std::ceil(static_cast<double>(response_payload_bytes) / packet)));
+      charged = static_cast<double>(req_packets + resp_packets) * packet;
+      break;
+  }
+
+  double latency = 2.0 * config_.latency_s;
+  double transfer = config_.TransferSeconds(charged);
+
+  stats_.round_trips += 1;
+  stats_.messages += 2;
+  stats_.request_packets += req_packets;
+  stats_.response_packets += resp_packets;
+  stats_.request_payload_bytes += static_cast<double>(request_bytes);
+  stats_.response_payload_bytes += static_cast<double>(response_payload_bytes);
+  stats_.charged_bytes += charged;
+  stats_.latency_seconds += latency;
+  stats_.transfer_seconds += transfer;
+  return latency + transfer;
+}
+
+}  // namespace pdm::net

@@ -1,0 +1,77 @@
+#ifndef PDM_NET_WAN_MODEL_H_
+#define PDM_NET_WAN_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pdm::net {
+
+/// How message volume is charged to the link.
+enum class Accounting {
+  /// The paper's Section 2 conventions: every request is padded to whole
+  /// packets, every response is charged its payload plus half a packet
+  /// (the expected fill of the last packet).
+  kPaperModel,
+  /// Exact packetization: requests and responses are both rounded up to
+  /// whole packets (ablation; see EXPERIMENTS.md).
+  kExactPackets,
+};
+
+/// WAN link parameters. The kbit/kB units follow the paper: 1 kbit =
+/// 1024 bit, 1 kB = 1024 B (verified against its printed tables).
+struct WanConfig {
+  double latency_s = 0.15;     // one-way latency T_Lat
+  double dtr_kbit = 256;       // data transfer rate, kbit/s
+  size_t packet_bytes = 4096;  // size_p
+  Accounting accounting = Accounting::kPaperModel;
+
+  double TransferSeconds(double bytes) const {
+    return bytes * 8.0 / (dtr_kbit * 1024.0);
+  }
+};
+
+/// Accumulated traffic statistics of a simulated link. `latency_seconds`
+/// and `transfer_seconds` reproduce exactly the two-way split the
+/// paper's tables print.
+struct WanStats {
+  size_t round_trips = 0;
+  size_t messages = 0;  // 2 per round trip
+  size_t request_packets = 0;
+  size_t response_packets = 0;  // only charged in kExactPackets mode
+  double request_payload_bytes = 0;
+  double response_payload_bytes = 0;
+  double charged_bytes = 0;  // volume after packet accounting
+  double latency_seconds = 0;
+  double transfer_seconds = 0;
+
+  double total_seconds() const { return latency_seconds + transfer_seconds; }
+
+  void Add(const WanStats& other);
+  std::string ToString() const;
+};
+
+/// Deterministic WAN link simulator: turns request/response sizes into
+/// latency + transfer delay per the configured accounting and keeps
+/// cumulative statistics. This replaces the paper's Germany<->Brazil WAN.
+class WanLink {
+ public:
+  explicit WanLink(WanConfig config) : config_(config) {}
+
+  const WanConfig& config() const { return config_; }
+
+  /// Accounts one query/response exchange. `request_bytes` is the size
+  /// of the shipped SQL text, `response_payload_bytes` the serialized
+  /// result. Returns the seconds this exchange took.
+  double RecordRoundTrip(size_t request_bytes, size_t response_payload_bytes);
+
+  const WanStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = WanStats(); }
+
+ private:
+  WanConfig config_;
+  WanStats stats_;
+};
+
+}  // namespace pdm::net
+
+#endif  // PDM_NET_WAN_MODEL_H_

@@ -1,0 +1,203 @@
+#include "pdm/generator.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "pdm/pdm_schema.h"
+
+namespace pdm::pdmsys {
+
+namespace {
+
+/// Object-id layout: nodes count up from the current maximum; links and
+/// specs live in their own ranges so ids never collide across tables.
+constexpr int64_t kLinkIdBase = 1000000000;
+constexpr int64_t kSpecIdBase = 2000000000;
+
+int64_t MaxObid(const Table& table, size_t obid_col) {
+  int64_t max_id = 0;
+  for (const Row& row : table.rows()) {
+    if (row[obid_col].is_int64()) {
+      max_id = std::max(max_id, row[obid_col].int64_value());
+    }
+  }
+  return max_id;
+}
+
+const char* Material(Rng* rng) {
+  static const char* kMaterials[] = {"steel", "aluminium", "plastic",
+                                     "rubber", "copper"};
+  return kMaterials[rng->NextBelow(5)];
+}
+
+}  // namespace
+
+Result<GeneratedProduct> GenerateProduct(Database* db,
+                                         const GeneratorConfig& config) {
+  if (config.depth < 1 || config.branching < 1) {
+    return Status::InvalidArgument("depth and branching must be >= 1");
+  }
+  if (config.sigma < 0 || config.sigma > 1) {
+    return Status::InvalidArgument("sigma must be in [0, 1]");
+  }
+  PDM_RETURN_NOT_OK(InstallPdmSchema(db));
+
+  PDM_ASSIGN_OR_RETURN(Table * assy, db->catalog().GetTable(kAssyTable));
+  PDM_ASSIGN_OR_RETURN(Table * comp, db->catalog().GetTable(kCompTable));
+  PDM_ASSIGN_OR_RETURN(Table * link, db->catalog().GetTable(kLinkTable));
+  PDM_ASSIGN_OR_RETURN(Table * spec, db->catalog().GetTable(kSpecTable));
+  PDM_ASSIGN_OR_RETURN(Table * spec_by,
+                       db->catalog().GetTable(kSpecifiedByTable));
+  PDM_ASSIGN_OR_RETURN(Table * users, db->catalog().GetTable(kUsersTable));
+
+  Rng rng(config.seed);
+  GeneratedProduct out;
+  out.nodes_per_level.assign(static_cast<size_t>(config.depth) + 1, 0);
+  out.visible_per_level.assign(static_cast<size_t>(config.depth) + 1, 0);
+
+  int64_t next_node = std::max(MaxObid(*assy, 1), MaxObid(*comp, 1)) + 1;
+  int64_t next_link = std::max<int64_t>(MaxObid(*link, 1), kLinkIdBase) + 1;
+  int64_t next_spec = std::max<int64_t>(MaxObid(*spec, 1), kSpecIdBase) + 1;
+
+  const UserContext& user = config.user;
+
+  // Register the reference user (idempotent enough for experiments).
+  users->InsertUnchecked(Row{Value::String(user.name),
+                             Value::Int64(user.strc_opt),
+                             Value::Int64(user.eff_from),
+                             Value::Int64(user.eff_to)});
+
+  auto add_assy = [&](int64_t obid, bool visible) {
+    assy->InsertUnchecked(Row{
+        Value::String("assy"), Value::Int64(obid),
+        Value::String(StrFormat("Assy%lld", static_cast<long long>(obid))),
+        Value::String(rng.NextBool(0.9) ? "+" : "-"),
+        Value::String(rng.NextBool(0.8) ? "make" : "buy"),
+        Value::Double(0.1 + rng.NextDouble() * 99.9),
+        Value::String(visible ? "+" : "-"), Value::Bool(false),
+        Value::Bool(false)});
+    out.num_assemblies++;
+  };
+  auto add_comp = [&](int64_t obid, bool visible) {
+    comp->InsertUnchecked(Row{
+        Value::String("comp"), Value::Int64(obid),
+        Value::String(StrFormat("Comp%lld", static_cast<long long>(obid))),
+        Value::String(Material(&rng)),
+        Value::Double(0.01 + rng.NextDouble() * 9.99),
+        Value::String(visible ? "+" : "-"), Value::Bool(false)});
+    out.num_components++;
+    if (rng.NextBool(config.spec_fraction)) {
+      int64_t spec_id = next_spec++;
+      spec->InsertUnchecked(
+          Row{Value::String("spec"), Value::Int64(spec_id),
+              Value::String(
+                  StrFormat("Spec%lld", static_cast<long long>(spec_id))),
+              Value::Int64(rng.NextInRange(1, 5000))});
+      spec_by->InsertUnchecked(Row{Value::Int64(obid), Value::Int64(spec_id)});
+      out.num_specs++;
+    }
+  };
+
+  // Link attributes calibrated against the reference user:
+  //  pass: effectivity covers the user's window AND options overlap;
+  //  fail: alternately a disjoint effectivity or a disjoint option set.
+  size_t fail_flavor = 0;
+  auto add_link = [&](int64_t parent, int64_t child, bool pass,
+                      const char* hierarchy) {
+    int64_t eff_from = 1;
+    int64_t eff_to = 100;
+    int64_t strc = user.strc_opt;
+    if (!pass) {
+      if (fail_flavor++ % 2 == 0) {
+        eff_to = std::max<int64_t>(1, user.eff_from - 1);  // misses window
+      } else {
+        strc = user.strc_opt << 1;  // disjoint option set
+      }
+    }
+    link->InsertUnchecked(Row{Value::String("link"), Value::Int64(next_link++),
+                              Value::Int64(parent), Value::Int64(child),
+                              Value::Int64(eff_from), Value::Int64(eff_to),
+                              Value::Int64(strc),
+                              Value::String(hierarchy)});
+  };
+
+  // σ realization: error diffusion keeps the running pass rate at σ.
+  double diffusion = 0.5;
+  auto link_passes = [&]() {
+    if (config.sigma_mode == GeneratorConfig::SigmaMode::kBernoulli) {
+      return rng.NextBool(config.sigma);
+    }
+    diffusion += config.sigma;
+    if (diffusion >= 1.0) {
+      diffusion -= 1.0;
+      return true;
+    }
+    return false;
+  };
+
+  // BFS by level. The root (level 0) is always visible.
+  struct NodeRef {
+    int64_t obid;
+    bool visible;
+  };
+  out.root_obid = next_node++;
+  add_assy(out.root_obid, true);
+  out.nodes_per_level[0] = 1;
+
+  std::vector<NodeRef> frontier{{out.root_obid, true}};
+  std::vector<std::vector<int64_t>> levels{{out.root_obid}};
+  for (int level = 1; level <= config.depth; ++level) {
+    std::vector<NodeRef> next_frontier;
+    next_frontier.reserve(frontier.size() *
+                          static_cast<size_t>(config.branching));
+    std::vector<int64_t> level_obids;
+    bool children_are_leaves = level == config.depth;
+    for (const NodeRef& parent : frontier) {
+      for (int b = 0; b < config.branching; ++b) {
+        int64_t child = next_node++;
+        // Only links under visible parents consume the σ pattern: their
+        // pass/fail decides user visibility, so the per-level visible
+        // counts track the model's (σω)^i closely. Links in invisible
+        // subtrees are invisible regardless; they fail outright.
+        bool pass = parent.visible && link_passes();
+        bool visible = parent.visible && pass;
+        if (children_are_leaves) {
+          add_comp(child, visible);
+        } else {
+          add_assy(child, visible);
+        }
+        add_link(parent.obid, child, pass, kPhysicalHierarchy);
+        out.total_links++;
+        out.total_nodes++;
+        out.nodes_per_level[static_cast<size_t>(level)]++;
+        if (visible) {
+          out.visible_nodes++;
+          out.visible_per_level[static_cast<size_t>(level)]++;
+        }
+        next_frontier.push_back(NodeRef{child, visible});
+        level_obids.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+    levels.push_back(std::move(level_obids));
+  }
+
+  // Optional functional hierarchy: same level populations, parents
+  // rotated by one within each level, every link passing. The same flat
+  // data thus carries a second tree in parallel.
+  if (config.build_functional_view) {
+    for (size_t level = 1; level < levels.size(); ++level) {
+      const std::vector<int64_t>& parents = levels[level - 1];
+      const std::vector<int64_t>& children = levels[level];
+      for (size_t j = 0; j < children.size(); ++j) {
+        size_t phys_parent = j / static_cast<size_t>(config.branching);
+        size_t func_parent = (phys_parent + 1) % parents.size();
+        add_link(parents[func_parent], children[j], /*pass=*/true,
+                 kFunctionalHierarchy);
+        out.functional_links++;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pdm::pdmsys

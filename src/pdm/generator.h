@@ -1,0 +1,75 @@
+#ifndef PDM_PDM_GENERATOR_H_
+#define PDM_PDM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "pdm/user_context.h"
+
+namespace pdm::pdmsys {
+
+/// Configuration for synthetic product structures: complete ω-ary trees
+/// of depth α with per-link rule selectivity σ, mirroring the paper's
+/// evaluation parameters. This substitutes for DaimlerChrysler's
+/// proprietary product data (see DESIGN.md).
+struct GeneratorConfig {
+  int depth = 3;       // α: levels below the root
+  int branching = 9;   // ω: children per internal node
+  double sigma = 0.6;  // σ: probability a link passes the user's rules
+
+  uint64_t seed = 42;
+
+  /// How σ is realized per link:
+  ///  * kErrorDiffusion (default): a deterministic pattern whose running
+  ///    average is exactly σ — keeps simulated counts close to the
+  ///    model's (σω)^i expectations.
+  ///  * kBernoulli: independent coin flips from `seed`.
+  enum class SigmaMode { kErrorDiffusion, kBernoulli };
+  SigmaMode sigma_mode = SigmaMode::kErrorDiffusion;
+
+  /// Fraction of components that receive a specification document
+  /// (drives the ∃structure rule experiments).
+  double spec_fraction = 0.3;
+
+  /// Also emit a second, *functional* hierarchy over the same objects
+  /// (hier = 'func'): same nodes per level, shuffled parent assignment,
+  /// all links passing — the paper's "different views ... in parallel on
+  /// the same set of data".
+  bool build_functional_view = false;
+
+  /// The reference user whose option/effectivity choices the generated
+  /// link attributes are calibrated against: a link "passes" iff its
+  /// effectivity overlaps the user window AND its option set overlaps
+  /// the user's options.
+  UserContext user;
+};
+
+/// Summary of one generated product, including ground truth the
+/// experiments compare against.
+struct GeneratedProduct {
+  int64_t root_obid = 0;
+  size_t total_nodes = 0;    // nodes below the root
+  size_t total_links = 0;    // physical-hierarchy links
+  size_t functional_links = 0;
+  size_t num_assemblies = 0;  // including the root
+  size_t num_components = 0;
+  size_t num_specs = 0;
+  /// Nodes visible to the reference user (all ancestors' links pass),
+  /// excluding the root; per level and in total.
+  size_t visible_nodes = 0;
+  std::vector<size_t> nodes_per_level;    // index 1..depth
+  std::vector<size_t> visible_per_level;  // index 1..depth
+};
+
+/// Generates one complete product tree into `db` (installing the PDM
+/// schema if needed). Deterministic in the config. Internal nodes become
+/// assemblies, leaves become components; node `acc` flags materialize
+/// path visibility for the reference user (see DESIGN.md).
+Result<GeneratedProduct> GenerateProduct(Database* db,
+                                         const GeneratorConfig& config);
+
+}  // namespace pdm::pdmsys
+
+#endif  // PDM_PDM_GENERATOR_H_

@@ -1,0 +1,87 @@
+#include "pdm/pdm_schema.h"
+
+namespace pdm::pdmsys {
+
+const std::vector<std::string>& AssyColumns() {
+  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+      "type", "obid", "name",       "dec",    "make_or_buy",
+      "weight", "acc", "checkedout", "frozen",
+  };
+  return *kColumns;
+}
+
+const std::vector<std::string>& CompColumns() {
+  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+      "type", "obid", "name", "material", "weight", "acc", "checkedout",
+  };
+  return *kColumns;
+}
+
+const std::vector<std::string>& LinkColumns() {
+  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+      "type", "obid", "left",     "right",
+      "eff_from", "eff_to", "strc_opt", "hier",
+  };
+  return *kColumns;
+}
+
+const std::vector<std::string>& HomogenizedObjectColumns() {
+  // Union of assy and comp attributes, assy-first (paper Section 5.2:
+  // "a new (result-)type enfolding all attribute definitions of all
+  // object types appearing in the result").
+  static const std::vector<std::string>* kColumns = new std::vector<std::string>{
+      "type",   "obid", "name", "dec",        "make_or_buy",
+      "material", "weight", "acc", "checkedout", "frozen",
+  };
+  return *kColumns;
+}
+
+namespace {
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  for (const std::string& s : haystack) {
+    if (s == needle) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string HomogenizedValueFor(const std::string& object_table,
+                                const std::string& column) {
+  const std::vector<std::string>& have =
+      object_table == kAssyTable ? AssyColumns() : CompColumns();
+  if (Contains(have, column)) return object_table + "." + column;
+  // Attribute missing on this type: fill with a neutral value of the
+  // right kind (the paper fills with NULLs / empty strings).
+  if (column == "weight") return "cast(NULL AS double)";
+  if (column == "frozen" || column == "checkedout") {
+    return "cast(NULL AS boolean)";
+  }
+  return "''";
+}
+
+Status InstallPdmSchema(Database* db) {
+  return db->ExecuteScript(R"sql(
+    CREATE TABLE IF NOT EXISTS assy (
+      type VARCHAR, obid INTEGER, name VARCHAR, dec VARCHAR,
+      make_or_buy VARCHAR, weight DOUBLE, acc VARCHAR,
+      checkedout BOOLEAN, frozen BOOLEAN);
+    CREATE TABLE IF NOT EXISTS comp (
+      type VARCHAR, obid INTEGER, name VARCHAR, material VARCHAR,
+      weight DOUBLE, acc VARCHAR, checkedout BOOLEAN);
+    CREATE TABLE IF NOT EXISTS link (
+      type VARCHAR, obid INTEGER, left INTEGER, right INTEGER,
+      eff_from INTEGER, eff_to INTEGER, strc_opt INTEGER, hier VARCHAR);
+    CREATE TABLE IF NOT EXISTS spec (
+      type VARCHAR, obid INTEGER, title VARCHAR, doc_size INTEGER);
+    CREATE TABLE IF NOT EXISTS specified_by (left INTEGER, right INTEGER);
+    CREATE TABLE IF NOT EXISTS users (
+      name VARCHAR, strc_opt INTEGER, eff_from INTEGER, eff_to INTEGER);
+  )sql");
+}
+
+std::vector<std::string> ObjectTables() { return {kAssyTable, kCompTable}; }
+
+}  // namespace pdm::pdmsys

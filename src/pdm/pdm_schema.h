@@ -1,0 +1,54 @@
+#ifndef PDM_PDM_PDM_SCHEMA_H_
+#define PDM_PDM_PDM_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace pdm::pdmsys {
+
+/// Table names of the PDM store (the paper's Figure 2 schema, extended
+/// with the attributes its rule examples use: make_or_buy, checkedout,
+/// frozen, weight, plus an `acc` visibility flag materializing the row
+/// access rules — see DESIGN.md).
+inline constexpr char kAssyTable[] = "assy";
+inline constexpr char kCompTable[] = "comp";
+inline constexpr char kLinkTable[] = "link";
+inline constexpr char kSpecTable[] = "spec";
+inline constexpr char kSpecifiedByTable[] = "specified_by";
+inline constexpr char kUsersTable[] = "users";
+
+/// Hierarchy discriminator values on link rows. The same flat object set
+/// can carry several structures in parallel — the paper's introduction:
+/// "different hierarchical views may have to be supported in parallel on
+/// the same set of data" (designers vs engineers vs functional units).
+inline constexpr char kPhysicalHierarchy[] = "phys";
+inline constexpr char kFunctionalHierarchy[] = "func";
+
+/// Column lists (schema order) used when building homogenized queries.
+/// The CTE result type is the union of assy and comp attributes; link
+/// attributes are appended by the outer query (paper Section 5.2).
+const std::vector<std::string>& AssyColumns();
+const std::vector<std::string>& CompColumns();
+const std::vector<std::string>& LinkColumns();
+
+/// Columns of the homogenized object type (union of assy and comp).
+const std::vector<std::string>& HomogenizedObjectColumns();
+
+/// Per-column value expression when a given object table is cast into
+/// the homogenized type: the column itself when the table has it, a
+/// neutral literal otherwise. Returns SQL text.
+std::string HomogenizedValueFor(const std::string& object_table,
+                                const std::string& column);
+
+/// Creates all PDM tables in `db` (idempotent).
+Status InstallPdmSchema(Database* db);
+
+/// The object-type tables participating in product structures.
+std::vector<std::string> ObjectTables();
+
+}  // namespace pdm::pdmsys
+
+#endif  // PDM_PDM_PDM_SCHEMA_H_

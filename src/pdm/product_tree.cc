@@ -1,0 +1,134 @@
+#include "pdm/product_tree.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pdm::pdmsys {
+
+size_t ProductTree::AddNode(int64_t obid, std::string type, std::string name,
+                            std::optional<size_t> parent) {
+  auto it = by_obid_.find(obid);
+  if (it != by_obid_.end()) return it->second;
+  size_t index = nodes_.size();
+  nodes_.push_back(ProductNode{obid, std::move(type), std::move(name), parent,
+                               {}});
+  by_obid_[obid] = index;
+  if (parent.has_value()) nodes_[*parent].children.push_back(index);
+  return index;
+}
+
+std::optional<size_t> ProductTree::FindByObid(int64_t obid) const {
+  auto it = by_obid_.find(obid);
+  if (it == by_obid_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t ProductTree::Depth() const {
+  size_t max_depth = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    size_t depth = 0;
+    std::optional<size_t> cursor = nodes_[i].parent;
+    while (cursor.has_value()) {
+      ++depth;
+      cursor = nodes_[*cursor].parent;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  return max_depth;
+}
+
+std::string ProductTree::ToString(size_t max_nodes) const {
+  std::string out;
+  size_t printed = 0;
+  // Depth-first from every root (normally exactly one).
+  std::vector<std::pair<size_t, size_t>> stack;  // (index, indent)
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    if (!nodes_[i].parent.has_value()) stack.emplace_back(i, 0);
+  }
+  while (!stack.empty() && printed < max_nodes) {
+    auto [index, indent] = stack.back();
+    stack.pop_back();
+    const ProductNode& n = nodes_[index];
+    out += std::string(indent * 2, ' ') +
+           StrFormat("%s %lld (%s)\n", n.type.c_str(),
+                     static_cast<long long>(n.obid), n.name.c_str());
+    ++printed;
+    for (size_t c = n.children.size(); c-- > 0;) {
+      stack.emplace_back(n.children[c], indent + 1);
+    }
+  }
+  if (printed < nodes_.size()) {
+    out += StrFormat("... (%zu more node(s))\n", nodes_.size() - printed);
+  }
+  return out;
+}
+
+Result<ProductTree> AssembleFromHomogenized(const ResultSet& result,
+                                            int64_t root_obid) {
+  auto col = [&](const char* name) -> Result<size_t> {
+    std::optional<size_t> idx = result.schema.FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(
+          std::string("homogenized result lacks column '") + name + "'");
+    }
+    return *idx;
+  };
+  PDM_ASSIGN_OR_RETURN(size_t type_col, col("type"));
+  PDM_ASSIGN_OR_RETURN(size_t obid_col, col("obid"));
+  PDM_ASSIGN_OR_RETURN(size_t name_col, col("name"));
+  PDM_ASSIGN_OR_RETURN(size_t left_col, col("LEFT"));
+  PDM_ASSIGN_OR_RETURN(size_t right_col, col("RIGHT"));
+
+  // Pass 1: object rows (LEFT is NULL) indexed by obid.
+  struct ObjectInfo {
+    std::string type;
+    std::string name;
+  };
+  std::map<int64_t, ObjectInfo> objects;
+  std::multimap<int64_t, int64_t> edges;  // parent obid -> child obid
+  for (const Row& row : result.rows) {
+    if (row[left_col].is_null()) {
+      if (!row[obid_col].is_int64()) {
+        return Status::InvalidArgument("object row with non-integer obid");
+      }
+      objects[row[obid_col].int64_value()] =
+          ObjectInfo{row[type_col].ToString(), row[name_col].ToString()};
+    } else {
+      if (!row[left_col].is_int64() || !row[right_col].is_int64()) {
+        return Status::InvalidArgument("link row with non-integer endpoints");
+      }
+      edges.emplace(row[left_col].int64_value(),
+                    row[right_col].int64_value());
+    }
+  }
+
+  ProductTree tree;
+  auto root_it = objects.find(root_obid);
+  if (root_it == objects.end()) {
+    if (objects.empty() && edges.empty()) return tree;  // empty result
+    return Status::InvalidArgument("root object missing from result");
+  }
+
+  // Pass 2: BFS from the root along link edges.
+  size_t root_index = tree.AddNode(root_obid, root_it->second.type,
+                                   root_it->second.name, std::nullopt);
+  std::vector<std::pair<int64_t, size_t>> frontier{{root_obid, root_index}};
+  while (!frontier.empty()) {
+    std::vector<std::pair<int64_t, size_t>> next;
+    for (const auto& [obid, index] : frontier) {
+      auto [begin, end] = edges.equal_range(obid);
+      for (auto it = begin; it != end; ++it) {
+        auto child_it = objects.find(it->second);
+        if (child_it == objects.end()) continue;  // filtered-out child
+        size_t child_index = tree.AddNode(it->second, child_it->second.type,
+                                          child_it->second.name, index);
+        next.emplace_back(it->second, child_index);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return tree;
+}
+
+}  // namespace pdm::pdmsys

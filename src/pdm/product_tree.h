@@ -1,0 +1,64 @@
+#ifndef PDM_PDM_PRODUCT_TREE_H_
+#define PDM_PDM_PRODUCT_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/result_set.h"
+
+namespace pdm::pdmsys {
+
+/// One node of a client-side product structure.
+struct ProductNode {
+  int64_t obid = 0;
+  std::string type;  // "assy" / "comp"
+  std::string name;
+  std::optional<size_t> parent;  // index into the tree; nullopt for root
+  std::vector<size_t> children;  // indices into the tree
+};
+
+/// The client-side, reassembled view of (part of) a product structure —
+/// what the PDM system "retrieves, interprets, and reassembles" from the
+/// flat relational representation (paper Section 1).
+class ProductTree {
+ public:
+  ProductTree() = default;
+
+  /// Adds a node; `parent` must already exist (nullopt for the root).
+  /// Returns the node's index. Duplicate obids are ignored (returns the
+  /// existing index) — this makes assembly idempotent under UNION
+  /// semantics.
+  size_t AddNode(int64_t obid, std::string type, std::string name,
+                 std::optional<size_t> parent);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const ProductNode& node(size_t index) const { return nodes_[index]; }
+  const std::vector<ProductNode>& nodes() const { return nodes_; }
+
+  std::optional<size_t> FindByObid(int64_t obid) const;
+
+  /// Longest root-to-leaf path length (root alone = 0); 0 for empty.
+  size_t Depth() const;
+
+  /// Indented rendering for examples/debugging.
+  std::string ToString(size_t max_nodes = 50) const;
+
+ private:
+  std::vector<ProductNode> nodes_;
+  std::map<int64_t, size_t> by_obid_;
+};
+
+/// Reassembles a tree from a homogenized recursive-query result (paper
+/// Figure 3 layout): object rows carry NULL in the "LEFT" column, link
+/// rows carry LEFT/RIGHT obids. Column names are looked up in the result
+/// schema ("type", "obid", "name", "LEFT", "RIGHT" — case-insensitive).
+Result<ProductTree> AssembleFromHomogenized(const ResultSet& result,
+                                            int64_t root_obid);
+
+}  // namespace pdm::pdmsys
+
+#endif  // PDM_PDM_PRODUCT_TREE_H_

@@ -1,0 +1,22 @@
+#ifndef PDM_PDM_USER_CONTEXT_H_
+#define PDM_PDM_USER_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pdm::pdmsys {
+
+/// A PDM user's session environment: identity plus the configuration
+/// choices that drive rule evaluation — the selected structure options
+/// (a bit set, cf. paper rule example 3) and the selected effectivity
+/// window (cf. Section 3.1).
+struct UserContext {
+  std::string name = "scott";
+  int64_t strc_opt = 1;     // bit mask of selected structure options
+  int64_t eff_from = 40;    // selected effectivity window (unit numbers)
+  int64_t eff_to = 60;
+};
+
+}  // namespace pdm::pdmsys
+
+#endif  // PDM_PDM_USER_CONTEXT_H_

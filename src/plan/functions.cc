@@ -1,0 +1,233 @@
+#include "plan/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace pdm {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "COUNT(*)";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::optional<AggKind> LookupAggKind(std::string_view upper_name, bool star) {
+  if (upper_name == "COUNT") return star ? AggKind::kCountStar : AggKind::kCount;
+  if (star) return std::nullopt;
+  if (upper_name == "SUM") return AggKind::kSum;
+  if (upper_name == "AVG") return AggKind::kAvg;
+  if (upper_name == "MIN") return AggKind::kMin;
+  if (upper_name == "MAX") return AggKind::kMax;
+  return std::nullopt;
+}
+
+Status FunctionRegistry::Register(std::string_view name, size_t min_args,
+                                  size_t max_args, ScalarFn fn) {
+  std::string key = ToUpperAscii(name);
+  if (functions_.count(key) > 0) {
+    return Status::AlreadyExists("function '" + key + "' already registered");
+  }
+  functions_[key] = ScalarFunction{key, min_args, max_args, std::move(fn)};
+  return Status::OK();
+}
+
+const ScalarFunction* FunctionRegistry::Find(std::string_view name) const {
+  auto it = functions_.find(ToUpperAscii(name));
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+bool AnyNull(const std::vector<Value>& args) {
+  return std::any_of(args.begin(), args.end(),
+                     [](const Value& v) { return v.is_null(); });
+}
+
+Status NeedNumeric(std::string_view fn, const Value& v) {
+  if (!v.is_numeric()) {
+    return Status::ExecutionError(std::string(fn) +
+                                  " expects a numeric argument");
+  }
+  return Status::OK();
+}
+
+Status NeedInt(std::string_view fn, const Value& v) {
+  if (!v.is_int64()) {
+    return Status::ExecutionError(std::string(fn) +
+                                  " expects an integer argument");
+  }
+  return Status::OK();
+}
+
+Status NeedString(std::string_view fn, const Value& v) {
+  if (!v.is_string()) {
+    return Status::ExecutionError(std::string(fn) +
+                                  " expects a string argument");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FunctionRegistry::RegisterBuiltins() {
+  PDM_RETURN_NOT_OK(Register(
+      "ABS", 1, 1, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedNumeric("ABS", args[0]));
+        if (args[0].is_int64()) {
+          return Value::Int64(std::abs(args[0].int64_value()));
+        }
+        return Value::Double(std::fabs(args[0].double_value()));
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "MOD", 2, 2, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedInt("MOD", args[0]));
+        PDM_RETURN_NOT_OK(NeedInt("MOD", args[1]));
+        if (args[1].int64_value() == 0) {
+          return Status::ExecutionError("MOD by zero");
+        }
+        return Value::Int64(args[0].int64_value() % args[1].int64_value());
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "LENGTH", 1, 1, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedString("LENGTH", args[0]));
+        return Value::Int64(static_cast<int64_t>(args[0].string_value().size()));
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "UPPER", 1, 1, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedString("UPPER", args[0]));
+        return Value::String(ToUpperAscii(args[0].string_value()));
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "LOWER", 1, 1, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedString("LOWER", args[0]));
+        return Value::String(ToLowerAscii(args[0].string_value()));
+      }));
+
+  // SUBSTR(s, start [, len]) with 1-based start, as in SQL.
+  PDM_RETURN_NOT_OK(Register(
+      "SUBSTR", 2, 3, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedString("SUBSTR", args[0]));
+        PDM_RETURN_NOT_OK(NeedInt("SUBSTR", args[1]));
+        const std::string& s = args[0].string_value();
+        int64_t start = args[1].int64_value();
+        if (start < 1) start = 1;
+        size_t from = static_cast<size_t>(start - 1);
+        if (from >= s.size()) return Value::String(std::string());
+        size_t len = s.size() - from;
+        if (args.size() == 3) {
+          PDM_RETURN_NOT_OK(NeedInt("SUBSTR", args[2]));
+          int64_t want = args[2].int64_value();
+          if (want < 0) want = 0;
+          len = std::min(len, static_cast<size_t>(want));
+        }
+        return Value::String(s.substr(from, len));
+      }));
+
+  // COALESCE: first non-NULL argument.
+  PDM_RETURN_NOT_OK(Register(
+      "COALESCE", 1, 16, [](const std::vector<Value>& args) -> Result<Value> {
+        for (const Value& v : args) {
+          if (!v.is_null()) return v;
+        }
+        return Value::Null();
+      }));
+
+  // NULLIF(a, b): NULL if a == b else a.
+  PDM_RETURN_NOT_OK(Register(
+      "NULLIF", 2, 2, [](const std::vector<Value>& args) -> Result<Value> {
+        if (args[0].is_null()) return Value::Null();
+        if (!args[1].is_null() && Value::Comparable(args[0], args[1]) &&
+            Value::Compare(args[0], args[1]) == 0) {
+          return Value::Null();
+        }
+        return args[0];
+      }));
+
+  // BITAND / BITOR: the PDM layer encodes structure-option *sets* as bit
+  // masks; "overlaps" from the paper's rule example 3 becomes
+  // BITAND(rel.strc_opt, user_opt) <> 0.
+  PDM_RETURN_NOT_OK(Register(
+      "BITAND", 2, 2, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedInt("BITAND", args[0]));
+        PDM_RETURN_NOT_OK(NeedInt("BITAND", args[1]));
+        return Value::Int64(args[0].int64_value() & args[1].int64_value());
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "BITOR", 2, 2, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        PDM_RETURN_NOT_OK(NeedInt("BITOR", args[0]));
+        PDM_RETURN_NOT_OK(NeedInt("BITOR", args[1]));
+        return Value::Int64(args[0].int64_value() | args[1].int64_value());
+      }));
+
+  // OVERLAPS_RANGE(from1, to1, from2, to2): closed-interval overlap test;
+  // used for effectivity rules (paper Section 3.1).
+  PDM_RETURN_NOT_OK(Register(
+      "OVERLAPS_RANGE", 4, 4,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        for (const Value& v : args) {
+          PDM_RETURN_NOT_OK(NeedNumeric("OVERLAPS_RANGE", v));
+        }
+        bool overlaps = args[0].AsDouble() <= args[3].AsDouble() &&
+                        args[2].AsDouble() <= args[1].AsDouble();
+        return Value::Bool(overlaps);
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "GREATEST", 2, 16, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        const Value* best = &args[0];
+        for (const Value& v : args) {
+          if (!Value::Comparable(*best, v)) {
+            return Status::ExecutionError("GREATEST on incomparable values");
+          }
+          if (Value::Compare(v, *best) > 0) best = &v;
+        }
+        return *best;
+      }));
+
+  PDM_RETURN_NOT_OK(Register(
+      "LEAST", 2, 16, [](const std::vector<Value>& args) -> Result<Value> {
+        if (AnyNull(args)) return Value::Null();
+        const Value* best = &args[0];
+        for (const Value& v : args) {
+          if (!Value::Comparable(*best, v)) {
+            return Status::ExecutionError("LEAST on incomparable values");
+          }
+          if (Value::Compare(v, *best) < 0) best = &v;
+        }
+        return *best;
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace pdm

@@ -1,0 +1,73 @@
+#ifndef PDM_PLAN_FUNCTIONS_H_
+#define PDM_PLAN_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pdm {
+
+/// Aggregate function kinds supported by the engine.
+enum class AggKind {
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+std::string_view AggKindName(AggKind kind);
+
+/// Maps an (upper-cased) function name to an aggregate kind, if it is one.
+/// `star` distinguishes COUNT(*) from COUNT(expr).
+std::optional<AggKind> LookupAggKind(std::string_view upper_name, bool star);
+
+/// Signature of a scalar SQL function. Arguments arrive fully evaluated;
+/// NULL handling is up to the function (most builtins return NULL on any
+/// NULL input).
+using ScalarFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// A registered scalar function with an arity range.
+struct ScalarFunction {
+  std::string name;  // upper-cased
+  size_t min_args;
+  size_t max_args;
+  ScalarFn fn;
+};
+
+/// Registry of scalar SQL functions, shared by binder and evaluator. The
+/// engine registers the builtins (ABS, MOD, LENGTH, UPPER, LOWER, SUBSTR,
+/// COALESCE, NULLIF, BITAND, BITOR, OVERLAPS_RANGE, GREATEST, LEAST);
+/// applications may add domain functions — the paper's "stored functions
+/// … provided at the server" for transient attributes (Section 4.1).
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  /// Registers a function; name is case-insensitive. Fails on duplicates.
+  Status Register(std::string_view name, size_t min_args, size_t max_args,
+                  ScalarFn fn);
+
+  /// Finds a function by name; nullptr if absent.
+  const ScalarFunction* Find(std::string_view name) const;
+
+  /// Registers the builtin function set (idempotent per fresh registry).
+  Status RegisterBuiltins();
+
+ private:
+  std::map<std::string, ScalarFunction> functions_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PLAN_FUNCTIONS_H_

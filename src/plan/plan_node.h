@@ -1,0 +1,189 @@
+#ifndef PDM_PLAN_PLAN_NODE_H_
+#define PDM_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "plan/bound_expr.h"
+
+namespace pdm {
+
+/// Executable plan operators. The tree is produced by the Binder (plus a
+/// light optimizer pass) and interpreted by the Volcano-style executors
+/// in exec/. One node kind per physical operator.
+enum class PlanKind {
+  kScan,
+  kCteScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kHashJoin,
+  kAggregate,
+  kSort,
+  kDistinct,
+  kUnion,
+  kLimit,
+};
+
+std::string_view PlanKindName(PlanKind kind);
+
+struct PlanNode {
+  explicit PlanNode(PlanKind k) : kind(k) {}
+  virtual ~PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  /// Renders the plan tree for debugging/EXPLAIN-style tests.
+  std::string ToString(int indent = 0) const;
+
+  const PlanKind kind;
+  Schema schema;  // output schema
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Full scan of a base table, with an optional pushed-down filter
+/// evaluated against the raw table row.
+struct ScanNode : PlanNode {
+  ScanNode() : PlanNode(PlanKind::kScan) {}
+  std::string table_name;
+  BoundExprPtr filter;  // may be null
+};
+
+/// Scan of a CTE's materialized rows (or of the recursion delta while
+/// inside a recursive term's evaluation).
+struct CteScanNode : PlanNode {
+  CteScanNode() : PlanNode(PlanKind::kCteScan) {}
+  std::string cte_name;  // lower-cased key
+};
+
+struct FilterNode : PlanNode {
+  FilterNode() : PlanNode(PlanKind::kFilter) {}
+  PlanPtr child;
+  BoundExprPtr predicate;
+};
+
+struct ProjectNode : PlanNode {
+  ProjectNode() : PlanNode(PlanKind::kProject) {}
+  PlanPtr child;
+  std::vector<BoundExprPtr> exprs;
+};
+
+/// Inner join, tuple-at-a-time; output row = left row ++ right row.
+struct NestedLoopJoinNode : PlanNode {
+  NestedLoopJoinNode() : PlanNode(PlanKind::kNestedLoopJoin) {}
+  PlanPtr left;
+  PlanPtr right;
+  BoundExprPtr predicate;  // evaluated on the combined row; may be null
+};
+
+/// Equi-join: build a hash table on the right child keyed by
+/// `right_keys` (indices into the right row), probe with `left_keys`
+/// (indices into the left row). `residual` is any leftover non-equi
+/// predicate, evaluated on the combined row.
+struct HashJoinNode : PlanNode {
+  HashJoinNode() : PlanNode(PlanKind::kHashJoin) {}
+  PlanPtr left;
+  PlanPtr right;
+  std::vector<size_t> left_keys;
+  std::vector<size_t> right_keys;
+  BoundExprPtr residual;  // may be null
+};
+
+/// One aggregate computation within an AggregateNode.
+struct BoundAggregate {
+  AggKind agg_kind;
+  BoundExprPtr arg;  // null for COUNT(*)
+  bool distinct = false;
+};
+
+/// Hash aggregation. Output row = group values ++ aggregate values.
+/// With no group expressions this is a scalar aggregate producing
+/// exactly one row.
+struct AggregateNode : PlanNode {
+  AggregateNode() : PlanNode(PlanKind::kAggregate) {}
+  PlanPtr child;
+  std::vector<BoundExprPtr> group_exprs;
+  std::vector<BoundAggregate> aggregates;
+  BoundExprPtr having;  // bound against the output row; may be null
+};
+
+struct SortKey {
+  size_t column;  // index into the child's output row
+  bool descending = false;
+};
+
+struct SortNode : PlanNode {
+  SortNode() : PlanNode(PlanKind::kSort) {}
+  PlanPtr child;
+  std::vector<SortKey> keys;
+};
+
+struct DistinctNode : PlanNode {
+  DistinctNode() : PlanNode(PlanKind::kDistinct) {}
+  PlanPtr child;
+};
+
+/// Bag concatenation of the children (UNION ALL); wrap in DistinctNode
+/// for UNION.
+struct UnionNode : PlanNode {
+  UnionNode() : PlanNode(PlanKind::kUnion) {}
+  std::vector<PlanPtr> children;
+};
+
+struct LimitNode : PlanNode {
+  LimitNode() : PlanNode(PlanKind::kLimit) {}
+  PlanPtr child;
+  int64_t limit = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Bound statements
+// ---------------------------------------------------------------------------
+
+/// A bound common table expression. For a recursive CTE, `seed` is the
+/// union of the non-self-referencing terms and `recursive_terms` are the
+/// self-referencing ones; the executor runs semi-naive iteration over
+/// them (exec/recursive_cte.h). For a plain CTE only `seed` is set.
+struct BoundCte {
+  std::string name;  // lower-cased key
+  Schema schema;
+  PlanPtr seed;
+  std::vector<PlanPtr> recursive_terms;
+  bool recursive = false;
+  bool union_all = false;  // bag semantics between seed/recursive rows
+};
+
+/// A fully bound SELECT statement: CTEs (in definition order) plus the
+/// root plan. Subqueries inside expressions carry their own plans.
+struct BoundSelect {
+  std::vector<BoundCte> ctes;
+  PlanPtr root;
+};
+
+struct BoundInsert {
+  std::string table_name;
+  /// One entry per target row, each with one expression per table column
+  /// (already reordered to table schema order; missing columns = NULL
+  /// literals).
+  std::vector<std::vector<BoundExprPtr>> rows;
+};
+
+struct BoundUpdate {
+  std::string table_name;
+  /// (column index in table schema, value expression bound against the
+  /// table row at level 0).
+  std::vector<std::pair<size_t, BoundExprPtr>> assignments;
+  BoundExprPtr predicate;  // may be null
+};
+
+struct BoundDelete {
+  std::string table_name;
+  BoundExprPtr predicate;  // may be null
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PLAN_PLAN_NODE_H_

@@ -1,0 +1,38 @@
+#include "plan/view_registry.h"
+
+#include "common/string_util.h"
+
+namespace pdm {
+
+Status ViewRegistry::Define(std::string_view name,
+                            std::unique_ptr<sql::SelectStmt> select,
+                            bool or_replace) {
+  std::string key = ToLowerAscii(name);
+  if (!or_replace && views_.count(key) > 0) {
+    return Status::AlreadyExists("view '" + key + "' already exists");
+  }
+  views_[key] = std::move(select);
+  return Status::OK();
+}
+
+Status ViewRegistry::Drop(std::string_view name, bool if_exists) {
+  std::string key = ToLowerAscii(name);
+  if (views_.erase(key) == 0 && !if_exists) {
+    return Status::NotFound("view '" + key + "' does not exist");
+  }
+  return Status::OK();
+}
+
+const sql::SelectStmt* ViewRegistry::Find(std::string_view name) const {
+  auto it = views_.find(ToLowerAscii(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ViewRegistry::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, select] : views_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pdm

@@ -1,0 +1,48 @@
+#ifndef PDM_PLAN_VIEW_REGISTRY_H_
+#define PDM_PLAN_VIEW_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace pdm {
+
+/// Named views stored as ASTs and macro-expanded by the binder when they
+/// appear in FROM clauses. Views are exactly the construct the paper's
+/// Section 5.5 warns about: once (part of) a tree query hides behind a
+/// view, the query modificator can no longer inject rule predicates —
+/// QueryModificator reports this when given the view names.
+class ViewRegistry {
+ public:
+  ViewRegistry() = default;
+  ViewRegistry(const ViewRegistry&) = delete;
+  ViewRegistry& operator=(const ViewRegistry&) = delete;
+
+  /// Defines (or, with `or_replace`, redefines) a view.
+  Status Define(std::string_view name,
+                std::unique_ptr<sql::SelectStmt> select, bool or_replace);
+
+  /// Drops a view; NotFound unless `if_exists`.
+  Status Drop(std::string_view name, bool if_exists);
+
+  /// The view's definition, or nullptr.
+  const sql::SelectStmt* Find(std::string_view name) const;
+
+  /// All view names (sorted), e.g. for the modificator's hidden-
+  /// structure check.
+  std::vector<std::string> ViewNames() const;
+
+  size_t size() const { return views_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<sql::SelectStmt>> views_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_PLAN_VIEW_REGISTRY_H_

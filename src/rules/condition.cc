@@ -1,0 +1,534 @@
+#include "rules/condition.h"
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace pdm::rules {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+std::string_view ConditionClassName(ConditionClass cls) {
+  switch (cls) {
+    case ConditionClass::kRow:
+      return "row";
+    case ConditionClass::kForAllRows:
+      return "forall-rows";
+    case ConditionClass::kExistsStructure:
+      return "exists-structure";
+    case ConditionClass::kTreeAggregate:
+      return "tree-aggregate";
+  }
+  return "?";
+}
+
+namespace {
+
+/// In-place column-reference rewriting over an expression tree,
+/// descending into subqueries with `in_subquery` = true so callers can
+/// scope qualification to the outermost level only.
+template <typename Fn>
+Status MutateColumnRefs(Expr* expr, bool in_subquery, const Fn& fn);
+
+template <typename Fn>
+Status MutateQueryColumnRefs(sql::QueryExpr* query, const Fn& fn) {
+  for (sql::SelectCore& term : query->terms) {
+    for (sql::SelectItem& item : term.items) {
+      if (item.expr != nullptr) {
+        PDM_RETURN_NOT_OK(MutateColumnRefs(item.expr.get(), true, fn));
+      }
+    }
+    for (sql::FromItem& from : term.from) {
+      for (sql::JoinClause& join : from.joins) {
+        if (join.on != nullptr) {
+          PDM_RETURN_NOT_OK(MutateColumnRefs(join.on.get(), true, fn));
+        }
+      }
+    }
+    if (term.where != nullptr) {
+      PDM_RETURN_NOT_OK(MutateColumnRefs(term.where.get(), true, fn));
+    }
+    for (ExprPtr& g : term.group_by) {
+      PDM_RETURN_NOT_OK(MutateColumnRefs(g.get(), true, fn));
+    }
+    if (term.having != nullptr) {
+      PDM_RETURN_NOT_OK(MutateColumnRefs(term.having.get(), true, fn));
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Fn>
+Status MutateColumnRefs(Expr* expr, bool in_subquery, const Fn& fn) {
+  switch (expr->kind) {
+    case ExprKind::kColumnRef:
+      return fn(static_cast<sql::ColumnRefExpr*>(expr), in_subquery);
+    case ExprKind::kUnary:
+      return MutateColumnRefs(
+          static_cast<sql::UnaryExpr*>(expr)->operand.get(), in_subquery, fn);
+    case ExprKind::kBinary: {
+      auto* e = static_cast<sql::BinaryExpr*>(expr);
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->lhs.get(), in_subquery, fn));
+      return MutateColumnRefs(e->rhs.get(), in_subquery, fn);
+    }
+    case ExprKind::kFunctionCall:
+      for (ExprPtr& a : static_cast<sql::FunctionCallExpr*>(expr)->args) {
+        if (a->kind == ExprKind::kStar) continue;
+        PDM_RETURN_NOT_OK(MutateColumnRefs(a.get(), in_subquery, fn));
+      }
+      return Status::OK();
+    case ExprKind::kCast:
+      return MutateColumnRefs(static_cast<sql::CastExpr*>(expr)->operand.get(),
+                              in_subquery, fn);
+    case ExprKind::kIsNull:
+      return MutateColumnRefs(
+          static_cast<sql::IsNullExpr*>(expr)->operand.get(), in_subquery, fn);
+    case ExprKind::kInList: {
+      auto* e = static_cast<sql::InListExpr*>(expr);
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->operand.get(), in_subquery, fn));
+      for (ExprPtr& i : e->items) {
+        PDM_RETURN_NOT_OK(MutateColumnRefs(i.get(), in_subquery, fn));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kInSubquery: {
+      auto* e = static_cast<sql::InSubqueryExpr*>(expr);
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->operand.get(), in_subquery, fn));
+      return MutateQueryColumnRefs(e->subquery.get(), fn);
+    }
+    case ExprKind::kExists:
+      return MutateQueryColumnRefs(
+          static_cast<sql::ExistsExpr*>(expr)->subquery.get(), fn);
+    case ExprKind::kScalarSubquery:
+      return MutateQueryColumnRefs(
+          static_cast<sql::ScalarSubqueryExpr*>(expr)->subquery.get(), fn);
+    case ExprKind::kBetween: {
+      auto* e = static_cast<sql::BetweenExpr*>(expr);
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->operand.get(), in_subquery, fn));
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->low.get(), in_subquery, fn));
+      return MutateColumnRefs(e->high.get(), in_subquery, fn);
+    }
+    case ExprKind::kLike: {
+      auto* e = static_cast<sql::LikeExpr*>(expr);
+      PDM_RETURN_NOT_OK(MutateColumnRefs(e->operand.get(), in_subquery, fn));
+      return MutateColumnRefs(e->pattern.get(), in_subquery, fn);
+    }
+    case ExprKind::kCase: {
+      auto* e = static_cast<sql::CaseExpr*>(expr);
+      for (auto& [c, v] : e->whens) {
+        PDM_RETURN_NOT_OK(MutateColumnRefs(c.get(), in_subquery, fn));
+        PDM_RETURN_NOT_OK(MutateColumnRefs(v.get(), in_subquery, fn));
+      }
+      if (e->else_expr != nullptr) {
+        return MutateColumnRefs(e->else_expr.get(), in_subquery, fn);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Result<Value> UserVariable(const pdmsys::UserContext& user,
+                           const std::string& column) {
+  std::string key = ToLowerAscii(column);
+  if (key == "strc_opt") return Value::Int64(user.strc_opt);
+  if (key == "eff_from") return Value::Int64(user.eff_from);
+  if (key == "eff_to") return Value::Int64(user.eff_to);
+  if (key == "name") return Value::String(user.name);
+  return Status::InvalidArgument("unknown user variable '$user." + column +
+                                 "'");
+}
+
+bool IsWildcardType(const std::string& type) {
+  return type.empty() || type == "*";
+}
+
+}  // namespace
+
+namespace {
+
+/// Structural rewriting: returns a fresh tree in which `$user.x` refs
+/// become literals and (outside subqueries) unqualified refs gain the
+/// qualifier. Expressions that cannot contain column refs are cloned.
+Result<ExprPtr> RewriteExpr(const Expr& expr, const pdmsys::UserContext& user,
+                            const std::string& qualifier, bool in_subquery);
+
+Result<std::unique_ptr<sql::QueryExpr>> RewriteQuery(
+    const sql::QueryExpr& query, const pdmsys::UserContext& user) {
+  // Inside a subquery only $user substitution applies; unqualified refs
+  // belong to the subquery's own FROM tables.
+  (void)user;
+  std::unique_ptr<sql::QueryExpr> clone = query.Clone();
+  Status status = MutateQueryColumnRefs(
+      clone.get(), [&](sql::ColumnRefExpr* ref, bool) -> Status {
+        if (EqualsIgnoreCase(ref->table, "$user")) {
+          return Status::NotImplemented(
+              "$user references inside nested subqueries of rule "
+              "predicates are not supported; hoist them to the outer "
+              "predicate");
+        }
+        return Status::OK();
+      });
+  PDM_RETURN_NOT_OK(status);
+  return clone;
+}
+
+Result<ExprPtr> RewriteExpr(const Expr& expr, const pdmsys::UserContext& user,
+                            const std::string& qualifier, bool in_subquery) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const sql::ColumnRefExpr&>(expr);
+      if (EqualsIgnoreCase(ref.table, "$user")) {
+        PDM_ASSIGN_OR_RETURN(Value v, UserVariable(user, ref.column));
+        return sql::MakeLiteral(std::move(v));
+      }
+      if (!in_subquery && ref.table.empty() && !qualifier.empty()) {
+        return sql::MakeColumnRef(qualifier, ref.column);
+      }
+      return ref.Clone();
+    }
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const sql::UnaryExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      return ExprPtr(std::make_unique<sql::UnaryExpr>(e.op,
+                                                      std::move(operand)));
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const sql::BinaryExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr lhs,
+                           RewriteExpr(*e.lhs, user, qualifier, in_subquery));
+      PDM_ASSIGN_OR_RETURN(ExprPtr rhs,
+                           RewriteExpr(*e.rhs, user, qualifier, in_subquery));
+      return sql::MakeBinary(e.op, std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& e = static_cast<const sql::FunctionCallExpr&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(e.args.size());
+      for (const ExprPtr& a : e.args) {
+        if (a->kind == ExprKind::kStar) {
+          args.push_back(a->Clone());
+          continue;
+        }
+        PDM_ASSIGN_OR_RETURN(ExprPtr arg,
+                             RewriteExpr(*a, user, qualifier, in_subquery));
+        args.push_back(std::move(arg));
+      }
+      return ExprPtr(std::make_unique<sql::FunctionCallExpr>(
+          e.name, std::move(args), e.distinct));
+    }
+    case ExprKind::kCast: {
+      const auto& e = static_cast<const sql::CastExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      return ExprPtr(std::make_unique<sql::CastExpr>(std::move(operand),
+                                                     e.target_type));
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const sql::IsNullExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      return ExprPtr(std::make_unique<sql::IsNullExpr>(std::move(operand),
+                                                       e.negated));
+    }
+    case ExprKind::kInList: {
+      const auto& e = static_cast<const sql::InListExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      std::vector<ExprPtr> items;
+      items.reserve(e.items.size());
+      for (const ExprPtr& i : e.items) {
+        PDM_ASSIGN_OR_RETURN(ExprPtr item,
+                             RewriteExpr(*i, user, qualifier, in_subquery));
+        items.push_back(std::move(item));
+      }
+      return ExprPtr(std::make_unique<sql::InListExpr>(
+          std::move(operand), std::move(items), e.negated));
+    }
+    case ExprKind::kInSubquery: {
+      const auto& e = static_cast<const sql::InSubqueryExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<sql::QueryExpr> sub,
+                           RewriteQuery(*e.subquery, user));
+      return ExprPtr(std::make_unique<sql::InSubqueryExpr>(
+          std::move(operand), std::move(sub), e.negated));
+    }
+    case ExprKind::kExists: {
+      const auto& e = static_cast<const sql::ExistsExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<sql::QueryExpr> sub,
+                           RewriteQuery(*e.subquery, user));
+      return ExprPtr(std::make_unique<sql::ExistsExpr>(std::move(sub),
+                                                       e.negated));
+    }
+    case ExprKind::kScalarSubquery: {
+      const auto& e = static_cast<const sql::ScalarSubqueryExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<sql::QueryExpr> sub,
+                           RewriteQuery(*e.subquery, user));
+      return ExprPtr(std::make_unique<sql::ScalarSubqueryExpr>(std::move(sub)));
+    }
+    case ExprKind::kBetween: {
+      const auto& e = static_cast<const sql::BetweenExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      PDM_ASSIGN_OR_RETURN(ExprPtr low,
+                           RewriteExpr(*e.low, user, qualifier, in_subquery));
+      PDM_ASSIGN_OR_RETURN(ExprPtr high,
+                           RewriteExpr(*e.high, user, qualifier, in_subquery));
+      return ExprPtr(std::make_unique<sql::BetweenExpr>(
+          std::move(operand), std::move(low), std::move(high), e.negated));
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const sql::LikeExpr&>(expr);
+      PDM_ASSIGN_OR_RETURN(ExprPtr operand,
+                           RewriteExpr(*e.operand, user, qualifier,
+                                       in_subquery));
+      PDM_ASSIGN_OR_RETURN(ExprPtr pattern,
+                           RewriteExpr(*e.pattern, user, qualifier,
+                                       in_subquery));
+      return ExprPtr(std::make_unique<sql::LikeExpr>(
+          std::move(operand), std::move(pattern), e.negated));
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const sql::CaseExpr&>(expr);
+      std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+      whens.reserve(e.whens.size());
+      for (const auto& [c, v] : e.whens) {
+        PDM_ASSIGN_OR_RETURN(ExprPtr cond,
+                             RewriteExpr(*c, user, qualifier, in_subquery));
+        PDM_ASSIGN_OR_RETURN(ExprPtr val,
+                             RewriteExpr(*v, user, qualifier, in_subquery));
+        whens.emplace_back(std::move(cond), std::move(val));
+      }
+      ExprPtr else_expr;
+      if (e.else_expr != nullptr) {
+        PDM_ASSIGN_OR_RETURN(else_expr, RewriteExpr(*e.else_expr, user,
+                                                    qualifier, in_subquery));
+      }
+      return ExprPtr(std::make_unique<sql::CaseExpr>(std::move(whens),
+                                                     std::move(else_expr)));
+    }
+    default:
+      return expr.Clone();
+  }
+}
+
+}  // namespace
+
+Result<ExprPtr> InstantiatePredicate(const Expr& predicate,
+                                     const pdmsys::UserContext& user,
+                                     const std::string& qualifier) {
+  return RewriteExpr(predicate, user, qualifier, /*in_subquery=*/false);
+}
+
+// --- RowCondition ---------------------------------------------------------------
+
+Result<std::unique_ptr<RowCondition>> RowCondition::Parse(
+    std::string target_type, std::string_view predicate_sql) {
+  PDM_ASSIGN_OR_RETURN(ExprPtr predicate,
+                       sql::ParseSqlExpression(predicate_sql));
+  return std::make_unique<RowCondition>(std::move(target_type),
+                                        std::move(predicate));
+}
+
+ConditionPtr RowCondition::Clone() const {
+  return std::make_unique<RowCondition>(target_type_, predicate_->Clone());
+}
+
+std::string RowCondition::Describe() const {
+  return "row[" + target_type_ + "]: " + predicate_->ToSql();
+}
+
+// --- ExistsStructureCondition ------------------------------------------------------
+
+ConditionPtr ExistsStructureCondition::Clone() const {
+  return std::make_unique<ExistsStructureCondition>(
+      target_type_, rel_table_, other_table_,
+      other_predicate_ ? other_predicate_->Clone() : nullptr);
+}
+
+std::string ExistsStructureCondition::Describe() const {
+  return "exists-structure[" + target_type_ + "]: via " + rel_table_ +
+         " to " + other_table_;
+}
+
+Result<ExprPtr> ExistsStructureCondition::Instantiate(
+    const pdmsys::UserContext& user, const std::string& qualifier) const {
+  // EXISTS (SELECT * FROM rel JOIN other ON rel.right = other.obid
+  //         WHERE rel.left = <qualifier>.obid [AND other_pred])
+  auto subquery = std::make_unique<sql::QueryExpr>();
+  sql::SelectCore core;
+  sql::SelectItem star;
+  star.is_star = true;
+  core.items.push_back(std::move(star));
+
+  sql::FromItem from;
+  from.ref.kind = sql::TableRef::Kind::kBaseTable;
+  from.ref.table_name = rel_table_;
+  sql::JoinClause join;
+  join.ref.kind = sql::TableRef::Kind::kBaseTable;
+  join.ref.table_name = other_table_;
+  join.on = sql::MakeBinary(sql::BinaryOp::kEq,
+                            sql::MakeColumnRef(rel_table_, "right"),
+                            sql::MakeColumnRef(other_table_, "obid"));
+  from.joins.push_back(std::move(join));
+  core.from.push_back(std::move(from));
+
+  core.where = sql::MakeBinary(
+      sql::BinaryOp::kEq, sql::MakeColumnRef(rel_table_, "left"),
+      sql::MakeColumnRef(qualifier, "obid"));
+  if (other_predicate_ != nullptr) {
+    PDM_ASSIGN_OR_RETURN(ExprPtr extra, InstantiatePredicate(
+                                            *other_predicate_, user,
+                                            other_table_));
+    core.AddWherePredicate(std::move(extra));
+  }
+  subquery->terms.push_back(std::move(core));
+  return ExprPtr(std::make_unique<sql::ExistsExpr>(std::move(subquery),
+                                                   /*neg=*/false));
+}
+
+// --- ForAllRowsCondition -----------------------------------------------------------
+
+ConditionPtr ForAllRowsCondition::Clone() const {
+  if (structure_predicate_ != nullptr) {
+    auto structure = std::unique_ptr<ExistsStructureCondition>(
+        static_cast<ExistsStructureCondition*>(
+            structure_predicate_->Clone().release()));
+    return std::make_unique<ForAllRowsCondition>(node_type_filter_,
+                                                 std::move(structure));
+  }
+  return std::make_unique<ForAllRowsCondition>(node_type_filter_,
+                                               row_predicate_->Clone());
+}
+
+std::string ForAllRowsCondition::Describe() const {
+  std::string inner = structure_predicate_ != nullptr
+                          ? structure_predicate_->Describe()
+                          : row_predicate_->ToSql();
+  return "forall-rows[" + node_type_filter_ + "]: " + inner;
+}
+
+Result<ExprPtr> ForAllRowsCondition::InstantiateRowPredicate(
+    const pdmsys::UserContext& user, const std::string& qualifier) const {
+  if (structure_predicate_ != nullptr) {
+    return structure_predicate_->Instantiate(user, qualifier);
+  }
+  return InstantiatePredicate(*row_predicate_, user, qualifier);
+}
+
+Result<ExprPtr> ForAllRowsCondition::TranslateForRecursiveTable(
+    const pdmsys::UserContext& user, const std::string& rtbl_name) const {
+  // NOT EXISTS (SELECT * FROM rtbl WHERE [type = 'f' AND] NOT (row_cond))
+  PDM_ASSIGN_OR_RETURN(ExprPtr row_cond,
+                       InstantiateRowPredicate(user, rtbl_name));
+
+  auto subquery = std::make_unique<sql::QueryExpr>();
+  sql::SelectCore core;
+  sql::SelectItem star;
+  star.is_star = true;
+  core.items.push_back(std::move(star));
+  sql::FromItem from;
+  from.ref.kind = sql::TableRef::Kind::kBaseTable;
+  from.ref.table_name = rtbl_name;
+  core.from.push_back(std::move(from));
+
+  ExprPtr violation = sql::MakeNot(std::move(row_cond));
+  if (!IsWildcardType(node_type_filter_)) {
+    ExprPtr type_eq = sql::MakeBinary(
+        sql::BinaryOp::kEq, sql::MakeColumnRef(rtbl_name, "type"),
+        sql::MakeLiteral(Value::String(node_type_filter_)));
+    violation = sql::MakeBinary(sql::BinaryOp::kAnd, std::move(type_eq),
+                                std::move(violation));
+  }
+  core.where = std::move(violation);
+  subquery->terms.push_back(std::move(core));
+  return ExprPtr(
+      std::make_unique<sql::ExistsExpr>(std::move(subquery), /*neg=*/true));
+}
+
+// --- TreeAggregateCondition ----------------------------------------------------------
+
+ConditionPtr TreeAggregateCondition::Clone() const {
+  return std::make_unique<TreeAggregateCondition>(
+      agg_, attribute_, node_type_filter_, cmp_, threshold_);
+}
+
+std::string TreeAggregateCondition::Describe() const {
+  std::string call = attribute_.empty()
+                         ? "COUNT(*)"
+                         : std::string(AggKindName(agg_)) + "(" + attribute_ +
+                               ")";
+  return StrFormat("tree-aggregate[%s]: %s %s %s", node_type_filter_.c_str(),
+                   call.c_str(),
+                   std::string(sql::BinaryOpSymbol(cmp_)).c_str(),
+                   threshold_.ToSqlLiteral().c_str());
+}
+
+Result<ExprPtr> TreeAggregateCondition::TranslateForRecursiveTable(
+    const std::string& rtbl_name) const {
+  auto subquery = std::make_unique<sql::QueryExpr>();
+  sql::SelectCore core;
+
+  std::string fn_name;
+  std::vector<ExprPtr> args;
+  switch (agg_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      fn_name = "COUNT";
+      break;
+    case AggKind::kSum:
+      fn_name = "SUM";
+      break;
+    case AggKind::kAvg:
+      fn_name = "AVG";
+      break;
+    case AggKind::kMin:
+      fn_name = "MIN";
+      break;
+    case AggKind::kMax:
+      fn_name = "MAX";
+      break;
+  }
+  if (attribute_.empty()) {
+    if (agg_ != AggKind::kCountStar && agg_ != AggKind::kCount) {
+      return Status::InvalidArgument(
+          "tree-aggregate without attribute requires COUNT");
+    }
+    args.push_back(std::make_unique<sql::StarExpr>());
+  } else {
+    args.push_back(sql::MakeColumnRef(rtbl_name, attribute_));
+  }
+  sql::SelectItem item;
+  item.expr = std::make_unique<sql::FunctionCallExpr>(fn_name,
+                                                      std::move(args));
+  core.items.push_back(std::move(item));
+
+  sql::FromItem from;
+  from.ref.kind = sql::TableRef::Kind::kBaseTable;
+  from.ref.table_name = rtbl_name;
+  core.from.push_back(std::move(from));
+
+  if (!IsWildcardType(node_type_filter_)) {
+    core.where = sql::MakeBinary(
+        sql::BinaryOp::kEq, sql::MakeColumnRef(rtbl_name, "type"),
+        sql::MakeLiteral(Value::String(node_type_filter_)));
+  }
+  subquery->terms.push_back(std::move(core));
+
+  ExprPtr scalar =
+      std::make_unique<sql::ScalarSubqueryExpr>(std::move(subquery));
+  return sql::MakeBinary(cmp_, std::move(scalar),
+                         sql::MakeLiteral(threshold_));
+}
+
+}  // namespace pdm::rules

@@ -1,0 +1,213 @@
+#ifndef PDM_RULES_CONDITION_H_
+#define PDM_RULES_CONDITION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "pdm/user_context.h"
+#include "plan/functions.h"
+#include "sql/ast.h"
+
+namespace pdm::rules {
+
+/// The paper's condition classification (Figure 1): row conditions test
+/// one object; tree conditions involve the whole object tree and come in
+/// three flavors (∀rows, ∃structure, tree-aggregate).
+enum class ConditionClass {
+  kRow,
+  kForAllRows,
+  kExistsStructure,
+  kTreeAggregate,
+};
+
+std::string_view ConditionClassName(ConditionClass cls);
+
+/// Base class for rule conditions. Conditions are *templates*: their
+/// predicates may reference the user's environment through the pseudo
+/// qualifier `$user` (columns: strc_opt, eff_from, eff_to, name), which
+/// instantiation replaces with literals — the paper's "variables of the
+/// user's environment" (Section 4.1). Unqualified column references mean
+/// attributes of the tested object and get qualified with the target
+/// table (or the recursive table) at injection time.
+class RuleCondition {
+ public:
+  virtual ~RuleCondition() = default;
+  RuleCondition(const RuleCondition&) = delete;
+  RuleCondition& operator=(const RuleCondition&) = delete;
+
+  virtual ConditionClass condition_class() const = 0;
+  virtual std::unique_ptr<RuleCondition> Clone() const = 0;
+
+  /// Human-readable form, for admin tooling and error messages.
+  virtual std::string Describe() const = 0;
+
+ protected:
+  RuleCondition() = default;
+};
+
+using ConditionPtr = std::unique_ptr<RuleCondition>;
+
+/// Substitutes `$user.<attr>` references with literals from `user` and
+/// qualifies unqualified column references with `qualifier` (no-op when
+/// `qualifier` is empty). Shared by all condition translations.
+Result<sql::ExprPtr> InstantiatePredicate(const sql::Expr& predicate,
+                                          const pdmsys::UserContext& user,
+                                          const std::string& qualifier);
+
+// ---------------------------------------------------------------------------
+
+/// A row condition on one object type, e.g. the paper's example 1:
+/// assembly.make_or_buy <> 'buy'.
+class RowCondition : public RuleCondition {
+ public:
+  RowCondition(std::string target_type, sql::ExprPtr predicate)
+      : target_type_(std::move(target_type)),
+        predicate_(std::move(predicate)) {}
+
+  /// Parses the predicate from SQL text (stored rules are SQL, per
+  /// Section 4.1's translate-once design).
+  static Result<std::unique_ptr<RowCondition>> Parse(
+      std::string target_type, std::string_view predicate_sql);
+
+  ConditionClass condition_class() const override {
+    return ConditionClass::kRow;
+  }
+  ConditionPtr Clone() const override;
+  std::string Describe() const override;
+
+  const std::string& target_type() const { return target_type_; }
+
+  /// The predicate with user variables bound and object attributes
+  /// qualified by `qualifier` — ready to AND into a WHERE clause.
+  Result<sql::ExprPtr> Instantiate(const pdmsys::UserContext& user,
+                                   const std::string& qualifier) const {
+    return InstantiatePredicate(*predicate_, user, qualifier);
+  }
+
+ private:
+  std::string target_type_;  // object table, or "link" for relation rules
+  sql::ExprPtr predicate_;
+};
+
+/// ∃structure condition (paper 5.3.2): an object of type O is admitted
+/// only if related via `rel_table` to at least one row of `other_table`
+/// (optionally constrained by `other_predicate`).
+class ExistsStructureCondition : public RuleCondition {
+ public:
+  ExistsStructureCondition(std::string target_type, std::string rel_table,
+                           std::string other_table,
+                           sql::ExprPtr other_predicate = nullptr)
+      : target_type_(std::move(target_type)),
+        rel_table_(std::move(rel_table)),
+        other_table_(std::move(other_table)),
+        other_predicate_(std::move(other_predicate)) {}
+
+  ConditionClass condition_class() const override {
+    return ConditionClass::kExistsStructure;
+  }
+  ConditionPtr Clone() const override;
+  std::string Describe() const override;
+
+  const std::string& target_type() const { return target_type_; }
+
+  /// EXISTS (SELECT * FROM rel JOIN other ON rel.right = other.obid
+  ///         WHERE rel.left = <qualifier>.obid [AND other_pred])
+  Result<sql::ExprPtr> Instantiate(const pdmsys::UserContext& user,
+                                   const std::string& qualifier) const;
+
+ private:
+  std::string target_type_;
+  std::string rel_table_;
+  std::string other_table_;
+  sql::ExprPtr other_predicate_;  // over other_table rows; may be null
+};
+
+/// ∀rows condition (paper 5.3.1): every node (optionally of one type)
+/// in the tree must satisfy a row condition, else the result is empty —
+/// e.g. the paper's example 2 (check-out requires no node checked out).
+/// The inner condition may itself be an ∃structure condition — the
+/// non-trivial combination Section 5.5's remark points out.
+class ForAllRowsCondition : public RuleCondition {
+ public:
+  /// Plain form: row predicate over node attributes.
+  ForAllRowsCondition(std::string node_type_filter, sql::ExprPtr row_predicate)
+      : node_type_filter_(std::move(node_type_filter)),
+        row_predicate_(std::move(row_predicate)) {}
+
+  /// Combined form: every node of the filtered type must satisfy an
+  /// ∃structure condition.
+  ForAllRowsCondition(std::string node_type_filter,
+                      std::unique_ptr<ExistsStructureCondition> structure)
+      : node_type_filter_(std::move(node_type_filter)),
+        structure_predicate_(std::move(structure)) {}
+
+  ConditionClass condition_class() const override {
+    return ConditionClass::kForAllRows;
+  }
+  ConditionPtr Clone() const override;
+  std::string Describe() const override;
+
+  /// NOT EXISTS (SELECT * FROM <rtbl>
+  ///             WHERE [type = 'filter' AND] NOT (row_cond))
+  /// with the row condition's object references qualified by the
+  /// recursive table (the homogenized result carries the type column).
+  Result<sql::ExprPtr> TranslateForRecursiveTable(
+      const pdmsys::UserContext& user, const std::string& rtbl_name) const;
+
+  /// Evaluated client-side in the late-eval baseline: the row predicate
+  /// against one (homogenized) node row; the type filter is checked by
+  /// the caller.
+  const std::string& node_type_filter() const { return node_type_filter_; }
+  Result<sql::ExprPtr> InstantiateRowPredicate(
+      const pdmsys::UserContext& user, const std::string& qualifier) const;
+
+ private:
+  std::string node_type_filter_;  // "" or "*" = all nodes
+  sql::ExprPtr row_predicate_;    // exactly one of these two is set
+  std::unique_ptr<ExistsStructureCondition> structure_predicate_;
+};
+
+/// Tree-aggregate condition (paper 5.3.3):
+/// agg(attr over the tree['s filtered rows]) <op> threshold, e.g.
+/// count(tree(assy)) <= 10 or average(tree(assy.weight)) <= 12.
+class TreeAggregateCondition : public RuleCondition {
+ public:
+  TreeAggregateCondition(AggKind agg, std::string attribute,
+                         std::string node_type_filter, sql::BinaryOp cmp,
+                         Value threshold)
+      : agg_(agg),
+        attribute_(std::move(attribute)),
+        node_type_filter_(std::move(node_type_filter)),
+        cmp_(cmp),
+        threshold_(std::move(threshold)) {}
+
+  ConditionClass condition_class() const override {
+    return ConditionClass::kTreeAggregate;
+  }
+  ConditionPtr Clone() const override;
+  std::string Describe() const override;
+
+  AggKind agg() const { return agg_; }
+  const std::string& attribute() const { return attribute_; }
+  const std::string& node_type_filter() const { return node_type_filter_; }
+  sql::BinaryOp cmp() const { return cmp_; }
+  const Value& threshold() const { return threshold_; }
+
+  /// (SELECT AGG(attr) FROM <rtbl> [WHERE type = 'filter']) <op> threshold
+  Result<sql::ExprPtr> TranslateForRecursiveTable(
+      const std::string& rtbl_name) const;
+
+ private:
+  AggKind agg_;
+  std::string attribute_;  // empty for COUNT(*)
+  std::string node_type_filter_;
+  sql::BinaryOp cmp_;
+  Value threshold_;
+};
+
+}  // namespace pdm::rules
+
+#endif  // PDM_RULES_CONDITION_H_

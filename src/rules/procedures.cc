@@ -1,0 +1,98 @@
+#include "rules/procedures.h"
+
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "pdm/pdm_schema.h"
+#include "pdm/user_context.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+
+namespace pdm::rules {
+
+namespace {
+
+Status ExpectArgs(const std::vector<Value>& args) {
+  if (args.size() != 5 || !args[0].is_int64() || !args[1].is_string() ||
+      !args[2].is_int64() || !args[3].is_int64() || !args[4].is_int64()) {
+    return Status::InvalidArgument(
+        "expected (root INTEGER, user VARCHAR, strc_opt INTEGER, "
+        "eff_from INTEGER, eff_to INTEGER)");
+  }
+  return Status::OK();
+}
+
+/// Shared body of check-out / check-in: resolve the visible subtree
+/// server-side, flip the checkedout flags, return the object count.
+Status RunCheckFlow(Database& db, const RuleTable* rule_table,
+                    const std::vector<Value>& args, bool checking_out,
+                    ResultSet* out) {
+  PDM_RETURN_NOT_OK(ExpectArgs(args));
+  int64_t root = args[0].int64_value();
+  pdmsys::UserContext user;
+  user.name = args[1].string_value();
+  user.strc_opt = args[2].int64_value();
+  user.eff_from = args[3].int64_value();
+  user.eff_to = args[4].int64_value();
+
+  std::unique_ptr<sql::SelectStmt> stmt = BuildRecursiveTreeQuery(root);
+  QueryModificator modificator(rule_table, user);
+  RuleAction action =
+      checking_out ? RuleAction::kCheckOut : RuleAction::kCheckIn;
+  PDM_RETURN_NOT_OK(
+      modificator.ApplyToRecursiveQuery(stmt.get(), action).status());
+
+  ResultSet tree;
+  PDM_RETURN_NOT_OK(db.ExecuteStatement(*stmt, &tree));
+
+  // Collect object obids grouped by type (object rows have NULL LEFT).
+  std::optional<size_t> type_col = tree.schema.FindColumn("type");
+  std::optional<size_t> obid_col = tree.schema.FindColumn("obid");
+  std::optional<size_t> left_col = tree.schema.FindColumn("LEFT");
+  if (!type_col || !obid_col || !left_col) {
+    return Status::Internal("homogenized result misses expected columns");
+  }
+  std::map<std::string, std::vector<int64_t>> by_type;
+  for (const Row& row : tree.rows) {
+    if (!row[*left_col].is_null()) continue;  // link row
+    by_type[row[*type_col].ToString()].push_back(
+        row[*obid_col].int64_value());
+  }
+
+  size_t flipped = 0;
+  for (const auto& [type, obids] : by_type) {
+    if (obids.empty()) continue;
+    std::unique_ptr<sql::Statement> update =
+        BuildCheckOutUpdate(type, obids, checking_out);
+    ResultSet ack;
+    PDM_RETURN_NOT_OK(db.ExecuteStatement(*update, &ack));
+    flipped += ack.affected_rows;
+  }
+
+  out->schema = Schema({Column{
+      checking_out ? "checked_out" : "checked_in", ColumnType::kInt64}});
+  out->rows = {Row{Value::Int64(static_cast<int64_t>(flipped))}};
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterPdmProcedures(Database* db, const RuleTable* rule_table) {
+  PDM_RETURN_NOT_OK(db->RegisterProcedure(
+      "pdm_checkout",
+      [rule_table](Database& inner, const std::vector<Value>& args,
+                   ResultSet* out) {
+        return RunCheckFlow(inner, rule_table, args, /*checking_out=*/true,
+                            out);
+      }));
+  return db->RegisterProcedure(
+      "pdm_checkin",
+      [rule_table](Database& inner, const std::vector<Value>& args,
+                   ResultSet* out) {
+        return RunCheckFlow(inner, rule_table, args, /*checking_out=*/false,
+                            out);
+      });
+}
+
+}  // namespace pdm::rules

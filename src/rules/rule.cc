@@ -1,0 +1,43 @@
+#include "rules/rule.h"
+
+#include "common/string_util.h"
+
+namespace pdm::rules {
+
+std::string_view RuleActionName(RuleAction action) {
+  switch (action) {
+    case RuleAction::kAccess:
+      return "access";
+    case RuleAction::kQuery:
+      return "query";
+    case RuleAction::kExpand:
+      return "expand";
+    case RuleAction::kMultiLevelExpand:
+      return "multi-level-expand";
+    case RuleAction::kCheckOut:
+      return "check-out";
+    case RuleAction::kCheckIn:
+      return "check-in";
+  }
+  return "?";
+}
+
+std::vector<const Rule*> RuleTable::FetchRelevant(
+    std::string_view user, RuleAction action,
+    std::optional<ConditionClass> cls,
+    std::optional<std::string_view> object_type) const {
+  std::vector<const Rule*> out;
+  for (const Rule& rule : rules_) {
+    if (rule.user != "*" && !EqualsIgnoreCase(rule.user, user)) continue;
+    if (rule.action != action && rule.action != RuleAction::kAccess) continue;
+    if (cls.has_value() && rule.condition->condition_class() != *cls) continue;
+    if (object_type.has_value() && rule.object_type != "*" &&
+        !EqualsIgnoreCase(rule.object_type, *object_type)) {
+      continue;
+    }
+    out.push_back(&rule);
+  }
+  return out;
+}
+
+}  // namespace pdm::rules

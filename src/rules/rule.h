@@ -1,0 +1,74 @@
+#ifndef PDM_RULES_RULE_H_
+#define PDM_RULES_RULE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules/condition.h"
+
+namespace pdm::rules {
+
+/// PDM user actions constrained by message access rules (Section 3.1).
+/// kAccess is the generic "may traverse/see this object" message that
+/// structure options and effectivities translate into (rule example 3);
+/// it is consulted by every retrieval action.
+enum class RuleAction {
+  kAccess,
+  kQuery,
+  kExpand,
+  kMultiLevelExpand,
+  kCheckOut,
+  kCheckIn,
+};
+
+std::string_view RuleActionName(RuleAction action);
+
+/// The paper's rule 4-tuple: a `user` is permitted to perform `action`
+/// on instances of `object_type` if `condition` is met. "*" wildcards
+/// match any user/type.
+struct Rule {
+  std::string user = "*";
+  RuleAction action = RuleAction::kAccess;
+  std::string object_type = "*";
+  ConditionPtr condition;
+
+  Rule Clone() const {
+    Rule out;
+    out.user = user;
+    out.action = action;
+    out.object_type = object_type;
+    out.condition = condition->Clone();
+    return out;
+  }
+};
+
+/// The client-resident store of translated rules (Section 5.5: rules are
+/// translated into their SQL-conformal representation once, when defined,
+/// and kept "in an appropriate data structure ... at each client").
+class RuleTable {
+ public:
+  RuleTable() = default;
+  RuleTable(const RuleTable&) = delete;
+  RuleTable& operator=(const RuleTable&) = delete;
+
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  size_t size() const { return rules_.size(); }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// "Relevant" rules per the paper's footnote 9: matching user, action
+  /// and (if given) object type / condition class. kAccess rules are
+  /// relevant to every retrieval action.
+  std::vector<const Rule*> FetchRelevant(
+      std::string_view user, RuleAction action,
+      std::optional<ConditionClass> cls = std::nullopt,
+      std::optional<std::string_view> object_type = std::nullopt) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace pdm::rules
+
+#endif  // PDM_RULES_RULE_H_

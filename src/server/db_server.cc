@@ -1,0 +1,28 @@
+#include "server/db_server.h"
+
+namespace pdm {
+
+Status DbServer::Execute(std::string_view sql, ResultSet* out,
+                         size_t* response_bytes) {
+  ResultSet scratch;
+  if (out == nullptr) out = &scratch;
+  PDM_RETURN_NOT_OK(db_.Execute(sql, out));
+  size_t bytes = ResponseBytes(*out);
+  if (response_bytes != nullptr) *response_bytes = bytes;
+  if (log_enabled_) {
+    statement_log_.push_back(StatementLogEntry{
+        std::string(sql), out->num_rows(), out->affected_rows, bytes});
+  }
+  return Status::OK();
+}
+
+size_t DbServer::ResponseBytes(const ResultSet& result) const {
+  if (config_.fixed_row_bytes > 0) {
+    // DML acks and empty results still occupy a minimal frame.
+    if (result.rows.empty()) return 64;
+    return result.rows.size() * config_.fixed_row_bytes;
+  }
+  return result.WireSize() + 64;
+}
+
+}  // namespace pdm

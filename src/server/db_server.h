@@ -1,0 +1,71 @@
+#ifndef PDM_SERVER_DB_SERVER_H_
+#define PDM_SERVER_DB_SERVER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "exec/result_set.h"
+
+namespace pdm {
+
+/// The database server endpoint of the simulated client/server system.
+/// Owns the Database, executes SQL text arriving "over the wire" and
+/// sizes the serialized response.
+///
+/// Response sizing: with `fixed_row_bytes` > 0, every result row is
+/// charged that many bytes — this mirrors the paper's "average size of a
+/// node" accounting (512 B). With 0, realistic per-value wire sizes are
+/// used instead (ablation).
+class DbServer {
+ public:
+  struct Config {
+    size_t fixed_row_bytes = 0;  // 0 = realistic serialization
+  };
+
+  /// One executed statement, as observed at the server boundary.
+  struct StatementLogEntry {
+    std::string sql;
+    size_t result_rows = 0;
+    size_t affected_rows = 0;
+    size_t response_bytes = 0;
+  };
+
+  DbServer() = default;
+  explicit DbServer(Config config) : config_(config) {}
+
+  DbServer(const DbServer&) = delete;
+  DbServer& operator=(const DbServer&) = delete;
+
+  /// Executes one statement arriving as SQL text; fills `out` and
+  /// `response_bytes` (serialized size under the configured policy).
+  Status Execute(std::string_view sql, ResultSet* out,
+                 size_t* response_bytes);
+
+  /// Serialized size of a result set under this server's policy.
+  size_t ResponseBytes(const ResultSet& result) const;
+
+  Database& database() { return db_; }
+  const Config& config() const { return config_; }
+  Config& mutable_config() { return config_; }
+
+  /// Statement logging (off by default): records every statement that
+  /// arrives over the wire — the tool a DBA would use to diagnose the
+  /// paper's "series of isolated SQL queries" problem.
+  void EnableStatementLog(bool enable) { log_enabled_ = enable; }
+  const std::vector<StatementLogEntry>& statement_log() const {
+    return statement_log_;
+  }
+  void ClearStatementLog() { statement_log_.clear(); }
+
+ private:
+  Config config_;
+  Database db_;
+  bool log_enabled_ = false;
+  std::vector<StatementLogEntry> statement_log_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_SERVER_DB_SERVER_H_

@@ -1,0 +1,530 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace pdm::sql {
+
+namespace {
+
+/// Parenthesizes subexpressions conservatively: any non-leaf operand is
+/// wrapped. Keeps rendering simple and unambiguous; the engine never
+/// depends on minimal parentheses.
+std::string Paren(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+    case ExprKind::kFunctionCall:
+    case ExprKind::kCast:
+    case ExprKind::kScalarSubquery:
+      return e.ToSql();
+    default:
+      return "(" + e.ToSql() + ")";
+  }
+}
+
+std::vector<ExprPtr> CloneAll(const std::vector<ExprPtr>& exprs) {
+  std::vector<ExprPtr> out;
+  out.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) out.push_back(e->Clone());
+  return out;
+}
+
+}  // namespace
+
+std::string_view BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "<>";
+    case BinaryOp::kLess:
+      return "<";
+    case BinaryOp::kLessEq:
+      return "<=";
+    case BinaryOp::kGreater:
+      return ">";
+    case BinaryOp::kGreaterEq:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+// --- Expr rendering / cloning ---------------------------------------------
+
+std::string LiteralExpr::ToSql() const { return value.ToSqlLiteral(); }
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+std::string ColumnRefExpr::ToSql() const {
+  return table.empty() ? column : table + "." + column;
+}
+ExprPtr ColumnRefExpr::Clone() const {
+  return std::make_unique<ColumnRefExpr>(table, column);
+}
+
+ExprPtr StarExpr::Clone() const { return std::make_unique<StarExpr>(); }
+
+std::string UnaryExpr::ToSql() const {
+  return op == UnaryOp::kNot ? "NOT " + Paren(*operand)
+                             : "-" + Paren(*operand);
+}
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op, operand->Clone());
+}
+
+std::string BinaryExpr::ToSql() const {
+  return Paren(*lhs) + " " + std::string(BinaryOpSymbol(op)) + " " +
+         Paren(*rhs);
+}
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op, lhs->Clone(), rhs->Clone());
+}
+
+std::string FunctionCallExpr::ToSql() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const ExprPtr& a : args) parts.push_back(a->ToSql());
+  return name + "(" + (distinct ? "DISTINCT " : "") + Join(parts, ", ") + ")";
+}
+ExprPtr FunctionCallExpr::Clone() const {
+  return std::make_unique<FunctionCallExpr>(name, CloneAll(args), distinct);
+}
+
+std::string CastExpr::ToSql() const {
+  return "CAST(" + operand->ToSql() + " AS " +
+         std::string(ColumnTypeName(target_type)) + ")";
+}
+ExprPtr CastExpr::Clone() const {
+  return std::make_unique<CastExpr>(operand->Clone(), target_type);
+}
+
+std::string IsNullExpr::ToSql() const {
+  return Paren(*operand) + (negated ? " IS NOT NULL" : " IS NULL");
+}
+ExprPtr IsNullExpr::Clone() const {
+  return std::make_unique<IsNullExpr>(operand->Clone(), negated);
+}
+
+std::string InListExpr::ToSql() const {
+  std::vector<std::string> parts;
+  parts.reserve(items.size());
+  for (const ExprPtr& e : items) parts.push_back(e->ToSql());
+  return Paren(*operand) + (negated ? " NOT IN (" : " IN (") +
+         Join(parts, ", ") + ")";
+}
+ExprPtr InListExpr::Clone() const {
+  return std::make_unique<InListExpr>(operand->Clone(), CloneAll(items),
+                                      negated);
+}
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr e, std::unique_ptr<QueryExpr> q,
+                               bool neg)
+    : Expr(ExprKind::kInSubquery),
+      operand(std::move(e)),
+      subquery(std::move(q)),
+      negated(neg) {}
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+std::string InSubqueryExpr::ToSql() const {
+  return Paren(*operand) + (negated ? " NOT IN (" : " IN (") +
+         subquery->ToSql() + ")";
+}
+ExprPtr InSubqueryExpr::Clone() const {
+  return std::make_unique<InSubqueryExpr>(operand->Clone(), subquery->Clone(),
+                                          negated);
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<QueryExpr> q, bool neg)
+    : Expr(ExprKind::kExists), subquery(std::move(q)), negated(neg) {}
+ExistsExpr::~ExistsExpr() = default;
+
+std::string ExistsExpr::ToSql() const {
+  return std::string(negated ? "NOT EXISTS (" : "EXISTS (") +
+         subquery->ToSql() + ")";
+}
+ExprPtr ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(subquery->Clone(), negated);
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<QueryExpr> q)
+    : Expr(ExprKind::kScalarSubquery), subquery(std::move(q)) {}
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+std::string ScalarSubqueryExpr::ToSql() const {
+  return "(" + subquery->ToSql() + ")";
+}
+ExprPtr ScalarSubqueryExpr::Clone() const {
+  return std::make_unique<ScalarSubqueryExpr>(subquery->Clone());
+}
+
+std::string BetweenExpr::ToSql() const {
+  return Paren(*operand) + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+         Paren(*low) + " AND " + Paren(*high);
+}
+ExprPtr BetweenExpr::Clone() const {
+  return std::make_unique<BetweenExpr>(operand->Clone(), low->Clone(),
+                                       high->Clone(), negated);
+}
+
+std::string LikeExpr::ToSql() const {
+  return Paren(*operand) + (negated ? " NOT LIKE " : " LIKE ") +
+         Paren(*pattern);
+}
+ExprPtr LikeExpr::Clone() const {
+  return std::make_unique<LikeExpr>(operand->Clone(), pattern->Clone(),
+                                    negated);
+}
+
+std::string CaseExpr::ToSql() const {
+  std::string out = "CASE";
+  for (const auto& [cond, val] : whens) {
+    out += " WHEN " + cond->ToSql() + " THEN " + val->ToSql();
+  }
+  if (else_expr != nullptr) out += " ELSE " + else_expr->ToSql();
+  out += " END";
+  return out;
+}
+ExprPtr CaseExpr::Clone() const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> w;
+  w.reserve(whens.size());
+  for (const auto& [cond, val] : whens) {
+    w.emplace_back(cond->Clone(), val->Clone());
+  }
+  return std::make_unique<CaseExpr>(
+      std::move(w), else_expr ? else_expr->Clone() : nullptr);
+}
+
+// --- Construction helpers ---------------------------------------------------
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_unique<LiteralExpr>(std::move(v));
+}
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  return std::make_unique<ColumnRefExpr>(std::move(table), std::move(column));
+}
+ExprPtr MakeColumnRef(std::string column) {
+  return std::make_unique<ColumnRefExpr>("", std::move(column));
+}
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr MakeNot(ExprPtr e) {
+  return std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(e));
+}
+
+namespace {
+ExprPtr FoldWith(BinaryOp op, std::vector<ExprPtr> exprs) {
+  ExprPtr acc;
+  for (ExprPtr& e : exprs) {
+    acc = acc == nullptr ? std::move(e)
+                         : MakeBinary(op, std::move(acc), std::move(e));
+  }
+  return acc;
+}
+}  // namespace
+
+ExprPtr MakeConjunction(std::vector<ExprPtr> exprs) {
+  return FoldWith(BinaryOp::kAnd, std::move(exprs));
+}
+ExprPtr MakeDisjunction(std::vector<ExprPtr> exprs) {
+  return FoldWith(BinaryOp::kOr, std::move(exprs));
+}
+ExprPtr AndWith(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  return MakeBinary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+// --- Query structure ---------------------------------------------------------
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.is_star = is_star;
+  out.star_qualifier = star_qualifier;
+  out.expr = expr ? expr->Clone() : nullptr;
+  out.alias = alias;
+  return out;
+}
+
+std::string SelectItem::ToSql() const {
+  if (is_star) {
+    return star_qualifier.empty() ? "*" : star_qualifier + ".*";
+  }
+  std::string out = expr->ToSql();
+  if (!alias.empty()) out += " AS \"" + alias + "\"";
+  return out;
+}
+
+TableRef::~TableRef() = default;
+
+TableRef TableRef::Clone() const {
+  TableRef out;
+  out.kind = kind;
+  out.table_name = table_name;
+  out.subquery = subquery ? subquery->Clone() : nullptr;
+  out.alias = alias;
+  return out;
+}
+
+std::string TableRef::ToSql() const {
+  std::string out = kind == Kind::kBaseTable
+                        ? table_name
+                        : "(" + subquery->ToSql() + ")";
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause out;
+  out.ref = ref.Clone();
+  out.on = on ? on->Clone() : nullptr;
+  return out;
+}
+
+FromItem FromItem::Clone() const {
+  FromItem out;
+  out.ref = ref.Clone();
+  out.joins.reserve(joins.size());
+  for (const JoinClause& j : joins) out.joins.push_back(j.Clone());
+  return out;
+}
+
+std::string FromItem::ToSql() const {
+  std::string out = ref.ToSql();
+  for (const JoinClause& j : joins) {
+    out += " JOIN " + j.ref.ToSql();
+    if (j.on != nullptr) out += " ON " + j.on->ToSql();
+  }
+  return out;
+}
+
+SelectCore SelectCore::Clone() const {
+  SelectCore out;
+  out.distinct = distinct;
+  out.items.reserve(items.size());
+  for (const SelectItem& i : items) out.items.push_back(i.Clone());
+  out.from.reserve(from.size());
+  for (const FromItem& f : from) out.from.push_back(f.Clone());
+  out.where = where ? where->Clone() : nullptr;
+  out.group_by = CloneAll(group_by);
+  out.having = having ? having->Clone() : nullptr;
+  return out;
+}
+
+std::string SelectCore::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> item_sql;
+  item_sql.reserve(items.size());
+  for (const SelectItem& i : items) item_sql.push_back(i.ToSql());
+  out += Join(item_sql, ", ");
+  if (!from.empty()) {
+    std::vector<std::string> from_sql;
+    from_sql.reserve(from.size());
+    for (const FromItem& f : from) from_sql.push_back(f.ToSql());
+    out += " FROM " + Join(from_sql, ", ");
+  }
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    std::vector<std::string> g;
+    g.reserve(group_by.size());
+    for (const ExprPtr& e : group_by) g.push_back(e->ToSql());
+    out += " GROUP BY " + Join(g, ", ");
+  }
+  if (having != nullptr) out += " HAVING " + having->ToSql();
+  return out;
+}
+
+void SelectCore::AddWherePredicate(ExprPtr predicate) {
+  where = AndWith(std::move(where), std::move(predicate));
+}
+
+bool SelectCore::ReferencesTable(std::string_view table_name) const {
+  for (const FromItem& f : from) {
+    if (f.ref.kind == TableRef::Kind::kBaseTable &&
+        EqualsIgnoreCase(f.ref.table_name, table_name)) {
+      return true;
+    }
+    for (const JoinClause& j : f.joins) {
+      if (j.ref.kind == TableRef::Kind::kBaseTable &&
+          EqualsIgnoreCase(j.ref.table_name, table_name)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+OrderByItem OrderByItem::Clone() const {
+  OrderByItem out;
+  out.position = position;
+  out.expr = expr ? expr->Clone() : nullptr;
+  out.descending = descending;
+  return out;
+}
+
+std::string OrderByItem::ToSql() const {
+  std::string out =
+      position.has_value() ? std::to_string(*position) : expr->ToSql();
+  if (descending) out += " DESC";
+  return out;
+}
+
+std::unique_ptr<QueryExpr> QueryExpr::Clone() const {
+  auto out = std::make_unique<QueryExpr>();
+  out->terms.reserve(terms.size());
+  for (const SelectCore& t : terms) out->terms.push_back(t.Clone());
+  out->union_all = union_all;
+  out->order_by.reserve(order_by.size());
+  for (const OrderByItem& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+std::string QueryExpr::ToSql() const {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += union_all[i - 1] ? " UNION ALL " : " UNION ";
+    out += terms[i].ToSql();
+  }
+  if (!order_by.empty()) {
+    std::vector<std::string> o;
+    o.reserve(order_by.size());
+    for (const OrderByItem& item : order_by) o.push_back(item.ToSql());
+    out += " ORDER BY " + Join(o, ", ");
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+CommonTableExpr CommonTableExpr::Clone() const {
+  CommonTableExpr out;
+  out.name = name;
+  out.column_names = column_names;
+  out.query = query->Clone();
+  return out;
+}
+
+std::string CommonTableExpr::ToSql() const {
+  std::string out = name;
+  if (!column_names.empty()) {
+    out += " (" + Join(column_names, ", ") + ")";
+  }
+  out += " AS (" + query->ToSql() + ")";
+  return out;
+}
+
+// --- Statements --------------------------------------------------------------
+
+std::string SelectStmt::ToSql() const {
+  std::string out;
+  if (!ctes.empty()) {
+    out += recursive ? "WITH RECURSIVE " : "WITH ";
+    std::vector<std::string> c;
+    c.reserve(ctes.size());
+    for (const CommonTableExpr& cte : ctes) c.push_back(cte.ToSql());
+    out += Join(c, ", ") + " ";
+  }
+  out += query.ToSql();
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::CloneSelect() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->recursive = recursive;
+  out->ctes.reserve(ctes.size());
+  for (const CommonTableExpr& cte : ctes) out->ctes.push_back(cte.Clone());
+  out->query = std::move(*query.Clone());
+  return out;
+}
+
+std::string CreateTableStmt::ToSql() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns.size());
+  for (const Column& c : columns) {
+    cols.push_back(c.name + " " + std::string(ColumnTypeName(c.type)));
+  }
+  return std::string("CREATE TABLE ") +
+         (if_not_exists ? "IF NOT EXISTS " : "") + table_name + " (" +
+         Join(cols, ", ") + ")";
+}
+
+std::string DropTableStmt::ToSql() const {
+  return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") +
+         table_name;
+}
+
+std::string InsertStmt::ToSql() const {
+  std::string out = "INSERT INTO " + table_name;
+  if (!columns.empty()) out += " (" + Join(columns, ", ") + ")";
+  out += " VALUES ";
+  std::vector<std::string> row_sql;
+  row_sql.reserve(rows.size());
+  for (const std::vector<ExprPtr>& row : rows) {
+    std::vector<std::string> vals;
+    vals.reserve(row.size());
+    for (const ExprPtr& e : row) vals.push_back(e->ToSql());
+    row_sql.push_back("(" + Join(vals, ", ") + ")");
+  }
+  out += Join(row_sql, ", ");
+  return out;
+}
+
+std::string UpdateStmt::ToSql() const {
+  std::string out = "UPDATE " + table_name + " SET ";
+  std::vector<std::string> sets;
+  sets.reserve(assignments.size());
+  for (const auto& [col, expr] : assignments) {
+    sets.push_back(col + " = " + expr->ToSql());
+  }
+  out += Join(sets, ", ");
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  return out;
+}
+
+std::string DeleteStmt::ToSql() const {
+  std::string out = "DELETE FROM " + table_name;
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  return out;
+}
+
+std::string CallStmt::ToSql() const {
+  std::vector<std::string> a;
+  a.reserve(args.size());
+  for (const ExprPtr& e : args) a.push_back(e->ToSql());
+  return "CALL " + procedure_name + "(" + Join(a, ", ") + ")";
+}
+
+std::string ExplainStmt::ToSql() const {
+  return "EXPLAIN " + select->ToSql();
+}
+
+std::string CreateViewStmt::ToSql() const {
+  return std::string("CREATE ") + (or_replace ? "OR REPLACE " : "") +
+         "VIEW " + view_name + " AS " + select->ToSql();
+}
+
+std::string DropViewStmt::ToSql() const {
+  return std::string("DROP VIEW ") + (if_exists ? "IF EXISTS " : "") +
+         view_name;
+}
+
+}  // namespace pdm::sql

@@ -1,0 +1,503 @@
+#ifndef PDM_SQL_AST_H_
+#define PDM_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/value.h"
+
+namespace pdm::sql {
+
+struct QueryExpr;
+struct SelectStmt;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,             // bare `*` inside COUNT(*)
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kCast,
+  kIsNull,
+  kInList,
+  kInSubquery,
+  kExists,
+  kScalarSubquery,
+  kBetween,
+  kLike,
+  kCase,
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kEq,
+  kNotEq,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kConcat,
+};
+
+std::string_view BinaryOpSymbol(BinaryOp op);
+
+/// Base class of all expression AST nodes. Nodes render back to SQL text
+/// (`ToSql`) — the query builder and the rule modificator construct and
+/// rewrite ASTs, then ship rendered text over the simulated wire — and
+/// deep-copy (`Clone`) so stored rule conditions can be spliced into many
+/// queries.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  virtual std::string ToSql() const = 0;
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  const ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  Value value;
+};
+
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string t, std::string c)
+      : Expr(ExprKind::kColumnRef), table(std::move(t)), column(std::move(c)) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  std::string table;   // qualifier; empty if unqualified
+  std::string column;
+};
+
+struct StarExpr : Expr {
+  StarExpr() : Expr(ExprKind::kStar) {}
+  std::string ToSql() const override { return "*"; }
+  ExprPtr Clone() const override;
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// Covers both scalar functions and aggregates; which one it is gets
+/// decided at bind time against the function registry.
+struct FunctionCallExpr : Expr {
+  FunctionCallExpr(std::string n, std::vector<ExprPtr> a, bool dist = false)
+      : Expr(ExprKind::kFunctionCall),
+        name(std::move(n)),
+        args(std::move(a)),
+        distinct(dist) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  std::string name;           // stored upper-cased by the parser
+  std::vector<ExprPtr> args;  // a single StarExpr arg encodes COUNT(*)
+  bool distinct;
+};
+
+struct CastExpr : Expr {
+  CastExpr(ExprPtr e, ColumnType t)
+      : Expr(ExprKind::kCast), operand(std::move(e)), target_type(t) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  ColumnType target_type;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr e, bool neg)
+      : Expr(ExprKind::kIsNull), operand(std::move(e)), negated(neg) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  bool negated;
+};
+
+struct InListExpr : Expr {
+  InListExpr(ExprPtr e, std::vector<ExprPtr> it, bool neg)
+      : Expr(ExprKind::kInList),
+        operand(std::move(e)),
+        items(std::move(it)),
+        negated(neg) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  std::vector<ExprPtr> items;
+  bool negated;
+};
+
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr e, std::unique_ptr<QueryExpr> q, bool neg);
+  ~InSubqueryExpr() override;
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<QueryExpr> subquery;
+  bool negated;
+};
+
+struct ExistsExpr : Expr {
+  ExistsExpr(std::unique_ptr<QueryExpr> q, bool neg);
+  ~ExistsExpr() override;
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  std::unique_ptr<QueryExpr> subquery;
+  bool negated;
+};
+
+struct ScalarSubqueryExpr : Expr {
+  explicit ScalarSubqueryExpr(std::unique_ptr<QueryExpr> q);
+  ~ScalarSubqueryExpr() override;
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  std::unique_ptr<QueryExpr> subquery;
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr(ExprPtr e, ExprPtr lo, ExprPtr hi, bool neg)
+      : Expr(ExprKind::kBetween),
+        operand(std::move(e)),
+        low(std::move(lo)),
+        high(std::move(hi)),
+        negated(neg) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+struct LikeExpr : Expr {
+  LikeExpr(ExprPtr e, ExprPtr p, bool neg)
+      : Expr(ExprKind::kLike),
+        operand(std::move(e)),
+        pattern(std::move(p)),
+        negated(neg) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  ExprPtr operand;
+  ExprPtr pattern;
+  bool negated;
+};
+
+/// Searched CASE: CASE WHEN c1 THEN v1 ... [ELSE e] END.
+struct CaseExpr : Expr {
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> w, ExprPtr e)
+      : Expr(ExprKind::kCase),
+        whens(std::move(w)),
+        else_expr(std::move(e)) {}
+  std::string ToSql() const override;
+  ExprPtr Clone() const override;
+
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  ExprPtr else_expr;  // may be null
+};
+
+// ---------------------------------------------------------------------------
+// Expression construction helpers (used pervasively by rules/ and pdm/)
+// ---------------------------------------------------------------------------
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeColumnRef(std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr e);
+/// Folds `exprs` with AND/OR; returns nullptr for an empty vector.
+ExprPtr MakeConjunction(std::vector<ExprPtr> exprs);
+ExprPtr MakeDisjunction(std::vector<ExprPtr> exprs);
+/// a AND b where either side may be null (returns the other side).
+ExprPtr AndWith(ExprPtr a, ExprPtr b);
+
+// ---------------------------------------------------------------------------
+// Query structure
+// ---------------------------------------------------------------------------
+
+/// One item of a SELECT list: either `*` / `alias.*`, or an expression
+/// with an optional alias.
+struct SelectItem {
+  bool is_star = false;
+  std::string star_qualifier;  // for `t.*`; empty for bare `*`
+  ExprPtr expr;                // null when is_star
+  std::string alias;
+
+  SelectItem() = default;
+  SelectItem Clone() const;
+  std::string ToSql() const;
+};
+
+/// A table reference in FROM: base table or derived table (subquery).
+struct TableRef {
+  enum class Kind { kBaseTable, kSubquery };
+
+  Kind kind = Kind::kBaseTable;
+  std::string table_name;                 // base table
+  std::unique_ptr<QueryExpr> subquery;    // derived table
+  std::string alias;                      // optional (required for subquery)
+
+  TableRef() = default;
+  TableRef(TableRef&&) = default;
+  TableRef& operator=(TableRef&&) = default;
+  ~TableRef();
+
+  /// Name this reference is known by in scopes: alias if present, else
+  /// the table name.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+
+  TableRef Clone() const;
+  std::string ToSql() const;
+};
+
+/// `JOIN <ref> ON <expr>` attached to the previous FROM element.
+struct JoinClause {
+  TableRef ref;
+  ExprPtr on;  // may be null for CROSS-style comma joins folded in
+
+  JoinClause Clone() const;
+};
+
+/// One FROM element: a base reference plus its chain of inner joins.
+struct FromItem {
+  TableRef ref;
+  std::vector<JoinClause> joins;
+
+  FromItem Clone() const;
+  std::string ToSql() const;
+};
+
+/// A single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING block.
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+
+  SelectCore() = default;
+  SelectCore(SelectCore&&) = default;
+  SelectCore& operator=(SelectCore&&) = default;
+
+  SelectCore Clone() const;
+  std::string ToSql() const;
+
+  /// AND-appends a predicate to the WHERE clause (creates one if absent).
+  /// This is the primitive both tuning approaches are built on
+  /// (paper Sections 4.1 and 5.5).
+  void AddWherePredicate(ExprPtr predicate);
+
+  /// True if any FROM element (base or join) references `table_name`
+  /// (case-insensitive, by underlying table name not alias).
+  bool ReferencesTable(std::string_view table_name) const;
+};
+
+struct OrderByItem {
+  // Either a 1-based output-column position (the paper's ORDER BY 1,2)
+  // or an expression resolved against the output columns.
+  std::optional<int64_t> position;
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderByItem Clone() const;
+  std::string ToSql() const;
+};
+
+/// select_core (UNION [ALL] select_core)* [ORDER BY ...] [LIMIT n].
+struct QueryExpr {
+  std::vector<SelectCore> terms;
+  std::vector<bool> union_all;  // size terms.size()-1; true = UNION ALL
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  QueryExpr() = default;
+  QueryExpr(QueryExpr&&) = default;
+  QueryExpr& operator=(QueryExpr&&) = default;
+
+  std::unique_ptr<QueryExpr> Clone() const;
+  std::string ToSql() const;
+};
+
+/// WITH [RECURSIVE] name (cols) AS (query), ... — one named CTE.
+struct CommonTableExpr {
+  std::string name;
+  std::vector<std::string> column_names;  // may be empty
+  std::unique_ptr<QueryExpr> query;
+
+  CommonTableExpr Clone() const;
+  std::string ToSql() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kDropTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCall,
+  kExplain,
+  kCreateView,
+  kDropView,
+};
+
+struct Statement {
+  explicit Statement(StatementKind k) : kind(k) {}
+  virtual ~Statement() = default;
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
+
+  virtual std::string ToSql() const = 0;
+
+  const StatementKind kind;
+};
+
+using StatementPtr = std::unique_ptr<Statement>;
+
+struct SelectStmt : Statement {
+  SelectStmt() : Statement(StatementKind::kSelect) {}
+  std::string ToSql() const override;
+  std::unique_ptr<SelectStmt> CloneSelect() const;
+
+  bool recursive = false;
+  std::vector<CommonTableExpr> ctes;
+  QueryExpr query;
+};
+
+struct CreateTableStmt : Statement {
+  CreateTableStmt() : Statement(StatementKind::kCreateTable) {}
+  std::string ToSql() const override;
+
+  std::string table_name;
+  std::vector<Column> columns;
+  bool if_not_exists = false;
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(StatementKind::kDropTable) {}
+  std::string ToSql() const override;
+
+  std::string table_name;
+  bool if_exists = false;
+};
+
+struct InsertStmt : Statement {
+  InsertStmt() : Statement(StatementKind::kInsert) {}
+  std::string ToSql() const override;
+
+  std::string table_name;
+  std::vector<std::string> columns;          // may be empty = all columns
+  std::vector<std::vector<ExprPtr>> rows;    // VALUES rows
+};
+
+struct UpdateStmt : Statement {
+  UpdateStmt() : Statement(StatementKind::kUpdate) {}
+  std::string ToSql() const override;
+
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(StatementKind::kDelete) {}
+  std::string ToSql() const override;
+
+  std::string table_name;
+  ExprPtr where;  // may be null
+};
+
+struct CallStmt : Statement {
+  CallStmt() : Statement(StatementKind::kCall) {}
+  std::string ToSql() const override;
+
+  std::string procedure_name;
+  std::vector<ExprPtr> args;
+};
+
+/// EXPLAIN <select>: returns the bound physical plan as text rows.
+struct ExplainStmt : Statement {
+  ExplainStmt() : Statement(StatementKind::kExplain) {}
+  std::string ToSql() const override;
+
+  std::unique_ptr<SelectStmt> select;
+};
+
+/// CREATE [OR REPLACE] VIEW name AS <select>. Views are stored as ASTs
+/// and expanded at bind time; see engine/view_registry.h — and the
+/// paper's Section 5.5 remark on why views defeat the query modificator.
+struct CreateViewStmt : Statement {
+  CreateViewStmt() : Statement(StatementKind::kCreateView) {}
+  std::string ToSql() const override;
+
+  std::string view_name;
+  std::unique_ptr<SelectStmt> select;
+  bool or_replace = false;
+};
+
+struct DropViewStmt : Statement {
+  DropViewStmt() : Statement(StatementKind::kDropView) {}
+  std::string ToSql() const override;
+
+  std::string view_name;
+  bool if_exists = false;
+};
+
+}  // namespace pdm::sql
+
+#endif  // PDM_SQL_AST_H_

@@ -1,0 +1,249 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace pdm::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  // '$' admits the rule layer's $user placeholder qualifier.
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+}  // namespace
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    PDM_ASSIGN_OR_RETURN(Token token, NextToken());
+    bool at_end = token.kind == TokenKind::kEnd;
+    tokens.push_back(std::move(token));
+    if (at_end) break;
+  }
+  return tokens;
+}
+
+char Lexer::Peek(size_t offset) const {
+  return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(std::string message) const {
+  return Status::ParseError(StrFormat("%s at line %d, column %d",
+                                      message.c_str(), line_, column_));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::NextToken() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.line = line_;
+  token.column = column_;
+  if (AtEnd()) {
+    token.kind = TokenKind::kEnd;
+    return token;
+  }
+
+  char c = Peek();
+
+  // Identifiers and keywords.
+  if (IsIdentStart(c)) {
+    std::string word;
+    word += Advance();  // first char may be '$', which IsIdentChar rejects
+    while (!AtEnd() && IsIdentChar(Peek())) word += Advance();
+    if (IsReservedKeyword(word)) {
+      token.kind = TokenKind::kKeyword;
+      token.text = ToUpperAscii(word);
+    } else {
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(word);
+    }
+    return token;
+  }
+
+  // Quoted identifiers: "NAME" (used by the paper for result aliases).
+  if (c == '"') {
+    Advance();
+    std::string word;
+    while (!AtEnd() && Peek() != '"') word += Advance();
+    if (AtEnd()) return ErrorHere("unterminated quoted identifier");
+    Advance();  // closing quote
+    token.kind = TokenKind::kIdentifier;
+    token.text = std::move(word);
+    return token;
+  }
+
+  // String literals: 'abc', with '' as escaped quote.
+  if (c == '\'') {
+    Advance();
+    std::string text;
+    while (true) {
+      if (AtEnd()) return ErrorHere("unterminated string literal");
+      char s = Advance();
+      if (s == '\'') {
+        if (Peek() == '\'') {
+          text += '\'';
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        text += s;
+      }
+    }
+    token.kind = TokenKind::kStringLiteral;
+    token.text = std::move(text);
+    return token;
+  }
+
+  // Numeric literals: 42, 4.2, .5, 1e3, 1.5e-2.
+  if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+    std::string text;
+    bool is_double = false;
+    while (!AtEnd() && IsDigit(Peek())) text += Advance();
+    if (!AtEnd() && Peek() == '.' && IsDigit(Peek(1))) {
+      is_double = true;
+      text += Advance();
+      while (!AtEnd() && IsDigit(Peek())) text += Advance();
+    } else if (!AtEnd() && Peek() == '.' && !IsIdentStart(Peek(1))) {
+      // trailing dot as in "5." — tolerate
+      is_double = true;
+      text += Advance();
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E') &&
+        (IsDigit(Peek(1)) ||
+         ((Peek(1) == '+' || Peek(1) == '-') && IsDigit(Peek(2))))) {
+      is_double = true;
+      text += Advance();
+      if (Peek() == '+' || Peek() == '-') text += Advance();
+      while (!AtEnd() && IsDigit(Peek())) text += Advance();
+    }
+    token.text = text;
+    if (is_double) {
+      token.kind = TokenKind::kDoubleLiteral;
+      token.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      token.kind = TokenKind::kIntegerLiteral;
+      errno = 0;
+      token.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) return ErrorHere("integer literal out of range");
+    }
+    return token;
+  }
+
+  // Operators / punctuation.
+  Advance();
+  switch (c) {
+    case '(':
+      token.kind = TokenKind::kLeftParen;
+      return token;
+    case ')':
+      token.kind = TokenKind::kRightParen;
+      return token;
+    case ',':
+      token.kind = TokenKind::kComma;
+      return token;
+    case '.':
+      token.kind = TokenKind::kDot;
+      return token;
+    case ';':
+      token.kind = TokenKind::kSemicolon;
+      return token;
+    case '*':
+      token.kind = TokenKind::kStar;
+      return token;
+    case '+':
+      token.kind = TokenKind::kPlus;
+      return token;
+    case '-':
+      token.kind = TokenKind::kMinus;
+      return token;
+    case '/':
+      token.kind = TokenKind::kSlash;
+      return token;
+    case '%':
+      token.kind = TokenKind::kPercent;
+      return token;
+    case '=':
+      token.kind = TokenKind::kEq;
+      return token;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kNotEq;
+        return token;
+      }
+      return ErrorHere("unexpected character '!'");
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kLessEq;
+      } else if (Peek() == '>') {
+        Advance();
+        token.kind = TokenKind::kNotEq;
+      } else {
+        token.kind = TokenKind::kLess;
+      }
+      return token;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        token.kind = TokenKind::kGreaterEq;
+      } else {
+        token.kind = TokenKind::kGreater;
+      }
+      return token;
+    case '|':
+      if (Peek() == '|') {
+        Advance();
+        token.kind = TokenKind::kConcat;
+        return token;
+      }
+      return ErrorHere("unexpected character '|'");
+    default:
+      return ErrorHere(StrFormat("unexpected character '%c'", c));
+  }
+}
+
+Result<std::vector<Token>> TokenizeSql(std::string_view sql) {
+  Lexer lexer(sql);
+  return lexer.Tokenize();
+}
+
+}  // namespace pdm::sql

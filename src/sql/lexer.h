@@ -1,0 +1,42 @@
+#ifndef PDM_SQL_LEXER_H_
+#define PDM_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace pdm::sql {
+
+/// Tokenizes SQL text. Supports `--` line comments, `/* */` block
+/// comments, single-quoted strings with `''` escapes, and double-quoted
+/// identifiers.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input. The final token is always kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t offset = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  Status ErrorHere(std::string message) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Convenience: tokenize a full statement string.
+Result<std::vector<Token>> TokenizeSql(std::string_view sql);
+
+}  // namespace pdm::sql
+
+#endif  // PDM_SQL_LEXER_H_

@@ -1,0 +1,97 @@
+#ifndef PDM_SQL_PARSER_H_
+#define PDM_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace pdm::sql {
+
+/// Recursive-descent parser for the SQL dialect described in DESIGN.md.
+/// The dialect is the subset the paper's queries need (plus DML/DDL):
+/// it deliberately has no LEFT JOIN so that LEFT/RIGHT stay usable as
+/// column names, matching the paper's `link(left, right, ...)` schema.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses exactly one statement (optionally ';'-terminated).
+  Result<StatementPtr> ParseStatement();
+
+  /// Parses a ';'-separated list of statements.
+  Result<std::vector<StatementPtr>> ParseScript();
+
+  /// Parses a standalone expression (used by tests and the rule layer to
+  /// build conditions from text).
+  Result<ExprPtr> ParseStandaloneExpression();
+
+ private:
+  // Token helpers.
+  const Token& Peek(size_t offset = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+  bool MatchToken(TokenKind kind);
+  bool MatchKeyword(std::string_view kw);
+  Status Expect(TokenKind kind, std::string_view what);
+  Status ExpectKeyword(std::string_view kw);
+  Result<std::string> ExpectIdentifier(std::string_view what);
+  Status ErrorHere(std::string message) const;
+
+  // Statements.
+  Result<StatementPtr> ParseTopLevel();
+  Result<StatementPtr> ParseSelectStatement();
+  Result<StatementPtr> ParseCreateTable();
+  Result<StatementPtr> ParseDropTable();
+  Result<StatementPtr> ParseInsert();
+  Result<StatementPtr> ParseUpdate();
+  Result<StatementPtr> ParseDelete();
+  Result<StatementPtr> ParseCall();
+  Result<StatementPtr> ParseExplain();
+  Result<StatementPtr> ParseCreateView();
+  Result<StatementPtr> ParseDropView();
+
+  // Query structure.
+  Result<std::unique_ptr<QueryExpr>> ParseQueryExpr();
+  Result<SelectCore> ParseSelectCore();
+  Result<SelectItem> ParseSelectItem();
+  Result<FromItem> ParseFromItem();
+  Result<TableRef> ParseTableRef();
+  Result<OrderByItem> ParseOrderByItem();
+
+  // Expressions (by descending precedence level).
+  Result<ExprPtr> ParseExpr();           // OR
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();     // = <> < <= > >= IN BETWEEN LIKE IS
+  Result<ExprPtr> ParseAdditive();       // + - ||
+  Result<ExprPtr> ParseMultiplicative(); // * / %
+  Result<ExprPtr> ParseUnary();          // -x
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionCall(std::string name);
+  Result<ExprPtr> ParseCase();
+
+  /// True if the upcoming '('-enclosed production is a subquery
+  /// (starts with SELECT or WITH).
+  bool PeekSubqueryAfterLParen() const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Tokenizes and parses one statement.
+Result<StatementPtr> ParseSql(std::string_view sql);
+
+/// Tokenizes and parses a ';'-separated script.
+Result<std::vector<StatementPtr>> ParseSqlScript(std::string_view sql);
+
+/// Tokenizes and parses a standalone expression (e.g. a rule condition).
+Result<ExprPtr> ParseSqlExpression(std::string_view text);
+
+}  // namespace pdm::sql
+
+#endif  // PDM_SQL_PARSER_H_

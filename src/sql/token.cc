@@ -1,0 +1,99 @@
+#include "sql/token.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace pdm::sql {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIntegerLiteral:
+      return "integer literal";
+    case TokenKind::kDoubleLiteral:
+      return "double literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNotEq:
+      return "'<>'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kLessEq:
+      return "'<='";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kGreaterEq:
+      return "'>='";
+    case TokenKind::kConcat:
+      return "'||'";
+  }
+  return "unknown token";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword " + text;
+    case TokenKind::kIntegerLiteral:
+    case TokenKind::kDoubleLiteral:
+    case TokenKind::kStringLiteral:
+      return "literal '" + text + "'";
+    default:
+      return std::string(TokenKindName(kind));
+  }
+}
+
+bool IsReservedKeyword(std::string_view word) {
+  // Deliberately small: the paper's schemas use LEFT, RIGHT, TYPE and DEC
+  // as *column names*, so none of those may be reserved (the dialect has
+  // INNER JOIN only). Aggregate names (COUNT, SUM, ...) parse as ordinary
+  // function-call identifiers.
+  static constexpr std::array<std::string_view, 50> kKeywords = {
+      "SELECT", "FROM",      "WHERE",  "AND",     "OR",     "NOT",
+      "AS",     "JOIN",      "INNER",  "ON",      "UNION",  "ALL",
+      "ORDER",  "BY",        "GROUP",  "HAVING",  "LIMIT",  "WITH",
+      "RECURSIVE",           "EXISTS", "IN",      "BETWEEN", "LIKE",
+      "IS",     "NULL",      "TRUE",   "FALSE",   "CAST",   "CREATE",
+      "TABLE",  "DROP",      "IF",     "INSERT",  "INTO",   "VALUES",
+      "UPDATE", "SET",       "DELETE", "CALL",    "DISTINCT", "ASC",
+      "DESC",   "CASE",      "WHEN",   "THEN",    "ELSE",   "END",
+      "EXPLAIN", "VIEW",     "REPLACE",
+  };
+  std::string upper = ToUpperAscii(word);
+  for (std::string_view kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+}  // namespace pdm::sql

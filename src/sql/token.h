@@ -1,0 +1,65 @@
+#ifndef PDM_SQL_TOKEN_H_
+#define PDM_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pdm::sql {
+
+/// Lexical token kinds. Keywords are folded into kKeyword with the
+/// upper-cased text in Token::text (the dialect is small enough that the
+/// parser matches keywords by name).
+enum class TokenKind {
+  kEnd = 0,
+  kIdentifier,        // bare or "quoted" identifier (quotes stripped)
+  kKeyword,           // reserved word, upper-cased in text
+  kIntegerLiteral,    // 42
+  kDoubleLiteral,     // 4.2, .5, 1e3
+  kStringLiteral,     // 'abc' with '' unescaped in text
+  // Punctuation / operators:
+  kLeftParen,         // (
+  kRightParen,        // )
+  kComma,             // ,
+  kDot,               // .
+  kSemicolon,         // ;
+  kStar,              // *
+  kPlus,              // +
+  kMinus,             // -
+  kSlash,             // /
+  kPercent,           // %
+  kEq,                // =
+  kNotEq,             // <> or !=
+  kLess,              // <
+  kLessEq,            // <=
+  kGreater,           // >
+  kGreaterEq,         // >=
+  kConcat,            // ||
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+/// One lexical token with source position (1-based line/column) for
+/// error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier/keyword/literal text
+  int64_t int_value = 0;   // valid for kIntegerLiteral
+  double double_value = 0; // valid for kDoubleLiteral
+  int line = 1;
+  int column = 1;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+
+  /// Display form used in parser diagnostics.
+  std::string Describe() const;
+};
+
+/// True if `word` (any case) is a reserved keyword of the dialect.
+bool IsReservedKeyword(std::string_view word);
+
+}  // namespace pdm::sql
+
+#endif  // PDM_SQL_TOKEN_H_

@@ -1,0 +1,133 @@
+// Unit tests for schemas, tables (incl. lazy column indexes) and the
+// catalog.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace pdm {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({Column{"id", ColumnType::kInt64},
+                 Column{"name", ColumnType::kString}});
+}
+
+TEST(Schema, FindColumnIsCaseInsensitive) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_EQ(schema.FindColumn("ID"), 0u);
+  EXPECT_EQ(schema.FindColumn("Name"), 1u);
+  EXPECT_FALSE(schema.FindColumn("missing").has_value());
+}
+
+TEST(Schema, ValidateRowChecksArityAndKinds) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_TRUE(schema.ValidateRow({Value::Int64(1), Value::String("a")}).ok());
+  EXPECT_TRUE(schema.ValidateRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_FALSE(schema.ValidateRow({Value::Int64(1)}).ok());
+  EXPECT_FALSE(
+      schema.ValidateRow({Value::String("x"), Value::String("a")}).ok());
+}
+
+TEST(Schema, IntWidensIntoDoubleColumns) {
+  Schema schema({Column{"w", ColumnType::kDouble}});
+  EXPECT_TRUE(schema.ValidateRow({Value::Int64(3)}).ok());
+  EXPECT_FALSE(Schema({Column{"i", ColumnType::kInt64}})
+                   .ValidateRow({Value::Double(3.5)})
+                   .ok());
+}
+
+TEST(Schema, TypeNamesRoundTrip) {
+  EXPECT_EQ(*ParseColumnType("integer"), ColumnType::kInt64);
+  EXPECT_EQ(*ParseColumnType("VARCHAR"), ColumnType::kString);
+  EXPECT_EQ(*ParseColumnType("Boolean"), ColumnType::kBool);
+  EXPECT_EQ(*ParseColumnType("double"), ColumnType::kDouble);
+  EXPECT_FALSE(ParseColumnType("blob").ok());
+  EXPECT_EQ(Schema(TwoColumnSchema()).ToString(), "id INTEGER, name VARCHAR");
+}
+
+TEST(Table, InsertValidatesAgainstSchema) {
+  Table table("t", TwoColumnSchema());
+  EXPECT_TRUE(table.Insert({Value::Int64(1), Value::String("a")}).ok());
+  Status bad = table.Insert({Value::String("x"), Value::String("a")});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(Table, UpdateAndDeleteRows) {
+  Table table("t", TwoColumnSchema());
+  for (int i = 0; i < 10; ++i) {
+    table.InsertUnchecked({Value::Int64(i), Value::String("n")});
+  }
+  size_t updated = table.UpdateRows(
+      [](const Row& row) { return row[0].int64_value() % 2 == 0; },
+      [](Row& row) { row[1] = Value::String("even"); });
+  EXPECT_EQ(updated, 5u);
+  size_t deleted = table.DeleteRows(
+      [](const Row& row) { return row[1].string_value() == "even"; });
+  EXPECT_EQ(deleted, 5u);
+  EXPECT_EQ(table.num_rows(), 5u);
+}
+
+TEST(Table, ColumnIndexFindsRowPositions) {
+  Table table("t", TwoColumnSchema());
+  for (int i = 0; i < 100; ++i) {
+    table.InsertUnchecked({Value::Int64(i % 10), Value::String("n")});
+  }
+  const Table::ColumnIndex& index = table.GetOrBuildIndex(0);
+  auto it = index.find(Value::Int64(3));
+  ASSERT_NE(it, index.end());
+  EXPECT_EQ(it->second.size(), 10u);
+  for (size_t pos : it->second) {
+    EXPECT_EQ(table.rows()[pos][0].int64_value(), 3);
+  }
+}
+
+TEST(Table, IndexSkipsNullsAndInvalidatesOnMutation) {
+  Table table("t", TwoColumnSchema());
+  table.InsertUnchecked({Value::Null(), Value::String("a")});
+  table.InsertUnchecked({Value::Int64(1), Value::String("b")});
+  const Table::ColumnIndex& index = table.GetOrBuildIndex(0);
+  EXPECT_EQ(index.size(), 1u);  // NULL not indexed
+
+  table.InsertUnchecked({Value::Int64(1), Value::String("c")});
+  const Table::ColumnIndex& rebuilt = table.GetOrBuildIndex(0);
+  EXPECT_EQ(rebuilt.find(Value::Int64(1))->second.size(), 2u);
+}
+
+TEST(Catalog, CreateFindDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("Assy", TwoColumnSchema()).ok());
+  EXPECT_TRUE(catalog.HasTable("assy"));  // case-insensitive
+  EXPECT_NE(catalog.FindTable("ASSY"), nullptr);
+
+  Status dup = catalog.CreateTable("assy", TwoColumnSchema());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(
+      catalog.CreateTable("assy", TwoColumnSchema(), /*if_not_exists=*/true)
+          .ok());
+
+  EXPECT_TRUE(catalog.DropTable("assy").ok());
+  EXPECT_EQ(catalog.DropTable("assy").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(catalog.DropTable("assy", /*if_exists=*/true).ok());
+}
+
+TEST(Catalog, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("zeta", TwoColumnSchema()).ok());
+  ASSERT_TRUE(catalog.CreateTable("alpha", TwoColumnSchema()).ok());
+  std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(Catalog, GetTableReturnsNotFound) {
+  Catalog catalog;
+  Result<Table*> missing = catalog.GetTable("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pdm

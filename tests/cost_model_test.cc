@@ -1,0 +1,164 @@
+// Validates the closed-form response-time model against the numbers the
+// paper prints in Tables 2, 3 and 4 (to their two printed decimals).
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+
+namespace pdm::model {
+namespace {
+
+constexpr double kTol = 0.011;  // the paper prints two decimals
+
+TreeParams Shape(int depth, int branching) {
+  return TreeParams{depth, branching, 0.6};
+}
+
+NetworkParams Net(double lat, double dtr) {
+  return NetworkParams{lat, dtr, 4096, 512};
+}
+
+TEST(CostModel, NodeCountsMatchPaperFormulas) {
+  // α=3, ω=9, σ=0.6: n_v = 5.4 + 29.16 + 157.464
+  EXPECT_NEAR(VisibleNodes(Shape(3, 9)), 192.024, 1e-9);
+  EXPECT_NEAR(TotalNodes(Shape(3, 9)), 819.0, 1e-9);
+  // α=7, ω=5: Σ 3^i = 3279 visible; Σ 5^i = 97655 total
+  EXPECT_NEAR(VisibleNodes(Shape(7, 5)), 3279.0, 1e-6);
+  EXPECT_NEAR(TotalNodes(Shape(7, 5)), 97655.0, 1e-6);
+}
+
+struct Cell {
+  int depth;
+  int branching;
+  double lat;
+  double dtr;
+  ActionKind action;
+  double latency_part;
+  double transfer_part;
+};
+
+TEST(CostModel, Table2LateEvaluation) {
+  const Cell kCells[] = {
+      // α=3 ω=9 grid column, all three network rows
+      {3, 9, 0.15, 256, ActionKind::kQuery, 0.30, 12.98},
+      {3, 9, 0.15, 256, ActionKind::kSingleLevelExpand, 0.30, 0.33},
+      {3, 9, 0.15, 256, ActionKind::kMultiLevelExpand, 57.91, 41.19},
+      {3, 9, 0.15, 512, ActionKind::kQuery, 0.30, 6.49},
+      {3, 9, 0.05, 1024, ActionKind::kMultiLevelExpand, 19.30, 10.30},
+      // α=9 ω=3
+      {9, 3, 0.15, 256, ActionKind::kQuery, 0.30, 461.48},
+      {9, 3, 0.15, 256, ActionKind::kSingleLevelExpand, 0.30, 0.23},
+      {9, 3, 0.15, 256, ActionKind::kMultiLevelExpand, 133.52, 95.01},
+      {9, 3, 0.15, 512, ActionKind::kMultiLevelExpand, 133.52, 47.51},
+      // α=7 ω=5
+      {7, 5, 0.15, 256, ActionKind::kQuery, 0.30, 1526.05},
+      {7, 5, 0.15, 256, ActionKind::kMultiLevelExpand, 984.00, 700.39},
+      {7, 5, 0.05, 1024, ActionKind::kMultiLevelExpand, 328.00, 175.10},
+  };
+  for (const Cell& c : kCells) {
+    ResponseTime rt = Predict(StrategyKind::kNavigationalLate, c.action,
+                              Shape(c.depth, c.branching), Net(c.lat, c.dtr));
+    EXPECT_NEAR(rt.latency_part, c.latency_part, kTol)
+        << "latency α=" << c.depth << " ω=" << c.branching << " dtr=" << c.dtr
+        << " " << ActionKindName(c.action);
+    EXPECT_NEAR(rt.transfer_part, c.transfer_part, kTol)
+        << "transfer α=" << c.depth << " ω=" << c.branching
+        << " dtr=" << c.dtr << " " << ActionKindName(c.action);
+  }
+}
+
+TEST(CostModel, Table3EarlyEvaluation) {
+  const Cell kCells[] = {
+      {3, 9, 0.15, 256, ActionKind::kQuery, 0.30, 3.19},
+      {3, 9, 0.15, 256, ActionKind::kSingleLevelExpand, 0.30, 0.27},
+      {3, 9, 0.15, 256, ActionKind::kMultiLevelExpand, 57.91, 39.19},
+      {9, 3, 0.15, 256, ActionKind::kQuery, 0.30, 7.13},
+      {9, 3, 0.15, 256, ActionKind::kMultiLevelExpand, 133.52, 90.39},
+      {7, 5, 0.15, 256, ActionKind::kQuery, 0.30, 51.42},
+      {7, 5, 0.15, 256, ActionKind::kMultiLevelExpand, 984.00, 666.23},
+      {7, 5, 0.15, 512, ActionKind::kMultiLevelExpand, 984.00, 333.12},
+      {3, 9, 0.05, 1024, ActionKind::kQuery, 0.10, 0.80},
+  };
+  for (const Cell& c : kCells) {
+    ResponseTime rt = Predict(StrategyKind::kNavigationalEarly, c.action,
+                              Shape(c.depth, c.branching), Net(c.lat, c.dtr));
+    EXPECT_NEAR(rt.latency_part, c.latency_part, kTol)
+        << "latency α=" << c.depth << " ω=" << c.branching;
+    EXPECT_NEAR(rt.transfer_part, c.transfer_part, kTol)
+        << "transfer α=" << c.depth << " ω=" << c.branching
+        << " dtr=" << c.dtr << " " << ActionKindName(c.action);
+  }
+}
+
+TEST(CostModel, Table4RecursiveQueries) {
+  struct RecCell {
+    int depth;
+    int branching;
+    double lat;
+    double dtr;
+    double total;
+    double saving;
+  };
+  const RecCell kCells[] = {
+      {3, 9, 0.15, 256, 3.49, 96.48},  {9, 3, 0.15, 256, 7.43, 96.75},
+      {7, 5, 0.15, 256, 51.72, 96.93}, {3, 9, 0.15, 512, 1.89, 97.59},
+      {9, 3, 0.15, 512, 3.86, 97.87},  {7, 5, 0.15, 512, 26.01, 98.05},
+      {3, 9, 0.05, 1024, 0.90, 96.97}, {9, 3, 0.05, 1024, 1.88, 97.24},
+      {7, 5, 0.05, 1024, 12.96, 97.42},
+  };
+  for (const RecCell& c : kCells) {
+    TreeParams tree = Shape(c.depth, c.branching);
+    NetworkParams net = Net(c.lat, c.dtr);
+    ResponseTime rec =
+        Predict(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand, tree,
+                net);
+    ResponseTime late = Predict(StrategyKind::kNavigationalLate,
+                                ActionKind::kMultiLevelExpand, tree, net);
+    EXPECT_NEAR(rec.total(), c.total, kTol)
+        << "α=" << c.depth << " ω=" << c.branching << " dtr=" << c.dtr;
+    EXPECT_NEAR(SavingPercent(late, rec), c.saving, 0.05)
+        << "saving α=" << c.depth << " ω=" << c.branching;
+    // Recursion: exactly one round trip pair.
+    EXPECT_NEAR(rec.latency_part, 2 * c.lat, 1e-12);
+  }
+}
+
+TEST(CostModel, Table3SavingsMatchPaper) {
+  TreeParams tree = Shape(3, 9);
+  NetworkParams net = Net(0.15, 256);
+  ResponseTime late =
+      Predict(StrategyKind::kNavigationalLate, ActionKind::kQuery, tree, net);
+  ResponseTime early =
+      Predict(StrategyKind::kNavigationalEarly, ActionKind::kQuery, tree, net);
+  EXPECT_NEAR(SavingPercent(late, early), 73.74, 0.05);
+
+  // MLE savings from early evaluation alone are tiny (the paper's point).
+  ResponseTime late_mle = Predict(StrategyKind::kNavigationalLate,
+                                  ActionKind::kMultiLevelExpand, tree, net);
+  ResponseTime early_mle = Predict(StrategyKind::kNavigationalEarly,
+                                   ActionKind::kMultiLevelExpand, tree, net);
+  EXPECT_NEAR(SavingPercent(late_mle, early_mle), 2.02, 0.05);
+}
+
+TEST(CostModel, LargeRecursiveQueryNeedsMorePackets) {
+  TreeParams tree = Shape(3, 9);
+  NetworkParams net = Net(0.15, 256);
+  ResponseTime small =
+      Predict(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand, tree,
+              net, /*query_bytes=*/1000);
+  ResponseTime large =
+      Predict(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand, tree,
+              net, /*query_bytes=*/9000);
+  // 9000 bytes = 3 packets vs 1: transfer grows, latency unchanged.
+  EXPECT_GT(large.transfer_part, small.transfer_part);
+  EXPECT_DOUBLE_EQ(large.latency_part, small.latency_part);
+}
+
+TEST(CostModel, PaperGridsHaveExpectedShape) {
+  EXPECT_EQ(ComputePaperTable(StrategyKind::kNavigationalLate).size(), 27u);
+  EXPECT_EQ(ComputePaperTable(StrategyKind::kNavigationalEarly).size(), 27u);
+  EXPECT_EQ(ComputePaperTable(StrategyKind::kRecursive).size(), 9u);
+}
+
+}  // namespace
+}  // namespace pdm::model

@@ -1,0 +1,254 @@
+// Differential tests: independent implementations must agree.
+//  * navigational vs recursive traversal on randomized trees
+//  * engine evaluation vs a reference C++ oracle on random predicates
+//  * optimizer on vs off on a query corpus
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace pdm {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+// --- Strategy equivalence on randomized (Bernoulli-σ) trees -----------------
+
+class StrategyEquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyEquivalenceSweep, AllStrategiesRetrieveTheSameTree) {
+  Rng rng(GetParam());
+  client::ExperimentConfig config;
+  config.generator.depth = 2 + static_cast<int>(rng.NextBelow(3));
+  config.generator.branching = 2 + static_cast<int>(rng.NextBelow(4));
+  config.generator.sigma = 0.3 + rng.NextDouble() * 0.7;
+  config.generator.sigma_mode =
+      pdmsys::GeneratorConfig::SigmaMode::kBernoulli;
+  config.generator.seed = GetParam() * 7919 + 13;
+
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  client::Experiment& e = **experiment;
+
+  Result<client::ActionResult> late = e.RunAction(
+      StrategyKind::kNavigationalLate, ActionKind::kMultiLevelExpand);
+  Result<client::ActionResult> early = e.RunAction(
+      StrategyKind::kNavigationalEarly, ActionKind::kMultiLevelExpand);
+  Result<client::ActionResult> rec =
+      e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(late.ok()) << late.status();
+  ASSERT_TRUE(early.ok()) << early.status();
+  ASSERT_TRUE(rec.ok()) << rec.status();
+
+  // Identical node sets and identical parent assignment.
+  ASSERT_EQ(late->tree.num_nodes(), rec->tree.num_nodes());
+  ASSERT_EQ(early->tree.num_nodes(), rec->tree.num_nodes());
+  EXPECT_EQ(rec->visible_nodes, e.product().visible_nodes);
+  for (const pdmsys::ProductNode& node : rec->tree.nodes()) {
+    std::optional<size_t> in_late = late->tree.FindByObid(node.obid);
+    ASSERT_TRUE(in_late.has_value()) << node.obid;
+    const pdmsys::ProductNode& other = late->tree.node(*in_late);
+    if (node.parent.has_value()) {
+      ASSERT_TRUE(other.parent.has_value());
+      EXPECT_EQ(rec->tree.node(*node.parent).obid,
+                late->tree.node(*other.parent).obid);
+    } else {
+      EXPECT_FALSE(other.parent.has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// --- Random predicate evaluation vs a C++ oracle ------------------------------
+
+struct OracleRow {
+  int64_t a;
+  int64_t b;
+  bool a_null;
+  bool b_null;
+};
+
+/// Tri-state boolean mirroring SQL three-valued logic.
+enum class Tri { kFalse, kTrue, kNull };
+
+Tri TriAnd(Tri x, Tri y) {
+  if (x == Tri::kFalse || y == Tri::kFalse) return Tri::kFalse;
+  if (x == Tri::kTrue && y == Tri::kTrue) return Tri::kTrue;
+  return Tri::kNull;
+}
+Tri TriOr(Tri x, Tri y) {
+  if (x == Tri::kTrue || y == Tri::kTrue) return Tri::kTrue;
+  if (x == Tri::kFalse && y == Tri::kFalse) return Tri::kFalse;
+  return Tri::kNull;
+}
+Tri TriNot(Tri x) {
+  if (x == Tri::kNull) return Tri::kNull;
+  return x == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+/// A random predicate over columns a, b with its oracle evaluation.
+struct RandomPredicate {
+  std::string sql;
+  std::function<Tri(const OracleRow&)> oracle;
+};
+
+RandomPredicate MakeLeaf(Rng* rng) {
+  int64_t k = rng->NextInRange(-2, 2);
+  switch (rng->NextBelow(6)) {
+    case 0:
+      return {"a = " + std::to_string(k), [k](const OracleRow& r) {
+                if (r.a_null) return Tri::kNull;
+                return r.a == k ? Tri::kTrue : Tri::kFalse;
+              }};
+    case 1:
+      return {"b > " + std::to_string(k), [k](const OracleRow& r) {
+                if (r.b_null) return Tri::kNull;
+                return r.b > k ? Tri::kTrue : Tri::kFalse;
+              }};
+    case 2:
+      return {"a <= b", [](const OracleRow& r) {
+                if (r.a_null || r.b_null) return Tri::kNull;
+                return r.a <= r.b ? Tri::kTrue : Tri::kFalse;
+              }};
+    case 3:
+      return {"a IS NULL", [](const OracleRow& r) {
+                return r.a_null ? Tri::kTrue : Tri::kFalse;
+              }};
+    case 4:
+      return {"a BETWEEN -1 AND 1", [](const OracleRow& r) {
+                if (r.a_null) return Tri::kNull;
+                return (r.a >= -1 && r.a <= 1) ? Tri::kTrue : Tri::kFalse;
+              }};
+    default:
+      return {"b IN (0, 2, " + std::to_string(k) + ")",
+              [k](const OracleRow& r) {
+                if (r.b_null) return Tri::kNull;
+                return (r.b == 0 || r.b == 2 || r.b == k) ? Tri::kTrue
+                                                          : Tri::kFalse;
+              }};
+  }
+}
+
+RandomPredicate MakePredicate(Rng* rng, int depth) {
+  if (depth == 0 || rng->NextBool(0.35)) return MakeLeaf(rng);
+  switch (rng->NextBelow(3)) {
+    case 0: {
+      RandomPredicate l = MakePredicate(rng, depth - 1);
+      RandomPredicate r = MakePredicate(rng, depth - 1);
+      return {"(" + l.sql + ") AND (" + r.sql + ")",
+              [lo = l.oracle, ro = r.oracle](const OracleRow& row) {
+                return TriAnd(lo(row), ro(row));
+              }};
+    }
+    case 1: {
+      RandomPredicate l = MakePredicate(rng, depth - 1);
+      RandomPredicate r = MakePredicate(rng, depth - 1);
+      return {"(" + l.sql + ") OR (" + r.sql + ")",
+              [lo = l.oracle, ro = r.oracle](const OracleRow& row) {
+                return TriOr(lo(row), ro(row));
+              }};
+    }
+    default: {
+      RandomPredicate inner = MakePredicate(rng, depth - 1);
+      return {"NOT (" + inner.sql + ")",
+              [io = inner.oracle](const OracleRow& row) {
+                return TriNot(io(row));
+              }};
+    }
+  }
+}
+
+class PredicateOracleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateOracleSweep, EngineMatchesOracle) {
+  Rng rng(GetParam() * 104729 + 7);
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id INTEGER, a INTEGER, b INTEGER)")
+                  .ok());
+  std::vector<OracleRow> rows;
+  for (int i = 0; i < 40; ++i) {
+    OracleRow row;
+    row.a_null = rng.NextBool(0.2);
+    row.b_null = rng.NextBool(0.2);
+    row.a = rng.NextInRange(-3, 3);
+    row.b = rng.NextInRange(-3, 3);
+    rows.push_back(row);
+    ASSERT_TRUE(
+        db.Execute(StrFormat(
+                       "INSERT INTO t VALUES (%d, %s, %s)", i,
+                       row.a_null ? "NULL" : std::to_string(row.a).c_str(),
+                       row.b_null ? "NULL" : std::to_string(row.b).c_str()))
+            .ok());
+  }
+
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomPredicate pred = MakePredicate(&rng, 3);
+    Result<ResultSet> result =
+        db.Query("SELECT id FROM t WHERE " + pred.sql + " ORDER BY 1");
+    ASSERT_TRUE(result.ok()) << pred.sql << " -> " << result.status();
+    std::vector<int64_t> expected;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (pred.oracle(rows[i]) == Tri::kTrue) {
+        expected.push_back(static_cast<int64_t>(i));
+      }
+    }
+    ASSERT_EQ(result->num_rows(), expected.size()) << pred.sql;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result->At(i, 0).int64_value(), expected[i]) << pred.sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateOracleSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// --- Optimizer on/off corpus ---------------------------------------------------
+
+TEST(OptimizerDifferential, SameResultsWithAllSwitchesOff) {
+  client::ExperimentConfig config;
+  config.generator.depth = 3;
+  config.generator.branching = 3;
+  config.generator.sigma = 0.6;
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  Database& db = (*experiment)->server().database();
+
+  const char* kCorpus[] = {
+      "SELECT COUNT(*) FROM link WHERE left = 1 AND eff_from <= 50",
+      "SELECT a.obid, COUNT(*) FROM assy AS a JOIN link ON a.obid = "
+      "link.left GROUP BY a.obid HAVING COUNT(*) > 1 ORDER BY 1",
+      "SELECT obid FROM comp WHERE EXISTS (SELECT * FROM specified_by "
+      "WHERE specified_by.left = comp.obid) ORDER BY 1",
+      "SELECT material, AVG(weight) FROM comp WHERE acc = '+' GROUP BY "
+      "material ORDER BY 1",
+      "SELECT obid FROM assy WHERE obid IN (SELECT left FROM link "
+      "WHERE strc_opt = 1) ORDER BY 1",
+  };
+
+  std::vector<std::string> baseline;
+  for (const char* sql : kCorpus) {
+    Result<ResultSet> rs = db.Query(sql);
+    ASSERT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    baseline.push_back(rs->ToString(10000));
+  }
+
+  db.options().binder.use_hash_join = false;
+  db.options().binder.predicate_pushdown = false;
+  db.options().exec.cache_uncorrelated_subqueries = false;
+  db.options().exec.semi_naive_recursion = false;
+  for (size_t i = 0; i < std::size(kCorpus); ++i) {
+    Result<ResultSet> rs = db.Query(kCorpus[i]);
+    ASSERT_TRUE(rs.ok()) << kCorpus[i];
+    EXPECT_EQ(rs->ToString(10000), baseline[i]) << kCorpus[i];
+  }
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,228 @@
+// End-to-end smoke test: the paper's running example (Figure 2) executed
+// through the SQL engine, including the Section 5.2 recursive query and
+// the Section 5.3 tree-condition encodings.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace pdm {
+namespace {
+
+// Builds the Figure 2 database: assemblies, components, links.
+void BuildPaperExample(Database* db) {
+  ASSERT_TRUE(db->ExecuteScript(R"sql(
+    CREATE TABLE assy (type VARCHAR, obid INTEGER, name VARCHAR, dec VARCHAR);
+    CREATE TABLE comp (type VARCHAR, obid INTEGER, name VARCHAR);
+    CREATE TABLE link (type VARCHAR, obid INTEGER, left INTEGER,
+                       right INTEGER, eff_from INTEGER, eff_to INTEGER);
+    INSERT INTO assy VALUES
+      ('assy', 1, 'Assy1', '+'), ('assy', 2, 'Assy2', '+'),
+      ('assy', 3, 'Assy3', '+'), ('assy', 4, 'Assy4', '+'),
+      ('assy', 5, 'Assy5', '-'), ('assy', 6, 'Assy6', '-'),
+      ('assy', 7, 'Assy7', '-'), ('assy', 8, 'Assy8', '-');
+    INSERT INTO comp VALUES
+      ('comp', 101, 'Comp1'), ('comp', 102, 'Comp2'), ('comp', 103, 'Comp3'),
+      ('comp', 104, 'Comp4'), ('comp', 105, 'Comp5'), ('comp', 106, 'Comp6'),
+      ('comp', 107, 'Comp7');
+    INSERT INTO link VALUES
+      ('link', 1001, 1, 2, 1, 3),   ('link', 1002, 1, 3, 4, 10),
+      ('link', 1003, 2, 4, 1, 10),  ('link', 1004, 2, 5, 1, 10),
+      ('link', 1005, 4, 101, 6, 10),('link', 1006, 4, 102, 1, 5),
+      ('link', 1007, 5, 103, 1, 10),('link', 1008, 5, 104, 1, 10);
+  )sql")
+                  .ok());
+}
+
+// The Section 5.2 recursive query, verbatim modulo whitespace.
+constexpr const char* kRecursiveQuery = R"sql(
+WITH RECURSIVE rtbl (type, obid, name, dec) AS
+  (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+   UNION
+   SELECT assy.type, assy.obid, assy.name, assy.dec
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN assy ON link.right = assy.obid
+   UNION
+   SELECT comp.type, comp.obid, comp.name, ''
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN comp ON link.right = comp.obid)
+SELECT type, obid, name, dec AS "DEC",
+       cast(NULL AS integer) AS "LEFT",
+       cast(NULL AS integer) AS "RIGHT",
+       cast(NULL AS integer) AS "EFF_FROM",
+       cast(NULL AS integer) AS "EFF_TO"
+FROM rtbl
+UNION
+SELECT type, obid, '' AS "NAME", '' AS "DEC",
+       left, right, eff_from, eff_to
+FROM link
+WHERE (left IN (SELECT obid FROM rtbl)
+   AND right IN (SELECT obid FROM rtbl))
+ORDER BY 1, 2
+)sql";
+
+TEST(PaperExample, RecursiveQueryReturnsHomogenizedTree) {
+  Database db;
+  BuildPaperExample(&db);
+  Result<ResultSet> result = db.Query(kRecursiveQuery);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ResultSet& rs = *result;
+
+  // Figure 3: 5 assemblies + 4 components + 8 links = 17 rows.
+  EXPECT_EQ(rs.num_rows(), 17u);
+  EXPECT_EQ(rs.num_columns(), 8u);
+
+  // ORDER BY 1,2: assemblies first (type 'assy'), then comps, then links.
+  EXPECT_EQ(rs.At(0, 0).string_value(), "assy");
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 1);
+  EXPECT_EQ(rs.At(4, 1).int64_value(), 5);
+  EXPECT_EQ(rs.At(5, 0).string_value(), "comp");
+  EXPECT_EQ(rs.At(5, 1).int64_value(), 101);
+  EXPECT_EQ(rs.At(9, 0).string_value(), "link");
+  EXPECT_EQ(rs.At(9, 1).int64_value(), 1001);
+  // Link rows carry structure columns; object rows carry NULLs there.
+  EXPECT_TRUE(rs.At(0, 4).is_null());
+  EXPECT_EQ(rs.At(9, 4).int64_value(), 1);
+  EXPECT_EQ(rs.At(9, 5).int64_value(), 2);
+}
+
+TEST(PaperExample, ForAllRowsConditionReturnsEmptyTree) {
+  // Section 5.3.1: all assemblies must be decomposable; Assy5 is not, so
+  // the all-or-nothing encoding must return the empty result.
+  Database db;
+  BuildPaperExample(&db);
+  Result<ResultSet> result = db.Query(R"sql(
+WITH RECURSIVE rtbl (type, obid, name, dec) AS
+  (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+   UNION
+   SELECT assy.type, assy.obid, assy.name, assy.dec
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN assy ON link.right = assy.obid
+   UNION
+   SELECT comp.type, comp.obid, comp.name, ''
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN comp ON link.right = comp.obid)
+SELECT type, obid, name, dec AS "DEC",
+       cast(NULL AS integer) AS "LEFT", cast(NULL AS integer) AS "RIGHT",
+       cast(NULL AS integer) AS "EFF_FROM", cast(NULL AS integer) AS "EFF_TO"
+FROM rtbl
+WHERE NOT EXISTS (SELECT * FROM rtbl WHERE (type = 'assy' AND dec != '+'))
+UNION
+SELECT type, obid, '' AS "NAME", '' AS "DEC", left, right, eff_from, eff_to
+FROM link
+WHERE (left IN (SELECT obid FROM rtbl)
+   AND right IN (SELECT obid FROM rtbl))
+  AND NOT EXISTS (SELECT * FROM rtbl WHERE (type = 'assy' AND dec != '+'))
+ORDER BY 1, 2
+)sql");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST(PaperExample, TreeAggregateConditionKeepsSmallTree) {
+  // Section 5.3.3: at most ten assemblies; the tree has five, so the
+  // whole tree comes back.
+  Database db;
+  BuildPaperExample(&db);
+  Result<ResultSet> result = db.Query(R"sql(
+WITH RECURSIVE rtbl (type, obid, name, dec) AS
+  (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+   UNION
+   SELECT assy.type, assy.obid, assy.name, assy.dec
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN assy ON link.right = assy.obid
+   UNION
+   SELECT comp.type, comp.obid, comp.name, ''
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN comp ON link.right = comp.obid)
+SELECT type, obid, name, dec AS "DEC",
+       cast(NULL AS integer) AS "LEFT", cast(NULL AS integer) AS "RIGHT",
+       cast(NULL AS integer) AS "EFF_FROM", cast(NULL AS integer) AS "EFF_TO"
+FROM rtbl
+WHERE (SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10
+UNION
+SELECT type, obid, '' AS "NAME", '' AS "DEC", left, right, eff_from, eff_to
+FROM link
+WHERE (left IN (SELECT obid FROM rtbl)
+   AND right IN (SELECT obid FROM rtbl))
+  AND (SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10
+ORDER BY 1, 2
+)sql");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 17u);
+}
+
+TEST(PaperExample, ExistsStructureConditionFiltersComponents) {
+  // Section 5.3.2: components are visible only if specified by at least
+  // one document. Only Comp3 (103) has a spec.
+  Database db;
+  BuildPaperExample(&db);
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE spec (type VARCHAR, obid INTEGER, title VARCHAR);
+    CREATE TABLE specified_by (left INTEGER, right INTEGER);
+    INSERT INTO spec VALUES ('spec', 9001, 'Spec for Comp3');
+    INSERT INTO specified_by VALUES (103, 9001);
+  )sql")
+                  .ok());
+  Result<ResultSet> result = db.Query(R"sql(
+WITH RECURSIVE rtbl (type, obid, name, dec) AS
+  (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+   UNION
+   SELECT assy.type, assy.obid, assy.name, assy.dec
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN assy ON link.right = assy.obid
+   UNION
+   SELECT comp.type, comp.obid, comp.name, ''
+   FROM rtbl JOIN link ON rtbl.obid = link.left
+             JOIN comp ON link.right = comp.obid
+   WHERE EXISTS (SELECT * FROM specified_by AS s JOIN spec
+                 ON s.right = spec.obid WHERE s.left = comp.obid))
+SELECT type, obid, name FROM rtbl ORDER BY 1, 2
+)sql");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 5 assemblies + exactly one surviving component.
+  ASSERT_EQ(result->num_rows(), 6u);
+  EXPECT_EQ(result->At(5, 0).string_value(), "comp");
+  EXPECT_EQ(result->At(5, 1).int64_value(), 103);
+}
+
+TEST(Engine, UpdateAndDeleteWork) {
+  Database db;
+  BuildPaperExample(&db);
+  ResultSet rs;
+  ASSERT_TRUE(
+      db.Execute("UPDATE assy SET dec = '+' WHERE obid >= 5", &rs).ok());
+  EXPECT_EQ(rs.affected_rows, 4u);
+  Result<ResultSet> count =
+      db.Query("SELECT COUNT(*) FROM assy WHERE dec = '+'");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count->At(0, 0).int64_value(), 8);
+
+  ASSERT_TRUE(db.Execute("DELETE FROM comp WHERE obid > 104", &rs).ok());
+  EXPECT_EQ(rs.affected_rows, 3u);
+  count = db.Query("SELECT COUNT(*) FROM comp");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->At(0, 0).int64_value(), 4);
+}
+
+TEST(Engine, StoredProcedureRoundTrip) {
+  Database db;
+  BuildPaperExample(&db);
+  ASSERT_TRUE(db.RegisterProcedure(
+                    "count_assy",
+                    [](Database& inner, const std::vector<Value>& args,
+                       ResultSet* out) -> Status {
+                      EXPECT_EQ(args.size(), 1u);
+                      return inner.Execute(
+                          "SELECT COUNT(*) FROM assy WHERE dec = " +
+                              args[0].ToSqlLiteral(),
+                          out);
+                    })
+                  .ok());
+  ResultSet rs;
+  ASSERT_TRUE(db.Execute("CALL count_assy('+')", &rs).ok());
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 4);
+}
+
+}  // namespace
+}  // namespace pdm

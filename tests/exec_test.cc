@@ -1,0 +1,299 @@
+// Execution tests: operators and SQL semantics (three-valued logic,
+// joins, aggregation, set operations) exercised through the Database
+// facade.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace pdm {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE nums (n INTEGER, d DOUBLE, s VARCHAR);
+      INSERT INTO nums VALUES
+        (1, 1.5, 'one'), (2, 2.5, 'two'), (3, NULL, 'three'),
+        (NULL, 4.5, NULL), (5, 5.5, 'five');
+      CREATE TABLE pets (owner VARCHAR, pet VARCHAR);
+      INSERT INTO pets VALUES
+        ('ann', 'cat'), ('ann', 'dog'), ('bob', 'cat'), ('eve', 'fox');
+    )sql")
+                    .ok());
+  }
+
+  ResultSet Q(const std::string& sql) {
+    Result<ResultSet> result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return std::move(result).ValueOr(ResultSet{});
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecTest, ProjectionAndArithmetic) {
+  ResultSet rs = Q("SELECT n + 1, n * 2, 7 / 2, 7 % 2, -n FROM nums WHERE n = 3");
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 4);
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 6);
+  EXPECT_EQ(rs.At(0, 2).int64_value(), 3);  // integer division
+  EXPECT_EQ(rs.At(0, 3).int64_value(), 1);
+  EXPECT_EQ(rs.At(0, 4).int64_value(), -3);
+}
+
+TEST_F(ExecTest, MixedArithmeticWidensToDouble) {
+  ResultSet rs = Q("SELECT n + d FROM nums WHERE n = 1");
+  EXPECT_TRUE(rs.At(0, 0).is_double());
+  EXPECT_DOUBLE_EQ(rs.At(0, 0).double_value(), 2.5);
+}
+
+TEST_F(ExecTest, DivisionByZeroIsAnError) {
+  EXPECT_FALSE(db_.Query("SELECT 1 / 0").ok());
+  EXPECT_FALSE(db_.Query("SELECT 1 % 0").ok());
+  EXPECT_FALSE(db_.Query("SELECT 1.0 / 0").ok());
+}
+
+TEST_F(ExecTest, ThreeValuedLogicInWhere) {
+  // n > 2 is NULL for the NULL row: it must be filtered out, and so must
+  // its negation — the classic 3VL behaviour.
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n > 2").num_rows(), 2u);
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE NOT (n > 2)").num_rows(), 2u);
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n IS NULL").num_rows(), 1u);
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n IS NOT NULL").num_rows(), 4u);
+}
+
+TEST_F(ExecTest, KleeneAndOr) {
+  // NULL OR TRUE = TRUE; NULL AND TRUE = NULL (filtered).
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n > 100 OR s = 'three'").num_rows(),
+            1u);
+  EXPECT_EQ(
+      Q("SELECT n FROM nums WHERE d > 0 AND s IS NULL").num_rows(), 1u);
+  // Short-circuit must not change semantics: FALSE AND <error> is FALSE.
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE 1 = 2 AND 1 / 0 = 1").num_rows(),
+            0u);
+}
+
+TEST_F(ExecTest, InListSemantics) {
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n IN (1, 5)").num_rows(), 2u);
+  // x NOT IN (list containing NULL) is never TRUE unless matched.
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n NOT IN (1, NULL)").num_rows(), 0u);
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n IN (1, NULL)").num_rows(), 1u);
+  // Cross-kind numeric match.
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n IN (1.0)").num_rows(), 1u);
+}
+
+TEST_F(ExecTest, BetweenAndLike) {
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n BETWEEN 2 AND 3").num_rows(), 2u);
+  EXPECT_EQ(Q("SELECT n FROM nums WHERE n NOT BETWEEN 2 AND 3").num_rows(),
+            2u);
+  EXPECT_EQ(Q("SELECT s FROM nums WHERE s LIKE 't%'").num_rows(), 2u);
+  EXPECT_EQ(Q("SELECT s FROM nums WHERE s LIKE '_ive'").num_rows(), 1u);
+}
+
+TEST_F(ExecTest, CaseExpression) {
+  // ORDER BY resolves output columns (positions or names), so the sort
+  // key must be selected.
+  ResultSet rs = Q(
+      "SELECT n, CASE WHEN n < 3 THEN 'small' WHEN n < 10 THEN 'big' "
+      "ELSE 'other' END FROM nums WHERE n IS NOT NULL ORDER BY n");
+  EXPECT_EQ(rs.At(0, 1).string_value(), "small");
+  EXPECT_EQ(rs.At(3, 1).string_value(), "big");
+}
+
+TEST_F(ExecTest, CaseWithoutElseYieldsNull) {
+  ResultSet rs = Q("SELECT CASE WHEN 1 = 2 THEN 'x' END");
+  EXPECT_TRUE(rs.At(0, 0).is_null());
+}
+
+TEST_F(ExecTest, CrossJoinAndEquiJoin) {
+  EXPECT_EQ(Q("SELECT * FROM pets AS a, pets AS b").num_rows(), 16u);
+  ResultSet rs = Q(
+      "SELECT a.owner, b.owner FROM pets AS a JOIN pets AS b "
+      "ON a.pet = b.pet WHERE a.owner < b.owner");
+  // cat is shared by ann/bob.
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).string_value(), "ann");
+  EXPECT_EQ(rs.At(0, 1).string_value(), "bob");
+}
+
+TEST_F(ExecTest, JoinWithNullKeysNeverMatches) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE l (k INTEGER);
+    CREATE TABLE r (k INTEGER);
+    INSERT INTO l VALUES (1), (NULL);
+    INSERT INTO r VALUES (1), (NULL);
+  )sql")
+                  .ok());
+  EXPECT_EQ(Q("SELECT * FROM l JOIN r ON l.k = r.k").num_rows(), 1u);
+}
+
+TEST_F(ExecTest, HashJoinAndNestedLoopAgree) {
+  const char* sql =
+      "SELECT a.owner FROM pets AS a JOIN pets AS b ON a.pet = b.pet "
+      "ORDER BY 1";
+  ResultSet with_hash = Q(sql);
+  db_.options().binder.use_hash_join = false;
+  ResultSet with_nlj = Q(sql);
+  ASSERT_EQ(with_hash.num_rows(), with_nlj.num_rows());
+  for (size_t i = 0; i < with_hash.num_rows(); ++i) {
+    EXPECT_EQ(with_hash.At(i, 0).ToString(), with_nlj.At(i, 0).ToString());
+  }
+}
+
+TEST_F(ExecTest, ScalarAggregates) {
+  ResultSet rs = Q(
+      "SELECT COUNT(*), COUNT(n), SUM(n), AVG(n), MIN(n), MAX(n) FROM nums");
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 5);   // COUNT(*) counts NULL rows
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 4);   // COUNT(n) skips NULL
+  EXPECT_EQ(rs.At(0, 2).int64_value(), 11);  // 1+2+3+5
+  EXPECT_DOUBLE_EQ(rs.At(0, 3).double_value(), 2.75);
+  EXPECT_EQ(rs.At(0, 4).int64_value(), 1);
+  EXPECT_EQ(rs.At(0, 5).int64_value(), 5);
+}
+
+TEST_F(ExecTest, AggregatesOverEmptyInput) {
+  ResultSet rs =
+      Q("SELECT COUNT(*), SUM(n), MIN(n) FROM nums WHERE n > 100");
+  EXPECT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 0);
+  EXPECT_TRUE(rs.At(0, 1).is_null());
+  EXPECT_TRUE(rs.At(0, 2).is_null());
+}
+
+TEST_F(ExecTest, GroupByWithHaving) {
+  ResultSet rs = Q(
+      "SELECT owner, COUNT(*) FROM pets GROUP BY owner "
+      "HAVING COUNT(*) > 1 ORDER BY 1");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).string_value(), "ann");
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 2);
+}
+
+TEST_F(ExecTest, GroupByPreservesFirstSeenOrderUnderSort) {
+  ResultSet rs =
+      Q("SELECT pet, COUNT(*) FROM pets GROUP BY pet ORDER BY 2 DESC, 1");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.At(0, 0).string_value(), "cat");
+}
+
+TEST_F(ExecTest, CountDistinct) {
+  ResultSet rs = Q("SELECT COUNT(DISTINCT pet) FROM pets");
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 3);
+}
+
+TEST_F(ExecTest, AggregateArithmeticInSelectList) {
+  ResultSet rs = Q("SELECT MAX(n) - MIN(n), COUNT(*) * 10 FROM nums");
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 4);
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 50);
+}
+
+TEST_F(ExecTest, NonAggregatedColumnRejected) {
+  Result<ResultSet> bad = db_.Query("SELECT owner, COUNT(*) FROM pets");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(ExecTest, DistinctAndUnionSemantics) {
+  EXPECT_EQ(Q("SELECT DISTINCT pet FROM pets").num_rows(), 3u);
+  EXPECT_EQ(Q("SELECT pet FROM pets UNION SELECT pet FROM pets").num_rows(),
+            3u);
+  EXPECT_EQ(
+      Q("SELECT pet FROM pets UNION ALL SELECT pet FROM pets").num_rows(),
+      8u);
+  // NULLs group together in DISTINCT.
+  EXPECT_EQ(Q("SELECT DISTINCT s IS NULL FROM nums").num_rows(), 2u);
+}
+
+TEST_F(ExecTest, UnionArityMismatchRejected) {
+  EXPECT_FALSE(db_.Query("SELECT 1 UNION SELECT 1, 2").ok());
+}
+
+TEST_F(ExecTest, OrderByAndLimit) {
+  ResultSet rs = Q("SELECT n FROM nums WHERE n IS NOT NULL ORDER BY n DESC "
+                   "LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 5);
+  EXPECT_EQ(rs.At(1, 0).int64_value(), 3);
+}
+
+TEST_F(ExecTest, OrderByNullsFirst) {
+  ResultSet rs = Q("SELECT n FROM nums ORDER BY n");
+  EXPECT_TRUE(rs.At(0, 0).is_null());
+  EXPECT_EQ(rs.At(1, 0).int64_value(), 1);
+}
+
+TEST_F(ExecTest, CorrelatedExists) {
+  ResultSet rs = Q(
+      "SELECT DISTINCT owner FROM pets AS p WHERE EXISTS "
+      "(SELECT * FROM pets AS q WHERE q.pet = p.pet AND q.owner <> p.owner) "
+      "ORDER BY 1");
+  ASSERT_EQ(rs.num_rows(), 2u);  // ann and bob share 'cat'
+  EXPECT_EQ(rs.At(0, 0).string_value(), "ann");
+}
+
+TEST_F(ExecTest, CorrelatedScalarSubquery) {
+  ResultSet rs = Q(
+      "SELECT owner, (SELECT COUNT(*) FROM pets AS q WHERE q.owner = "
+      "p.owner) FROM pets AS p WHERE pet = 'cat' ORDER BY 1");
+  EXPECT_EQ(rs.At(0, 1).int64_value(), 2);  // ann
+  EXPECT_EQ(rs.At(1, 1).int64_value(), 1);  // bob
+}
+
+TEST_F(ExecTest, ScalarSubqueryCardinalityChecks) {
+  EXPECT_TRUE(Q("SELECT (SELECT n FROM nums WHERE n = 99)").At(0, 0).is_null());
+  EXPECT_FALSE(db_.Query("SELECT (SELECT n FROM nums)").ok());
+}
+
+TEST_F(ExecTest, InSubqueryWithNulls) {
+  // 4 IN (set without 4 but with NULL) -> NULL -> filtered.
+  EXPECT_EQ(
+      Q("SELECT d FROM nums WHERE 4 IN (SELECT n FROM nums)").num_rows(),
+      0u);
+  EXPECT_EQ(
+      Q("SELECT d FROM nums WHERE 5 IN (SELECT n FROM nums)").num_rows(),
+      5u);
+}
+
+TEST_F(ExecTest, ConcatCoercesToString) {
+  ResultSet rs = Q("SELECT s || '-' || n FROM nums WHERE n = 1");
+  EXPECT_EQ(rs.At(0, 0).string_value(), "one-1");
+}
+
+TEST_F(ExecTest, CastSemantics) {
+  EXPECT_EQ(Q("SELECT CAST('42' AS INTEGER)").At(0, 0).int64_value(), 42);
+  EXPECT_EQ(Q("SELECT CAST(4.9 AS INTEGER)").At(0, 0).int64_value(), 4);
+  EXPECT_EQ(Q("SELECT CAST(7 AS VARCHAR)").At(0, 0).string_value(), "7");
+  EXPECT_TRUE(Q("SELECT CAST(NULL AS INTEGER)").At(0, 0).is_null());
+  EXPECT_TRUE(Q("SELECT CAST(1 AS BOOLEAN)").At(0, 0).bool_value());
+  EXPECT_FALSE(db_.Query("SELECT CAST('xyz' AS INTEGER)").ok());
+}
+
+TEST_F(ExecTest, SelectWithoutFromAndConstantFilter) {
+  EXPECT_EQ(Q("SELECT 1, 'a'").num_rows(), 1u);
+  EXPECT_EQ(Q("SELECT 1 WHERE 1 = 2").num_rows(), 0u);
+  EXPECT_EQ(Q("SELECT 1 WHERE 1 = 1").num_rows(), 1u);
+}
+
+TEST_F(ExecTest, ComparingIncomparableKindsIsAnError) {
+  EXPECT_FALSE(db_.Query("SELECT * FROM nums WHERE s > 1").ok());
+}
+
+TEST_F(ExecTest, StatsCountScannedAndEmittedRows) {
+  Q("SELECT * FROM nums WHERE n = 1");
+  // With the equality index the scan touches only the matching row.
+  EXPECT_EQ(db_.last_stats().rows_scanned, 1u);
+  EXPECT_EQ(db_.last_stats().rows_emitted, 1u);
+  EXPECT_EQ(db_.last_stats().index_scans, 1u);
+}
+
+TEST_F(ExecTest, DerivedTables) {
+  ResultSet rs = Q(
+      "SELECT t.total FROM (SELECT owner, COUNT(*) AS total FROM pets "
+      "GROUP BY owner) AS t WHERE t.owner = 'ann'");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.At(0, 0).int64_value(), 2);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,132 @@
+// Tests for the Experiment facade — the library's top-level public API —
+// and its configuration variants.
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+#include "pdm/pdm_schema.h"
+
+namespace pdm::client {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+TEST(ExperimentApi, CreateWiresEverything) {
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 2;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  Experiment& e = **experiment;
+
+  // Schema installed, product generated, rules in place, procedures
+  // registered.
+  EXPECT_TRUE(e.server().database().catalog().HasTable(pdmsys::kAssyTable));
+  EXPECT_GT(e.product().total_nodes, 0u);
+  EXPECT_EQ(e.rule_table().size(), 3u);  // acc + link + check-out rules
+  ResultSet out;
+  EXPECT_TRUE(e.server()
+                  .database()
+                  .Execute("CALL pdm_checkin(1, 'scott', 1, 40, 60)", &out)
+                  .ok());
+}
+
+TEST(ExperimentApi, InvalidGeneratorConfigSurfaces) {
+  ExperimentConfig config;
+  config.generator.depth = 0;
+  EXPECT_FALSE(Experiment::Create(config).ok());
+}
+
+TEST(ExperimentApi, MakeStrategyCoversAllKinds) {
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 2;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  for (StrategyKind kind :
+       {StrategyKind::kNavigationalLate, StrategyKind::kNavigationalEarly,
+        StrategyKind::kRecursive}) {
+    std::unique_ptr<AccessStrategy> strategy =
+        (*experiment)->MakeStrategy(kind);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_FALSE(strategy->name().empty());
+    Result<ActionResult> result =
+        strategy->SingleLevelExpand((*experiment)->product().root_obid);
+    EXPECT_TRUE(result.ok()) << strategy->name() << ": " << result.status();
+  }
+}
+
+TEST(ExperimentApi, NodeBytesScaleTransferTime) {
+  for (size_t node_bytes : {256u, 1024u}) {
+    ExperimentConfig config;
+    config.generator.depth = 3;
+    config.generator.branching = 3;
+    config.client.node_bytes = node_bytes;
+    Result<std::unique_ptr<Experiment>> experiment =
+        Experiment::Create(config);
+    ASSERT_TRUE(experiment.ok());
+    Result<ActionResult> result = (*experiment)->RunAction(
+        StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+    ASSERT_TRUE(result.ok());
+    // Response payload = visible objects (+root) * node_bytes.
+    EXPECT_DOUBLE_EQ(
+        result->wan.response_payload_bytes,
+        static_cast<double>((result->visible_nodes + 1) * node_bytes));
+  }
+}
+
+TEST(ExperimentApi, WanParametersReachTheLink) {
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 2;
+  config.wan.latency_s = 0.25;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  Result<ActionResult> result = (*experiment)->RunAction(
+      StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->wan.latency_seconds, 0.5, 1e-9);
+}
+
+TEST(ExperimentApi, SuccessiveActionsAreIndependent) {
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 3;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  Experiment& e = **experiment;
+
+  Result<ActionResult> first =
+      e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  Result<ActionResult> second =
+      e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(first.ok() && second.ok());
+  // Stats are per action, not cumulative.
+  EXPECT_EQ(first->wan.round_trips, second->wan.round_trips);
+  EXPECT_DOUBLE_EQ(first->seconds(), second->seconds());
+}
+
+TEST(ExperimentApi, InstallStandardRulesIsSelfContained) {
+  rules::RuleTable table;
+  ASSERT_TRUE(InstallStandardRules(&table).ok());
+  EXPECT_EQ(table.size(), 3u);
+  // One rule of each relevant class.
+  EXPECT_EQ(table
+                .FetchRelevant("anyone", rules::RuleAction::kQuery,
+                               rules::ConditionClass::kRow)
+                .size(),
+            2u);  // acc + link rules
+  EXPECT_EQ(table
+                .FetchRelevant("anyone", rules::RuleAction::kCheckOut,
+                               rules::ConditionClass::kForAllRows)
+                .size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace pdm::client

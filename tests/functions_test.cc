@@ -1,0 +1,122 @@
+// Tests for the builtin scalar functions and the registry.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace pdm {
+namespace {
+
+class FunctionsTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& expr) {
+    Result<ResultSet> result = db_.Query("SELECT " + expr);
+    EXPECT_TRUE(result.ok()) << expr << " -> " << result.status();
+    return result.ok() ? result->At(0, 0) : Value::Null();
+  }
+
+  Database db_;
+};
+
+TEST_F(FunctionsTest, Abs) {
+  EXPECT_EQ(Eval("ABS(-5)").int64_value(), 5);
+  EXPECT_DOUBLE_EQ(Eval("ABS(-2.5)").double_value(), 2.5);
+  EXPECT_TRUE(Eval("ABS(NULL)").is_null());
+}
+
+TEST_F(FunctionsTest, Mod) {
+  EXPECT_EQ(Eval("MOD(7, 3)").int64_value(), 1);
+  EXPECT_FALSE(db_.Query("SELECT MOD(1, 0)").ok());
+  EXPECT_FALSE(db_.Query("SELECT MOD(1.5, 2)").ok());
+}
+
+TEST_F(FunctionsTest, StringFunctions) {
+  EXPECT_EQ(Eval("LENGTH('abc')").int64_value(), 3);
+  EXPECT_EQ(Eval("UPPER('aBc')").string_value(), "ABC");
+  EXPECT_EQ(Eval("LOWER('AbC')").string_value(), "abc");
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2, 3)").string_value(), "bcd");
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 4)").string_value(), "def");
+  EXPECT_EQ(Eval("SUBSTR('abc', 10)").string_value(), "");
+  EXPECT_EQ(Eval("SUBSTR('abc', 1, 0)").string_value(), "");
+  EXPECT_TRUE(Eval("UPPER(NULL)").is_null());
+}
+
+TEST_F(FunctionsTest, CoalesceAndNullif) {
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 3)").int64_value(), 3);
+  EXPECT_TRUE(Eval("COALESCE(NULL, NULL)").is_null());
+  EXPECT_TRUE(Eval("NULLIF(1, 1)").is_null());
+  EXPECT_EQ(Eval("NULLIF(1, 2)").int64_value(), 1);
+  EXPECT_TRUE(Eval("NULLIF(NULL, 1)").is_null());
+}
+
+TEST_F(FunctionsTest, BitOperations) {
+  EXPECT_EQ(Eval("BITAND(6, 3)").int64_value(), 2);
+  EXPECT_EQ(Eval("BITOR(4, 3)").int64_value(), 7);
+  EXPECT_TRUE(Eval("BITAND(NULL, 1)").is_null());
+  // Structure option overlap as the rule layer expresses it.
+  EXPECT_TRUE(Eval("BITAND(3, 1) <> 0").bool_value());
+  EXPECT_FALSE(Eval("BITAND(2, 1) <> 0").bool_value());
+}
+
+TEST_F(FunctionsTest, OverlapsRange) {
+  // Effectivity overlap semantics (closed intervals).
+  EXPECT_TRUE(Eval("OVERLAPS_RANGE(1, 10, 5, 20)").bool_value());
+  EXPECT_TRUE(Eval("OVERLAPS_RANGE(1, 10, 10, 20)").bool_value());
+  EXPECT_FALSE(Eval("OVERLAPS_RANGE(1, 9, 10, 20)").bool_value());
+  EXPECT_TRUE(Eval("OVERLAPS_RANGE(5, 6, 1, 100)").bool_value());
+}
+
+TEST_F(FunctionsTest, GreatestLeast) {
+  EXPECT_EQ(Eval("GREATEST(1, 5, 3)").int64_value(), 5);
+  EXPECT_EQ(Eval("LEAST(2, 7, 4)").int64_value(), 2);
+  EXPECT_EQ(Eval("GREATEST('a', 'c', 'b')").string_value(), "c");
+  EXPECT_TRUE(Eval("GREATEST(1, NULL)").is_null());
+  EXPECT_FALSE(db_.Query("SELECT GREATEST(1, 'a')").ok());
+}
+
+TEST_F(FunctionsTest, ArityChecking) {
+  EXPECT_FALSE(db_.Query("SELECT ABS(1, 2)").ok());
+  EXPECT_FALSE(db_.Query("SELECT LENGTH()").ok());
+}
+
+TEST_F(FunctionsTest, UserRegisteredFunction) {
+  ASSERT_TRUE(db_.RegisterFunction(
+                    "double_it", 1, 1,
+                    [](const std::vector<Value>& args) -> Result<Value> {
+                      if (args[0].is_null()) return Value::Null();
+                      return Value::Int64(args[0].int64_value() * 2);
+                    })
+                  .ok());
+  EXPECT_EQ(Eval("DOUBLE_IT(21)").int64_value(), 42);
+  // Registration is case-insensitive; duplicates rejected.
+  Status dup = db_.RegisterFunction(
+      "Double_It", 1, 1,
+      [](const std::vector<Value>&) -> Result<Value> { return Value::Null(); });
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FunctionsTest, TransientAttributeUseCase) {
+  // The paper's Section 4.1: a computed "transient attribute" provided
+  // as a stored function so row conditions can be pushed to the server.
+  ASSERT_TRUE(db_.RegisterFunction(
+                    "volume_class", 1, 1,
+                    [](const std::vector<Value>& args) -> Result<Value> {
+                      if (args[0].is_null()) return Value::Null();
+                      return Value::String(
+                          args[0].AsDouble() > 10 ? "bulky" : "compact");
+                    })
+                  .ok());
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE part (id INTEGER, weight DOUBLE);
+    INSERT INTO part VALUES (1, 3.0), (2, 30.0);
+  )sql")
+                  .ok());
+  Result<ResultSet> rs = db_.Query(
+      "SELECT id FROM part WHERE VOLUME_CLASS(weight) = 'compact'");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,232 @@
+// Tests for the Section 5.5 query modification: each rule class lands in
+// the right SELECTs, and the modified queries execute correctly against
+// the paper's example data.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "pdm/generator.h"
+#include "rules/procedures.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+#include "sql/parser.h"
+
+namespace pdm::rules {
+namespace {
+
+pdmsys::UserContext TestUser() {
+  pdmsys::UserContext user;
+  user.name = "scott";
+  user.strc_opt = 1;
+  user.eff_from = 40;
+  user.eff_to = 60;
+  return user;
+}
+
+class ModificatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pdmsys::GeneratorConfig config;
+    config.depth = 3;
+    config.branching = 3;
+    config.sigma = 1.0;  // everything passes the link calibration
+    config.user = TestUser();
+    Result<pdmsys::GeneratedProduct> product =
+        pdmsys::GenerateProduct(&db_, config);
+    ASSERT_TRUE(product.ok()) << product.status();
+    product_ = *product;
+  }
+
+  Result<ModificationSummary> Modify(sql::SelectStmt* stmt,
+                                     RuleAction action) {
+    QueryModificator modificator(&rules_, TestUser());
+    return modificator.ApplyToRecursiveQuery(stmt, action);
+  }
+
+  Database db_;
+  RuleTable rules_;
+  pdmsys::GeneratedProduct product_;
+};
+
+TEST_F(ModificatorTest, RowConditionsLandInsideAndOutside) {
+  Rule rule;
+  rule.object_type = "link";
+  rule.condition = std::move(*RowCondition::Parse("link", "eff_from <= 50"));
+  rules_.AddRule(std::move(rule));
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  Result<ModificationSummary> summary =
+      Modify(stmt.get(), RuleAction::kMultiLevelExpand);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_GT(summary->row_conditions, 0u);
+
+  // Inside: both recursive members join link -> the predicate appears in
+  // their WHERE. Outside: the link member of the outer query.
+  const sql::QueryExpr& cte = *stmt->ctes[0].query;
+  EXPECT_EQ(cte.terms[0].where->ToSql().find("eff_from"),
+            std::string::npos);  // seed references assy only
+  EXPECT_NE(cte.terms[1].where->ToSql().find("link.eff_from <= 50"),
+            std::string::npos);
+  EXPECT_NE(cte.terms[2].where->ToSql().find("link.eff_from <= 50"),
+            std::string::npos);
+  EXPECT_NE(stmt->query.terms[1].where->ToSql().find("link.eff_from <= 50"),
+            std::string::npos);
+  // The outer object member scans rtbl only: no injection.
+  EXPECT_EQ(stmt->query.terms[0].where, nullptr);
+}
+
+TEST_F(ModificatorTest, RowConditionsOfSameGroupAreOrCombined) {
+  Rule a;
+  a.object_type = "assy";
+  a.condition = std::move(*RowCondition::Parse("assy", "dec = '+'"));
+  rules_.AddRule(std::move(a));
+  Rule b;
+  b.object_type = "assy";
+  b.condition = std::move(*RowCondition::Parse("assy", "make_or_buy = 'make'"));
+  rules_.AddRule(std::move(b));
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  ASSERT_TRUE(Modify(stmt.get(), RuleAction::kMultiLevelExpand).ok());
+  std::string where = stmt->ctes[0].query->terms[1].where->ToSql();
+  EXPECT_NE(where.find("(assy.dec = '+') OR (assy.make_or_buy = 'make')"),
+            std::string::npos)
+      << where;
+}
+
+TEST_F(ModificatorTest, ForAllRowsLandsOutsideOnly) {
+  Rule rule;
+  rule.action = RuleAction::kCheckOut;
+  rule.condition = std::make_unique<ForAllRowsCondition>(
+      "", std::move(*sql::ParseSqlExpression("checkedout = FALSE")));
+  rules_.AddRule(std::move(rule));
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  Result<ModificationSummary> summary =
+      Modify(stmt.get(), RuleAction::kCheckOut);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->forall_rows, 1u);
+
+  // Not inside the recursion...
+  for (const sql::SelectCore& term : stmt->ctes[0].query->terms) {
+    if (term.where != nullptr) {
+      EXPECT_EQ(term.where->ToSql().find("NOT EXISTS"), std::string::npos);
+    }
+  }
+  // ...but in every outer SELECT.
+  for (const sql::SelectCore& term : stmt->query.terms) {
+    ASSERT_NE(term.where, nullptr);
+    EXPECT_NE(term.where->ToSql().find("NOT EXISTS (SELECT * FROM rtbl"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ModificatorTest, ExistsStructureLandsOnTheTargetTypeMember) {
+  Rule rule;
+  rule.object_type = "comp";
+  rule.condition = std::make_unique<ExistsStructureCondition>(
+      "comp", "specified_by", "spec");
+  rules_.AddRule(std::move(rule));
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  Result<ModificationSummary> summary =
+      Modify(stmt.get(), RuleAction::kMultiLevelExpand);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->exists_structure, 1u);
+
+  const sql::QueryExpr& cte = *stmt->ctes[0].query;
+  // The assy member keeps only its hierarchy predicate; the comp member
+  // gets the EXISTS appended.
+  ASSERT_NE(cte.terms[1].where, nullptr);
+  EXPECT_EQ(cte.terms[1].where->ToSql().find("EXISTS"), std::string::npos);
+  ASSERT_NE(cte.terms[2].where, nullptr);
+  EXPECT_NE(cte.terms[2].where->ToSql().find("specified_by.left = comp.obid"),
+            std::string::npos);
+}
+
+TEST_F(ModificatorTest, TreeAggregateAllOrNothingExecutes) {
+  Rule rule;
+  rule.condition = std::make_unique<TreeAggregateCondition>(
+      AggKind::kCountStar, "", "assy", sql::BinaryOp::kLessEq,
+      Value::Int64(3));
+  rules_.AddRule(std::move(rule));
+
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  ASSERT_TRUE(Modify(stmt.get(), RuleAction::kMultiLevelExpand).ok());
+  ResultSet rs;
+  ASSERT_TRUE(db_.ExecuteStatement(*stmt, &rs).ok());
+  // The σ=1 tree has 1+3+9 = 13 assemblies (> 3): all-or-nothing empties
+  // the result.
+  EXPECT_EQ(rs.num_rows(), 0u);
+
+  // Relax the threshold: the whole tree comes back.
+  RuleTable relaxed;
+  Rule ok_rule;
+  ok_rule.condition = std::make_unique<TreeAggregateCondition>(
+      AggKind::kCountStar, "", "assy", sql::BinaryOp::kLessEq,
+      Value::Int64(100));
+  relaxed.AddRule(std::move(ok_rule));
+  std::unique_ptr<sql::SelectStmt> stmt2 =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  QueryModificator modificator(&relaxed, TestUser());
+  ASSERT_TRUE(
+      modificator
+          .ApplyToRecursiveQuery(stmt2.get(), RuleAction::kMultiLevelExpand)
+          .ok());
+  ASSERT_TRUE(db_.ExecuteStatement(*stmt2, &rs).ok());
+  // 13 assy + 27 comp + 39 links.
+  EXPECT_EQ(rs.num_rows(), 79u);
+}
+
+TEST_F(ModificatorTest, RequiresARecursiveQuery) {
+  sql::SelectStmt flat;
+  Result<ModificationSummary> summary =
+      Modify(&flat, RuleAction::kMultiLevelExpand);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ModificatorTest, NavigationalInjectionSkipsTreeConditions) {
+  Rule forall;
+  forall.condition = std::make_unique<ForAllRowsCondition>(
+      "", std::move(*sql::ParseSqlExpression("checkedout = FALSE")));
+  rules_.AddRule(std::move(forall));
+  Rule row;
+  row.object_type = "assy";
+  row.condition = std::move(*RowCondition::Parse("assy", "acc = '+'"));
+  rules_.AddRule(std::move(row));
+
+  std::unique_ptr<sql::SelectStmt> expand =
+      BuildExpandQuery(product_.root_obid);
+  QueryModificator modificator(&rules_, TestUser());
+  Result<ModificationSummary> summary = modificator.ApplyToNavigationalQuery(
+      &expand->query, RuleAction::kExpand);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->forall_rows, 0u);
+  EXPECT_GT(summary->row_conditions, 0u);
+  EXPECT_NE(expand->query.terms[0].where->ToSql().find("assy.acc = '+'"),
+            std::string::npos);
+}
+
+TEST_F(ModificatorTest, ModifiedQueryStillRoundTripsThroughTheParser) {
+  Rule rule;
+  rule.object_type = "link";
+  rule.condition = std::move(*RowCondition::Parse(
+      "link",
+      "BITAND(strc_opt, $user.strc_opt) <> 0 AND eff_from <= $user.eff_to"));
+  rules_.AddRule(std::move(rule));
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  ASSERT_TRUE(Modify(stmt.get(), RuleAction::kMultiLevelExpand).ok());
+  std::string sql = stmt->ToSql();
+  Result<sql::StatementPtr> parsed = sql::ParseSql(sql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ((*parsed)->ToSql(), sql);
+}
+
+}  // namespace
+}  // namespace pdm::rules

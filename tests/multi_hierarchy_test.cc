@@ -1,0 +1,117 @@
+// Tests for parallel hierarchical views over the same flat object set
+// (the paper's footnote 1 motivation for the flat representation).
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+#include "pdm/pdm_schema.h"
+
+namespace pdm::client {
+namespace {
+
+class MultiHierarchyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExperimentConfig config;
+    config.generator.depth = 3;
+    config.generator.branching = 3;
+    config.generator.sigma = 1.0;  // full visibility: compare structures
+    config.generator.build_functional_view = true;
+    Result<std::unique_ptr<Experiment>> experiment =
+        Experiment::Create(config);
+    ASSERT_TRUE(experiment.ok()) << experiment.status();
+    experiment_ = std::move(*experiment);
+  }
+
+  Result<ActionResult> Expand(const std::string& hierarchy) {
+    ClientConfig config;
+    config.hierarchy = hierarchy;
+    RecursiveStrategy strategy(&experiment_->connection(),
+                               &experiment_->rule_table(),
+                               experiment_->user(), config);
+    return strategy.MultiLevelExpand(experiment_->product().root_obid);
+  }
+
+  std::unique_ptr<Experiment> experiment_;
+};
+
+TEST_F(MultiHierarchyTest, GeneratorEmitsBothLinkSets) {
+  EXPECT_EQ(experiment_->product().total_links, 39u);       // 3+9+27
+  EXPECT_EQ(experiment_->product().functional_links, 39u);
+  Result<ResultSet> counts = experiment_->server().database().Query(
+      "SELECT hier, COUNT(*) FROM link GROUP BY hier ORDER BY 1");
+  ASSERT_TRUE(counts.ok());
+  ASSERT_EQ(counts->num_rows(), 2u);
+  EXPECT_EQ(counts->At(0, 0).string_value(), "func");
+  EXPECT_EQ(counts->At(0, 1).int64_value(), 39);
+  EXPECT_EQ(counts->At(1, 0).string_value(), "phys");
+}
+
+TEST_F(MultiHierarchyTest, BothViewsSpanTheSameObjects) {
+  Result<ActionResult> phys = Expand(pdmsys::kPhysicalHierarchy);
+  Result<ActionResult> func = Expand(pdmsys::kFunctionalHierarchy);
+  ASSERT_TRUE(phys.ok()) << phys.status();
+  ASSERT_TRUE(func.ok()) << func.status();
+
+  // Same node set...
+  EXPECT_EQ(phys->tree.num_nodes(), 40u);  // root + 39
+  EXPECT_EQ(func->tree.num_nodes(), 40u);
+  for (const pdmsys::ProductNode& node : phys->tree.nodes()) {
+    EXPECT_TRUE(func->tree.FindByObid(node.obid).has_value()) << node.obid;
+  }
+}
+
+TEST_F(MultiHierarchyTest, ViewsDifferStructurally) {
+  Result<ActionResult> phys = Expand(pdmsys::kPhysicalHierarchy);
+  Result<ActionResult> func = Expand(pdmsys::kFunctionalHierarchy);
+  ASSERT_TRUE(phys.ok() && func.ok());
+
+  // At least one node has a different parent in the functional view.
+  size_t differing = 0;
+  for (const pdmsys::ProductNode& node : phys->tree.nodes()) {
+    if (!node.parent.has_value()) continue;
+    int64_t phys_parent = phys->tree.node(*node.parent).obid;
+    std::optional<size_t> func_index = func->tree.FindByObid(node.obid);
+    ASSERT_TRUE(func_index.has_value());
+    const pdmsys::ProductNode& func_node = func->tree.node(*func_index);
+    ASSERT_TRUE(func_node.parent.has_value());
+    if (func->tree.node(*func_node.parent).obid != phys_parent) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+  // Both remain proper trees of the same depth.
+  EXPECT_EQ(phys->tree.Depth(), 3u);
+  EXPECT_EQ(func->tree.Depth(), 3u);
+}
+
+TEST_F(MultiHierarchyTest, HierarchiesDoNotLeakIntoEachOther) {
+  // A navigational expand in the physical view must return exactly ω
+  // children even though the root also has functional children.
+  ClientConfig config;
+  config.hierarchy = pdmsys::kPhysicalHierarchy;
+  NavigationalStrategy strategy(&experiment_->connection(),
+                                &experiment_->rule_table(),
+                                experiment_->user(), config,
+                                /*early_evaluation=*/true);
+  Result<ActionResult> result =
+      strategy.SingleLevelExpand(experiment_->product().root_obid);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->visible_nodes, 3u);
+}
+
+TEST_F(MultiHierarchyTest, WithoutFunctionalViewOnlyPhysicalLinksExist) {
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 2;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  Result<ResultSet> funcs = (*experiment)->server().database().Query(
+      "SELECT COUNT(*) FROM link WHERE hier = 'func'");
+  ASSERT_TRUE(funcs.ok());
+  EXPECT_EQ(funcs->At(0, 0).int64_value(), 0);
+}
+
+}  // namespace
+}  // namespace pdm::client

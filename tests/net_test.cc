@@ -1,0 +1,102 @@
+// Tests for the WAN model: packet accounting, statistics accumulation,
+// and consistency with the paper's formulas.
+
+#include <gtest/gtest.h>
+
+#include "net/wan_model.h"
+
+namespace pdm::net {
+namespace {
+
+WanConfig PaperWan() {
+  return WanConfig{0.15, 256, 4096, Accounting::kPaperModel};
+}
+
+TEST(WanModel, TransferSecondsUsesPaperUnits) {
+  // 1 kbit = 1024 bit: 262144 bits / (256 * 1024 bit/s) = 1 s.
+  WanConfig config = PaperWan();
+  EXPECT_DOUBLE_EQ(config.TransferSeconds(32768), 1.0);
+}
+
+TEST(WanModel, PaperAccountingPerRoundTrip) {
+  WanLink link(PaperWan());
+  double seconds = link.RecordRoundTrip(/*request=*/100, /*response=*/512);
+  // Charged: 1 packet (4096) + 512 + half packet (2048) = 6656 bytes.
+  double expected_transfer = 6656.0 * 8 / (256 * 1024);
+  EXPECT_DOUBLE_EQ(seconds, 2 * 0.15 + expected_transfer);
+  EXPECT_EQ(link.stats().round_trips, 1u);
+  EXPECT_EQ(link.stats().messages, 2u);
+  EXPECT_EQ(link.stats().request_packets, 1u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 6656.0);
+}
+
+TEST(WanModel, LargeRequestsUseMultiplePackets) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(/*request=*/9000, /*response=*/0);  // 3 packets
+  EXPECT_EQ(link.stats().request_packets, 3u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 3 * 4096.0 + 2048.0);
+}
+
+TEST(WanModel, ZeroByteRequestStillCostsOnePacket) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(0, 0);
+  EXPECT_EQ(link.stats().request_packets, 1u);
+}
+
+TEST(WanModel, ExactPacketizationRoundsBothSides) {
+  WanConfig config = PaperWan();
+  config.accounting = Accounting::kExactPackets;
+  WanLink link(config);
+  link.RecordRoundTrip(/*request=*/1, /*response=*/4097);
+  EXPECT_EQ(link.stats().request_packets, 1u);
+  EXPECT_EQ(link.stats().response_packets, 2u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 3 * 4096.0);
+}
+
+TEST(WanModel, StatisticsAccumulateAndReset) {
+  WanLink link(PaperWan());
+  for (int i = 0; i < 10; ++i) link.RecordRoundTrip(100, 512);
+  EXPECT_EQ(link.stats().round_trips, 10u);
+  EXPECT_DOUBLE_EQ(link.stats().latency_seconds, 10 * 2 * 0.15);
+  EXPECT_DOUBLE_EQ(link.stats().request_payload_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(link.stats().response_payload_bytes, 5120.0);
+
+  link.ResetStats();
+  EXPECT_EQ(link.stats().round_trips, 0u);
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), 0.0);
+}
+
+TEST(WanModel, StatsAddCombines) {
+  WanLink a(PaperWan());
+  WanLink b(PaperWan());
+  a.RecordRoundTrip(10, 20);
+  b.RecordRoundTrip(30, 40);
+  WanStats combined = a.stats();
+  combined.Add(b.stats());
+  EXPECT_EQ(combined.round_trips, 2u);
+  EXPECT_DOUBLE_EQ(combined.request_payload_bytes, 40.0);
+  EXPECT_DOUBLE_EQ(combined.latency_seconds, 4 * 0.15);
+}
+
+TEST(WanModel, LatencyDominatesManySmallQueries) {
+  // The paper's core observation in miniature: n queries of tiny payload
+  // cost n round trips of latency; one query with the same total payload
+  // costs two messages.
+  WanLink many(PaperWan());
+  for (int i = 0; i < 100; ++i) many.RecordRoundTrip(100, 512);
+  WanLink one(PaperWan());
+  one.RecordRoundTrip(100, 51200);
+  EXPECT_GT(many.stats().total_seconds(), one.stats().total_seconds());
+  EXPECT_NEAR(many.stats().latency_seconds, 30.0, 1e-9);
+  EXPECT_NEAR(one.stats().latency_seconds, 0.3, 1e-12);
+}
+
+TEST(WanModel, ToStringMentionsKeyFigures) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 512);
+  std::string text = link.stats().ToString();
+  EXPECT_NE(text.find("round_trips=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdm::net

@@ -1,0 +1,81 @@
+// Guards the transcription of the paper's printed numbers in the bench
+// harness: every transcribed total must match our closed-form model to
+// printing precision, so a typo in either would be caught.
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+constexpr ActionKind kActions[] = {ActionKind::kQuery,
+                                   ActionKind::kSingleLevelExpand,
+                                   ActionKind::kMultiLevelExpand};
+
+TEST(PaperConstants, Table2MatchesModelEverywhere) {
+  std::vector<model::NetworkParams> nets = model::PaperNetworkScenarios();
+  std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
+  for (size_t n = 0; n < nets.size(); ++n) {
+    for (size_t t = 0; t < trees.size(); ++t) {
+      for (size_t a = 0; a < 3; ++a) {
+        double paper = PaperTable2Totals()[n][t][a];
+        model::ResponseTime predicted =
+            model::Predict(StrategyKind::kNavigationalLate, kActions[a],
+                           trees[t], nets[n]);
+        EXPECT_NEAR(predicted.total(), paper, 0.011)
+            << "net " << n << " tree " << t << " action " << a;
+      }
+    }
+  }
+}
+
+TEST(PaperConstants, Table3MatchesModelEverywhere) {
+  std::vector<model::NetworkParams> nets = model::PaperNetworkScenarios();
+  std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
+  for (size_t n = 0; n < nets.size(); ++n) {
+    for (size_t t = 0; t < trees.size(); ++t) {
+      for (size_t a = 0; a < 3; ++a) {
+        double paper = PaperTable3Totals()[n][t][a];
+        model::ResponseTime predicted =
+            model::Predict(StrategyKind::kNavigationalEarly, kActions[a],
+                           trees[t], nets[n]);
+        EXPECT_NEAR(predicted.total(), paper, 0.011)
+            << "net " << n << " tree " << t << " action " << a;
+      }
+    }
+  }
+}
+
+TEST(PaperConstants, Table4MatchesModelEverywhere) {
+  std::vector<model::NetworkParams> nets = model::PaperNetworkScenarios();
+  std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
+  for (size_t n = 0; n < nets.size(); ++n) {
+    for (size_t t = 0; t < trees.size(); ++t) {
+      double paper = PaperTable4MleTotals()[n][t];
+      model::ResponseTime predicted =
+          model::Predict(StrategyKind::kRecursive,
+                         ActionKind::kMultiLevelExpand, trees[t], nets[n]);
+      EXPECT_NEAR(predicted.total(), paper, 0.011)
+          << "net " << n << " tree " << t;
+    }
+  }
+}
+
+TEST(PaperConstants, Table3And4AgreeWhereTheyOverlap) {
+  // The paper's Table 4 MLE totals equal Table 3's Query totals: with
+  // early evaluation the recursive MLE ships exactly the visible node
+  // set in one round trip, as a flat query does.
+  for (size_t n = 0; n < 3; ++n) {
+    for (size_t t = 0; t < 3; ++t) {
+      EXPECT_NEAR(PaperTable4MleTotals()[n][t], PaperTable3Totals()[n][t][0],
+                  0.011);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdm::bench

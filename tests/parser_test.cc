@@ -1,0 +1,306 @@
+// Unit tests for the SQL parser: statement shapes, precedence, rendering
+// round trips, and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace pdm::sql {
+namespace {
+
+StatementPtr MustParse(std::string_view input) {
+  Result<StatementPtr> stmt = ParseSql(input);
+  EXPECT_TRUE(stmt.ok()) << input << " -> " << stmt.status();
+  return stmt.ok() ? std::move(stmt).value() : nullptr;
+}
+
+ExprPtr MustParseExpr(std::string_view input) {
+  Result<ExprPtr> expr = ParseSqlExpression(input);
+  EXPECT_TRUE(expr.ok()) << input << " -> " << expr.status();
+  return expr.ok() ? std::move(expr).value() : nullptr;
+}
+
+/// Parsing the rendered text again must yield identical rendering
+/// (idempotent fixpoint).
+void ExpectRenderRoundTrip(std::string_view input) {
+  StatementPtr stmt = MustParse(input);
+  ASSERT_NE(stmt, nullptr);
+  std::string rendered = stmt->ToSql();
+  Result<StatementPtr> again = ParseSql(rendered);
+  ASSERT_TRUE(again.ok()) << rendered << " -> " << again.status();
+  EXPECT_EQ((*again)->ToSql(), rendered);
+}
+
+TEST(Parser, MinimalSelect) {
+  StatementPtr stmt = MustParse("SELECT 1");
+  ASSERT_EQ(stmt->kind, StatementKind::kSelect);
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  ASSERT_EQ(select.query.terms.size(), 1u);
+  EXPECT_TRUE(select.query.terms[0].from.empty());
+}
+
+TEST(Parser, SelectStarFromWhere) {
+  StatementPtr stmt = MustParse("SELECT * FROM assy WHERE obid = 1");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  const SelectCore& core = select.query.terms[0];
+  EXPECT_TRUE(core.items[0].is_star);
+  ASSERT_EQ(core.from.size(), 1u);
+  EXPECT_EQ(core.from[0].ref.table_name, "assy");
+  ASSERT_NE(core.where, nullptr);
+}
+
+TEST(Parser, QualifiedStar) {
+  StatementPtr stmt = MustParse("SELECT a.* FROM assy AS a");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_TRUE(select.query.terms[0].items[0].is_star);
+  EXPECT_EQ(select.query.terms[0].items[0].star_qualifier, "a");
+  EXPECT_EQ(select.query.terms[0].from[0].ref.alias, "a");
+}
+
+TEST(Parser, AliasesWithAndWithoutAs) {
+  StatementPtr stmt =
+      MustParse("SELECT obid oid, name AS n FROM assy a");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_EQ(select.query.terms[0].items[0].alias, "oid");
+  EXPECT_EQ(select.query.terms[0].items[1].alias, "n");
+  EXPECT_EQ(select.query.terms[0].from[0].ref.alias, "a");
+}
+
+TEST(Parser, QuotedAliases) {
+  StatementPtr stmt = MustParse("SELECT dec AS \"DEC\" FROM assy");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_EQ(select.query.terms[0].items[0].alias, "DEC");
+}
+
+TEST(Parser, JoinChains) {
+  StatementPtr stmt = MustParse(
+      "SELECT * FROM rtbl JOIN link ON rtbl.obid = link.left "
+      "JOIN assy ON link.right = assy.obid");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  const FromItem& from = select.query.terms[0].from[0];
+  EXPECT_EQ(from.ref.table_name, "rtbl");
+  ASSERT_EQ(from.joins.size(), 2u);
+  EXPECT_EQ(from.joins[0].ref.table_name, "link");
+  EXPECT_EQ(from.joins[1].ref.table_name, "assy");
+  ASSERT_NE(from.joins[1].on, nullptr);
+}
+
+TEST(Parser, InnerJoinKeywordAccepted) {
+  StatementPtr stmt = MustParse(
+      "SELECT * FROM a INNER JOIN b ON a.x = b.y");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_EQ(select.query.terms[0].from[0].joins.size(), 1u);
+}
+
+TEST(Parser, CommaJoins) {
+  StatementPtr stmt = MustParse("SELECT * FROM a, b, c WHERE a.x = b.y");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_EQ(select.query.terms[0].from.size(), 3u);
+}
+
+TEST(Parser, DerivedTableRequiresAlias) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM (SELECT 1) AS t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM (SELECT 1)").ok());
+}
+
+TEST(Parser, UnionChainsWithMixedAll) {
+  StatementPtr stmt = MustParse(
+      "SELECT 1 UNION SELECT 2 UNION ALL SELECT 3");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  ASSERT_EQ(select.query.terms.size(), 3u);
+  ASSERT_EQ(select.query.union_all.size(), 2u);
+  EXPECT_FALSE(select.query.union_all[0]);
+  EXPECT_TRUE(select.query.union_all[1]);
+}
+
+TEST(Parser, OrderByPositionsAndNamesAndLimit) {
+  StatementPtr stmt = MustParse(
+      "SELECT type, obid FROM assy ORDER BY 1, obid DESC LIMIT 10");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  ASSERT_EQ(select.query.order_by.size(), 2u);
+  EXPECT_EQ(select.query.order_by[0].position, 1);
+  EXPECT_FALSE(select.query.order_by[0].descending);
+  EXPECT_TRUE(select.query.order_by[1].descending);
+  EXPECT_EQ(select.query.limit, 10);
+}
+
+TEST(Parser, GroupByHaving) {
+  StatementPtr stmt = MustParse(
+      "SELECT material, COUNT(*) FROM comp GROUP BY material "
+      "HAVING COUNT(*) > 3");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_EQ(select.query.terms[0].group_by.size(), 1u);
+  ASSERT_NE(select.query.terms[0].having, nullptr);
+}
+
+TEST(Parser, WithRecursiveClause) {
+  StatementPtr stmt = MustParse(
+      "WITH RECURSIVE rtbl (a, b) AS (SELECT 1, 2 UNION "
+      "SELECT a, b FROM rtbl) SELECT * FROM rtbl");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_TRUE(select.recursive);
+  ASSERT_EQ(select.ctes.size(), 1u);
+  EXPECT_EQ(select.ctes[0].name, "rtbl");
+  EXPECT_EQ(select.ctes[0].column_names.size(), 2u);
+  EXPECT_EQ(select.ctes[0].query->terms.size(), 2u);
+}
+
+TEST(Parser, MultipleCtes) {
+  StatementPtr stmt = MustParse(
+      "WITH a AS (SELECT 1), b AS (SELECT 2) SELECT * FROM a, b");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  EXPECT_FALSE(select.recursive);
+  EXPECT_EQ(select.ctes.size(), 2u);
+}
+
+TEST(Parser, PrecedenceOrOverAnd) {
+  ExprPtr expr = MustParseExpr("a = 1 OR b = 2 AND c = 3");
+  // Must parse as a=1 OR (b=2 AND c=3).
+  ASSERT_EQ(expr->kind, ExprKind::kBinary);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*expr).op, BinaryOp::kOr);
+}
+
+TEST(Parser, PrecedenceArithmetic) {
+  ExprPtr expr = MustParseExpr("1 + 2 * 3");
+  const auto& add = static_cast<const BinaryExpr&>(*expr);
+  EXPECT_EQ(add.op, BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*add.rhs).op, BinaryOp::kMul);
+}
+
+TEST(Parser, NotBindsTighterThanAnd) {
+  ExprPtr expr = MustParseExpr("NOT a = 1 AND b = 2");
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*expr).op, BinaryOp::kAnd);
+}
+
+TEST(Parser, InListAndSubqueryForms) {
+  ExprPtr list = MustParseExpr("x IN (1, 2, 3)");
+  EXPECT_EQ(list->kind, ExprKind::kInList);
+  ExprPtr sub = MustParseExpr("x IN (SELECT obid FROM rtbl)");
+  EXPECT_EQ(sub->kind, ExprKind::kInSubquery);
+  ExprPtr negated = MustParseExpr("x NOT IN (1)");
+  EXPECT_TRUE(static_cast<const InListExpr&>(*negated).negated);
+}
+
+TEST(Parser, ExistsForms) {
+  ExprPtr expr = MustParseExpr("EXISTS (SELECT * FROM t)");
+  EXPECT_EQ(expr->kind, ExprKind::kExists);
+  ExprPtr negated = MustParseExpr("NOT EXISTS (SELECT * FROM t)");
+  EXPECT_EQ(negated->kind, ExprKind::kExists);
+  EXPECT_TRUE(static_cast<const ExistsExpr&>(*negated).negated);
+}
+
+TEST(Parser, BetweenLikeIsNull) {
+  EXPECT_EQ(MustParseExpr("x BETWEEN 1 AND 5")->kind, ExprKind::kBetween);
+  EXPECT_EQ(MustParseExpr("x NOT BETWEEN 1 AND 5")->kind, ExprKind::kBetween);
+  EXPECT_EQ(MustParseExpr("name LIKE 'Assy%'")->kind, ExprKind::kLike);
+  EXPECT_EQ(MustParseExpr("x IS NULL")->kind, ExprKind::kIsNull);
+  ExprPtr not_null = MustParseExpr("x IS NOT NULL");
+  EXPECT_TRUE(static_cast<const IsNullExpr&>(*not_null).negated);
+}
+
+TEST(Parser, CastWithOptionalLength) {
+  ExprPtr expr = MustParseExpr("CAST(NULL AS integer)");
+  EXPECT_EQ(expr->kind, ExprKind::kCast);
+  EXPECT_EQ(static_cast<const CastExpr&>(*expr).target_type,
+            ColumnType::kInt64);
+  EXPECT_EQ(MustParseExpr("CAST(x AS VARCHAR(20))")->kind, ExprKind::kCast);
+}
+
+TEST(Parser, CaseExpression) {
+  ExprPtr expr = MustParseExpr(
+      "CASE WHEN x = 1 THEN 'one' WHEN x = 2 THEN 'two' ELSE 'many' END");
+  const auto& kase = static_cast<const CaseExpr&>(*expr);
+  EXPECT_EQ(kase.whens.size(), 2u);
+  ASSERT_NE(kase.else_expr, nullptr);
+}
+
+TEST(Parser, FunctionCallsIncludingCountStar) {
+  ExprPtr count = MustParseExpr("COUNT(*)");
+  const auto& call = static_cast<const FunctionCallExpr&>(*count);
+  EXPECT_EQ(call.name, "COUNT");
+  ASSERT_EQ(call.args.size(), 1u);
+  EXPECT_EQ(call.args[0]->kind, ExprKind::kStar);
+  ExprPtr distinct = MustParseExpr("COUNT(DISTINCT material)");
+  EXPECT_TRUE(static_cast<const FunctionCallExpr&>(*distinct).distinct);
+}
+
+TEST(Parser, ScalarSubqueryComparison) {
+  ExprPtr expr =
+      MustParseExpr("(SELECT COUNT(*) FROM rtbl WHERE type = 'assy') <= 10");
+  const auto& cmp = static_cast<const BinaryExpr&>(*expr);
+  EXPECT_EQ(cmp.op, BinaryOp::kLessEq);
+  EXPECT_EQ(cmp.lhs->kind, ExprKind::kScalarSubquery);
+}
+
+TEST(Parser, DmlStatements) {
+  EXPECT_EQ(MustParse("CREATE TABLE t (a INTEGER, b VARCHAR(10))")->kind,
+            StatementKind::kCreateTable);
+  EXPECT_EQ(MustParse("CREATE TABLE IF NOT EXISTS t (a INTEGER)")->kind,
+            StatementKind::kCreateTable);
+  EXPECT_EQ(MustParse("DROP TABLE IF EXISTS t")->kind,
+            StatementKind::kDropTable);
+  EXPECT_EQ(MustParse("INSERT INTO t (a) VALUES (1), (2)")->kind,
+            StatementKind::kInsert);
+  EXPECT_EQ(MustParse("UPDATE t SET a = 1, b = 'x' WHERE a > 0")->kind,
+            StatementKind::kUpdate);
+  EXPECT_EQ(MustParse("DELETE FROM t WHERE a = 1")->kind,
+            StatementKind::kDelete);
+  EXPECT_EQ(MustParse("CALL proc(1, 'x')")->kind, StatementKind::kCall);
+}
+
+TEST(Parser, ScriptSplitsOnSemicolons) {
+  Result<std::vector<StatementPtr>> script = ParseSqlScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);;"
+      "SELECT * FROM t");
+  ASSERT_TRUE(script.ok()) << script.status();
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(Parser, RenderRoundTrips) {
+  ExpectRenderRoundTrip("SELECT 1");
+  ExpectRenderRoundTrip(
+      "SELECT a.obid, COUNT(*) FROM assy AS a JOIN link ON a.obid = "
+      "link.left WHERE a.dec = '+' GROUP BY a.obid HAVING COUNT(*) > 1 "
+      "ORDER BY 2 DESC LIMIT 5");
+  ExpectRenderRoundTrip(
+      "WITH RECURSIVE rtbl (type, obid) AS (SELECT type, obid FROM assy "
+      "WHERE obid = 1 UNION SELECT assy.type, assy.obid FROM rtbl JOIN "
+      "link ON rtbl.obid = link.left JOIN assy ON link.right = assy.obid) "
+      "SELECT type, obid, CAST(NULL AS INTEGER) AS \"LEFT\" FROM rtbl "
+      "UNION SELECT type, obid, left FROM link WHERE left IN (SELECT obid "
+      "FROM rtbl) ORDER BY 1, 2");
+  ExpectRenderRoundTrip(
+      "SELECT CASE WHEN x BETWEEN 1 AND 2 THEN 'a' ELSE 'b' END FROM t "
+      "WHERE NOT EXISTS (SELECT * FROM u WHERE u.id = t.id) AND name "
+      "LIKE '%x%'");
+  ExpectRenderRoundTrip("UPDATE t SET a = a + 1 WHERE b IN (1, 2, 3)");
+}
+
+TEST(Parser, Diagnostics) {
+  // Errors carry positions and a description of what was found.
+  Result<StatementPtr> bad = ParseSql("SELECT FROM t");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(ParseSql("SELECT 1 2").ok());           // trailing junk
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());        // missing table
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(ParseSql("SELECT CASE END").ok());      // no WHEN
+  EXPECT_FALSE(ParseSql("WITH x AS SELECT 1 SELECT 2").ok());
+  EXPECT_FALSE(ParseSqlExpression("1 +").ok());
+  EXPECT_FALSE(ParseSqlExpression("CAST(1 AS nosuchtype)").ok());
+}
+
+TEST(Parser, CloneProducesIdenticalSql) {
+  StatementPtr stmt = MustParse(
+      "WITH RECURSIVE r (x) AS (SELECT 1 UNION SELECT x FROM r) "
+      "SELECT x FROM r WHERE x IN (SELECT x FROM r) ORDER BY 1");
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  std::unique_ptr<SelectStmt> clone = select.CloneSelect();
+  EXPECT_EQ(clone->ToSql(), select.ToSql());
+}
+
+}  // namespace
+}  // namespace pdm::sql

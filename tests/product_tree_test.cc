@@ -1,0 +1,147 @@
+// Tests for the client-side product tree and homogenized reassembly.
+
+#include <gtest/gtest.h>
+
+#include "pdm/product_tree.h"
+
+namespace pdm::pdmsys {
+namespace {
+
+Schema HomogenizedSchema() {
+  return Schema({{"type", ColumnType::kString},
+                 {"obid", ColumnType::kInt64},
+                 {"name", ColumnType::kString},
+                 {"LEFT", ColumnType::kInt64},
+                 {"RIGHT", ColumnType::kInt64}});
+}
+
+Row ObjectRow(const char* type, int64_t obid, const char* name) {
+  return Row{Value::String(type), Value::Int64(obid), Value::String(name),
+             Value::Null(), Value::Null()};
+}
+
+Row LinkRow(int64_t obid, int64_t left, int64_t right) {
+  return Row{Value::String("link"), Value::Int64(obid), Value::String(""),
+             Value::Int64(left), Value::Int64(right)};
+}
+
+TEST(ProductTree, AddNodeBuildsParentChildLinks) {
+  ProductTree tree;
+  size_t root = tree.AddNode(1, "assy", "Root", std::nullopt);
+  size_t child = tree.AddNode(2, "comp", "Leaf", root);
+  EXPECT_EQ(tree.num_nodes(), 2u);
+  EXPECT_EQ(tree.node(root).children.size(), 1u);
+  EXPECT_EQ(tree.node(child).parent, root);
+  EXPECT_EQ(tree.Depth(), 1u);
+}
+
+TEST(ProductTree, DuplicateObidsAreIdempotent) {
+  ProductTree tree;
+  size_t root = tree.AddNode(1, "assy", "Root", std::nullopt);
+  size_t again = tree.AddNode(1, "assy", "Root", std::nullopt);
+  EXPECT_EQ(root, again);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+}
+
+TEST(ProductTree, FindByObid) {
+  ProductTree tree;
+  tree.AddNode(42, "assy", "X", std::nullopt);
+  EXPECT_TRUE(tree.FindByObid(42).has_value());
+  EXPECT_FALSE(tree.FindByObid(43).has_value());
+}
+
+TEST(ProductTree, AssembleFromHomogenizedRows) {
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  rs.rows = {
+      ObjectRow("assy", 1, "Root"),  ObjectRow("assy", 2, "Sub"),
+      ObjectRow("comp", 101, "C1"),  ObjectRow("comp", 102, "C2"),
+      LinkRow(1001, 1, 2),           LinkRow(1002, 2, 101),
+      LinkRow(1003, 2, 102),
+  };
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_nodes(), 4u);
+  EXPECT_EQ(tree->Depth(), 2u);
+  size_t sub = *tree->FindByObid(2);
+  EXPECT_EQ(tree->node(sub).children.size(), 2u);
+}
+
+TEST(ProductTree, AssembleIgnoresEdgesToFilteredObjects) {
+  // A link whose child object was filtered out (rule) must not create a
+  // node.
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  rs.rows = {
+      ObjectRow("assy", 1, "Root"),
+      LinkRow(1001, 1, 99),  // object 99 absent
+  };
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(ProductTree, AssembleIgnoresUnreachableIslands) {
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  rs.rows = {
+      ObjectRow("assy", 1, "Root"),
+      ObjectRow("assy", 7, "Island"),
+  };
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+}
+
+TEST(ProductTree, EmptyResultYieldsEmptyTree) {
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 0u);
+}
+
+TEST(ProductTree, MissingRootIsAnError) {
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  rs.rows = {ObjectRow("assy", 2, "NotRoot")};
+  EXPECT_FALSE(AssembleFromHomogenized(rs, 1).ok());
+}
+
+TEST(ProductTree, MissingColumnsRejected) {
+  ResultSet rs;
+  rs.schema = Schema({{"type", ColumnType::kString}});
+  rs.rows = {};
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProductTree, ToStringShowsHierarchy) {
+  ProductTree tree;
+  size_t root = tree.AddNode(1, "assy", "Root", std::nullopt);
+  tree.AddNode(2, "comp", "Leaf", root);
+  std::string text = tree.ToString();
+  EXPECT_NE(text.find("assy 1 (Root)"), std::string::npos);
+  EXPECT_NE(text.find("  comp 2 (Leaf)"), std::string::npos);
+}
+
+TEST(ProductTree, SharedChildAttachesToFirstParentSeen) {
+  // The flat representation allows DAG-shaped usage (a part used in two
+  // assemblies). The tree view keeps one placement; the node count must
+  // not double.
+  ResultSet rs;
+  rs.schema = HomogenizedSchema();
+  rs.rows = {
+      ObjectRow("assy", 1, "Root"), ObjectRow("assy", 2, "A"),
+      ObjectRow("assy", 3, "B"),    ObjectRow("comp", 101, "Shared"),
+      LinkRow(1001, 1, 2),          LinkRow(1002, 1, 3),
+      LinkRow(1003, 2, 101),        LinkRow(1004, 3, 101),
+  };
+  Result<ProductTree> tree = AssembleFromHomogenized(rs, 1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 4u);
+}
+
+}  // namespace
+}  // namespace pdm::pdmsys

@@ -1,0 +1,140 @@
+// Tests for the generated PDM queries: structure, executability, and
+// result shapes against generated data.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "pdm/generator.h"
+#include "rules/query_builder.h"
+#include "sql/parser.h"
+
+namespace pdm::rules {
+namespace {
+
+class QueryBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pdmsys::GeneratorConfig config;
+    config.depth = 2;
+    config.branching = 3;
+    config.sigma = 1.0;
+    Result<pdmsys::GeneratedProduct> product =
+        pdmsys::GenerateProduct(&db_, config);
+    ASSERT_TRUE(product.ok()) << product.status();
+    product_ = *product;
+  }
+
+  Database db_;
+  pdmsys::GeneratedProduct product_;
+};
+
+TEST_F(QueryBuilderTest, RecursiveTreeQueryShape) {
+  std::unique_ptr<sql::SelectStmt> stmt =
+      BuildRecursiveTreeQuery(product_.root_obid);
+  EXPECT_TRUE(stmt->recursive);
+  ASSERT_EQ(stmt->ctes.size(), 1u);
+  EXPECT_EQ(stmt->ctes[0].name, kRecursiveTableName);
+  // Seed + one member per object type.
+  EXPECT_EQ(stmt->ctes[0].query->terms.size(), 3u);
+  // Object rows + link rows, ordered by type/obid.
+  EXPECT_EQ(stmt->query.terms.size(), 2u);
+  ASSERT_EQ(stmt->query.order_by.size(), 2u);
+  EXPECT_EQ(stmt->query.order_by[0].position, 1);
+}
+
+TEST_F(QueryBuilderTest, RecursiveTreeQueryRetrievesWholeTree) {
+  ResultSet rs;
+  ASSERT_TRUE(
+      db_.ExecuteStatement(*BuildRecursiveTreeQuery(product_.root_obid), &rs)
+          .ok());
+  // 13 objects (1+3+9) + 12 links.
+  EXPECT_EQ(rs.num_rows(), 25u);
+  // The homogenized schema has both object and link attributes.
+  EXPECT_TRUE(rs.schema.FindColumn("material").has_value());
+  EXPECT_TRUE(rs.schema.FindColumn("dec").has_value());
+  EXPECT_TRUE(rs.schema.FindColumn("LEFT").has_value());
+  EXPECT_TRUE(rs.schema.FindColumn("STRC_OPT").has_value());
+
+  // Object rows carry NULL structure columns; link rows carry values.
+  size_t left = *rs.schema.FindColumn("LEFT");
+  size_t type = *rs.schema.FindColumn("type");
+  for (const Row& row : rs.rows) {
+    bool is_link = row[type].string_value() == "link";
+    EXPECT_EQ(is_link, !row[left].is_null());
+  }
+}
+
+TEST_F(QueryBuilderTest, ExpandQueryReturnsChildrenWithLinkInfo) {
+  ResultSet rs;
+  ASSERT_TRUE(db_.ExecuteStatement(*BuildExpandQuery(product_.root_obid), &rs)
+                  .ok());
+  EXPECT_EQ(rs.num_rows(), 3u);  // ω children of the root
+  size_t left = *rs.schema.FindColumn("LEFT");
+  for (const Row& row : rs.rows) {
+    EXPECT_EQ(row[left].int64_value(), product_.root_obid);
+  }
+}
+
+TEST_F(QueryBuilderTest, ExpandQueryOfLeafIsEmpty) {
+  // Components never have children.
+  Result<ResultSet> comp = db_.Query("SELECT obid FROM comp LIMIT 1");
+  ASSERT_TRUE(comp.ok());
+  int64_t leaf = comp->At(0, 0).int64_value();
+  ResultSet rs;
+  ASSERT_TRUE(db_.ExecuteStatement(*BuildExpandQuery(leaf), &rs).ok());
+  EXPECT_EQ(rs.num_rows(), 0u);
+}
+
+TEST_F(QueryBuilderTest, FlatQueryReturnsAllObjectsWithoutStructure) {
+  ResultSet rs;
+  ASSERT_TRUE(db_.ExecuteStatement(*BuildFlatQuery(), &rs).ok());
+  EXPECT_EQ(rs.num_rows(), 13u);
+  EXPECT_FALSE(rs.schema.FindColumn("LEFT").has_value());
+}
+
+TEST_F(QueryBuilderTest, CheckOutUpdateFlipsFlags) {
+  ResultSet rs;
+  std::unique_ptr<sql::Statement> update = BuildCheckOutUpdate(
+      "assy", {product_.root_obid}, /*checked_out=*/true);
+  ASSERT_TRUE(db_.ExecuteStatement(*update, &rs).ok());
+  EXPECT_EQ(rs.affected_rows, 1u);
+  Result<ResultSet> flag = db_.Query(
+      "SELECT checkedout FROM assy WHERE obid = " +
+      std::to_string(product_.root_obid));
+  ASSERT_TRUE(flag.ok());
+  EXPECT_TRUE(flag->At(0, 0).bool_value());
+
+  update = BuildCheckOutUpdate("assy", {product_.root_obid}, false);
+  ASSERT_TRUE(db_.ExecuteStatement(*update, &rs).ok());
+  flag = db_.Query("SELECT checkedout FROM assy WHERE obid = " +
+                   std::to_string(product_.root_obid));
+  EXPECT_FALSE(flag->At(0, 0).bool_value());
+}
+
+TEST_F(QueryBuilderTest, GeneratedSqlRoundTripsThroughParser) {
+  for (const std::string& sql :
+       {BuildRecursiveTreeQuery(product_.root_obid)->ToSql(),
+        BuildExpandQuery(product_.root_obid)->ToSql(),
+        BuildFlatQuery()->ToSql()}) {
+    Result<sql::StatementPtr> parsed = sql::ParseSql(sql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << sql;
+    EXPECT_EQ((*parsed)->ToSql(), sql);
+  }
+}
+
+TEST_F(QueryBuilderTest, SubtreeQueryFromInnerNode) {
+  // Expanding from a level-1 assembly retrieves only its subtree.
+  Result<ResultSet> inner = db_.Query(
+      "SELECT right FROM link WHERE left = " +
+      std::to_string(product_.root_obid) + " LIMIT 1");
+  ASSERT_TRUE(inner.ok());
+  int64_t subtree_root = inner->At(0, 0).int64_value();
+  ResultSet rs;
+  ASSERT_TRUE(
+      db_.ExecuteStatement(*BuildRecursiveTreeQuery(subtree_root), &rs).ok());
+  // 1 assy + 3 comps + 3 links.
+  EXPECT_EQ(rs.num_rows(), 7u);
+}
+
+}  // namespace
+}  // namespace pdm::rules

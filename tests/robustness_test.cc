@@ -1,0 +1,168 @@
+// Robustness tests: error paths carry the right status codes, malformed
+// and adversarial inputs fail cleanly, and deeply nested / large inputs
+// don't break the engine.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace pdm {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (a INTEGER, b VARCHAR);
+      INSERT INTO t VALUES (1, 'x');
+    )sql")
+                    .ok());
+  }
+
+  StatusCode CodeOf(const std::string& sql) {
+    Result<ResultSet> result = db_.Query(sql);
+    return result.ok() ? StatusCode::kOk : result.status().code();
+  }
+
+  Database db_;
+};
+
+TEST_F(RobustnessTest, StatusCodesAreSpecific) {
+  EXPECT_EQ(CodeOf("SELEC 1"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("SELECT * FROM missing"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("SELECT nosuch FROM t"), StatusCode::kBindError);
+  EXPECT_EQ(CodeOf("SELECT 1 / 0"), StatusCode::kExecutionError);
+  EXPECT_EQ(CodeOf("SELECT 1"), StatusCode::kOk);
+}
+
+TEST_F(RobustnessTest, DeeplyNestedExpressionsParseAndEvaluate) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  Result<ResultSet> result = db_.Query("SELECT " + expr);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, 0).int64_value(), 201);
+}
+
+TEST_F(RobustnessTest, DeeplyNestedSubqueriesWork) {
+  std::string sql = "SELECT a FROM t";
+  for (int i = 0; i < 20; ++i) {
+    sql = "SELECT a FROM (" + sql + ") AS s" + std::to_string(i);
+  }
+  Result<ResultSet> result = db_.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->At(0, 0).int64_value(), 1);
+}
+
+TEST_F(RobustnessTest, ManyColumnsAndWideRows) {
+  std::string create = "CREATE TABLE wide (c0 INTEGER";
+  std::string insert_cols = "INSERT INTO wide VALUES (0";
+  for (int i = 1; i < 100; ++i) {
+    create += ", c" + std::to_string(i) + " INTEGER";
+    insert_cols += ", " + std::to_string(i);
+  }
+  ASSERT_TRUE(db_.Execute(create + ")").ok());
+  ASSERT_TRUE(db_.Execute(insert_cols + ")").ok());
+  Result<ResultSet> result = db_.Query("SELECT * FROM wide");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns(), 100u);
+  EXPECT_EQ(result->At(0, 99).int64_value(), 99);
+}
+
+TEST_F(RobustnessTest, StringsWithQuotesAndSpecialCharsRoundTrip) {
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO t VALUES (2, 'it''s a \"test\"; -- not a "
+                  "comment')")
+          .ok());
+  Result<ResultSet> result = db_.Query("SELECT b FROM t WHERE a = 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->At(0, 0).string_value(),
+            "it's a \"test\"; -- not a comment");
+  // And back out through a literal comparison.
+  Result<ResultSet> again = db_.Query(
+      "SELECT a FROM t WHERE b = 'it''s a \"test\"; -- not a comment'");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_rows(), 1u);
+}
+
+TEST_F(RobustnessTest, EmptyTablesBehave) {
+  ASSERT_TRUE(db_.Execute("DELETE FROM t").ok());
+  EXPECT_EQ(db_.Query("SELECT * FROM t")->num_rows(), 0u);
+  EXPECT_EQ(db_.Query("SELECT COUNT(*) FROM t")->At(0, 0).int64_value(), 0);
+  EXPECT_EQ(db_.Query("SELECT * FROM t AS a, t AS b")->num_rows(), 0u);
+  EXPECT_EQ(db_.Query("SELECT a FROM t GROUP BY a")->num_rows(), 0u);
+  EXPECT_EQ(db_.Query("SELECT DISTINCT a FROM t ORDER BY 1")->num_rows(),
+            0u);
+}
+
+TEST_F(RobustnessTest, SelfJoinManyTimes) {
+  // 5-way self cross join of a 1-row table.
+  Result<ResultSet> result = db_.Query(
+      "SELECT COUNT(*) FROM t AS a, t AS b, t AS c, t AS d, t AS e");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->At(0, 0).int64_value(), 1);
+}
+
+TEST_F(RobustnessTest, LongUnionChain) {
+  std::string sql = "SELECT 0";
+  for (int i = 1; i <= 64; ++i) sql += " UNION SELECT " + std::to_string(i);
+  Result<ResultSet> result = db_.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 65u);
+}
+
+TEST_F(RobustnessTest, KeywordsAsQuotedAliasesWork) {
+  Result<ResultSet> result =
+      db_.Query("SELECT a AS \"SELECT\", b AS \"FROM\" FROM t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->schema.column(0).name, "SELECT");
+}
+
+TEST_F(RobustnessTest, WhitespaceAndCommentsAnywhere) {
+  Result<ResultSet> result = db_.Query(
+      "/* lead */ SELECT -- one\n a /* mid */ FROM\n\tt -- done");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 1u);
+}
+
+TEST_F(RobustnessTest, RecursionBombIsBounded) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE loop (x INTEGER);
+    INSERT INTO loop VALUES (1);
+  )sql")
+                  .ok());
+  db_.options().exec.max_recursion_iterations = 100;
+  // Strictly growing values never converge; the bound must fire.
+  Result<ResultSet> result = db_.Query(R"sql(
+    WITH RECURSIVE r (x) AS (
+      SELECT 1 UNION SELECT r.x + 1 FROM r JOIN loop ON 1 = 1)
+    SELECT COUNT(*) FROM r
+  )sql");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(RobustnessTest, ErrorMessagesNameTheProblem) {
+  Result<ResultSet> bad = db_.Query("SELECT t.a + missing.b FROM t");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("missing.b"), std::string::npos);
+
+  Result<ResultSet> ambiguous =
+      db_.Query("SELECT a FROM t AS x, t AS y");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_NE(ambiguous.status().message().find("ambiguous"),
+            std::string::npos);
+}
+
+TEST_F(RobustnessTest, ResultSetRendering) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (NULL, NULL)").ok());
+  ResultSet rs = *db_.Query("SELECT * FROM t ORDER BY 1");
+  std::string text = rs.ToString();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+  // Truncation marker.
+  std::string truncated = rs.ToString(/*max_rows=*/1);
+  EXPECT_NE(truncated.find("more row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdm

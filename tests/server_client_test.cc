@@ -1,0 +1,179 @@
+// Tests for the server endpoint, the client connection, and the
+// client-side (late) rule evaluator.
+
+#include <gtest/gtest.h>
+
+#include "client/connection.h"
+#include "client/rule_eval.h"
+#include "pdm/generator.h"
+#include "server/db_server.h"
+#include "sql/parser.h"
+
+namespace pdm::client {
+namespace {
+
+TEST(DbServer, ExecutesAndSizesResponses) {
+  DbServer server;
+  ASSERT_TRUE(server.database()
+                  .ExecuteScript("CREATE TABLE t (a INTEGER);"
+                                 "INSERT INTO t VALUES (1), (2)")
+                  .ok());
+  ResultSet rs;
+  size_t bytes = 0;
+  ASSERT_TRUE(server.Execute("SELECT * FROM t", &rs, &bytes).ok());
+  EXPECT_EQ(rs.num_rows(), 2u);
+  EXPECT_GT(bytes, 0u);
+
+  // Fixed-size policy charges per row.
+  server.mutable_config().fixed_row_bytes = 512;
+  ASSERT_TRUE(server.Execute("SELECT * FROM t", &rs, &bytes).ok());
+  EXPECT_EQ(bytes, 1024u);
+  // Empty results still occupy a frame.
+  ASSERT_TRUE(server.Execute("SELECT * FROM t WHERE a > 9", &rs, &bytes).ok());
+  EXPECT_EQ(bytes, 64u);
+}
+
+TEST(Connection, AccountsEveryRoundTrip) {
+  DbServer server;
+  ASSERT_TRUE(server.database().Execute("CREATE TABLE t (a INTEGER)").ok());
+  net::WanConfig wan;
+  wan.latency_s = 0.1;
+  Connection conn(&server, wan);
+
+  ASSERT_TRUE(conn.Execute("INSERT INTO t VALUES (1)", nullptr).ok());
+  ASSERT_TRUE(conn.Execute("SELECT * FROM t", nullptr).ok());
+  EXPECT_EQ(conn.stats().round_trips, 2u);
+  EXPECT_NEAR(conn.stats().latency_seconds, 0.4, 1e-9);
+
+  conn.ResetStats();
+  EXPECT_EQ(conn.stats().round_trips, 0u);
+}
+
+TEST(Connection, SizerOverridesServerPolicy) {
+  DbServer server;
+  ASSERT_TRUE(server.database()
+                  .ExecuteScript("CREATE TABLE t (a INTEGER);"
+                                 "INSERT INTO t VALUES (1), (2), (3)")
+                  .ok());
+  Connection conn(&server, net::WanConfig{});
+  ResultSet rs;
+  ASSERT_TRUE(conn.ExecuteSized("SELECT * FROM t", &rs,
+                                [](const ResultSet& r) {
+                                  return r.num_rows() * 1000;
+                                })
+                  .ok());
+  EXPECT_DOUBLE_EQ(conn.stats().response_payload_bytes, 3000.0);
+}
+
+TEST(Connection, ErrorsDoNotRecordTraffic) {
+  DbServer server;
+  Connection conn(&server, net::WanConfig{});
+  EXPECT_FALSE(conn.Execute("SELECT * FROM missing", nullptr).ok());
+  EXPECT_EQ(conn.stats().round_trips, 0u);
+}
+
+class RuleEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pdmsys::GeneratorConfig config;
+    config.depth = 2;
+    config.branching = 4;
+    config.sigma = 0.5;
+    Result<pdmsys::GeneratedProduct> product =
+        pdmsys::GenerateProduct(&server_.database(), config);
+    ASSERT_TRUE(product.ok());
+    product_ = *product;
+
+    rules::Rule acc;
+    acc.condition = std::move(*rules::RowCondition::Parse("*", "acc = '+'"));
+    rules_.AddRule(std::move(acc));
+  }
+
+  DbServer server_;
+  rules::RuleTable rules_;
+  pdmsys::GeneratedProduct product_;
+};
+
+TEST_F(RuleEvalTest, PreparedFilterSeparatesVisibleRows) {
+  Result<ResultSet> rows =
+      server_.database().Query("SELECT type, obid, acc FROM assy");
+  ASSERT_TRUE(rows.ok());
+  ClientRuleEvaluator evaluator(&rules_, pdmsys::UserContext{});
+  Result<std::unique_ptr<PreparedRowFilter>> filter =
+      evaluator.Prepare(rows->schema, rules::RuleAction::kQuery);
+  ASSERT_TRUE(filter.ok()) << filter.status();
+
+  size_t visible = 0;
+  size_t acc_col = *rows->schema.FindColumn("acc");
+  for (const Row& row : rows->rows) {
+    Result<bool> pass = (*filter)->Passes(row);
+    ASSERT_TRUE(pass.ok());
+    EXPECT_EQ(*pass, row[acc_col].string_value() == "+");
+    if (*pass) ++visible;
+  }
+  EXPECT_GT(visible, 0u);
+  EXPECT_LT(visible, rows->num_rows());
+}
+
+TEST_F(RuleEvalTest, FilterRequiresTypeColumn) {
+  ClientRuleEvaluator evaluator(&rules_, pdmsys::UserContext{});
+  Schema schema({{"x", ColumnType::kInt64}});
+  EXPECT_FALSE(evaluator.Prepare(schema, rules::RuleAction::kQuery).ok());
+}
+
+TEST_F(RuleEvalTest, InapplicableGroupsAreSkipped) {
+  // A link rule cannot bind against a structure-less result: the group
+  // silently does not apply.
+  rules::Rule link_rule;
+  link_rule.object_type = "link";
+  link_rule.condition =
+      std::move(*rules::RowCondition::Parse("link", "eff_from <= 50"));
+  rules_.AddRule(std::move(link_rule));
+
+  Result<ResultSet> rows =
+      server_.database().Query("SELECT type, obid, acc FROM assy");
+  ClientRuleEvaluator evaluator(&rules_, pdmsys::UserContext{});
+  Result<std::unique_ptr<PreparedRowFilter>> filter =
+      evaluator.Prepare(rows->schema, rules::RuleAction::kQuery);
+  EXPECT_TRUE(filter.ok()) << filter.status();
+}
+
+TEST_F(RuleEvalTest, TreeConditionsEvaluateClientSide) {
+  rules::Rule agg;
+  agg.condition = std::make_unique<rules::TreeAggregateCondition>(
+      AggKind::kCountStar, "", "assy", sql::BinaryOp::kLessEq,
+      Value::Int64(3));
+  rules_.AddRule(std::move(agg));
+
+  ClientRuleEvaluator evaluator(&rules_, pdmsys::UserContext{});
+  Result<ResultSet> nodes = server_.database().Query(
+      "SELECT type, obid, checkedout FROM assy");
+  ASSERT_TRUE(nodes.ok());
+  // 5 assemblies (> 3): the aggregate fails.
+  Result<bool> pass =
+      evaluator.TreeConditionsPass(*nodes, rules::RuleAction::kQuery);
+  ASSERT_TRUE(pass.ok()) << pass.status();
+  EXPECT_FALSE(*pass);
+}
+
+TEST_F(RuleEvalTest, ForAllRowsFailsOnOneViolatingNode) {
+  rules::Rule forall;
+  forall.condition = std::make_unique<rules::ForAllRowsCondition>(
+      "assy", std::move(*sql::ParseSqlExpression("checkedout = FALSE")));
+  rules_.AddRule(std::move(forall));
+
+  ASSERT_TRUE(server_.database()
+                  .Execute("UPDATE assy SET checkedout = TRUE WHERE obid = " +
+                           std::to_string(product_.root_obid))
+                  .ok());
+  ClientRuleEvaluator evaluator(&rules_, pdmsys::UserContext{});
+  Result<ResultSet> nodes = server_.database().Query(
+      "SELECT type, obid, checkedout FROM assy");
+  Result<bool> pass =
+      evaluator.TreeConditionsPass(*nodes, rules::RuleAction::kCheckOut);
+  ASSERT_TRUE(pass.ok());
+  EXPECT_FALSE(*pass);
+}
+
+}  // namespace
+}  // namespace pdm::client

@@ -1,0 +1,247 @@
+// End-to-end tests of the simulated client/server PDM system: the three
+// access strategies over a generated product, checked against the
+// generator's ground truth and the closed-form cost model.
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+
+namespace pdm::client {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.generator.depth = 3;
+  config.generator.branching = 4;
+  config.generator.sigma = 0.5;  // exact under error diffusion: 2 of 4
+  config.generator.seed = 7;
+  config.wan.latency_s = 0.15;
+  config.wan.dtr_kbit = 256;
+  return config;
+}
+
+TEST(Simulation, GeneratorGroundTruthMatchesShape) {
+  ExperimentConfig config = SmallConfig();
+  Result<std::unique_ptr<Experiment>> exp = Experiment::Create(config);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  const pdmsys::GeneratedProduct& product = (*exp)->product();
+
+  // Complete 4-ary tree of depth 3: 4 + 16 + 64 nodes below the root.
+  EXPECT_EQ(product.total_nodes, 84u);
+  EXPECT_EQ(product.total_links, 84u);
+  EXPECT_EQ(product.num_assemblies, 21u);  // root + levels 1,2
+  EXPECT_EQ(product.num_components, 64u);
+  // σ=0.5 with error diffusion: exactly 2 of every 4 children visible ⇒
+  // visible levels are 2, 4, 8.
+  EXPECT_EQ(product.visible_per_level[1], 2u);
+  EXPECT_EQ(product.visible_per_level[2], 4u);
+  EXPECT_EQ(product.visible_per_level[3], 8u);
+  EXPECT_EQ(product.visible_nodes, 14u);
+}
+
+TEST(Simulation, RecursiveMleRetrievesExactlyTheVisibleTree) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+
+  Result<ActionResult> result =
+      e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_EQ(result->visible_nodes, e.product().visible_nodes);
+  EXPECT_EQ(result->tree.Depth(), 3u);
+  // Exactly one round trip pair for the whole expand.
+  EXPECT_EQ(result->wan.round_trips, 1u);
+  EXPECT_NEAR(result->wan.latency_seconds, 2 * 0.15, 1e-9);
+}
+
+TEST(Simulation, AllThreeStrategiesAgreeOnTheVisibleTree) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+
+  Result<ActionResult> late = e.RunAction(StrategyKind::kNavigationalLate,
+                                          ActionKind::kMultiLevelExpand);
+  Result<ActionResult> early = e.RunAction(StrategyKind::kNavigationalEarly,
+                                           ActionKind::kMultiLevelExpand);
+  Result<ActionResult> rec =
+      e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(late.ok()) << late.status();
+  ASSERT_TRUE(early.ok()) << early.status();
+  ASSERT_TRUE(rec.ok()) << rec.status();
+
+  EXPECT_EQ(late->visible_nodes, e.product().visible_nodes);
+  EXPECT_EQ(early->visible_nodes, e.product().visible_nodes);
+  EXPECT_EQ(rec->visible_nodes, e.product().visible_nodes);
+
+  // Same set of obids in all three trees.
+  for (const pdmsys::ProductNode& node : late->tree.nodes()) {
+    EXPECT_TRUE(early->tree.FindByObid(node.obid).has_value());
+    EXPECT_TRUE(rec->tree.FindByObid(node.obid).has_value());
+  }
+}
+
+TEST(Simulation, RoundTripCountsMatchTheCostModel) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+  size_t n_v = e.product().visible_nodes;
+
+  // Navigational MLE: q = n_v + 1 (root also expanded).
+  Result<ActionResult> late = e.RunAction(StrategyKind::kNavigationalLate,
+                                          ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_EQ(late->wan.round_trips, n_v + 1);
+
+  Result<ActionResult> early = e.RunAction(StrategyKind::kNavigationalEarly,
+                                           ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(early.ok()) << early.status();
+  EXPECT_EQ(early->wan.round_trips, n_v + 1);
+
+  // Query action: always one round trip.
+  Result<ActionResult> query =
+      e.RunAction(StrategyKind::kNavigationalLate, ActionKind::kQuery);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->wan.round_trips, 1u);
+  // Late: every node crosses the WAN, the client keeps the visible ones.
+  EXPECT_EQ(query->transmitted_rows, e.product().total_nodes + 1);
+  EXPECT_EQ(query->visible_nodes, n_v + 1);  // + the visible root
+
+  Result<ActionResult> query_early =
+      e.RunAction(StrategyKind::kNavigationalEarly, ActionKind::kQuery);
+  ASSERT_TRUE(query_early.ok()) << query_early.status();
+  EXPECT_EQ(query_early->transmitted_rows, n_v + 1);
+}
+
+TEST(Simulation, TransmittedNodeCountsMatchTheCostModel) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+
+  // Late MLE ships all ω children of every expanded node; expanded nodes
+  // are the root and every visible node (leaves return zero children).
+  Result<ActionResult> late = e.RunAction(StrategyKind::kNavigationalLate,
+                                          ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(late.ok()) << late.status();
+  size_t visible_internal =
+      e.product().visible_per_level[1] + e.product().visible_per_level[2];
+  size_t expected_late = 4 * (1 + visible_internal);
+  EXPECT_EQ(late->transmitted_rows, expected_late);
+
+  // Early MLE ships exactly the visible nodes.
+  Result<ActionResult> early = e.RunAction(StrategyKind::kNavigationalEarly,
+                                           ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(early.ok()) << early.status();
+  EXPECT_EQ(early->transmitted_rows, e.product().visible_nodes);
+}
+
+TEST(Simulation, SimulatedTimesTrackTheClosedFormModel) {
+  ExperimentConfig config = SmallConfig();
+  Result<std::unique_ptr<Experiment>> exp = Experiment::Create(config);
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+
+  model::TreeParams tree{config.generator.depth, config.generator.branching,
+                         config.generator.sigma};
+  model::NetworkParams net{config.wan.latency_s, config.wan.dtr_kbit,
+                           static_cast<double>(config.wan.packet_bytes),
+                           static_cast<double>(config.client.node_bytes)};
+
+  for (StrategyKind strategy :
+       {StrategyKind::kNavigationalLate, StrategyKind::kNavigationalEarly,
+        StrategyKind::kRecursive}) {
+    Result<ActionResult> sim =
+        e.RunAction(strategy, ActionKind::kMultiLevelExpand);
+    ASSERT_TRUE(sim.ok()) << sim.status();
+    model::ResponseTime predicted =
+        model::Predict(strategy, ActionKind::kMultiLevelExpand, tree, net);
+    // Latency parts are exact (round trips are integral and match).
+    EXPECT_NEAR(sim->wan.latency_seconds, predicted.latency_part, 1e-6)
+        << model::StrategyKindName(strategy);
+    // Transfer parts agree within 20% (the model uses fractional
+    // expected node counts; the simulation uses the integral σ pattern
+    // and real SQL text sizes).
+    EXPECT_NEAR(sim->wan.transfer_seconds, predicted.transfer_part,
+                0.2 * predicted.transfer_part + 0.05)
+        << model::StrategyKindName(strategy);
+  }
+}
+
+TEST(Simulation, CheckOutFlowsAgreeAndStoredProcedureWinsOnRoundTrips) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+  std::unique_ptr<CheckOutClient> checkout = e.MakeCheckOutClient();
+  int64_t root = e.product().root_obid;
+  size_t expected_objects = e.product().visible_nodes + 1;  // + root
+
+  // Stored procedure: exactly one round trip.
+  Result<CheckOutResult> proc =
+      checkout->CheckOut(root, CheckOutMethod::kStoredProcedure);
+  ASSERT_TRUE(proc.ok()) << proc.status();
+  EXPECT_TRUE(proc->success);
+  EXPECT_EQ(proc->objects, expected_objects);
+  EXPECT_EQ(proc->wan.round_trips, 1u);
+
+  // Second check-out must be denied (∀rows rule: already checked out).
+  Result<CheckOutResult> again =
+      checkout->CheckOut(root, CheckOutMethod::kRecursiveBatched);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->success);
+
+  // Check in (batched: 1 retrieval + 2 table updates = 3 round trips)...
+  Result<CheckOutResult> checkin =
+      checkout->CheckIn(root, CheckOutMethod::kStoredProcedure);
+  ASSERT_TRUE(checkin.ok()) << checkin.status();
+  EXPECT_TRUE(checkin->success);
+  EXPECT_EQ(checkin->objects, expected_objects);
+
+  // ...then the batched variant succeeds and costs few round trips.
+  Result<CheckOutResult> batched =
+      checkout->CheckOut(root, CheckOutMethod::kRecursiveBatched);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  EXPECT_TRUE(batched->success);
+  EXPECT_EQ(batched->objects, expected_objects);
+  EXPECT_EQ(batched->wan.round_trips, 3u);
+  ASSERT_TRUE(
+      checkout->CheckIn(root, CheckOutMethod::kRecursiveBatched)->success);
+
+  // Navigational: one retrieval per visible node + one update per object.
+  Result<CheckOutResult> nav =
+      checkout->CheckOut(root, CheckOutMethod::kNavigational);
+  ASSERT_TRUE(nav.ok()) << nav.status();
+  EXPECT_TRUE(nav->success);
+  EXPECT_EQ(nav->objects, expected_objects);
+  EXPECT_GT(nav->wan.round_trips, 2 * expected_objects - 2);
+  EXPECT_GT(nav->seconds(), batched->seconds());
+  EXPECT_GT(batched->seconds(), proc->seconds());
+}
+
+TEST(Simulation, SingleLevelExpandReturnsVisibleChildren) {
+  Result<std::unique_ptr<Experiment>> exp =
+      Experiment::Create(SmallConfig());
+  ASSERT_TRUE(exp.ok()) << exp.status();
+  Experiment& e = **exp;
+
+  for (StrategyKind strategy :
+       {StrategyKind::kNavigationalLate, StrategyKind::kNavigationalEarly,
+        StrategyKind::kRecursive}) {
+    Result<ActionResult> result =
+        e.RunAction(strategy, ActionKind::kSingleLevelExpand);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->visible_nodes, e.product().visible_per_level[1])
+        << model::StrategyKindName(strategy);
+    EXPECT_EQ(result->wan.round_trips, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pdm::client

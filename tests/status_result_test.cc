@@ -1,0 +1,88 @@
+// Unit tests for the Status/Result error-handling primitives.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pdm {
+namespace {
+
+TEST(Status, OkByDefaultAndFactories) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Status, ToStringAndContext) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status err = Status::NotFound("table 'x'");
+  EXPECT_EQ(err.ToString(), "NotFound: table 'x'");
+  Status wrapped = err.WithContext("while binding");
+  EXPECT_EQ(wrapped.ToString(), "NotFound: while binding: table 'x'");
+  // WithContext is a no-op on OK.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(Status, EqualityAndStreaming) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PDM_ASSIGN_OR_RETURN(int half, Half(x));
+  PDM_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> err = Half(3);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // inner Half(3) fails
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(Result, ValueOrAndMoveOut) {
+  EXPECT_EQ(Result<int>(Half(3)).ValueOr(-1), -1);
+  EXPECT_EQ(Result<int>(Half(8)).ValueOr(-1), 4);
+
+  Result<std::string> text = std::string("abc");
+  std::string moved = std::move(text).value();
+  EXPECT_EQ(moved, "abc");
+  // Rvalue deref works on temporaries.
+  EXPECT_EQ(*Result<std::string>(std::string("xy")), "xy");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> text = std::string("hello");
+  EXPECT_EQ(text->size(), 5u);
+}
+
+}  // namespace
+}  // namespace pdm

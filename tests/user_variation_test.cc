@@ -1,0 +1,179 @@
+// Tests that different user sessions (effectivity windows, structure
+// options) see different slices of the same product — the paper's
+// Section 3 rule semantics exercised end to end.
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+#include "pdm/pdm_schema.h"
+
+namespace pdm::client {
+namespace {
+
+class UserVariationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExperimentConfig config;
+    config.generator.depth = 3;
+    config.generator.branching = 4;
+    config.generator.sigma = 0.5;
+    Result<std::unique_ptr<Experiment>> experiment =
+        Experiment::Create(config);
+    ASSERT_TRUE(experiment.ok()) << experiment.status();
+    experiment_ = std::move(*experiment);
+  }
+
+  /// Runs a recursive MLE as the given user, against the shared rule
+  /// table (which references $user variables).
+  Result<ActionResult> ExpandAs(const pdmsys::UserContext& user) {
+    RecursiveStrategy strategy(&experiment_->connection(),
+                               &experiment_->rule_table(), user,
+                               ClientConfig{});
+    return strategy.MultiLevelExpand(experiment_->product().root_obid);
+  }
+
+  std::unique_ptr<Experiment> experiment_;
+};
+
+TEST_F(UserVariationTest, ReferenceUserSeesTheCalibratedSlice) {
+  Result<ActionResult> result = ExpandAs(experiment_->user());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->visible_nodes, experiment_->product().visible_nodes);
+}
+
+TEST_F(UserVariationTest, DisjointEffectivityWindowSeesNothing) {
+  pdmsys::UserContext late_user = experiment_->user();
+  late_user.eff_from = 5000;
+  late_user.eff_to = 6000;  // no generated link reaches this far
+  Result<ActionResult> result = ExpandAs(late_user);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The root is at the client, but no link is traversable. Note the acc
+  // flag is calibrated for the *reference* user, so only the link rule
+  // prunes here — it alone already empties the expansion.
+  EXPECT_EQ(result->visible_nodes, 0u);
+}
+
+TEST_F(UserVariationTest, DisjointOptionSetSeesNothing) {
+  pdmsys::UserContext other_options = experiment_->user();
+  other_options.strc_opt = 0x40;  // overlaps no generated link mask
+  Result<ActionResult> result = ExpandAs(other_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->visible_nodes, 0u);
+}
+
+TEST_F(UserVariationTest, WiderWindowSeesAtLeastAsMuch) {
+  // A user whose window covers everything still fails links whose option
+  // mask was the failure flavor — they see more than a disjoint-window
+  // user but are bounded by the acc rule.
+  pdmsys::UserContext wide = experiment_->user();
+  wide.eff_from = 0;
+  wide.eff_to = 10000;
+  Result<ActionResult> reference = ExpandAs(experiment_->user());
+  Result<ActionResult> wider = ExpandAs(wide);
+  ASSERT_TRUE(reference.ok() && wider.ok());
+  EXPECT_GE(wider->visible_nodes, reference->visible_nodes);
+}
+
+TEST_F(UserVariationTest, GrantRulesCombineWithOr) {
+  // Per the paper (Section 4.1), multiple qualifying grants are OR-ed:
+  // adding a *stricter* rule for eve on top of the wildcard acc rule
+  // must NOT shrink what she sees (a grant never revokes).
+  Result<std::unique_ptr<rules::RowCondition>> cond =
+      rules::RowCondition::Parse("comp", "material = 'steel'");
+  ASSERT_TRUE(cond.ok());
+  rules::Rule rule;
+  rule.user = "eve";
+  rule.object_type = "comp";
+  rule.condition = std::move(*cond);
+  experiment_->rule_table().AddRule(std::move(rule));
+
+  pdmsys::UserContext eve = experiment_->user();
+  eve.name = "eve";
+  Result<ActionResult> eve_tree = ExpandAs(eve);
+  Result<ActionResult> scott_tree = ExpandAs(experiment_->user());
+  ASSERT_TRUE(eve_tree.ok() && scott_tree.ok());
+  EXPECT_GE(eve_tree->visible_nodes, scott_tree->visible_nodes);
+}
+
+TEST_F(UserVariationTest, PerUserRulesRestrictWhenTheyAreTheOnlyGrant) {
+  // A rule table where eve's *only* component grant requires steel: the
+  // restriction now bites (and scott-only rules don't apply to eve).
+  rules::RuleTable table;
+  {
+    rules::Rule acc;
+    acc.user = "scott";
+    acc.condition = std::move(*rules::RowCondition::Parse("*", "acc = '+'"));
+    table.AddRule(std::move(acc));
+  }
+  {
+    rules::Rule eve_comp;
+    eve_comp.user = "eve";
+    eve_comp.object_type = "comp";
+    eve_comp.condition = std::move(*rules::RowCondition::Parse(
+        "comp", "material = 'steel' AND acc = '+'"));
+    table.AddRule(std::move(eve_comp));
+  }
+  {
+    rules::Rule eve_assy;
+    eve_assy.user = "eve";
+    eve_assy.object_type = "assy";
+    eve_assy.condition =
+        std::move(*rules::RowCondition::Parse("assy", "acc = '+'"));
+    table.AddRule(std::move(eve_assy));
+  }
+
+  pdmsys::UserContext eve = experiment_->user();
+  eve.name = "eve";
+  RecursiveStrategy eve_strategy(&experiment_->connection(), &table, eve,
+                                 ClientConfig{});
+  Result<ActionResult> eve_tree =
+      eve_strategy.MultiLevelExpand(experiment_->product().root_obid);
+  ASSERT_TRUE(eve_tree.ok()) << eve_tree.status();
+
+  RecursiveStrategy scott_strategy(&experiment_->connection(), &table,
+                                   experiment_->user(), ClientConfig{});
+  Result<ActionResult> scott_tree =
+      scott_strategy.MultiLevelExpand(experiment_->product().root_obid);
+  ASSERT_TRUE(scott_tree.ok());
+
+  EXPECT_LE(eve_tree->visible_nodes, scott_tree->visible_nodes);
+  // No non-steel component appears in eve's tree.
+  Result<ResultSet> non_steel = experiment_->server().database().Query(
+      "SELECT obid FROM comp WHERE material <> 'steel'");
+  ASSERT_TRUE(non_steel.ok());
+  for (const Row& row : non_steel->rows) {
+    EXPECT_FALSE(
+        eve_tree->tree.FindByObid(row[0].int64_value()).has_value());
+  }
+}
+
+TEST_F(UserVariationTest, CheckOutDeniedAfterForeignCheckOut) {
+  std::unique_ptr<CheckOutClient> checkout =
+      experiment_->MakeCheckOutClient();
+  int64_t root = experiment_->product().root_obid;
+
+  // Scott checks out one inner assembly directly in the database (as if
+  // a second client did it).
+  Result<ResultSet> inner = experiment_->server().database().Query(
+      "SELECT obid FROM assy WHERE acc = '+' AND obid <> " +
+      std::to_string(root) + " LIMIT 1");
+  ASSERT_TRUE(inner.ok());
+  ASSERT_EQ(inner->num_rows(), 1u);
+  ASSERT_TRUE(experiment_->server()
+                  .database()
+                  .Execute("UPDATE assy SET checkedout = TRUE WHERE obid = " +
+                           std::to_string(inner->At(0, 0).int64_value()))
+                  .ok());
+
+  for (CheckOutMethod method :
+       {CheckOutMethod::kNavigational, CheckOutMethod::kRecursiveBatched,
+        CheckOutMethod::kStoredProcedure}) {
+    Result<CheckOutResult> result = checkout->CheckOut(root, method);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->success)
+        << CheckOutMethodName(method) << " should be denied";
+  }
+}
+
+}  // namespace
+}  // namespace pdm::client

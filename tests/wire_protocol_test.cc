@@ -1,0 +1,135 @@
+// Wire-protocol tests: what SQL each strategy actually ships, asserted
+// through the server's statement log.
+
+#include <gtest/gtest.h>
+
+#include "client/experiment.h"
+
+namespace pdm::client {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+class WireProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExperimentConfig config;
+    config.generator.depth = 2;
+    config.generator.branching = 3;
+    config.generator.sigma = 1.0;
+    Result<std::unique_ptr<Experiment>> experiment =
+        Experiment::Create(config);
+    ASSERT_TRUE(experiment.ok()) << experiment.status();
+    experiment_ = std::move(*experiment);
+    experiment_->server().EnableStatementLog(true);
+  }
+
+  const std::vector<DbServer::StatementLogEntry>& Log() {
+    return experiment_->server().statement_log();
+  }
+
+  std::unique_ptr<Experiment> experiment_;
+};
+
+TEST_F(WireProtocolTest, RecursiveMleShipsExactlyOneStatement) {
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kRecursive,
+                              ActionKind::kMultiLevelExpand)
+                  .ok());
+  ASSERT_EQ(Log().size(), 1u);
+  const std::string& sql = Log()[0].sql;
+  EXPECT_NE(sql.find("WITH RECURSIVE rtbl"), std::string::npos);
+  EXPECT_NE(sql.find("UNION"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY 1, 2"), std::string::npos);
+  // All 13 objects + 12 links in one response.
+  EXPECT_EQ(Log()[0].result_rows, 25u);
+}
+
+TEST_F(WireProtocolTest, NavigationalMleShipsOneExpandPerVisibleNode) {
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kNavigationalEarly,
+                              ActionKind::kMultiLevelExpand)
+                  .ok());
+  // 1 (root) + 12 visible nodes, σ=1.
+  ASSERT_EQ(Log().size(), 13u);
+  for (const DbServer::StatementLogEntry& entry : Log()) {
+    EXPECT_NE(entry.sql.find("FROM link JOIN"), std::string::npos);
+    EXPECT_NE(entry.sql.find("link.left ="), std::string::npos);
+    EXPECT_EQ(entry.sql.find("WITH RECURSIVE"), std::string::npos);
+  }
+  // Expand responses: root + 3 internals return 3 rows, leaves return 0.
+  size_t total_rows = 0;
+  for (const DbServer::StatementLogEntry& entry : Log()) {
+    total_rows += entry.result_rows;
+  }
+  EXPECT_EQ(total_rows, 12u);
+}
+
+TEST_F(WireProtocolTest, EarlyEvaluationPutsRulesInTheShippedText) {
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kNavigationalEarly,
+                              ActionKind::kQuery)
+                  .ok());
+  ASSERT_EQ(Log().size(), 1u);
+  // The acc rule travels with the statement — evaluated at the server.
+  EXPECT_NE(Log()[0].sql.find("acc = '+'"), std::string::npos);
+
+  experiment_->server().ClearStatementLog();
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kNavigationalLate,
+                              ActionKind::kQuery)
+                  .ok());
+  ASSERT_EQ(Log().size(), 1u);
+  // Late evaluation ships the bare query; filtering happens client-side.
+  EXPECT_EQ(Log()[0].sql.find("acc = '+'"), std::string::npos);
+}
+
+TEST_F(WireProtocolTest, StoredProcedureCheckOutIsASingleCall) {
+  std::unique_ptr<CheckOutClient> checkout =
+      experiment_->MakeCheckOutClient();
+  ASSERT_TRUE(checkout
+                  ->CheckOut(experiment_->product().root_obid,
+                             CheckOutMethod::kStoredProcedure)
+                  ->success);
+  ASSERT_EQ(Log().size(), 1u);
+  EXPECT_NE(Log()[0].sql.find("CALL pdm_checkout("), std::string::npos);
+}
+
+TEST_F(WireProtocolTest, BatchedCheckOutShipsRetrievalPlusTwoUpdates) {
+  std::unique_ptr<CheckOutClient> checkout =
+      experiment_->MakeCheckOutClient();
+  ASSERT_TRUE(checkout
+                  ->CheckOut(experiment_->product().root_obid,
+                             CheckOutMethod::kRecursiveBatched)
+                  ->success);
+  ASSERT_EQ(Log().size(), 3u);
+  EXPECT_NE(Log()[0].sql.find("WITH RECURSIVE"), std::string::npos);
+  EXPECT_NE(Log()[1].sql.find("UPDATE assy SET checkedout = TRUE"),
+            std::string::npos);
+  EXPECT_NE(Log()[2].sql.find("UPDATE comp SET checkedout = TRUE"),
+            std::string::npos);
+  // The check-out ∀rows rule traveled inside the retrieval text.
+  EXPECT_NE(Log()[0].sql.find("NOT EXISTS (SELECT * FROM rtbl"),
+            std::string::npos);
+}
+
+TEST_F(WireProtocolTest, LogCapturesSizesAndCanBeDisabled) {
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kRecursive,
+                              ActionKind::kMultiLevelExpand)
+                  .ok());
+  ASSERT_EQ(Log().size(), 1u);
+  EXPECT_GT(Log()[0].response_bytes, 0u);
+
+  experiment_->server().ClearStatementLog();
+  experiment_->server().EnableStatementLog(false);
+  ASSERT_TRUE(experiment_
+                  ->RunAction(StrategyKind::kRecursive,
+                              ActionKind::kMultiLevelExpand)
+                  .ok());
+  EXPECT_TRUE(Log().empty());
+}
+
+}  // namespace
+}  // namespace pdm::client
