@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkout.dir/ablation_checkout.cc.o"
+  "CMakeFiles/ablation_checkout.dir/ablation_checkout.cc.o.d"
+  "ablation_checkout"
+  "ablation_checkout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

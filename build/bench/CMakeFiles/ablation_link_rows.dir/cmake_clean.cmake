@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_link_rows.dir/ablation_link_rows.cc.o"
+  "CMakeFiles/ablation_link_rows.dir/ablation_link_rows.cc.o.d"
+  "ablation_link_rows"
+  "ablation_link_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_link_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

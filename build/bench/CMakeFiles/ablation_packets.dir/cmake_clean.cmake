@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_packets.dir/ablation_packets.cc.o"
+  "CMakeFiles/ablation_packets.dir/ablation_packets.cc.o.d"
+  "ablation_packets"
+  "ablation_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recursion.dir/ablation_recursion.cc.o"
+  "CMakeFiles/ablation_recursion.dir/ablation_recursion.cc.o.d"
+  "ablation_recursion"
+  "ablation_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subquery_cache.dir/ablation_subquery_cache.cc.o"
+  "CMakeFiles/ablation_subquery_cache.dir/ablation_subquery_cache.cc.o.d"
+  "ablation_subquery_cache"
+  "ablation_subquery_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subquery_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

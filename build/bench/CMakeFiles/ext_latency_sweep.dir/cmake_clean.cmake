@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency_sweep.dir/ext_latency_sweep.cc.o"
+  "CMakeFiles/ext_latency_sweep.dir/ext_latency_sweep.cc.o.d"
+  "ext_latency_sweep"
+  "ext_latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

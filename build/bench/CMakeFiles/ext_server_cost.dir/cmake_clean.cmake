@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_server_cost.dir/ext_server_cost.cc.o"
+  "CMakeFiles/ext_server_cost.dir/ext_server_cost.cc.o.d"
+  "ext_server_cost"
+  "ext_server_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_server_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bars.dir/fig4_bars.cc.o"
+  "CMakeFiles/fig4_bars.dir/fig4_bars.cc.o.d"
+  "fig4_bars"
+  "fig4_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

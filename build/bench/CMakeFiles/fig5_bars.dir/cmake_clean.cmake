@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bars.dir/fig5_bars.cc.o"
+  "CMakeFiles/fig5_bars.dir/fig5_bars.cc.o.d"
+  "fig5_bars"
+  "fig5_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

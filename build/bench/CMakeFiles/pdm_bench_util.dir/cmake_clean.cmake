@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pdm_bench_util.dir/bench_util.cc.o.d"
+  "CMakeFiles/pdm_bench_util.dir/fig_bars.cc.o"
+  "CMakeFiles/pdm_bench_util.dir/fig_bars.cc.o.d"
+  "CMakeFiles/pdm_bench_util.dir/paper_tables.cc.o"
+  "CMakeFiles/pdm_bench_util.dir/paper_tables.cc.o.d"
+  "libpdm_bench_util.a"
+  "libpdm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

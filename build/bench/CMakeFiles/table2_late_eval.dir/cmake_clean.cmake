@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_late_eval.dir/table2_late_eval.cc.o"
+  "CMakeFiles/table2_late_eval.dir/table2_late_eval.cc.o.d"
+  "table2_late_eval"
+  "table2_late_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_late_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

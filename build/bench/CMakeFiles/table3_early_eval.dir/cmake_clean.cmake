@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_early_eval.dir/table3_early_eval.cc.o"
+  "CMakeFiles/table3_early_eval.dir/table3_early_eval.cc.o.d"
+  "table3_early_eval"
+  "table3_early_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_early_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

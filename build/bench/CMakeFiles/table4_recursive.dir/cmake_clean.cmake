@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_recursive.dir/table4_recursive.cc.o"
+  "CMakeFiles/table4_recursive.dir/table4_recursive.cc.o.d"
+  "table4_recursive"
+  "table4_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

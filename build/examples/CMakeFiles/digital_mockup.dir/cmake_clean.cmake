@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_mockup.dir/digital_mockup.cpp.o"
+  "CMakeFiles/digital_mockup.dir/digital_mockup.cpp.o.d"
+  "digital_mockup"
+  "digital_mockup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_mockup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_views.dir/parallel_views.cpp.o"
+  "CMakeFiles/parallel_views.dir/parallel_views.cpp.o.d"
+  "parallel_views"
+  "parallel_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_admin.dir/rule_admin.cpp.o"
+  "CMakeFiles/rule_admin.dir/rule_admin.cpp.o.d"
+  "rule_admin"
+  "rule_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

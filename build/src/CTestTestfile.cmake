@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("catalog")
+subdirs("sql")
+subdirs("plan")
+subdirs("exec")
+subdirs("engine")
+subdirs("model")
+subdirs("net")
+subdirs("server")
+subdirs("pdm")
+subdirs("rules")
+subdirs("client")

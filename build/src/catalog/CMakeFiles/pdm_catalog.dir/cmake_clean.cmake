@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_catalog.dir/catalog.cc.o"
+  "CMakeFiles/pdm_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/pdm_catalog.dir/schema.cc.o"
+  "CMakeFiles/pdm_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/pdm_catalog.dir/table.cc.o"
+  "CMakeFiles/pdm_catalog.dir/table.cc.o.d"
+  "libpdm_catalog.a"
+  "libpdm_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

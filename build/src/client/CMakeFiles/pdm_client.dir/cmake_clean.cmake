@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_client.dir/checkout.cc.o"
+  "CMakeFiles/pdm_client.dir/checkout.cc.o.d"
+  "CMakeFiles/pdm_client.dir/connection.cc.o"
+  "CMakeFiles/pdm_client.dir/connection.cc.o.d"
+  "CMakeFiles/pdm_client.dir/experiment.cc.o"
+  "CMakeFiles/pdm_client.dir/experiment.cc.o.d"
+  "CMakeFiles/pdm_client.dir/rule_eval.cc.o"
+  "CMakeFiles/pdm_client.dir/rule_eval.cc.o.d"
+  "CMakeFiles/pdm_client.dir/strategies.cc.o"
+  "CMakeFiles/pdm_client.dir/strategies.cc.o.d"
+  "libpdm_client.a"
+  "libpdm_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

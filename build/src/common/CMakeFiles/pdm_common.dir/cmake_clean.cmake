@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_common.dir/status.cc.o"
+  "CMakeFiles/pdm_common.dir/status.cc.o.d"
+  "CMakeFiles/pdm_common.dir/string_util.cc.o"
+  "CMakeFiles/pdm_common.dir/string_util.cc.o.d"
+  "CMakeFiles/pdm_common.dir/value.cc.o"
+  "CMakeFiles/pdm_common.dir/value.cc.o.d"
+  "libpdm_common.a"
+  "libpdm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

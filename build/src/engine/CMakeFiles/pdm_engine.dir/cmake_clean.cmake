@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_engine.dir/database.cc.o"
+  "CMakeFiles/pdm_engine.dir/database.cc.o.d"
+  "libpdm_engine.a"
+  "libpdm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/pdm_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/pdm_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/expr_eval.cc" "src/exec/CMakeFiles/pdm_exec.dir/expr_eval.cc.o" "gcc" "src/exec/CMakeFiles/pdm_exec.dir/expr_eval.cc.o.d"
+  "/root/repo/src/exec/recursive_cte.cc" "src/exec/CMakeFiles/pdm_exec.dir/recursive_cte.cc.o" "gcc" "src/exec/CMakeFiles/pdm_exec.dir/recursive_cte.cc.o.d"
+  "/root/repo/src/exec/result_set.cc" "src/exec/CMakeFiles/pdm_exec.dir/result_set.cc.o" "gcc" "src/exec/CMakeFiles/pdm_exec.dir/result_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/pdm_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

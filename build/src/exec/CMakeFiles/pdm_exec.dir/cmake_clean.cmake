@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_exec.dir/executor.cc.o"
+  "CMakeFiles/pdm_exec.dir/executor.cc.o.d"
+  "CMakeFiles/pdm_exec.dir/expr_eval.cc.o"
+  "CMakeFiles/pdm_exec.dir/expr_eval.cc.o.d"
+  "CMakeFiles/pdm_exec.dir/recursive_cte.cc.o"
+  "CMakeFiles/pdm_exec.dir/recursive_cte.cc.o.d"
+  "CMakeFiles/pdm_exec.dir/result_set.cc.o"
+  "CMakeFiles/pdm_exec.dir/result_set.cc.o.d"
+  "libpdm_exec.a"
+  "libpdm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_model.dir/cost_model.cc.o"
+  "CMakeFiles/pdm_model.dir/cost_model.cc.o.d"
+  "libpdm_model.a"
+  "libpdm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

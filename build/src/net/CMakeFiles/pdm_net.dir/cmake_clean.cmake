@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_net.dir/wan_model.cc.o"
+  "CMakeFiles/pdm_net.dir/wan_model.cc.o.d"
+  "libpdm_net.a"
+  "libpdm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

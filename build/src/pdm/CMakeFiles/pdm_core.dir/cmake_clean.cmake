@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_core.dir/generator.cc.o"
+  "CMakeFiles/pdm_core.dir/generator.cc.o.d"
+  "CMakeFiles/pdm_core.dir/pdm_schema.cc.o"
+  "CMakeFiles/pdm_core.dir/pdm_schema.cc.o.d"
+  "CMakeFiles/pdm_core.dir/product_tree.cc.o"
+  "CMakeFiles/pdm_core.dir/product_tree.cc.o.d"
+  "libpdm_core.a"
+  "libpdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binder.cc" "src/plan/CMakeFiles/pdm_plan.dir/binder.cc.o" "gcc" "src/plan/CMakeFiles/pdm_plan.dir/binder.cc.o.d"
+  "/root/repo/src/plan/functions.cc" "src/plan/CMakeFiles/pdm_plan.dir/functions.cc.o" "gcc" "src/plan/CMakeFiles/pdm_plan.dir/functions.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/plan/CMakeFiles/pdm_plan.dir/plan_node.cc.o" "gcc" "src/plan/CMakeFiles/pdm_plan.dir/plan_node.cc.o.d"
+  "/root/repo/src/plan/view_registry.cc" "src/plan/CMakeFiles/pdm_plan.dir/view_registry.cc.o" "gcc" "src/plan/CMakeFiles/pdm_plan.dir/view_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pdm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdm_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

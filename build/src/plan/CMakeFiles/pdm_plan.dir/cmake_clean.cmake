@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_plan.dir/binder.cc.o"
+  "CMakeFiles/pdm_plan.dir/binder.cc.o.d"
+  "CMakeFiles/pdm_plan.dir/functions.cc.o"
+  "CMakeFiles/pdm_plan.dir/functions.cc.o.d"
+  "CMakeFiles/pdm_plan.dir/plan_node.cc.o"
+  "CMakeFiles/pdm_plan.dir/plan_node.cc.o.d"
+  "CMakeFiles/pdm_plan.dir/view_registry.cc.o"
+  "CMakeFiles/pdm_plan.dir/view_registry.cc.o.d"
+  "libpdm_plan.a"
+  "libpdm_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_rules.dir/condition.cc.o"
+  "CMakeFiles/pdm_rules.dir/condition.cc.o.d"
+  "CMakeFiles/pdm_rules.dir/procedures.cc.o"
+  "CMakeFiles/pdm_rules.dir/procedures.cc.o.d"
+  "CMakeFiles/pdm_rules.dir/query_builder.cc.o"
+  "CMakeFiles/pdm_rules.dir/query_builder.cc.o.d"
+  "CMakeFiles/pdm_rules.dir/query_modificator.cc.o"
+  "CMakeFiles/pdm_rules.dir/query_modificator.cc.o.d"
+  "CMakeFiles/pdm_rules.dir/rule.cc.o"
+  "CMakeFiles/pdm_rules.dir/rule.cc.o.d"
+  "libpdm_rules.a"
+  "libpdm_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

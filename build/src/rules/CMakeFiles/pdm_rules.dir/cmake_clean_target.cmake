@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdm_rules.a"
+)

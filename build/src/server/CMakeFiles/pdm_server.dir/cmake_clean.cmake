@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_server.dir/db_server.cc.o"
+  "CMakeFiles/pdm_server.dir/db_server.cc.o.d"
+  "libpdm_server.a"
+  "libpdm_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

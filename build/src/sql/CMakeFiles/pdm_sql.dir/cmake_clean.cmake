@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_sql.dir/ast.cc.o"
+  "CMakeFiles/pdm_sql.dir/ast.cc.o.d"
+  "CMakeFiles/pdm_sql.dir/lexer.cc.o"
+  "CMakeFiles/pdm_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/pdm_sql.dir/parser.cc.o"
+  "CMakeFiles/pdm_sql.dir/parser.cc.o.d"
+  "CMakeFiles/pdm_sql.dir/token.cc.o"
+  "CMakeFiles/pdm_sql.dir/token.cc.o.d"
+  "libpdm_sql.a"
+  "libpdm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_api_test.dir/experiment_api_test.cc.o"
+  "CMakeFiles/experiment_api_test.dir/experiment_api_test.cc.o.d"
+  "experiment_api_test"
+  "experiment_api_test.pdb"
+  "experiment_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

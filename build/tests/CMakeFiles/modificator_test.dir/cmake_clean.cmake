@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modificator_test.dir/modificator_test.cc.o"
+  "CMakeFiles/modificator_test.dir/modificator_test.cc.o.d"
+  "modificator_test"
+  "modificator_test.pdb"
+  "modificator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modificator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

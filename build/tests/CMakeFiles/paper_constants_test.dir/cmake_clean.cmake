@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_constants_test.dir/paper_constants_test.cc.o"
+  "CMakeFiles/paper_constants_test.dir/paper_constants_test.cc.o.d"
+  "paper_constants_test"
+  "paper_constants_test.pdb"
+  "paper_constants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_constants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/product_tree_test.cc" "tests/CMakeFiles/product_tree_test.dir/product_tree_test.cc.o" "gcc" "tests/CMakeFiles/product_tree_test.dir/product_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pdm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pdm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/pdm_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/pdm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/pdm_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pdm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/pdm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_tree_test.dir/product_tree_test.cc.o"
+  "CMakeFiles/product_tree_test.dir/product_tree_test.cc.o.d"
+  "product_tree_test"
+  "product_tree_test.pdb"
+  "product_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

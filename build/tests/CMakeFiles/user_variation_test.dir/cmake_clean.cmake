@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_variation_test.dir/user_variation_test.cc.o"
+  "CMakeFiles/user_variation_test.dir/user_variation_test.cc.o.d"
+  "user_variation_test"
+  "user_variation_test.pdb"
+  "user_variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
