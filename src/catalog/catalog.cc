@@ -16,6 +16,7 @@ Status Catalog::CreateTable(std::string_view name, Schema schema,
   }
   tables_[key] =
       std::make_unique<Table>(std::string(name), std::move(schema));
+  ++version_;
   return Status::OK();
 }
 
@@ -27,6 +28,7 @@ Status Catalog::DropTable(std::string_view name, bool if_exists) {
     return Status::NotFound("table '" + std::string(name) + "' does not exist");
   }
   tables_.erase(it);
+  ++version_;
   return Status::OK();
 }
 

@@ -43,10 +43,16 @@ class Catalog {
 
   size_t num_tables() const { return tables_.size(); }
 
+  /// Monotonic schema version, bumped by every CreateTable/DropTable.
+  /// The engine's plan cache discards entries bound under an older
+  /// version (a dropped-and-recreated table may have a new schema).
+  uint64_t version() const { return version_; }
+
  private:
   static std::string Key(std::string_view name);
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace pdm

@@ -5,22 +5,41 @@ namespace pdm {
 Status Table::Insert(Row row) {
   PDM_RETURN_NOT_OK(schema_.ValidateRow(row).WithContext(
       "insert into table '" + name_ + "'"));
-  InvalidateIndexes();
+  MaintainIndexesForAppend(row);
   rows_.push_back(std::move(row));
   return Status::OK();
 }
 
-const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
-  auto it = indexes_.find(column);
-  if (it != indexes_.end()) return it->second;
-  ColumnIndex index;
-  index.reserve(rows_.size());
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const Value& key = rows_[i][column];
-    if (key.is_null()) continue;
-    index[key].push_back(i);
+void Table::MaintainIndexesForAppend(const Row& row) {
+  const uint64_t old_version = version_++;
+  const size_t pos = rows_.size();
+  for (auto& [column, cached] : indexes_) {
+    if (cached.built_version != old_version) continue;  // already stale
+    if (column < row.size() && !row[column].is_null()) {
+      cached.map[row[column]].push_back(pos);
+    }
+    cached.built_version = version_;
   }
-  return indexes_.emplace(column, std::move(index)).first->second;
+}
+
+const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
+  CachedIndex& cached = indexes_[column];
+  if (cached.built_version != version_) {
+    cached.map.clear();
+    cached.map.reserve(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Value& key = rows_[i][column];
+      if (key.is_null()) continue;
+      cached.map[key].push_back(i);
+    }
+    cached.built_version = version_;
+  }
+  return cached.map;
+}
+
+bool Table::HasFreshIndex(size_t column) const {
+  auto it = indexes_.find(column);
+  return it != indexes_.end() && it->second.built_version == version_;
 }
 
 }  // namespace pdm

@@ -1,6 +1,7 @@
 #ifndef PDM_CATALOG_TABLE_H_
 #define PDM_CATALOG_TABLE_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -18,7 +19,12 @@ namespace pdm {
 /// Tables maintain lazily built per-column hash indexes (value -> row
 /// positions) that executors use for equality scans and index joins —
 /// the moral equivalent of the B-trees a production RDBMS would keep on
-/// link.left / obid. Any mutation invalidates all indexes.
+/// link.left / obid. Invalidation is versioned: every mutating entry
+/// point bumps `version_`, and a cached index is usable only while its
+/// `built_version` matches. Appends (the navigational workload's only
+/// frequent mutation) maintain in-sync indexes incrementally instead of
+/// discarding them; updates and deletes leave indexes stale until the
+/// next GetOrBuildIndex rebuilds them.
 class Table {
  public:
   using ColumnIndex =
@@ -41,7 +47,7 @@ class Table {
   /// Appends without validation (trusted internal callers, e.g. bulk
   /// generation that constructs rows straight from the schema).
   void InsertUnchecked(Row row) {
-    InvalidateIndexes();
+    MaintainIndexesForAppend(row);
     rows_.push_back(std::move(row));
   }
 
@@ -76,19 +82,37 @@ class Table {
     return rows_;
   }
 
-  /// Hash index on `column` (built on first use, then cached until the
-  /// next mutation). NULL values are not indexed — equality never
-  /// matches them.
+  /// Hash index on `column`: built on first use, maintained across
+  /// appends, rebuilt on first use after any other mutation. NULL
+  /// values are not indexed — equality never matches them.
   const ColumnIndex& GetOrBuildIndex(size_t column) const;
 
-  /// Drops all cached indexes; called by every mutating entry point.
-  void InvalidateIndexes() { indexes_.clear(); }
+  /// True if an index on `column` exists and is in sync with the rows
+  /// (usable without a rebuild). Scan planning prefers such columns.
+  bool HasFreshIndex(size_t column) const;
+
+  /// Marks all cached indexes stale; called by every mutating entry
+  /// point that cannot maintain them incrementally.
+  void InvalidateIndexes() { ++version_; }
+
+  /// Bumped by every mutation; index freshness is judged against it.
+  uint64_t version() const { return version_; }
 
  private:
+  struct CachedIndex {
+    ColumnIndex map;
+    uint64_t built_version = 0;  // 0 = never built (version_ starts at 1)
+  };
+
+  /// Appends the about-to-be-inserted row to every in-sync index and
+  /// bumps the table version; stale indexes stay stale.
+  void MaintainIndexesForAppend(const Row& row);
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
-  mutable std::map<size_t, ColumnIndex> indexes_;
+  uint64_t version_ = 1;
+  mutable std::map<size_t, CachedIndex> indexes_;
 };
 
 }  // namespace pdm

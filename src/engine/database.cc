@@ -17,8 +17,56 @@ Database::Database() {
 }
 
 Status Database::Execute(std::string_view sql, ResultSet* out) {
+  if (options_.use_plan_cache) {
+    Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
+    if (fp.ok() && fp->cacheable) {
+      return ExecuteCachedSelect(std::move(*fp), out);
+    }
+    if (fp.ok()) {
+      // Non-SELECT: reuse the token stream instead of re-lexing.
+      sql::Parser parser(std::move(fp->tokens));
+      PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
+      return ExecuteStatement(*stmt, out);
+    }
+    // Lexical error: fall through so ParseSql reports it normally.
+  }
   PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseSql(sql));
   return ExecuteStatement(*stmt, out);
+}
+
+Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
+                                     ResultSet* out) {
+  stats_.Reset();
+  ResultSet scratch;
+  if (out == nullptr) out = &scratch;
+  out->schema = Schema();
+  out->rows.clear();
+  out->affected_rows = 0;
+
+  if (PlanCache::Entry* entry = plan_cache_.Lookup(
+          fp.key, fp.params, schema_epoch(), options_.binder)) {
+    stats_.plan_cache_hits = 1;
+    return ExecuteBoundSelect(entry->bound, out);
+  }
+  stats_.plan_cache_misses = 1;
+
+  sql::Parser parser(std::move(fp.tokens));
+  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
+  if (stmt->kind != sql::StatementKind::kSelect) {
+    return ExecuteStatement(*stmt, out);  // unreachable; defensive
+  }
+  Binder binder(&catalog_, &functions_, options_.binder, &views_);
+  PDM_ASSIGN_OR_RETURN(
+      BoundSelect bound,
+      binder.BindSelect(static_cast<const sql::SelectStmt&>(*stmt)));
+  PlanCache::Entry entry = PlanCache::Prepare(
+      std::move(bound), std::move(fp.params), schema_epoch(),
+      options_.binder);
+  // Execute before handing the entry to the cache: even a failed
+  // execution is deterministic, so the plan stays cacheable.
+  Status status = ExecuteBoundSelect(entry.bound, out);
+  plan_cache_.Insert(fp.key, std::move(entry));
+  return status;
 }
 
 Result<ResultSet> Database::Query(std::string_view sql) {
@@ -75,7 +123,10 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
 Status Database::ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out) {
   Binder binder(&catalog_, &functions_, options_.binder, &views_);
   PDM_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(stmt));
+  return ExecuteBoundSelect(bound, out);
+}
 
+Status Database::ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out) {
   ExecContext ctx(&catalog_, &options_.exec, &stats_);
   std::map<std::string, std::vector<Row>> cte_storage;
   PDM_RETURN_NOT_OK(MaterializeCtes(bound.ctes, &ctx, &cte_storage));
@@ -259,14 +310,18 @@ Status Database::ExecuteCreateView(const sql::CreateViewStmt& stmt,
   Binder binder(&catalog_, &functions_, options_.binder, &views_);
   PDM_RETURN_NOT_OK(binder.BindSelect(*stmt.select).status().WithContext(
       "invalid view definition"));
-  return views_.Define(stmt.view_name, stmt.select->CloneSelect(),
-                       stmt.or_replace);
+  Status status = views_.Define(stmt.view_name, stmt.select->CloneSelect(),
+                                stmt.or_replace);
+  if (status.ok()) ++ddl_epoch_;
+  return status;
 }
 
 Status Database::ExecuteDropView(const sql::DropViewStmt& stmt,
                                  ResultSet* out) {
   (void)out;
-  return views_.Drop(stmt.view_name, stmt.if_exists);
+  Status status = views_.Drop(stmt.view_name, stmt.if_exists);
+  if (status.ok()) ++ddl_epoch_;
+  return status;
 }
 
 Status Database::RegisterProcedure(std::string_view name,

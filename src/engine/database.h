@@ -11,12 +11,14 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "engine/plan_cache.h"
 #include "exec/exec_context.h"
 #include "exec/result_set.h"
 #include "plan/binder.h"
 #include "plan/functions.h"
 #include "plan/view_registry.h"
 #include "sql/ast.h"
+#include "sql/fingerprint.h"
 
 namespace pdm {
 
@@ -26,6 +28,10 @@ namespace pdm {
 struct EngineOptions {
   BinderOptions binder;
   ExecOptions exec;
+  /// Reuse bound plans across textual SELECTs that differ only in
+  /// literal values (engine/plan_cache.h). Only the Execute() text path
+  /// consults the cache; AST-path ExecuteStatement never does.
+  bool use_plan_cache = true;
 };
 
 /// The embedded SQL engine: catalog + parser + binder + executor behind a
@@ -61,7 +67,10 @@ class Database {
   /// Registers a scalar SQL function (see FunctionRegistry).
   Status RegisterFunction(std::string_view name, size_t min_args,
                           size_t max_args, ScalarFn fn) {
-    return functions_.Register(name, min_args, max_args, std::move(fn));
+    Status status = functions_.Register(name, min_args, max_args,
+                                        std::move(fn));
+    if (status.ok()) ++ddl_epoch_;  // new name may change how SQL binds
+    return status;
   }
 
   /// Registers a stored procedure reachable via CALL name(args).
@@ -77,7 +86,18 @@ class Database {
   /// Execution counters of the most recent Execute() call.
   const ExecStats& last_stats() const { return stats_; }
 
+  /// The prepared-statement/plan cache consulted by Execute().
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  /// Monotonic epoch covering every binding-visible definition change:
+  /// catalog tables (CREATE/DROP TABLE), views, registered functions.
+  /// Plan-cache entries bound under an older epoch are discarded.
+  uint64_t schema_epoch() const { return catalog_.version() + ddl_epoch_; }
+
  private:
+  Status ExecuteCachedSelect(sql::StatementFingerprint fp, ResultSet* out);
+  Status ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out);
   Status ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt, ResultSet* out);
   Status ExecuteDropTable(const sql::DropTableStmt& stmt, ResultSet* out);
@@ -94,6 +114,8 @@ class Database {
   ViewRegistry views_;
   EngineOptions options_;
   ExecStats stats_;
+  PlanCache plan_cache_;
+  uint64_t ddl_epoch_ = 0;  // views + functions; tables count via catalog
   std::map<std::string, Procedure> procedures_;
 };
 

@@ -1,0 +1,275 @@
+#include "engine/plan_cache.h"
+
+namespace pdm {
+
+namespace {
+
+void CollectFromPlan(PlanNode* plan, PlanCache::Entry* entry);
+
+void CollectFromExpr(BoundExpr* expr, PlanCache::Entry* entry) {
+  if (expr == nullptr) return;
+  switch (expr->kind) {
+    case BoundExprKind::kLiteral: {
+      auto* lit = static_cast<BoundLiteral*>(expr);
+      if (lit->param_slot >= 0) {
+        entry->slots.emplace_back(static_cast<size_t>(lit->param_slot), lit);
+      }
+      return;
+    }
+    case BoundExprKind::kColumnRef:
+      return;
+    case BoundExprKind::kUnary:
+      CollectFromExpr(static_cast<BoundUnary*>(expr)->operand.get(), entry);
+      return;
+    case BoundExprKind::kBinary: {
+      auto* e = static_cast<BoundBinary*>(expr);
+      CollectFromExpr(e->lhs.get(), entry);
+      CollectFromExpr(e->rhs.get(), entry);
+      return;
+    }
+    case BoundExprKind::kFunctionCall:
+      for (BoundExprPtr& arg : static_cast<BoundFunctionCall*>(expr)->args) {
+        CollectFromExpr(arg.get(), entry);
+      }
+      return;
+    case BoundExprKind::kCast:
+      CollectFromExpr(static_cast<BoundCast*>(expr)->operand.get(), entry);
+      return;
+    case BoundExprKind::kIsNull:
+      CollectFromExpr(static_cast<BoundIsNull*>(expr)->operand.get(), entry);
+      return;
+    case BoundExprKind::kInList: {
+      auto* e = static_cast<BoundInList*>(expr);
+      CollectFromExpr(e->operand.get(), entry);
+      bool any_slot = false;
+      for (BoundExprPtr& item : e->items) {
+        if (item->kind == BoundExprKind::kLiteral &&
+            static_cast<BoundLiteral*>(item.get())->param_slot >= 0) {
+          any_slot = true;
+        }
+        CollectFromExpr(item.get(), entry);
+      }
+      if (e->use_literal_set && any_slot) {
+        entry->inlist_rebuilds.push_back(e);
+      }
+      return;
+    }
+    case BoundExprKind::kBetween: {
+      auto* e = static_cast<BoundBetween*>(expr);
+      CollectFromExpr(e->operand.get(), entry);
+      CollectFromExpr(e->low.get(), entry);
+      CollectFromExpr(e->high.get(), entry);
+      return;
+    }
+    case BoundExprKind::kLike: {
+      auto* e = static_cast<BoundLike*>(expr);
+      CollectFromExpr(e->operand.get(), entry);
+      CollectFromExpr(e->pattern.get(), entry);
+      return;
+    }
+    case BoundExprKind::kCase: {
+      auto* e = static_cast<BoundCase*>(expr);
+      for (auto& [cond, value] : e->whens) {
+        CollectFromExpr(cond.get(), entry);
+        CollectFromExpr(value.get(), entry);
+      }
+      CollectFromExpr(e->else_expr.get(), entry);
+      return;
+    }
+    case BoundExprKind::kSubquery: {
+      auto* e = static_cast<BoundSubquery*>(expr);
+      CollectFromExpr(e->operand.get(), entry);
+      CollectFromPlan(e->plan.get(), entry);
+      return;
+    }
+  }
+}
+
+void CollectFromPlan(PlanNode* plan, PlanCache::Entry* entry) {
+  if (plan == nullptr) return;
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      CollectFromExpr(static_cast<ScanNode*>(plan)->filter.get(), entry);
+      return;
+    case PlanKind::kCteScan:
+      return;
+    case PlanKind::kFilter: {
+      auto* n = static_cast<FilterNode*>(plan);
+      CollectFromPlan(n->child.get(), entry);
+      CollectFromExpr(n->predicate.get(), entry);
+      return;
+    }
+    case PlanKind::kProject: {
+      auto* n = static_cast<ProjectNode*>(plan);
+      CollectFromPlan(n->child.get(), entry);
+      for (BoundExprPtr& e : n->exprs) CollectFromExpr(e.get(), entry);
+      return;
+    }
+    case PlanKind::kNestedLoopJoin: {
+      auto* n = static_cast<NestedLoopJoinNode*>(plan);
+      CollectFromPlan(n->left.get(), entry);
+      CollectFromPlan(n->right.get(), entry);
+      CollectFromExpr(n->predicate.get(), entry);
+      return;
+    }
+    case PlanKind::kHashJoin: {
+      auto* n = static_cast<HashJoinNode*>(plan);
+      CollectFromPlan(n->left.get(), entry);
+      CollectFromPlan(n->right.get(), entry);
+      CollectFromExpr(n->residual.get(), entry);
+      return;
+    }
+    case PlanKind::kAggregate: {
+      auto* n = static_cast<AggregateNode*>(plan);
+      CollectFromPlan(n->child.get(), entry);
+      for (BoundExprPtr& e : n->group_exprs) CollectFromExpr(e.get(), entry);
+      for (BoundAggregate& agg : n->aggregates) {
+        CollectFromExpr(agg.arg.get(), entry);
+      }
+      CollectFromExpr(n->having.get(), entry);
+      return;
+    }
+    case PlanKind::kSort:
+      CollectFromPlan(static_cast<SortNode*>(plan)->child.get(), entry);
+      return;
+    case PlanKind::kDistinct:
+      CollectFromPlan(static_cast<DistinctNode*>(plan)->child.get(), entry);
+      return;
+    case PlanKind::kUnion:
+      for (PlanPtr& child : static_cast<UnionNode*>(plan)->children) {
+        CollectFromPlan(child.get(), entry);
+      }
+      return;
+    case PlanKind::kLimit:
+      CollectFromPlan(static_cast<LimitNode*>(plan)->child.get(), entry);
+      return;
+  }
+}
+
+void RebuildLiteralSet(BoundInList* inlist) {
+  inlist->literal_set.clear();
+  inlist->literal_list_has_null = false;
+  for (const BoundExprPtr& item : inlist->items) {
+    const Value& v = static_cast<const BoundLiteral&>(*item).value;
+    if (v.is_null()) {
+      inlist->literal_list_has_null = true;
+    } else {
+      inlist->literal_set.insert(v);
+    }
+  }
+}
+
+bool SameOptions(const BinderOptions& a, const BinderOptions& b) {
+  return a.predicate_pushdown == b.predicate_pushdown &&
+         a.use_hash_join == b.use_hash_join;
+}
+
+}  // namespace
+
+PlanCache::Entry PlanCache::Prepare(BoundSelect bound,
+                                    std::vector<Value> params,
+                                    uint64_t schema_epoch,
+                                    const BinderOptions& options) {
+  Entry entry;
+  entry.bound = std::move(bound);
+  entry.bound_params = std::move(params);
+  entry.schema_epoch = schema_epoch;
+  entry.binder_options = options;
+  for (BoundCte& cte : entry.bound.ctes) {
+    CollectFromPlan(cte.seed.get(), &entry);
+    for (PlanPtr& term : cte.recursive_terms) {
+      CollectFromPlan(term.get(), &entry);
+    }
+  }
+  CollectFromPlan(entry.bound.root.get(), &entry);
+
+  std::vector<char> covered(entry.bound_params.size(), 0);
+  bool in_range = true;
+  for (const auto& [slot, lit] : entry.slots) {
+    if (slot < covered.size()) {
+      covered[slot] = 1;
+    } else {
+      in_range = false;  // stamped AST spliced from elsewhere; be safe
+    }
+  }
+  entry.parameterized = in_range;
+  for (char c : covered) {
+    if (!c) {
+      entry.parameterized = false;
+      break;
+    }
+  }
+  return entry;
+}
+
+PlanCache::Entry* PlanCache::Lookup(const std::string& key,
+                                    const std::vector<Value>& params,
+                                    uint64_t schema_epoch,
+                                    const BinderOptions& options) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses++;
+    return nullptr;
+  }
+  Entry& entry = it->second->second;
+  if (entry.schema_epoch != schema_epoch ||
+      !SameOptions(entry.binder_options, options)) {
+    Erase(key);
+    stats_.invalidations++;
+    stats_.misses++;
+    return nullptr;
+  }
+  if (!entry.parameterized) {
+    // Exact-match only: some parameter is folded into plan structure.
+    if (params != entry.bound_params) {
+      stats_.misses++;
+      return nullptr;
+    }
+  } else if (params != entry.bound_params) {
+    for (const auto& [slot, lit] : entry.slots) {
+      lit->value = params[slot];
+    }
+    for (BoundInList* inlist : entry.inlist_rebuilds) {
+      RebuildLiteralSet(inlist);
+    }
+    entry.bound_params = params;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits++;
+  return &entry;
+}
+
+void PlanCache::Insert(const std::string& key, Entry entry) {
+  Erase(key);
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  EvictToCapacity();
+}
+
+void PlanCache::Flush() {
+  stats_.invalidations += index_.size();
+  index_.clear();
+  lru_.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  EvictToCapacity();
+}
+
+void PlanCache::Erase(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void PlanCache::EvictToCapacity() {
+  while (index_.size() > capacity_ && !lru_.empty()) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+}  // namespace pdm

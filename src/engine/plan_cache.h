@@ -1,0 +1,115 @@
+#ifndef PDM_ENGINE_PLAN_CACHE_H_
+#define PDM_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "plan/binder.h"
+#include "plan/plan_node.h"
+
+namespace pdm {
+
+/// Aggregate counters of one PlanCache, exposed through DbServer next
+/// to the statement log (per-statement hit/miss lives in ExecStats).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // LRU capacity evictions
+  uint64_t invalidations = 0;  // discarded by schema-epoch/option change
+
+  void Reset() { *this = PlanCacheStats{}; }
+};
+
+/// LRU cache of bound SELECT plans keyed by statement fingerprint
+/// (sql/fingerprint.h). An entry holds the bound tree plus the
+/// addresses of the BoundLiteral nodes carrying each fingerprint
+/// parameter; re-execution stamps the new literal values into those
+/// slots instead of re-lexing/parsing/binding.
+///
+/// Correctness:
+///  - Entries record the schema epoch and binder options they were
+///    bound under; Lookup discards entries from an older epoch (DDL —
+///    CREATE/DROP of tables and views — bumps the epoch) or different
+///    optimizer settings.
+///  - If some fingerprint parameter reached no literal slot in the plan
+///    (the binder folded it into structure, e.g. an ORDER BY expression
+///    matched against a select item by text, or a GROUP BY literal
+///    matched the same way), the entry is *exact-match only*: it is
+///    reused only when the parameters equal the values it was bound
+///    with, never substituted.
+///  - IN-lists whose precomputed literal hash set contains substituted
+///    values are re-derived after every substitution.
+class PlanCache {
+ public:
+  struct Entry {
+    BoundSelect bound;
+    /// (fingerprint parameter ordinal, literal node) — one parameter
+    /// may surface in several nodes (e.g. a literal bound both as a
+    /// group expression and in the post-aggregate select list).
+    std::vector<std::pair<size_t, BoundLiteral*>> slots;
+    /// IN-list nodes whose literal_set must be rebuilt after
+    /// substitution.
+    std::vector<BoundInList*> inlist_rebuilds;
+    /// True if every fingerprint parameter is covered by `slots`.
+    bool parameterized = false;
+    /// The parameter values currently stamped into the plan.
+    std::vector<Value> bound_params;
+    uint64_t schema_epoch = 0;
+    BinderOptions binder_options;
+  };
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Builds a cache entry from a freshly bound plan: walks the plan
+  /// collecting parameter slots and IN-list rebuild hooks, and decides
+  /// whether the entry is fully parameterized.
+  static Entry Prepare(BoundSelect bound, std::vector<Value> params,
+                       uint64_t schema_epoch, const BinderOptions& options);
+
+  /// Returns the cached entry for `key` with `params` substituted into
+  /// its plan, ready to execute — or nullptr on miss. Entries bound
+  /// under a different schema epoch or binder options are discarded.
+  Entry* Lookup(const std::string& key, const std::vector<Value>& params,
+                uint64_t schema_epoch, const BinderOptions& options);
+
+  /// Inserts (or replaces) the entry under `key`, evicting LRU entries
+  /// beyond capacity.
+  void Insert(const std::string& key, Entry entry);
+
+  /// Drops every entry.
+  void Flush();
+
+  /// Shrinking below the current size evicts LRU entries immediately.
+  void set_capacity(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return index_.size(); }
+  const PlanCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  static constexpr size_t kDefaultCapacity = 128;
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  void Erase(const std::string& key);
+  void EvictToCapacity();
+
+  size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_ENGINE_PLAN_CACHE_H_

@@ -43,6 +43,8 @@ struct ExecStats {
   size_t nl_join_probes = 0;         // nested-loop predicate evaluations
   size_t index_scans = 0;            // scans answered from a column index
   size_t index_join_probes = 0;      // hash-join probes against an index
+  size_t plan_cache_hits = 0;        // statement served from a cached plan
+  size_t plan_cache_misses = 0;      // statement freshly parsed and bound
 
   void Reset() { *this = ExecStats{}; }
 };

@@ -11,32 +11,32 @@ namespace pdm {
 
 namespace {
 
-/// Searches the top-level AND chain of `filter` for a
-/// `column = non-NULL-literal` conjunct usable with a column index.
-/// Returns (column, literal) of the first hit.
-std::optional<std::pair<size_t, const Value*>> FindIndexableEquality(
-    const BoundExpr& filter) {
-  if (filter.kind == BoundExprKind::kBinary) {
-    const auto& bin = static_cast<const BoundBinary&>(filter);
-    if (bin.op == sql::BinaryOp::kAnd) {
-      if (auto hit = FindIndexableEquality(*bin.lhs)) return hit;
-      return FindIndexableEquality(*bin.rhs);
-    }
-    if (bin.op == sql::BinaryOp::kEq) {
-      const BoundExpr* col = bin.lhs.get();
-      const BoundExpr* lit = bin.rhs.get();
-      if (col->kind != BoundExprKind::kColumnRef) std::swap(col, lit);
-      if (col->kind == BoundExprKind::kColumnRef &&
-          lit->kind == BoundExprKind::kLiteral) {
-        const auto& ref = static_cast<const BoundColumnRef&>(*col);
-        const auto& value = static_cast<const BoundLiteral&>(*lit);
-        if (ref.level == 0 && !value.value.is_null()) {
-          return std::make_pair(ref.index, &value.value);
-        }
+/// Collects every `column = non-NULL-literal` conjunct of the top-level
+/// AND chain of `filter`, in source order. Each hit is usable with a
+/// column index.
+void CollectIndexableEqualities(
+    const BoundExpr& filter,
+    std::vector<std::pair<size_t, const Value*>>* out) {
+  if (filter.kind != BoundExprKind::kBinary) return;
+  const auto& bin = static_cast<const BoundBinary&>(filter);
+  if (bin.op == sql::BinaryOp::kAnd) {
+    CollectIndexableEqualities(*bin.lhs, out);
+    CollectIndexableEqualities(*bin.rhs, out);
+    return;
+  }
+  if (bin.op == sql::BinaryOp::kEq) {
+    const BoundExpr* col = bin.lhs.get();
+    const BoundExpr* lit = bin.rhs.get();
+    if (col->kind != BoundExprKind::kColumnRef) std::swap(col, lit);
+    if (col->kind == BoundExprKind::kColumnRef &&
+        lit->kind == BoundExprKind::kLiteral) {
+      const auto& ref = static_cast<const BoundColumnRef&>(*col);
+      const auto& value = static_cast<const BoundLiteral&>(*lit);
+      if (ref.level == 0 && !value.value.is_null()) {
+        out->emplace_back(ref.index, &value.value);
       }
     }
   }
-  return std::nullopt;
 }
 
 // --- Leaf operators -----------------------------------------------------------
@@ -53,11 +53,23 @@ class ScanExecutor : public Executor {
     pos_ = 0;
     candidates_ = nullptr;
     // Point lookups (e.g. the navigational `link.left = <obid>`) go
-    // through the table's lazily built column index.
+    // through the table's lazily built column index. Among the usable
+    // equality conjuncts, prefer one whose index is already built and
+    // in sync — building an index costs a full table pass.
     if (node_.filter != nullptr) {
-      if (auto hit = FindIndexableEquality(*node_.filter)) {
-        const Table::ColumnIndex& index = table->GetOrBuildIndex(hit->first);
-        auto it = index.find(*hit->second);
+      std::vector<std::pair<size_t, const Value*>> hits;
+      CollectIndexableEqualities(*node_.filter, &hits);
+      const std::pair<size_t, const Value*>* chosen = nullptr;
+      for (const auto& hit : hits) {
+        if (table->HasFreshIndex(hit.first)) {
+          chosen = &hit;
+          break;
+        }
+      }
+      if (chosen == nullptr && !hits.empty()) chosen = &hits.front();
+      if (chosen != nullptr) {
+        const Table::ColumnIndex& index = table->GetOrBuildIndex(chosen->first);
+        auto it = index.find(*chosen->second);
         candidates_ = it == index.end() ? &kNoRows() : &it->second;
         ctx_->stats().index_scans++;
       }
@@ -94,8 +106,8 @@ class ScanExecutor : public Executor {
 
  private:
   static const std::vector<size_t>& kNoRows() {
-    static const std::vector<size_t>* kEmpty = new std::vector<size_t>();
-    return *kEmpty;
+    static const std::vector<size_t> kEmpty;
+    return kEmpty;
   }
 
   const ScanNode& node_;

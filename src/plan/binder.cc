@@ -808,9 +808,12 @@ void ConvertEquiJoinsToHashJoins(PlanPtr* plan) {
 Result<BoundExprPtr> Binder::BindExpr(const sql::Expr& expr,
                                       const Scope* scope) {
   switch (expr.kind) {
-    case ExprKind::kLiteral:
-      return BoundExprPtr(std::make_unique<BoundLiteral>(
-          static_cast<const sql::LiteralExpr&>(expr).value));
+    case ExprKind::kLiteral: {
+      const auto& e = static_cast<const sql::LiteralExpr&>(expr);
+      auto lit = std::make_unique<BoundLiteral>(e.value);
+      if (view_stack_.empty()) lit->param_slot = e.param_slot;
+      return BoundExprPtr(std::move(lit));
+    }
     case ExprKind::kColumnRef: {
       const auto& e = static_cast<const sql::ColumnRefExpr&>(expr);
       if (scope == nullptr) {
@@ -1349,9 +1352,12 @@ Result<BoundExprPtr> Binder::BindPostAggExpr(const sql::Expr& expr,
   }
 
   switch (expr.kind) {
-    case ExprKind::kLiteral:
-      return BoundExprPtr(std::make_unique<BoundLiteral>(
-          static_cast<const sql::LiteralExpr&>(expr).value));
+    case ExprKind::kLiteral: {
+      const auto& e = static_cast<const sql::LiteralExpr&>(expr);
+      auto lit = std::make_unique<BoundLiteral>(e.value);
+      if (view_stack_.empty()) lit->param_slot = e.param_slot;
+      return BoundExprPtr(std::move(lit));
+    }
     case ExprKind::kColumnRef: {
       const auto& e = static_cast<const sql::ColumnRefExpr&>(expr);
       PDM_ASSIGN_OR_RETURN(Scope::Resolution r,

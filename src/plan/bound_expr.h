@@ -48,6 +48,13 @@ struct BoundLiteral : BoundExpr {
   explicit BoundLiteral(Value v)
       : BoundExpr(BoundExprKind::kLiteral), value(std::move(v)) {}
   Value value;
+  /// Fingerprint parameter ordinal carried over from sql::LiteralExpr,
+  /// or -1. The plan cache (engine/plan_cache.h) rewrites `value` in
+  /// place through this slot when re-executing a cached plan with new
+  /// parameters. Literals bound inside view expansion never carry a
+  /// slot: their ordinals belong to the CREATE VIEW statement, not the
+  /// statement being fingerprinted.
+  int param_slot = -1;
 };
 
 /// Column reference resolved to (level, index): level 0 is the row of the

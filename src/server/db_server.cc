@@ -11,7 +11,8 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
   if (response_bytes != nullptr) *response_bytes = bytes;
   if (log_enabled_) {
     statement_log_.push_back(StatementLogEntry{
-        std::string(sql), out->num_rows(), out->affected_rows, bytes});
+        std::string(sql), out->num_rows(), out->affected_rows, bytes,
+        db_.last_stats().plan_cache_hits > 0});
   }
   return Status::OK();
 }

@@ -30,6 +30,8 @@ class DbServer {
     size_t result_rows = 0;
     size_t affected_rows = 0;
     size_t response_bytes = 0;
+    /// True if the statement reused a cached plan (engine/plan_cache.h).
+    bool plan_cache_hit = false;
   };
 
   DbServer() = default;
@@ -58,6 +60,13 @@ class DbServer {
     return statement_log_;
   }
   void ClearStatementLog() { statement_log_.clear(); }
+
+  /// Aggregate plan-cache counters of the owned Database, reported next
+  /// to the statement log: hit rate here is what tells a DBA whether the
+  /// client's navigational queries are reusing server-side plans.
+  const PlanCacheStats& plan_cache_stats() const {
+    return db_.plan_cache().stats();
+  }
 
  private:
   Config config_;

@@ -70,7 +70,9 @@ std::string_view BinaryOpSymbol(BinaryOp op) {
 
 std::string LiteralExpr::ToSql() const { return value.ToSqlLiteral(); }
 ExprPtr LiteralExpr::Clone() const {
-  return std::make_unique<LiteralExpr>(value);
+  auto clone = std::make_unique<LiteralExpr>(value);
+  clone->param_slot = param_slot;
+  return clone;
 }
 
 std::string ColumnRefExpr::ToSql() const {

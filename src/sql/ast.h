@@ -82,6 +82,11 @@ struct LiteralExpr : Expr {
   ExprPtr Clone() const override;
 
   Value value;
+  /// Ordinal of this literal in the statement's fingerprint parameter
+  /// list (sql/fingerprint.h), or -1 for literals the fingerprint keeps
+  /// verbatim (LIMIT counts, ORDER BY positions, type lengths) and for
+  /// literals not produced by the parser (built ASTs, NULL/TRUE/FALSE).
+  int param_slot = -1;
 };
 
 struct ColumnRefExpr : Expr {

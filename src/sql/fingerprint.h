@@ -1,0 +1,47 @@
+#ifndef PDM_SQL_FINGERPRINT_H_
+#define PDM_SQL_FINGERPRINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sql/token.h"
+
+namespace pdm::sql {
+
+/// Normalized form of one SQL statement, produced by a pass over the
+/// lexer token stream (no parse). Literals are replaced by type-tagged
+/// placeholders (`?i` / `?d` / `?s`) and collected into `params` in
+/// token order, so that the navigational workload's per-node queries —
+/// identical shapes differing only in `link.left = <obid>` — share one
+/// key. The key is what engine/plan_cache.h caches bound plans under.
+///
+/// Three classes of integer literals stay verbatim in the key because
+/// the parser folds them into plan *structure* rather than binding them
+/// as literal expressions: the LIMIT count, ORDER BY output-column
+/// positions, and type lengths (`CAST(x AS VARCHAR(10))`). The
+/// classification here must stay in lockstep with Parser::StampedLiteral
+/// so that `params[i]` always describes the literal stamped with
+/// param_slot i.
+struct StatementFingerprint {
+  /// Normalized statement text; empty unless `cacheable`.
+  std::string key;
+  /// Extracted literal values, in token order.
+  std::vector<Value> params;
+  /// True for SELECT/WITH statements — the only ones worth caching.
+  bool cacheable = false;
+  /// The token stream, reusable to parse the statement without
+  /// re-lexing on a cache miss.
+  std::vector<Token> tokens;
+};
+
+/// Tokenizes `sql` and fingerprints it. Non-SELECT statements come back
+/// with `cacheable == false` (tokens still populated). Fails only on
+/// lexical errors.
+Result<StatementFingerprint> FingerprintSql(std::string_view sql);
+
+}  // namespace pdm::sql
+
+#endif  // PDM_SQL_FINGERPRINT_H_

@@ -70,6 +70,7 @@ Status Parser::ErrorHere(std::string message) const {
 // --- Entry points ------------------------------------------------------------
 
 Result<StatementPtr> Parser::ParseTopLevel() {
+  next_param_slot_ = 0;  // fingerprint parameter ordinals are per-statement
   if (CheckKeyword("SELECT") || CheckKeyword("WITH")) {
     return ParseSelectStatement();
   }
@@ -153,6 +154,7 @@ Result<StatementPtr> Parser::ParseDropView() {
 }
 
 Result<ExprPtr> Parser::ParseStandaloneExpression() {
+  next_param_slot_ = 0;
   PDM_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
   if (!Check(TokenKind::kEnd)) {
     return ErrorHere("unexpected trailing input: " + Peek().Describe());
@@ -614,16 +616,22 @@ Result<ExprPtr> Parser::ParseUnary() {
   return ParsePrimary();
 }
 
+ExprPtr Parser::StampedLiteral(Value v) {
+  auto lit = std::make_unique<LiteralExpr>(std::move(v));
+  lit->param_slot = static_cast<int>(next_param_slot_++);
+  return lit;
+}
+
 Result<ExprPtr> Parser::ParsePrimary() {
   // Literals.
   if (Check(TokenKind::kIntegerLiteral)) {
-    return MakeLiteral(Value::Int64(Advance().int_value));
+    return StampedLiteral(Value::Int64(Advance().int_value));
   }
   if (Check(TokenKind::kDoubleLiteral)) {
-    return MakeLiteral(Value::Double(Advance().double_value));
+    return StampedLiteral(Value::Double(Advance().double_value));
   }
   if (Check(TokenKind::kStringLiteral)) {
-    return MakeLiteral(Value::String(Advance().text));
+    return StampedLiteral(Value::String(Advance().text));
   }
   if (MatchKeyword("NULL")) return MakeLiteral(Value::Null());
   if (MatchKeyword("TRUE")) return MakeLiteral(Value::Bool(true));

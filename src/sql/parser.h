@@ -79,8 +79,16 @@ class Parser {
   /// (starts with SELECT or WITH).
   bool PeekSubqueryAfterLParen() const;
 
+  /// Literal stamped with the next fingerprint parameter ordinal. Every
+  /// literal *token* that reaches ParsePrimary gets a slot; literals the
+  /// fingerprint keeps verbatim (LIMIT, ORDER BY positions, type
+  /// lengths) and keyword literals (NULL/TRUE/FALSE) do not. The
+  /// numbering must stay in lockstep with sql/fingerprint.cc.
+  ExprPtr StampedLiteral(Value v);
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t next_param_slot_ = 0;
 };
 
 /// Tokenizes and parses one statement.

@@ -135,6 +135,53 @@ TEST_F(DmlTest, ProceduresAndErrors) {
   EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
 }
 
+// Regression: the lazy column index over link.left used to survive DML
+// unrefreshed, so children inserted after an indexed expand were
+// invisible to later expands of the same parent.
+TEST_F(DmlTest, IndexSeesRowsInsertedAfterBuild) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE link (left INTEGER, right INTEGER, hier VARCHAR);
+    INSERT INTO link VALUES (1, 10, 'part-of'), (1, 11, 'part-of'),
+                            (2, 20, 'part-of');
+  )sql")
+                  .ok());
+  // First expand builds the lazy index over link.left.
+  Result<ResultSet> kids =
+      db_.Query("SELECT right FROM link WHERE left = 1 ORDER BY 1");
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(kids->num_rows(), 2u);
+  EXPECT_GT(db_.last_stats().index_scans, 0u);
+
+  // Attach a new child after the index exists: it must be found.
+  ASSERT_TRUE(db_.Execute("INSERT INTO link VALUES (1, 12, 'part-of')").ok());
+  kids = db_.Query("SELECT right FROM link WHERE left = 1 ORDER BY 1");
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->num_rows(), 3u);
+  EXPECT_EQ(kids->At(2, 0).int64_value(), 12);
+  EXPECT_GT(db_.last_stats().index_scans, 0u);  // still on the index path
+}
+
+TEST_F(DmlTest, IndexInvalidatedByUpdateAndDelete) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE link (left INTEGER, right INTEGER);
+    INSERT INTO link VALUES (1, 10), (1, 11), (2, 20);
+  )sql")
+                  .ok());
+  EXPECT_EQ(db_.Query("SELECT right FROM link WHERE left = 1")->num_rows(),
+            2u);
+
+  // Re-parent one child; the indexed expand must see the move.
+  ASSERT_TRUE(db_.Execute("UPDATE link SET left = 2 WHERE right = 11").ok());
+  EXPECT_EQ(db_.Query("SELECT right FROM link WHERE left = 1")->num_rows(),
+            1u);
+  EXPECT_EQ(db_.Query("SELECT right FROM link WHERE left = 2")->num_rows(),
+            2u);
+
+  ASSERT_TRUE(db_.Execute("DELETE FROM link WHERE right = 20").ok());
+  EXPECT_EQ(db_.Query("SELECT right FROM link WHERE left = 2")->num_rows(),
+            1u);
+}
+
 TEST_F(DmlTest, ScriptStopsAtFirstError) {
   Status status = db_.ExecuteScript(
       "INSERT INTO t VALUES (7, 'x', 0.0);"

@@ -1,0 +1,409 @@
+// Tests for the statement fingerprint (sql/fingerprint.h) and the
+// server-side plan cache (engine/plan_cache.h): key normalization,
+// parameter substitution, invalidation on DDL and option changes, LRU
+// eviction, server-boundary reporting, and cached-vs-cold differential
+// equivalence for the paper's three access strategies.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "client/experiment.h"
+#include "engine/database.h"
+#include "server/db_server.h"
+#include "sql/fingerprint.h"
+
+namespace pdm {
+namespace {
+
+using sql::FingerprintSql;
+using sql::StatementFingerprint;
+
+// --- Fingerprint normalization ----------------------------------------------
+
+TEST(FingerprintTest, LiteralOnlyDifferencesShareOneKey) {
+  Result<StatementFingerprint> a =
+      FingerprintSql("SELECT name FROM t WHERE id = 1 AND score > 0.5");
+  Result<StatementFingerprint> b =
+      FingerprintSql("SELECT name FROM t WHERE id = 42 AND score > 2.25");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->cacheable);
+  EXPECT_TRUE(b->cacheable);
+  EXPECT_EQ(a->key, b->key);
+  ASSERT_EQ(a->params.size(), 2u);
+  ASSERT_EQ(b->params.size(), 2u);
+  EXPECT_EQ(a->params[0].int64_value(), 1);
+  EXPECT_EQ(b->params[0].int64_value(), 42);
+}
+
+TEST(FingerprintTest, StringLiteralsParameterized) {
+  Result<StatementFingerprint> a =
+      FingerprintSql("SELECT * FROM link WHERE hier = 'part-of'");
+  Result<StatementFingerprint> b =
+      FingerprintSql("SELECT * FROM link WHERE hier = 'view-of'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->key, b->key);
+  ASSERT_EQ(a->params.size(), 1u);
+  EXPECT_EQ(a->params[0].string_value(), "part-of");
+}
+
+TEST(FingerprintTest, StructuralLiteralsStayVerbatim) {
+  // LIMIT counts and ORDER BY output-column positions change the plan
+  // shape, so they are part of the key, not parameters.
+  Result<StatementFingerprint> l1 = FingerprintSql("SELECT a FROM t LIMIT 1");
+  Result<StatementFingerprint> l2 = FingerprintSql("SELECT a FROM t LIMIT 2");
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  EXPECT_NE(l1->key, l2->key);
+  EXPECT_TRUE(l1->params.empty());
+
+  Result<StatementFingerprint> o1 =
+      FingerprintSql("SELECT a, b FROM t ORDER BY 1");
+  Result<StatementFingerprint> o2 =
+      FingerprintSql("SELECT a, b FROM t ORDER BY 2");
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_NE(o1->key, o2->key);
+  EXPECT_TRUE(o1->params.empty());
+
+  // Second and later ORDER BY items are positions too.
+  Result<StatementFingerprint> o3 =
+      FingerprintSql("SELECT a, b FROM t ORDER BY 1, 2");
+  Result<StatementFingerprint> o4 =
+      FingerprintSql("SELECT a, b FROM t ORDER BY 2, 1");
+  ASSERT_TRUE(o3.ok() && o4.ok());
+  EXPECT_NE(o3->key, o4->key);
+
+  // But an ordinary literal inside an ORDER BY *expression* is a
+  // parameter (it is not at item-start position).
+  Result<StatementFingerprint> e1 =
+      FingerprintSql("SELECT a FROM t ORDER BY a + 1");
+  Result<StatementFingerprint> e2 =
+      FingerprintSql("SELECT a FROM t ORDER BY a + 2");
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_EQ(e1->key, e2->key);
+  EXPECT_EQ(e1->params.size(), 1u);
+}
+
+TEST(FingerprintTest, WhereLiteralAfterOrderByStillParameterized) {
+  // A subquery's WHERE literal sits inside parens opened after ORDER BY
+  // started; depth tracking must not mistake it for a position.
+  Result<StatementFingerprint> a = FingerprintSql(
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b = 7) ORDER BY 1");
+  Result<StatementFingerprint> b = FingerprintSql(
+      "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b = 9) ORDER BY 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->key, b->key);
+  EXPECT_EQ(a->params.size(), 1u);
+}
+
+TEST(FingerprintTest, OnlySelectAndWithAreCacheable) {
+  EXPECT_FALSE(FingerprintSql("INSERT INTO t VALUES (1)")->cacheable);
+  EXPECT_FALSE(FingerprintSql("UPDATE t SET a = 1")->cacheable);
+  EXPECT_FALSE(FingerprintSql("DELETE FROM t")->cacheable);
+  EXPECT_FALSE(FingerprintSql("CREATE TABLE t (a INTEGER)")->cacheable);
+  EXPECT_TRUE(FingerprintSql("SELECT 1")->cacheable);
+  EXPECT_TRUE(
+      FingerprintSql("WITH c AS (SELECT 1) SELECT * FROM c")->cacheable);
+}
+
+TEST(FingerprintTest, StructurallyDifferentQueriesDiffer) {
+  Result<StatementFingerprint> a = FingerprintSql("SELECT a FROM t");
+  Result<StatementFingerprint> b = FingerprintSql("SELECT b FROM t");
+  Result<StatementFingerprint> c = FingerprintSql("SELECT a FROM u");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a->key, b->key);
+  EXPECT_NE(a->key, c->key);
+}
+
+// --- Cache behaviour through the engine -------------------------------------
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (id INTEGER, name VARCHAR, score DOUBLE);
+      INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0), (3, 'c', 3.0);
+    )sql")
+                    .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanCacheTest, RepeatedQueryHitsWithDifferentLiterals) {
+  Result<ResultSet> r1 = db_.Query("SELECT name FROM t WHERE id = 1");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 0u);
+  ASSERT_EQ(r1->num_rows(), 1u);
+  EXPECT_EQ(r1->At(0, 0).string_value(), "a");
+
+  // Different literal, same shape: served from the cached plan.
+  Result<ResultSet> r2 = db_.Query("SELECT name FROM t WHERE id = 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 0u);
+  ASSERT_EQ(r2->num_rows(), 1u);
+  EXPECT_EQ(r2->At(0, 0).string_value(), "b");
+
+  EXPECT_EQ(db_.plan_cache().stats().hits, 1u);
+  EXPECT_EQ(db_.plan_cache().size(), 1u);
+}
+
+TEST_F(PlanCacheTest, InListSubstitutionRebuildsLiteralSet) {
+  Result<ResultSet> r1 =
+      db_.Query("SELECT COUNT(*) FROM t WHERE id IN (1, 2)");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->At(0, 0).int64_value(), 2);
+
+  Result<ResultSet> r2 =
+      db_.Query("SELECT COUNT(*) FROM t WHERE id IN (3, 9)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(r2->At(0, 0).int64_value(), 1);
+}
+
+TEST_F(PlanCacheTest, LargeInListSubstitution) {
+  // Large lists take the precomputed-hash-set path; the set must be
+  // re-derived after substitution.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE n (v INTEGER)").ok());
+  std::string insert = "INSERT INTO n VALUES (0)";
+  for (int i = 1; i < 400; ++i) insert += ", (" + std::to_string(i) + ")";
+  ASSERT_TRUE(db_.Execute(insert).ok());
+
+  auto in_query = [](int offset) {
+    std::string sql = "SELECT COUNT(*) FROM n WHERE v IN (";
+    for (int i = 0; i < 300; ++i) {
+      if (i > 0) sql += ",";
+      sql += std::to_string(offset + i * 2);
+    }
+    return sql + ")";
+  };
+  Result<ResultSet> evens = db_.Query(in_query(0));
+  ASSERT_TRUE(evens.ok());
+  EXPECT_EQ(evens->At(0, 0).int64_value(), 200);  // 0,2,..,398 within 0..399
+
+  Result<ResultSet> odds = db_.Query(in_query(1));
+  ASSERT_TRUE(odds.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(odds->At(0, 0).int64_value(), 200);  // 1,3,..,399
+}
+
+TEST_F(PlanCacheTest, CreateAndDropTableFlushEntries) {
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 2").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+
+  // CREATE TABLE bumps the schema epoch: the cached plan is discarded.
+  ASSERT_TRUE(db_.Execute("CREATE TABLE other (x INTEGER)").ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 3").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 0u);
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+  EXPECT_GE(db_.plan_cache().stats().invalidations, 1u);
+
+  // So does DROP TABLE.
+  ASSERT_TRUE(db_.Execute("DROP TABLE other").ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+  EXPECT_GE(db_.plan_cache().stats().invalidations, 2u);
+}
+
+TEST_F(PlanCacheTest, ViewDdlInvalidates) {
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());
+  ASSERT_TRUE(
+      db_.Execute("CREATE VIEW v AS SELECT id, name FROM t WHERE id > 1")
+          .ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 2").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+
+  // A cached query over the view is correct and hit on repetition.
+  Result<ResultSet> v1 = db_.Query("SELECT name FROM v WHERE id = 2");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->At(0, 0).string_value(), "b");
+  Result<ResultSet> v2 = db_.Query("SELECT name FROM v WHERE id = 3");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(v2->At(0, 0).string_value(), "c");
+
+  ASSERT_TRUE(db_.Execute("DROP VIEW v").ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+}
+
+TEST_F(PlanCacheTest, DmlDoesNotInvalidateButSeesNewData) {
+  // DML leaves plans valid — they re-scan current table contents.
+  ASSERT_TRUE(db_.Query("SELECT COUNT(*) FROM t WHERE id = 4").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (4, 'd', 4.0)").ok());
+  Result<ResultSet> after = db_.Query("SELECT COUNT(*) FROM t WHERE id = 4");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(after->At(0, 0).int64_value(), 1);
+}
+
+TEST_F(PlanCacheTest, BinderOptionChangeInvalidates) {
+  ASSERT_TRUE(
+      db_.Query("SELECT COUNT(*) FROM t AS x JOIN t AS y ON x.id = y.id "
+                "WHERE x.id > 0")
+          .ok());
+  db_.options().binder.use_hash_join = false;
+  Result<ResultSet> rs =
+      db_.Query("SELECT COUNT(*) FROM t AS x JOIN t AS y ON x.id = y.id "
+                "WHERE x.id > 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 2);
+}
+
+TEST_F(PlanCacheTest, LruEvictionAtCapacity) {
+  db_.plan_cache().set_capacity(1);
+  ASSERT_TRUE(db_.Query("SELECT id FROM t WHERE id = 1").ok());
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());  // evicts
+  EXPECT_EQ(db_.plan_cache().stats().evictions, 1u);
+  EXPECT_EQ(db_.plan_cache().size(), 1u);
+  // The first shape was evicted: running it again is a miss, not a hit.
+  ASSERT_TRUE(db_.Query("SELECT id FROM t WHERE id = 2").ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 1u);
+}
+
+TEST_F(PlanCacheTest, DisabledCacheNeverHits) {
+  db_.options().use_plan_cache = false;
+  ASSERT_TRUE(db_.Query("SELECT name FROM t WHERE id = 1").ok());
+  Result<ResultSet> rs = db_.Query("SELECT name FROM t WHERE id = 2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(db_.last_stats().plan_cache_hits, 0u);
+  EXPECT_EQ(db_.last_stats().plan_cache_misses, 0u);
+  EXPECT_EQ(db_.plan_cache().size(), 0u);
+  EXPECT_EQ(rs->At(0, 0).string_value(), "b");
+}
+
+TEST_F(PlanCacheTest, CachedAndColdResultsIdenticalOnCorpus) {
+  const char* kCorpus[] = {
+      "SELECT name FROM t WHERE id = 2",
+      "SELECT COUNT(*), MIN(score) FROM t WHERE score > 1.5",
+      "SELECT id, name FROM t WHERE id IN (1, 3) ORDER BY 1",
+      "SELECT name FROM t WHERE name LIKE 'b%'",
+      "SELECT id FROM t WHERE score BETWEEN 1.5 AND 2.5",
+      "SELECT a.name FROM t AS a JOIN t AS b ON a.id = b.id "
+      "WHERE b.score > 2.0 ORDER BY 1",
+      "WITH big AS (SELECT * FROM t WHERE score > 1.0) "
+      "SELECT COUNT(*) FROM big WHERE id < 3",
+  };
+  // Cold: no cache at all.
+  db_.options().use_plan_cache = false;
+  std::vector<std::string> cold;
+  for (const char* sql : kCorpus) {
+    Result<ResultSet> rs = db_.Query(sql);
+    ASSERT_TRUE(rs.ok()) << sql;
+    cold.push_back(rs->ToString(10000));
+  }
+  // Warm: first pass populates, second pass must hit and agree.
+  db_.options().use_plan_cache = true;
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < std::size(kCorpus); ++i) {
+      Result<ResultSet> rs = db_.Query(kCorpus[i]);
+      ASSERT_TRUE(rs.ok()) << kCorpus[i];
+      EXPECT_EQ(rs->ToString(10000), cold[i]) << kCorpus[i];
+      if (round == 1) {
+        EXPECT_EQ(db_.last_stats().plan_cache_hits, 1u) << kCorpus[i];
+      }
+    }
+  }
+}
+
+// --- Server boundary --------------------------------------------------------
+
+TEST(PlanCacheServerTest, StatementLogRecordsHits) {
+  DbServer server;
+  ASSERT_TRUE(server.database()
+                  .ExecuteScript(R"sql(
+      CREATE TABLE t (id INTEGER, name VARCHAR);
+      INSERT INTO t VALUES (1, 'a'), (2, 'b');
+    )sql")
+                  .ok());
+  server.EnableStatementLog(true);
+  ASSERT_TRUE(server.Execute("SELECT name FROM t WHERE id = 1", nullptr,
+                             nullptr)
+                  .ok());
+  ASSERT_TRUE(server.Execute("SELECT name FROM t WHERE id = 2", nullptr,
+                             nullptr)
+                  .ok());
+  ASSERT_EQ(server.statement_log().size(), 2u);
+  EXPECT_FALSE(server.statement_log()[0].plan_cache_hit);
+  EXPECT_TRUE(server.statement_log()[1].plan_cache_hit);
+  EXPECT_GE(server.plan_cache_stats().hits, 1u);
+  EXPECT_GE(server.plan_cache_stats().misses, 1u);
+}
+
+// --- Differential: three strategies, cached vs cold -------------------------
+
+using model::ActionKind;
+using model::StrategyKind;
+
+client::ExperimentConfig SeedConfig() {
+  client::ExperimentConfig config;
+  config.generator.depth = 3;
+  config.generator.branching = 3;
+  config.generator.sigma = 0.6;
+  return config;
+}
+
+void ExpectSameTree(const pdmsys::ProductTree& a,
+                    const pdmsys::ProductTree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (const pdmsys::ProductNode& node : a.nodes()) {
+    std::optional<size_t> in_b = b.FindByObid(node.obid);
+    ASSERT_TRUE(in_b.has_value()) << node.obid;
+    const pdmsys::ProductNode& other = b.node(*in_b);
+    if (node.parent.has_value()) {
+      ASSERT_TRUE(other.parent.has_value());
+      EXPECT_EQ(a.node(*node.parent).obid, b.node(*other.parent).obid);
+    } else {
+      EXPECT_FALSE(other.parent.has_value());
+    }
+  }
+}
+
+class StrategySweep : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(StrategySweep, CachedMatchesColdOnSeedProduct) {
+  // Cold deployment: plan cache off end to end.
+  Result<std::unique_ptr<client::Experiment>> cold_exp =
+      client::Experiment::Create(SeedConfig());
+  ASSERT_TRUE(cold_exp.ok()) << cold_exp.status();
+  (*cold_exp)->server().database().options().use_plan_cache = false;
+
+  // Warm deployment: cache on, every action run twice so the second run
+  // executes fully from cached plans.
+  Result<std::unique_ptr<client::Experiment>> warm_exp =
+      client::Experiment::Create(SeedConfig());
+  ASSERT_TRUE(warm_exp.ok()) << warm_exp.status();
+
+  for (ActionKind action :
+       {ActionKind::kSingleLevelExpand, ActionKind::kMultiLevelExpand}) {
+    Result<client::ActionResult> cold =
+        (*cold_exp)->RunAction(GetParam(), action);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    Result<client::ActionResult> first =
+        (*warm_exp)->RunAction(GetParam(), action);
+    ASSERT_TRUE(first.ok()) << first.status();
+    Result<client::ActionResult> second =
+        (*warm_exp)->RunAction(GetParam(), action);
+    ASSERT_TRUE(second.ok()) << second.status();
+
+    ExpectSameTree(cold->tree, first->tree);
+    ExpectSameTree(cold->tree, second->tree);
+    EXPECT_EQ(cold->visible_nodes, second->visible_nodes);
+    // Byte-identical over the simulated wire as well.
+    EXPECT_EQ(cold->transmitted_rows, second->transmitted_rows);
+  }
+  EXPECT_GT((*warm_exp)->server().plan_cache_stats().hits, 0u);
+  EXPECT_EQ((*cold_exp)->server().plan_cache_stats().hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategySweep,
+                         ::testing::Values(StrategyKind::kNavigationalLate,
+                                           StrategyKind::kNavigationalEarly,
+                                           StrategyKind::kRecursive));
+
+}  // namespace
+}  // namespace pdm
