@@ -17,16 +17,18 @@ int RunFigureBars(const char* title, const model::TreeParams& tree,
               tree.depth, tree.branching, tree.sigma, net.latency_s * 1000,
               net.dtr_kbit);
 
-  const StrategyKind strategies[] = {StrategyKind::kNavigationalLate,
-                                     StrategyKind::kNavigationalEarly,
-                                     StrategyKind::kRecursive};
+  const StrategyKind strategies[] = {
+      StrategyKind::kNavigationalLate, StrategyKind::kNavigationalEarly,
+      StrategyKind::kBatchedLate, StrategyKind::kBatchedEarly,
+      StrategyKind::kRecursive};
+  constexpr int kNumStrategies = 5;
   const ActionKind actions[] = {ActionKind::kQuery,
                                 ActionKind::kSingleLevelExpand,
                                 ActionKind::kMultiLevelExpand};
 
-  double sim[3][3];
+  double sim[kNumStrategies][3];
   double max_value = 0;
-  for (int s = 0; s < 3; ++s) {
+  for (int s = 0; s < kNumStrategies; ++s) {
     for (int a = 0; a < 3; ++a) {
       Result<SimCell> cell =
           SimulateCell(tree, net, strategies[s], actions[a]);
@@ -42,14 +44,14 @@ int RunFigureBars(const char* title, const model::TreeParams& tree,
 
   std::printf("%-20s %10s %10s %10s   (simulated seconds)\n", "",
               "Query", "Expand", "MLE");
-  for (int s = 0; s < 3; ++s) {
+  for (int s = 0; s < kNumStrategies; ++s) {
     std::printf("%-20s %10.2f %10.2f %10.2f\n",
                 std::string(model::StrategyKindName(strategies[s])).c_str(),
                 sim[s][0], sim[s][1], sim[s][2]);
   }
 
   std::printf("\nbars (one '#' per %.1f s):\n", max_value / 50.0);
-  for (int s = 0; s < 3; ++s) {
+  for (int s = 0; s < kNumStrategies; ++s) {
     for (int a = 0; a < 3; ++a) {
       int len = max_value > 0
                     ? static_cast<int>(sim[s][a] / max_value * 50.0 + 0.5)

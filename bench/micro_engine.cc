@@ -189,6 +189,50 @@ void BM_ExpandQueryPlanCacheOn(benchmark::State& state) {
 }
 BENCHMARK(BM_ExpandQueryPlanCacheOn);
 
+/// Server CPU for one level-sized batch of expand statements through
+/// DbServer::ExecuteBatch, swept over batch_threads (DESIGN.md 5d).
+/// Before timing, the swept thread count is verified byte-identical to
+/// the serial (batch_threads = 1) execution, slot by slot.
+void BM_BatchExpandThreads(benchmark::State& state) {
+  client::Experiment& e = *SharedExperiment();
+  DbServer& server = e.server();
+  const std::vector<int64_t>& parents = ExpandParents();
+
+  std::vector<std::string> statements;
+  statements.reserve(parents.size());
+  for (int64_t parent : parents) {
+    statements.push_back(rules::BuildExpandQuery(parent)->ToSql());
+  }
+
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const size_t saved = server.config().batch_threads;
+  auto run = [&](size_t n) {
+    server.mutable_config().batch_threads = n;
+    return server.ExecuteBatch(statements);
+  };
+  std::vector<DbServer::BatchStatementResult> reference = run(1);
+  std::vector<DbServer::BatchStatementResult> probe = run(threads);
+  for (size_t i = 0; i < statements.size(); ++i) {
+    if (!reference[i].status.ok() || !probe[i].status.ok() ||
+        reference[i].result.ToString(1 << 20) !=
+            probe[i].result.ToString(1 << 20)) {
+      server.mutable_config().batch_threads = saved;
+      state.SkipWithError("parallel batch differs from serial batch");
+      return;
+    }
+  }
+
+  server.mutable_config().batch_threads = threads;
+  for (auto _ : state) {
+    std::vector<DbServer::BatchStatementResult> results =
+        server.ExecuteBatch(statements);
+    benchmark::DoNotOptimize(results);
+  }
+  server.mutable_config().batch_threads = saved;
+  state.counters["statements"] = static_cast<double>(statements.size());
+}
+BENCHMARK(BM_BatchExpandThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_FlatQueryScan(benchmark::State& state) {
   client::Experiment& e = *SharedExperiment();
   Database& db = e.server().database();

@@ -18,6 +18,9 @@ const char* TableName(StrategyKind strategy) {
       return "Table 3: early rule evaluation (Approach 1)";
     case StrategyKind::kRecursive:
       return "Table 4: recursive queries + early evaluation (Approach 2)";
+    case StrategyKind::kBatchedLate:
+    case StrategyKind::kBatchedEarly:
+      return "batched extension (no paper table; see table_batched)";
   }
   return "?";
 }
@@ -32,6 +35,9 @@ double PaperValue(StrategyKind strategy, size_t net, size_t tree,
       return PaperTable3Totals()[net][tree][a];
     case StrategyKind::kRecursive:
       return PaperTable4MleTotals()[net][tree];
+    case StrategyKind::kBatchedLate:
+    case StrategyKind::kBatchedEarly:
+      return -1;  // extension: the paper prints no batched numbers
   }
   return -1;
 }

@@ -1,0 +1,126 @@
+// The batched-regime extension table (no paper counterpart): multi-level
+// expand response times under level-wise query batching, regenerated
+// from both the closed-form batched model (DESIGN.md 5d) and the
+// simulated system, with savings vs the late-evaluation baseline —
+// the same grid style as Tables 2/3.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+/// Per-statement request size s_q: the rendered expand statement for the
+/// product's root, with the early variant's rule predicates compiled in
+/// when applicable (obid digit count varies by node; the few bytes of
+/// spread are far below the model tolerance).
+Result<double> MeasureStatementBytes(client::Experiment& experiment,
+                                     bool early) {
+  std::unique_ptr<sql::SelectStmt> stmt = rules::BuildExpandQuery(
+      experiment.product().root_obid, experiment.config().client.hierarchy);
+  if (early) {
+    rules::QueryModificator modificator(&experiment.rule_table(),
+                                        experiment.user());
+    PDM_RETURN_NOT_OK(modificator
+                          .ApplyToNavigationalQuery(
+                              &stmt->query, rules::RuleAction::kExpand)
+                          .status());
+  }
+  return static_cast<double>(stmt->ToSql().size());
+}
+
+int Run() {
+  PrintBanner(
+      "Batched extension: MLE under level-wise batching (model vs sim)");
+  std::printf(
+      "%-18s %-7s %-11s | %9s %9s %6s | %4s %6s | %7s %7s\n",
+      "network", "tree", "variant", "model", "sim", "d-mod%", "rt",
+      "stmts", "sav-mod", "sav-sim");
+
+  const StrategyKind variants[] = {StrategyKind::kBatchedLate,
+                                   StrategyKind::kBatchedEarly};
+  double worst_model_dev = 0;
+  for (const model::NetworkParams& net : model::PaperNetworkScenarios()) {
+    for (const model::TreeParams& tree : model::PaperTreeScenarios()) {
+      client::ExperimentConfig config = MakeExperimentConfig(tree, net);
+      Result<std::unique_ptr<client::Experiment>> experiment =
+          client::Experiment::Create(config);
+      if (!experiment.ok()) {
+        std::fprintf(stderr, "experiment failed: %s\n",
+                     experiment.status().ToString().c_str());
+        return 1;
+      }
+
+      Result<client::ActionResult> baseline =
+          (*experiment)
+              ->RunAction(StrategyKind::kNavigationalLate,
+                          ActionKind::kMultiLevelExpand);
+      if (!baseline.ok()) {
+        std::fprintf(stderr, "baseline failed: %s\n",
+                     baseline.status().ToString().c_str());
+        return 1;
+      }
+      model::ResponseTime baseline_model = model::Predict(
+          StrategyKind::kNavigationalLate, ActionKind::kMultiLevelExpand,
+          tree, net);
+
+      for (StrategyKind variant : variants) {
+        bool early = variant == StrategyKind::kBatchedEarly;
+        Result<double> s_q = MeasureStatementBytes(**experiment, early);
+        if (!s_q.ok()) {
+          std::fprintf(stderr, "statement sizing failed: %s\n",
+                       s_q.status().ToString().c_str());
+          return 1;
+        }
+        model::ResponseTime predicted = model::Predict(
+            variant, ActionKind::kMultiLevelExpand, tree, net, *s_q);
+
+        Result<client::ActionResult> sim =
+            (*experiment)->RunAction(variant, ActionKind::kMultiLevelExpand);
+        if (!sim.ok()) {
+          std::fprintf(stderr, "simulation failed: %s\n",
+                       sim.status().ToString().c_str());
+          return 1;
+        }
+        double sim_total = sim->wan.total_seconds();
+        double dev_model =
+            (predicted.total() - sim_total) / sim_total * 100.0;
+        worst_model_dev = std::max(worst_model_dev, std::fabs(dev_model));
+        double sav_model = model::SavingPercent(baseline_model, predicted);
+        double sav_sim = (baseline->wan.total_seconds() - sim_total) /
+                         baseline->wan.total_seconds() * 100.0;
+
+        std::printf(
+            "lat=%3.0fms %4.0fkbit α=%d,ω=%d %-11s | %9.2f %9.2f %6.2f | "
+            "%4zu %6zu | %7.2f %7.2f\n",
+            net.latency_s * 1000, net.dtr_kbit, tree.depth, tree.branching,
+            std::string(model::StrategyKindName(variant)).c_str(),
+            predicted.total(), sim_total, dev_model, sim->wan.round_trips,
+            sim->wan.statements, sav_model, sav_sim);
+
+        if (sim->wan.round_trips !=
+            static_cast<size_t>(tree.depth) + 1) {
+          std::fprintf(stderr,
+                       "FAIL: expected %d round trips (α+1), saw %zu\n",
+                       tree.depth + 1, sim->wan.round_trips);
+          return 1;
+        }
+      }
+    }
+  }
+  std::printf("\nworst batched model-vs-simulation deviation: %.2f%%\n\n",
+              worst_model_dev);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main() { return pdm::bench::Run(); }

@@ -11,6 +11,7 @@ Status Table::Insert(Row row) {
 }
 
 void Table::MaintainIndexesForAppend(const Row& row) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
   const uint64_t old_version = version_++;
   const size_t pos = rows_.size();
   for (auto& [column, cached] : indexes_) {
@@ -23,6 +24,7 @@ void Table::MaintainIndexesForAppend(const Row& row) {
 }
 
 const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
   CachedIndex& cached = indexes_[column];
   if (cached.built_version != version_) {
     cached.map.clear();
@@ -38,6 +40,7 @@ const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
 }
 
 bool Table::HasFreshIndex(size_t column) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
   auto it = indexes_.find(column);
   return it != indexes_.end() && it->second.built_version == version_;
 }

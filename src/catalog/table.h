@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,6 +86,12 @@ class Table {
   /// Hash index on `column`: built on first use, maintained across
   /// appends, rebuilt on first use after any other mutation. NULL
   /// values are not indexed — equality never matches them.
+  ///
+  /// Thread safety: the build itself is serialized under a mutex, so
+  /// concurrent read-only statements may race to a cold index safely
+  /// (DESIGN.md 5d). The returned reference stays valid because a
+  /// rebuild only happens after a mutation, and mutations never run
+  /// concurrently with reads by contract.
   const ColumnIndex& GetOrBuildIndex(size_t column) const;
 
   /// True if an index on `column` exists and is in sync with the rows
@@ -112,6 +119,10 @@ class Table {
   Schema schema_;
   std::vector<Row> rows_;
   uint64_t version_ = 1;
+  /// Guards `indexes_` (map shape + lazy builds). std::map nodes are
+  /// stable, so a reference returned by GetOrBuildIndex survives other
+  /// columns' indexes being built concurrently.
+  mutable std::mutex index_mutex_;
   mutable std::map<size_t, CachedIndex> indexes_;
 };
 

@@ -2,8 +2,11 @@
 #define PDM_CLIENT_CONNECTION_H_
 
 #include <functional>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "exec/result_set.h"
 #include "net/wan_model.h"
@@ -34,6 +37,20 @@ class Connection {
   /// size; see DESIGN.md).
   Status ExecuteSized(std::string_view sql, ResultSet* out,
                       const ResponseSizer& sizer);
+
+  /// One *batched* round trip: all statements ship as one request, all
+  /// results return as one response (DESIGN.md 5d). `out` receives one
+  /// Result per statement, in statement order — a failing statement
+  /// reports its error in its slot without poisoning siblings. Uses the
+  /// server's response sizing.
+  Status ExecuteBatch(const std::vector<std::string>& statements,
+                      std::vector<Result<ResultSet>>* out);
+
+  /// ExecuteBatch with caller-controlled response sizing. Error slots
+  /// are charged the server's minimal 64-byte frame, not `sizer`.
+  Status ExecuteBatchSized(const std::vector<std::string>& statements,
+                           std::vector<Result<ResultSet>>* out,
+                           const ResponseSizer& sizer);
 
   DbServer& server() { return *server_; }
   net::WanLink& link() { return link_; }

@@ -82,6 +82,14 @@ std::unique_ptr<AccessStrategy> Experiment::MakeStrategy(
       return std::make_unique<NavigationalStrategy>(
           connection_.get(), &rule_table_, user(), config_.client,
           /*early_evaluation=*/true);
+    case model::StrategyKind::kBatchedLate:
+      return std::make_unique<NavigationalBatchedStrategy>(
+          connection_.get(), &rule_table_, user(), config_.client,
+          /*early_evaluation=*/false);
+    case model::StrategyKind::kBatchedEarly:
+      return std::make_unique<NavigationalBatchedStrategy>(
+          connection_.get(), &rule_table_, user(), config_.client,
+          /*early_evaluation=*/true);
     case model::StrategyKind::kRecursive:
       return std::make_unique<RecursiveStrategy>(
           connection_.get(), &rule_table_, user(), config_.client);

@@ -197,6 +197,125 @@ Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
   return out;
 }
 
+// --- NavigationalBatchedStrategy ------------------------------------------------
+
+Result<std::string> NavigationalBatchedStrategy::RenderExpandSql(
+    int64_t node) const {
+  std::unique_ptr<sql::SelectStmt> stmt =
+      rules::BuildExpandQuery(node, config_.hierarchy);
+  if (early_) {
+    QueryModificator modificator(rules_, user_);
+    PDM_RETURN_NOT_OK(modificator
+                          .ApplyToNavigationalQuery(&stmt->query,
+                                                    RuleAction::kExpand)
+                          .status());
+  }
+  return stmt->ToSql();
+}
+
+Result<ActionResult> NavigationalBatchedStrategy::QueryAll() {
+  NavigationalStrategy nav(conn_, rules_, user_, config_, early_);
+  return nav.QueryAll();
+}
+
+Result<ActionResult> NavigationalBatchedStrategy::SingleLevelExpand(
+    int64_t node) {
+  NavigationalStrategy nav(conn_, rules_, user_, config_, early_);
+  return nav.SingleLevelExpand(node);
+}
+
+Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
+    int64_t root) {
+  conn_->ResetStats();
+  ActionResult out;
+
+  // The root object is already at the client (paper footnote 4).
+  size_t root_index = out.tree.AddNode(root, "assy", "", std::nullopt);
+
+  std::unique_ptr<PreparedRowFilter> filter;
+  if (!early_) {
+    // Prepare the late filter from a local probe of the fixed expand
+    // schema, exactly as the navigational client does (no WAN traffic).
+    std::unique_ptr<sql::SelectStmt> probe =
+        rules::BuildExpandQuery(root, config_.hierarchy);
+    ResultSet rows;
+    PDM_RETURN_NOT_OK(
+        conn_->server().database().Execute(probe->ToSql(), &rows));
+    PDM_ASSIGN_OR_RETURN(
+        filter,
+        evaluator_.Prepare(rows.schema, RuleAction::kMultiLevelExpand));
+  }
+
+  ResultSet kept_nodes;  // homogenized rows kept, for tree conditions
+
+  // Breadth-first by construction: the frontier is exactly one tree
+  // level, and one batch ships all of its expand queries. Processing
+  // statements in frontier order makes the AddNode sequence identical
+  // to the navigational FIFO traversal, so the trees match byte for
+  // byte.
+  std::vector<std::pair<int64_t, size_t>> frontier;  // (obid, tree index)
+  frontier.emplace_back(root, root_index);
+  while (!frontier.empty()) {
+    std::vector<std::string> statements;
+    statements.reserve(frontier.size());
+    for (const auto& [obid, index] : frontier) {
+      PDM_ASSIGN_OR_RETURN(std::string sql, RenderExpandSql(obid));
+      statements.push_back(std::move(sql));
+    }
+    std::vector<Result<ResultSet>> responses;
+    PDM_RETURN_NOT_OK(conn_->ExecuteBatchSized(
+        statements, &responses,
+        [this](const ResultSet& r) { return SizeHomogenizedResponse(r); }));
+
+    std::vector<std::pair<int64_t, size_t>> next;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      PDM_RETURN_NOT_OK(responses[i].status());
+      ResultSet rows = std::move(*responses[i]);
+      out.transmitted_rows += rows.num_rows();
+
+      if (!early_ && filter != nullptr) {
+        // Late evaluation: the rows crossed the WAN; filter here.
+        ResultSet kept;
+        kept.schema = rows.schema;
+        for (const Row& row : rows.rows) {
+          PDM_ASSIGN_OR_RETURN(bool pass, filter->Passes(row));
+          if (pass) kept.rows.push_back(row);
+        }
+        rows = std::move(kept);
+      }
+
+      if (kept_nodes.schema.num_columns() == 0) {
+        kept_nodes.schema = rows.schema;
+      }
+      std::optional<size_t> obid_col = rows.schema.FindColumn("obid");
+      std::optional<size_t> type_col = rows.schema.FindColumn("type");
+      std::optional<size_t> name_col = rows.schema.FindColumn("name");
+      for (const Row& row : rows.rows) {
+        int64_t child_obid = row[*obid_col].int64_value();
+        size_t child_index =
+            out.tree.AddNode(child_obid, row[*type_col].ToString(),
+                             row[*name_col].ToString(), frontier[i].second);
+        next.emplace_back(child_obid, child_index);
+        kept_nodes.rows.push_back(row);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Tree conditions are evaluated at the client, as in both
+  // navigational modes (Section 4.1).
+  PDM_ASSIGN_OR_RETURN(
+      bool tree_ok,
+      evaluator_.TreeConditionsPass(kept_nodes,
+                                    RuleAction::kMultiLevelExpand));
+  if (!tree_ok) out.tree = pdmsys::ProductTree();  // all-or-nothing
+
+  out.visible_nodes =
+      out.tree.num_nodes() > 0 ? out.tree.num_nodes() - 1 : 0;
+  out.wan = conn_->stats();
+  return out;
+}
+
 // --- RecursiveStrategy ----------------------------------------------------------
 
 Result<ActionResult> RecursiveStrategy::QueryAll() {

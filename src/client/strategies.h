@@ -103,6 +103,37 @@ class NavigationalStrategy : public AccessStrategy {
   bool early_;
 };
 
+/// The batched client (this repo's extension; DESIGN.md 5d): per-query
+/// SQL identical to NavigationalStrategy, but a multi-level expand
+/// ships all expand queries of one tree level as a single batch over
+/// the wire — α + 1 round trips instead of n_v + 1 while still sending
+/// n_v + 1 statements. Late- and early-evaluation variants mirror the
+/// navigational ones; Query and single-level expand are one statement
+/// already and delegate to NavigationalStrategy.
+class NavigationalBatchedStrategy : public AccessStrategy {
+ public:
+  NavigationalBatchedStrategy(Connection* conn, const rules::RuleTable* rules,
+                              pdmsys::UserContext user, ClientConfig config,
+                              bool early_evaluation)
+      : AccessStrategy(conn, rules, std::move(user), config),
+        early_(early_evaluation) {}
+
+  Result<ActionResult> QueryAll() override;
+  Result<ActionResult> SingleLevelExpand(int64_t node) override;
+  Result<ActionResult> MultiLevelExpand(int64_t root) override;
+  std::string_view name() const override {
+    return early_ ? "navigational-batched-early"
+                  : "navigational-batched-late";
+  }
+
+ private:
+  /// Renders the expand statement for one node — byte-identical to what
+  /// NavigationalStrategy would send for the same node and variant.
+  Result<std::string> RenderExpandSql(int64_t node) const;
+
+  bool early_;
+};
+
 /// The Approach-2 client (Section 5): multi-level expands compile into a
 /// single WITH RECURSIVE statement with all rule classes injected by the
 /// QueryModificator; two WAN messages total. Query and single-level

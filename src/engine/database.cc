@@ -17,43 +17,48 @@ Database::Database() {
 }
 
 Status Database::Execute(std::string_view sql, ResultSet* out) {
+  return Execute(sql, out, &stats_);
+}
+
+Status Database::Execute(std::string_view sql, ResultSet* out,
+                         ExecStats* stats) {
   if (options_.use_plan_cache) {
     Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
     if (fp.ok() && fp->cacheable) {
-      return ExecuteCachedSelect(std::move(*fp), out);
+      return ExecuteCachedSelect(std::move(*fp), out, stats);
     }
     if (fp.ok()) {
       // Non-SELECT: reuse the token stream instead of re-lexing.
       sql::Parser parser(std::move(fp->tokens));
       PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
-      return ExecuteStatement(*stmt, out);
+      return ExecuteStatement(*stmt, out, stats);
     }
     // Lexical error: fall through so ParseSql reports it normally.
   }
   PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseSql(sql));
-  return ExecuteStatement(*stmt, out);
+  return ExecuteStatement(*stmt, out, stats);
 }
 
 Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
-                                     ResultSet* out) {
-  stats_.Reset();
+                                     ResultSet* out, ExecStats* stats) {
+  stats->Reset();
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
   out->schema = Schema();
   out->rows.clear();
   out->affected_rows = 0;
 
-  if (PlanCache::Entry* entry = plan_cache_.Lookup(
+  if (PlanCache::Lease lease = plan_cache_.Lookup(
           fp.key, fp.params, schema_epoch(), options_.binder)) {
-    stats_.plan_cache_hits = 1;
-    return ExecuteBoundSelect(entry->bound, out);
+    stats->plan_cache_hits = 1;
+    return ExecuteBoundSelect(lease->bound, out, stats);
   }
-  stats_.plan_cache_misses = 1;
+  stats->plan_cache_misses = 1;
 
   sql::Parser parser(std::move(fp.tokens));
   PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
   if (stmt->kind != sql::StatementKind::kSelect) {
-    return ExecuteStatement(*stmt, out);  // unreachable; defensive
+    return ExecuteStatement(*stmt, out, stats);  // unreachable; defensive
   }
   Binder binder(&catalog_, &functions_, options_.binder, &views_);
   PDM_ASSIGN_OR_RETURN(
@@ -64,7 +69,7 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
       options_.binder);
   // Execute before handing the entry to the cache: even a failed
   // execution is deterministic, so the plan stays cacheable.
-  Status status = ExecuteBoundSelect(entry.bound, out);
+  Status status = ExecuteBoundSelect(entry.bound, out, stats);
   plan_cache_.Insert(fp.key, std::move(entry));
   return status;
 }
@@ -85,7 +90,12 @@ Status Database::ExecuteScript(std::string_view sql) {
 }
 
 Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
-  stats_.Reset();
+  return ExecuteStatement(stmt, out, &stats_);
+}
+
+Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
+                                  ExecStats* stats) {
+  stats->Reset();
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
   out->schema = Schema();
@@ -93,7 +103,8 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
   out->affected_rows = 0;
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
-      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), out);
+      return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), out,
+                           stats);
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt), out);
@@ -101,13 +112,16 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
       return ExecuteDropTable(static_cast<const sql::DropTableStmt&>(stmt),
                               out);
     case sql::StatementKind::kInsert:
-      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), out);
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), out,
+                           stats);
     case sql::StatementKind::kUpdate:
-      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), out);
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), out,
+                           stats);
     case sql::StatementKind::kDelete:
-      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), out);
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), out,
+                           stats);
     case sql::StatementKind::kCall:
-      return ExecuteCall(static_cast<const sql::CallStmt&>(stmt), out);
+      return ExecuteCall(static_cast<const sql::CallStmt&>(stmt), out, stats);
     case sql::StatementKind::kExplain:
       return ExecuteExplain(static_cast<const sql::ExplainStmt&>(stmt), out);
     case sql::StatementKind::kCreateView:
@@ -120,18 +134,20 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
   return Status::Internal("unhandled statement kind");
 }
 
-Status Database::ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out) {
+Status Database::ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out,
+                               ExecStats* stats) {
   Binder binder(&catalog_, &functions_, options_.binder, &views_);
   PDM_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(stmt));
-  return ExecuteBoundSelect(bound, out);
+  return ExecuteBoundSelect(bound, out, stats);
 }
 
-Status Database::ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out) {
-  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+Status Database::ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out,
+                                    ExecStats* stats) {
+  ExecContext ctx(&catalog_, &options_.exec, stats);
   std::map<std::string, std::vector<Row>> cte_storage;
   PDM_RETURN_NOT_OK(MaterializeCtes(bound.ctes, &ctx, &cte_storage));
   PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*bound.root, &ctx));
-  stats_.rows_emitted = rows.size();
+  stats->rows_emitted = rows.size();
   out->schema = bound.root->schema;
   out->rows = std::move(rows);
   return Status::OK();
@@ -150,12 +166,13 @@ Status Database::ExecuteDropTable(const sql::DropTableStmt& stmt,
   return catalog_.DropTable(stmt.table_name, stmt.if_exists);
 }
 
-Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out) {
+Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
+                               ExecStats* stats) {
   Binder binder(&catalog_, &functions_, options_.binder);
   PDM_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
 
-  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  ExecContext ctx(&catalog_, &options_.exec, stats);
   Row empty;
   for (const std::vector<BoundExprPtr>& exprs : bound.rows) {
     Row row;
@@ -170,13 +187,14 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out) {
   return Status::OK();
 }
 
-Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out) {
+Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
+                               ExecStats* stats) {
   Binder binder(&catalog_, &functions_, options_.binder);
   PDM_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
   const Schema& schema = table->schema();
 
-  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  ExecContext ctx(&catalog_, &options_.exec, stats);
 
   // Phase 1: decide matches and compute new values against the old rows,
   // so predicates/subqueries never observe partially applied updates.
@@ -219,12 +237,13 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out) {
   return Status::OK();
 }
 
-Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out) {
+Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
+                               ExecStats* stats) {
   Binder binder(&catalog_, &functions_, options_.binder);
   PDM_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
 
-  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  ExecContext ctx(&catalog_, &options_.exec, stats);
 
   // Phase 1: decide, phase 2: erase (see ExecuteUpdate).
   std::vector<bool> doomed(table->num_rows(), false);
@@ -252,13 +271,14 @@ Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out) {
   return Status::OK();
 }
 
-Status Database::ExecuteCall(const sql::CallStmt& stmt, ResultSet* out) {
+Status Database::ExecuteCall(const sql::CallStmt& stmt, ResultSet* out,
+                             ExecStats* stats) {
   auto it = procedures_.find(ToLowerAscii(stmt.procedure_name));
   if (it == procedures_.end()) {
     return Status::NotFound("unknown procedure '" + stmt.procedure_name + "'");
   }
   Binder binder(&catalog_, &functions_, options_.binder);
-  ExecContext ctx(&catalog_, &options_.exec, &stats_);
+  ExecContext ctx(&catalog_, &options_.exec, stats);
   Row empty;
   std::vector<Value> args;
   args.reserve(stmt.args.size());

@@ -54,6 +54,14 @@ class Database {
   /// affected counts.
   Status Execute(std::string_view sql, ResultSet* out = nullptr);
 
+  /// Re-entrant variant of Execute() writing counters into the
+  /// caller-supplied `stats` instead of the member consumed by
+  /// last_stats(). This is the engine's concurrency entry point
+  /// (DESIGN.md 5d): multiple threads may call it simultaneously for
+  /// *read-only* statements (SELECT / WITH). DML, DDL and CALL must
+  /// never run concurrently with anything.
+  Status Execute(std::string_view sql, ResultSet* out, ExecStats* stats);
+
   /// Execute() returning the result set.
   Result<ResultSet> Query(std::string_view sql);
 
@@ -96,15 +104,24 @@ class Database {
   uint64_t schema_epoch() const { return catalog_.version() + ddl_epoch_; }
 
  private:
-  Status ExecuteCachedSelect(sql::StatementFingerprint fp, ResultSet* out);
-  Status ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out);
-  Status ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out);
+  Status ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
+                          ExecStats* stats);
+  Status ExecuteCachedSelect(sql::StatementFingerprint fp, ResultSet* out,
+                             ExecStats* stats);
+  Status ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out,
+                            ExecStats* stats);
+  Status ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out,
+                       ExecStats* stats);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt, ResultSet* out);
   Status ExecuteDropTable(const sql::DropTableStmt& stmt, ResultSet* out);
-  Status ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out);
-  Status ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out);
-  Status ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out);
-  Status ExecuteCall(const sql::CallStmt& stmt, ResultSet* out);
+  Status ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
+                       ExecStats* stats);
+  Status ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
+                       ExecStats* stats);
+  Status ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
+                       ExecStats* stats);
+  Status ExecuteCall(const sql::CallStmt& stmt, ResultSet* out,
+                     ExecStats* stats);
   Status ExecuteExplain(const sql::ExplainStmt& stmt, ResultSet* out);
   Status ExecuteCreateView(const sql::CreateViewStmt& stmt, ResultSet* out);
   Status ExecuteDropView(const sql::DropViewStmt& stmt, ResultSet* out);

@@ -202,32 +202,43 @@ PlanCache::Entry PlanCache::Prepare(BoundSelect bound,
   return entry;
 }
 
-PlanCache::Entry* PlanCache::Lookup(const std::string& key,
-                                    const std::vector<Value>& params,
-                                    uint64_t schema_epoch,
-                                    const BinderOptions& options) {
+PlanCache::Lease PlanCache::Lookup(const std::string& key,
+                                   const std::vector<Value>& params,
+                                   uint64_t schema_epoch,
+                                   const BinderOptions& options) {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     stats_.misses++;
-    return nullptr;
+    return Lease();
   }
-  Entry& entry = it->second->second;
-  if (entry.schema_epoch != schema_epoch ||
-      !SameOptions(entry.binder_options, options)) {
-    Erase(key);
+  SlotPtr slot = it->second->second;
+  if (slot->entry.schema_epoch != schema_epoch ||
+      !SameOptions(slot->entry.binder_options, options)) {
+    EraseLocked(key);
     stats_.invalidations++;
     stats_.misses++;
-    return nullptr;
+    return Lease();
   }
+  // Never *block* on the entry while holding the cache mutex: if another
+  // thread is executing this plan right now, bypass the cache so sibling
+  // batch statements with the same fingerprint still run in parallel.
+  std::unique_lock<std::mutex> entry_lock(slot->mutex, std::try_to_lock);
+  if (!entry_lock.owns_lock()) {
+    stats_.bypasses++;
+    stats_.misses++;
+    return Lease();
+  }
+  Entry& entry = slot->entry;
   if (!entry.parameterized) {
     // Exact-match only: some parameter is folded into plan structure.
     if (params != entry.bound_params) {
       stats_.misses++;
-      return nullptr;
+      return Lease();
     }
   } else if (params != entry.bound_params) {
-    for (const auto& [slot, lit] : entry.slots) {
-      lit->value = params[slot];
+    for (const auto& [param_slot, lit] : entry.slots) {
+      lit->value = params[param_slot];
     }
     for (BoundInList* inlist : entry.inlist_rebuilds) {
       RebuildLiteralSet(inlist);
@@ -236,35 +247,64 @@ PlanCache::Entry* PlanCache::Lookup(const std::string& key,
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   stats_.hits++;
-  return &entry;
+  Lease lease;
+  lease.entry_ = &slot->entry;
+  lease.slot_ = std::move(slot);
+  lease.lock_ = std::move(entry_lock);
+  return lease;
 }
 
 void PlanCache::Insert(const std::string& key, Entry entry) {
-  Erase(key);
-  lru_.emplace_front(key, std::move(entry));
+  auto slot = std::make_shared<Slot>();
+  slot->entry = std::move(entry);
+  std::lock_guard<std::mutex> cache_lock(mutex_);
+  EraseLocked(key);
+  lru_.emplace_front(key, std::move(slot));
   index_[key] = lru_.begin();
-  EvictToCapacity();
+  EvictToCapacityLocked();
 }
 
 void PlanCache::Flush() {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
   stats_.invalidations += index_.size();
   index_.clear();
   lru_.clear();
 }
 
 void PlanCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
   capacity_ = capacity;
-  EvictToCapacity();
+  EvictToCapacityLocked();
 }
 
-void PlanCache::Erase(const std::string& key) {
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
+  return capacity_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
+  return index_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::ResetStats() {
+  std::lock_guard<std::mutex> cache_lock(mutex_);
+  stats_.Reset();
+}
+
+void PlanCache::EraseLocked(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) return;
   lru_.erase(it->second);
   index_.erase(it);
 }
 
-void PlanCache::EvictToCapacity() {
+void PlanCache::EvictToCapacityLocked() {
   while (index_.size() > capacity_ && !lru_.empty()) {
     index_.erase(lru_.back().first);
     lru_.pop_back();

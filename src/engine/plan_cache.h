@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -21,6 +23,7 @@ struct PlanCacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;      // LRU capacity evictions
   uint64_t invalidations = 0;  // discarded by schema-epoch/option change
+  uint64_t bypasses = 0;       // entry busy on another thread (also a miss)
 
   void Reset() { *this = PlanCacheStats{}; }
 };
@@ -44,6 +47,16 @@ struct PlanCacheStats {
 ///    with, never substituted.
 ///  - IN-lists whose precomputed literal hash set contains substituted
 ///    values are re-derived after every substitution.
+///
+/// Thread safety (the engine's first concurrency contract, DESIGN.md 5d):
+/// all public methods may be called concurrently. Because Lookup
+/// substitutes parameters *in place* into the shared bound plan, a hit
+/// hands out an exclusive Lease on the entry; the plan must only be
+/// executed while the lease is held. If another thread already holds the
+/// lease for a key (same-fingerprint statements executing concurrently,
+/// the common case inside a batch), Lookup does not block — it reports a
+/// bypass/miss and the caller parses + binds a private plan instead,
+/// preserving intra-batch parallelism.
 class PlanCache {
  public:
   struct Entry {
@@ -69,17 +82,35 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
+  /// Exclusive lease on a cache entry, returned by Lookup on a hit. The
+  /// substituted plan stays valid (and owned) for the lease's lifetime,
+  /// even if the entry is concurrently evicted or replaced.
+  class Lease {
+   public:
+    Lease() = default;
+    explicit operator bool() const { return entry_ != nullptr; }
+    Entry* operator->() const { return entry_; }
+    Entry& operator*() const { return *entry_; }
+
+   private:
+    friend class PlanCache;
+    std::shared_ptr<void> slot_;  // keeps the entry alive while leased
+    std::unique_lock<std::mutex> lock_;
+    Entry* entry_ = nullptr;
+  };
+
   /// Builds a cache entry from a freshly bound plan: walks the plan
   /// collecting parameter slots and IN-list rebuild hooks, and decides
   /// whether the entry is fully parameterized.
   static Entry Prepare(BoundSelect bound, std::vector<Value> params,
                        uint64_t schema_epoch, const BinderOptions& options);
 
-  /// Returns the cached entry for `key` with `params` substituted into
-  /// its plan, ready to execute — or nullptr on miss. Entries bound
-  /// under a different schema epoch or binder options are discarded.
-  Entry* Lookup(const std::string& key, const std::vector<Value>& params,
-                uint64_t schema_epoch, const BinderOptions& options);
+  /// Returns a lease on the cached entry for `key` with `params`
+  /// substituted into its plan, ready to execute — or an empty lease on
+  /// miss, invalidation (different schema epoch / binder options), or
+  /// when another thread currently leases the entry (bypass).
+  Lease Lookup(const std::string& key, const std::vector<Value>& params,
+               uint64_t schema_epoch, const BinderOptions& options);
 
   /// Inserts (or replaces) the entry under `key`, evicting LRU entries
   /// beyond capacity.
@@ -91,19 +122,25 @@ class PlanCache {
   /// Shrinking below the current size evicts LRU entries immediately.
   void set_capacity(size_t capacity);
 
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return index_.size(); }
-  const PlanCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  size_t capacity() const;
+  size_t size() const;
+  PlanCacheStats stats() const;
+  void ResetStats();
 
   static constexpr size_t kDefaultCapacity = 128;
 
  private:
-  using LruList = std::list<std::pair<std::string, Entry>>;
+  struct Slot {
+    Entry entry;
+    std::mutex mutex;  // held (via Lease) while the plan executes
+  };
+  using SlotPtr = std::shared_ptr<Slot>;
+  using LruList = std::list<std::pair<std::string, SlotPtr>>;
 
-  void Erase(const std::string& key);
-  void EvictToCapacity();
+  void EraseLocked(const std::string& key);
+  void EvictToCapacityLocked();
 
+  mutable std::mutex mutex_;  // guards everything below
   size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> index_;

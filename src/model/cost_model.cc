@@ -24,6 +24,10 @@ std::string_view StrategyKindName(StrategyKind kind) {
       return "early eval";
     case StrategyKind::kRecursive:
       return "recursion";
+    case StrategyKind::kBatchedLate:
+      return "batch late";
+    case StrategyKind::kBatchedEarly:
+      return "batch early";
   }
   return "?";
 }
@@ -39,6 +43,24 @@ double GeometricSum(double x, int n) {
     sum += term;
   }
   return sum;
+}
+
+bool IsBatched(StrategyKind strategy) {
+  return strategy == StrategyKind::kBatchedLate ||
+         strategy == StrategyKind::kBatchedEarly;
+}
+
+/// The navigational regime a batched strategy wraps: its per-statement
+/// SQL, and therefore its transmitted volume, is identical.
+StrategyKind Unbatched(StrategyKind strategy) {
+  switch (strategy) {
+    case StrategyKind::kBatchedLate:
+      return StrategyKind::kNavigationalLate;
+    case StrategyKind::kBatchedEarly:
+      return StrategyKind::kNavigationalEarly;
+    default:
+      return strategy;
+  }
 }
 
 }  // namespace
@@ -66,11 +88,22 @@ double QueryCount(StrategyKind strategy, ActionKind action,
   return 1;
 }
 
+double RoundTripCount(StrategyKind strategy, ActionKind action,
+                      const TreeParams& tree) {
+  if (IsBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
+    // One batch per tree level: the root's expand (level 0) plus one
+    // batch for each of the α levels below it.
+    return tree.depth + 1;
+  }
+  return QueryCount(strategy, action, tree);
+}
+
 double TransmittedNodes(StrategyKind strategy, ActionKind action,
                         const TreeParams& tree) {
   double sw = tree.sigma * tree.branching;
   switch (strategy) {
     case StrategyKind::kNavigationalLate:
+    case StrategyKind::kBatchedLate:
       switch (action) {
         case ActionKind::kQuery:
           return TotalNodes(tree);
@@ -83,6 +116,7 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
       }
       break;
     case StrategyKind::kNavigationalEarly:
+    case StrategyKind::kBatchedEarly:
     case StrategyKind::kRecursive:
       switch (action) {
         case ActionKind::kQuery:
@@ -99,6 +133,45 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
 ResponseTime Predict(StrategyKind strategy, ActionKind action,
                      const TreeParams& tree, const NetworkParams& net,
                      double query_bytes) {
+  if (IsBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
+    // Batched regime (DESIGN.md 5d): same transmitted volume as the
+    // wrapped navigational strategy, but latency and packet overheads
+    // are paid per level-batch, not per statement.
+    double sw = tree.sigma * tree.branching;
+    double n_t = TransmittedNodes(strategy, action, tree);
+    double round_trips = RoundTripCount(strategy, action, tree);
+
+    // Requests: the level-i batch concatenates k_i = (σω)^i statements
+    // of s_q = query_bytes each, padded to whole packets per batch.
+    // With s_q unknown, fall back to the paper's own simplification
+    // that every request message fits one packet.
+    double request_packets = 0;
+    double k = 1;  // k_i
+    for (int i = 0; i <= tree.depth; ++i) {
+      request_packets += query_bytes > 0
+                             ? std::ceil(k * query_bytes / net.packet_bytes)
+                             : 1.0;
+      k *= sw;
+    }
+
+    // Responses: payload + one half-filled final packet per *batch*.
+    // The leaf-level expands all come back empty; their minimal 64-byte
+    // frames are a visible fraction of the (small) batched volume, so
+    // the closed form charges them — the navigational forms don't need
+    // to, since their q·size_p/2 term swamps the frames.
+    double leaf_statements = std::pow(sw, tree.depth);
+    double vol = request_packets * net.packet_bytes + n_t * net.node_bytes +
+                 round_trips * net.packet_bytes / 2.0 +
+                 leaf_statements * 64.0;
+
+    ResponseTime rt;
+    rt.latency_part = 2.0 * round_trips * net.latency_s;
+    rt.transfer_part = net.TransferSeconds(vol);
+    return rt;
+  }
+  // Batched Query / single-level expand are single statements and
+  // behave exactly like the navigational strategy they wrap.
+  strategy = Unbatched(strategy);
   double q = QueryCount(strategy, action, tree);
   double n_t = TransmittedNodes(strategy, action, tree);
 

@@ -40,11 +40,16 @@ enum class ActionKind {
   kMultiLevelExpand,  // the entire (visible) structure
 };
 
-/// The paper's three evaluation regimes: Table 2 / Table 3 / Table 4.
+/// The paper's three evaluation regimes (Table 2 / Table 3 / Table 4)
+/// plus this repo's batched extension: level-wise batching of the
+/// navigational queries (same SQL, α + 1 round trips instead of
+/// n_v + 1; DESIGN.md 5d).
 enum class StrategyKind {
   kNavigationalLate,   // isolated queries, rules evaluated at the client
   kNavigationalEarly,  // isolated queries, rules pushed into WHERE
   kRecursive,          // one recursive query + early rule evaluation
+  kBatchedLate,        // level-wise batched navigational, late eval
+  kBatchedEarly,       // level-wise batched navigational, early eval
 };
 
 std::string_view ActionKindName(ActionKind kind);
@@ -67,17 +72,38 @@ double TotalNodes(const TreeParams& tree);
 /// navigational multi-level expands every visible node *including the
 /// root* is expanded once (q = n_v + 1, matching the paper's Table 2
 /// latency entries); the recursive strategy always issues one query.
+/// The batched strategies still *issue* n_v + 1 statements — only their
+/// round-trip count drops (see RoundTripCount).
 double QueryCount(StrategyKind strategy, ActionKind action,
                   const TreeParams& tree);
+
+/// Number of WAN round trips. Equal to QueryCount except for batched
+/// multi-level expands, where all statements of one tree level share a
+/// round trip: α + 1 (levels 0..α below and including the root's).
+double RoundTripCount(StrategyKind strategy, ActionKind action,
+                      const TreeParams& tree);
 
 /// Number of nodes transmitted over the WAN (n_t in eq. (3), n_v in
 /// eq. (5)).
 double TransmittedNodes(StrategyKind strategy, ActionKind action,
                         const TreeParams& tree);
 
-/// Full prediction per equations (1)-(6). `query_bytes` (recursive
-/// strategy only) sizes the request; the paper assumes each request fits
-/// one packet, which holds for its examples.
+/// Full prediction per equations (1)-(6). `query_bytes` sizes the
+/// request: for the recursive strategy it is the whole statement's size;
+/// for the batched strategies it is the *per-statement* size s_q (a
+/// level's request ships k_i concatenated statements, padded to whole
+/// packets per batch). With 0, every request message is assumed to fit
+/// one packet — the paper's own simplification.
+///
+/// Batched multi-level expand closed form (DESIGN.md 5d):
+///   latency  = (α+1) · 2 · T_Lat                  [vs (n_v+1)·2·T_Lat]
+///   volume   = Σ_{i=0..α} ⌈k_i·s_q/size_p⌉·size_p  (requests)
+///            + n_t · size_n                        (payload, unchanged)
+///            + (α+1) · size_p/2                    (one half-filled final
+///                                                   packet per *batch*)
+///            + (σω)^α · 64                         (empty-result frames of
+///                                                   the leaf-level expands)
+/// where k_i = (σω)^i is the number of statements in the level-i batch.
 ResponseTime Predict(StrategyKind strategy, ActionKind action,
                      const TreeParams& tree, const NetworkParams& net,
                      double query_bytes = 0);

@@ -8,6 +8,7 @@ namespace pdm::net {
 
 void WanStats::Add(const WanStats& other) {
   round_trips += other.round_trips;
+  statements += other.statements;
   messages += other.messages;
   request_packets += other.request_packets;
   response_packets += other.response_packets;
@@ -20,14 +21,21 @@ void WanStats::Add(const WanStats& other) {
 
 std::string WanStats::ToString() const {
   return StrFormat(
-      "round_trips=%zu charged_bytes=%.0f latency=%.2fs transfer=%.2fs "
-      "total=%.2fs",
-      round_trips, charged_bytes, latency_seconds, transfer_seconds,
-      total_seconds());
+      "round_trips=%zu statements=%zu charged_bytes=%.0f latency=%.2fs "
+      "transfer=%.2fs total=%.2fs",
+      round_trips, statements, charged_bytes, latency_seconds,
+      transfer_seconds, total_seconds());
 }
 
 double WanLink::RecordRoundTrip(size_t request_bytes,
                                 size_t response_payload_bytes) {
+  return RecordBatchRoundTrip(request_bytes, response_payload_bytes,
+                              /*n_statements=*/1);
+}
+
+double WanLink::RecordBatchRoundTrip(size_t request_bytes,
+                                     size_t response_payload_bytes,
+                                     size_t n_statements) {
   const double packet = static_cast<double>(config_.packet_bytes);
   size_t req_packets = static_cast<size_t>(
       std::max(1.0, std::ceil(static_cast<double>(request_bytes) / packet)));
@@ -37,7 +45,10 @@ double WanLink::RecordRoundTrip(size_t request_bytes,
   switch (config_.accounting) {
     case Accounting::kPaperModel:
       // Requests padded to whole packets; responses charged payload plus
-      // the expected half-filled last packet (paper eq. (3)).
+      // the expected half-filled last packet (paper eq. (3)). A batch is
+      // one exchange: the concatenated request is padded once and only
+      // one half-filled final response packet is charged — not one per
+      // statement.
       charged = static_cast<double>(req_packets) * packet +
                 static_cast<double>(response_payload_bytes) + packet / 2.0;
       break;
@@ -53,6 +64,7 @@ double WanLink::RecordRoundTrip(size_t request_bytes,
   double transfer = config_.TransferSeconds(charged);
 
   stats_.round_trips += 1;
+  stats_.statements += n_statements;
   stats_.messages += 2;
   stats_.request_packets += req_packets;
   stats_.response_packets += resp_packets;

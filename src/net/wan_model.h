@@ -35,7 +35,8 @@ struct WanConfig {
 /// paper's tables print.
 struct WanStats {
   size_t round_trips = 0;
-  size_t messages = 0;  // 2 per round trip
+  size_t statements = 0;  // SQL statements shipped (>= round_trips when batched)
+  size_t messages = 0;    // 2 per round trip
   size_t request_packets = 0;
   size_t response_packets = 0;  // only charged in kExactPackets mode
   double request_payload_bytes = 0;
@@ -63,6 +64,16 @@ class WanLink {
   /// of the shipped SQL text, `response_payload_bytes` the serialized
   /// result. Returns the seconds this exchange took.
   double RecordRoundTrip(size_t request_bytes, size_t response_payload_bytes);
+
+  /// Accounts one *batched* exchange: `n_statements` statements
+  /// concatenated into one request and answered by one response stream.
+  /// Packet accounting is per batch, not per statement — the request is
+  /// padded to whole packets once, and (in paper mode) only ONE
+  /// half-filled final response packet is charged for the whole batch.
+  /// Returns the seconds the exchange took.
+  double RecordBatchRoundTrip(size_t request_bytes,
+                              size_t response_payload_bytes,
+                              size_t n_statements);
 
   const WanStats& stats() const { return stats_; }
   void ResetStats() { stats_ = WanStats(); }

@@ -1,20 +1,91 @@
 #include "server/db_server.h"
 
+#include "sql/fingerprint.h"
+
 namespace pdm {
+
+namespace {
+
+/// Read-only statements (SELECT / WITH) are exactly the
+/// fingerprint-cacheable ones; only they may run concurrently under the
+/// engine's concurrency contract (DESIGN.md 5d).
+bool IsReadOnlyStatement(const std::string& sql) {
+  Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
+  return fp.ok() && fp->cacheable;
+}
+
+}  // namespace
 
 Status DbServer::Execute(std::string_view sql, ResultSet* out,
                          size_t* response_bytes) {
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
   PDM_RETURN_NOT_OK(db_.Execute(sql, out));
-  size_t bytes = ResponseBytes(*out);
-  if (response_bytes != nullptr) *response_bytes = bytes;
-  if (log_enabled_) {
-    statement_log_.push_back(StatementLogEntry{
-        std::string(sql), out->num_rows(), out->affected_rows, bytes,
-        db_.last_stats().plan_cache_hits > 0});
+  // Sizing walks every result row; skip it when nobody consumes it.
+  if (response_bytes != nullptr || log_enabled_) {
+    size_t bytes = ResponseBytes(*out);
+    if (response_bytes != nullptr) *response_bytes = bytes;
+    if (log_enabled_) {
+      statement_log_.push_back(StatementLogEntry{
+          std::string(sql), out->num_rows(), out->affected_rows, bytes,
+          db_.last_stats().plan_cache_hits > 0, /*batch_id=*/0,
+          /*worker=*/0});
+    }
   }
   return Status::OK();
+}
+
+std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
+    std::span<const std::string> statements) {
+  const uint64_t batch_id = ++last_batch_id_;
+  std::vector<BatchStatementResult> results(statements.size());
+  std::vector<StatementLogEntry> entries;
+  if (log_enabled_) entries.resize(statements.size());
+
+  size_t threads = config_.batch_threads == 0 ? 1 : config_.batch_threads;
+  if (threads > 1) {
+    // Parallel execution is only safe for all-read-only batches; a batch
+    // containing DML/DDL/CALL runs serially in statement order.
+    for (const std::string& sql : statements) {
+      if (!IsReadOnlyStatement(sql)) {
+        threads = 1;
+        break;
+      }
+    }
+  }
+
+  auto run_one = [&](size_t i, size_t worker) {
+    BatchStatementResult& r = results[i];
+    ExecStats stats;
+    r.status = db_.Execute(statements[i], &r.result, &stats);
+    if (!r.status.ok()) r.result = ResultSet();
+    r.response_bytes = ResponseBytes(r.result);
+    if (log_enabled_) {
+      entries[i] = StatementLogEntry{
+          statements[i], r.result.num_rows(), r.result.affected_rows,
+          r.response_bytes, stats.plan_cache_hits > 0, batch_id, worker};
+    }
+  };
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < statements.size(); ++i) run_one(i, 0);
+  } else {
+    EnsurePool(threads).ParallelFor(statements.size(), run_one);
+  }
+
+  // Append log entries in statement order regardless of which worker ran
+  // what, keeping the log deterministic across thread counts.
+  for (StatementLogEntry& e : entries) {
+    statement_log_.push_back(std::move(e));
+  }
+  return results;
+}
+
+WorkerPool& DbServer::EnsurePool(size_t threads) {
+  if (pool_ == nullptr || pool_->threads() != threads) {
+    pool_ = std::make_unique<WorkerPool>(threads);
+  }
+  return *pool_;
 }
 
 size_t DbServer::ResponseBytes(const ResultSet& result) const {

@@ -2,11 +2,15 @@
 #define PDM_SERVER_DB_SERVER_H_
 
 #include <memory>
+#include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/database.h"
 #include "exec/result_set.h"
+#include "server/worker_pool.h"
 
 namespace pdm {
 
@@ -22,6 +26,10 @@ class DbServer {
  public:
   struct Config {
     size_t fixed_row_bytes = 0;  // 0 = realistic serialization
+    /// Worker threads for ExecuteBatch. 1 (default) = serial execution,
+    /// identical to today's behaviour; > 1 executes the read-only
+    /// statements of a batch concurrently (DESIGN.md 5d).
+    size_t batch_threads = 1;
   };
 
   /// One executed statement, as observed at the server boundary.
@@ -32,6 +40,18 @@ class DbServer {
     size_t response_bytes = 0;
     /// True if the statement reused a cached plan (engine/plan_cache.h).
     bool plan_cache_hit = false;
+    /// Batch this statement arrived in; 0 = standalone Execute().
+    uint64_t batch_id = 0;
+    /// Pool worker that executed it (0 = serial / the calling thread).
+    size_t worker = 0;
+  };
+
+  /// Outcome of one statement of a batch. Fail-fast-per-statement: an
+  /// error is recorded in its slot, sibling statements still complete.
+  struct BatchStatementResult {
+    Status status;
+    ResultSet result;         // empty on error
+    size_t response_bytes = 0;  // errors occupy a minimal frame
   };
 
   DbServer() = default;
@@ -44,6 +64,16 @@ class DbServer {
   /// `response_bytes` (serialized size under the configured policy).
   Status Execute(std::string_view sql, ResultSet* out,
                  size_t* response_bytes);
+
+  /// Executes the statements of one batch (a single wire round trip)
+  /// and returns one result per statement, in statement order. When
+  /// `Config::batch_threads > 1` and every statement is read-only
+  /// (SELECT / WITH), statements run concurrently on the worker pool;
+  /// batches containing DML/DDL/CALL always run serially in statement
+  /// order. Results are identical across thread counts; the statement
+  /// log keeps statement order and records the batch id + worker.
+  std::vector<BatchStatementResult> ExecuteBatch(
+      std::span<const std::string> statements);
 
   /// Serialized size of a result set under this server's policy.
   size_t ResponseBytes(const ResultSet& result) const;
@@ -64,15 +94,26 @@ class DbServer {
   /// Aggregate plan-cache counters of the owned Database, reported next
   /// to the statement log: hit rate here is what tells a DBA whether the
   /// client's navigational queries are reusing server-side plans.
-  const PlanCacheStats& plan_cache_stats() const {
-    return db_.plan_cache().stats();
+  PlanCacheStats plan_cache_stats() const { return db_.plan_cache().stats(); }
+
+  /// Resets everything observability-only — the statement log and the
+  /// plan-cache hit/miss counters — without touching cached plans or
+  /// data. Benches and tests use this instead of rebuilding the server.
+  void ResetObservability() {
+    ClearStatementLog();
+    db_.plan_cache().ResetStats();
   }
 
  private:
+  /// The pool is created lazily and rebuilt when batch_threads changes.
+  WorkerPool& EnsurePool(size_t threads);
+
   Config config_;
   Database db_;
   bool log_enabled_ = false;
   std::vector<StatementLogEntry> statement_log_;
+  uint64_t last_batch_id_ = 0;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace pdm

@@ -1,0 +1,67 @@
+#include "server/worker_pool.h"
+
+namespace pdm {
+
+WorkerPool::WorkerPool(size_t threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::RunItems(size_t worker) {
+  while (true) {
+    size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
+    if (item >= n_items_) return;
+    (*task_)(item, worker);
+  }
+}
+
+void WorkerPool::WorkerMain(size_t worker) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunItems(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(size_t n, const Task& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    n_items_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  RunItems(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace pdm

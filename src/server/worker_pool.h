@@ -1,0 +1,60 @@
+#ifndef PDM_SERVER_WORKER_POOL_H_
+#define PDM_SERVER_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdm {
+
+/// Fixed-size worker pool executing the independent items of one batch
+/// concurrently (server/db_server.h uses it for intra-batch statement
+/// parallelism). The calling thread participates as worker 0, so a pool
+/// of `threads == 1` never starts a thread and runs everything inline —
+/// bit-identical to the serial path. Items are claimed from an atomic
+/// counter: which worker runs which item is nondeterministic under
+/// `threads > 1`, so callers must keep outputs per-item, never
+/// per-worker.
+class WorkerPool {
+ public:
+  /// fn(item, worker): `item` in [0, n), `worker` in [0, threads).
+  using Task = std::function<void(size_t item, size_t worker)>;
+
+  explicit WorkerPool(size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(item, worker) for every item in [0, n); returns once all
+  /// items completed. Not reentrant: one ParallelFor at a time.
+  void ParallelFor(size_t n, const Task& fn);
+
+  size_t threads() const { return threads_; }
+
+ private:
+  void WorkerMain(size_t worker);
+  void RunItems(size_t worker);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;  // threads_ - 1 background workers
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor to wake the pool
+  bool shutdown_ = false;
+  const Task* task_ = nullptr;
+  size_t n_items_ = 0;
+  std::atomic<size_t> next_item_{0};
+  size_t active_workers_ = 0;  // background workers still draining items
+};
+
+}  // namespace pdm
+
+#endif  // PDM_SERVER_WORKER_POOL_H_

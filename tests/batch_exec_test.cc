@@ -1,0 +1,329 @@
+// Tests for the batched execution path (DESIGN.md 5d): per-statement
+// error semantics of DbServer::ExecuteBatch, determinism across
+// batch_threads, statement-log batch/worker attribution, the engine's
+// thread-safety contract under concurrent cold-index builds and
+// plan-cache fingerprint collisions, and the batched navigational
+// strategy's α+1 round-trip schedule on the 5×5 product.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/experiment.h"
+#include "common/string_util.h"
+#include "server/db_server.h"
+
+namespace pdm {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+/// A server with t(id INTEGER, name TEXT) of `rows` rows "n0".."n<rows-1>".
+void Seed(DbServer* server, int rows) {
+  ASSERT_TRUE(
+      server->Execute("CREATE TABLE t (id INTEGER, name TEXT)", nullptr,
+                      nullptr)
+          .ok());
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE(server
+                    ->Execute(StrFormat("INSERT INTO t VALUES (%d, 'n%d')",
+                                        i, i),
+                              nullptr, nullptr)
+                    .ok());
+  }
+}
+
+std::string PointQuery(int id) {
+  return StrFormat("SELECT name FROM t WHERE id = %d", id);
+}
+
+TEST(BatchExec, FailFastPerStatement) {
+  DbServer server;
+  Seed(&server, 8);
+  // Slot 3 is not even parseable, so the batch falls back to serial
+  // execution; errors must stay in their slots either way.
+  std::vector<std::string> statements = {
+      PointQuery(1), "SELECT nosuchcol FROM t", PointQuery(2),
+      "THIS IS NOT SQL", PointQuery(3)};
+  std::vector<DbServer::BatchStatementResult> results =
+      server.ExecuteBatch(statements);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_TRUE(results[2].status.ok());
+  EXPECT_FALSE(results[3].status.ok());
+  EXPECT_TRUE(results[4].status.ok());
+  // Error slots carry an empty result but still occupy a minimal frame.
+  EXPECT_EQ(results[1].result.num_rows(), 0u);
+  EXPECT_GT(results[1].response_bytes, 0u);
+  EXPECT_EQ(results[0].result.num_rows(), 1u);
+  EXPECT_EQ(results[4].result.At(0, 0).ToString(), "n3");
+}
+
+TEST(BatchExec, FailFastPerStatementParallel) {
+  DbServer server;
+  Seed(&server, 8);
+  server.mutable_config().batch_threads = 4;
+  // Every statement fingerprints as a SELECT (so the batch stays
+  // parallel-eligible); the bad ones fail at bind time.
+  std::vector<std::string> statements;
+  for (int i = 0; i < 16; ++i) {
+    statements.push_back(i % 4 == 2 ? "SELECT nosuchcol FROM t"
+                                    : PointQuery(i % 8));
+  }
+  std::vector<DbServer::BatchStatementResult> results =
+      server.ExecuteBatch(statements);
+  ASSERT_EQ(results.size(), statements.size());
+  for (int i = 0; i < 16; ++i) {
+    if (i % 4 == 2) {
+      EXPECT_FALSE(results[i].status.ok()) << i;
+      EXPECT_EQ(results[i].result.num_rows(), 0u) << i;
+    } else {
+      ASSERT_TRUE(results[i].status.ok()) << i << ": "
+                                          << results[i].status.ToString();
+      EXPECT_EQ(results[i].result.At(0, 0).ToString(),
+                StrFormat("n%d", i % 8))
+          << i;
+    }
+  }
+}
+
+TEST(BatchExec, DmlBatchRunsSeriallyInStatementOrder) {
+  DbServer server;
+  Seed(&server, 2);
+  server.mutable_config().batch_threads = 8;
+  server.EnableStatementLog(true);
+  // The INSERT forces the whole batch serial; the trailing SELECT must
+  // observe it (statement order is execution order).
+  std::vector<std::string> statements = {
+      "SELECT COUNT(*) FROM t", "INSERT INTO t VALUES (99, 'n99')",
+      PointQuery(99)};
+  std::vector<DbServer::BatchStatementResult> results =
+      server.ExecuteBatch(statements);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[1].status.ok());
+  ASSERT_TRUE(results[2].status.ok());
+  EXPECT_EQ(results[0].result.At(0, 0).int64_value(), 2);
+  EXPECT_EQ(results[2].result.At(0, 0).ToString(), "n99");
+  for (const DbServer::StatementLogEntry& entry : server.statement_log()) {
+    EXPECT_EQ(entry.worker, 0u);  // serial fallback = calling thread
+  }
+}
+
+TEST(BatchExec, ResultsIdenticalAcrossThreadCounts) {
+  DbServer server;
+  Seed(&server, 32);
+  std::vector<std::string> statements;
+  for (int i = 0; i < 32; ++i) statements.push_back(PointQuery(i));
+
+  server.mutable_config().batch_threads = 1;
+  std::vector<DbServer::BatchStatementResult> reference =
+      server.ExecuteBatch(statements);
+  for (size_t threads : {2u, 4u, 8u}) {
+    server.mutable_config().batch_threads = threads;
+    std::vector<DbServer::BatchStatementResult> results =
+        server.ExecuteBatch(statements);
+    ASSERT_EQ(results.size(), reference.size()) << threads;
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].status.ok()) << threads << "/" << i;
+      EXPECT_EQ(results[i].result.ToString(1 << 20),
+                reference[i].result.ToString(1 << 20))
+          << threads << "/" << i;
+      EXPECT_EQ(results[i].response_bytes, reference[i].response_bytes);
+    }
+  }
+}
+
+TEST(BatchExec, StatementLogRecordsBatchIdsAndWorkers) {
+  DbServer server;
+  Seed(&server, 8);
+  server.EnableStatementLog(true);
+  server.mutable_config().batch_threads = 4;
+
+  std::vector<std::string> first = {PointQuery(0), PointQuery(1),
+                                    PointQuery(2)};
+  std::vector<std::string> second = {PointQuery(3), PointQuery(4)};
+  server.ClearStatementLog();
+  server.ExecuteBatch(first);
+  server.ExecuteBatch(second);
+
+  const std::vector<DbServer::StatementLogEntry>& log =
+      server.statement_log();
+  ASSERT_EQ(log.size(), 5u);
+  // Statement order is preserved regardless of which worker ran what,
+  // and the two batches carry distinct monotonically increasing ids.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[i].sql, first[i]);
+    EXPECT_EQ(log[i].batch_id, log[0].batch_id);
+    EXPECT_LT(log[i].worker, 4u);
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(log[3 + i].sql, second[i]);
+    EXPECT_EQ(log[3 + i].batch_id, log[3].batch_id);
+  }
+  EXPECT_GT(log[0].batch_id, 0u);
+  EXPECT_GT(log[3].batch_id, log[0].batch_id);
+
+  // Standalone Execute() is batch 0.
+  ResultSet out;
+  size_t bytes = 0;
+  ASSERT_TRUE(server.Execute(PointQuery(5), &out, &bytes).ok());
+  EXPECT_EQ(server.statement_log().back().batch_id, 0u);
+}
+
+TEST(BatchExec, ResetObservabilityClearsLogAndCacheCounters) {
+  DbServer server;
+  Seed(&server, 4);
+  server.EnableStatementLog(true);
+  ResultSet out;
+  ASSERT_TRUE(server.Execute(PointQuery(1), &out, nullptr).ok());
+  ASSERT_TRUE(server.Execute(PointQuery(1), &out, nullptr).ok());
+  EXPECT_FALSE(server.statement_log().empty());
+  EXPECT_GT(server.plan_cache_stats().hits + server.plan_cache_stats().misses,
+            0u);
+
+  server.ResetObservability();
+  EXPECT_TRUE(server.statement_log().empty());
+  EXPECT_EQ(server.plan_cache_stats().hits, 0u);
+  EXPECT_EQ(server.plan_cache_stats().misses, 0u);
+  // Cached plans themselves survive: the next repeat is a hit.
+  ASSERT_TRUE(server.Execute(PointQuery(1), &out, nullptr).ok());
+  EXPECT_EQ(server.plan_cache_stats().hits, 1u);
+}
+
+TEST(BatchExec, ExecuteWithoutSizingConsumers) {
+  DbServer server;
+  Seed(&server, 4);
+  // No response_bytes out-param and no statement log: the sizing walk is
+  // skipped entirely; execution must still work.
+  ResultSet out;
+  ASSERT_TRUE(server.Execute("SELECT COUNT(*) FROM t", &out, nullptr).ok());
+  EXPECT_EQ(out.At(0, 0).int64_value(), 4);
+}
+
+// The thread-safety regression the concurrency contract exists for:
+// statements of one parallel batch all hit the same cold lazy column
+// index and the same plan-cache fingerprint. Run under
+// -DPDM_THREAD_SANITIZE=ON this is the data-race canary.
+TEST(BatchExec, ConcurrentColdIndexAndPlanCacheFingerprint) {
+  for (int round = 0; round < 4; ++round) {
+    DbServer server;  // fresh server: cold index, empty plan cache
+    Seed(&server, 64);
+    server.mutable_config().batch_threads = 8;
+    std::vector<std::string> statements;
+    for (int i = 0; i < 64; ++i) statements.push_back(PointQuery(i));
+    std::vector<DbServer::BatchStatementResult> results =
+        server.ExecuteBatch(statements);
+    ASSERT_EQ(results.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(results[i].status.ok())
+          << i << ": " << results[i].status.ToString();
+      ASSERT_EQ(results[i].result.num_rows(), 1u) << i;
+      EXPECT_EQ(results[i].result.At(0, 0).ToString(), StrFormat("n%d", i));
+    }
+    // Every statement shares one fingerprint; however the concurrent
+    // lookups interleave (hit, miss, or contention bypass), the counters
+    // must account for all of them.
+    PlanCacheStats stats = server.plan_cache_stats();
+    EXPECT_EQ(stats.hits + stats.misses, 64u);
+    EXPECT_LE(stats.bypasses, stats.misses);
+  }
+}
+
+TEST(BatchExec, ConnectionBatchIsOneRoundTrip) {
+  client::ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 3;
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  client::Connection& conn = (*experiment)->connection();
+
+  conn.ResetStats();
+  std::vector<std::string> statements = {
+      "SELECT COUNT(*) FROM assy", "SELECT COUNT(*) FROM comp",
+      "SELECT nosuchcol FROM assy"};
+  std::vector<Result<ResultSet>> out;
+  ASSERT_TRUE(conn.ExecuteBatch(statements, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_TRUE(out[1].ok());
+  EXPECT_FALSE(out[2].ok());
+  EXPECT_EQ(conn.stats().round_trips, 1u);
+  EXPECT_EQ(conn.stats().statements, 3u);
+  EXPECT_EQ(conn.stats().messages, 2u);
+}
+
+/// The tentpole's acceptance check on the deterministic 5×5 product:
+/// batched MLE retrieves the byte-identical tree in exactly α+1 round
+/// trips, for both rule-evaluation variants and all thread counts.
+TEST(BatchedStrategy, FiveByFiveExactRoundTripsAndIdenticalTree) {
+  client::ExperimentConfig config;
+  config.generator.depth = 5;
+  config.generator.branching = 5;
+  config.generator.sigma = 0.6;
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  client::Experiment& e = **experiment;
+
+  Result<client::ActionResult> nav_late = e.RunAction(
+      StrategyKind::kNavigationalLate, ActionKind::kMultiLevelExpand);
+  Result<client::ActionResult> nav_early = e.RunAction(
+      StrategyKind::kNavigationalEarly, ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(nav_late.ok()) << nav_late.status();
+  ASSERT_TRUE(nav_early.ok()) << nav_early.status();
+
+  const struct {
+    StrategyKind batched;
+    const client::ActionResult* reference;
+  } kVariants[] = {{StrategyKind::kBatchedLate, &*nav_late},
+                   {StrategyKind::kBatchedEarly, &*nav_early}};
+  for (const auto& variant : kVariants) {
+    for (size_t threads : {1u, 4u}) {
+      e.server().mutable_config().batch_threads = threads;
+      e.server().EnableStatementLog(true);
+      e.server().ResetObservability();
+      Result<client::ActionResult> batched =
+          e.RunAction(variant.batched, ActionKind::kMultiLevelExpand);
+      ASSERT_TRUE(batched.ok()) << batched.status();
+
+      // α+1 round trips on the wire, n_v+1 statements inside them.
+      EXPECT_EQ(batched->wan.round_trips, 6u);
+      EXPECT_EQ(batched->wan.statements, e.product().visible_nodes + 1);
+      EXPECT_EQ(batched->wan.statements, variant.reference->wan.round_trips);
+
+      // The statement log agrees: every expand belongs to one of α+1
+      // batches.
+      std::set<uint64_t> batch_ids;
+      size_t logged = 0;
+      for (const DbServer::StatementLogEntry& entry :
+           e.server().statement_log()) {
+        if (entry.batch_id == 0) continue;  // late-eval local rule probe
+        batch_ids.insert(entry.batch_id);
+        ++logged;
+      }
+      EXPECT_EQ(batch_ids.size(), 6u);
+      EXPECT_EQ(logged, batched->wan.statements);
+
+      // Byte-identical tree and identical transmitted volume.
+      EXPECT_EQ(batched->tree.ToString(1 << 20),
+                variant.reference->tree.ToString(1 << 20));
+      EXPECT_EQ(batched->transmitted_rows,
+                variant.reference->transmitted_rows);
+      EXPECT_EQ(batched->visible_nodes, variant.reference->visible_nodes);
+      // Fewer round trips must never change what is shipped.
+      EXPECT_DOUBLE_EQ(batched->wan.response_payload_bytes,
+                       variant.reference->wan.response_payload_bytes);
+      EXPECT_LT(batched->wan.total_seconds(),
+                variant.reference->wan.total_seconds());
+    }
+  }
+  e.server().mutable_config().batch_threads = 1;
+}
+
+}  // namespace
+}  // namespace pdm

@@ -140,6 +140,89 @@ TEST(CostModel, Table3SavingsMatchPaper) {
   EXPECT_NEAR(SavingPercent(late_mle, early_mle), 2.02, 0.05);
 }
 
+TEST(CostModel, BatchedRoundTripsAreDepthPlusOne) {
+  // Level-wise batching: one exchange per tree level, independent of σω.
+  EXPECT_DOUBLE_EQ(RoundTripCount(StrategyKind::kBatchedLate,
+                                  ActionKind::kMultiLevelExpand, Shape(3, 9)),
+                   4.0);
+  EXPECT_DOUBLE_EQ(RoundTripCount(StrategyKind::kBatchedEarly,
+                                  ActionKind::kMultiLevelExpand, Shape(9, 3)),
+                   10.0);
+  // Non-MLE actions and non-batched strategies fall back to QueryCount.
+  EXPECT_DOUBLE_EQ(RoundTripCount(StrategyKind::kBatchedLate,
+                                  ActionKind::kSingleLevelExpand, Shape(3, 9)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(RoundTripCount(StrategyKind::kNavigationalLate,
+                                  ActionKind::kMultiLevelExpand, Shape(3, 9)),
+                   QueryCount(StrategyKind::kNavigationalLate,
+                              ActionKind::kMultiLevelExpand, Shape(3, 9)));
+}
+
+TEST(CostModel, BatchedMleLatencyCollapses) {
+  TreeParams tree = Shape(3, 9);
+  NetworkParams net = Net(0.15, 256);
+  ResponseTime batched = Predict(StrategyKind::kBatchedLate,
+                                 ActionKind::kMultiLevelExpand, tree, net);
+  // Latency: (α+1)·2·T_Lat = 4 · 0.3 instead of (n_v+1)·2·T_Lat ≈ 57.91.
+  EXPECT_NEAR(batched.latency_part, 1.2, 1e-12);
+  ResponseTime late = Predict(StrategyKind::kNavigationalLate,
+                              ActionKind::kMultiLevelExpand, tree, net);
+  EXPECT_LT(batched.total(), late.total());
+  // Transfer shrinks too (per-statement packet paddings collapse into
+  // per-batch ones) but must still cover the raw node payload, which is
+  // shared with the wrapped late strategy.
+  EXPECT_LT(batched.transfer_part, late.transfer_part);
+  double payload_seconds = net.TransferSeconds(
+      TransmittedNodes(StrategyKind::kBatchedLate,
+                       ActionKind::kMultiLevelExpand, tree) *
+      net.node_bytes);
+  EXPECT_GT(batched.transfer_part, payload_seconds);
+}
+
+TEST(CostModel, BatchedEarlyShipsFewerNodesThanBatchedLate) {
+  TreeParams tree = Shape(3, 9);
+  NetworkParams net = Net(0.15, 256);
+  ResponseTime early = Predict(StrategyKind::kBatchedEarly,
+                               ActionKind::kMultiLevelExpand, tree, net);
+  ResponseTime late = Predict(StrategyKind::kBatchedLate,
+                              ActionKind::kMultiLevelExpand, tree, net);
+  EXPECT_LT(early.transfer_part, late.transfer_part);
+  EXPECT_DOUBLE_EQ(early.latency_part, late.latency_part);
+}
+
+TEST(CostModel, BatchedNonMleEqualsWrappedStrategy) {
+  // Query and single-level expand are single statements: batching is a
+  // no-op and the prediction must match the wrapped navigational regime.
+  TreeParams tree = Shape(7, 5);
+  NetworkParams net = Net(0.15, 512);
+  for (ActionKind action :
+       {ActionKind::kQuery, ActionKind::kSingleLevelExpand}) {
+    ResponseTime batched =
+        Predict(StrategyKind::kBatchedLate, action, tree, net);
+    ResponseTime nav =
+        Predict(StrategyKind::kNavigationalLate, action, tree, net);
+    EXPECT_DOUBLE_EQ(batched.total(), nav.total());
+    ResponseTime batched_early =
+        Predict(StrategyKind::kBatchedEarly, action, tree, net);
+    ResponseTime nav_early =
+        Predict(StrategyKind::kNavigationalEarly, action, tree, net);
+    EXPECT_DOUBLE_EQ(batched_early.total(), nav_early.total());
+  }
+}
+
+TEST(CostModel, BatchedRequestBytesGrowTransferOnly) {
+  TreeParams tree = Shape(3, 9);
+  NetworkParams net = Net(0.15, 256);
+  ResponseTime compact = Predict(StrategyKind::kBatchedLate,
+                                 ActionKind::kMultiLevelExpand, tree, net,
+                                 /*query_bytes=*/100);
+  ResponseTime verbose = Predict(StrategyKind::kBatchedLate,
+                                 ActionKind::kMultiLevelExpand, tree, net,
+                                 /*query_bytes=*/2000);
+  EXPECT_GT(verbose.transfer_part, compact.transfer_part);
+  EXPECT_DOUBLE_EQ(verbose.latency_part, compact.latency_part);
+}
+
 TEST(CostModel, LargeRecursiveQueryNeedsMorePackets) {
   TreeParams tree = Shape(3, 9);
   NetworkParams net = Net(0.15, 256);

@@ -40,9 +40,29 @@ TEST_P(StrategyEquivalenceSweep, AllStrategiesRetrieveTheSameTree) {
       StrategyKind::kNavigationalEarly, ActionKind::kMultiLevelExpand);
   Result<client::ActionResult> rec =
       e.RunAction(StrategyKind::kRecursive, ActionKind::kMultiLevelExpand);
+  Result<client::ActionResult> batched_late = e.RunAction(
+      StrategyKind::kBatchedLate, ActionKind::kMultiLevelExpand);
+  Result<client::ActionResult> batched_early = e.RunAction(
+      StrategyKind::kBatchedEarly, ActionKind::kMultiLevelExpand);
   ASSERT_TRUE(late.ok()) << late.status();
   ASSERT_TRUE(early.ok()) << early.status();
   ASSERT_TRUE(rec.ok()) << rec.status();
+  ASSERT_TRUE(batched_late.ok()) << batched_late.status();
+  ASSERT_TRUE(batched_early.ok()) << batched_early.status();
+
+  // The batched strategies are the navigational ones with a different
+  // wire schedule: the assembled tree must be byte-identical, and the
+  // same statements must arrive in at most α+1 round trips (fewer when a
+  // Bernoulli realization empties a level early).
+  EXPECT_EQ(batched_late->tree.ToString(1 << 20),
+            late->tree.ToString(1 << 20));
+  EXPECT_EQ(batched_early->tree.ToString(1 << 20),
+            early->tree.ToString(1 << 20));
+  EXPECT_EQ(batched_late->transmitted_rows, late->transmitted_rows);
+  EXPECT_EQ(batched_early->transmitted_rows, early->transmitted_rows);
+  EXPECT_LE(batched_late->wan.round_trips,
+            static_cast<size_t>(config.generator.depth) + 1);
+  EXPECT_EQ(batched_late->wan.statements, late->wan.round_trips);
 
   // Identical node sets and identical parent assignment.
   ASSERT_EQ(late->tree.num_nodes(), rec->tree.num_nodes());

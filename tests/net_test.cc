@@ -53,6 +53,59 @@ TEST(WanModel, ExactPacketizationRoundsBothSides) {
   EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 3 * 4096.0);
 }
 
+TEST(WanModel, BatchRoundTripChargesOneExchange) {
+  // A 20-statement batch: the concatenated request pads to whole packets
+  // ONCE and only one half-filled final response packet is charged —
+  // versus 20 request packets + 20 half packets if sent separately.
+  WanLink link(PaperWan());
+  double seconds =
+      link.RecordBatchRoundTrip(/*request=*/20 * 100, /*response=*/20 * 512,
+                                /*n_statements=*/20);
+  // ceil(2000/4096)=1 packet + 10240 payload + 2048 half packet.
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 4096.0 + 10240.0 + 2048.0);
+  EXPECT_EQ(link.stats().round_trips, 1u);
+  EXPECT_EQ(link.stats().statements, 20u);
+  EXPECT_EQ(link.stats().messages, 2u);
+  EXPECT_EQ(link.stats().request_packets, 1u);
+  EXPECT_DOUBLE_EQ(seconds,
+                   2 * 0.15 + (4096.0 + 10240.0 + 2048.0) * 8 / (256 * 1024));
+
+  WanLink unbatched(PaperWan());
+  for (int i = 0; i < 20; ++i) unbatched.RecordRoundTrip(100, 512);
+  EXPECT_EQ(unbatched.stats().statements, 20u);
+  EXPECT_GT(unbatched.stats().charged_bytes, link.stats().charged_bytes);
+  EXPECT_GT(unbatched.stats().total_seconds(), seconds);
+}
+
+TEST(WanModel, BatchRequestSpansMultiplePackets) {
+  WanLink link(PaperWan());
+  link.RecordBatchRoundTrip(/*request=*/10000, /*response=*/0,
+                            /*n_statements=*/50);
+  EXPECT_EQ(link.stats().request_packets, 3u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 3 * 4096.0 + 2048.0);
+}
+
+TEST(WanModel, BatchExactPacketizationRoundsBothSides) {
+  WanConfig config = PaperWan();
+  config.accounting = Accounting::kExactPackets;
+  WanLink link(config);
+  link.RecordBatchRoundTrip(/*request=*/4097, /*response=*/8193,
+                            /*n_statements=*/7);
+  EXPECT_EQ(link.stats().request_packets, 2u);
+  EXPECT_EQ(link.stats().response_packets, 3u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 5 * 4096.0);
+  EXPECT_EQ(link.stats().statements, 7u);
+}
+
+TEST(WanModel, SingleRoundTripCountsOneStatement) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 512);
+  link.RecordRoundTrip(100, 512);
+  EXPECT_EQ(link.stats().statements, 2u);
+  std::string text = link.stats().ToString();
+  EXPECT_NE(text.find("statements=2"), std::string::npos);
+}
+
 TEST(WanModel, StatisticsAccumulateAndReset) {
   WanLink link(PaperWan());
   for (int i = 0; i < 10; ++i) link.RecordRoundTrip(100, 512);
