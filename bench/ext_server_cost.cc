@@ -35,10 +35,9 @@ int Run() {
       client::Experiment& e = **experiment;
       e.server().EnableStatementLog(true);
 
-      // Accumulate engine stats across all shipped statements by
-      // sampling after each strategy run (last_stats covers only the
-      // final statement, so we rely on the statement log for counts and
-      // wall time for total server work).
+      // The statement log carries per-statement engine stats; we print
+      // the final statement's scan counters (matching the historical
+      // last_stats() column) and wall time for total server work.
       Clock::time_point start = Clock::now();
       Result<client::ActionResult> result =
           e.RunAction(strategy, ActionKind::kMultiLevelExpand);
@@ -48,12 +47,14 @@ int Run() {
                      result.status().ToString().c_str());
         return 1;
       }
-      const ExecStats& last = e.server().database().last_stats();
+      const std::vector<DbServer::StatementLogEntry>& log =
+          e.server().statement_log();
+      size_t last_rows = log.empty() ? 0 : log.back().rows_scanned;
+      size_t last_cte = log.empty() ? 0 : log.back().cte_rows_scanned;
       std::printf("α=%d,ω=%d %4s %-18s %12zu %14zu %14zu %12.2f\n",
                   tree.depth, tree.branching, "",
                   std::string(model::StrategyKindName(strategy)).c_str(),
-                  e.server().statement_log().size(), last.rows_scanned,
-                  last.cte_rows_scanned,
+                  log.size(), last_rows, last_cte,
                   std::chrono::duration<double>(end - start).count() * 1000);
     }
   }

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "rules/query_builder.h"
 #include "rules/query_modificator.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 
 namespace pdm::bench {
@@ -223,13 +224,25 @@ void BM_BatchExpandThreads(benchmark::State& state) {
   }
 
   server.mutable_config().batch_threads = threads;
+  const uint64_t fp_before = sql::FingerprintCallCount();
+  size_t batches = 0;
   for (auto _ : state) {
     std::vector<DbServer::BatchStatementResult> results =
         server.ExecuteBatch(statements);
     benchmark::DoNotOptimize(results);
+    ++batches;
   }
+  const uint64_t fp_after = sql::FingerprintCallCount();
   server.mutable_config().batch_threads = saved;
   state.counters["statements"] = static_cast<double>(statements.size());
+  // Lexer passes per statement: 1.0 since the batch path computes one
+  // fingerprint per statement and reuses it for the read-only check and
+  // the plan-cache lookup (it was 2.0 when those were separate passes).
+  if (batches > 0) {
+    state.counters["fingerprints_per_stmt"] =
+        static_cast<double>(fp_after - fp_before) /
+        static_cast<double>(batches * statements.size());
+  }
 }
 BENCHMARK(BM_BatchExpandThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 

@@ -1,10 +1,42 @@
 #include "client/connection.h"
 
+#include "server/admission_queue.h"
+
 namespace pdm::client {
+
+void Connection::AttachToAdmissionQueue(uint64_t client_id) {
+  if (admission_attached_) DetachFromAdmissionQueue();
+  admission_client_id_ = client_id;
+  admission_attached_ = true;
+  server_->admission_queue().RegisterClient();
+}
+
+void Connection::DetachFromAdmissionQueue() {
+  if (!admission_attached_) return;
+  admission_attached_ = false;
+  server_->admission_queue().UnregisterClient();
+}
+
+std::vector<DbServer::BatchStatementResult> Connection::RunAtServer(
+    const std::vector<std::string>& statements) {
+  if (admission_attached_) {
+    return server_->Submit(admission_client_id_, statements);
+  }
+  return server_->ExecuteBatch(statements);
+}
 
 Status Connection::Execute(std::string_view sql, ResultSet* out) {
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
+  if (admission_attached_) {
+    std::vector<std::string> statements{std::string(sql)};
+    std::vector<DbServer::BatchStatementResult> results =
+        server_->Submit(admission_client_id_, statements);
+    PDM_RETURN_NOT_OK(results[0].status);
+    *out = std::move(results[0].result);
+    link_.RecordRoundTrip(sql.size(), results[0].response_bytes);
+    return Status::OK();
+  }
   size_t response_bytes = 0;
   PDM_RETURN_NOT_OK(server_->Execute(sql, out, &response_bytes));
   link_.RecordRoundTrip(sql.size(), response_bytes);
@@ -15,6 +47,15 @@ Status Connection::ExecuteSized(std::string_view sql, ResultSet* out,
                                 const ResponseSizer& sizer) {
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
+  if (admission_attached_) {
+    std::vector<std::string> statements{std::string(sql)};
+    std::vector<DbServer::BatchStatementResult> results =
+        server_->Submit(admission_client_id_, statements);
+    PDM_RETURN_NOT_OK(results[0].status);
+    *out = std::move(results[0].result);
+    link_.RecordRoundTrip(sql.size(), sizer(*out));
+    return Status::OK();
+  }
   PDM_RETURN_NOT_OK(server_->Execute(sql, out, nullptr));
   link_.RecordRoundTrip(sql.size(), sizer(*out));
   return Status::OK();
@@ -34,8 +75,11 @@ size_t BatchRequestBytes(const std::vector<std::string>& statements) {
 
 Status Connection::ExecuteBatch(const std::vector<std::string>& statements,
                                 std::vector<Result<ResultSet>>* out) {
+  if (out != nullptr) out->clear();
+  // Empty batch: nothing to ship, no round trip charged.
+  if (statements.empty()) return Status::OK();
   std::vector<DbServer::BatchStatementResult> results =
-      server_->ExecuteBatch(statements);
+      RunAtServer(statements);
   size_t response_bytes = 0;
   for (const DbServer::BatchStatementResult& r : results) {
     response_bytes += r.response_bytes;
@@ -43,7 +87,6 @@ Status Connection::ExecuteBatch(const std::vector<std::string>& statements,
   link_.RecordBatchRoundTrip(BatchRequestBytes(statements), response_bytes,
                              statements.size());
   if (out != nullptr) {
-    out->clear();
     out->reserve(results.size());
     for (DbServer::BatchStatementResult& r : results) {
       if (r.status.ok()) {
@@ -59,8 +102,11 @@ Status Connection::ExecuteBatch(const std::vector<std::string>& statements,
 Status Connection::ExecuteBatchSized(
     const std::vector<std::string>& statements,
     std::vector<Result<ResultSet>>* out, const ResponseSizer& sizer) {
+  if (out != nullptr) out->clear();
+  // Empty batch: nothing to ship, no round trip charged.
+  if (statements.empty()) return Status::OK();
   std::vector<DbServer::BatchStatementResult> results =
-      server_->ExecuteBatch(statements);
+      RunAtServer(statements);
   size_t response_bytes = 0;
   for (const DbServer::BatchStatementResult& r : results) {
     // Error slots occupy the server's minimal frame; OK slots use the
@@ -70,7 +116,6 @@ Status Connection::ExecuteBatchSized(
   link_.RecordBatchRoundTrip(BatchRequestBytes(statements), response_bytes,
                              statements.size());
   if (out != nullptr) {
-    out->clear();
     out->reserve(results.size());
     for (DbServer::BatchStatementResult& r : results) {
       if (r.status.ok()) {

@@ -1,6 +1,7 @@
 #ifndef PDM_CLIENT_CONNECTION_H_
 #define PDM_CLIENT_CONNECTION_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -26,8 +27,21 @@ class Connection {
   Connection(DbServer* server, net::WanConfig wan)
       : server_(server), link_(wan) {}
 
+  ~Connection() { DetachFromAdmissionQueue(); }
+
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
+
+  /// Routes this connection's server traffic through the shared
+  /// admission queue (DESIGN.md 5e) as client `client_id`, registering
+  /// it as an active queue client. Wire accounting is unchanged — each
+  /// Execute/ExecuteBatch is still one round trip on this link; only
+  /// server-side execution coalesces across clients. Detach (or destroy
+  /// the connection) when the session ends so other clients' waves stop
+  /// waiting for this one.
+  void AttachToAdmissionQueue(uint64_t client_id);
+  void DetachFromAdmissionQueue();
+  bool attached_to_admission_queue() const { return admission_attached_; }
 
   /// One query/response round trip with the server's response sizing.
   Status Execute(std::string_view sql, ResultSet* out);
@@ -42,7 +56,8 @@ class Connection {
   /// results return as one response (DESIGN.md 5d). `out` receives one
   /// Result per statement, in statement order — a failing statement
   /// reports its error in its slot without poisoning siblings. Uses the
-  /// server's response sizing.
+  /// server's response sizing. An empty batch is a no-op: nothing is
+  /// sent and no round trip is charged.
   Status ExecuteBatch(const std::vector<std::string>& statements,
                       std::vector<Result<ResultSet>>* out);
 
@@ -58,8 +73,15 @@ class Connection {
   void ResetStats() { link_.ResetStats(); }
 
  private:
+  /// Executes `statements` at the server: through the admission queue
+  /// when attached, directly otherwise.
+  std::vector<DbServer::BatchStatementResult> RunAtServer(
+      const std::vector<std::string>& statements);
+
   DbServer* server_;
   net::WanLink link_;
+  bool admission_attached_ = false;
+  uint64_t admission_client_id_ = 0;
 };
 
 }  // namespace pdm::client

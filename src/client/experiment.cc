@@ -1,7 +1,10 @@
 #include "client/experiment.h"
 
+#include <thread>
+
 #include "pdm/pdm_schema.h"
 #include "rules/procedures.h"
+#include "server/admission_queue.h"
 #include "sql/parser.h"
 
 namespace pdm::client {
@@ -73,26 +76,31 @@ Status Experiment::Init() {
 
 std::unique_ptr<AccessStrategy> Experiment::MakeStrategy(
     model::StrategyKind kind) {
+  return MakeStrategyOn(connection_.get(), kind);
+}
+
+std::unique_ptr<AccessStrategy> Experiment::MakeStrategyOn(
+    Connection* conn, model::StrategyKind kind) {
   switch (kind) {
     case model::StrategyKind::kNavigationalLate:
       return std::make_unique<NavigationalStrategy>(
-          connection_.get(), &rule_table_, user(), config_.client,
+          conn, &rule_table_, user(), config_.client,
           /*early_evaluation=*/false);
     case model::StrategyKind::kNavigationalEarly:
       return std::make_unique<NavigationalStrategy>(
-          connection_.get(), &rule_table_, user(), config_.client,
+          conn, &rule_table_, user(), config_.client,
           /*early_evaluation=*/true);
     case model::StrategyKind::kBatchedLate:
       return std::make_unique<NavigationalBatchedStrategy>(
-          connection_.get(), &rule_table_, user(), config_.client,
+          conn, &rule_table_, user(), config_.client,
           /*early_evaluation=*/false);
     case model::StrategyKind::kBatchedEarly:
       return std::make_unique<NavigationalBatchedStrategy>(
-          connection_.get(), &rule_table_, user(), config_.client,
+          conn, &rule_table_, user(), config_.client,
           /*early_evaluation=*/true);
     case model::StrategyKind::kRecursive:
-      return std::make_unique<RecursiveStrategy>(
-          connection_.get(), &rule_table_, user(), config_.client);
+      return std::make_unique<RecursiveStrategy>(conn, &rule_table_, user(),
+                                                 config_.client);
   }
   return nullptr;
 }
@@ -114,6 +122,70 @@ Result<ActionResult> Experiment::RunAction(model::StrategyKind strategy,
       return impl->MultiLevelExpand(product_.root_obid);
   }
   return Status::Internal("unhandled action kind");
+}
+
+Result<MultiClientResult> RunMultiClientAction(
+    Experiment& experiment, const MultiClientOptions& options) {
+  if (options.clients == 0) {
+    return Status::InvalidArgument("multi-client run needs >= 1 client");
+  }
+  AdmissionQueue& queue = experiment.server().admission_queue();
+  queue.ClearWaveLog();
+
+  // One connection (own WAN link) and one thread per client. Every
+  // connection registers with the queue before any thread starts so the
+  // wave barrier sees the full client count from the first submission.
+  std::vector<std::unique_ptr<Connection>> connections;
+  connections.reserve(options.clients);
+  for (size_t i = 0; i < options.clients; ++i) {
+    auto conn = std::make_unique<Connection>(&experiment.server(),
+                                             experiment.config().wan);
+    conn->AttachToAdmissionQueue(i);
+    connections.push_back(std::move(conn));
+  }
+
+  std::vector<Result<ActionResult>> outcomes(
+      options.clients, Result<ActionResult>(Status::Internal("not run")));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.clients);
+    for (size_t i = 0; i < options.clients; ++i) {
+      threads.emplace_back([&, i] {
+        std::unique_ptr<AccessStrategy> strategy =
+            experiment.MakeStrategyOn(connections[i].get(), options.strategy);
+        switch (options.action) {
+          case model::ActionKind::kQuery:
+            outcomes[i] = strategy->QueryAll();
+            break;
+          case model::ActionKind::kSingleLevelExpand:
+            outcomes[i] =
+                strategy->SingleLevelExpand(experiment.product().root_obid);
+            break;
+          case model::ActionKind::kMultiLevelExpand:
+            outcomes[i] =
+                strategy->MultiLevelExpand(experiment.product().root_obid);
+            break;
+        }
+        // A finished client leaves the barrier so remaining clients'
+        // waves stop waiting for it.
+        connections[i]->DetachFromAdmissionQueue();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  MultiClientResult result;
+  result.per_client.reserve(options.clients);
+  for (size_t i = 0; i < options.clients; ++i) {
+    PDM_RETURN_NOT_OK(outcomes[i].status());
+    result.per_client.push_back(std::move(*outcomes[i]));
+  }
+  for (const AdmissionQueue::WaveLogEntry& wave : queue.wave_log()) {
+    ++result.waves;
+    result.statements += wave.statements;
+    result.unique_statements += wave.unique_statements;
+  }
+  return result;
 }
 
 }  // namespace pdm::client

@@ -50,6 +50,12 @@ class Experiment {
   /// Strategy instance for one of the paper's three regimes.
   std::unique_ptr<AccessStrategy> MakeStrategy(model::StrategyKind kind);
 
+  /// Strategy instance driving an arbitrary connection to this
+  /// deployment's server (the multi-client driver gives every simulated
+  /// client its own connection and WAN link).
+  std::unique_ptr<AccessStrategy> MakeStrategyOn(Connection* conn,
+                                                 model::StrategyKind kind);
+
   /// Check-out driver bound to this deployment.
   std::unique_ptr<CheckOutClient> MakeCheckOutClient();
 
@@ -71,6 +77,44 @@ class Experiment {
 
 /// Installs the standard rule set described above into `table`.
 Status InstallStandardRules(rules::RuleTable* table);
+
+/// Configuration of one multi-client replay (DESIGN.md 5e): N
+/// independent clients, each with its own connection and WAN link,
+/// concurrently replay the same navigational session against one
+/// server through the shared admission queue.
+struct MultiClientOptions {
+  size_t clients = 2;
+  model::StrategyKind strategy = model::StrategyKind::kBatchedEarly;
+  model::ActionKind action = model::ActionKind::kMultiLevelExpand;
+};
+
+/// Outcome of one multi-client replay, with the admission queue's
+/// per-wave coalescing totals for the run.
+struct MultiClientResult {
+  std::vector<ActionResult> per_client;  // indexed by client id
+  size_t waves = 0;                 // execution waves formed
+  size_t statements = 0;            // statements submitted through waves
+  size_t unique_statements = 0;     // engine executions after dedup
+  /// Statements served per engine execution (1.0 = no cross-client
+  /// sharing; approaches `clients` as windows widen).
+  double DedupFactor() const {
+    return unique_statements == 0
+               ? 1.0
+               : static_cast<double>(statements) /
+                     static_cast<double>(unique_statements);
+  }
+};
+
+/// Replays `options.clients` independent sessions concurrently against
+/// `experiment`'s server, one thread per client, all routed through the
+/// shared admission queue. Each client's ActionResult is the same
+/// (byte-identical tree, same per-client WAN traffic) as a solo
+/// uncoalesced run; only server-side parse/plan work is shared. The
+/// wave counters cover exactly this run (the queue's wave log is
+/// cleared first). Read-only workloads only — concurrent DML sessions
+/// are outside the engine's concurrency contract (DESIGN.md 5d).
+Result<MultiClientResult> RunMultiClientAction(
+    Experiment& experiment, const MultiClientOptions& options);
 
 }  // namespace pdm::client
 

@@ -119,8 +119,10 @@ Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
     std::unique_ptr<sql::SelectStmt> probe =
         rules::BuildExpandQuery(node, config_.hierarchy);
     ResultSet rows;
+    ExecStats probe_stats;  // private stats: probes may run concurrently
     PDM_RETURN_NOT_OK(conn_->server().database().Execute(probe->ToSql(),
-                                                         &rows));
+                                                         &rows,
+                                                         &probe_stats));
     conn_->ResetStats();  // the probe ran locally, not over the WAN
     PDM_ASSIGN_OR_RETURN(filter,
                          evaluator_.Prepare(rows.schema, RuleAction::kExpand));
@@ -156,8 +158,9 @@ Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
       std::unique_ptr<sql::SelectStmt> probe =
           rules::BuildExpandQuery(obid, config_.hierarchy);
       ResultSet rows;
-      PDM_RETURN_NOT_OK(
-          conn_->server().database().Execute(probe->ToSql(), &rows));
+      ExecStats probe_stats;  // private stats: probes may run concurrently
+      PDM_RETURN_NOT_OK(conn_->server().database().Execute(
+          probe->ToSql(), &rows, &probe_stats));
       PDM_ASSIGN_OR_RETURN(filter,
                            evaluator_.Prepare(rows.schema,
                                               RuleAction::kMultiLevelExpand));
@@ -239,8 +242,9 @@ Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
     std::unique_ptr<sql::SelectStmt> probe =
         rules::BuildExpandQuery(root, config_.hierarchy);
     ResultSet rows;
-    PDM_RETURN_NOT_OK(
-        conn_->server().database().Execute(probe->ToSql(), &rows));
+    ExecStats probe_stats;  // private stats: probes may run concurrently
+    PDM_RETURN_NOT_OK(conn_->server().database().Execute(
+        probe->ToSql(), &rows, &probe_stats));
     PDM_ASSIGN_OR_RETURN(
         filter,
         evaluator_.Prepare(rows.schema, RuleAction::kMultiLevelExpand));

@@ -24,18 +24,20 @@ Status Database::Execute(std::string_view sql, ResultSet* out,
                          ExecStats* stats) {
   if (options_.use_plan_cache) {
     Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
-    if (fp.ok() && fp->cacheable) {
-      return ExecuteCachedSelect(std::move(*fp), out, stats);
-    }
-    if (fp.ok()) {
-      // Non-SELECT: reuse the token stream instead of re-lexing.
-      sql::Parser parser(std::move(fp->tokens));
-      PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
-      return ExecuteStatement(*stmt, out, stats);
-    }
+    if (fp.ok()) return ExecuteFingerprinted(std::move(*fp), out, stats);
     // Lexical error: fall through so ParseSql reports it normally.
   }
   PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseSql(sql));
+  return ExecuteStatement(*stmt, out, stats);
+}
+
+Status Database::ExecuteFingerprinted(sql::StatementFingerprint fp,
+                                      ResultSet* out, ExecStats* stats) {
+  if (options_.use_plan_cache && fp.cacheable) {
+    return ExecuteCachedSelect(std::move(fp), out, stats);
+  }
+  sql::Parser parser(std::move(fp.tokens));
+  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
   return ExecuteStatement(*stmt, out, stats);
 }
 

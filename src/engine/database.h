@@ -62,6 +62,17 @@ class Database {
   /// never run concurrently with anything.
   Status Execute(std::string_view sql, ResultSet* out, ExecStats* stats);
 
+  /// Executes a statement from its precomputed fingerprint
+  /// (sql/fingerprint.h), consuming the token stream it carries instead
+  /// of re-lexing the text. The server's batch and wave paths fingerprint
+  /// every statement once — for the read-only classification, for
+  /// wave-level result sharing, and (through here) for the plan-cache
+  /// lookup — so each statement pays exactly one lexer pass. Same
+  /// concurrency contract as the 3-arg Execute(): concurrent callers are
+  /// allowed for read-only (`fp.cacheable`) statements only.
+  Status ExecuteFingerprinted(sql::StatementFingerprint fp, ResultSet* out,
+                              ExecStats* stats);
+
   /// Execute() returning the result set.
   Result<ResultSet> Query(std::string_view sql);
 

@@ -1,5 +1,6 @@
 #include "model/cost_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pdm::model {
@@ -196,6 +197,33 @@ double SavingPercent(const ResponseTime& baseline, const ResponseTime& t) {
   double base = baseline.total();
   if (base <= 0) return 0;
   return (base - t.total()) / base * 100.0;
+}
+
+double WaveDedupFactor(size_t clients, double level_statements,
+                       size_t coalesce_window) {
+  if (clients == 0) return 1.0;
+  double by_clients = static_cast<double>(clients);
+  if (coalesce_window == 0) return by_clients;  // unbounded window
+  if (level_statements <= 0) return 1.0;
+  // Whole level-batches per wave under the cap; the first batch is
+  // always admitted even when it alone exceeds the window.
+  double batches = std::floor(static_cast<double>(coalesce_window) /
+                              level_statements);
+  if (batches < 1.0) batches = 1.0;
+  return std::min(by_clients, batches);
+}
+
+double CoalescedParseCostFactor(size_t clients, const TreeParams& tree,
+                                size_t coalesce_window) {
+  double total = 0;
+  double coalesced = 0;
+  for (int i = 0; i <= tree.depth; ++i) {
+    double k_i = std::pow(tree.sigma * tree.branching, i);
+    total += k_i;
+    coalesced += k_i / WaveDedupFactor(clients, k_i, coalesce_window);
+  }
+  if (total <= 0) return 1.0;
+  return coalesced / total;
 }
 
 std::vector<TreeParams> PaperTreeScenarios() {

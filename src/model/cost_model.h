@@ -113,6 +113,30 @@ ResponseTime Predict(StrategyKind strategy, ActionKind action,
 double SavingPercent(const ResponseTime& baseline, const ResponseTime& t);
 
 // ---------------------------------------------------------------------------
+// Cross-client coalescing (DESIGN.md 5e)
+// ---------------------------------------------------------------------------
+
+/// Statements served per engine execution when `clients` identical
+/// sessions coalesce a level of `level_statements` statements each under
+/// a wave cap of `coalesce_window` statements (0 = unbounded):
+///   c_eff = min(clients, max(1, ⌊W / k⌋))
+/// A wave never splits one client's level-batch, so a window smaller
+/// than the batch still admits one whole batch (factor 1 — coalescing
+/// degrades to uncoalesced, never below it). Round trips per client are
+/// unchanged by coalescing; only server CPU is divided by this factor.
+double WaveDedupFactor(size_t clients, double level_statements,
+                       size_t coalesce_window);
+
+/// Server-side parse/plan work per statement for a coalesced multi-level
+/// expand, as a fraction of the uncoalesced work:
+///   Σ_{i=0..α} k_i / c_eff(i)  /  Σ_{i=0..α} k_i,   k_i = (σω)^i
+/// with c_eff(i) = WaveDedupFactor(clients, k_i, coalesce_window).
+/// Equals 1 for a single client and approaches 1/clients as the window
+/// widens past the deepest level's batch.
+double CoalescedParseCostFactor(size_t clients, const TreeParams& tree,
+                                size_t coalesce_window);
+
+// ---------------------------------------------------------------------------
 // The paper's evaluation grid (Tables 2-4, Figures 4-5)
 // ---------------------------------------------------------------------------
 

@@ -36,6 +36,9 @@ double WanLink::RecordRoundTrip(size_t request_bytes,
 double WanLink::RecordBatchRoundTrip(size_t request_bytes,
                                      size_t response_payload_bytes,
                                      size_t n_statements) {
+  // An empty batch never reaches the wire: no exchange, no packet
+  // padding, no latency.
+  if (n_statements == 0) return 0.0;
   const double packet = static_cast<double>(config_.packet_bytes);
   size_t req_packets = static_cast<size_t>(
       std::max(1.0, std::ceil(static_cast<double>(request_bytes) / packet)));

@@ -70,6 +70,8 @@ class WanLink {
   /// Packet accounting is per batch, not per statement — the request is
   /// padded to whole packets once, and (in paper mode) only ONE
   /// half-filled final response packet is charged for the whole batch.
+  /// An empty batch (`n_statements == 0`) is not an exchange: nothing
+  /// is recorded and 0 seconds are returned.
   /// Returns the seconds the exchange took.
   double RecordBatchRoundTrip(size_t request_bytes,
                               size_t response_payload_bytes,

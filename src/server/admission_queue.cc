@@ -1,0 +1,132 @@
+#include "server/admission_queue.h"
+
+#include <algorithm>
+
+namespace pdm {
+
+void AdmissionQueue::RegisterClient() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++active_clients_;
+}
+
+void AdmissionQueue::UnregisterClient() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_clients_ > 0) --active_clients_;
+  // Departure can complete the barrier for the remaining submitters.
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::active_clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_clients_;
+}
+
+bool AdmissionQueue::WaveReadyLocked() const {
+  if (queue_.empty()) return false;
+  if (active_clients_ == 0) return true;  // nobody to wait for
+  size_t statements = 0;
+  std::vector<uint64_t> clients;
+  clients.reserve(queue_.size());
+  for (const Submission* sub : queue_) {
+    statements += sub->statements.size();
+    if (std::find(clients.begin(), clients.end(), sub->client_id) ==
+        clients.end()) {
+      clients.push_back(sub->client_id);
+    }
+  }
+  const size_t window = server_->config().coalesce_window;
+  if (window > 0 && statements >= window) return true;
+  return clients.size() >= active_clients_;
+}
+
+std::vector<DbServer::BatchStatementResult> AdmissionQueue::Submit(
+    uint64_t client_id, std::span<const std::string> statements) {
+  if (statements.empty()) return {};
+
+  Submission sub;
+  sub.client_id = client_id;
+  sub.statements = statements;
+  sub.results.resize(statements.size());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&sub);
+  cv_.notify_all();  // our arrival may complete the barrier
+  for (;;) {
+    if (sub.done) return std::move(sub.results);
+    if (!wave_in_progress_ && WaveReadyLocked()) {
+      RunWaveLocked(lock);  // we are the leader; loop to re-check `done`
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
+  wave_in_progress_ = true;
+  const size_t window = server_->config().coalesce_window;
+
+  // Drain whole submissions FIFO until the window is reached. The first
+  // submission is always taken, so oversized submissions still execute.
+  std::vector<Submission*> wave;
+  size_t statements = 0;
+  while (!queue_.empty()) {
+    Submission* sub = queue_.front();
+    if (!wave.empty() && window > 0 &&
+        statements + sub->statements.size() > window) {
+      break;
+    }
+    queue_.pop_front();
+    wave.push_back(sub);
+    statements += sub->statements.size();
+  }
+  const uint64_t wave_id = ++last_wave_id_;
+
+  WaveLogEntry entry;
+  entry.wave_id = wave_id;
+  entry.statements = statements;
+  entry.submissions = wave.size();
+  std::vector<uint64_t> clients;
+  for (const Submission* sub : wave) {
+    if (std::find(clients.begin(), clients.end(), sub->client_id) ==
+        clients.end()) {
+      clients.push_back(sub->client_id);
+    }
+  }
+  entry.clients = clients.size();
+
+  std::vector<DbServer::WaveItem> items;
+  items.reserve(statements);
+  for (Submission* sub : wave) {
+    for (size_t i = 0; i < sub->statements.size(); ++i) {
+      items.push_back(
+          DbServer::WaveItem{sub->client_id, &sub->statements[i],
+                             &sub->results[i]});
+    }
+  }
+
+  // Engine work happens outside the queue lock; `wave_in_progress_`
+  // keeps this the only executing wave, so the server's statement log
+  // and worker pool see one wave at a time.
+  lock.unlock();
+  DbServer::WaveExecution execution = server_->ExecuteWave(items, wave_id);
+  lock.lock();
+
+  entry.unique_statements = execution.unique_statements;
+  entry.read_only = execution.read_only;
+  wave_log_.push_back(entry);
+  for (Submission* sub : wave) sub->done = true;
+  wave_in_progress_ = false;
+  cv_.notify_all();
+}
+
+std::vector<AdmissionQueue::WaveLogEntry> AdmissionQueue::wave_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wave_log_;
+}
+
+void AdmissionQueue::ClearWaveLog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wave_log_.clear();
+}
+
+}  // namespace pdm

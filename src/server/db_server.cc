@@ -1,26 +1,48 @@
 #include "server/db_server.h"
 
+#include <unordered_map>
+
+#include "server/admission_queue.h"
 #include "sql/fingerprint.h"
 
 namespace pdm {
 
 namespace {
 
-/// Read-only statements (SELECT / WITH) are exactly the
-/// fingerprint-cacheable ones; only they may run concurrently under the
-/// engine's concurrency contract (DESIGN.md 5d).
-bool IsReadOnlyStatement(const std::string& sql) {
-  Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
-  return fp.ok() && fp->cacheable;
+/// Dedup identity of a statement within a wave: the normalized
+/// fingerprint key plus the type-tagged parameter values. Two
+/// statements with equal group keys are the same query with the same
+/// literals — one execution serves both (DESIGN.md 5e).
+std::string WaveGroupKey(const sql::StatementFingerprint& fp) {
+  std::string key = fp.key;
+  for (const Value& param : fp.params) {
+    key += '\x1f';
+    key += ValueKindName(param.kind());
+    key += ':';
+    key += param.ToString();
+  }
+  return key;
 }
 
 }  // namespace
+
+DbServer::DbServer() : admission_(std::make_unique<AdmissionQueue>(this)) {}
+
+DbServer::DbServer(Config config)
+    : config_(config),
+      admission_(std::make_unique<AdmissionQueue>(this)) {}
+
+DbServer::~DbServer() = default;
 
 Status DbServer::Execute(std::string_view sql, ResultSet* out,
                          size_t* response_bytes) {
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
-  PDM_RETURN_NOT_OK(db_.Execute(sql, out));
+  // Per-call stats, exactly like the batch path: last_stats() is a
+  // serial-only concept and must not be used for log attribution when
+  // serial and batched/wave traffic interleave.
+  ExecStats stats;
+  PDM_RETURN_NOT_OK(db_.Execute(sql, out, &stats));
   // Sizing walks every result row; skip it when nobody consumes it.
   if (response_bytes != nullptr || log_enabled_) {
     size_t bytes = ResponseBytes(*out);
@@ -28,8 +50,9 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
     if (log_enabled_) {
       statement_log_.push_back(StatementLogEntry{
           std::string(sql), out->num_rows(), out->affected_rows, bytes,
-          db_.last_stats().plan_cache_hits > 0, /*batch_id=*/0,
-          /*worker=*/0});
+          stats.plan_cache_hits > 0, /*batch_id=*/0, /*worker=*/0,
+          /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
+          stats.rows_scanned, stats.cte_rows_scanned});
     }
   }
   return Status::OK();
@@ -42,28 +65,42 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
   std::vector<StatementLogEntry> entries;
   if (log_enabled_) entries.resize(statements.size());
 
-  size_t threads = config_.batch_threads == 0 ? 1 : config_.batch_threads;
-  if (threads > 1) {
-    // Parallel execution is only safe for all-read-only batches; a batch
-    // containing DML/DDL/CALL runs serially in statement order.
-    for (const std::string& sql : statements) {
-      if (!IsReadOnlyStatement(sql)) {
-        threads = 1;
-        break;
-      }
+  // Fingerprint every statement exactly once: the fingerprint answers
+  // the read-only classification here and is then consumed by
+  // ExecuteFingerprinted for the plan-cache lookup — no second lex.
+  std::vector<Result<sql::StatementFingerprint>> fingerprints;
+  fingerprints.reserve(statements.size());
+  bool read_only = true;
+  for (const std::string& sql : statements) {
+    fingerprints.push_back(sql::FingerprintSql(sql));
+    if (!fingerprints.back().ok() || !fingerprints.back()->cacheable) {
+      read_only = false;
     }
   }
+
+  // Parallel execution is only safe for all-read-only batches; a batch
+  // containing DML/DDL/CALL runs serially in statement order.
+  size_t threads = config_.batch_threads == 0 ? 1 : config_.batch_threads;
+  if (!read_only) threads = 1;
 
   auto run_one = [&](size_t i, size_t worker) {
     BatchStatementResult& r = results[i];
     ExecStats stats;
-    r.status = db_.Execute(statements[i], &r.result, &stats);
+    if (fingerprints[i].ok()) {
+      r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
+                                          &r.result, &stats);
+    } else {
+      // Lexical error: re-run through the text path for its diagnostics.
+      r.status = db_.Execute(statements[i], &r.result, &stats);
+    }
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
     if (log_enabled_) {
       entries[i] = StatementLogEntry{
           statements[i], r.result.num_rows(), r.result.affected_rows,
-          r.response_bytes, stats.plan_cache_hits > 0, batch_id, worker};
+          r.response_bytes, stats.plan_cache_hits > 0, batch_id, worker,
+          /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
+          stats.rows_scanned, stats.cte_rows_scanned};
     }
   };
 
@@ -81,6 +118,109 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
   return results;
 }
 
+std::vector<DbServer::BatchStatementResult> DbServer::Submit(
+    uint64_t client_id, std::span<const std::string> statements) {
+  return admission_->Submit(client_id, statements);
+}
+
+DbServer::WaveExecution DbServer::ExecuteWave(
+    std::span<const WaveItem> items, uint64_t wave_id) {
+  WaveExecution execution;
+  const size_t n = items.size();
+
+  // One fingerprint per statement, reused for the read-only check, the
+  // dedup grouping, and (inside ExecuteFingerprinted) the plan-cache
+  // lookup.
+  std::vector<Result<sql::StatementFingerprint>> fingerprints;
+  fingerprints.reserve(n);
+  bool read_only = true;
+  for (const WaveItem& item : items) {
+    fingerprints.push_back(sql::FingerprintSql(*item.sql));
+    if (!fingerprints.back().ok() || !fingerprints.back()->cacheable) {
+      read_only = false;
+    }
+  }
+  execution.read_only = read_only;
+
+  std::vector<StatementLogEntry> entries;
+  if (log_enabled_) entries.resize(n);
+
+  auto run_one = [&](size_t i, size_t worker) {
+    BatchStatementResult& r = *items[i].slot;
+    ExecStats stats;
+    if (fingerprints[i].ok()) {
+      r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
+                                          &r.result, &stats);
+    } else {
+      r.status = db_.Execute(*items[i].sql, &r.result, &stats);
+    }
+    if (!r.status.ok()) r.result = ResultSet();
+    r.response_bytes = ResponseBytes(r.result);
+    if (log_enabled_) {
+      entries[i] = StatementLogEntry{
+          *items[i].sql, r.result.num_rows(), r.result.affected_rows,
+          r.response_bytes, stats.plan_cache_hits > 0, /*batch_id=*/0,
+          worker, wave_id, items[i].client_id, /*coalesced=*/false,
+          stats.rows_scanned, stats.cte_rows_scanned};
+    }
+  };
+
+  if (!read_only) {
+    // DML/DDL/CALL wave: serial admission order, no deduplication (two
+    // identical INSERTs are two inserts).
+    for (size_t i = 0; i < n; ++i) run_one(i, 0);
+    execution.unique_statements = n;
+  } else {
+    // Group identical fingerprints: the first occurrence is the
+    // representative that executes; duplicates share its result.
+    std::unordered_map<std::string, size_t> groups;
+    std::vector<size_t> rep_of(n);
+    std::vector<size_t> reps;
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = groups.try_emplace(WaveGroupKey(*fingerprints[i]), i);
+      if (inserted) reps.push_back(i);
+      rep_of[i] = it->second;
+    }
+    execution.unique_statements = reps.size();
+
+    size_t threads = config_.batch_threads == 0 ? 1 : config_.batch_threads;
+    auto run_rep = [&](size_t r, size_t worker) { run_one(reps[r], worker); };
+    if (threads <= 1 || reps.size() <= 1) {
+      for (size_t r = 0; r < reps.size(); ++r) run_rep(r, 0);
+    } else {
+      EnsurePool(threads).ParallelFor(reps.size(), run_rep);
+    }
+
+    // Fan-out: duplicates copy the representative's outcome. Identical
+    // fingerprints are the same query with the same literals, so this
+    // is byte-identical to executing each copy (read-only statements
+    // are pure within a wave).
+    for (size_t i = 0; i < n; ++i) {
+      if (rep_of[i] == i) continue;
+      const BatchStatementResult& rep = *items[rep_of[i]].slot;
+      BatchStatementResult& r = *items[i].slot;
+      r.status = rep.status;
+      r.result = rep.result;
+      r.response_bytes = rep.response_bytes;
+      if (log_enabled_) {
+        entries[i] = StatementLogEntry{
+            *items[i].sql, r.result.num_rows(), r.result.affected_rows,
+            r.response_bytes, /*plan_cache_hit=*/false, /*batch_id=*/0,
+            /*worker=*/0, wave_id, items[i].client_id, /*coalesced=*/true};
+      }
+    }
+  }
+
+  // Admission order, whatever worker ran what — same determinism rule
+  // as the batch path. Only one wave executes at a time (the queue's
+  // leader), so this append is single-threaded.
+  for (StatementLogEntry& e : entries) {
+    statement_log_.push_back(std::move(e));
+  }
+  return execution;
+}
+
 WorkerPool& DbServer::EnsurePool(size_t threads) {
   if (pool_ == nullptr || pool_->threads() != threads) {
     pool_ = std::make_unique<WorkerPool>(threads);
@@ -95,6 +235,12 @@ size_t DbServer::ResponseBytes(const ResultSet& result) const {
     return result.rows.size() * config_.fixed_row_bytes;
   }
   return result.WireSize() + 64;
+}
+
+void DbServer::ResetObservability() {
+  ClearStatementLog();
+  db_.plan_cache().ResetStats();
+  admission_->ClearWaveLog();
 }
 
 }  // namespace pdm

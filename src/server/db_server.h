@@ -14,6 +14,8 @@
 
 namespace pdm {
 
+class AdmissionQueue;
+
 /// The database server endpoint of the simulated client/server system.
 /// Owns the Database, executes SQL text arriving "over the wire" and
 /// sizes the serialized response.
@@ -26,10 +28,16 @@ class DbServer {
  public:
   struct Config {
     size_t fixed_row_bytes = 0;  // 0 = realistic serialization
-    /// Worker threads for ExecuteBatch. 1 (default) = serial execution,
-    /// identical to today's behaviour; > 1 executes the read-only
-    /// statements of a batch concurrently (DESIGN.md 5d).
+    /// Worker threads for ExecuteBatch and read-only admission waves.
+    /// 1 (default) = serial execution, identical to today's behaviour;
+    /// > 1 executes the read-only statements of a batch/wave
+    /// concurrently (DESIGN.md 5d).
     size_t batch_threads = 1;
+    /// Maximum statements the admission queue coalesces into one
+    /// execution wave (DESIGN.md 5e); 0 = unbounded. Submissions are
+    /// never split across waves, so a wave always holds at least one
+    /// whole submission even when it exceeds the window.
+    size_t coalesce_window = 0;
   };
 
   /// One executed statement, as observed at the server boundary.
@@ -44,6 +52,20 @@ class DbServer {
     uint64_t batch_id = 0;
     /// Pool worker that executed it (0 = serial / the calling thread).
     size_t worker = 0;
+    /// Execution wave of the admission queue that ran this statement;
+    /// 0 = the statement did not pass through the queue (DESIGN.md 5e).
+    uint64_t wave_id = 0;
+    /// Submitting client of a wave statement (meaningful when
+    /// wave_id != 0; standalone traffic reports 0).
+    uint64_t client_id = 0;
+    /// True if this statement never reached the engine: its wave
+    /// contained an identical statement (same fingerprint key and
+    /// parameters) whose result was fanned out to this slot.
+    bool coalesced = false;
+    /// Engine work of this statement (0 for coalesced fan-out slots):
+    /// base-table and recursive-CTE rows touched (exec/exec_context.h).
+    size_t rows_scanned = 0;
+    size_t cte_rows_scanned = 0;
   };
 
   /// Outcome of one statement of a batch. Fail-fast-per-statement: an
@@ -54,8 +76,25 @@ class DbServer {
     size_t response_bytes = 0;  // errors occupy a minimal frame
   };
 
-  DbServer() = default;
-  explicit DbServer(Config config) : config_(config) {}
+  /// One statement of an execution wave: who submitted it, the SQL
+  /// text, and the result slot to fill. Built by the AdmissionQueue
+  /// when it drains submissions into a wave.
+  struct WaveItem {
+    uint64_t client_id = 0;
+    const std::string* sql = nullptr;
+    BatchStatementResult* slot = nullptr;
+  };
+
+  /// What ExecuteWave did with a wave, reported back to the queue's
+  /// wave log.
+  struct WaveExecution {
+    size_t unique_statements = 0;  // engine executions after dedup
+    bool read_only = false;        // dedup + worker pool eligible
+  };
+
+  DbServer();
+  explicit DbServer(Config config);
+  ~DbServer();
 
   DbServer(const DbServer&) = delete;
   DbServer& operator=(const DbServer&) = delete;
@@ -74,6 +113,20 @@ class DbServer {
   /// log keeps statement order and records the batch id + worker.
   std::vector<BatchStatementResult> ExecuteBatch(
       std::span<const std::string> statements);
+
+  /// Submits one client's statements to the shared admission queue
+  /// (DESIGN.md 5e) and blocks until an execution wave has produced
+  /// every result. Concurrent clients' submissions coalesce into one
+  /// wave; identical statements within a wave execute once and fan
+  /// their result out. Thread-safe — this is the endpoint concurrent
+  /// clients are expected to use; while admission traffic is in flight,
+  /// do not call Execute()/ExecuteBatch() directly on this server.
+  std::vector<BatchStatementResult> Submit(
+      uint64_t client_id, std::span<const std::string> statements);
+
+  /// The shared admission queue (client registration and the per-wave
+  /// log live there).
+  AdmissionQueue& admission_queue() { return *admission_; }
 
   /// Serialized size of a result set under this server's policy.
   size_t ResponseBytes(const ResultSet& result) const;
@@ -96,15 +149,24 @@ class DbServer {
   /// client's navigational queries are reusing server-side plans.
   PlanCacheStats plan_cache_stats() const { return db_.plan_cache().stats(); }
 
-  /// Resets everything observability-only — the statement log and the
-  /// plan-cache hit/miss counters — without touching cached plans or
-  /// data. Benches and tests use this instead of rebuilding the server.
-  void ResetObservability() {
-    ClearStatementLog();
-    db_.plan_cache().ResetStats();
-  }
+  /// Resets everything observability-only — the statement log, the
+  /// plan-cache hit/miss counters, and the admission queue's wave log —
+  /// without touching cached plans or data. Benches and tests use this
+  /// instead of rebuilding the server.
+  void ResetObservability();
 
  private:
+  friend class AdmissionQueue;
+
+  /// Executes one drained wave (called by the AdmissionQueue's leader,
+  /// never concurrently with itself): fingerprints every statement
+  /// once, deduplicates identical fingerprints of all-read-only waves
+  /// (one engine execution, result fan-out), runs unique statements on
+  /// the worker pool, and falls back to serial admission order for
+  /// waves containing DML/DDL/CALL.
+  WaveExecution ExecuteWave(std::span<const WaveItem> items,
+                            uint64_t wave_id);
+
   /// The pool is created lazily and rebuilt when batch_threads changes.
   WorkerPool& EnsurePool(size_t threads);
 
@@ -114,6 +176,7 @@ class DbServer {
   std::vector<StatementLogEntry> statement_log_;
   uint64_t last_batch_id_ = 0;
   std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<AdmissionQueue> admission_;
 };
 
 }  // namespace pdm

@@ -1,8 +1,20 @@
 #include "sql/fingerprint.h"
 
+#include <atomic>
+
 #include "sql/lexer.h"
 
 namespace pdm::sql {
+
+namespace {
+
+std::atomic<uint64_t> g_fingerprint_calls{0};
+
+}  // namespace
+
+uint64_t FingerprintCallCount() {
+  return g_fingerprint_calls.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -41,6 +53,7 @@ struct OrderState {
 }  // namespace
 
 Result<StatementFingerprint> FingerprintSql(std::string_view sql) {
+  g_fingerprint_calls.fetch_add(1, std::memory_order_relaxed);
   StatementFingerprint fp;
   PDM_ASSIGN_OR_RETURN(fp.tokens, TokenizeSql(sql));
   if (fp.tokens.empty() ||

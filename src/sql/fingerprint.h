@@ -42,6 +42,12 @@ struct StatementFingerprint {
 /// lexical errors.
 Result<StatementFingerprint> FingerprintSql(std::string_view sql);
 
+/// Process-wide count of FingerprintSql calls (each is one full lexer
+/// pass over the statement text). Observability only: the batch/wave
+/// execution paths assert through it that every statement is lexed
+/// exactly once, and bench/micro_engine reports it per statement.
+uint64_t FingerprintCallCount();
+
 }  // namespace pdm::sql
 
 #endif  // PDM_SQL_FINGERPRINT_H_

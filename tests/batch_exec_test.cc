@@ -14,6 +14,7 @@
 #include "client/experiment.h"
 #include "common/string_util.h"
 #include "server/db_server.h"
+#include "sql/fingerprint.h"
 
 namespace pdm {
 namespace {
@@ -255,6 +256,58 @@ TEST(BatchExec, ConnectionBatchIsOneRoundTrip) {
   EXPECT_EQ(conn.stats().round_trips, 1u);
   EXPECT_EQ(conn.stats().statements, 3u);
   EXPECT_EQ(conn.stats().messages, 2u);
+}
+
+TEST(BatchExec, EmptyConnectionBatchChargesNothing) {
+  client::ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 3;
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  client::Connection& conn = (*experiment)->connection();
+
+  conn.ResetStats();
+  std::vector<std::string> statements;
+  std::vector<Result<ResultSet>> out = {Result<ResultSet>(ResultSet())};
+  ASSERT_TRUE(conn.ExecuteBatch(statements, &out).ok());
+  EXPECT_TRUE(out.empty());  // stale slots are cleared, not kept
+  EXPECT_EQ(conn.stats().round_trips, 0u);
+  EXPECT_EQ(conn.stats().statements, 0u);
+  EXPECT_EQ(conn.stats().messages, 0u);
+  EXPECT_DOUBLE_EQ(conn.stats().total_seconds(), 0.0);
+
+  out = {Result<ResultSet>(ResultSet())};
+  ASSERT_TRUE(conn.ExecuteBatchSized(statements, &out, [](const ResultSet&) {
+                    return size_t{512};
+                  })
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(conn.stats().round_trips, 0u);
+}
+
+TEST(BatchExec, BatchFingerprintsEachStatementExactlyOnce) {
+  DbServer server;
+  Seed(&server, 16);
+  server.mutable_config().batch_threads = 4;
+  std::vector<std::string> statements;
+  for (int i = 0; i < 16; ++i) statements.push_back(PointQuery(i));
+
+  // The read-only classification and the plan-cache lookup share one
+  // fingerprint (= one lexer pass) per statement; the pre-fix path paid
+  // two. Holds on both the cold and the cache-hitting run, serial and
+  // parallel.
+  for (size_t threads : {1u, 4u}) {
+    server.mutable_config().batch_threads = threads;
+    const uint64_t before = sql::FingerprintCallCount();
+    std::vector<DbServer::BatchStatementResult> results =
+        server.ExecuteBatch(statements);
+    const uint64_t after = sql::FingerprintCallCount();
+    for (const DbServer::BatchStatementResult& r : results) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+    EXPECT_EQ(after - before, statements.size()) << "threads=" << threads;
+  }
 }
 
 /// The tentpole's acceptance check on the deterministic 5×5 product:

@@ -243,5 +243,33 @@ TEST(CostModel, PaperGridsHaveExpectedShape) {
   EXPECT_EQ(ComputePaperTable(StrategyKind::kRecursive).size(), 9u);
 }
 
+TEST(CostModel, WaveDedupFactorBounds) {
+  // Unbounded window: amortized by the full client count.
+  EXPECT_DOUBLE_EQ(WaveDedupFactor(8, 29.16, 0), 8.0);
+  EXPECT_DOUBLE_EQ(WaveDedupFactor(1, 5.4, 0), 1.0);
+  // Bounded window: whole level-batches per wave, min one (a wave
+  // never splits a submission, so coalescing never degrades below the
+  // uncoalesced factor 1).
+  EXPECT_DOUBLE_EQ(WaveDedupFactor(8, 5.0, 16), 3.0);   // floor(16/5)
+  EXPECT_DOUBLE_EQ(WaveDedupFactor(8, 29.0, 16), 1.0);  // oversized batch
+  EXPECT_DOUBLE_EQ(WaveDedupFactor(2, 1.0, 16), 2.0);   // client-capped
+}
+
+TEST(CostModel, CoalescedParseCostFactorShrinksWithClients) {
+  TreeParams tree = Shape(3, 9);
+  // One client or a window too small for any level to coalesce: full
+  // parse cost.
+  EXPECT_DOUBLE_EQ(CoalescedParseCostFactor(1, tree, 0), 1.0);
+  // Unbounded window: every level amortized by the client count.
+  EXPECT_DOUBLE_EQ(CoalescedParseCostFactor(4, tree, 0), 0.25);
+  EXPECT_DOUBLE_EQ(CoalescedParseCostFactor(8, tree, 0), 0.125);
+  // Bounded windows land in between, monotonically in the window.
+  double w16 = CoalescedParseCostFactor(8, tree, 16);
+  double w64 = CoalescedParseCostFactor(8, tree, 64);
+  EXPECT_LT(w64, w16);
+  EXPECT_LT(w16, 1.0);
+  EXPECT_GT(w64, 0.125);
+}
+
 }  // namespace
 }  // namespace pdm::model

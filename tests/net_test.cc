@@ -77,6 +77,21 @@ TEST(WanModel, BatchRoundTripChargesOneExchange) {
   EXPECT_GT(unbatched.stats().total_seconds(), seconds);
 }
 
+TEST(WanModel, EmptyBatchIsNotAnExchange) {
+  // Zero statements = nothing to ship: no round trip, no packet
+  // padding, no half-packet response tail, zero seconds.
+  WanLink link(PaperWan());
+  double seconds = link.RecordBatchRoundTrip(/*request=*/0, /*response=*/0,
+                                             /*n_statements=*/0);
+  EXPECT_DOUBLE_EQ(seconds, 0.0);
+  EXPECT_EQ(link.stats().round_trips, 0u);
+  EXPECT_EQ(link.stats().statements, 0u);
+  EXPECT_EQ(link.stats().messages, 0u);
+  EXPECT_EQ(link.stats().request_packets, 0u);
+  EXPECT_DOUBLE_EQ(link.stats().charged_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), 0.0);
+}
+
 TEST(WanModel, BatchRequestSpansMultiplePackets) {
   WanLink link(PaperWan());
   link.RecordBatchRoundTrip(/*request=*/10000, /*response=*/0,
