@@ -1,0 +1,228 @@
+// Per-component reconciliation of the tracer against the cost model
+// (DESIGN.md 5f): runs the Table 2/3/4 actions over the paper's grid
+// with tracing enabled, sums the recorded spans by model term, and
+// asserts that
+//   * the traced t_lat sum matches eq. (2) evaluated on the realized
+//     round-trip count,
+//   * the traced t_transfer sum matches eq. (3) evaluated on the
+//     realized packet/byte counts,
+//   * the traced t_server sum matches the server-cost model recomputed
+//     independently from the statement log,
+//   * t_lat + t_transfer reproduces the WAN link's total exactly,
+// each within 1% (the first three are exact in practice; the tolerance
+// absorbs floating-point accumulation order). Closed-form deviations
+// against model::Predict are printed for reference — those carry the
+// stochastic sigma realization and are NOT asserted here (the
+// simulation-agreement tests own that bound).
+//
+// Also writes one representative action's spans as Chrome trace-event
+// JSON (chrome://tracing / Perfetto): --json PATH, default
+// trace_breakdown.json. Exits non-zero on any reconciliation failure.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "server/db_server.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+struct CellCheck {
+  double measured = 0;
+  double expected = 0;
+
+  double deviation() const {
+    if (expected == 0 && measured == 0) return 0;
+    if (expected == 0) return 1;
+    return std::fabs(measured - expected) / expected;
+  }
+};
+
+/// t_server recomputed from the statement log — an independent pass
+/// over the same per-statement facts the spans were charged from.
+/// Agreement means the tracer saw every executed statement exactly
+/// once; coalesced fan-out slots never reached the engine and carry no
+/// span, so they are skipped on both sides.
+double ServerSecondsFromLog(const DbServer& server) {
+  double sum = 0;
+  for (const DbServer::StatementLogEntry& entry : server.statement_log()) {
+    if (entry.coalesced) continue;
+    sum += model::ServerSeconds(server.config().server_cost,
+                                !entry.plan_cache_hit, entry.rows_scanned,
+                                entry.cte_rows_scanned, entry.result_rows);
+  }
+  return sum;
+}
+
+struct ActionSpec {
+  StrategyKind strategy;
+  ActionKind action;
+};
+
+int Run(const std::string& json_path) {
+  constexpr double kTolerance = 0.01;
+  const std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
+  const std::vector<model::NetworkParams> nets =
+      model::PaperNetworkScenarios();
+  const std::vector<ActionSpec> specs = {
+      {StrategyKind::kNavigationalLate, ActionKind::kQuery},
+      {StrategyKind::kNavigationalLate, ActionKind::kSingleLevelExpand},
+      {StrategyKind::kNavigationalLate, ActionKind::kMultiLevelExpand},
+      {StrategyKind::kNavigationalEarly, ActionKind::kQuery},
+      {StrategyKind::kNavigationalEarly, ActionKind::kSingleLevelExpand},
+      {StrategyKind::kNavigationalEarly, ActionKind::kMultiLevelExpand},
+      {StrategyKind::kRecursive, ActionKind::kMultiLevelExpand},
+  };
+
+  PrintBanner("trace_breakdown: traced spans vs eqs. (1)-(3) per component");
+  std::printf(
+      "%-4s %-8s %-18s %-6s | %10s %10s %10s %10s | %8s %9s\n",
+      "net", "tree", "strategy", "action", "t_lat", "t_transfer", "t_server",
+      "total", "max-dev", "closed-fm");
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.set_capacity(1 << 18);
+
+  size_t failures = 0;
+  std::vector<obs::SpanRecord> representative;
+  for (size_t ni = 0; ni < nets.size(); ++ni) {
+    for (size_t ti = 0; ti < trees.size(); ++ti) {
+      for (const ActionSpec& spec : specs) {
+        client::ExperimentConfig config =
+            MakeExperimentConfig(trees[ti], nets[ni]);
+        Result<std::unique_ptr<client::Experiment>> experiment =
+            client::Experiment::Create(config);
+        if (!experiment.ok()) {
+          std::fprintf(stderr, "experiment: %s\n",
+                       experiment.status().ToString().c_str());
+          return 1;
+        }
+        client::Experiment& e = **experiment;
+        // Unbounded log for the reconciliation pass: the deepest MLE
+        // ships ~3280 statements and every one must be accounted.
+        e.server().mutable_config().statement_log_capacity = 0;
+        e.server().EnableStatementLog(true);
+        tracer.Enable(true);
+        e.server().ResetObservability();
+
+        Result<client::ActionResult> result =
+            e.RunAction(spec.strategy, spec.action);
+        std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+        tracer.Enable(false);
+        if (!result.ok()) {
+          std::fprintf(stderr, "action: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+
+        const net::WanStats& wan = result->wan;
+        obs::TermBreakdown breakdown = obs::BreakdownByTerm(spans);
+
+        // Eqs. (1)-(3) on the realized traffic counts.
+        model::TrafficCounts counts;
+        counts.round_trips = static_cast<double>(wan.round_trips);
+        counts.request_packets = static_cast<double>(wan.request_packets);
+        counts.response_payload_bytes = wan.response_payload_bytes;
+        model::ResponseTime predicted =
+            model::PredictFromTraffic(nets[ni], counts);
+
+        CellCheck checks[4] = {
+            {breakdown.sim(obs::ModelTerm::kLat), predicted.latency_part},
+            {breakdown.sim(obs::ModelTerm::kTransfer),
+             predicted.transfer_part},
+            {breakdown.sim(obs::ModelTerm::kServer),
+             ServerSecondsFromLog(e.server())},
+            {breakdown.sim(obs::ModelTerm::kLat) +
+                 breakdown.sim(obs::ModelTerm::kTransfer),
+             wan.total_seconds()},
+        };
+        double max_dev = 0;
+        for (const CellCheck& check : checks) {
+          max_dev = std::max(max_dev, check.deviation());
+        }
+        bool ok = max_dev <= kTolerance;
+        if (!ok) ++failures;
+
+        // Closed-form deviation (informational): eq. (1)-(6) evaluated
+        // on the tree parameters, stochastic sigma realization and all.
+        model::ResponseTime closed =
+            model::Predict(spec.strategy, spec.action, trees[ti], nets[ni]);
+        double measured_total = checks[3].measured;
+        double closed_dev =
+            closed.total() == 0
+                ? 0
+                : (measured_total - closed.total()) / closed.total();
+
+        std::printf(
+            "%-4zu a%db%d    %-18s %-6s | %10.3f %10.3f %10.5f %10.3f | "
+            "%7.3f%% %8.2f%%%s\n",
+            ni, trees[ti].depth, trees[ti].branching,
+            std::string(model::StrategyKindName(spec.strategy)).c_str(),
+            spec.action == ActionKind::kQuery ? "query"
+            : spec.action == ActionKind::kSingleLevelExpand ? "sle"
+                                                            : "mle",
+            checks[0].measured, checks[1].measured, checks[2].measured,
+            measured_total, max_dev * 100.0, closed_dev * 100.0,
+            ok ? "" : "  RECONCILIATION FAILED");
+
+        // Representative export: the richest single-trace picture —
+        // navigational late MLE on the paper's headline WAN/tree.
+        if (ni == 0 && ti == 0 &&
+            spec.strategy == StrategyKind::kNavigationalLate &&
+            spec.action == ActionKind::kMultiLevelExpand) {
+          representative = std::move(spans);
+        }
+      }
+    }
+  }
+
+  if (!representative.empty()) {
+    obs::TermBreakdown breakdown = obs::BreakdownByTerm(representative);
+    std::printf("\nrepresentative action (net 0, a3b9, navigational-late "
+                "mle): %zu spans\n%s",
+                representative.size(),
+                obs::RenderBreakdownTable(breakdown).c_str());
+    Status written = obs::WriteChromeTraceFile(json_path, representative);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("chrome trace written to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                json_path.c_str());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%zu cell(s) exceeded the %.0f%% tolerance\n",
+                 failures, kTolerance * 100.0);
+    return 1;
+  }
+  std::printf("\nall cells reconciled within %.0f%%\n", kTolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main(int argc, char** argv) {
+  std::string json_path = "trace_breakdown.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return pdm::bench::Run(json_path);
+}

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/trace.h"
 #include "rules/query_builder.h"
 #include "rules/query_modificator.h"
 
@@ -78,6 +79,7 @@ Result<ResultSet> NavigationalStrategy::ExpandOnce(
 }
 
 Result<ActionResult> NavigationalStrategy::QueryAll() {
+  obs::ScopedSpan action_span("action:navigational/query", obs::ModelTerm::kNone);
   conn_->ResetStats();
   ActionResult out;
 
@@ -110,6 +112,7 @@ Result<ActionResult> NavigationalStrategy::QueryAll() {
 }
 
 Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
+  obs::ScopedSpan action_span("action:navigational/sle", obs::ModelTerm::kNone);
   conn_->ResetStats();
   ActionResult out;
 
@@ -137,6 +140,7 @@ Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
 }
 
 Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
+  obs::ScopedSpan action_span("action:navigational/mle", obs::ModelTerm::kNone);
   conn_->ResetStats();
   ActionResult out;
 
@@ -229,6 +233,7 @@ Result<ActionResult> NavigationalBatchedStrategy::SingleLevelExpand(
 
 Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
     int64_t root) {
+  obs::ScopedSpan action_span("action:batched/mle", obs::ModelTerm::kNone);
   conn_->ResetStats();
   ActionResult out;
 
@@ -350,6 +355,7 @@ Result<ActionResult> RecursiveStrategy::PartialExpand(int64_t root,
 
 Result<ActionResult> RecursiveStrategy::RunTreeQuery(int64_t root,
                                                      int max_depth) {
+  obs::ScopedSpan action_span("action:recursive/tree", obs::ModelTerm::kNone);
   conn_->ResetStats();
   ActionResult out;
 

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "exec/expr_eval.h"
 #include "exec/recursive_cte.h"
 #include "sql/parser.h"
@@ -27,7 +28,12 @@ Status Database::Execute(std::string_view sql, ResultSet* out,
     if (fp.ok()) return ExecuteFingerprinted(std::move(*fp), out, stats);
     // Lexical error: fall through so ParseSql reports it normally.
   }
-  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseSql(sql));
+  sql::StatementPtr stmt;
+  {
+    obs::ScopedSpan span("engine:parse", obs::ModelTerm::kParsePlan);
+    PDM_ASSIGN_OR_RETURN(stmt, sql::ParseSql(sql));
+  }
+  obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
   return ExecuteStatement(*stmt, out, stats);
 }
 
@@ -36,8 +42,13 @@ Status Database::ExecuteFingerprinted(sql::StatementFingerprint fp,
   if (options_.use_plan_cache && fp.cacheable) {
     return ExecuteCachedSelect(std::move(fp), out, stats);
   }
-  sql::Parser parser(std::move(fp.tokens));
-  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
+  sql::StatementPtr stmt;
+  {
+    obs::ScopedSpan span("engine:parse", obs::ModelTerm::kParsePlan);
+    sql::Parser parser(std::move(fp.tokens));
+    PDM_ASSIGN_OR_RETURN(stmt, parser.ParseStatement());
+  }
+  obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
   return ExecuteStatement(*stmt, out, stats);
 }
 
@@ -53,25 +64,34 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
   if (PlanCache::Lease lease = plan_cache_.Lookup(
           fp.key, fp.params, schema_epoch(), options_.binder)) {
     stats->plan_cache_hits = 1;
+    obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
+    span.set_detail("plan-cache-hit");
     return ExecuteBoundSelect(lease->bound, out, stats);
   }
   stats->plan_cache_misses = 1;
 
-  sql::Parser parser(std::move(fp.tokens));
-  PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
-  if (stmt->kind != sql::StatementKind::kSelect) {
-    return ExecuteStatement(*stmt, out, stats);  // unreachable; defensive
+  PlanCache::Entry entry;
+  {
+    obs::ScopedSpan parse_span("engine:parse+bind", obs::ModelTerm::kParsePlan);
+    sql::Parser parser(std::move(fp.tokens));
+    PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
+    if (stmt->kind != sql::StatementKind::kSelect) {
+      return ExecuteStatement(*stmt, out, stats);  // unreachable; defensive
+    }
+    Binder binder(&catalog_, &functions_, options_.binder, &views_);
+    PDM_ASSIGN_OR_RETURN(
+        BoundSelect bound,
+        binder.BindSelect(static_cast<const sql::SelectStmt&>(*stmt)));
+    entry = PlanCache::Prepare(std::move(bound), std::move(fp.params),
+                               schema_epoch(), options_.binder);
   }
-  Binder binder(&catalog_, &functions_, options_.binder, &views_);
-  PDM_ASSIGN_OR_RETURN(
-      BoundSelect bound,
-      binder.BindSelect(static_cast<const sql::SelectStmt&>(*stmt)));
-  PlanCache::Entry entry = PlanCache::Prepare(
-      std::move(bound), std::move(fp.params), schema_epoch(),
-      options_.binder);
   // Execute before handing the entry to the cache: even a failed
   // execution is deterministic, so the plan stays cacheable.
-  Status status = ExecuteBoundSelect(entry.bound, out, stats);
+  Status status;
+  {
+    obs::ScopedSpan exec_span("engine:exec", obs::ModelTerm::kExec);
+    status = ExecuteBoundSelect(entry.bound, out, stats);
+  }
   plan_cache_.Insert(fp.key, std::move(entry));
   return status;
 }

@@ -193,6 +193,28 @@ ResponseTime Predict(StrategyKind strategy, ActionKind action,
   return rt;
 }
 
+ResponseTime PredictFromTraffic(const NetworkParams& net,
+                                const TrafficCounts& counts) {
+  ResponseTime rt;
+  rt.latency_part = 2.0 * counts.round_trips * net.latency_s;
+  double vol = counts.request_packets * net.packet_bytes +
+               counts.response_payload_bytes +
+               counts.round_trips * net.packet_bytes / 2.0;
+  rt.transfer_part = net.TransferSeconds(vol);
+  return rt;
+}
+
+double ServerSeconds(const ServerCostParams& params, bool parsed,
+                     size_t rows_scanned, size_t cte_rows_scanned,
+                     size_t result_rows) {
+  double seconds = params.statement_overhead_s;
+  if (parsed) seconds += params.parse_plan_s;
+  seconds += params.per_row_scan_s * static_cast<double>(rows_scanned);
+  seconds += params.per_cte_row_s * static_cast<double>(cte_rows_scanned);
+  seconds += params.per_result_row_s * static_cast<double>(result_rows);
+  return seconds;
+}
+
 double SavingPercent(const ResponseTime& baseline, const ResponseTime& t) {
   double base = baseline.total();
   if (base <= 0) return 0;

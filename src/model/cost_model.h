@@ -113,6 +113,48 @@ ResponseTime Predict(StrategyKind strategy, ActionKind action,
 double SavingPercent(const ResponseTime& baseline, const ResponseTime& t);
 
 // ---------------------------------------------------------------------------
+// Per-component reconciliation (DESIGN.md 5f)
+// ---------------------------------------------------------------------------
+
+/// Realized WAN traffic of one action, as the simulator measured it
+/// (net::WanStats). Substituting these counts for the closed-form tree
+/// terms isolates eqs. (1)-(3) from the stochastic σ realization: the
+/// prediction below must then match the traced per-component sums
+/// exactly, which is what bench/trace_breakdown asserts.
+struct TrafficCounts {
+  double round_trips = 0;
+  double request_packets = 0;
+  double response_payload_bytes = 0;
+};
+
+/// Eqs. (1)-(3) evaluated on realized traffic (paper accounting):
+///   latency  = 2 · round_trips · T_Lat
+///   transfer = (request_packets · size_p + response_payload
+///               + round_trips · size_p / 2) / dtr
+ResponseTime PredictFromTraffic(const NetworkParams& net,
+                                const TrafficCounts& counts);
+
+/// Simulated server-cost model — the t_server term of eq. (1), which
+/// the paper neglects ("transmission costs are the dominating
+/// limitation factor") but whose attribution the tracer reports. The
+/// constants are calibration knobs, not measurements: they charge parse
+/// and scan work in simulated seconds so that t_server is deterministic
+/// and reconcilable, unlike wall time.
+struct ServerCostParams {
+  double statement_overhead_s = 5.0e-5;  // dispatch + result framing
+  double parse_plan_s = 2.0e-4;          // lex + parse + bind (cache miss)
+  double per_row_scan_s = 1.0e-6;        // base-table rows touched
+  double per_cte_row_s = 1.0e-6;         // recursive-CTE rows touched
+  double per_result_row_s = 5.0e-7;      // rows serialized into the reply
+};
+
+/// Simulated server seconds of one statement. `parsed` is false when a
+/// cached plan skipped the parse/bind phase (engine/plan_cache.h).
+double ServerSeconds(const ServerCostParams& params, bool parsed,
+                     size_t rows_scanned, size_t cte_rows_scanned,
+                     size_t result_rows);
+
+// ---------------------------------------------------------------------------
 // Cross-client coalescing (DESIGN.md 5e)
 // ---------------------------------------------------------------------------
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pdm::net {
 
@@ -76,6 +78,23 @@ double WanLink::RecordBatchRoundTrip(size_t request_bytes,
   stats_.charged_bytes += charged;
   stats_.latency_seconds += latency;
   stats_.transfer_seconds += transfer;
+
+  // One t_lat + one t_transfer span per exchange on the simulated
+  // timeline, attributed to whatever action is current on this thread.
+  // Summing these spans reproduces the WAN stats split exactly — the
+  // per-component hook bench/trace_breakdown reconciles against
+  // model::PredictFromTraffic (eqs. (1)-(3)).
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    obs::TraceContext ctx = obs::CurrentContext();
+    tracer.RecordSim(ctx, "wan:latency", obs::ModelTerm::kLat, latency,
+                     StrFormat("stmts=%zu", n_statements));
+    tracer.RecordSim(ctx, "wan:transfer", obs::ModelTerm::kTransfer, transfer,
+                     StrFormat("charged=%.0fB", charged));
+  }
+  static obs::Histogram& exchange_hist = obs::MetricsRegistry::Global().histogram(
+      "wan.exchange_sim_seconds", obs::ExponentialBounds(0.01, 4.0, 10));
+  exchange_hist.Observe(latency + transfer);
   return latency + transfer;
 }
 

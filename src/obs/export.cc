@@ -1,0 +1,144 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace pdm::obs {
+
+TermBreakdown BreakdownByTerm(const std::vector<SpanRecord>& spans,
+                              uint64_t trace_id) {
+  TermBreakdown breakdown;
+  for (const SpanRecord& span : spans) {
+    if (trace_id != 0 && span.trace_id != trace_id) continue;
+    TermBreakdown::Term& term = breakdown.terms[static_cast<size_t>(span.term)];
+    term.sim_seconds += span.sim_dur_s;
+    term.wall_seconds += span.wall_dur_us / 1e6;
+    term.spans += 1;
+  }
+  return breakdown;
+}
+
+std::string RenderBreakdownTable(const TermBreakdown& breakdown) {
+  std::string out = StrFormat("%-14s %10s %12s %12s\n", "term", "spans",
+                              "sim-s", "wall-ms");
+  static const ModelTerm kTerms[] = {
+      ModelTerm::kLat,       ModelTerm::kTransfer,  ModelTerm::kServer,
+      ModelTerm::kQueueWait, ModelTerm::kParsePlan, ModelTerm::kExec,
+  };
+  for (ModelTerm term : kTerms) {
+    const TermBreakdown::Term& t = breakdown.of(term);
+    if (t.spans == 0) continue;
+    out += StrFormat("%-14s %10zu %12.4f %12.3f\n",
+                     std::string(ModelTermName(term)).c_str(), t.spans,
+                     t.sim_seconds, t.wall_seconds * 1000.0);
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':  *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(std::string* out, const SpanRecord& span, int pid,
+                 uint64_t tid, double ts_us, double dur_us, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "  {\"name\":\"";
+  AppendJsonEscaped(out, span.name);
+  *out += "\",\"cat\":\"";
+  std::string_view term = ModelTermName(span.term);
+  AppendJsonEscaped(out, term.empty() ? "span" : term);
+  *out += StrFormat(
+      "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f,",
+      pid, static_cast<unsigned long long>(tid), ts_us, dur_us);
+  *out += StrFormat(
+      "\"args\":{\"trace\":%llu,\"span\":%llu,\"parent\":%llu,"
+      "\"sim_s\":%.9f,\"detail\":\"",
+      static_cast<unsigned long long>(span.trace_id),
+      static_cast<unsigned long long>(span.span_id),
+      static_cast<unsigned long long>(span.parent_id), span.sim_dur_s);
+  AppendJsonEscaped(out, span.detail);
+  *out += "\"}}";
+}
+
+void AppendMetadata(std::string* out, int pid, uint64_t tid,
+                    const char* what, const std::string& name, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += StrFormat("  {\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,", what, pid);
+  if (tid != 0) {
+    *out += StrFormat("\"tid\":%llu,", static_cast<unsigned long long>(tid));
+  }
+  *out += "\"args\":{\"name\":\"";
+  AppendJsonEscaped(out, name);
+  *out += "\"}}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  AppendMetadata(&out, 1, 0, "process_name", "simulated time (cost model)",
+                 &first);
+  AppendMetadata(&out, 2, 0, "process_name", "wall clock (engine)", &first);
+
+  std::vector<uint64_t> sim_lanes;  // trace ids seen on the sim timeline
+  for (const SpanRecord& span : spans) {
+    // Simulated timeline: one lane per trace, positions from the
+    // per-trace simulated clock. Zero-duration markers still render as
+    // slivers, so only spans with a simulated interval appear.
+    if (span.sim_start_s >= 0 && span.sim_dur_s > 0) {
+      AppendEvent(&out, span, /*pid=*/1, /*tid=*/span.trace_id,
+                  span.sim_start_s * 1e6, span.sim_dur_s * 1e6, &first);
+      bool seen = false;
+      for (uint64_t id : sim_lanes) seen = seen || id == span.trace_id;
+      if (!seen) sim_lanes.push_back(span.trace_id);
+    }
+    // Wall timeline: real thread lanes, real durations.
+    AppendEvent(&out, span, /*pid=*/2, /*tid=*/span.thread,
+                span.wall_start_us, span.wall_dur_us, &first);
+  }
+  for (uint64_t trace_id : sim_lanes) {
+    AppendMetadata(&out, 1, trace_id, "thread_name",
+                   StrFormat("trace %llu",
+                             static_cast<unsigned long long>(trace_id)),
+                   &first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<SpanRecord>& spans) {
+  std::string json = ToChromeTraceJson(spans);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace pdm::obs

@@ -1,0 +1,54 @@
+#ifndef PDM_OBS_EXPORT_H_
+#define PDM_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace pdm::obs {
+
+/// Per-model-term aggregation of a span set: the measured side of the
+/// eqs. (1)-(6) reconciliation. Simulated seconds come from the cost
+/// model's clock (WAN + server cost model); wall seconds are what this
+/// machine actually spent.
+struct TermBreakdown {
+  struct Term {
+    double sim_seconds = 0;
+    double wall_seconds = 0;
+    size_t spans = 0;
+  };
+  /// Indexed by static_cast<size_t>(ModelTerm).
+  Term terms[7];
+
+  const Term& of(ModelTerm term) const {
+    return terms[static_cast<size_t>(term)];
+  }
+  double sim(ModelTerm term) const { return of(term).sim_seconds; }
+  double wall(ModelTerm term) const { return of(term).wall_seconds; }
+};
+
+/// Aggregates spans by model term. `trace_id` = 0 aggregates every
+/// trace; nonzero restricts to one action.
+TermBreakdown BreakdownByTerm(const std::vector<SpanRecord>& spans,
+                              uint64_t trace_id = 0);
+
+/// Renders a fixed-width per-term table (one row per model term with at
+/// least one span) for bench output.
+std::string RenderBreakdownTable(const TermBreakdown& breakdown);
+
+/// Serializes spans as Chrome trace-event JSON ("traceEvents" array of
+/// "ph":"X" complete events), loadable in chrome://tracing and Perfetto.
+/// Two process tracks: pid 1 carries the simulated timeline (each trace
+/// is one tid lane, timestamps from the per-trace simulated clock), pid
+/// 2 the wall-clock timeline (tid = recording thread).
+std::string ToChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Writes ToChromeTraceJson(spans) to `path`.
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<SpanRecord>& spans);
+
+}  // namespace pdm::obs
+
+#endif  // PDM_OBS_EXPORT_H_

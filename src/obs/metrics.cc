@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdm::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  size_t bucket = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+                  bounds_.begin();
+  // upper_bound gives the first bound strictly greater; bounds are
+  // inclusive upper limits, so land in the previous bucket on equality.
+  if (bucket > 0 && value == bounds_[bucket - 1]) bucket -= 1;
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_nano_.fetch_add(static_cast<int64_t>(std::llround(value * 1e9)),
+                      std::memory_order_relaxed);
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& c : counts_) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nano_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  sum_nano_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::CounterSnapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSnapshot{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.bounds = histogram->bounds();
+    snap.counts.reserve(histogram->num_buckets());
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      snap.counts.push_back(histogram->bucket_count(i));
+    }
+    snap.total_count = histogram->total_count();
+    snap.sum = histogram->sum();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace pdm::obs

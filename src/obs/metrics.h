@@ -1,0 +1,104 @@
+#ifndef PDM_OBS_METRICS_H_
+#define PDM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdm::obs {
+
+/// Monotonic named counter. Increments are single relaxed atomic adds,
+/// so counters are safe (and cheap) on the engine's hot paths. Reset
+/// zeroes the value without invalidating references: registry lookups
+/// return stable pointers for the life of the process.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper bounds of
+/// the first N buckets, plus an implicit overflow bucket. Observations
+/// are relaxed atomic adds per bucket; sum is accumulated in integer
+/// nanounits to stay atomic without a lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  size_t num_buckets() const { return counts_.size(); }  // includes overflow
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t total_count() const;
+  double sum() const;  // sum of observed values
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> sum_nano_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  uint64_t total_count = 0;
+  double sum = 0;
+};
+
+/// Process-wide registry of named counters and histograms — the home of
+/// every free-floating observability global (the fingerprint call
+/// counter migrated here; sql/fingerprint.h keeps a shim). Lookup takes
+/// a mutex once; call sites cache the returned reference. ResetAll
+/// zeroes every instrument, which is what makes a full observability
+/// reset auditable: iterate the snapshots and assert all-zero.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// The counter named `name`, created on first use.
+  Counter& counter(std::string_view name);
+
+  /// The histogram named `name`, created on first use with `bounds`
+  /// (ignored afterwards — first registration wins).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  void ResetAll();
+
+  std::vector<CounterSnapshot> CounterSnapshots() const;
+  std::vector<HistogramSnapshot> HistogramSnapshots() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Exponential bucket bounds `start, start*factor, ...` (count bounds).
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      size_t count);
+
+}  // namespace pdm::obs
+
+#endif  // PDM_OBS_METRICS_H_

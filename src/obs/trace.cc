@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+namespace pdm::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+}  // namespace
+
+std::string_view ModelTermName(ModelTerm term) {
+  switch (term) {
+    case ModelTerm::kNone:      return "";
+    case ModelTerm::kLat:       return "t_lat";
+    case ModelTerm::kTransfer:  return "t_transfer";
+    case ModelTerm::kServer:    return "t_server";
+    case ModelTerm::kQueueWait: return "t_queue_wait";
+    case ModelTerm::kParsePlan: return "t_parse_plan";
+    case ModelTerm::kExec:      return "t_exec";
+  }
+  return "?";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  sim_clock_.clear();
+  dropped_ = 0;
+}
+
+size_t Tracer::open_spans() const {
+  return open_spans_.load(std::memory_order_relaxed);
+}
+
+size_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+uint64_t Tracer::NextTraceId() {
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NextSpanId() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::PushLocked(SpanRecord span) {
+  while (spans_.size() >= capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(std::move(span));
+}
+
+double Tracer::AdvanceSimClockLocked(uint64_t trace_id, double seconds) {
+  double& clock = sim_clock_[trace_id];
+  double start = clock;
+  clock += seconds;
+  return start;
+}
+
+void Tracer::RecordSim(const TraceContext& parent, std::string name,
+                       ModelTerm term, double sim_seconds,
+                       std::string detail) {
+  if (!enabled() || !parent.active()) return;
+  SpanRecord span;
+  span.trace_id = parent.trace_id;
+  span.span_id = NextSpanId();
+  span.parent_id = parent.span_id;
+  span.name = std::move(name);
+  span.term = term;
+  span.wall_start_us = NowMicros();
+  span.wall_dur_us = 0;
+  span.sim_dur_s = sim_seconds;
+  span.thread = ThreadIndex();
+  span.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  span.sim_start_s = AdvanceSimClockLocked(span.trace_id, sim_seconds);
+  PushLocked(std::move(span));
+}
+
+void Tracer::RecordWallRange(const TraceContext& parent, std::string name,
+                             ModelTerm term,
+                             std::chrono::steady_clock::time_point start,
+                             std::chrono::steady_clock::time_point end,
+                             std::string detail) {
+  if (!enabled() || !parent.active()) return;
+  SpanRecord span;
+  span.trace_id = parent.trace_id;
+  span.span_id = NextSpanId();
+  span.parent_id = parent.span_id;
+  span.name = std::move(name);
+  span.term = term;
+  span.wall_start_us =
+      std::chrono::duration<double, std::micro>(start - epoch_).count();
+  span.wall_dur_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  span.thread = ThreadIndex();
+  span.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  PushLocked(std::move(span));
+}
+
+void Tracer::Record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span.sim_dur_s > 0 && span.sim_start_s < 0) {
+    span.sim_start_s = AdvanceSimClockLocked(span.trace_id, span.sim_dur_s);
+  }
+  PushLocked(std::move(span));
+}
+
+TraceContext CurrentContext() { return t_current; }
+
+ContextScope::ContextScope(const TraceContext& ctx) : prev_(t_current) {
+  t_current = ctx;
+}
+
+ContextScope::~ContextScope() { t_current = prev_; }
+
+ScopedSpan::ScopedSpan(std::string_view name, ModelTerm term) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  prev_ = t_current;
+  ctx_.trace_id =
+      prev_.active() ? prev_.trace_id : tracer.NextTraceId();
+  ctx_.span_id = tracer.NextSpanId();
+  t_current = ctx_;
+  name_ = std::string(name);
+  term_ = term;
+  wall_start_us_ = tracer.NowMicros();
+  tracer.open_spans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::Global();
+  SpanRecord span;
+  span.trace_id = ctx_.trace_id;
+  span.span_id = ctx_.span_id;
+  span.parent_id = prev_.active() ? prev_.span_id : 0;
+  span.name = std::move(name_);
+  span.term = term_;
+  span.wall_start_us = wall_start_us_;
+  span.wall_dur_us = tracer.NowMicros() - wall_start_us_;
+  if (sim_seconds_ > 0) span.sim_dur_s = sim_seconds_;
+  span.thread = ThreadIndex();
+  span.detail = std::move(detail_);
+  tracer.Record(std::move(span));
+  tracer.open_spans_.fetch_sub(1, std::memory_order_relaxed);
+  t_current = prev_;
+}
+
+uint64_t ThreadIndex() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace pdm::obs

@@ -1,0 +1,201 @@
+#ifndef PDM_OBS_TRACE_H_
+#define PDM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pdm::obs {
+
+/// Which term of the paper's response-time decomposition (Section 2,
+/// eqs. (1)-(6)) a span belongs to. The tracer is what turns every
+/// experiment into a per-component validation of the model: summing the
+/// simulated seconds of all spans carrying one term must reproduce that
+/// term's closed-form prediction (bench/trace_breakdown asserts it).
+enum class ModelTerm {
+  kNone,       // structural span (action roots, batches)
+  kLat,        // t_lat: 2 * T_Lat per WAN exchange
+  kTransfer,   // t_transfer: charged volume / data transfer rate
+  kServer,     // t_server: engine work of one statement
+  kQueueWait,  // time a submission waited in the admission queue
+  kParsePlan,  // parse + bind inside t_server (wall clock only)
+  kExec,       // plan execution inside t_server (wall clock only)
+};
+
+std::string_view ModelTermName(ModelTerm term);
+
+/// Identity of a span within a trace. A trace covers one navigational
+/// action end to end; the context travels with the work — across the
+/// connection, the admission queue and the worker pool — so that spans
+/// recorded on any thread attach to the action that caused them.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// One finished span. Spans carry two timelines:
+///   * wall clock (`wall_start_us`/`wall_dur_us`, microseconds since the
+///     tracer's epoch) — what the engine actually cost on this machine;
+///   * simulated seconds (`sim_start_s`/`sim_dur_s`, per-trace clock) —
+///     what the WAN/cost model charges. `sim_start_s < 0` means the span
+///     has no simulated interval.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root span of its trace
+  std::string name;
+  ModelTerm term = ModelTerm::kNone;
+  double wall_start_us = 0;
+  double wall_dur_us = 0;
+  double sim_start_s = -1;
+  double sim_dur_s = 0;
+  uint64_t thread = 0;  // small per-thread index, stable per process
+  std::string detail;   // freeform annotation (exported as an arg)
+};
+
+/// Process-wide span sink. Disabled by default: a disabled tracer makes
+/// ScopedSpan construction a single relaxed atomic load and records
+/// nothing. Finished spans land in a bounded ring (oldest dropped
+/// first); every mutation is mutex-guarded, so concurrent clients,
+/// admission waves and pool workers may record freely.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all finished spans, per-trace simulated clocks and the
+  /// dropped-span count. Open spans (live ScopedSpans on some stack) are
+  /// unaffected and will still record on destruction.
+  void Clear();
+
+  /// Spans started but not yet finished. Zero whenever no traced action
+  /// is in flight — the reset test pins this.
+  size_t open_spans() const;
+
+  /// Spans evicted from the ring since the last Clear().
+  size_t dropped_spans() const;
+
+  /// Ring capacity (finished spans kept). Applies on the next record.
+  void set_capacity(size_t capacity);
+
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Fresh trace id (with no root span yet). ScopedSpan allocates one
+  /// automatically when constructed with no active context.
+  uint64_t NextTraceId();
+  uint64_t NextSpanId();
+
+  /// Records a span that lives purely on the simulated timeline (WAN
+  /// latency/transfer): its interval starts at the trace's current
+  /// simulated clock and advances the clock by `sim_seconds`. Wall
+  /// timestamps record the instant of the call with zero duration.
+  void RecordSim(const TraceContext& parent, std::string name,
+                 ModelTerm term, double sim_seconds, std::string detail = {});
+
+  /// Records a wall-clock interval measured externally (the admission
+  /// queue uses it for enqueue -> wave-start wait times).
+  void RecordWallRange(const TraceContext& parent, std::string name,
+                       ModelTerm term,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::steady_clock::time_point end,
+                       std::string detail = {});
+
+  /// Appends one finished span (ScopedSpan's destructor path). If the
+  /// span carries `sim_dur_s > 0` with `sim_start_s < 0`, its simulated
+  /// interval is allocated from the trace's clock here.
+  void Record(SpanRecord span);
+
+  /// Microseconds since the tracer's epoch (process start).
+  double NowMicros() const;
+
+ private:
+  Tracer() = default;
+
+  void PushLocked(SpanRecord span);
+  double AdvanceSimClockLocked(uint64_t trace_id, double seconds);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_trace_{1};
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<size_t> open_spans_{0};
+
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> spans_;
+  std::unordered_map<uint64_t, double> sim_clock_;
+  size_t capacity_ = 1 << 16;
+  size_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  friend class ScopedSpan;
+};
+
+/// The calling thread's current trace context (inactive when no traced
+/// span is open on this thread).
+TraceContext CurrentContext();
+
+/// Establishes `ctx` as the thread's current context for the scope.
+/// Used to carry a client's context onto pool workers and wave leaders;
+/// same-thread nesting needs no scope — ScopedSpan chains contexts
+/// automatically.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// RAII wall-clock span. Construction with no active context starts a
+/// new trace (the span becomes its root); otherwise the span becomes a
+/// child of the current context. While alive, the span IS the thread's
+/// current context. Inert (no allocation, no context change) when the
+/// tracer is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, ModelTerm term);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  const TraceContext& context() const { return ctx_; }
+
+  /// Attaches a simulated duration: the tracer will allocate the span's
+  /// simulated interval from its trace's clock when the span finishes.
+  void set_sim_seconds(double seconds) { sim_seconds_ = seconds; }
+  void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+ private:
+  bool active_ = false;
+  TraceContext ctx_;
+  TraceContext prev_;
+  std::string name_;
+  std::string detail_;
+  ModelTerm term_ = ModelTerm::kNone;
+  double sim_seconds_ = 0;
+  double wall_start_us_ = 0;
+};
+
+/// Small dense per-thread index for span records (1, 2, ... in first-use
+/// order; stable for the life of the thread).
+uint64_t ThreadIndex();
+
+}  // namespace pdm::obs
+
+#endif  // PDM_OBS_TRACE_H_

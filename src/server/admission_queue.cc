@@ -47,6 +47,8 @@ std::vector<DbServer::BatchStatementResult> AdmissionQueue::Submit(
   sub.client_id = client_id;
   sub.statements = statements;
   sub.results.resize(statements.size());
+  sub.trace = obs::CurrentContext();
+  sub.enqueue_time = std::chrono::steady_clock::now();
 
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(&sub);
@@ -94,13 +96,26 @@ void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
   }
   entry.clients = clients.size();
 
+  // Admission-to-drain wait, one span per submission on the submitter's
+  // trace (t_queue_wait). Recorded by the leader because only the drain
+  // moment defines the interval's end.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    const auto drained = std::chrono::steady_clock::now();
+    for (const Submission* sub : wave) {
+      tracer.RecordWallRange(sub->trace, "queue:wait",
+                             obs::ModelTerm::kQueueWait, sub->enqueue_time,
+                             drained);
+    }
+  }
+
   std::vector<DbServer::WaveItem> items;
   items.reserve(statements);
   for (Submission* sub : wave) {
     for (size_t i = 0; i < sub->statements.size(); ++i) {
       items.push_back(
           DbServer::WaveItem{sub->client_id, &sub->statements[i],
-                             &sub->results[i]});
+                             &sub->results[i], sub->trace});
     }
   }
 

@@ -1,6 +1,7 @@
 #ifndef PDM_SERVER_ADMISSION_QUEUE_H_
 #define PDM_SERVER_ADMISSION_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "server/db_server.h"
 
 namespace pdm {
@@ -92,6 +94,11 @@ class AdmissionQueue {
     std::span<const std::string> statements;
     std::vector<DbServer::BatchStatementResult> results;
     bool done = false;
+    /// Submitter's action trace: wave execution spans for these
+    /// statements attach to it, and the leader records a queue:wait
+    /// span covering enqueue -> drain (t_queue_wait).
+    obs::TraceContext trace;
+    std::chrono::steady_clock::time_point enqueue_time;
   };
 
   /// True when a wave should form now: at least one submission is

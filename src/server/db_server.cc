@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "server/admission_queue.h"
 #include "sql/fingerprint.h"
 
@@ -24,6 +25,21 @@ std::string WaveGroupKey(const sql::StatementFingerprint& fp) {
   return key;
 }
 
+/// Process-wide statement counter — every execution path (serial,
+/// batch, wave) funnels through it, so it is the one number to watch
+/// for "how much SQL hit the engine".
+obs::Counter& ServerStatementCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("server.statements");
+  return c;
+}
+
+obs::Histogram& ServerStatementHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "server.statement_sim_seconds", obs::ExponentialBounds(1e-5, 4.0, 10));
+  return h;
+}
+
 }  // namespace
 
 DbServer::DbServer() : admission_(std::make_unique<AdmissionQueue>(this)) {}
@@ -42,13 +58,24 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
   // serial-only concept and must not be used for log attribution when
   // serial and batched/wave traffic interleave.
   ExecStats stats;
-  PDM_RETURN_NOT_OK(db_.Execute(sql, out, &stats));
+  Status status;
+  {
+    obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+    status = db_.Execute(sql, out, &stats);
+    double sim = model::ServerSeconds(
+        config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
+        stats.cte_rows_scanned, out->num_rows());
+    span.set_sim_seconds(sim);
+    ServerStatementHistogram().Observe(sim);
+  }
+  ServerStatementCounter().Increment();
+  PDM_RETURN_NOT_OK(status);
   // Sizing walks every result row; skip it when nobody consumes it.
   if (response_bytes != nullptr || log_enabled_) {
     size_t bytes = ResponseBytes(*out);
     if (response_bytes != nullptr) *response_bytes = bytes;
     if (log_enabled_) {
-      statement_log_.push_back(StatementLogEntry{
+      AppendLogEntry(StatementLogEntry{
           std::string(sql), out->num_rows(), out->affected_rows, bytes,
           stats.plan_cache_hits > 0, /*batch_id=*/0, /*worker=*/0,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
@@ -61,6 +88,9 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
 std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
     std::span<const std::string> statements) {
   const uint64_t batch_id = ++last_batch_id_;
+  // A batch is one client action: every statement span — whichever pool
+  // worker runs it — attaches to the submitting thread's trace.
+  const obs::TraceContext batch_ctx = obs::CurrentContext();
   std::vector<BatchStatementResult> results(statements.size());
   std::vector<StatementLogEntry> entries;
   if (log_enabled_) entries.resize(statements.size());
@@ -86,13 +116,23 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
   auto run_one = [&](size_t i, size_t worker) {
     BatchStatementResult& r = results[i];
     ExecStats stats;
-    if (fingerprints[i].ok()) {
-      r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
-                                          &r.result, &stats);
-    } else {
-      // Lexical error: re-run through the text path for its diagnostics.
-      r.status = db_.Execute(statements[i], &r.result, &stats);
+    obs::ContextScope ctx_scope(batch_ctx);
+    {
+      obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+      if (fingerprints[i].ok()) {
+        r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
+                                            &r.result, &stats);
+      } else {
+        // Lexical error: re-run through the text path for its diagnostics.
+        r.status = db_.Execute(statements[i], &r.result, &stats);
+      }
+      double sim = model::ServerSeconds(
+          config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
+          stats.cte_rows_scanned, r.result.num_rows());
+      span.set_sim_seconds(sim);
+      ServerStatementHistogram().Observe(sim);
     }
+    ServerStatementCounter().Increment();
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
     if (log_enabled_) {
@@ -110,10 +150,11 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
     EnsurePool(threads).ParallelFor(statements.size(), run_one);
   }
 
+  obs::MetricsRegistry::Global().counter("server.batches").Increment();
   // Append log entries in statement order regardless of which worker ran
   // what, keeping the log deterministic across thread counts.
   for (StatementLogEntry& e : entries) {
-    statement_log_.push_back(std::move(e));
+    AppendLogEntry(std::move(e));
   }
   return results;
 }
@@ -148,12 +189,24 @@ DbServer::WaveExecution DbServer::ExecuteWave(
   auto run_one = [&](size_t i, size_t worker) {
     BatchStatementResult& r = *items[i].slot;
     ExecStats stats;
-    if (fingerprints[i].ok()) {
-      r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
-                                          &r.result, &stats);
-    } else {
-      r.status = db_.Execute(*items[i].sql, &r.result, &stats);
+    // The leader (or a pool worker) may be executing another client's
+    // statement: charge the span to the submitter's trace, not ours.
+    obs::ContextScope ctx_scope(items[i].trace);
+    {
+      obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+      if (fingerprints[i].ok()) {
+        r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
+                                            &r.result, &stats);
+      } else {
+        r.status = db_.Execute(*items[i].sql, &r.result, &stats);
+      }
+      double sim = model::ServerSeconds(
+          config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
+          stats.cte_rows_scanned, r.result.num_rows());
+      span.set_sim_seconds(sim);
+      ServerStatementHistogram().Observe(sim);
     }
+    ServerStatementCounter().Increment();
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
     if (log_enabled_) {
@@ -196,8 +249,11 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     // fingerprints are the same query with the same literals, so this
     // is byte-identical to executing each copy (read-only statements
     // are pure within a wave).
+    static obs::Counter& coalesced_counter =
+        obs::MetricsRegistry::Global().counter("server.coalesced_statements");
     for (size_t i = 0; i < n; ++i) {
       if (rep_of[i] == i) continue;
+      coalesced_counter.Increment();
       const BatchStatementResult& rep = *items[rep_of[i]].slot;
       BatchStatementResult& r = *items[i].slot;
       r.status = rep.status;
@@ -212,11 +268,13 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     }
   }
 
+  obs::MetricsRegistry::Global().counter("server.waves").Increment();
   // Admission order, whatever worker ran what — same determinism rule
   // as the batch path. Only one wave executes at a time (the queue's
-  // leader), so this append is single-threaded.
+  // leader), but serial Execute() traffic from other servers' clients
+  // may interleave, so each append still takes the log mutex.
   for (StatementLogEntry& e : entries) {
-    statement_log_.push_back(std::move(e));
+    AppendLogEntry(std::move(e));
   }
   return execution;
 }
@@ -237,10 +295,49 @@ size_t DbServer::ResponseBytes(const ResultSet& result) const {
   return result.WireSize() + 64;
 }
 
+void DbServer::AppendLogEntry(StatementLogEntry entry) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  statement_log_.push_back(std::move(entry));
+  if (config_.statement_log_capacity > 0 &&
+      statement_log_.size() > config_.statement_log_capacity) {
+    statement_log_.pop_front();
+    ++statement_log_dropped_;
+    obs::MetricsRegistry::Global()
+        .counter("server.statement_log_dropped")
+        .Increment();
+  }
+}
+
+std::vector<DbServer::StatementLogEntry> DbServer::statement_log() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return {statement_log_.begin(), statement_log_.end()};
+}
+
+size_t DbServer::statement_log_size() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return statement_log_.size();
+}
+
+size_t DbServer::statement_log_dropped() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return statement_log_dropped_;
+}
+
+void DbServer::ClearStatementLog() {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  statement_log_.clear();
+  statement_log_dropped_ = 0;
+}
+
 void DbServer::ResetObservability() {
   ClearStatementLog();
   db_.plan_cache().ResetStats();
   admission_->ClearWaveLog();
+  // Process-wide surfaces: finished spans and every registered metric.
+  // A reset means "start a fresh measurement window", and a window that
+  // kept stale spans or counter values would double-count.
+  obs::Tracer::Global().Clear();
+  obs::MetricsRegistry::Global().ResetAll();
 }
 
 }  // namespace pdm

@@ -1,7 +1,9 @@
 #ifndef PDM_SERVER_DB_SERVER_H_
 #define PDM_SERVER_DB_SERVER_H_
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -10,6 +12,8 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "exec/result_set.h"
+#include "model/cost_model.h"
+#include "obs/trace.h"
 #include "server/worker_pool.h"
 
 namespace pdm {
@@ -38,6 +42,15 @@ class DbServer {
     /// never split across waves, so a wave always holds at least one
     /// whole submission even when it exceeds the window.
     size_t coalesce_window = 0;
+    /// Ring capacity of the statement log: once full, the oldest entry
+    /// is dropped per append (statement_log_dropped() counts them).
+    /// 0 = unbounded (callers owning the lifecycle, e.g. short tests).
+    size_t statement_log_capacity = 4096;
+    /// Simulated server-cost calibration for the t_server spans
+    /// (DESIGN.md 5f): every executed statement is charged simulated
+    /// seconds from its ExecStats, so per-component reconciliation
+    /// covers eq. (1)'s server term too.
+    model::ServerCostParams server_cost;
   };
 
   /// One executed statement, as observed at the server boundary.
@@ -83,6 +96,9 @@ class DbServer {
     uint64_t client_id = 0;
     const std::string* sql = nullptr;
     BatchStatementResult* slot = nullptr;
+    /// Submitter's trace context: spans recorded while the wave leader
+    /// executes this statement attach to the submitting client's action.
+    obs::TraceContext trace;
   };
 
   /// What ExecuteWave did with a wave, reported back to the queue's
@@ -137,12 +153,17 @@ class DbServer {
 
   /// Statement logging (off by default): records every statement that
   /// arrives over the wire — the tool a DBA would use to diagnose the
-  /// paper's "series of isolated SQL queries" problem.
+  /// paper's "series of isolated SQL queries" problem. The log is a
+  /// bounded ring (Config::statement_log_capacity) and every append is
+  /// mutex-guarded, so serial Execute() traffic may interleave with
+  /// batch/wave execution without racing or growing without bound.
   void EnableStatementLog(bool enable) { log_enabled_ = enable; }
-  const std::vector<StatementLogEntry>& statement_log() const {
-    return statement_log_;
-  }
-  void ClearStatementLog() { statement_log_.clear(); }
+  /// Snapshot of the log, oldest first (thread-safe copy).
+  std::vector<StatementLogEntry> statement_log() const;
+  size_t statement_log_size() const;
+  /// Entries evicted from the ring since the last clear.
+  size_t statement_log_dropped() const;
+  void ClearStatementLog();
 
   /// Aggregate plan-cache counters of the owned Database, reported next
   /// to the statement log: hit rate here is what tells a DBA whether the
@@ -150,9 +171,12 @@ class DbServer {
   PlanCacheStats plan_cache_stats() const { return db_.plan_cache().stats(); }
 
   /// Resets everything observability-only — the statement log, the
-  /// plan-cache hit/miss counters, and the admission queue's wave log —
+  /// plan-cache hit/miss counters, the admission queue's wave log, the
+  /// process-wide metrics registry and the tracer's finished spans —
   /// without touching cached plans or data. Benches and tests use this
-  /// instead of rebuilding the server.
+  /// instead of rebuilding the server. Note the last two are
+  /// process-wide surfaces (obs/): resetting one server resets them for
+  /// every server in the process.
   void ResetObservability();
 
  private:
@@ -170,10 +194,16 @@ class DbServer {
   /// The pool is created lazily and rebuilt when batch_threads changes.
   WorkerPool& EnsurePool(size_t threads);
 
+  /// Appends one entry under the log mutex, evicting the oldest past
+  /// the ring capacity.
+  void AppendLogEntry(StatementLogEntry entry);
+
   Config config_;
   Database db_;
   bool log_enabled_ = false;
-  std::vector<StatementLogEntry> statement_log_;
+  mutable std::mutex log_mutex_;
+  std::deque<StatementLogEntry> statement_log_;
+  size_t statement_log_dropped_ = 0;
   uint64_t last_batch_id_ = 0;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<AdmissionQueue> admission_;

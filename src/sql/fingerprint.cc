@@ -1,20 +1,23 @@
 #include "sql/fingerprint.h"
 
-#include <atomic>
-
+#include "obs/metrics.h"
 #include "sql/lexer.h"
 
 namespace pdm::sql {
 
 namespace {
 
-std::atomic<uint64_t> g_fingerprint_calls{0};
+/// The counter lives in the process-wide MetricsRegistry; the reference
+/// is stable for the life of the process, so it is looked up once.
+obs::Counter& FingerprintCallCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().counter("sql.fingerprint_calls");
+  return counter;
+}
 
 }  // namespace
 
-uint64_t FingerprintCallCount() {
-  return g_fingerprint_calls.load(std::memory_order_relaxed);
-}
+uint64_t FingerprintCallCount() { return FingerprintCallCounter().value(); }
 
 namespace {
 
@@ -53,7 +56,7 @@ struct OrderState {
 }  // namespace
 
 Result<StatementFingerprint> FingerprintSql(std::string_view sql) {
-  g_fingerprint_calls.fetch_add(1, std::memory_order_relaxed);
+  FingerprintCallCounter().Increment();
   StatementFingerprint fp;
   PDM_ASSIGN_OR_RETURN(fp.tokens, TokenizeSql(sql));
   if (fp.tokens.empty() ||

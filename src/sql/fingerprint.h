@@ -46,6 +46,11 @@ Result<StatementFingerprint> FingerprintSql(std::string_view sql);
 /// pass over the statement text). Observability only: the batch/wave
 /// execution paths assert through it that every statement is lexed
 /// exactly once, and bench/micro_engine reports it per statement.
+///
+/// Thin shim over the "sql.fingerprint_calls" counter in
+/// obs::MetricsRegistry (the process-wide metrics home); kept so
+/// existing benches and tests compile unchanged. Note that a full
+/// observability reset (MetricsRegistry::ResetAll) zeroes it.
 uint64_t FingerprintCallCount();
 
 }  // namespace pdm::sql

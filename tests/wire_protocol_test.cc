@@ -25,7 +25,8 @@ class WireProtocolTest : public ::testing::Test {
     experiment_->server().EnableStatementLog(true);
   }
 
-  const std::vector<DbServer::StatementLogEntry>& Log() {
+  // By value: statement_log() returns a snapshot copy of the ring.
+  std::vector<DbServer::StatementLogEntry> Log() {
     return experiment_->server().statement_log();
   }
 
@@ -38,7 +39,7 @@ TEST_F(WireProtocolTest, RecursiveMleShipsExactlyOneStatement) {
                               ActionKind::kMultiLevelExpand)
                   .ok());
   ASSERT_EQ(Log().size(), 1u);
-  const std::string& sql = Log()[0].sql;
+  const std::string sql = Log()[0].sql;
   EXPECT_NE(sql.find("WITH RECURSIVE rtbl"), std::string::npos);
   EXPECT_NE(sql.find("UNION"), std::string::npos);
   EXPECT_NE(sql.find("ORDER BY 1, 2"), std::string::npos);
