@@ -21,6 +21,9 @@ const char* TableName(StrategyKind strategy) {
     case StrategyKind::kBatchedLate:
     case StrategyKind::kBatchedEarly:
       return "batched extension (no paper table; see table_batched)";
+    case StrategyKind::kPipelinedLate:
+    case StrategyKind::kPipelinedEarly:
+      return "pipelined extension (no paper table; see table_pipelined)";
   }
   return "?";
 }
@@ -37,7 +40,9 @@ double PaperValue(StrategyKind strategy, size_t net, size_t tree,
       return PaperTable4MleTotals()[net][tree];
     case StrategyKind::kBatchedLate:
     case StrategyKind::kBatchedEarly:
-      return -1;  // extension: the paper prints no batched numbers
+    case StrategyKind::kPipelinedLate:
+    case StrategyKind::kPipelinedEarly:
+      return -1;  // extensions: the paper prints no such numbers
   }
   return -1;
 }

@@ -1,0 +1,245 @@
+// The pipelined-regime extension table (no paper counterpart): multi-
+// level expand response times under speculative level overlap
+// (DESIGN.md 5g), reconciled per cell against the pipelined closed form
+// evaluated on the realized per-exchange traffic:
+//   * simulated latency / transfer / hidden / total each within 1% of
+//     model::PredictPipelinedFromTraffic over the link's exchange
+//     records (exact in practice; the tolerance absorbs accumulation
+//     order),
+//   * the traced t_overlap_hidden span sum reproduces the link's
+//     overlap_hidden_seconds,
+//   * the pipelined tree is byte-identical to the batched counterpart's
+//     and its total strictly below it (the overlap hides time, it never
+//     changes traffic).
+// Closed-form deviations against model::Predict carry the stochastic
+// sigma realization and are printed for reference only.
+//
+// Also writes one representative pipelined action's spans as Chrome
+// trace-event JSON: --json PATH, default table_pipelined.json. Exits
+// non-zero on any failed check.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "rules/query_builder.h"
+#include "rules/query_modificator.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+struct CellCheck {
+  double measured = 0;
+  double expected = 0;
+
+  double deviation() const {
+    if (expected == 0 && measured == 0) return 0;
+    if (expected == 0) return 1;
+    return std::fabs(measured - expected) / expected;
+  }
+};
+
+/// Per-statement request size s_q for the informational closed form (the
+/// same sizing table_batched uses — pipelined statements are identical).
+Result<double> MeasureStatementBytes(client::Experiment& experiment,
+                                     bool early) {
+  std::unique_ptr<sql::SelectStmt> stmt = rules::BuildExpandQuery(
+      experiment.product().root_obid, experiment.config().client.hierarchy);
+  if (early) {
+    rules::QueryModificator modificator(&experiment.rule_table(),
+                                        experiment.user());
+    PDM_RETURN_NOT_OK(modificator
+                          .ApplyToNavigationalQuery(
+                              &stmt->query, rules::RuleAction::kExpand)
+                          .status());
+  }
+  return static_cast<double>(stmt->ToSql().size());
+}
+
+int Run(const std::string& json_path) {
+  constexpr double kTolerance = 0.01;
+  PrintBanner(
+      "Pipelined extension: MLE under speculative level overlap "
+      "(per-exchange closed form vs sim)");
+  std::printf(
+      "%-18s %-7s %-11s | %9s %9s %8s | %8s %8s | %8s\n",
+      "network", "tree", "variant", "sim", "batched", "hidden",
+      "max-dev", "sav-sim", "closed-fm");
+
+  const struct {
+    StrategyKind pipelined;
+    StrategyKind batched;
+    bool early;
+  } kVariants[] = {
+      {StrategyKind::kPipelinedLate, StrategyKind::kBatchedLate, false},
+      {StrategyKind::kPipelinedEarly, StrategyKind::kBatchedEarly, true}};
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.set_capacity(1 << 18);
+
+  size_t failures = 0;
+  std::vector<obs::SpanRecord> representative;
+  for (size_t ni = 0; ni < model::PaperNetworkScenarios().size(); ++ni) {
+    const model::NetworkParams net = model::PaperNetworkScenarios()[ni];
+    for (const model::TreeParams& tree : model::PaperTreeScenarios()) {
+      client::ExperimentConfig config = MakeExperimentConfig(tree, net);
+      Result<std::unique_ptr<client::Experiment>> experiment =
+          client::Experiment::Create(config);
+      if (!experiment.ok()) {
+        std::fprintf(stderr, "experiment failed: %s\n",
+                     experiment.status().ToString().c_str());
+        return 1;
+      }
+      client::Experiment& e = **experiment;
+
+      for (const auto& variant : kVariants) {
+        Result<client::ActionResult> batched =
+            e.RunAction(variant.batched, ActionKind::kMultiLevelExpand);
+        if (!batched.ok()) {
+          std::fprintf(stderr, "batched baseline failed: %s\n",
+                       batched.status().ToString().c_str());
+          return 1;
+        }
+
+        tracer.Enable(true);
+        e.server().ResetObservability();
+        Result<client::ActionResult> sim =
+            e.RunAction(variant.pipelined, ActionKind::kMultiLevelExpand);
+        std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+        tracer.Enable(false);
+        if (!sim.ok()) {
+          std::fprintf(stderr, "pipelined action failed: %s\n",
+                       sim.status().ToString().c_str());
+          return 1;
+        }
+        const net::WanStats& wan = sim->wan;
+
+        // The pipelined closed form on the realized per-exchange
+        // traffic (isolated from the stochastic sigma realization).
+        std::vector<model::ExchangeTraffic> traffic;
+        for (const net::ExchangeRecord& x : e.connection().link().exchanges()) {
+          model::ExchangeTraffic t;
+          t.request_packets = static_cast<double>(x.request_packets);
+          t.response_payload_bytes = x.response_payload_bytes;
+          t.overlapped = x.overlapped;
+          traffic.push_back(t);
+        }
+        model::ResponseTime predicted =
+            model::PredictPipelinedFromTraffic(net, traffic);
+
+        obs::TermBreakdown breakdown = obs::BreakdownByTerm(spans);
+        CellCheck checks[] = {
+            {wan.latency_seconds, predicted.latency_part},
+            {wan.transfer_seconds, predicted.transfer_part},
+            {wan.overlap_hidden_seconds, predicted.overlap_hidden},
+            {wan.total_seconds(), predicted.total()},
+            // Tracer reconciliation: the overlay spans carry exactly the
+            // hidden seconds; lat + transfer spans carry the elapsed
+            // total (wan:latency is emitted net of the hidden part).
+            {breakdown.sim(obs::ModelTerm::kOverlapHidden),
+             wan.overlap_hidden_seconds},
+            {breakdown.sim(obs::ModelTerm::kLat) +
+                 breakdown.sim(obs::ModelTerm::kTransfer),
+             wan.total_seconds()},
+        };
+        double max_dev = 0;
+        for (const CellCheck& check : checks) {
+          max_dev = std::max(max_dev, check.deviation());
+        }
+        bool ok = max_dev <= kTolerance;
+
+        // Byte identity and strict improvement vs the batched run.
+        if (sim->tree.ToString(1 << 20) != batched->tree.ToString(1 << 20)) {
+          std::fprintf(stderr, "FAIL: pipelined tree differs from batched\n");
+          ok = false;
+        }
+        if (wan.overlap_hidden_seconds <= 0 ||
+            sim->seconds() >= batched->seconds()) {
+          std::fprintf(stderr,
+                       "FAIL: pipelined total %.4f not below batched %.4f\n",
+                       sim->seconds(), batched->seconds());
+          ok = false;
+        }
+        if (!ok) ++failures;
+
+        // Informational closed form (tree parameters, not realization).
+        Result<double> s_q = MeasureStatementBytes(e, variant.early);
+        if (!s_q.ok()) {
+          std::fprintf(stderr, "statement sizing failed: %s\n",
+                       s_q.status().ToString().c_str());
+          return 1;
+        }
+        model::ResponseTime closed =
+            model::Predict(variant.pipelined, ActionKind::kMultiLevelExpand,
+                           tree, net, *s_q);
+        double closed_dev = closed.total() == 0
+                                ? 0
+                                : (sim->seconds() - closed.total()) /
+                                      closed.total() * 100.0;
+        double sav_sim = (batched->seconds() - sim->seconds()) /
+                         batched->seconds() * 100.0;
+
+        std::printf(
+            "lat=%3.0fms %4.0fkbit α=%d,ω=%d %-11s | %9.2f %9.2f %8.3f | "
+            "%7.3f%% %7.2f%% | %7.2f%%%s\n",
+            net.latency_s * 1000, net.dtr_kbit, tree.depth, tree.branching,
+            variant.early ? "pipe-early" : "pipe-late", sim->seconds(),
+            batched->seconds(), wan.overlap_hidden_seconds, max_dev * 100.0,
+            sav_sim, closed_dev, ok ? "" : "  CHECK FAILED");
+
+        if (ni == 0 && tree.depth == 3 && !variant.early) {
+          representative = std::move(spans);
+        }
+      }
+    }
+  }
+
+  if (!representative.empty()) {
+    obs::TermBreakdown breakdown = obs::BreakdownByTerm(representative);
+    std::printf("\nrepresentative action (net 0, a3b9, pipelined-late mle): "
+                "%zu spans\n%s",
+                representative.size(),
+                obs::RenderBreakdownTable(breakdown).c_str());
+    Status written = obs::WriteChromeTraceFile(json_path, representative);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace export: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("chrome trace written to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                json_path.c_str());
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%zu cell(s) failed their checks\n", failures);
+    return 1;
+  }
+  std::printf("\nall cells reconciled within %.0f%% and beat their batched "
+              "counterparts\n",
+              kTolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main(int argc, char** argv) {
+  std::string json_path = "table_pipelined.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return pdm::bench::Run(json_path);
+}

@@ -112,36 +112,45 @@ Result<CheckOutResult> CheckOutClient::RunClientSide(int64_t root,
     }
   }
 
-  if (denied) {
-    out.success = false;
-    out.wan = conn_->stats();
-    return out;
-  }
-
-  // Phase 2: flip the flags — the "separate WAN communication" the paper
-  // points out. Navigational: one UPDATE per object; batched: one UPDATE
-  // per object table.
-  size_t flipped = 0;
-  for (const auto& [type, obids] : obids_by_type) {
-    if (type == "link" || obids.empty()) continue;
+  if (!denied) {
+    // Phase 2: flip the flags — the "separate WAN communication" the
+    // paper points out. Navigational: one UPDATE per object (the status
+    // quo baseline). Batched: one UPDATE per object table, all tables
+    // shipped as ONE batch — with the retrieval, the whole check-out is
+    // two round trips instead of 1 + #tables.
+    size_t flipped = 0;
     if (navigational) {
-      for (int64_t obid : obids) {
-        std::unique_ptr<sql::Statement> update =
-            rules::BuildCheckOutUpdate(type, {obid}, checking_out);
-        ResultSet ack;
-        PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
-        flipped += ack.affected_rows;
+      for (const auto& [type, obids] : obids_by_type) {
+        if (type == "link" || obids.empty()) continue;
+        for (int64_t obid : obids) {
+          std::unique_ptr<sql::Statement> update =
+              rules::BuildCheckOutUpdate(type, {obid}, checking_out);
+          ResultSet ack;
+          PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
+          flipped += ack.affected_rows;
+        }
       }
     } else {
-      std::unique_ptr<sql::Statement> update =
-          rules::BuildCheckOutUpdate(type, obids, checking_out);
-      ResultSet ack;
-      PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
-      flipped += ack.affected_rows;
+      std::vector<std::string> updates;
+      for (const auto& [type, obids] : obids_by_type) {
+        if (type == "link" || obids.empty()) continue;
+        updates.push_back(
+            rules::BuildCheckOutUpdate(type, obids, checking_out)->ToSql());
+      }
+      std::vector<Result<ResultSet>> acks;
+      PDM_RETURN_NOT_OK(conn_->ExecuteBatch(updates, &acks));
+      for (Result<ResultSet>& ack : acks) {
+        PDM_RETURN_NOT_OK(ack.status());
+        flipped += ack->affected_rows;
+      }
     }
+    out.success = true;
+    out.objects = flipped;
   }
-  out.success = true;
-  out.objects = flipped;
+
+  // Single accounting exit: every outcome (denied included) reports the
+  // traffic of exactly this run — no mid-function snapshot that later
+  // phases could silently outgrow.
   out.wan = conn_->stats();
   return out;
 }

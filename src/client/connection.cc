@@ -128,4 +128,72 @@ Status Connection::ExecuteBatchSized(
   return Status::OK();
 }
 
+Connection::PendingBatch::~PendingBatch() {
+  if (conn_ == nullptr) return;
+  // Never collected: the action failed before this level's results were
+  // needed. Drain the server work (its thread touches shared state) and
+  // drop the exchange from the timeline unaccounted.
+  if (future_.valid()) future_.wait();
+  conn_->link_.AbortExchange();
+}
+
+Connection::PendingBatch& Connection::PendingBatch::operator=(
+    PendingBatch&& other) noexcept {
+  if (this != &other) {
+    if (conn_ != nullptr) {
+      if (future_.valid()) future_.wait();
+      conn_->link_.AbortExchange();
+    }
+    conn_ = std::exchange(other.conn_, nullptr);
+    future_ = std::move(other.future_);
+    n_statements_ = other.n_statements_;
+  }
+  return *this;
+}
+
+net::ExchangeTiming Connection::PendingBatch::Collect(
+    std::vector<Result<ResultSet>>* out, const ResponseSizer& sizer) {
+  if (out != nullptr) out->clear();
+  net::ExchangeTiming timing;
+  if (conn_ == nullptr) return timing;
+  Connection* conn = std::exchange(conn_, nullptr);
+  std::vector<DbServer::BatchStatementResult> results = future_.get();
+  size_t response_bytes = 0;
+  for (const DbServer::BatchStatementResult& r : results) {
+    if (sizer) {
+      response_bytes += r.status.ok() ? sizer(r.result) : size_t{64};
+    } else {
+      response_bytes += r.response_bytes;
+    }
+  }
+  timing = conn->link_.CompleteExchange(response_bytes);
+  if (out != nullptr) {
+    out->reserve(results.size());
+    for (DbServer::BatchStatementResult& r : results) {
+      if (r.status.ok()) {
+        out->emplace_back(std::move(r.result));
+      } else {
+        out->emplace_back(std::move(r.status));
+      }
+    }
+  }
+  return timing;
+}
+
+Connection::PendingBatch Connection::ExecuteBatchPipelined(
+    std::vector<std::string> statements, bool overlap_previous) {
+  PendingBatch pending;
+  // Empty batch: nothing to ship, no exchange opened.
+  if (statements.empty()) return pending;
+  pending.conn_ = this;
+  pending.n_statements_ = statements.size();
+  link_.BeginExchange(BatchRequestBytes(statements), statements.size(),
+                      overlap_previous);
+  pending.future_ =
+      admission_attached_
+          ? server_->SubmitAsync(admission_client_id_, std::move(statements))
+          : server_->ExecuteBatchAsync(std::move(statements));
+  return pending;
+}
+
 }  // namespace pdm::client

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -66,6 +68,56 @@ class Connection {
   Status ExecuteBatchSized(const std::vector<std::string>& statements,
                            std::vector<Result<ResultSet>>* out,
                            const ResponseSizer& sizer);
+
+  /// One in-flight pipelined batch exchange (DESIGN.md 5g): the request
+  /// is on the wire (WanLink::BeginExchange) and the statements execute
+  /// at the server on a background thread. Collect() blocks for the
+  /// results and completes the exchange on the link. Destroying a
+  /// never-collected PendingBatch drains the server work and aborts the
+  /// exchange unaccounted — the fail-fast path can simply drop it
+  /// without deadlocking or corrupting the link timeline.
+  class PendingBatch {
+   public:
+    PendingBatch() = default;
+    ~PendingBatch();
+
+    PendingBatch(PendingBatch&& other) noexcept
+        : conn_(std::exchange(other.conn_, nullptr)),
+          future_(std::move(other.future_)),
+          n_statements_(other.n_statements_) {}
+    PendingBatch& operator=(PendingBatch&& other) noexcept;
+
+    /// False for an empty batch (nothing was issued) or after Collect.
+    bool valid() const { return conn_ != nullptr; }
+    size_t statements() const { return n_statements_; }
+
+    /// Blocks for the server results, completes the exchange on the
+    /// link and fills `out` (one Result per statement, in order, as
+    /// ExecuteBatch does). OK slots are sized by `sizer` when provided
+    /// (error slots: the 64-byte frame), by the server's policy
+    /// otherwise. Returns the exchange's timeline entry; zeroed if the
+    /// batch was invalid.
+    net::ExchangeTiming Collect(std::vector<Result<ResultSet>>* out,
+                                const ResponseSizer& sizer = nullptr);
+
+   private:
+    friend class Connection;
+
+    Connection* conn_ = nullptr;
+    std::future<std::vector<DbServer::BatchStatementResult>> future_;
+    size_t n_statements_ = 0;
+  };
+
+  /// Issues a batch without waiting for it (DESIGN.md 5g). With
+  /// `overlap_previous` the exchange is charged as issued at the
+  /// previous exchange's transfer start — the speculative issue of a
+  /// pipelined client that decoded the streaming prefix. The server work
+  /// runs on a background thread (through the admission queue when
+  /// attached). An empty batch issues nothing and returns an invalid
+  /// handle. At most one pipelined batch may be in flight per
+  /// connection (the link serializes exchanges).
+  PendingBatch ExecuteBatchPipelined(std::vector<std::string> statements,
+                                     bool overlap_previous);
 
   DbServer& server() { return *server_; }
   net::WanLink& link() { return link_; }

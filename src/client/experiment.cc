@@ -63,6 +63,9 @@ Result<std::unique_ptr<Experiment>> Experiment::Create(
 }
 
 Status Experiment::Init() {
+  // Reject degenerate WAN parameters up front: an invalid link would
+  // otherwise silently account nothing (net/wan_model.h).
+  PDM_RETURN_NOT_OK(config_.wan.Validate());
   PDM_ASSIGN_OR_RETURN(product_, pdmsys::GenerateProduct(&server_.database(),
                                                          config_.generator));
   PDM_RETURN_NOT_OK(InstallStandardRules(&rule_table_));
@@ -96,6 +99,14 @@ std::unique_ptr<AccessStrategy> Experiment::MakeStrategyOn(
           /*early_evaluation=*/false);
     case model::StrategyKind::kBatchedEarly:
       return std::make_unique<NavigationalBatchedStrategy>(
+          conn, &rule_table_, user(), config_.client,
+          /*early_evaluation=*/true);
+    case model::StrategyKind::kPipelinedLate:
+      return std::make_unique<NavigationalPipelinedStrategy>(
+          conn, &rule_table_, user(), config_.client,
+          /*early_evaluation=*/false);
+    case model::StrategyKind::kPipelinedEarly:
+      return std::make_unique<NavigationalPipelinedStrategy>(
           conn, &rule_table_, user(), config_.client,
           /*early_evaluation=*/true);
     case model::StrategyKind::kRecursive:

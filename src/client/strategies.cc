@@ -206,18 +206,33 @@ Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
 
 // --- NavigationalBatchedStrategy ------------------------------------------------
 
-Result<std::string> NavigationalBatchedStrategy::RenderExpandSql(
-    int64_t node) const {
+namespace {
+
+/// The expand statement for one node — byte-identical to what
+/// NavigationalStrategy sends for the same node and variant. Batched
+/// and pipelined clients both render through here, so their wire
+/// traffic can never drift apart.
+Result<std::string> RenderNavExpandSql(const rules::RuleTable* rules,
+                                       const pdmsys::UserContext& user,
+                                       const ClientConfig& config, bool early,
+                                       int64_t node) {
   std::unique_ptr<sql::SelectStmt> stmt =
-      rules::BuildExpandQuery(node, config_.hierarchy);
-  if (early_) {
-    QueryModificator modificator(rules_, user_);
+      rules::BuildExpandQuery(node, config.hierarchy);
+  if (early) {
+    QueryModificator modificator(rules, user);
     PDM_RETURN_NOT_OK(modificator
                           .ApplyToNavigationalQuery(&stmt->query,
                                                     RuleAction::kExpand)
                           .status());
   }
   return stmt->ToSql();
+}
+
+}  // namespace
+
+Result<std::string> NavigationalBatchedStrategy::RenderExpandSql(
+    int64_t node) const {
+  return RenderNavExpandSql(rules_, user_, config_, early_, node);
 }
 
 Result<ActionResult> NavigationalBatchedStrategy::QueryAll() {
@@ -309,6 +324,151 @@ Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
       }
     }
     frontier = std::move(next);
+  }
+
+  // Tree conditions are evaluated at the client, as in both
+  // navigational modes (Section 4.1).
+  PDM_ASSIGN_OR_RETURN(
+      bool tree_ok,
+      evaluator_.TreeConditionsPass(kept_nodes,
+                                    RuleAction::kMultiLevelExpand));
+  if (!tree_ok) out.tree = pdmsys::ProductTree();  // all-or-nothing
+
+  out.visible_nodes =
+      out.tree.num_nodes() > 0 ? out.tree.num_nodes() - 1 : 0;
+  out.wan = conn_->stats();
+  return out;
+}
+
+// --- NavigationalPipelinedStrategy ----------------------------------------------
+
+Result<ActionResult> NavigationalPipelinedStrategy::QueryAll() {
+  NavigationalStrategy nav(conn_, rules_, user_, config_, early_);
+  return nav.QueryAll();
+}
+
+Result<ActionResult> NavigationalPipelinedStrategy::SingleLevelExpand(
+    int64_t node) {
+  NavigationalStrategy nav(conn_, rules_, user_, config_, early_);
+  return nav.SingleLevelExpand(node);
+}
+
+Result<ActionResult> NavigationalPipelinedStrategy::MultiLevelExpand(
+    int64_t root) {
+  obs::ScopedSpan action_span("action:pipelined/mle", obs::ModelTerm::kNone);
+  conn_->ResetStats();
+  ActionResult out;
+
+  // The root object is already at the client (paper footnote 4).
+  size_t root_index = out.tree.AddNode(root, "assy", "", std::nullopt);
+
+  std::unique_ptr<PreparedRowFilter> filter;
+  if (!early_) {
+    // Prepare the late filter from a local probe of the fixed expand
+    // schema, exactly as the navigational client does (no WAN traffic).
+    std::unique_ptr<sql::SelectStmt> probe =
+        rules::BuildExpandQuery(root, config_.hierarchy);
+    ResultSet rows;
+    ExecStats probe_stats;  // private stats: probes may run concurrently
+    PDM_RETURN_NOT_OK(conn_->server().database().Execute(
+        probe->ToSql(), &rows, &probe_stats));
+    PDM_ASSIGN_OR_RETURN(
+        filter,
+        evaluator_.Prepare(rows.schema, RuleAction::kMultiLevelExpand));
+  }
+
+  const Connection::ResponseSizer sizer = [this](const ResultSet& r) {
+    return SizeHomogenizedResponse(r);
+  };
+
+  ResultSet kept_nodes;  // homogenized rows kept, for tree conditions
+
+  // Same breadth-first level batches as the batched client, but each
+  // level's batch is issued *speculatively* against the previous
+  // response stream: filtering needs only row values, which are
+  // decodable from the prefix, so the next request can leave before the
+  // previous transfer finishes. Tree assembly (phase C) then runs on
+  // the fully received level, keeping the AddNode sequence — and hence
+  // the tree — byte-identical to the batched traversal.
+  std::vector<size_t> parent_index{root_index};  // tree index per statement
+  Connection::PendingBatch pending;
+  {
+    PDM_ASSIGN_OR_RETURN(std::string sql,
+                         RenderNavExpandSql(rules_, user_, config_, early_,
+                                            root));
+    std::vector<std::string> statements;
+    statements.push_back(std::move(sql));
+    pending = conn_->ExecuteBatchPipelined(std::move(statements),
+                                           /*overlap_previous=*/false);
+  }
+
+  while (pending.valid()) {
+    std::vector<Result<ResultSet>> responses;
+    pending.Collect(&responses, sizer);
+
+    // Phase A: decode and (when late) filter every OK slot. Error slots
+    // keep an empty row set here; the error itself is raised in phase
+    // C, after the speculative issue — exactly where a real pipelined
+    // client would discover it.
+    std::vector<ResultSet> kept(responses.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].ok()) continue;
+      ResultSet rows = std::move(*responses[i]);
+      out.transmitted_rows += rows.num_rows();
+      if (!early_ && filter != nullptr) {
+        ResultSet filtered;
+        filtered.schema = rows.schema;
+        for (const Row& row : rows.rows) {
+          PDM_ASSIGN_OR_RETURN(bool pass, filter->Passes(row));
+          if (pass) filtered.rows.push_back(row);
+        }
+        rows = std::move(filtered);
+      }
+      kept[i] = std::move(rows);
+    }
+
+    // Phase B: render and issue the next level before touching the
+    // tree. Statement order is kept-row order across slots, identical
+    // to the batched frontier order.
+    std::vector<std::string> next_statements;
+    for (const ResultSet& rows : kept) {
+      std::optional<size_t> obid_col = rows.schema.FindColumn("obid");
+      if (!obid_col.has_value()) continue;
+      for (const Row& row : rows.rows) {
+        PDM_ASSIGN_OR_RETURN(
+            std::string sql,
+            RenderNavExpandSql(rules_, user_, config_, early_,
+                               row[*obid_col].int64_value()));
+        next_statements.push_back(std::move(sql));
+      }
+    }
+    Connection::PendingBatch next = conn_->ExecuteBatchPipelined(
+        std::move(next_statements), /*overlap_previous=*/true);
+
+    // Phase C: fail-fast and assembly. An error here abandons `next` to
+    // its destructor, which drains the in-flight server work and aborts
+    // the exchange unaccounted.
+    std::vector<size_t> next_parent_index;
+    for (size_t i = 0; i < responses.size(); ++i) {
+      PDM_RETURN_NOT_OK(responses[i].status());
+      ResultSet& rows = kept[i];
+      if (kept_nodes.schema.num_columns() == 0) {
+        kept_nodes.schema = rows.schema;
+      }
+      std::optional<size_t> obid_col = rows.schema.FindColumn("obid");
+      std::optional<size_t> type_col = rows.schema.FindColumn("type");
+      std::optional<size_t> name_col = rows.schema.FindColumn("name");
+      for (const Row& row : rows.rows) {
+        int64_t child_obid = row[*obid_col].int64_value();
+        size_t child_index =
+            out.tree.AddNode(child_obid, row[*type_col].ToString(),
+                             row[*name_col].ToString(), parent_index[i]);
+        next_parent_index.push_back(child_index);
+        kept_nodes.rows.push_back(row);
+      }
+    }
+    parent_index = std::move(next_parent_index);
+    pending = std::move(next);
   }
 
   // Tree conditions are evaluated at the client, as in both

@@ -134,6 +134,36 @@ class NavigationalBatchedStrategy : public AccessStrategy {
   bool early_;
 };
 
+/// The pipelined client (DESIGN.md 5g): statements, per-level batches
+/// and assembled trees are byte-identical to
+/// NavigationalBatchedStrategy — still α + 1 round trips — but level
+/// i+1's batch is issued speculatively the moment level i's response
+/// prefix is decodable (its transfer start), so up to
+/// min(2 * T_Lat, level-i transfer time) of every inter-level latency
+/// window hides under the still-streaming previous response. Query and
+/// single-level expand are one statement already and delegate to
+/// NavigationalStrategy.
+class NavigationalPipelinedStrategy : public AccessStrategy {
+ public:
+  NavigationalPipelinedStrategy(Connection* conn,
+                                const rules::RuleTable* rules,
+                                pdmsys::UserContext user, ClientConfig config,
+                                bool early_evaluation)
+      : AccessStrategy(conn, rules, std::move(user), config),
+        early_(early_evaluation) {}
+
+  Result<ActionResult> QueryAll() override;
+  Result<ActionResult> SingleLevelExpand(int64_t node) override;
+  Result<ActionResult> MultiLevelExpand(int64_t root) override;
+  std::string_view name() const override {
+    return early_ ? "navigational-pipelined-early"
+                  : "navigational-pipelined-late";
+  }
+
+ private:
+  bool early_;
+};
+
 /// The Approach-2 client (Section 5): multi-level expands compile into a
 /// single WITH RECURSIVE statement with all rule classes injected by the
 /// QueryModificator; two WAN messages total. Query and single-level

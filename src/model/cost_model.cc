@@ -29,6 +29,10 @@ std::string_view StrategyKindName(StrategyKind kind) {
       return "batch late";
     case StrategyKind::kBatchedEarly:
       return "batch early";
+    case StrategyKind::kPipelinedLate:
+      return "pipe late";
+    case StrategyKind::kPipelinedEarly:
+      return "pipe early";
   }
   return "?";
 }
@@ -46,18 +50,29 @@ double GeometricSum(double x, int n) {
   return sum;
 }
 
-bool IsBatched(StrategyKind strategy) {
-  return strategy == StrategyKind::kBatchedLate ||
-         strategy == StrategyKind::kBatchedEarly;
+bool IsPipelined(StrategyKind strategy) {
+  return strategy == StrategyKind::kPipelinedLate ||
+         strategy == StrategyKind::kPipelinedEarly;
 }
 
-/// The navigational regime a batched strategy wraps: its per-statement
-/// SQL, and therefore its transmitted volume, is identical.
+/// Strategies that ship one batch per tree level (α + 1 round trips):
+/// the batched client and its pipelined refinement, whose wire traffic
+/// is identical batch for batch.
+bool IsLevelBatched(StrategyKind strategy) {
+  return strategy == StrategyKind::kBatchedLate ||
+         strategy == StrategyKind::kBatchedEarly || IsPipelined(strategy);
+}
+
+/// The navigational regime a batched/pipelined strategy wraps: its
+/// per-statement SQL, and therefore its transmitted volume, is
+/// identical.
 StrategyKind Unbatched(StrategyKind strategy) {
   switch (strategy) {
     case StrategyKind::kBatchedLate:
+    case StrategyKind::kPipelinedLate:
       return StrategyKind::kNavigationalLate;
     case StrategyKind::kBatchedEarly:
+    case StrategyKind::kPipelinedEarly:
       return StrategyKind::kNavigationalEarly;
     default:
       return strategy;
@@ -91,7 +106,7 @@ double QueryCount(StrategyKind strategy, ActionKind action,
 
 double RoundTripCount(StrategyKind strategy, ActionKind action,
                       const TreeParams& tree) {
-  if (IsBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
+  if (IsLevelBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
     // One batch per tree level: the root's expand (level 0) plus one
     // batch for each of the α levels below it.
     return tree.depth + 1;
@@ -105,6 +120,7 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
   switch (strategy) {
     case StrategyKind::kNavigationalLate:
     case StrategyKind::kBatchedLate:
+    case StrategyKind::kPipelinedLate:
       switch (action) {
         case ActionKind::kQuery:
           return TotalNodes(tree);
@@ -118,6 +134,7 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
       break;
     case StrategyKind::kNavigationalEarly:
     case StrategyKind::kBatchedEarly:
+    case StrategyKind::kPipelinedEarly:
     case StrategyKind::kRecursive:
       switch (action) {
         case ActionKind::kQuery:
@@ -134,40 +151,52 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
 ResponseTime Predict(StrategyKind strategy, ActionKind action,
                      const TreeParams& tree, const NetworkParams& net,
                      double query_bytes) {
-  if (IsBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
-    // Batched regime (DESIGN.md 5d): same transmitted volume as the
-    // wrapped navigational strategy, but latency and packet overheads
-    // are paid per level-batch, not per statement.
+  if (IsLevelBatched(strategy) && action == ActionKind::kMultiLevelExpand) {
+    // Level-batched regimes (DESIGN.md 5d/5g): same transmitted volume
+    // as the wrapped navigational strategy, but latency and packet
+    // overheads are paid per level-batch, not per statement. Computed
+    // per level so the pipelined overlap term can see each level's
+    // transfer time X_i; the summed volume is identical to the
+    // aggregate batched form.
+    const bool late = Unbatched(strategy) == StrategyKind::kNavigationalLate;
+    const bool pipelined = IsPipelined(strategy);
     double sw = tree.sigma * tree.branching;
-    double n_t = TransmittedNodes(strategy, action, tree);
     double round_trips = RoundTripCount(strategy, action, tree);
-
-    // Requests: the level-i batch concatenates k_i = (σω)^i statements
-    // of s_q = query_bytes each, padded to whole packets per batch.
-    // With s_q unknown, fall back to the paper's own simplification
-    // that every request message fits one packet.
-    double request_packets = 0;
-    double k = 1;  // k_i
-    for (int i = 0; i <= tree.depth; ++i) {
-      request_packets += query_bytes > 0
-                             ? std::ceil(k * query_bytes / net.packet_bytes)
-                             : 1.0;
-      k *= sw;
-    }
-
-    // Responses: payload + one half-filled final packet per *batch*.
-    // The leaf-level expands all come back empty; their minimal 64-byte
-    // frames are a visible fraction of the (small) batched volume, so
-    // the closed form charges them — the navigational forms don't need
-    // to, since their q·size_p/2 term swamps the frames.
-    double leaf_statements = std::pow(sw, tree.depth);
-    double vol = request_packets * net.packet_bytes + n_t * net.node_bytes +
-                 round_trips * net.packet_bytes / 2.0 +
-                 leaf_statements * 64.0;
 
     ResponseTime rt;
     rt.latency_part = 2.0 * round_trips * net.latency_s;
-    rt.transfer_part = net.TransferSeconds(vol);
+    double k = 1;       // k_i = (σω)^i statements in the level-i batch
+    double prev_x = 0;  // X_{i-1}
+    for (int i = 0; i <= tree.depth; ++i) {
+      // Requests: k_i statements of s_q = query_bytes each, concatenated
+      // and padded to whole packets per batch. With s_q unknown, fall
+      // back to the paper's own simplification that every request
+      // message fits one packet.
+      double request_packets =
+          query_bytes > 0 ? std::ceil(k * query_bytes / net.packet_bytes)
+                          : 1.0;
+      // Responses: late ships all ω children per expanded node, early
+      // only the σω visible ones. The leaf-level expands all come back
+      // empty; their minimal 64-byte frames are a visible fraction of
+      // the (small) batched volume, so the closed form charges them —
+      // the navigational forms don't need to, since their q·size_p/2
+      // term swamps the frames. One half-filled final packet per batch.
+      double payload =
+          i < tree.depth
+              ? k * (late ? tree.branching : sw) * net.node_bytes
+              : k * 64.0;
+      double x = net.TransferSeconds(request_packets * net.packet_bytes +
+                                     payload + net.packet_bytes / 2.0);
+      rt.transfer_part += x;
+      // Pipelined (DESIGN.md 5g): the level-(i) batch is issued at the
+      // level-(i-1) response's transfer start, hiding the part of its
+      // 2·T_Lat window that coincides with that transfer.
+      if (pipelined && i > 0) {
+        rt.overlap_hidden += std::min(2.0 * net.latency_s, prev_x);
+      }
+      prev_x = x;
+      k *= sw;
+    }
     return rt;
   }
   // Batched Query / single-level expand are single statements and
@@ -201,6 +230,27 @@ ResponseTime PredictFromTraffic(const NetworkParams& net,
                counts.response_payload_bytes +
                counts.round_trips * net.packet_bytes / 2.0;
   rt.transfer_part = net.TransferSeconds(vol);
+  return rt;
+}
+
+ResponseTime PredictPipelinedFromTraffic(
+    const NetworkParams& net, const std::vector<ExchangeTraffic>& exchanges) {
+  ResponseTime rt;
+  rt.latency_part =
+      2.0 * static_cast<double>(exchanges.size()) * net.latency_s;
+  double prev_x = 0;
+  for (size_t i = 0; i < exchanges.size(); ++i) {
+    double x = net.TransferSeconds(
+        exchanges[i].request_packets * net.packet_bytes +
+        exchanges[i].response_payload_bytes + net.packet_bytes / 2.0);
+    rt.transfer_part += x;
+    // An exchange issued at the previous transfer's start hides exactly
+    // the part of its 2·T_Lat window that coincides with that transfer.
+    if (i > 0 && exchanges[i].overlapped) {
+      rt.overlap_hidden += std::min(2.0 * net.latency_s, prev_x);
+    }
+    prev_x = x;
+  }
   return rt;
 }
 

@@ -50,16 +50,24 @@ enum class StrategyKind {
   kRecursive,          // one recursive query + early rule evaluation
   kBatchedLate,        // level-wise batched navigational, late eval
   kBatchedEarly,       // level-wise batched navigational, early eval
+  kPipelinedLate,      // batched + speculative level overlap, late eval
+  kPipelinedEarly,     // batched + speculative level overlap, early eval
 };
 
 std::string_view ActionKindName(ActionKind kind);
 std::string_view StrategyKindName(StrategyKind kind);
 
 /// A predicted response time, split as the paper's tables print it.
+/// `overlap_hidden` is the latency a pipelined client hides under
+/// still-streaming responses (DESIGN.md 5g); zero for every other
+/// strategy, so total() stays the historical latency + transfer sum.
 struct ResponseTime {
-  double latency_part = 0;   // c * T_Lat
-  double transfer_part = 0;  // vol / dtr
-  double total() const { return latency_part + transfer_part; }
+  double latency_part = 0;    // c * T_Lat
+  double transfer_part = 0;   // vol / dtr
+  double overlap_hidden = 0;  // latency overlapped with prior transfers
+  double total() const {
+    return latency_part + transfer_part - overlap_hidden;
+  }
 };
 
 /// n_v(t) = Σ_{i=1..α} (σω)^i — visible nodes below the root.
@@ -104,6 +112,12 @@ double TransmittedNodes(StrategyKind strategy, ActionKind action,
 ///            + (σω)^α · 64                         (empty-result frames of
 ///                                                   the leaf-level expands)
 /// where k_i = (σω)^i is the number of statements in the level-i batch.
+///
+/// Pipelined multi-level expand (DESIGN.md 5g) adds, on top of the
+/// identical batched volume, the latency hidden by speculative issue:
+///   hidden = Σ_{i=0..α-1} min(2·T_Lat, X_i)
+/// with X_i the level-i batch's transfer time — each level's latency
+/// window overlaps the previous response's still-running transfer.
 ResponseTime Predict(StrategyKind strategy, ActionKind action,
                      const TreeParams& tree, const NetworkParams& net,
                      double query_bytes = 0);
@@ -133,6 +147,30 @@ struct TrafficCounts {
 ///               + round_trips · size_p / 2) / dtr
 ResponseTime PredictFromTraffic(const NetworkParams& net,
                                 const TrafficCounts& counts);
+
+/// Realized traffic of one exchange of a pipelined action, in
+/// completion order (mirrors net::ExchangeRecord without depending on
+/// net/ — callers convert).
+struct ExchangeTraffic {
+  double request_packets = 0;
+  double response_payload_bytes = 0;
+  /// True if this exchange was issued against the previous response's
+  /// stream (speculative issue at its transfer start).
+  bool overlapped = false;
+};
+
+/// The pipelined closed form evaluated on realized per-exchange traffic
+/// (paper accounting). With X_i the level-i transfer time
+///   X_i = (req_pkts_i * size_p + payload_i + size_p / 2) / dtr:
+///   latency  = 2 * n * T_Lat
+///   transfer = Σ X_i
+///   hidden   = Σ_{i overlapped} min(2 * T_Lat, X_{i-1})
+/// — an exchange issued at the previous transfer's start hides exactly
+/// the part of its latency window that coincides with that transfer.
+/// Degenerates to PredictFromTraffic when nothing is overlapped;
+/// bench/table_pipelined reconciles this against the simulator per cell.
+ResponseTime PredictPipelinedFromTraffic(
+    const NetworkParams& net, const std::vector<ExchangeTraffic>& exchanges);
 
 /// Simulated server-cost model — the t_server term of eq. (1), which
 /// the paper neglects ("transmission costs are the dominating

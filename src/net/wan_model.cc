@@ -1,5 +1,6 @@
 #include "net/wan_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/string_util.h"
@@ -7,6 +8,45 @@
 #include "obs/trace.h"
 
 namespace pdm::net {
+
+namespace {
+
+/// Process-wide per-exchange histogram. The reference is bound once and
+/// stays valid for the life of the process: MetricsRegistry never
+/// evicts an instrument, and ResetAll zeroes values in place (see the
+/// reset-then-record regression in tests/obs_test.cc).
+obs::Histogram& ExchangeHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "wan.exchange_sim_seconds", obs::ExponentialBounds(0.01, 4.0, 10));
+  return h;
+}
+
+}  // namespace
+
+Status WanConfig::Validate() const {
+  if (!std::isfinite(latency_s) || latency_s < 0) {
+    return Status::InvalidArgument(
+        StrFormat("WanConfig: latency_s must be finite and >= 0 (got %g)",
+                  latency_s));
+  }
+  if (!std::isfinite(dtr_kbit) || dtr_kbit <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "WanConfig: dtr_kbit must be finite and > 0 (got %g) — "
+        "TransferSeconds would divide by it",
+        dtr_kbit));
+  }
+  if (packet_bytes == 0) {
+    return Status::InvalidArgument(
+        "WanConfig: packet_bytes must be > 0 — packet accounting would "
+        "divide by it");
+  }
+  return Status::OK();
+}
+
+Result<WanLink> WanLink::Create(WanConfig config) {
+  PDM_RETURN_NOT_OK(config.Validate());
+  return WanLink(config);
+}
 
 void WanStats::Add(const WanStats& other) {
   round_trips += other.round_trips;
@@ -19,14 +59,15 @@ void WanStats::Add(const WanStats& other) {
   charged_bytes += other.charged_bytes;
   latency_seconds += other.latency_seconds;
   transfer_seconds += other.transfer_seconds;
+  overlap_hidden_seconds += other.overlap_hidden_seconds;
 }
 
 std::string WanStats::ToString() const {
   return StrFormat(
       "round_trips=%zu statements=%zu charged_bytes=%.0f latency=%.2fs "
-      "transfer=%.2fs total=%.2fs",
+      "transfer=%.2fs hidden=%.2fs total=%.2fs",
       round_trips, statements, charged_bytes, latency_seconds,
-      transfer_seconds, total_seconds());
+      transfer_seconds, overlap_hidden_seconds, total_seconds());
 }
 
 double WanLink::RecordRoundTrip(size_t request_bytes,
@@ -41,9 +82,36 @@ double WanLink::RecordBatchRoundTrip(size_t request_bytes,
   // An empty batch never reaches the wire: no exchange, no packet
   // padding, no latency.
   if (n_statements == 0) return 0.0;
+  // The degenerate sequential case: issued at the previous exchange's
+  // completion, so nothing can overlap and the timings stay additive.
+  BeginExchange(request_bytes, n_statements, /*overlap_previous=*/false);
+  return CompleteExchange(response_payload_bytes).seconds();
+}
+
+void WanLink::BeginExchange(size_t request_bytes, size_t n_statements,
+                            bool overlap_previous) {
+  if (!status_.ok() || exchange_open_ || n_statements == 0) return;
+  exchange_open_ = true;
+  open_request_bytes_ = request_bytes;
+  open_statements_ = n_statements;
+  // Speculative issue: the previous response's prefix becomes decodable
+  // the instant its transfer starts, so that is the earliest the next
+  // request can leave the client. Sequential issue — and an "overlapped"
+  // issue with no previous exchange on the timeline — waits for full
+  // completion.
+  open_overlapped_ = overlap_previous && stats_.round_trips > 0;
+  open_issue_s_ = open_overlapped_ ? last_transfer_start_s_ : now_s_;
+}
+
+ExchangeTiming WanLink::CompleteExchange(size_t response_payload_bytes) {
+  ExchangeTiming timing;
+  if (!status_.ok() || !exchange_open_) return timing;
+  exchange_open_ = false;
+
   const double packet = static_cast<double>(config_.packet_bytes);
-  size_t req_packets = static_cast<size_t>(
-      std::max(1.0, std::ceil(static_cast<double>(request_bytes) / packet)));
+  size_t req_packets = static_cast<size_t>(std::max(
+      1.0,
+      std::ceil(static_cast<double>(open_request_bytes_) / packet)));
 
   double charged = 0;
   size_t resp_packets = 0;
@@ -65,37 +133,90 @@ double WanLink::RecordBatchRoundTrip(size_t request_bytes,
       break;
   }
 
-  double latency = 2.0 * config_.latency_s;
-  double transfer = config_.TransferSeconds(charged);
+  const double latency = 2.0 * config_.latency_s;
+  const double transfer = config_.TransferSeconds(charged);
+
+  // Timeline: the latency window runs from the issue; the response
+  // transfer then serializes on link occupancy (one stream at a time).
+  // Whatever part of the latency window coincided with the previous
+  // exchange's still-running transfer is hidden — for an exchange
+  // issued at the previous transfer's start this is exactly
+  // min(2 * T_Lat, previous transfer time).
+  timing.issue_s = open_issue_s_;
+  timing.latency_s = latency;
+  timing.transfer_s = transfer;
+  timing.transfer_start_s =
+      std::max(open_issue_s_ + latency, link_busy_until_s_);
+  timing.end_s = timing.transfer_start_s + transfer;
+  double elapsed = timing.end_s - now_s_;
+  // A sequential issue adds its full latency + transfer by construction;
+  // forcing 0 (rather than clamping the recomputed difference) keeps it
+  // exact against floating-point reassociation residue.
+  timing.hidden_s =
+      open_overlapped_
+          ? std::clamp(latency + transfer - elapsed, 0.0, latency)
+          : 0.0;
+
+  now_s_ = timing.end_s;
+  link_busy_until_s_ = timing.end_s;
+  last_transfer_start_s_ = timing.transfer_start_s;
 
   stats_.round_trips += 1;
-  stats_.statements += n_statements;
+  stats_.statements += open_statements_;
   stats_.messages += 2;
   stats_.request_packets += req_packets;
   stats_.response_packets += resp_packets;
-  stats_.request_payload_bytes += static_cast<double>(request_bytes);
+  stats_.request_payload_bytes += static_cast<double>(open_request_bytes_);
   stats_.response_payload_bytes += static_cast<double>(response_payload_bytes);
   stats_.charged_bytes += charged;
   stats_.latency_seconds += latency;
   stats_.transfer_seconds += transfer;
+  stats_.overlap_hidden_seconds += timing.hidden_s;
+
+  ExchangeRecord record;
+  record.statements = open_statements_;
+  record.request_packets = req_packets;
+  record.response_payload_bytes = static_cast<double>(response_payload_bytes);
+  record.charged_bytes = charged;
+  record.transfer_seconds = transfer;
+  record.hidden_seconds = timing.hidden_s;
+  record.overlapped = open_overlapped_;
+  exchanges_.push_back(record);
 
   // One t_lat + one t_transfer span per exchange on the simulated
   // timeline, attributed to whatever action is current on this thread.
-  // Summing these spans reproduces the WAN stats split exactly — the
-  // per-component hook bench/trace_breakdown reconciles against
-  // model::PredictFromTraffic (eqs. (1)-(3)).
+  // The hidden part of the latency window is recorded as an *overlay*
+  // (it coincides with the previous transfer rather than adding time),
+  // so summing t_lat + t_transfer spans still reproduces the WAN's
+  // elapsed total exactly, and t_overlap_hidden attributes the saving
+  // per level (bench/table_pipelined reconciles all three).
   obs::Tracer& tracer = obs::Tracer::Global();
   if (tracer.enabled()) {
     obs::TraceContext ctx = obs::CurrentContext();
-    tracer.RecordSim(ctx, "wan:latency", obs::ModelTerm::kLat, latency,
-                     StrFormat("stmts=%zu", n_statements));
+    if (timing.hidden_s > 0) {
+      tracer.RecordSimOverlay(ctx, "wan:overlap_hidden",
+                              obs::ModelTerm::kOverlapHidden, timing.hidden_s,
+                              StrFormat("stmts=%zu", open_statements_));
+    }
+    tracer.RecordSim(ctx, "wan:latency", obs::ModelTerm::kLat,
+                     latency - timing.hidden_s,
+                     StrFormat("stmts=%zu", open_statements_));
     tracer.RecordSim(ctx, "wan:transfer", obs::ModelTerm::kTransfer, transfer,
                      StrFormat("charged=%.0fB", charged));
   }
-  static obs::Histogram& exchange_hist = obs::MetricsRegistry::Global().histogram(
-      "wan.exchange_sim_seconds", obs::ExponentialBounds(0.01, 4.0, 10));
-  exchange_hist.Observe(latency + transfer);
-  return latency + transfer;
+  ExchangeHistogram().Observe(timing.seconds());
+  return timing;
+}
+
+void WanLink::AbortExchange() { exchange_open_ = false; }
+
+void WanLink::ResetStats() {
+  stats_ = WanStats();
+  exchanges_.clear();
+  now_s_ = 0;
+  link_busy_until_s_ = 0;
+  last_transfer_start_s_ = 0;
+  exchange_open_ = false;
 }
 
 }  // namespace pdm::net

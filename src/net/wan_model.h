@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
+
+#include "common/result.h"
 
 namespace pdm::net {
 
@@ -28,11 +31,20 @@ struct WanConfig {
   double TransferSeconds(double bytes) const {
     return bytes * 8.0 / (dtr_kbit * 1024.0);
   }
+
+  /// Rejects configurations whose arithmetic would poison every derived
+  /// statistic: `TransferSeconds` divides by `dtr_kbit` and packet
+  /// accounting divides by `packet_bytes`, so zero (or non-finite)
+  /// values yield inf/NaN seconds that propagate silently into stats,
+  /// spans and model reconciliation.
+  Status Validate() const;
 };
 
 /// Accumulated traffic statistics of a simulated link. `latency_seconds`
 /// and `transfer_seconds` reproduce exactly the two-way split the
-/// paper's tables print.
+/// paper's tables print; `overlap_hidden_seconds` is the portion of the
+/// latency that pipelined exchanges hid under a still-streaming previous
+/// response (DESIGN.md 5g) — zero on every non-pipelined path.
 struct WanStats {
   size_t round_trips = 0;
   size_t statements = 0;  // SQL statements shipped (>= round_trips when batched)
@@ -44,21 +56,75 @@ struct WanStats {
   double charged_bytes = 0;  // volume after packet accounting
   double latency_seconds = 0;
   double transfer_seconds = 0;
+  double overlap_hidden_seconds = 0;  // latency hidden by pipelining
 
-  double total_seconds() const { return latency_seconds + transfer_seconds; }
+  /// Elapsed simulated time of all exchanges: additive latency +
+  /// transfer, minus whatever latency pipelining hid. Identical to the
+  /// historical latency + transfer sum whenever nothing was pipelined.
+  double total_seconds() const {
+    return latency_seconds + transfer_seconds - overlap_hidden_seconds;
+  }
 
   void Add(const WanStats& other);
   std::string ToString() const;
 };
 
+/// Timing of one completed exchange on the link's simulated timeline.
+struct ExchangeTiming {
+  double issue_s = 0;           // request left the client
+  double transfer_start_s = 0;  // first response byte on the wire
+  double end_s = 0;             // last response byte at the client
+  double latency_s = 0;         // full 2 * T_Lat of this exchange
+  double transfer_s = 0;        // charged volume / dtr
+  double hidden_s = 0;          // latency overlapped with prior transfer
+  /// Wall the exchange added to the timeline (latency - hidden +
+  /// transfer); equals latency_s + transfer_s when nothing overlapped.
+  double seconds() const { return latency_s - hidden_s + transfer_s; }
+};
+
+/// Realized traffic of one exchange, kept per exchange so the pipelined
+/// closed form can be reconciled level by level (bench/table_pipelined).
+struct ExchangeRecord {
+  size_t statements = 0;
+  size_t request_packets = 0;
+  double response_payload_bytes = 0;
+  double charged_bytes = 0;
+  double transfer_seconds = 0;
+  double hidden_seconds = 0;
+  bool overlapped = false;  // issued against the previous response stream
+};
+
 /// Deterministic WAN link simulator: turns request/response sizes into
 /// latency + transfer delay per the configured accounting and keeps
 /// cumulative statistics. This replaces the paper's Germany<->Brazil WAN.
+///
+/// Two accounting paths share one timeline (DESIGN.md 5g):
+///  * `RecordRoundTrip`/`RecordBatchRoundTrip` — the degenerate
+///    sequential case: each exchange is issued when the previous one
+///    fully completed, so latency and transfer are purely additive.
+///  * `BeginExchange`/`CompleteExchange` — the pipelined case: an
+///    exchange issued with `overlap_previous` starts while the previous
+///    response is still streaming (at its transfer start, the earliest
+///    instant its prefix is decodable). Its latency window then runs
+///    concurrently with the remaining transfer, and only the
+///    non-overlapped part — 2*T_Lat minus min(2*T_Lat, previous
+///    transfer) — is charged; transfer itself serializes on link
+///    occupancy (one response stream at a time).
 class WanLink {
  public:
-  explicit WanLink(WanConfig config) : config_(config) {}
+  explicit WanLink(WanConfig config)
+      : config_(config), status_(config.Validate()) {}
+
+  /// Validating factory; prefer this over direct construction when the
+  /// config is not statically known-good.
+  static Result<WanLink> Create(WanConfig config);
 
   const WanConfig& config() const { return config_; }
+
+  /// Construction-time validation result. An invalid link is inert:
+  /// every Record*/Begin/Complete call accounts nothing and returns
+  /// zeroed timings, so a misconfigured link can never emit inf/NaN.
+  const Status& status() const { return status_; }
 
   /// Accounts one query/response exchange. `request_bytes` is the size
   /// of the shipped SQL text, `response_payload_bytes` the serialized
@@ -77,12 +143,55 @@ class WanLink {
                               size_t response_payload_bytes,
                               size_t n_statements);
 
+  /// Opens an exchange on the timeline. With `overlap_previous` the
+  /// request is issued at the previous exchange's transfer start
+  /// (speculative issue against the streaming prefix); without, at the
+  /// previous exchange's completion — the degenerate sequential case.
+  /// At most one exchange may be open at a time; an empty batch
+  /// (`n_statements == 0`) opens nothing.
+  void BeginExchange(size_t request_bytes, size_t n_statements,
+                     bool overlap_previous);
+
+  /// Closes the open exchange with its response size: computes the
+  /// timeline (occupancy-serialized transfer, non-overlapped latency),
+  /// accumulates stats and emits wan:latency / wan:transfer /
+  /// wan:overlap_hidden spans. Returns zeroed timing if no exchange is
+  /// open (or the link is invalid).
+  ExchangeTiming CompleteExchange(size_t response_payload_bytes);
+
+  /// Abandons the open exchange without accounting anything (fail-fast
+  /// paths that drained an in-flight batch whose action already failed).
+  void AbortExchange();
+
+  bool exchange_open() const { return exchange_open_; }
+
   const WanStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = WanStats(); }
+
+  /// Per-exchange traffic since the last ResetStats, in completion
+  /// order.
+  const std::vector<ExchangeRecord>& exchanges() const { return exchanges_; }
+
+  /// Clears stats, the per-exchange records and the timeline (the next
+  /// exchange starts at simulated time zero with a free link).
+  void ResetStats();
 
  private:
   WanConfig config_;
+  Status status_;
   WanStats stats_;
+  std::vector<ExchangeRecord> exchanges_;
+
+  // Timeline state (simulated seconds since the last ResetStats).
+  double now_s_ = 0;                  // completion of the latest exchange
+  double link_busy_until_s_ = 0;      // end of the latest transfer
+  double last_transfer_start_s_ = 0;  // start of the latest transfer
+
+  // The open exchange, if any.
+  bool exchange_open_ = false;
+  bool open_overlapped_ = false;
+  double open_issue_s_ = 0;
+  size_t open_request_bytes_ = 0;
+  size_t open_statements_ = 0;
 };
 
 }  // namespace pdm::net

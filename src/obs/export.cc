@@ -25,6 +25,7 @@ std::string RenderBreakdownTable(const TermBreakdown& breakdown) {
   static const ModelTerm kTerms[] = {
       ModelTerm::kLat,       ModelTerm::kTransfer,  ModelTerm::kServer,
       ModelTerm::kQueueWait, ModelTerm::kParsePlan, ModelTerm::kExec,
+      ModelTerm::kOverlapHidden,
   };
   for (ModelTerm term : kTerms) {
     const TermBreakdown::Term& t = breakdown.of(term);

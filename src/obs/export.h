@@ -20,7 +20,7 @@ struct TermBreakdown {
     size_t spans = 0;
   };
   /// Indexed by static_cast<size_t>(ModelTerm).
-  Term terms[7];
+  Term terms[kNumModelTerms];
 
   const Term& of(ModelTerm term) const {
     return terms[static_cast<size_t>(term)];

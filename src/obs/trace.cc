@@ -17,6 +17,7 @@ std::string_view ModelTermName(ModelTerm term) {
     case ModelTerm::kQueueWait: return "t_queue_wait";
     case ModelTerm::kParsePlan: return "t_parse_plan";
     case ModelTerm::kExec:      return "t_exec";
+    case ModelTerm::kOverlapHidden: return "t_overlap_hidden";
   }
   return "?";
 }
@@ -98,6 +99,28 @@ void Tracer::RecordSim(const TraceContext& parent, std::string name,
   span.detail = std::move(detail);
   std::lock_guard<std::mutex> lock(mutex_);
   span.sim_start_s = AdvanceSimClockLocked(span.trace_id, sim_seconds);
+  PushLocked(std::move(span));
+}
+
+void Tracer::RecordSimOverlay(const TraceContext& parent, std::string name,
+                              ModelTerm term, double sim_seconds,
+                              std::string detail) {
+  if (!enabled() || !parent.active()) return;
+  SpanRecord span;
+  span.trace_id = parent.trace_id;
+  span.span_id = NextSpanId();
+  span.parent_id = parent.span_id;
+  span.name = std::move(name);
+  span.term = term;
+  span.wall_start_us = NowMicros();
+  span.wall_dur_us = 0;
+  span.sim_dur_s = sim_seconds;
+  span.thread = ThreadIndex();
+  span.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Read the clock without advancing it: the overlay coincides with
+  // time that other spans already account for.
+  span.sim_start_s = sim_clock_[span.trace_id];
   PushLocked(std::move(span));
 }
 

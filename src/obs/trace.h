@@ -19,14 +19,19 @@ namespace pdm::obs {
 /// simulated seconds of all spans carrying one term must reproduce that
 /// term's closed-form prediction (bench/trace_breakdown asserts it).
 enum class ModelTerm {
-  kNone,       // structural span (action roots, batches)
-  kLat,        // t_lat: 2 * T_Lat per WAN exchange
-  kTransfer,   // t_transfer: charged volume / data transfer rate
-  kServer,     // t_server: engine work of one statement
-  kQueueWait,  // time a submission waited in the admission queue
-  kParsePlan,  // parse + bind inside t_server (wall clock only)
-  kExec,       // plan execution inside t_server (wall clock only)
+  kNone,           // structural span (action roots, batches)
+  kLat,            // t_lat: 2 * T_Lat per WAN exchange
+  kTransfer,       // t_transfer: charged volume / data transfer rate
+  kServer,         // t_server: engine work of one statement
+  kQueueWait,      // time a submission waited in the admission queue
+  kParsePlan,      // parse + bind inside t_server (wall clock only)
+  kExec,           // plan execution inside t_server (wall clock only)
+  kOverlapHidden,  // t_overlap_hidden: latency hidden by pipelining (5g)
 };
+
+/// Number of ModelTerm values (fixed-size per-term aggregation arrays).
+inline constexpr size_t kNumModelTerms =
+    static_cast<size_t>(ModelTerm::kOverlapHidden) + 1;
 
 std::string_view ModelTermName(ModelTerm term);
 
@@ -101,6 +106,16 @@ class Tracer {
   /// timestamps record the instant of the call with zero duration.
   void RecordSim(const TraceContext& parent, std::string name,
                  ModelTerm term, double sim_seconds, std::string detail = {});
+
+  /// Records an *overlay* span on the simulated timeline: it starts at
+  /// the trace's current clock but does NOT advance it. Used for
+  /// annotations that coincide with elapsed time rather than adding to
+  /// it — the pipelined WAN model's t_overlap_hidden spans mark latency
+  /// that was hidden under a concurrent transfer (DESIGN.md 5g), so
+  /// charging them to the clock would double-count.
+  void RecordSimOverlay(const TraceContext& parent, std::string name,
+                        ModelTerm term, double sim_seconds,
+                        std::string detail = {});
 
   /// Records a wall-clock interval measured externally (the admission
   /// queue uses it for enqueue -> wave-start wait times).

@@ -87,7 +87,8 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
 
 std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
     std::span<const std::string> statements) {
-  const uint64_t batch_id = ++last_batch_id_;
+  const uint64_t batch_id =
+      last_batch_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   // A batch is one client action: every statement span — whichever pool
   // worker runs it — attaches to the submitting thread's trace.
   const obs::TraceContext batch_ctx = obs::CurrentContext();
@@ -147,6 +148,11 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
   if (threads <= 1) {
     for (size_t i = 0; i < statements.size(); ++i) run_one(i, 0);
   } else {
+    // ParallelFor is not reentrant and the pool may be rebuilt when
+    // batch_threads changes: concurrent async batches serialize their
+    // parallel sections here (engine-level read concurrency is what the
+    // pool provides; batch-level overlap comes from the serial paths).
+    std::lock_guard<std::mutex> pool_lock(pool_mutex_);
     EnsurePool(threads).ParallelFor(statements.size(), run_one);
   }
 
@@ -162,6 +168,31 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
 std::vector<DbServer::BatchStatementResult> DbServer::Submit(
     uint64_t client_id, std::span<const std::string> statements) {
   return admission_->Submit(client_id, statements);
+}
+
+std::future<std::vector<DbServer::BatchStatementResult>>
+DbServer::ExecuteBatchAsync(std::vector<std::string> statements) {
+  // Capture the submitter's trace context NOW: std::async bodies run on
+  // a fresh thread whose thread-local context is empty, and the spans
+  // of this batch belong to the action that submitted it.
+  const obs::TraceContext ctx = obs::CurrentContext();
+  return std::async(std::launch::async,
+                    [this, ctx, statements = std::move(statements)]() {
+                      obs::ContextScope scope(ctx);
+                      return ExecuteBatch(statements);
+                    });
+}
+
+std::future<std::vector<DbServer::BatchStatementResult>>
+DbServer::SubmitAsync(uint64_t client_id,
+                      std::vector<std::string> statements) {
+  const obs::TraceContext ctx = obs::CurrentContext();
+  return std::async(std::launch::async,
+                    [this, client_id, ctx,
+                     statements = std::move(statements)]() {
+                      obs::ContextScope scope(ctx);
+                      return Submit(client_id, statements);
+                    });
 }
 
 DbServer::WaveExecution DbServer::ExecuteWave(
@@ -242,6 +273,10 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     if (threads <= 1 || reps.size() <= 1) {
       for (size_t r = 0; r < reps.size(); ++r) run_rep(r, 0);
     } else {
+      // Same non-reentrancy rule as the batch path: only one parallel
+      // section may drive the pool at a time (waves never race each
+      // other, but async direct batches may be in flight too).
+      std::lock_guard<std::mutex> pool_lock(pool_mutex_);
       EnsurePool(threads).ParallelFor(reps.size(), run_rep);
     }
 

@@ -1,7 +1,9 @@
 #ifndef PDM_SERVER_DB_SERVER_H_
 #define PDM_SERVER_DB_SERVER_H_
 
+#include <atomic>
 #include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -130,6 +132,23 @@ class DbServer {
   std::vector<BatchStatementResult> ExecuteBatch(
       std::span<const std::string> statements);
 
+  /// Async submission handle (DESIGN.md 5g): executes the batch on a
+  /// background thread and returns immediately, so a pipelined client
+  /// can overlap the next level's execution with its own processing of
+  /// the previous response. The submitting thread's trace context is
+  /// captured here and re-established on the background thread, so
+  /// server spans still attach to the submitting client's action.
+  /// Concurrent in-flight batches are safe for read-only statements
+  /// (the DESIGN.md 5d contract).
+  std::future<std::vector<BatchStatementResult>> ExecuteBatchAsync(
+      std::vector<std::string> statements);
+
+  /// ExecuteBatchAsync through the shared admission queue: the
+  /// background thread calls Submit(), so concurrent pipelined clients
+  /// still coalesce into execution waves (DESIGN.md 5e).
+  std::future<std::vector<BatchStatementResult>> SubmitAsync(
+      uint64_t client_id, std::vector<std::string> statements);
+
   /// Submits one client's statements to the shared admission queue
   /// (DESIGN.md 5e) and blocks until an execution wave has produced
   /// every result. Concurrent clients' submissions coalesce into one
@@ -192,6 +211,10 @@ class DbServer {
                             uint64_t wave_id);
 
   /// The pool is created lazily and rebuilt when batch_threads changes.
+  /// WorkerPool::ParallelFor is not reentrant, so every pool use (and
+  /// rebuild) happens under `pool_mutex_` — concurrent batches' parallel
+  /// sections serialize against each other while their serial paths and
+  /// engine work still overlap freely.
   WorkerPool& EnsurePool(size_t threads);
 
   /// Appends one entry under the log mutex, evicting the oldest past
@@ -204,7 +227,8 @@ class DbServer {
   mutable std::mutex log_mutex_;
   std::deque<StatementLogEntry> statement_log_;
   size_t statement_log_dropped_ = 0;
-  uint64_t last_batch_id_ = 0;
+  std::atomic<uint64_t> last_batch_id_{0};
+  std::mutex pool_mutex_;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<AdmissionQueue> admission_;
 };

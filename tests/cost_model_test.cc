@@ -237,6 +237,87 @@ TEST(CostModel, LargeRecursiveQueryNeedsMorePackets) {
   EXPECT_DOUBLE_EQ(large.latency_part, small.latency_part);
 }
 
+TEST(CostModel, PipelinedMleBeatsBatchedOnTheWholeGrid) {
+  // Whenever the tree has at least one transition (α >= 1) there is a
+  // latency window to hide, so the pipelined prediction is strictly
+  // below the batched one — on every tree × net cell of the paper grid —
+  // while latency and transfer themselves are byte-for-byte the batched
+  // values (the overlap only *hides* time, it never changes traffic).
+  for (const TreeParams& tree : PaperTreeScenarios()) {
+    for (const NetworkParams& net : PaperNetworkScenarios()) {
+      const struct {
+        StrategyKind pipelined;
+        StrategyKind batched;
+      } kVariants[] = {
+          {StrategyKind::kPipelinedLate, StrategyKind::kBatchedLate},
+          {StrategyKind::kPipelinedEarly, StrategyKind::kBatchedEarly}};
+      for (const auto& variant : kVariants) {
+        ResponseTime pipelined = Predict(
+            variant.pipelined, ActionKind::kMultiLevelExpand, tree, net);
+        ResponseTime batched = Predict(
+            variant.batched, ActionKind::kMultiLevelExpand, tree, net);
+        EXPECT_DOUBLE_EQ(pipelined.latency_part, batched.latency_part)
+            << "α=" << tree.depth << " ω=" << tree.branching;
+        EXPECT_DOUBLE_EQ(pipelined.transfer_part, batched.transfer_part)
+            << "α=" << tree.depth << " ω=" << tree.branching;
+        EXPECT_DOUBLE_EQ(batched.overlap_hidden, 0.0);
+        EXPECT_GT(pipelined.overlap_hidden, 0.0)
+            << "α=" << tree.depth << " ω=" << tree.branching;
+        // At most the full 2·T_Lat window per inter-level transition.
+        EXPECT_LE(pipelined.overlap_hidden,
+                  tree.depth * 2.0 * net.latency_s + 1e-12);
+        EXPECT_LT(pipelined.total(), batched.total());
+      }
+    }
+  }
+}
+
+TEST(CostModel, PipelinedNonMleEqualsWrappedStrategy) {
+  // Query and single-level expand are one statement: nothing to overlap.
+  TreeParams tree = Shape(7, 5);
+  NetworkParams net = Net(0.15, 512);
+  for (ActionKind action :
+       {ActionKind::kQuery, ActionKind::kSingleLevelExpand}) {
+    ResponseTime pipelined =
+        Predict(StrategyKind::kPipelinedLate, action, tree, net);
+    ResponseTime nav =
+        Predict(StrategyKind::kNavigationalLate, action, tree, net);
+    EXPECT_DOUBLE_EQ(pipelined.total(), nav.total());
+    EXPECT_DOUBLE_EQ(pipelined.overlap_hidden, 0.0);
+  }
+}
+
+TEST(CostModel, PredictPipelinedFromTrafficDegeneratesToSequential) {
+  // With no exchange overlapped, the per-exchange form must reduce to
+  // the aggregate PredictFromTraffic evaluation: same latency, same
+  // transfer (the per-batch half-packet is charged per exchange), zero
+  // hidden.
+  NetworkParams net = Net(0.15, 256);
+  std::vector<ExchangeTraffic> exchanges = {
+      {1, 512.0, false}, {2, 4096.0, false}, {4, 16384.0, false}};
+  ResponseTime per_exchange = PredictPipelinedFromTraffic(net, exchanges);
+  TrafficCounts counts{3, 1 + 2 + 4, 512.0 + 4096.0 + 16384.0};
+  ResponseTime aggregate = PredictFromTraffic(net, counts);
+  EXPECT_DOUBLE_EQ(per_exchange.latency_part, aggregate.latency_part);
+  EXPECT_NEAR(per_exchange.transfer_part, aggregate.transfer_part, 1e-12);
+  EXPECT_DOUBLE_EQ(per_exchange.overlap_hidden, 0.0);
+}
+
+TEST(CostModel, PredictPipelinedFromTrafficHidesPerTransition) {
+  NetworkParams net = Net(0.15, 256);
+  // Exchange 1's transfer: (1·4096 + 65536 + 2048) · 8 / (256·1024)
+  // = 2.1875 s >> 2·T_Lat — exchange 2 hides its full 0.3 s window.
+  // Exchange 2's transfer: (1·4096 + 512 + 2048) · 8 / (256·1024)
+  // = 0.203125 s < 0.3 — exchange 3 hides only that much.
+  std::vector<ExchangeTraffic> exchanges = {
+      {1, 65536.0, false}, {1, 512.0, true}, {1, 512.0, true}};
+  ResponseTime rt = PredictPipelinedFromTraffic(net, exchanges);
+  EXPECT_DOUBLE_EQ(rt.latency_part, 3 * 2 * 0.15);
+  EXPECT_DOUBLE_EQ(rt.overlap_hidden, 0.3 + 0.203125);
+  EXPECT_DOUBLE_EQ(rt.total(),
+                   rt.latency_part + rt.transfer_part - rt.overlap_hidden);
+}
+
 TEST(CostModel, PaperGridsHaveExpectedShape) {
   EXPECT_EQ(ComputePaperTable(StrategyKind::kNavigationalLate).size(), 27u);
   EXPECT_EQ(ComputePaperTable(StrategyKind::kNavigationalEarly).size(), 27u);

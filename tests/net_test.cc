@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "net/wan_model.h"
 
 namespace pdm::net {
@@ -164,6 +167,161 @@ TEST(WanModel, ToStringMentionsKeyFigures) {
   link.RecordRoundTrip(100, 512);
   std::string text = link.stats().ToString();
   EXPECT_NE(text.find("round_trips=1"), std::string::npos);
+}
+
+// --- Config validation (regression: a dtr_kbit=0 or packet_bytes=0 config
+// --- used to yield inf/NaN seconds that poisoned every derived stat) ----
+
+TEST(WanConfigValidate, RejectsZeroOrNonFiniteDtr) {
+  WanConfig config = PaperWan();
+  config.dtr_kbit = 0;
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("dtr_kbit"), std::string::npos);
+  config.dtr_kbit = -5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.dtr_kbit = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WanConfigValidate, RejectsZeroPacketBytes) {
+  WanConfig config = PaperWan();
+  config.packet_bytes = 0;
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("packet_bytes"), std::string::npos);
+}
+
+TEST(WanConfigValidate, RejectsNegativeOrNanLatency) {
+  WanConfig config = PaperWan();
+  config.latency_s = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+  config.latency_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.Validate().ok());
+  config.latency_s = 0;  // a LAN with free latency is legitimate
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(WanConfigValidate, CreateFactoryPropagatesTheError) {
+  WanConfig bad = PaperWan();
+  bad.dtr_kbit = 0;
+  Result<WanLink> link = WanLink::Create(bad);
+  EXPECT_FALSE(link.ok());
+  EXPECT_TRUE(WanLink::Create(PaperWan()).ok());
+}
+
+TEST(WanConfigValidate, InvalidLinkIsInertAndNeverProducesNaN) {
+  WanConfig bad = PaperWan();
+  bad.dtr_kbit = 0;
+  WanLink link(bad);
+  EXPECT_FALSE(link.status().ok());
+  EXPECT_DOUBLE_EQ(link.RecordRoundTrip(100, 512), 0.0);
+  link.BeginExchange(100, 1, /*overlap_previous=*/false);
+  EXPECT_FALSE(link.exchange_open());
+  ExchangeTiming timing = link.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(timing.seconds(), 0.0);
+  EXPECT_EQ(link.stats().round_trips, 0u);
+  EXPECT_TRUE(std::isfinite(link.stats().total_seconds()));
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), 0.0);
+}
+
+// --- Pipelined timeline (DESIGN.md 5g) --------------------------------
+
+TEST(WanPipeline, SequentialBeginCompleteMatchesRecordBatchRoundTrip) {
+  WanLink batched(PaperWan());
+  double expected =
+      batched.RecordBatchRoundTrip(/*request=*/2000, /*response=*/10240,
+                                   /*n_statements=*/20);
+  WanLink split(PaperWan());
+  split.BeginExchange(2000, 20, /*overlap_previous=*/false);
+  ExchangeTiming timing = split.CompleteExchange(10240);
+  EXPECT_DOUBLE_EQ(timing.seconds(), expected);
+  EXPECT_DOUBLE_EQ(timing.hidden_s, 0.0);
+  EXPECT_DOUBLE_EQ(split.stats().charged_bytes, batched.stats().charged_bytes);
+  EXPECT_DOUBLE_EQ(split.stats().total_seconds(),
+                   batched.stats().total_seconds());
+  EXPECT_EQ(split.stats().statements, 20u);
+}
+
+TEST(WanPipeline, OverlapHidesFullLatencyWhenPreviousTransferIsLonger) {
+  // First exchange streams 65536 B: X_prev = (4096 + 65536 + 2048) * 8 /
+  // (256 * 1024) = 2.1875 s > 2 * T_Lat = 0.3 s, so the whole latency
+  // window of the overlapped exchange hides under it.
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 65536);
+  link.BeginExchange(100, 1, /*overlap_previous=*/true);
+  ExchangeTiming timing = link.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(timing.hidden_s, 0.3);
+  EXPECT_DOUBLE_EQ(link.stats().overlap_hidden_seconds, 0.3);
+  // The invariant the stats expose: total = latency + transfer - hidden,
+  // and that is exactly the end of the last exchange on the timeline.
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), timing.end_s);
+  // Occupancy: the second transfer starts when the first one ends.
+  EXPECT_DOUBLE_EQ(timing.transfer_start_s, 2 * 0.15 + 2.1875);
+}
+
+TEST(WanPipeline, OverlapHidesOnlyThePreviousTransferWhenItIsShort) {
+  // First exchange streams 512 B: X_prev = 6656 * 8 / (256 * 1024) =
+  // 0.203125 s < 0.3 s — only that much of the latency window can hide.
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 512);
+  link.BeginExchange(100, 1, /*overlap_previous=*/true);
+  ExchangeTiming timing = link.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(timing.hidden_s, 0.203125);
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), timing.end_s);
+  ASSERT_EQ(link.exchanges().size(), 2u);
+  EXPECT_FALSE(link.exchanges()[0].overlapped);
+  EXPECT_TRUE(link.exchanges()[1].overlapped);
+  EXPECT_DOUBLE_EQ(link.exchanges()[1].hidden_seconds, 0.203125);
+}
+
+TEST(WanPipeline, SequentialIssueAfterPipelinedExchangeHidesNothing) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 65536);
+  link.BeginExchange(100, 1, /*overlap_previous=*/false);
+  ExchangeTiming timing = link.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(timing.hidden_s, 0.0);
+  EXPECT_DOUBLE_EQ(link.stats().overlap_hidden_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(),
+                   link.stats().latency_seconds +
+                       link.stats().transfer_seconds);
+}
+
+TEST(WanPipeline, AbortExchangeAccountsNothing) {
+  WanLink link(PaperWan());
+  link.BeginExchange(100, 5, /*overlap_previous=*/false);
+  EXPECT_TRUE(link.exchange_open());
+  link.AbortExchange();
+  EXPECT_FALSE(link.exchange_open());
+  EXPECT_EQ(link.stats().round_trips, 0u);
+  EXPECT_DOUBLE_EQ(link.stats().total_seconds(), 0.0);
+  // The link stays fully usable afterwards.
+  link.RecordRoundTrip(100, 512);
+  EXPECT_EQ(link.stats().round_trips, 1u);
+}
+
+TEST(WanPipeline, OnlyOneExchangeMayBeOpen) {
+  WanLink link(PaperWan());
+  link.BeginExchange(100, 1, /*overlap_previous=*/false);
+  // A second Begin while one is open is ignored, not an accounting bug.
+  link.BeginExchange(5000, 7, /*overlap_previous=*/true);
+  link.CompleteExchange(512);
+  EXPECT_EQ(link.stats().round_trips, 1u);
+  EXPECT_EQ(link.stats().statements, 1u);
+  EXPECT_EQ(link.stats().request_packets, 1u);
+}
+
+TEST(WanPipeline, ResetStatsClearsTheTimeline) {
+  WanLink link(PaperWan());
+  link.RecordRoundTrip(100, 65536);
+  link.ResetStats();
+  EXPECT_TRUE(link.exchanges().empty());
+  // With the timeline gone there is no previous transfer to hide under:
+  // an overlapped issue right after reset degenerates to sequential.
+  link.BeginExchange(100, 1, /*overlap_previous=*/true);
+  ExchangeTiming timing = link.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(timing.hidden_s, 0.0);
+  EXPECT_DOUBLE_EQ(timing.issue_s, 0.0);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "client/experiment.h"
 #include "common/string_util.h"
+#include "net/wan_model.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -331,6 +332,59 @@ TEST_F(ObsTest, ResetObservabilityResetsEverySurface) {
   e.connection().ResetStats();
   EXPECT_EQ(e.connection().stats().round_trips, 0u);
   EXPECT_DOUBLE_EQ(e.connection().stats().total_seconds(), 0.0);
+}
+
+// Regression (this PR's satellite 2): wan_model.cc binds a static
+// reference to the "wan.exchange_sim_seconds" histogram once per
+// process. MetricsRegistry never evicts instruments and ResetAll zeroes
+// them IN PLACE, so a record after a reset must land in the
+// registry-visible instrument — not in a dangling pre-reset one, and
+// not in a fresh duplicate the snapshots can't see.
+TEST_F(ObsTest, WanExchangeHistogramSurvivesResetAll) {
+  net::WanLink link{net::WanConfig{}};
+  link.RecordRoundTrip(100, 512);  // binds and populates the histogram
+  obs::MetricsRegistry::Global().ResetAll();
+  link.RecordRoundTrip(100, 512);
+  std::vector<obs::HistogramSnapshot> hists =
+      obs::MetricsRegistry::Global().HistogramSnapshots();
+  auto it = std::find_if(hists.begin(), hists.end(),
+                         [](const obs::HistogramSnapshot& h) {
+                           return h.name == "wan.exchange_sim_seconds";
+                         });
+  ASSERT_NE(it, hists.end());
+  // Exactly the one post-reset exchange: the pre-reset count is gone and
+  // the post-reset observation was not lost.
+  EXPECT_EQ(it->total_count, 1u);
+}
+
+// The pipelined action's trace must still reconcile with the WAN stats:
+// t_lat spans carry only the non-hidden latency, so t_lat + t_transfer
+// sums to the link's elapsed total, while t_overlap_hidden overlays
+// attribute the saving per level (DESIGN.md 5g).
+TEST_F(ObsTest, PipelinedActionTraceReconcilesWithWanStats) {
+  Result<std::unique_ptr<Experiment>> experiment = MakeExperiment();
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  Result<client::ActionResult> result =
+      (*experiment)
+          ->RunAction(StrategyKind::kPipelinedLate,
+                      ActionKind::kMultiLevelExpand);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const net::WanStats& wan = result->wan;
+  ASSERT_GT(wan.overlap_hidden_seconds, 0.0);
+
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+  EXPECT_NEAR(SumSim(spans, obs::ModelTerm::kLat) +
+                  SumSim(spans, obs::ModelTerm::kTransfer),
+              wan.total_seconds(), 1e-9);
+  EXPECT_DOUBLE_EQ(SumSim(spans, obs::ModelTerm::kOverlapHidden),
+                   wan.overlap_hidden_seconds);
+  // One latency/transfer span pair per exchange; one hidden overlay per
+  // overlapped exchange — every level but the root's (depth = 2).
+  EXPECT_EQ(CountTerm(spans, obs::ModelTerm::kLat), wan.round_trips);
+  EXPECT_EQ(CountTerm(spans, obs::ModelTerm::kTransfer), wan.round_trips);
+  EXPECT_EQ(CountTerm(spans, obs::ModelTerm::kOverlapHidden),
+            wan.round_trips - 1);
+  EXPECT_EQ(obs::Tracer::Global().open_spans(), 0u);
 }
 
 // TSan acceptance canary: eight concurrent clients through the shared

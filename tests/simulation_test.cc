@@ -197,7 +197,7 @@ TEST(Simulation, CheckOutFlowsAgreeAndStoredProcedureWinsOnRoundTrips) {
   ASSERT_TRUE(again.ok()) << again.status();
   EXPECT_FALSE(again->success);
 
-  // Check in (batched: 1 retrieval + 2 table updates = 3 round trips)...
+  // Check in (batched: 1 retrieval + 1 batch of table updates)...
   Result<CheckOutResult> checkin =
       checkout->CheckIn(root, CheckOutMethod::kStoredProcedure);
   ASSERT_TRUE(checkin.ok()) << checkin.status();
@@ -210,7 +210,8 @@ TEST(Simulation, CheckOutFlowsAgreeAndStoredProcedureWinsOnRoundTrips) {
   ASSERT_TRUE(batched.ok()) << batched.status();
   EXPECT_TRUE(batched->success);
   EXPECT_EQ(batched->objects, expected_objects);
-  EXPECT_EQ(batched->wan.round_trips, 3u);
+  // 1 retrieval + ONE batch carrying both object tables' UPDATEs.
+  EXPECT_EQ(batched->wan.round_trips, 2u);
   ASSERT_TRUE(
       checkout->CheckIn(root, CheckOutMethod::kRecursiveBatched)->success);
 
