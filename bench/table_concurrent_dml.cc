@@ -1,0 +1,350 @@
+// Extension table (DESIGN.md 5h): MVCC snapshot reads under concurrent
+// DML, two workloads through the shared admission queue.
+//
+//  * checkout/batch — eight level-batched readers replay the
+//    multi-level expand while 0/1/2/4 writers cycle check-out/check-in
+//    on a shared subassembly: with MVCC wave lanes reader latency stays
+//    flat as writers are added.
+//  * burst/recurse — eight recursive readers vs four every-wave UPDATE
+//    writers, MVCC vs the pre-MVCC serial mode on the identical
+//    workload: a serial DML-carrying wave re-executes the recursive
+//    tree query once per reader, the MVCC read lane once per wave.
+//
+// Reports, per cell: reader wall-clock p50/max, wave/statement/DML
+// totals, server-side first-writer-wins conflicts vs client-side
+// retries, and version-GC counters. Fails non-zero if
+//   * any reader tree deviates from the quiesced reference,
+//   * reader p50 at 4 writers is not within the flatness bound of the
+//     zero-writer baseline,
+//   * the serial mode is not measurably slower than MVCC on the
+//     burst/recurse pair,
+//   * server conflicts and client retries do not reconcile.
+// Writes a Chrome-trace JSON artifact of the traced 4-writer MVCC cell
+// (argv[1], default "concurrent_dml_trace.json").
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/admission_queue.h"
+
+namespace pdm::bench {
+namespace {
+
+using model::ActionKind;
+using model::StrategyKind;
+
+constexpr size_t kReaders = 8;
+constexpr size_t kWriterCycles = 3;
+/// Update-burst writers: one DML submission per wave, sized to outlast
+/// the readers' five level waves with margin.
+constexpr size_t kBurstWriterCycles = 8;
+constexpr size_t kReps = 3;  // per cell; min-p50 rep kept (noise floor)
+
+/// Reader p50 / flatness bound. Wall clock on a shared machine is
+/// noisy and writer DML shares the CPU with the readers, so the bound
+/// is deliberately generous.
+constexpr double kFlatnessBound = 1.10;
+/// The serial mode must be at least this factor slower than MVCC on
+/// the burst-writer/recursive-reader pair: with DML pending in every
+/// wave, the serial path re-executes the recursive tree query once per
+/// reader (8x) while the MVCC read lane executes it once and fans the
+/// result out. The measured gap is a large multiple; the floor only
+/// needs to reject "no measurable penalty".
+constexpr double kSerialSlowdownFloor = 1.5;
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name).value();
+}
+
+struct Cell {
+  size_t writers = 0;
+  bool mvcc = true;
+  client::DmlWriterMode writer_mode =
+      client::DmlWriterMode::kCheckOutCycles;
+  StrategyKind reader_strategy = StrategyKind::kBatchedEarly;
+  double p50_ms = 0;
+  double max_ms = 0;
+  size_t waves = 0;
+  size_t statements = 0;
+  size_t dml_statements = 0;
+  size_t conflicts = 0;
+  size_t conflict_retries = 0;
+  bool trees_identical = true;
+};
+
+double MedianMs(std::vector<double> seconds) {
+  std::sort(seconds.begin(), seconds.end());
+  const size_t n = seconds.size();
+  const double mid = n % 2 == 1
+                         ? seconds[n / 2]
+                         : 0.5 * (seconds[n / 2 - 1] + seconds[n / 2]);
+  return mid * 1e3;
+}
+
+/// Runs one (writers, mvcc) cell `kReps` times against fresh
+/// deployments and keeps the repetition with the lowest reader p50.
+Result<Cell> RunCell(const client::ExperimentConfig& config,
+                     const std::string& reference_tree, size_t writers,
+                     bool mvcc, client::DmlWriterMode writer_mode,
+                     StrategyKind reader_strategy, bool trace,
+                     bool verbose = false) {
+  Cell best;
+  best.writers = writers;
+  best.mvcc = mvcc;
+  best.writer_mode = writer_mode;
+  best.reader_strategy = reader_strategy;
+  best.p50_ms = -1;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    PDM_ASSIGN_OR_RETURN(std::unique_ptr<client::Experiment> experiment,
+                         client::Experiment::Create(config));
+    client::Experiment& e = *experiment;
+    e.server().mutable_config().batch_threads = 4;
+    e.server().mutable_config().mvcc_waves = mvcc;
+    // Aggressive GC cadence so the bench exercises the version pruner.
+    e.server().mutable_config().gc_interval_waves = 8;
+
+    client::ConcurrentDmlOptions options;
+    options.readers = kReaders;
+    options.writers = writers;
+    options.writer_mode = writer_mode;
+    options.reader_strategy = reader_strategy;
+    // Burst writers advance one submission per wave while the readers
+    // are active; enough cycles keeps DML pending in every wave of the
+    // readers' session.
+    options.writer_cycles =
+        writer_mode == client::DmlWriterMode::kUpdateBursts
+            ? kBurstWriterCycles
+            : kWriterCycles;
+    // All writers work the same first-level subassembly (BFS
+    // generation: the root's first child is root_obid + 1). That is the
+    // realistic PDM pattern — engineers check out a subassembly, not
+    // the product — and it keeps every writer contending on the same
+    // rows while their DML stays small next to the readers' expands.
+    options.writer_root_obid = e.product().root_obid + 1;
+    const bool trace_this = trace && rep == kReps - 1;
+    if (trace_this) obs::Tracer::Global().Enable(true);
+    PDM_ASSIGN_OR_RETURN(client::ConcurrentDmlResult run,
+                         client::RunConcurrentDmlAction(e, options));
+    if (trace_this) obs::Tracer::Global().Enable(false);
+
+    if (verbose && rep == 0) {
+      for (const AdmissionQueue::WaveLogEntry& w :
+           e.server().admission_queue().wave_log()) {
+        std::printf("  wave %llu: stmts=%zu unique=%zu subs=%zu "
+                    "clients=%zu ro=%d dml=%zu conflicts=%zu\n",
+                    static_cast<unsigned long long>(w.wave_id), w.statements,
+                    w.unique_statements, w.submissions, w.clients,
+                    w.read_only ? 1 : 0, w.dml_statements, w.conflicts);
+      }
+    }
+    const double p50 = MedianMs(run.reader_wall_seconds);
+    if (best.p50_ms >= 0 && p50 >= best.p50_ms) continue;
+    best.p50_ms = p50;
+    best.max_ms = 1e3 * *std::max_element(run.reader_wall_seconds.begin(),
+                                          run.reader_wall_seconds.end());
+    best.waves = run.waves;
+    best.statements = run.statements;
+    best.dml_statements = run.dml_statements;
+    best.conflicts = run.conflicts;
+    best.conflict_retries = run.conflict_retries;
+    best.trees_identical = true;
+    for (const client::ActionResult& r : run.reader_results) {
+      if (r.tree.ToString(1 << 20) != reference_tree) {
+        best.trees_identical = false;
+      }
+    }
+  }
+  return best;
+}
+
+int Run(const char* trace_path) {
+  PrintBanner(
+      "Concurrent DML extension: MVCC snapshot reads vs serial waves");
+
+  const model::TreeParams tree{4, 9, 0.6};
+  const model::NetworkParams net;
+  client::ExperimentConfig config = MakeExperimentConfig(tree, net);
+
+  // Quiesced reference tree for the byte-identical reader check.
+  Result<std::unique_ptr<client::Experiment>> reference_experiment =
+      client::Experiment::Create(config);
+  if (!reference_experiment.ok()) {
+    std::fprintf(stderr, "reference experiment failed: %s\n",
+                 reference_experiment.status().ToString().c_str());
+    return 1;
+  }
+  // One quiesced reference per reader strategy: the strategies retrieve
+  // the same visible tree but serialize it in their own traversal
+  // order.
+  std::string reference_trees[2];
+  const StrategyKind reference_kinds[2] = {StrategyKind::kBatchedEarly,
+                                           StrategyKind::kRecursive};
+  for (int i = 0; i < 2; ++i) {
+    Result<client::ActionResult> reference =
+        (*reference_experiment)
+            ->RunAction(reference_kinds[i], ActionKind::kMultiLevelExpand);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "reference run failed: %s\n",
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    reference_trees[i] = reference->tree.ToString(1 << 20);
+  }
+  const std::string& reference_tree = reference_trees[0];
+  const std::string& recursive_reference_tree = reference_trees[1];
+
+  const uint64_t conflicts_before = CounterValue("mvcc.write_conflicts");
+  const uint64_t retries_before = CounterValue("mvcc.conflict_retries");
+
+  std::printf("%-7s %-6s %-15s | %9s %9s | %6s %7s %5s | %9s %8s | %s\n",
+              "writers", "mode", "load", "p50(ms)", "max(ms)", "waves",
+              "stmts", "dml", "conflicts", "retries", "trees");
+
+  // PDM_BENCH_VERBOSE=1 dumps the wave log of the 4-writer cells.
+  const bool verbose = std::getenv("PDM_BENCH_VERBOSE") != nullptr;
+
+  // Check-out/check-in writers at increasing counts: the flatness
+  // claim on the realistic PDM action mix.
+  std::vector<Cell> cells;
+  for (size_t writers : {0u, 1u, 2u, 4u}) {
+    Result<Cell> cell =
+        RunCell(config, reference_tree, writers, /*mvcc=*/true,
+                client::DmlWriterMode::kCheckOutCycles,
+                StrategyKind::kBatchedEarly,
+                /*trace=*/writers == 4, verbose && writers == 4);
+    if (!cell.ok()) {
+      std::fprintf(stderr, "cell failed (writers=%zu): %s\n", writers,
+                   cell.status().ToString().c_str());
+      return 1;
+    }
+    cells.push_back(*cell);
+  }
+  // Mode comparison, built to be deterministic: burst writers keep DML
+  // pending in every wave (check-out writers alternate retrieval and
+  // update waves, making DML coverage of a given wave phase luck), and
+  // recursive readers put all of a reader's work in one statement whose
+  // execution dominates per-statement accounting. The serial path must
+  // then execute the recursive query once per reader where MVCC
+  // executes it once per wave — the reader/writer serialization cost
+  // the wave lanes remove.
+  for (bool mvcc : {true, false}) {
+    Result<Cell> cell =
+        RunCell(config, recursive_reference_tree, 4, mvcc,
+                client::DmlWriterMode::kUpdateBursts,
+                StrategyKind::kRecursive,
+                /*trace=*/false, verbose);
+    if (!cell.ok()) {
+      std::fprintf(stderr, "burst cell failed (mvcc=%d): %s\n", mvcc ? 1 : 0,
+                   cell.status().ToString().c_str());
+      return 1;
+    }
+    cells.push_back(*cell);
+  }
+
+  for (const Cell& c : cells) {
+    std::printf(
+        "%-7zu %-6s %-15s | %9.2f %9.2f | %6zu %7zu %5zu | %9zu %8zu | %s\n",
+        c.writers, c.mvcc ? "mvcc" : "serial",
+        c.writer_mode == client::DmlWriterMode::kUpdateBursts
+            ? "burst/recurse"
+            : "checkout/batch",
+        c.p50_ms, c.max_ms, c.waves, c.statements, c.dml_statements,
+        c.conflicts, c.conflict_retries,
+        c.trees_identical ? "identical" : "DEVIATE");
+  }
+
+  const uint64_t conflicts_total =
+      CounterValue("mvcc.write_conflicts") - conflicts_before;
+  const uint64_t retries_total =
+      CounterValue("mvcc.conflict_retries") - retries_before;
+  std::printf(
+      "\nobs reconciliation: mvcc.write_conflicts +%llu, "
+      "mvcc.conflict_retries +%llu, mvcc.gc_runs %llu, "
+      "mvcc.versions_pruned %llu, mvcc.gc_deferred %llu\n",
+      static_cast<unsigned long long>(conflicts_total),
+      static_cast<unsigned long long>(retries_total),
+      static_cast<unsigned long long>(CounterValue("mvcc.gc_runs")),
+      static_cast<unsigned long long>(CounterValue("mvcc.versions_pruned")),
+      static_cast<unsigned long long>(CounterValue("mvcc.gc_deferred")));
+
+  int failures = 0;
+  for (const Cell& c : cells) {
+    if (!c.trees_identical) {
+      std::fprintf(stderr,
+                   "FAIL: reader tree deviates from the quiesced reference "
+                   "(writers=%zu mode=%s)\n",
+                   c.writers, c.mvcc ? "mvcc" : "serial");
+      ++failures;
+    }
+    // Per-cell reconciliation holds whenever every writer eventually
+    // succeeded (a hard error would have failed the run): one client
+    // retry per server-side first-writer-wins loss.
+    if (c.conflicts != c.conflict_retries) {
+      std::fprintf(stderr,
+                   "FAIL: %zu server conflicts vs %zu client retries "
+                   "(writers=%zu mode=%s)\n",
+                   c.conflicts, c.conflict_retries, c.writers,
+                   c.mvcc ? "mvcc" : "serial");
+      ++failures;
+    }
+  }
+  const Cell& baseline = cells[0];
+  const Cell& loaded = cells[3];        // 4 writers, mvcc, check-out
+  const Cell& burst_mvcc = cells[4];    // 4 writers, mvcc, bursts
+  const Cell& burst_serial = cells[5];  // 4 writers, serial, bursts
+  std::printf(
+      "reader flatness: %.3fx the zero-writer baseline (bound %.2fx); "
+      "serial slowdown: %.3fx the MVCC p50 on bursts (floor %.2fx)\n",
+      loaded.p50_ms / baseline.p50_ms, kFlatnessBound,
+      burst_serial.p50_ms / burst_mvcc.p50_ms, kSerialSlowdownFloor);
+  if (loaded.p50_ms > kFlatnessBound * baseline.p50_ms) {
+    std::fprintf(stderr,
+                 "FAIL: reader p50 %.2f ms at 4 writers exceeds %.2fx the "
+                 "zero-writer baseline %.2f ms\n",
+                 loaded.p50_ms, kFlatnessBound, baseline.p50_ms);
+    ++failures;
+  }
+  if (burst_serial.p50_ms < kSerialSlowdownFloor * burst_mvcc.p50_ms) {
+    std::fprintf(stderr,
+                 "FAIL: serial p50 %.2f ms is not >= %.2fx the MVCC p50 "
+                 "%.2f ms on the update-burst workload\n",
+                 burst_serial.p50_ms, kSerialSlowdownFloor,
+                 burst_mvcc.p50_ms);
+    ++failures;
+  }
+
+  std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+  Status written = obs::WriteChromeTraceFile(trace_path, spans);
+  if (!written.ok()) {
+    std::fprintf(stderr, "FAIL: trace artifact: %s\n",
+                 written.ToString().c_str());
+    ++failures;
+  } else {
+    std::printf("trace artifact: %s (%zu spans of the traced 4-writer "
+                "MVCC cell)\n",
+                trace_path, spans.size());
+  }
+
+  std::printf(
+      "\n(p50/max = reader wall clock, best of %zu reps. checkout/batch: "
+      "level-batched\nreaders vs check-out/check-in writers — the "
+      "flatness claim. burst/recurse:\nrecursive readers vs "
+      "every-wave UPDATE writers — the serial mode re-executes\nthe "
+      "recursive query once per reader, MVCC once per wave.)\n\n",
+      kReps);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main(int argc, char** argv) {
+  return pdm::bench::Run(argc > 1 ? argv[1] : "concurrent_dml_trace.json");
+}

@@ -2,18 +2,97 @@
 
 namespace pdm {
 
-Status Table::Insert(Row row) {
+void TableUndo::Rollback() {
+  // Reverse order: a statement that killed and then appended restores
+  // the pre-statement picture exactly.
+  for (auto it = appended.rbegin(); it != appended.rend(); ++it) {
+    Table::RowVersion& v = it->table->versions_[it->pos];
+    // end == begin: invisible to every snapshot (begin <= ts < end is
+    // unsatisfiable) and prunable by the next GC regardless of horizon.
+    v.end_ts.store(v.begin_ts, std::memory_order_release);
+    it->table->live_rows_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  for (auto it = killed.rbegin(); it != killed.rend(); ++it) {
+    it->table->versions_[it->pos].end_ts.store(kMaxCommitTs,
+                                               std::memory_order_release);
+    it->table->live_rows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  appended.clear();
+  killed.clear();
+}
+
+Status Table::Insert(Row row, uint64_t begin_ts) {
   PDM_RETURN_NOT_OK(schema_.ValidateRow(row).WithContext(
       "insert into table '" + name_ + "'"));
-  MaintainIndexesForAppend(row);
-  rows_.push_back(std::move(row));
+  AppendVersion(std::move(row), begin_ts, nullptr);
   return Status::OK();
 }
 
-void Table::MaintainIndexesForAppend(const Row& row) {
+size_t Table::AppendVersion(Row row, uint64_t begin_ts, TableUndo* undo) {
+  const size_t pos = versions_.size();
+  RowVersion& v = versions_.Append(std::move(row), begin_ts);
+  // Index maintenance happens before the position is published: a
+  // concurrent index lookup may already surface `pos`, but VisibleAt
+  // rejects positions at or past the published bound.
+  MaintainIndexesForAppend(v.data, pos);
+  published_.store(pos + 1, std::memory_order_release);
+  live_rows_.fetch_add(1, std::memory_order_relaxed);
+  if (undo != nullptr) undo->appended.push_back({this, pos});
+  return pos;
+}
+
+bool Table::KillVersion(size_t pos, uint64_t end_ts, TableUndo* undo) {
+  RowVersion& v = versions_[pos];
+  // First writer wins: a version killed by a writer that committed
+  // after the caller's snapshot stays killed; the caller loses.
+  uint64_t open = kMaxCommitTs;
+  if (!v.end_ts.compare_exchange_strong(open, end_ts,
+                                        std::memory_order_acq_rel)) {
+    return false;
+  }
+  live_rows_.fetch_sub(1, std::memory_order_relaxed);
+  if (undo != nullptr) undo->killed.push_back({this, pos});
+  return true;
+}
+
+std::vector<Row> Table::SnapshotRows(uint64_t ts) const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows());
+  ForEachVisible(ts, [&rows](const Row& row) { rows.push_back(row); });
+  return rows;
+}
+
+size_t Table::PruneVersions(uint64_t horizon) {
+  // Exclusive by contract: no readers, no writers. Everything dead at
+  // or before the horizon — plus rolled-back versions, whose end ==
+  // begin makes them invisible to any snapshot — goes away. Counting
+  // pass first: a no-op pass must not disturb the version data (the
+  // rebuild below moves rows out of their versions).
+  const size_t bound = versions_.size();
+  size_t pruned = 0;
+  for (size_t pos = 0; pos < bound; ++pos) {
+    const RowVersion& v = versions_[pos];
+    const uint64_t end = v.end_ts.load(std::memory_order_relaxed);
+    if (end <= horizon || end <= v.begin_ts) ++pruned;
+  }
+  if (pruned == 0) return 0;
+  VersionArena kept;
+  for (size_t pos = 0; pos < bound; ++pos) {
+    RowVersion& v = versions_[pos];
+    const uint64_t end = v.end_ts.load(std::memory_order_relaxed);
+    if (end <= horizon || end <= v.begin_ts) continue;
+    RowVersion& survivor = kept.Append(std::move(v.data), v.begin_ts);
+    survivor.end_ts.store(end, std::memory_order_relaxed);
+  }
+  versions_ = std::move(kept);
+  published_.store(versions_.size(), std::memory_order_release);
+  InvalidateIndexes();  // survivor positions shifted
+  return pruned;
+}
+
+void Table::MaintainIndexesForAppend(const Row& row, size_t pos) {
   std::lock_guard<std::mutex> lock(index_mutex_);
   const uint64_t old_version = version_++;
-  const size_t pos = rows_.size();
   for (auto& [column, cached] : indexes_) {
     if (cached.built_version != old_version) continue;  // already stale
     if (column < row.size() && !row[column].is_null()) {
@@ -23,20 +102,35 @@ void Table::MaintainIndexesForAppend(const Row& row) {
   }
 }
 
-const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
-  std::lock_guard<std::mutex> lock(index_mutex_);
+Table::CachedIndex& Table::EnsureIndexLocked(size_t column) const {
   CachedIndex& cached = indexes_[column];
   if (cached.built_version != version_) {
+    const size_t bound = published_.load(std::memory_order_acquire);
     cached.map.clear();
-    cached.map.reserve(rows_.size());
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      const Value& key = rows_[i][column];
+    cached.map.reserve(bound);
+    for (size_t pos = 0; pos < bound; ++pos) {
+      const Value& key = versions_[pos].data[column];
       if (key.is_null()) continue;
-      cached.map[key].push_back(i);
+      cached.map[key].push_back(pos);
     }
     cached.built_version = version_;
   }
-  return cached.map;
+  return cached;
+}
+
+const Table::ColumnIndex& Table::GetOrBuildIndex(size_t column) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  return EnsureIndexLocked(column).map;
+}
+
+void Table::IndexLookup(size_t column, const Value& key,
+                        std::vector<size_t>* out) const {
+  out->clear();
+  if (key.is_null()) return;  // NULLs are not indexed
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  const ColumnIndex& map = EnsureIndexLocked(column).map;
+  auto it = map.find(key);
+  if (it != map.end()) *out = it->second;  // copy under the lock
 }
 
 bool Table::HasFreshIndex(size_t column) const {

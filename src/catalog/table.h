@@ -1,8 +1,11 @@
 #ifndef PDM_CATALOG_TABLE_H_
 #define PDM_CATALOG_TABLE_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -14,18 +17,61 @@
 
 namespace pdm {
 
-/// In-memory row store for one table. Rows are kept in insertion order
-/// (scans are deterministic, which keeps experiments reproducible).
+/// Commit timestamps (DESIGN.md 5h). 0 is the bulk-load timestamp (a
+/// row loaded before any writer is visible to every snapshot);
+/// kMaxCommitTs marks an open (never killed) version.
+inline constexpr uint64_t kMaxCommitTs = ~0ull;
+
+/// Undo log of one DML statement: enough to roll a failed statement
+/// back so its half-applied versions can never become visible once the
+/// commit clock later passes their timestamps.
+struct TableUndo {
+  struct KilledVersion {
+    class Table* table;
+    size_t pos;
+  };
+  struct AppendedVersion {
+    class Table* table;
+    size_t pos;
+  };
+  std::vector<KilledVersion> killed;
+  std::vector<AppendedVersion> appended;
+
+  /// Reopens killed versions and marks appended ones dead-on-arrival
+  /// (end = begin, invisible to every snapshot and GC-able).
+  void Rollback();
+};
+
+/// In-memory multi-versioned row store for one table (DESIGN.md 5h).
+/// Each logical row is a chain of versions in append order; a version
+/// is visible to snapshot `ts` iff `begin_ts <= ts < end_ts`. Readers
+/// never block: UPDATE kills the old version (end_ts := write_ts) and
+/// appends a new one, DELETE only kills — concurrent scans at an older
+/// snapshot keep seeing the old version. Version order is append order,
+/// so scans stay deterministic and experiments reproducible.
 ///
-/// Tables maintain lazily built per-column hash indexes (value -> row
-/// positions) that executors use for equality scans and index joins —
-/// the moral equivalent of the B-trees a production RDBMS would keep on
-/// link.left / obid. Invalidation is versioned: every mutating entry
-/// point bumps `version_`, and a cached index is usable only while its
-/// `built_version` matches. Appends (the navigational workload's only
-/// frequent mutation) maintain in-sync indexes incrementally instead of
-/// discarding them; updates and deletes leave indexes stale until the
-/// next GetOrBuildIndex rebuilds them.
+/// Concurrency contract: any number of readers (scans, index lookups)
+/// may run concurrently with at most ONE writer (the engine serializes
+/// writers under Database's DML mutex). Versions live in a chunked
+/// arena whose chunks never move once allocated (a deque is NOT
+/// enough: push_back keeps element addresses stable but reallocates
+/// the deque's internal node map, which concurrent operator[] walks —
+/// a genuine data race). Versions become reachable only when
+/// `published_` is advanced with release ordering, so readers never
+/// observe a half-constructed version. PruneVersions (GC) is the only
+/// operation that moves versions and requires full exclusivity (no
+/// readers, no writers).
+///
+/// Tables maintain lazily built per-column hash indexes (value ->
+/// version positions) that executors use for equality scans and index
+/// joins. Indexes cover ALL published versions, dead ones included;
+/// readers filter candidates through VisibleAt(). Appends maintain
+/// in-sync indexes incrementally, kills need no index work at all, so
+/// DML no longer invalidates indexes — only GC compaction does (it
+/// renumbers positions and bumps `version_`). All index state is
+/// guarded by `index_mutex_`; concurrent read paths must use
+/// IndexLookup (which copies matches under the mutex) instead of
+/// holding references into the maps a writer may be growing.
 class Table {
  public:
   using ColumnIndex =
@@ -33,95 +79,274 @@ class Table {
   Table(std::string name, Schema schema)
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
-  // Tables are heavyweight (own all rows); handled by pointer.
+  // Tables are heavyweight (own all versions); handled by pointer.
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  const std::vector<Row>& rows() const { return rows_; }
 
-  /// Validates against the schema and appends.
-  Status Insert(Row row);
+  /// Live (visible-at-latest) row count.
+  size_t num_rows() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
+
+  /// Published version count — the exclusive scan bound for readers
+  /// (every position below it is fully constructed).
+  size_t num_versions() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Row data of a published version. The reference is stable across
+  /// concurrent appends (arena storage); only PruneVersions moves it.
+  const Row& VersionData(size_t pos) const { return versions_[pos].data; }
+
+  /// True if version `pos` is visible to snapshot `ts`. Positions at or
+  /// past the published bound are never visible (an index may briefly
+  /// carry a not-yet-published position).
+  bool VisibleAt(size_t pos, uint64_t ts) const {
+    if (pos >= published_.load(std::memory_order_acquire)) return false;
+    const RowVersion& v = versions_[pos];
+    return v.begin_ts <= ts && ts < v.end_ts.load(std::memory_order_acquire);
+  }
+
+  /// Validates against the schema and appends one version beginning at
+  /// `begin_ts` (default: the bulk-load timestamp, visible everywhere).
+  Status Insert(Row row, uint64_t begin_ts = 0);
 
   /// Appends without validation (trusted internal callers, e.g. bulk
   /// generation that constructs rows straight from the schema).
-  void InsertUnchecked(Row row) {
-    MaintainIndexesForAppend(row);
-    rows_.push_back(std::move(row));
+  void InsertUnchecked(Row row, uint64_t begin_ts = 0) {
+    AppendVersion(std::move(row), begin_ts, nullptr);
   }
 
-  /// In-place update: for each row matching `predicate`, `mutator` is
-  /// applied. Returns the number of rows touched.
+  /// Writer primitive: appends a new version beginning at `begin_ts`
+  /// and returns its position. Recorded in `undo` (if given) so a
+  /// failed statement can roll it back. Single-writer only.
+  size_t AppendVersion(Row row, uint64_t begin_ts, TableUndo* undo);
+
+  /// Writer primitive: closes version `pos` at `end_ts` under
+  /// first-writer-wins. Returns false — without touching anything — if
+  /// the version was already killed (a writer that committed after the
+  /// caller's snapshot won the race); the caller must roll back its
+  /// statement and surface a retryable conflict. Single-writer only.
+  bool KillVersion(size_t pos, uint64_t end_ts, TableUndo* undo);
+
+  /// MVCC-aware convenience update: for each open (not yet killed)
+  /// version matching `predicate`, kills it at `write_ts` and appends
+  /// the mutated copy beginning at `write_ts`. Returns rows touched.
+  /// A zero-match call touches nothing — every fresh index stays fresh.
   template <typename Pred, typename Mut>
-  size_t UpdateRows(Pred predicate, Mut mutator) {
-    InvalidateIndexes();
+  size_t UpdateRows(Pred predicate, Mut mutator, uint64_t write_ts) {
+    const size_t bound = num_versions();
     size_t n = 0;
-    for (Row& row : rows_) {
-      if (predicate(row)) {
-        mutator(row);
-        ++n;
+    for (size_t pos = 0; pos < bound; ++pos) {
+      if (versions_[pos].end_ts.load(std::memory_order_relaxed) !=
+          kMaxCommitTs) {
+        continue;  // already dead
       }
+      const Row& row = versions_[pos].data;
+      if (!predicate(row)) continue;
+      Row copy = row;
+      mutator(copy);
+      if (!KillVersion(pos, write_ts, nullptr)) continue;
+      AppendVersion(std::move(copy), write_ts, nullptr);
+      ++n;
     }
     return n;
   }
 
-  /// Deletes rows matching `predicate`; returns how many were removed.
+  /// MVCC-aware convenience delete: kills open versions matching
+  /// `predicate` at `write_ts`; returns how many were killed. A
+  /// zero-match call leaves every index fresh.
   template <typename Pred>
-  size_t DeleteRows(Pred predicate) {
-    InvalidateIndexes();
-    size_t before = rows_.size();
-    std::erase_if(rows_, predicate);
-    return before - rows_.size();
+  size_t DeleteRows(Pred predicate, uint64_t write_ts) {
+    const size_t bound = num_versions();
+    size_t n = 0;
+    for (size_t pos = 0; pos < bound; ++pos) {
+      if (versions_[pos].end_ts.load(std::memory_order_relaxed) !=
+          kMaxCommitTs) {
+        continue;
+      }
+      if (!predicate(versions_[pos].data)) continue;
+      if (KillVersion(pos, write_ts, nullptr)) ++n;
+    }
+    return n;
   }
 
-  /// Direct mutable access for the engine's UPDATE/DELETE executors
-  /// (conservatively invalidates all indexes).
-  std::vector<Row>& mutable_rows() {
-    InvalidateIndexes();
-    return rows_;
+  /// Calls `fn(row)` for every version visible at `ts`, in version
+  /// (i.e. insertion) order.
+  template <typename Fn>
+  void ForEachVisible(uint64_t ts, Fn fn) const {
+    const size_t bound = num_versions();
+    for (size_t pos = 0; pos < bound; ++pos) {
+      if (VisibleAt(pos, ts)) fn(versions_[pos].data);
+    }
   }
+
+  /// Materialized copy of the rows visible at `ts` (defaults to "all
+  /// committed-or-open data"); test/tooling convenience.
+  std::vector<Row> SnapshotRows(uint64_t ts = kMaxCommitTs - 1) const;
+
+  /// Garbage collection: physically removes versions dead at or before
+  /// `horizon` (end_ts <= horizon) plus rolled-back versions (end ==
+  /// begin), renumbering the survivors. Requires FULL exclusivity — no
+  /// concurrent readers or writers (the engine's GC gate enforces
+  /// this). Invalidate-only for indexes (positions shift). Returns how
+  /// many versions were pruned.
+  size_t PruneVersions(uint64_t horizon);
+
+  /// Positions of published versions whose `column` equals `key`,
+  /// copied under the index lock (safe next to a concurrent writer
+  /// growing the same index). Builds the index on first use. Dead
+  /// versions are included — filter through VisibleAt().
+  void IndexLookup(size_t column, const Value& key,
+                   std::vector<size_t>* out) const;
 
   /// Hash index on `column`: built on first use, maintained across
-  /// appends, rebuilt on first use after any other mutation. NULL
-  /// values are not indexed — equality never matches them.
+  /// appends, rebuilt on first use after GC. NULL values are not
+  /// indexed — equality never matches them.
   ///
-  /// Thread safety: the build itself is serialized under a mutex, so
-  /// concurrent read-only statements may race to a cold index safely
-  /// (DESIGN.md 5d). The returned reference stays valid because a
-  /// rebuild only happens after a mutation, and mutations never run
-  /// concurrently with reads by contract.
+  /// Quiesced callers only (tests, single-threaded tools): the
+  /// returned reference is into state a concurrent writer mutates.
+  /// Concurrent read paths use IndexLookup instead.
   const ColumnIndex& GetOrBuildIndex(size_t column) const;
 
-  /// True if an index on `column` exists and is in sync with the rows
-  /// (usable without a rebuild). Scan planning prefers such columns.
+  /// True if an index on `column` exists and is in sync with the
+  /// versions (usable without a rebuild). Scan planning prefers such
+  /// columns.
   bool HasFreshIndex(size_t column) const;
 
-  /// Marks all cached indexes stale; called by every mutating entry
-  /// point that cannot maintain them incrementally.
-  void InvalidateIndexes() { ++version_; }
+  /// Marks all cached indexes stale; called by mutations that cannot
+  /// maintain them incrementally (today: only GC compaction).
+  void InvalidateIndexes() {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    ++version_;
+  }
 
-  /// Bumped by every mutation; index freshness is judged against it.
-  uint64_t version() const { return version_; }
+  /// Bumped by every version append and by GC; index freshness is
+  /// judged against it.
+  uint64_t version() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return version_;
+  }
 
  private:
+  friend struct TableUndo;
+
+  /// One row version. `end_ts` is atomic: a writer kills a version
+  /// while readers evaluate visibility against it.
+  struct RowVersion {
+    Row data;
+    uint64_t begin_ts = 0;
+    std::atomic<uint64_t> end_ts{kMaxCommitTs};
+    RowVersion() = default;
+    RowVersion(Row d, uint64_t b) : data(std::move(d)), begin_ts(b) {}
+  };
+
+  /// Append-only version storage safe to index concurrently with
+  /// appends. Chunks are allocated once and never moved; the directory
+  /// of chunk pointers has fixed capacity, so the writer publishing a
+  /// new chunk (release store into its slot) never relocates anything
+  /// a reader may be walking. Single writer appends; readers access
+  /// positions below Table::published_ (whose release/acquire pair
+  /// orders the chunk stores); Reset()/move require full exclusivity.
+  class VersionArena {
+   public:
+    static constexpr size_t kChunkShift = 10;  // 1024 versions per chunk
+    static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
+    static constexpr size_t kChunkMask = kChunkSize - 1;
+    static constexpr size_t kMaxChunks = size_t{1} << 12;  // 4M versions
+
+    VersionArena() = default;
+    VersionArena(VersionArena&& other) noexcept
+        : dir_(std::move(other.dir_)), size_(other.size_) {
+      other.size_ = 0;
+    }
+    VersionArena& operator=(VersionArena&& other) noexcept {
+      if (this != &other) {
+        FreeChunks();
+        dir_ = std::move(other.dir_);
+        size_ = other.size_;
+        other.size_ = 0;
+      }
+      return *this;
+    }
+    ~VersionArena() { FreeChunks(); }
+
+    /// Versions appended so far (writer-side count; readers bound
+    /// their scans by Table::published_ instead).
+    size_t size() const { return size_; }
+
+    RowVersion& operator[](size_t pos) {
+      return dir_[pos >> kChunkShift].load(std::memory_order_acquire)
+          [pos & kChunkMask];
+    }
+    const RowVersion& operator[](size_t pos) const {
+      return dir_[pos >> kChunkShift].load(std::memory_order_acquire)
+          [pos & kChunkMask];
+    }
+
+    /// Appends one version and returns it. Single writer only; the
+    /// slot stays invisible to readers until the caller advances
+    /// Table::published_.
+    RowVersion& Append(Row row, uint64_t begin_ts) {
+      if (dir_ == nullptr) {
+        dir_.reset(new std::atomic<RowVersion*>[kMaxChunks]());
+      }
+      const size_t chunk = size_ >> kChunkShift;
+      assert(chunk < kMaxChunks && "version arena capacity exhausted");
+      if ((size_ & kChunkMask) == 0) {
+        dir_[chunk].store(new RowVersion[kChunkSize],
+                          std::memory_order_release);
+      }
+      RowVersion& v =
+          dir_[chunk].load(std::memory_order_relaxed)[size_ & kChunkMask];
+      v.data = std::move(row);
+      v.begin_ts = begin_ts;
+      v.end_ts.store(kMaxCommitTs, std::memory_order_relaxed);
+      ++size_;
+      return v;
+    }
+
+   private:
+    void FreeChunks() {
+      if (dir_ == nullptr) return;
+      const size_t chunks = (size_ + kChunkSize - 1) >> kChunkShift;
+      for (size_t c = 0; c < chunks; ++c) {
+        delete[] dir_[c].load(std::memory_order_relaxed);
+      }
+    }
+
+    std::unique_ptr<std::atomic<RowVersion*>[]> dir_;
+    size_t size_ = 0;
+  };
+
   struct CachedIndex {
     ColumnIndex map;
     uint64_t built_version = 0;  // 0 = never built (version_ starts at 1)
   };
 
-  /// Appends the about-to-be-inserted row to every in-sync index and
-  /// bumps the table version; stale indexes stay stale.
-  void MaintainIndexesForAppend(const Row& row);
+  /// Appends position `pos` (the about-to-publish version) to every
+  /// in-sync index and bumps the table version; stale indexes stay
+  /// stale.
+  void MaintainIndexesForAppend(const Row& row, size_t pos);
+
+  /// Builds (or rebuilds) the index on `column` if stale; requires
+  /// `index_mutex_` held.
+  CachedIndex& EnsureIndexLocked(size_t column) const;
 
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  uint64_t version_ = 1;
-  /// Guards `indexes_` (map shape + lazy builds). std::map nodes are
-  /// stable, so a reference returned by GetOrBuildIndex survives other
-  /// columns' indexes being built concurrently.
+  /// Version storage; chunks never move under a concurrent writer, so
+  /// readers' references/positions stay valid. Only positions below
+  /// `published_` are readable.
+  VersionArena versions_;
+  std::atomic<size_t> published_{0};
+  std::atomic<size_t> live_rows_{0};
+  uint64_t version_ = 1;  // index-freshness epoch, guarded by index_mutex_
+  /// Guards `indexes_` (map shape + lazy builds + incremental appends)
+  /// and `version_`.
   mutable std::mutex index_mutex_;
   mutable std::map<size_t, CachedIndex> indexes_;
 };

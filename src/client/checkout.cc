@@ -5,6 +5,7 @@
 
 #include "client/rule_eval.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "rules/query_builder.h"
 #include "rules/query_modificator.h"
 
@@ -12,6 +13,25 @@ namespace pdm::client {
 
 using rules::QueryModificator;
 using rules::RuleAction;
+
+namespace {
+
+/// Bound on re-submissions of a conflicted UPDATE. Every lost wave
+/// means some other writer committed (first-writer-wins guarantees
+/// global progress), so a client loses at most as many consecutive
+/// waves as its peers have batches left to commit. The bound is sized
+/// well past any realistic contention — exhausting it means livelock,
+/// and the conflict surfaces as the statement's status (callers treat
+/// it like any other error).
+constexpr int kMaxConflictRetries = 64;
+
+obs::Counter& ConflictRetryCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("mvcc.conflict_retries");
+  return c;
+}
+
+}  // namespace
 
 std::string_view CheckOutMethodName(CheckOutMethod method) {
   switch (method) {
@@ -125,8 +145,20 @@ Result<CheckOutResult> CheckOutClient::RunClientSide(int64_t root,
         for (int64_t obid : obids) {
           std::unique_ptr<sql::Statement> update =
               rules::BuildCheckOutUpdate(type, {obid}, checking_out);
+          const std::string sql = update->ToSql();
           ResultSet ack;
-          PDM_RETURN_NOT_OK(conn_->Execute(update->ToSql(), &ack));
+          Status status = conn_->Execute(sql, &ack);
+          // A write conflict is retryable, not fatal: re-submit, which
+          // re-evaluates at a fresh snapshot.
+          for (int attempt = 0;
+               IsRetryableConflict(status.code()) &&
+               attempt < kMaxConflictRetries;
+               ++attempt) {
+            ++out.conflict_retries;
+            ConflictRetryCounter().Increment();
+            status = conn_->Execute(sql, &ack);
+          }
+          PDM_RETURN_NOT_OK(status);
           flipped += ack.affected_rows;
         }
       }
@@ -139,6 +171,28 @@ Result<CheckOutResult> CheckOutClient::RunClientSide(int64_t root,
       }
       std::vector<Result<ResultSet>> acks;
       PDM_RETURN_NOT_OK(conn_->ExecuteBatch(updates, &acks));
+      // Re-batch only the conflicted slots: conflicts are retryable
+      // (a concurrent writer won first-writer-wins), every other error
+      // aborts below as before.
+      for (int attempt = 0; attempt < kMaxConflictRetries; ++attempt) {
+        std::vector<size_t> conflicted;
+        for (size_t i = 0; i < acks.size(); ++i) {
+          if (IsRetryableConflict(acks[i].status().code())) {
+            conflicted.push_back(i);
+          }
+        }
+        if (conflicted.empty()) break;
+        out.conflict_retries += conflicted.size();
+        ConflictRetryCounter().Add(conflicted.size());
+        std::vector<std::string> retry_sql;
+        retry_sql.reserve(conflicted.size());
+        for (size_t i : conflicted) retry_sql.push_back(updates[i]);
+        std::vector<Result<ResultSet>> retry_acks;
+        PDM_RETURN_NOT_OK(conn_->ExecuteBatch(retry_sql, &retry_acks));
+        for (size_t j = 0; j < conflicted.size(); ++j) {
+          acks[conflicted[j]] = std::move(retry_acks[j]);
+        }
+      }
       for (Result<ResultSet>& ack : acks) {
         PDM_RETURN_NOT_OK(ack.status());
         flipped += ack->affected_rows;

@@ -30,6 +30,11 @@ std::string_view CheckOutMethodName(CheckOutMethod method);
 struct CheckOutResult {
   bool success = false;       // denied if a rule failed (e.g. ∀rows)
   size_t objects = 0;         // objects whose flag was flipped
+  /// UPDATE statements that lost a first-writer-wins race
+  /// (StatusCode::kWriteConflict) and were re-submitted. Conflicts are
+  /// retryable, not errors: a concurrent writer committed between this
+  /// client's snapshot and its write.
+  size_t conflict_retries = 0;
   net::WanStats wan;          // traffic of the whole flow
   double seconds() const { return wan.total_seconds(); }
 };

@@ -1,9 +1,12 @@
 #include "client/experiment.h"
 
+#include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "pdm/pdm_schema.h"
 #include "rules/procedures.h"
+#include "rules/query_builder.h"
 #include "server/admission_queue.h"
 #include "sql/parser.h"
 
@@ -195,6 +198,165 @@ Result<MultiClientResult> RunMultiClientAction(
     ++result.waves;
     result.statements += wave.statements;
     result.unique_statements += wave.unique_statements;
+  }
+  return result;
+}
+
+Result<ConcurrentDmlResult> RunConcurrentDmlAction(
+    Experiment& experiment, const ConcurrentDmlOptions& options) {
+  if (options.readers == 0) {
+    return Status::InvalidArgument("concurrent DML run needs >= 1 reader");
+  }
+  AdmissionQueue& queue = experiment.server().admission_queue();
+  queue.ClearWaveLog();
+
+  // Readers get client ids [0, readers), writers [readers, total). Every
+  // connection registers before any thread starts, exactly like
+  // RunMultiClientAction.
+  const size_t total = options.readers + options.writers;
+  std::vector<std::unique_ptr<Connection>> connections;
+  connections.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    auto conn = std::make_unique<Connection>(&experiment.server(),
+                                             experiment.config().wan);
+    conn->AttachToAdmissionQueue(i);
+    connections.push_back(std::move(conn));
+  }
+
+  std::vector<Result<ActionResult>> reader_outcomes(
+      options.readers, Result<ActionResult>(Status::Internal("not run")));
+  std::vector<double> reader_wall(options.readers, 0.0);
+  // Per writer: its cycle outcomes, or the first hard error.
+  std::vector<Status> writer_errors(options.writers, Status::OK());
+  std::vector<std::vector<CheckOutResult>> writer_outcomes(options.writers);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(total);
+    for (size_t i = 0; i < options.readers; ++i) {
+      threads.emplace_back([&, i] {
+        std::unique_ptr<AccessStrategy> strategy =
+            experiment.MakeStrategyOn(connections[i].get(),
+                                      options.reader_strategy);
+        const auto start = std::chrono::steady_clock::now();
+        switch (options.reader_action) {
+          case model::ActionKind::kQuery:
+            reader_outcomes[i] = strategy->QueryAll();
+            break;
+          case model::ActionKind::kSingleLevelExpand:
+            reader_outcomes[i] =
+                strategy->SingleLevelExpand(experiment.product().root_obid);
+            break;
+          case model::ActionKind::kMultiLevelExpand:
+            reader_outcomes[i] =
+                strategy->MultiLevelExpand(experiment.product().root_obid);
+            break;
+        }
+        reader_wall[i] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        connections[i]->DetachFromAdmissionQueue();
+      });
+    }
+    for (size_t w = 0; w < options.writers; ++w) {
+      threads.emplace_back([&, w] {
+        Connection* conn = connections[options.readers + w].get();
+        CheckOutClient client(conn, &experiment.rule_table(),
+                              experiment.user(),
+                              experiment.config().client);
+        const int64_t root = options.writer_root_obid != 0
+                                 ? options.writer_root_obid
+                                 : experiment.product().root_obid;
+        if (options.writer_mode == DmlWriterMode::kUpdateBursts) {
+          // Every writer flips the same row's flag, so same-wave bursts
+          // race under first-writer-wins; losers re-submit (the same
+          // bounded client retry the check-out flow uses).
+          for (size_t cycle = 0; cycle < options.writer_cycles; ++cycle) {
+            CheckOutResult burst;
+            const std::string sql =
+                rules::BuildCheckOutUpdate(pdmsys::kAssyTable, {root},
+                                           /*checking_out=*/cycle % 2 == 0)
+                    ->ToSql();
+            std::vector<Result<ResultSet>> acks;
+            Status status = conn->ExecuteBatch({sql}, &acks);
+            for (int attempt = 0;
+                 status.ok() &&
+                 IsRetryableConflict(acks[0].status().code()) &&
+                 attempt < 64;
+                 ++attempt) {
+              ++burst.conflict_retries;
+              obs::MetricsRegistry::Global()
+                  .counter("mvcc.conflict_retries")
+                  .Increment();
+              status = conn->ExecuteBatch({sql}, &acks);
+            }
+            if (status.ok() && !acks[0].ok()) status = acks[0].status();
+            if (!status.ok()) {
+              writer_errors[w] = std::move(status);
+              break;
+            }
+            burst.success = true;
+            burst.objects = acks[0]->affected_rows;
+            writer_outcomes[w].push_back(std::move(burst));
+          }
+          conn->DetachFromAdmissionQueue();
+          return;
+        }
+        if (options.stagger_writers && w % 2 == 1) {
+          // One throwaway read shifts this writer's retrieval/update
+          // alternation by one wave relative to its even-indexed peers.
+          std::vector<Result<ResultSet>> ignored;
+          Status staggered = conn->ExecuteBatch(
+              {std::string("SELECT obid FROM ") + pdmsys::kAssyTable +
+               " WHERE obid = " + std::to_string(root)},
+              &ignored);
+          if (!staggered.ok()) {
+            writer_errors[w] = std::move(staggered);
+            conn->DetachFromAdmissionQueue();
+            return;
+          }
+        }
+        for (size_t cycle = 0; cycle < options.writer_cycles; ++cycle) {
+          Result<CheckOutResult> out =
+              client.CheckOut(root, options.writer_method);
+          if (!out.ok()) {
+            writer_errors[w] = out.status();
+            break;
+          }
+          writer_outcomes[w].push_back(std::move(*out));
+          Result<CheckOutResult> in =
+              client.CheckIn(root, options.writer_method);
+          if (!in.ok()) {
+            writer_errors[w] = in.status();
+            break;
+          }
+          writer_outcomes[w].push_back(std::move(*in));
+        }
+        conn->DetachFromAdmissionQueue();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  ConcurrentDmlResult result;
+  result.reader_results.reserve(options.readers);
+  for (size_t i = 0; i < options.readers; ++i) {
+    PDM_RETURN_NOT_OK(reader_outcomes[i].status());
+    result.reader_results.push_back(std::move(*reader_outcomes[i]));
+  }
+  result.reader_wall_seconds = std::move(reader_wall);
+  for (size_t w = 0; w < options.writers; ++w) {
+    PDM_RETURN_NOT_OK(writer_errors[w]);
+    for (CheckOutResult& out : writer_outcomes[w]) {
+      result.conflict_retries += out.conflict_retries;
+      result.writer_results.push_back(std::move(out));
+    }
+  }
+  for (const AdmissionQueue::WaveLogEntry& wave : queue.wave_log()) {
+    ++result.waves;
+    result.statements += wave.statements;
+    result.dml_statements += wave.dml_statements;
+    result.conflicts += wave.conflicts;
   }
   return result;
 }

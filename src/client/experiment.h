@@ -111,10 +111,79 @@ struct MultiClientResult {
 /// (byte-identical tree, same per-client WAN traffic) as a solo
 /// uncoalesced run; only server-side parse/plan work is shared. The
 /// wave counters cover exactly this run (the queue's wave log is
-/// cleared first). Read-only workloads only — concurrent DML sessions
-/// are outside the engine's concurrency contract (DESIGN.md 5d).
+/// cleared first). For mixed reader/writer sessions use
+/// RunConcurrentDmlAction below — it reports the writer outcomes and
+/// the MVCC conflict counters this read-only driver has no slots for.
 Result<MultiClientResult> RunMultiClientAction(
     Experiment& experiment, const MultiClientOptions& options);
+
+/// Configuration of one concurrent reader/writer replay (DESIGN.md 5h):
+/// `readers` clients run the read-only action while `writers` clients
+/// run check-out/check-in cycles against the same product tree, all
+/// through the shared admission queue. Reader statements run against
+/// wave snapshots, writer UPDATEs go through the serial writer lane and
+/// retry on first-writer-wins conflicts.
+/// How concurrent-DML writers generate their load:
+///  * kCheckOutCycles: full check-out/check-in flows through
+///    CheckOutClient — retrieval waves alternate with update waves,
+///    the realistic PDM action mix.
+///  * kUpdateBursts: every submission is one UPDATE flipping the flag
+///    of the writer's target row — DML is pending in *every* wave,
+///    the steady-state worst case for the pre-MVCC serial path.
+enum class DmlWriterMode { kCheckOutCycles, kUpdateBursts };
+
+struct ConcurrentDmlOptions {
+  size_t readers = 8;
+  size_t writers = 4;
+  /// Check-out + check-in pairs (kCheckOutCycles) or UPDATE
+  /// submissions (kUpdateBursts) each writer performs.
+  size_t writer_cycles = 4;
+  DmlWriterMode writer_mode = DmlWriterMode::kCheckOutCycles;
+  /// Root of the subtree the writers cycle on; 0 means the product
+  /// root. Real check-outs target a subassembly, not the whole
+  /// product — pointing the writers at a child keeps the contention
+  /// (they all fight over the same rows) without the writers' DML
+  /// dominating the CPU the readers are measured on.
+  int64_t writer_root_obid = 0;
+  /// De-phase odd-indexed writers by one submission. All writers start
+  /// their first check-out in the same wave, so their
+  /// retrieval/update alternation stays in lockstep and whole waves
+  /// deterministically carry either no DML or all writers' DML.
+  /// Staggered starts (the realistic arrival pattern) put some
+  /// writer's UPDATE batch in every wave instead.
+  bool stagger_writers = true;
+  model::StrategyKind reader_strategy = model::StrategyKind::kBatchedEarly;
+  model::ActionKind reader_action = model::ActionKind::kMultiLevelExpand;
+  CheckOutMethod writer_method = CheckOutMethod::kRecursiveBatched;
+};
+
+/// Outcome of one concurrent reader/writer replay.
+struct ConcurrentDmlResult {
+  std::vector<ActionResult> reader_results;  // indexed by reader
+  /// Wall-clock seconds each reader's action took — the number the
+  /// MVCC claim is about: it must stay flat as writers are added
+  /// (simulated WAN seconds are deterministic and cannot show the
+  /// reader/writer serialization the paper-era design suffered).
+  std::vector<double> reader_wall_seconds;
+  /// Flattened writer outcomes, 2 per cycle (check-out then check-in),
+  /// grouped by writer. A denied action (rule refused) is a valid
+  /// outcome, not an error.
+  std::vector<CheckOutResult> writer_results;
+  size_t waves = 0;
+  size_t statements = 0;
+  size_t dml_statements = 0;   // INSERT/UPDATE/DELETE through waves
+  size_t conflicts = 0;        // first-writer-wins losses at the server
+  size_t conflict_retries = 0; // client-side re-submissions
+};
+
+/// Runs `options.readers` read-only sessions and `options.writers`
+/// check-out/check-in sessions concurrently, one thread per client,
+/// all through the shared admission queue. Reader trees are
+/// byte-identical to a quiesced run: check-out flips only `checkedout`
+/// flags, which the expand queries never read, and every reader
+/// statement sees one consistent MVCC snapshot.
+Result<ConcurrentDmlResult> RunConcurrentDmlAction(
+    Experiment& experiment, const ConcurrentDmlOptions& options);
 
 }  // namespace pdm::client
 

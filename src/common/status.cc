@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kWriteConflict:
+      return "WriteConflict";
   }
   return "Unknown";
 }

@@ -19,7 +19,15 @@ enum class StatusCode {
   kAlreadyExists,     // attempt to create a duplicate entity
   kNotImplemented,    // feature outside the supported dialect/scope
   kInternal,          // invariant violation inside the library
+  kWriteConflict,     // first-writer-wins loss; retry the statement
 };
+
+/// True for errors a client may transparently retry: the statement lost
+/// a write-write race (MVCC first-writer-wins, DESIGN.md 5h) and is
+/// expected to succeed against the now-current snapshot.
+inline bool IsRetryableConflict(StatusCode code) {
+  return code == StatusCode::kWriteConflict;
+}
 
 /// Returns a stable human-readable name ("ParseError", ...) for a code.
 std::string_view StatusCodeName(StatusCode code);
@@ -61,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status WriteConflict(std::string msg) {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

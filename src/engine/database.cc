@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "exec/expr_eval.h"
 #include "exec/recursive_cte.h"
@@ -11,10 +12,90 @@
 
 namespace pdm {
 
+namespace {
+
+obs::Counter& WriteConflictCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("mvcc.write_conflicts");
+  return c;
+}
+
+/// Age of a DML statement's read snapshot in commit-clock ticks — how
+/// far behind the latest commit the statement's view was when it tried
+/// to write. 0 on every serial (latest-snapshot) statement; grows with
+/// wave-admission snapshots under concurrent writers.
+obs::Histogram& SnapshotAgeHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "mvcc.snapshot_age_commits", obs::ExponentialBounds(1.0, 4.0, 8));
+  return h;
+}
+
+}  // namespace
+
 Database::Database() {
   Status status = functions_.RegisterBuiltins();
   assert(status.ok());
   (void)status;
+}
+
+void Database::Snapshot::Release() {
+  if (db_ != nullptr) {
+    db_->ReleaseSnapshot(ts_);
+    db_ = nullptr;
+  }
+}
+
+Database::Snapshot Database::AcquireSnapshot() {
+  std::unique_lock<std::mutex> lock(snapshot_mutex_);
+  // GC holds exclusivity only while physically compacting; registration
+  // waits it out rather than racing the renumbering. Resolving the
+  // clock under the same lock closes the acquire/prune race: either we
+  // register first (GC defers) or GC finished first (we see the
+  // post-compaction world).
+  snapshot_cv_.wait(lock, [this] { return !gc_active_; });
+  const uint64_t ts = commit_clock();
+  active_snapshots_.insert(ts);
+  return Snapshot(this, ts);
+}
+
+void Database::ReleaseSnapshot(uint64_t ts) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  auto it = active_snapshots_.find(ts);
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+  snapshot_cv_.notify_all();
+}
+
+size_t Database::GarbageCollectVersions() {
+  // Writers pause for the pass (dml mutex); readers make it defer.
+  std::lock_guard<std::mutex> dml(dml_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    if (!active_snapshots_.empty()) {
+      obs::MetricsRegistry::Global().counter("mvcc.gc_deferred").Increment();
+      return 0;
+    }
+    gc_active_ = true;
+  }
+  // Horizon = commit clock: with no live snapshot, every version dead
+  // at or before it is unreachable by any current or future snapshot.
+  const uint64_t horizon = commit_clock();
+  size_t pruned = 0;
+  for (const std::string& name : catalog_.TableNames()) {
+    Table* table = catalog_.FindTable(name);
+    if (table != nullptr) pruned += table->PruneVersions(horizon);
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    gc_active_ = false;
+  }
+  snapshot_cv_.notify_all();
+  obs::MetricsRegistry::Global().counter("mvcc.gc_runs").Increment();
+  if (pruned > 0) {
+    obs::MetricsRegistry::Global()
+        .counter("mvcc.versions_pruned")
+        .Add(pruned);
+  }
+  return pruned;
 }
 
 Status Database::Execute(std::string_view sql, ResultSet* out) {
@@ -22,10 +103,12 @@ Status Database::Execute(std::string_view sql, ResultSet* out) {
 }
 
 Status Database::Execute(std::string_view sql, ResultSet* out,
-                         ExecStats* stats) {
+                         ExecStats* stats, uint64_t snapshot_ts) {
   if (options_.use_plan_cache) {
     Result<sql::StatementFingerprint> fp = sql::FingerprintSql(sql);
-    if (fp.ok()) return ExecuteFingerprinted(std::move(*fp), out, stats);
+    if (fp.ok()) {
+      return ExecuteFingerprinted(std::move(*fp), out, stats, snapshot_ts);
+    }
     // Lexical error: fall through so ParseSql reports it normally.
   }
   sql::StatementPtr stmt;
@@ -34,13 +117,14 @@ Status Database::Execute(std::string_view sql, ResultSet* out,
     PDM_ASSIGN_OR_RETURN(stmt, sql::ParseSql(sql));
   }
   obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
-  return ExecuteStatement(*stmt, out, stats);
+  return ExecuteStatement(*stmt, out, stats, snapshot_ts);
 }
 
 Status Database::ExecuteFingerprinted(sql::StatementFingerprint fp,
-                                      ResultSet* out, ExecStats* stats) {
+                                      ResultSet* out, ExecStats* stats,
+                                      uint64_t snapshot_ts) {
   if (options_.use_plan_cache && fp.cacheable) {
-    return ExecuteCachedSelect(std::move(fp), out, stats);
+    return ExecuteCachedSelect(std::move(fp), out, stats, snapshot_ts);
   }
   sql::StatementPtr stmt;
   {
@@ -49,11 +133,12 @@ Status Database::ExecuteFingerprinted(sql::StatementFingerprint fp,
     PDM_ASSIGN_OR_RETURN(stmt, parser.ParseStatement());
   }
   obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
-  return ExecuteStatement(*stmt, out, stats);
+  return ExecuteStatement(*stmt, out, stats, snapshot_ts);
 }
 
 Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
-                                     ResultSet* out, ExecStats* stats) {
+                                     ResultSet* out, ExecStats* stats,
+                                     uint64_t snapshot_ts) {
   stats->Reset();
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
@@ -66,7 +151,7 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
     stats->plan_cache_hits = 1;
     obs::ScopedSpan span("engine:exec", obs::ModelTerm::kExec);
     span.set_detail("plan-cache-hit");
-    return ExecuteBoundSelect(lease->bound, out, stats);
+    return ExecuteBoundSelect(lease->bound, out, stats, snapshot_ts);
   }
   stats->plan_cache_misses = 1;
 
@@ -76,7 +161,8 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
     sql::Parser parser(std::move(fp.tokens));
     PDM_ASSIGN_OR_RETURN(sql::StatementPtr stmt, parser.ParseStatement());
     if (stmt->kind != sql::StatementKind::kSelect) {
-      return ExecuteStatement(*stmt, out, stats);  // unreachable; defensive
+      // Unreachable; defensive.
+      return ExecuteStatement(*stmt, out, stats, snapshot_ts);
     }
     Binder binder(&catalog_, &functions_, options_.binder, &views_);
     PDM_ASSIGN_OR_RETURN(
@@ -90,7 +176,7 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
   Status status;
   {
     obs::ScopedSpan exec_span("engine:exec", obs::ModelTerm::kExec);
-    status = ExecuteBoundSelect(entry.bound, out, stats);
+    status = ExecuteBoundSelect(entry.bound, out, stats, snapshot_ts);
   }
   plan_cache_.Insert(fp.key, std::move(entry));
   return status;
@@ -112,11 +198,11 @@ Status Database::ExecuteScript(std::string_view sql) {
 }
 
 Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out) {
-  return ExecuteStatement(stmt, out, &stats_);
+  return ExecuteStatement(stmt, out, &stats_, kLatestSnapshot);
 }
 
 Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
-                                  ExecStats* stats) {
+                                  ExecStats* stats, uint64_t snapshot_ts) {
   stats->Reset();
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
@@ -126,7 +212,7 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
       return ExecuteSelect(static_cast<const sql::SelectStmt&>(stmt), out,
-                           stats);
+                           stats, snapshot_ts);
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStmt&>(stmt), out);
@@ -138,10 +224,10 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
                            stats);
     case sql::StatementKind::kUpdate:
       return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), out,
-                           stats);
+                           stats, snapshot_ts);
     case sql::StatementKind::kDelete:
       return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt), out,
-                           stats);
+                           stats, snapshot_ts);
     case sql::StatementKind::kCall:
       return ExecuteCall(static_cast<const sql::CallStmt&>(stmt), out, stats);
     case sql::StatementKind::kExplain:
@@ -157,15 +243,23 @@ Status Database::ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
 }
 
 Status Database::ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out,
-                               ExecStats* stats) {
+                               ExecStats* stats, uint64_t snapshot_ts) {
   Binder binder(&catalog_, &functions_, options_.binder, &views_);
   PDM_ASSIGN_OR_RETURN(BoundSelect bound, binder.BindSelect(stmt));
-  return ExecuteBoundSelect(bound, out, stats);
+  return ExecuteBoundSelect(bound, out, stats, snapshot_ts);
 }
 
 Status Database::ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out,
-                                    ExecStats* stats) {
-  ExecContext ctx(&catalog_, &options_.exec, stats);
+                                    ExecStats* stats, uint64_t snapshot_ts) {
+  // Callers that did not pin a snapshot read the latest committed data:
+  // register one for the statement's duration so GC cannot renumber
+  // versions under the running plan.
+  Snapshot snapshot;
+  if (snapshot_ts == kLatestSnapshot) {
+    snapshot = AcquireSnapshot();
+    snapshot_ts = snapshot.ts();
+  }
+  ExecContext ctx(&catalog_, &options_.exec, stats, snapshot_ts);
   std::map<std::string, std::vector<Row>> cte_storage;
   PDM_RETURN_NOT_OK(MaterializeCtes(bound.ctes, &ctx, &cte_storage));
   PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*bound.root, &ctx));
@@ -194,8 +288,15 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
   PDM_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
 
+  std::lock_guard<std::mutex> writer(dml_mutex_);
+  const uint64_t write_ts = commit_clock() + 1;
+
+  // Evaluate and validate every row before appending any: a failed
+  // INSERT applies nothing, and nothing ever needs rolling back.
   ExecContext ctx(&catalog_, &options_.exec, stats);
   Row empty;
+  std::vector<Row> rows;
+  rows.reserve(bound.rows.size());
   for (const std::vector<BoundExprPtr>& exprs : bound.rows) {
     Row row;
     row.reserve(exprs.size());
@@ -203,39 +304,62 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
       PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, empty, &ctx));
       row.push_back(std::move(v));
     }
-    PDM_RETURN_NOT_OK(table->Insert(std::move(row)));
+    PDM_RETURN_NOT_OK(table->schema().ValidateRow(row).WithContext(
+        "insert into table '" + table->name() + "'"));
+    rows.push_back(std::move(row));
+  }
+  for (Row& row : rows) {
+    table->AppendVersion(std::move(row), write_ts, nullptr);
     out->affected_rows++;
   }
+  // Commit point: the release store makes every appended version
+  // visible atomically to snapshots acquired from here on.
+  commit_clock_.store(write_ts, std::memory_order_release);
   return Status::OK();
 }
 
 Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
-                               ExecStats* stats) {
+                               ExecStats* stats, uint64_t snapshot_ts) {
   Binder binder(&catalog_, &functions_, options_.binder);
   PDM_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
   const Schema& schema = table->schema();
 
-  ExecContext ctx(&catalog_, &options_.exec, stats);
+  std::lock_guard<std::mutex> writer(dml_mutex_);
+  // A caller that did not pin a snapshot reads the commit clock as of
+  // now; since we hold the DML mutex no writer can commit past it, so
+  // the serial path can never lose a first-writer-wins race.
+  Snapshot pinned;
+  uint64_t read_ts = snapshot_ts;
+  if (read_ts == kLatestSnapshot) {
+    pinned = AcquireSnapshot();
+    read_ts = pinned.ts();
+  }
+  const uint64_t write_ts = commit_clock() + 1;
+  SnapshotAgeHistogram().Observe(static_cast<double>(commit_clock() - read_ts));
 
-  // Phase 1: decide matches and compute new values against the old rows,
+  ExecContext ctx(&catalog_, &options_.exec, stats, read_ts);
+
+  // Phase 1: decide matches and compute new values against the snapshot,
   // so predicates/subqueries never observe partially applied updates.
   struct PendingUpdate {
-    size_t row_index;
+    size_t pos;                 // version to kill
     std::vector<Value> values;  // aligned with bound.assignments
   };
   std::vector<PendingUpdate> pending;
-  const std::vector<Row>& rows = table->rows();
-  for (size_t i = 0; i < rows.size(); ++i) {
+  const size_t bound_versions = table->num_versions();
+  for (size_t pos = 0; pos < bound_versions; ++pos) {
+    if (!table->VisibleAt(pos, read_ts)) continue;
+    const Row& row = table->VersionData(pos);
     if (bound.predicate != nullptr) {
       PDM_ASSIGN_OR_RETURN(bool pass,
-                           EvaluatePredicate(*bound.predicate, rows[i], &ctx));
+                           EvaluatePredicate(*bound.predicate, row, &ctx));
       if (!pass) continue;
     }
     PendingUpdate update;
-    update.row_index = i;
+    update.pos = pos;
     for (const auto& [col, expr] : bound.assignments) {
-      PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, rows[i], &ctx));
+      PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, row, &ctx));
       if (!KindFitsColumn(v.kind(), schema.column(col).type)) {
         return Status::ExecutionError(StrFormat(
             "UPDATE value of kind %s does not fit column '%s'",
@@ -247,49 +371,75 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
     pending.push_back(std::move(update));
   }
 
-  // Phase 2: apply.
-  std::vector<Row>& mutable_rows = table->mutable_rows();
+  // Phase 2: kill every target version first (first-writer-wins — a
+  // target already killed by a later-committed writer means this
+  // statement loses and rolls back whole), then append the replacements.
+  TableUndo undo;
   for (const PendingUpdate& update : pending) {
-    for (size_t a = 0; a < bound.assignments.size(); ++a) {
-      mutable_rows[update.row_index][bound.assignments[a].first] =
-          update.values[a];
+    if (!table->KillVersion(update.pos, write_ts, &undo)) {
+      undo.Rollback();
+      WriteConflictCounter().Increment();
+      return Status::WriteConflict(
+          "UPDATE of table '" + table->name() +
+          "' lost a first-writer-wins race; retry against a fresh snapshot");
     }
   }
+  for (const PendingUpdate& update : pending) {
+    Row copy = table->VersionData(update.pos);
+    for (size_t a = 0; a < bound.assignments.size(); ++a) {
+      copy[bound.assignments[a].first] = update.values[a];
+    }
+    table->AppendVersion(std::move(copy), write_ts, &undo);
+  }
+  commit_clock_.store(write_ts, std::memory_order_release);
   out->affected_rows = pending.size();
   return Status::OK();
 }
 
 Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
-                               ExecStats* stats) {
+                               ExecStats* stats, uint64_t snapshot_ts) {
   Binder binder(&catalog_, &functions_, options_.binder);
   PDM_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));
   PDM_ASSIGN_OR_RETURN(Table * table, catalog_.GetTable(bound.table_name));
 
-  ExecContext ctx(&catalog_, &options_.exec, stats);
+  std::lock_guard<std::mutex> writer(dml_mutex_);
+  Snapshot pinned;
+  uint64_t read_ts = snapshot_ts;
+  if (read_ts == kLatestSnapshot) {
+    pinned = AcquireSnapshot();
+    read_ts = pinned.ts();
+  }
+  const uint64_t write_ts = commit_clock() + 1;
+  SnapshotAgeHistogram().Observe(static_cast<double>(commit_clock() - read_ts));
 
-  // Phase 1: decide, phase 2: erase (see ExecuteUpdate).
-  std::vector<bool> doomed(table->num_rows(), false);
-  const std::vector<Row>& rows = table->rows();
-  size_t matched = 0;
-  for (size_t i = 0; i < rows.size(); ++i) {
+  ExecContext ctx(&catalog_, &options_.exec, stats, read_ts);
+
+  // Phase 1: decide against the snapshot; phase 2: kill (see
+  // ExecuteUpdate for the conflict rule).
+  std::vector<size_t> doomed;
+  const size_t bound_versions = table->num_versions();
+  for (size_t pos = 0; pos < bound_versions; ++pos) {
+    if (!table->VisibleAt(pos, read_ts)) continue;
     bool pass = true;
     if (bound.predicate != nullptr) {
-      PDM_ASSIGN_OR_RETURN(pass,
-                           EvaluatePredicate(*bound.predicate, rows[i], &ctx));
+      PDM_ASSIGN_OR_RETURN(
+          pass,
+          EvaluatePredicate(*bound.predicate, table->VersionData(pos), &ctx));
     }
-    if (pass) {
-      doomed[i] = true;
-      ++matched;
+    if (pass) doomed.push_back(pos);
+  }
+  TableUndo undo;
+  for (size_t pos : doomed) {
+    if (!table->KillVersion(pos, write_ts, &undo)) {
+      undo.Rollback();
+      WriteConflictCounter().Increment();
+      return Status::WriteConflict(
+          "DELETE from table '" + table->name() +
+          "' lost a first-writer-wins race; retry against a fresh snapshot");
     }
   }
-  std::vector<Row>& mutable_rows = table->mutable_rows();
-  std::vector<Row> kept;
-  kept.reserve(mutable_rows.size() - matched);
-  for (size_t i = 0; i < mutable_rows.size(); ++i) {
-    if (!doomed[i]) kept.push_back(std::move(mutable_rows[i]));
-  }
-  mutable_rows = std::move(kept);
-  out->affected_rows = matched;
+  commit_clock_.store(write_ts, std::memory_order_release);
+  out->affected_rows = doomed.size();
   return Status::OK();
 }
 

@@ -1,11 +1,16 @@
 #ifndef PDM_ENGINE_DATABASE_H_
 #define PDM_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -50,6 +55,62 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Sentinel snapshot: "resolve to the commit clock at statement
+  /// start". Every entry point that does not name a snapshot reads the
+  /// latest committed data — the pre-MVCC behaviour, statement by
+  /// statement.
+  static constexpr uint64_t kLatestSnapshot = kMaxCommitTs;
+
+  /// RAII read-snapshot handle (DESIGN.md 5h). While live it pins every
+  /// version visible at ts(): version GC defers rather than prune under
+  /// an active snapshot. Acquire one per read unit (the engine does it
+  /// per statement; the admission queue per wave) and drop it promptly —
+  /// a long-lived snapshot blocks GC for the whole process.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&& other) noexcept
+        : db_(std::exchange(other.db_, nullptr)), ts_(other.ts_) {}
+    Snapshot& operator=(Snapshot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        db_ = std::exchange(other.db_, nullptr);
+        ts_ = other.ts_;
+      }
+      return *this;
+    }
+    ~Snapshot() { Release(); }
+
+    bool valid() const { return db_ != nullptr; }
+    uint64_t ts() const { return ts_; }
+    /// Unregisters early (idempotent).
+    void Release();
+
+   private:
+    friend class Database;
+    Snapshot(Database* db, uint64_t ts) : db_(db), ts_(ts) {}
+    Database* db_ = nullptr;
+    uint64_t ts_ = 0;
+  };
+
+  /// Registers a read snapshot at the current commit clock. Blocks only
+  /// while a GC pass is compacting (a short, bounded window).
+  Snapshot AcquireSnapshot();
+
+  /// Current MVCC commit clock: the timestamp of the latest committed
+  /// DML statement (0 = bulk-loaded data only).
+  uint64_t commit_clock() const {
+    return commit_clock_.load(std::memory_order_acquire);
+  }
+
+  /// Version garbage collection: prunes, in every table, the versions
+  /// no live snapshot can see (dead at or before the GC horizon, which
+  /// is the commit clock — plus rolled-back versions). Requires
+  /// exclusivity: when any snapshot is active the pass defers (returns
+  /// 0, counts obs `mvcc.gc_deferred`) instead of blocking readers.
+  /// Returns the number of versions pruned.
+  size_t GarbageCollectVersions();
+
   /// Parses and executes one statement. `out` (optional) receives rows /
   /// affected counts.
   Status Execute(std::string_view sql, ResultSet* out = nullptr);
@@ -57,10 +118,20 @@ class Database {
   /// Re-entrant variant of Execute() writing counters into the
   /// caller-supplied `stats` instead of the member consumed by
   /// last_stats(). This is the engine's concurrency entry point
-  /// (DESIGN.md 5d): multiple threads may call it simultaneously for
-  /// *read-only* statements (SELECT / WITH). DML, DDL and CALL must
+  /// (DESIGN.md 5d/5h): any number of threads may call it concurrently
+  /// for read-only statements (SELECT / WITH) AND DML (INSERT / UPDATE
+  /// / DELETE) — readers run against MVCC snapshots, writers serialize
+  /// on an internal mutex and conflict under first-writer-wins
+  /// (StatusCode::kWriteConflict, retryable). DDL and CALL must still
   /// never run concurrently with anything.
-  Status Execute(std::string_view sql, ResultSet* out, ExecStats* stats);
+  ///
+  /// `snapshot_ts` names the MVCC read snapshot (kLatestSnapshot =
+  /// resolve to the commit clock at statement start). For UPDATE /
+  /// DELETE it is the snapshot predicates are evaluated against — a
+  /// target version killed by a writer that committed after it loses
+  /// under first-writer-wins.
+  Status Execute(std::string_view sql, ResultSet* out, ExecStats* stats,
+                 uint64_t snapshot_ts = kLatestSnapshot);
 
   /// Executes a statement from its precomputed fingerprint
   /// (sql/fingerprint.h), consuming the token stream it carries instead
@@ -68,10 +139,10 @@ class Database {
   /// every statement once — for the read-only classification, for
   /// wave-level result sharing, and (through here) for the plan-cache
   /// lookup — so each statement pays exactly one lexer pass. Same
-  /// concurrency contract as the 3-arg Execute(): concurrent callers are
-  /// allowed for read-only (`fp.cacheable`) statements only.
+  /// concurrency contract and snapshot semantics as the 4-arg Execute().
   Status ExecuteFingerprinted(sql::StatementFingerprint fp, ResultSet* out,
-                              ExecStats* stats);
+                              ExecStats* stats,
+                              uint64_t snapshot_ts = kLatestSnapshot);
 
   /// Execute() returning the result set.
   Result<ResultSet> Query(std::string_view sql);
@@ -116,23 +187,25 @@ class Database {
 
  private:
   Status ExecuteStatement(const sql::Statement& stmt, ResultSet* out,
-                          ExecStats* stats);
+                          ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteCachedSelect(sql::StatementFingerprint fp, ResultSet* out,
-                             ExecStats* stats);
+                             ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteBoundSelect(const BoundSelect& bound, ResultSet* out,
-                            ExecStats* stats);
+                            ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteSelect(const sql::SelectStmt& stmt, ResultSet* out,
-                       ExecStats* stats);
+                       ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt, ResultSet* out);
   Status ExecuteDropTable(const sql::DropTableStmt& stmt, ResultSet* out);
   Status ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
                        ExecStats* stats);
   Status ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
-                       ExecStats* stats);
+                       ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
-                       ExecStats* stats);
+                       ExecStats* stats, uint64_t snapshot_ts);
   Status ExecuteCall(const sql::CallStmt& stmt, ResultSet* out,
                      ExecStats* stats);
+  /// Releases one registered snapshot (called by Snapshot handles).
+  void ReleaseSnapshot(uint64_t ts);
   Status ExecuteExplain(const sql::ExplainStmt& stmt, ResultSet* out);
   Status ExecuteCreateView(const sql::CreateViewStmt& stmt, ResultSet* out);
   Status ExecuteDropView(const sql::DropViewStmt& stmt, ResultSet* out);
@@ -145,6 +218,21 @@ class Database {
   PlanCache plan_cache_;
   uint64_t ddl_epoch_ = 0;  // views + functions; tables count via catalog
   std::map<std::string, Procedure> procedures_;
+
+  // --- MVCC state (DESIGN.md 5h) ---
+  /// Timestamp of the latest committed DML statement. Advancing it
+  /// (release, after all of a statement's versions are installed) is
+  /// the commit point: snapshots acquired later see the statement
+  /// atomically, earlier ones never do.
+  std::atomic<uint64_t> commit_clock_{0};
+  /// Serializes writers (taken inside ExecuteInsert/Update/Delete, so
+  /// CALL may nest DML without deadlocking) and GC.
+  std::mutex dml_mutex_;
+  /// Active read snapshots; guards the GC gate.
+  mutable std::mutex snapshot_mutex_;
+  std::condition_variable snapshot_cv_;
+  std::multiset<uint64_t> active_snapshots_;
+  bool gc_active_ = false;
 };
 
 }  // namespace pdm

@@ -86,8 +86,17 @@ struct SubqueryResult {
 /// subquery cache.
 class ExecContext {
  public:
-  ExecContext(Catalog* catalog, const ExecOptions* options, ExecStats* stats)
-      : catalog_(catalog), options_(options), stats_(stats) {}
+  /// `snapshot_ts` is the MVCC read snapshot (DESIGN.md 5h): scans see
+  /// exactly the versions visible at it. The default — one below the
+  /// open-version sentinel — reads all committed-or-open data, which is
+  /// correct for contexts without a commit clock (client-side scratch
+  /// catalogs); the engine always passes a resolved clock value.
+  ExecContext(Catalog* catalog, const ExecOptions* options, ExecStats* stats,
+              uint64_t snapshot_ts = kMaxCommitTs - 1)
+      : catalog_(catalog),
+        options_(options),
+        stats_(stats),
+        snapshot_ts_(snapshot_ts) {}
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
@@ -95,6 +104,7 @@ class ExecContext {
   Catalog* catalog() { return catalog_; }
   const ExecOptions& options() const { return *options_; }
   ExecStats& stats() { return *stats_; }
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
 
   /// Binds (or rebinds) the rows a CTE name resolves to. Used both for
   /// final materialized CTEs and for the rotating delta during recursive
@@ -140,6 +150,7 @@ class ExecContext {
   Catalog* catalog_;
   const ExecOptions* options_;
   ExecStats* stats_;
+  uint64_t snapshot_ts_;
   std::map<std::string, const std::vector<Row>*> cte_rows_;
   std::vector<const Row*> outer_rows_;
   std::unordered_map<const void*, SubqueryResult> subquery_cache_;

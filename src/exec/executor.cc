@@ -47,30 +47,31 @@ class ScanExecutor : public Executor {
       : node_(node), ctx_(ctx) {}
 
   Status Open() override {
-    PDM_ASSIGN_OR_RETURN(Table * table,
-                         ctx_->catalog()->GetTable(node_.table_name));
-    rows_ = &table->rows();
+    PDM_ASSIGN_OR_RETURN(table_, ctx_->catalog()->GetTable(node_.table_name));
+    bound_ = table_->num_versions();
     pos_ = 0;
-    candidates_ = nullptr;
+    use_index_ = false;
     // Point lookups (e.g. the navigational `link.left = <obid>`) go
     // through the table's lazily built column index. Among the usable
     // equality conjuncts, prefer one whose index is already built and
-    // in sync — building an index costs a full table pass.
+    // in sync — building an index costs a full table pass. IndexLookup
+    // copies matching positions under the table's index lock, so a
+    // concurrent writer growing the index cannot race this scan; the
+    // visibility filter in Next() hides versions outside our snapshot.
     if (node_.filter != nullptr) {
       std::vector<std::pair<size_t, const Value*>> hits;
       CollectIndexableEqualities(*node_.filter, &hits);
       const std::pair<size_t, const Value*>* chosen = nullptr;
       for (const auto& hit : hits) {
-        if (table->HasFreshIndex(hit.first)) {
+        if (table_->HasFreshIndex(hit.first)) {
           chosen = &hit;
           break;
         }
       }
       if (chosen == nullptr && !hits.empty()) chosen = &hits.front();
       if (chosen != nullptr) {
-        const Table::ColumnIndex& index = table->GetOrBuildIndex(chosen->first);
-        auto it = index.find(*chosen->second);
-        candidates_ = it == index.end() ? &kNoRows() : &it->second;
+        table_->IndexLookup(chosen->first, *chosen->second, &candidates_);
+        use_index_ = true;
         ctx_->stats().index_scans++;
       }
     }
@@ -78,9 +79,12 @@ class ScanExecutor : public Executor {
   }
 
   Result<bool> Next(Row* row) override {
-    if (candidates_ != nullptr) {
-      while (pos_ < candidates_->size()) {
-        const Row& candidate = (*rows_)[(*candidates_)[pos_++]];
+    const uint64_t snapshot = ctx_->snapshot_ts();
+    if (use_index_) {
+      while (pos_ < candidates_.size()) {
+        const size_t version_pos = candidates_[pos_++];
+        if (!table_->VisibleAt(version_pos, snapshot)) continue;
+        const Row& candidate = table_->VersionData(version_pos);
         ctx_->stats().rows_scanned++;
         PDM_ASSIGN_OR_RETURN(bool pass,
                              EvaluatePredicate(*node_.filter, candidate, ctx_));
@@ -90,8 +94,10 @@ class ScanExecutor : public Executor {
       }
       return false;
     }
-    while (pos_ < rows_->size()) {
-      const Row& candidate = (*rows_)[pos_++];
+    while (pos_ < bound_) {
+      const size_t version_pos = pos_++;
+      if (!table_->VisibleAt(version_pos, snapshot)) continue;
+      const Row& candidate = table_->VersionData(version_pos);
       ctx_->stats().rows_scanned++;
       if (node_.filter != nullptr) {
         PDM_ASSIGN_OR_RETURN(bool pass,
@@ -105,15 +111,12 @@ class ScanExecutor : public Executor {
   }
 
  private:
-  static const std::vector<size_t>& kNoRows() {
-    static const std::vector<size_t> kEmpty;
-    return kEmpty;
-  }
-
   const ScanNode& node_;
   ExecContext* ctx_;
-  const std::vector<Row>* rows_ = nullptr;
-  const std::vector<size_t>* candidates_ = nullptr;  // index hits, if any
+  const Table* table_ = nullptr;
+  size_t bound_ = 0;                  // published-version scan bound
+  bool use_index_ = false;
+  std::vector<size_t> candidates_;    // index hits (owned copy), if any
   size_t pos_ = 0;
 };
 
@@ -317,20 +320,17 @@ class HashJoinExecutor : public Executor {
     PDM_RETURN_NOT_OK(left_->Open());
     table_.clear();
     right_rows_.clear();
-    index_ = nullptr;
-    index_table_rows_ = nullptr;
+    index_table_ = nullptr;
 
     if (node_.right_keys.size() == 1 &&
         node_.right->kind == PlanKind::kScan) {
       const auto& scan = static_cast<const ScanNode&>(*node_.right);
       if (scan.filter == nullptr) {
-        PDM_ASSIGN_OR_RETURN(Table * table,
+        PDM_ASSIGN_OR_RETURN(index_table_,
                              ctx_->catalog()->GetTable(scan.table_name));
-        index_ = &table->GetOrBuildIndex(node_.right_keys[0]);
-        index_table_rows_ = &table->rows();
       }
     }
-    if (index_ == nullptr) {
+    if (index_table_ == nullptr) {
       PDM_RETURN_NOT_OK(right_->Open());
       ctx_->stats().hash_join_builds++;
       Row row;
@@ -360,15 +360,18 @@ class HashJoinExecutor : public Executor {
         if (!has) return false;
         have_left_ = true;
         match_pos_ = 0;
-        if (index_ != nullptr) {
+        if (index_table_ != nullptr) {
+          // Index-join probe: positions are copied out under the index
+          // lock, then visibility-filtered against our snapshot below —
+          // safe next to a concurrent writer appending versions.
           ctx_->stats().index_join_probes++;
+          index_matches_.clear();
           const Value& key = left_row_[node_.left_keys[0]];
-          if (key.is_null()) {
-            matches_ = nullptr;
-          } else {
-            auto it = index_->find(key);
-            matches_ = it == index_->end() ? nullptr : &it->second;
+          if (!key.is_null()) {
+            index_table_->IndexLookup(node_.right_keys[0], key,
+                                      &index_matches_);
           }
+          matches_ = &index_matches_;
         } else {
           Row key = KeyOf(left_row_, node_.left_keys);
           if (std::any_of(key.begin(), key.end(),
@@ -381,10 +384,15 @@ class HashJoinExecutor : public Executor {
         }
       }
       if (matches_ != nullptr) {
-        const std::vector<Row>& pool =
-            index_ != nullptr ? *index_table_rows_ : right_rows_;
         while (match_pos_ < matches_->size()) {
-          const Row& right_row = pool[(*matches_)[match_pos_++]];
+          const size_t match = (*matches_)[match_pos_++];
+          if (index_table_ != nullptr &&
+              !index_table_->VisibleAt(match, ctx_->snapshot_ts())) {
+            continue;
+          }
+          const Row& right_row = index_table_ != nullptr
+                                     ? index_table_->VersionData(match)
+                                     : right_rows_[match];
           Row combined = left_row_;
           combined.insert(combined.end(), right_row.begin(), right_row.end());
           if (node_.residual != nullptr) {
@@ -414,8 +422,8 @@ class HashJoinExecutor : public Executor {
   ExecContext* ctx_;
   std::unordered_map<Row, std::vector<size_t>, RowHash, RowEq> table_;
   std::vector<Row> right_rows_;
-  const Table::ColumnIndex* index_ = nullptr;        // index-join mode
-  const std::vector<Row>* index_table_rows_ = nullptr;
+  const Table* index_table_ = nullptr;   // non-null = index-join mode
+  std::vector<size_t> index_matches_;    // probe hits (owned copy)
   Row left_row_;
   bool have_left_ = false;
   const std::vector<size_t>* matches_ = nullptr;

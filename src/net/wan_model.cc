@@ -182,6 +182,14 @@ ExchangeTiming WanLink::CompleteExchange(size_t response_payload_bytes) {
   record.hidden_seconds = timing.hidden_s;
   record.overlapped = open_overlapped_;
   exchanges_.push_back(record);
+  if (config_.exchange_log_capacity > 0 &&
+      exchanges_.size() > config_.exchange_log_capacity) {
+    exchanges_.pop_front();
+    ++exchanges_dropped_;
+    obs::MetricsRegistry::Global()
+        .counter("wan.exchange_log_dropped")
+        .Increment();
+  }
 
   // One t_lat + one t_transfer span per exchange on the simulated
   // timeline, attributed to whatever action is current on this thread.
@@ -213,6 +221,7 @@ void WanLink::AbortExchange() { exchange_open_ = false; }
 void WanLink::ResetStats() {
   stats_ = WanStats();
   exchanges_.clear();
+  exchanges_dropped_ = 0;
   now_s_ = 0;
   link_busy_until_s_ = 0;
   last_transfer_start_s_ = 0;

@@ -2,6 +2,7 @@
 #define PDM_NET_WAN_MODEL_H_
 
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,12 @@ struct WanConfig {
   double dtr_kbit = 256;       // data transfer rate, kbit/s
   size_t packet_bytes = 4096;  // size_p
   Accounting accounting = Accounting::kPaperModel;
+  /// Ring capacity of the per-exchange record log: once full, the
+  /// oldest record is dropped per completed exchange
+  /// (WanLink::exchanges_dropped() counts them). 0 = unbounded — only
+  /// for short-lived links whose caller owns the lifecycle; a
+  /// long-running workload on an unbounded log grows without limit.
+  size_t exchange_log_capacity = 4096;
 
   double TransferSeconds(double bytes) const {
     return bytes * 8.0 / (dtr_kbit * 1024.0);
@@ -167,19 +174,30 @@ class WanLink {
 
   const WanStats& stats() const { return stats_; }
 
-  /// Per-exchange traffic since the last ResetStats, in completion
-  /// order.
-  const std::vector<ExchangeRecord>& exchanges() const { return exchanges_; }
+  /// Per-exchange traffic since the last ResetStats, oldest first
+  /// (thread-compatible copy of the bounded ring). When the ring
+  /// overflowed, only the newest `exchange_log_capacity` records
+  /// remain — check exchanges_dropped() before reconciling totals
+  /// against the records.
+  std::vector<ExchangeRecord> exchanges() const {
+    return {exchanges_.begin(), exchanges_.end()};
+  }
 
-  /// Clears stats, the per-exchange records and the timeline (the next
-  /// exchange starts at simulated time zero with a free link).
+  /// Records evicted from the ring since the last ResetStats.
+  size_t exchanges_dropped() const { return exchanges_dropped_; }
+
+  /// Clears stats, the per-exchange records (including the drop
+  /// counter) and the timeline (the next exchange starts at simulated
+  /// time zero with a free link).
   void ResetStats();
 
  private:
   WanConfig config_;
   Status status_;
   WanStats stats_;
-  std::vector<ExchangeRecord> exchanges_;
+  /// Bounded ring (WanConfig::exchange_log_capacity).
+  std::deque<ExchangeRecord> exchanges_;
+  size_t exchanges_dropped_ = 0;
 
   // Timeline state (simulated seconds since the last ResetStats).
   double now_s_ = 0;                  // completion of the latest exchange

@@ -15,11 +15,11 @@ constexpr int64_t kSpecIdBase = 2000000000;
 
 int64_t MaxObid(const Table& table, size_t obid_col) {
   int64_t max_id = 0;
-  for (const Row& row : table.rows()) {
+  table.ForEachVisible(kMaxCommitTs - 1, [&](const Row& row) {
     if (row[obid_col].is_int64()) {
       max_id = std::max(max_id, row[obid_col].int64_value());
     }
-  }
+  });
   return max_id;
 }
 

@@ -111,11 +111,13 @@ void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
 
   std::vector<DbServer::WaveItem> items;
   items.reserve(statements);
-  for (Submission* sub : wave) {
+  for (size_t s = 0; s < wave.size(); ++s) {
+    Submission* sub = wave[s];
     for (size_t i = 0; i < sub->statements.size(); ++i) {
       items.push_back(
           DbServer::WaveItem{sub->client_id, &sub->statements[i],
-                             &sub->results[i], sub->trace});
+                             &sub->results[i], sub->trace,
+                             /*submission=*/s});
     }
   }
 
@@ -128,6 +130,8 @@ void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
 
   entry.unique_statements = execution.unique_statements;
   entry.read_only = execution.read_only;
+  entry.dml_statements = execution.dml_statements;
+  entry.conflicts = execution.conflicts;
   wave_log_.push_back(entry);
   for (Submission* sub : wave) sub->done = true;
   wave_in_progress_ = false;

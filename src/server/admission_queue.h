@@ -57,6 +57,8 @@ class AdmissionQueue {
     size_t submissions = 0;        // client submissions coalesced
     size_t clients = 0;            // distinct submitting clients
     bool read_only = false;        // dedup + worker pool eligible
+    size_t dml_statements = 0;     // INSERT/UPDATE/DELETE in the wave
+    size_t conflicts = 0;          // first-writer-wins losers (retryable)
   };
 
   explicit AdmissionQueue(DbServer* server) : server_(server) {}

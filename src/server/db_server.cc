@@ -1,7 +1,11 @@
 #include "server/db_server.h"
 
+#include <cctype>
+#include <numeric>
+#include <thread>
 #include <unordered_map>
 
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "server/admission_queue.h"
 #include "sql/fingerprint.h"
@@ -9,6 +13,36 @@
 namespace pdm {
 
 namespace {
+
+/// Lane classification of one wave statement (DESIGN.md 5h).
+enum class StatementClass {
+  kReadOnly,  // SELECT / WITH: wave snapshot, dedup, worker pool
+  kDml,       // INSERT / UPDATE / DELETE: serial writer lane
+  kBarrier,   // DDL / CALL / EXPLAIN / unparseable: whole wave serial
+};
+
+StatementClass ClassifyStatement(const Result<sql::StatementFingerprint>& fp,
+                                 const std::string& sql) {
+  if (fp.ok() && fp->cacheable) return StatementClass::kReadOnly;
+  // The first keyword separates DML from barriers; anything
+  // unrecognized (DDL, CALL, EXPLAIN, lexical errors) is a barrier.
+  size_t begin = 0;
+  while (begin < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[begin]))) {
+    ++begin;
+  }
+  size_t end = begin;
+  while (end < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[end]))) {
+    ++end;
+  }
+  std::string word = ToLowerAscii(
+      std::string_view(sql).substr(begin, end - begin));
+  if (word == "insert" || word == "update" || word == "delete") {
+    return StatementClass::kDml;
+  }
+  return StatementClass::kBarrier;
+}
 
 /// Dedup identity of a statement within a wave: the normalized
 /// fingerprint key plus the type-tagged parameter values. Two
@@ -200,24 +234,41 @@ DbServer::WaveExecution DbServer::ExecuteWave(
   WaveExecution execution;
   const size_t n = items.size();
 
-  // One fingerprint per statement, reused for the read-only check, the
-  // dedup grouping, and (inside ExecuteFingerprinted) the plan-cache
-  // lookup.
+  // One fingerprint per statement, reused for the lane classification,
+  // the dedup grouping, and (inside ExecuteFingerprinted) the
+  // plan-cache lookup.
   std::vector<Result<sql::StatementFingerprint>> fingerprints;
   fingerprints.reserve(n);
+  std::vector<StatementClass> classes;
+  classes.reserve(n);
   bool read_only = true;
+  bool has_barrier = false;
+  size_t dml_count = 0;
   for (const WaveItem& item : items) {
     fingerprints.push_back(sql::FingerprintSql(*item.sql));
-    if (!fingerprints.back().ok() || !fingerprints.back()->cacheable) {
-      read_only = false;
+    classes.push_back(ClassifyStatement(fingerprints.back(), *item.sql));
+    switch (classes.back()) {
+      case StatementClass::kReadOnly:
+        break;
+      case StatementClass::kDml:
+        read_only = false;
+        ++dml_count;
+        break;
+      case StatementClass::kBarrier:
+        read_only = false;
+        has_barrier = true;
+        break;
     }
   }
   execution.read_only = read_only;
+  execution.dml_statements = dml_count;
 
   std::vector<StatementLogEntry> entries;
   if (log_enabled_) entries.resize(n);
 
-  auto run_one = [&](size_t i, size_t worker) {
+  std::atomic<size_t> conflicts{0};
+
+  auto run_one = [&](size_t i, size_t worker, uint64_t snapshot_ts) {
     BatchStatementResult& r = *items[i].slot;
     ExecStats stats;
     // The leader (or a pool worker) may be executing another client's
@@ -227,9 +278,9 @@ DbServer::WaveExecution DbServer::ExecuteWave(
       obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
       if (fingerprints[i].ok()) {
         r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
-                                            &r.result, &stats);
+                                            &r.result, &stats, snapshot_ts);
       } else {
-        r.status = db_.Execute(*items[i].sql, &r.result, &stats);
+        r.status = db_.Execute(*items[i].sql, &r.result, &stats, snapshot_ts);
       }
       double sim = model::ServerSeconds(
           config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
@@ -238,6 +289,9 @@ DbServer::WaveExecution DbServer::ExecuteWave(
       ServerStatementHistogram().Observe(sim);
     }
     ServerStatementCounter().Increment();
+    if (IsRetryableConflict(r.status.code())) {
+      conflicts.fetch_add(1, std::memory_order_relaxed);
+    }
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
     if (log_enabled_) {
@@ -249,27 +303,28 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     }
   };
 
-  if (!read_only) {
-    // DML/DDL/CALL wave: serial admission order, no deduplication (two
-    // identical INSERTs are two inserts).
-    for (size_t i = 0; i < n; ++i) run_one(i, 0);
-    execution.unique_statements = n;
-  } else {
-    // Group identical fingerprints: the first occurrence is the
-    // representative that executes; duplicates share its result.
+  // Dedups and executes a set of read-only statements against one
+  // snapshot: identical fingerprints execute once (the first occurrence
+  // is the representative), unique ones go to the worker pool.
+  auto run_read_only = [&](const std::vector<size_t>& ro,
+                           uint64_t snapshot_ts) {
+    if (ro.empty()) return;
     std::unordered_map<std::string, size_t> groups;
     std::vector<size_t> rep_of(n);
     std::vector<size_t> reps;
-    groups.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      auto [it, inserted] = groups.try_emplace(WaveGroupKey(*fingerprints[i]), i);
+    groups.reserve(ro.size());
+    for (size_t i : ro) {
+      auto [it, inserted] =
+          groups.try_emplace(WaveGroupKey(*fingerprints[i]), i);
       if (inserted) reps.push_back(i);
       rep_of[i] = it->second;
     }
-    execution.unique_statements = reps.size();
+    execution.unique_statements += reps.size();
 
     size_t threads = config_.batch_threads == 0 ? 1 : config_.batch_threads;
-    auto run_rep = [&](size_t r, size_t worker) { run_one(reps[r], worker); };
+    auto run_rep = [&](size_t r, size_t worker) {
+      run_one(reps[r], worker, snapshot_ts);
+    };
     if (threads <= 1 || reps.size() <= 1) {
       for (size_t r = 0; r < reps.size(); ++r) run_rep(r, 0);
     } else {
@@ -281,12 +336,12 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     }
 
     // Fan-out: duplicates copy the representative's outcome. Identical
-    // fingerprints are the same query with the same literals, so this
-    // is byte-identical to executing each copy (read-only statements
-    // are pure within a wave).
+    // fingerprints are the same query with the same literals evaluated
+    // at the same snapshot, so this is byte-identical to executing each
+    // copy.
     static obs::Counter& coalesced_counter =
         obs::MetricsRegistry::Global().counter("server.coalesced_statements");
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i : ro) {
       if (rep_of[i] == i) continue;
       coalesced_counter.Increment();
       const BatchStatementResult& rep = *items[rep_of[i]].slot;
@@ -301,7 +356,69 @@ DbServer::WaveExecution DbServer::ExecuteWave(
             /*worker=*/0, wave_id, items[i].client_id, /*coalesced=*/true};
       }
     }
+  };
+
+  if (read_only) {
+    // All-read-only wave: one snapshot for the whole wave, so every
+    // statement — whichever client submitted it — sees the same data
+    // even if standalone writers commit mid-wave.
+    Database::Snapshot snapshot = db_.AcquireSnapshot();
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    run_read_only(all, snapshot.ts());
+  } else if (has_barrier || !config_.mvcc_waves) {
+    // Barrier wave (DDL/CALL/unparseable) or MVCC lanes disabled:
+    // serial admission order, no deduplication (two identical INSERTs
+    // are two inserts), every statement at the latest snapshot.
+    for (size_t i = 0; i < n; ++i) run_one(i, 0, Database::kLatestSnapshot);
+    execution.unique_statements = n;
+  } else {
+    // Mixed read/DML wave (the tuning-paper bottleneck this layer
+    // removes): submissions carrying DML run whole — reads included, so
+    // they see their own writes — on one serial writer lane, while
+    // read-only submissions run concurrently against the wave snapshot.
+    // Readers never see this wave's writes; writers conflict under
+    // first-writer-wins and surface kWriteConflict for client retry.
+    size_t num_subs = 0;
+    for (const WaveItem& item : items) {
+      num_subs = std::max(num_subs, item.submission + 1);
+    }
+    std::vector<char> sub_has_dml(num_subs, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (classes[i] == StatementClass::kDml) {
+        sub_has_dml[items[i].submission] = 1;
+      }
+    }
+    std::vector<size_t> readers;
+    std::vector<size_t> writers;
+    for (size_t i = 0; i < n; ++i) {
+      (sub_has_dml[items[i].submission] ? writers : readers).push_back(i);
+    }
+
+    Database::Snapshot snapshot = db_.AcquireSnapshot();
+    const uint64_t wave_ts = snapshot.ts();
+    std::thread writer_lane([&] {
+      // Each submission starts at the wave snapshot; its own commits
+      // advance its view (read-your-writes) without exposing sibling
+      // submissions' writes admitted later in the same wave.
+      uint64_t sub_ts = wave_ts;
+      size_t current_sub = ~size_t{0};
+      for (size_t i : writers) {
+        if (items[i].submission != current_sub) {
+          current_sub = items[i].submission;
+          sub_ts = wave_ts;
+        }
+        run_one(i, 0, sub_ts);
+        if (classes[i] == StatementClass::kDml && items[i].slot->status.ok()) {
+          sub_ts = db_.commit_clock();
+        }
+      }
+    });
+    execution.unique_statements += writers.size();
+    run_read_only(readers, wave_ts);
+    writer_lane.join();
   }
+  execution.conflicts = conflicts.load(std::memory_order_relaxed);
 
   obs::MetricsRegistry::Global().counter("server.waves").Increment();
   // Admission order, whatever worker ran what — same determinism rule
@@ -310,6 +427,16 @@ DbServer::WaveExecution DbServer::ExecuteWave(
   // may interleave, so each append still takes the log mutex.
   for (StatementLogEntry& e : entries) {
     AppendLogEntry(std::move(e));
+  }
+
+  // Periodic version GC, after the wave snapshot is released: prunes
+  // versions no live snapshot can reach (concurrent waves' snapshots
+  // make the pass defer harmlessly).
+  if (dml_count > 0 && config_.gc_interval_waves > 0 &&
+      dml_waves_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          config_.gc_interval_waves) {
+    dml_waves_since_gc_.store(0, std::memory_order_relaxed);
+    db_.GarbageCollectVersions();
   }
   return execution;
 }

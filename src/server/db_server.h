@@ -48,6 +48,19 @@ class DbServer {
     /// is dropped per append (statement_log_dropped() counts them).
     /// 0 = unbounded (callers owning the lifecycle, e.g. short tests).
     size_t statement_log_capacity = 4096;
+    /// MVCC wave lanes (DESIGN.md 5h): a wave mixing read-only and
+    /// DML-carrying submissions runs the readers against the wave
+    /// snapshot (dedup + worker pool, as in all-read-only waves) while
+    /// a serial writer lane applies the DML submissions concurrently.
+    /// false = pre-MVCC behaviour — any wave containing DML runs fully
+    /// serial in admission order (the A/B baseline the concurrent-DML
+    /// bench measures against). Waves containing DDL/CALL or
+    /// unparseable statements always run serial regardless.
+    bool mvcc_waves = true;
+    /// Run MVCC version garbage collection after every N DML-carrying
+    /// waves (0 = never). GC prunes only versions no live snapshot can
+    /// reach, so it never changes results.
+    size_t gc_interval_waves = 64;
     /// Simulated server-cost calibration for the t_server spans
     /// (DESIGN.md 5f): every executed statement is charged simulated
     /// seconds from its ExecStats, so per-component reconciliation
@@ -101,6 +114,11 @@ class DbServer {
     /// Submitter's trace context: spans recorded while the wave leader
     /// executes this statement attach to the submitting client's action.
     obs::TraceContext trace;
+    /// Index of the submission this statement belongs to within its
+    /// wave. Lane assignment is per submission: one DML statement sends
+    /// the whole submission to the writer lane, so its later statements
+    /// read their own writes.
+    size_t submission = 0;
   };
 
   /// What ExecuteWave did with a wave, reported back to the queue's
@@ -108,6 +126,10 @@ class DbServer {
   struct WaveExecution {
     size_t unique_statements = 0;  // engine executions after dedup
     bool read_only = false;        // dedup + worker pool eligible
+    size_t dml_statements = 0;     // INSERT/UPDATE/DELETE in the wave
+    /// Writer-lane statements that lost a first-writer-wins race and
+    /// returned StatusCode::kWriteConflict (clients retry those).
+    size_t conflicts = 0;
   };
 
   DbServer();
@@ -203,10 +225,12 @@ class DbServer {
 
   /// Executes one drained wave (called by the AdmissionQueue's leader,
   /// never concurrently with itself): fingerprints every statement
-  /// once, deduplicates identical fingerprints of all-read-only waves
-  /// (one engine execution, result fan-out), runs unique statements on
-  /// the worker pool, and falls back to serial admission order for
-  /// waves containing DML/DDL/CALL.
+  /// once, deduplicates identical fingerprints among the read-only
+  /// statements (one engine execution, result fan-out) and runs the
+  /// unique ones on the worker pool against the wave's MVCC snapshot.
+  /// DML-carrying submissions run on a concurrent serial writer lane
+  /// (Config::mvcc_waves); waves containing DDL/CALL or unparseable
+  /// statements fall back to serial admission order.
   WaveExecution ExecuteWave(std::span<const WaveItem> items,
                             uint64_t wave_id);
 
@@ -228,6 +252,7 @@ class DbServer {
   std::deque<StatementLogEntry> statement_log_;
   size_t statement_log_dropped_ = 0;
   std::atomic<uint64_t> last_batch_id_{0};
+  std::atomic<uint64_t> dml_waves_since_gc_{0};
   std::mutex pool_mutex_;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<AdmissionQueue> admission_;

@@ -61,12 +61,45 @@ TEST(Table, UpdateAndDeleteRows) {
   }
   size_t updated = table.UpdateRows(
       [](const Row& row) { return row[0].int64_value() % 2 == 0; },
-      [](Row& row) { row[1] = Value::String("even"); });
+      [](Row& row) { row[1] = Value::String("even"); },
+      /*write_ts=*/1);
   EXPECT_EQ(updated, 5u);
   size_t deleted = table.DeleteRows(
-      [](const Row& row) { return row[1].string_value() == "even"; });
+      [](const Row& row) { return row[1].string_value() == "even"; },
+      /*write_ts=*/2);
   EXPECT_EQ(deleted, 5u);
   EXPECT_EQ(table.num_rows(), 5u);
+
+  // Old versions are still there for older snapshots; GC at the full
+  // horizon prunes exactly the dead ones.
+  EXPECT_EQ(table.SnapshotRows(/*ts=*/0).size(), 10u);
+  EXPECT_EQ(table.SnapshotRows(/*ts=*/1).size(), 10u);  // 5 odd + 5 even
+  EXPECT_EQ(table.SnapshotRows(/*ts=*/2).size(), 5u);
+  EXPECT_EQ(table.PruneVersions(/*horizon=*/2), 10u);
+  EXPECT_EQ(table.num_rows(), 5u);
+  EXPECT_EQ(table.num_versions(), 5u);
+}
+
+TEST(Table, ZeroMatchDmlKeepsIndexesFresh) {
+  Table table("t", TwoColumnSchema());
+  for (int i = 0; i < 4; ++i) {
+    table.InsertUnchecked({Value::Int64(i), Value::String("n")});
+  }
+  (void)table.GetOrBuildIndex(0);
+  ASSERT_TRUE(table.HasFreshIndex(0));
+
+  size_t updated = table.UpdateRows(
+      [](const Row& row) { return row[0].int64_value() > 100; },
+      [](Row& row) { row[1] = Value::String("x"); },
+      /*write_ts=*/1);
+  EXPECT_EQ(updated, 0u);
+  EXPECT_TRUE(table.HasFreshIndex(0));
+
+  size_t deleted = table.DeleteRows(
+      [](const Row& row) { return row[0].int64_value() > 100; },
+      /*write_ts=*/2);
+  EXPECT_EQ(deleted, 0u);
+  EXPECT_TRUE(table.HasFreshIndex(0));
 }
 
 TEST(Table, ColumnIndexFindsRowPositions) {
@@ -79,7 +112,7 @@ TEST(Table, ColumnIndexFindsRowPositions) {
   ASSERT_NE(it, index.end());
   EXPECT_EQ(it->second.size(), 10u);
   for (size_t pos : it->second) {
-    EXPECT_EQ(table.rows()[pos][0].int64_value(), 3);
+    EXPECT_EQ(table.VersionData(pos)[0].int64_value(), 3);
   }
 }
 

@@ -311,6 +311,27 @@ TEST(WanPipeline, OnlyOneExchangeMayBeOpen) {
   EXPECT_EQ(link.stats().request_packets, 1u);
 }
 
+TEST(WanPipeline, ExchangeLogIsABoundedRing) {
+  WanConfig config = PaperWan();
+  config.exchange_log_capacity = 3;
+  WanLink link(config);
+  for (size_t i = 1; i <= 5; ++i) {
+    link.RecordBatchRoundTrip(100, 512, /*n_statements=*/i);
+  }
+  // Cumulative stats keep counting past the ring; the log keeps only
+  // the newest `capacity` records, oldest evicted first.
+  EXPECT_EQ(link.stats().round_trips, 5u);
+  std::vector<ExchangeRecord> records = link.exchanges();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().statements, 3u);
+  EXPECT_EQ(records.back().statements, 5u);
+  EXPECT_EQ(link.exchanges_dropped(), 2u);
+
+  link.ResetStats();
+  EXPECT_TRUE(link.exchanges().empty());
+  EXPECT_EQ(link.exchanges_dropped(), 0u);
+}
+
 TEST(WanPipeline, ResetStatsClearsTheTimeline) {
   WanLink link(PaperWan());
   link.RecordRoundTrip(100, 65536);
