@@ -1,12 +1,32 @@
 // google-benchmark microbenchmarks for the SQL engine substrate:
-// lexing/parsing, point lookups, joins, recursive CTE evaluation, and
-// the rule modificator. These measure local engine cost (the component
-// the paper deliberately ignores: "local query evaluation costs were
-// ignored ... transmission costs are the dominating limitation factor").
+// lexing/parsing, point lookups, joins, recursive CTE evaluation, the
+// rule modificator, and the row-vs-vectorized link-expansion scan grid.
+// These measure local engine cost (the component the paper deliberately
+// ignores: "local query evaluation costs were ignored ... transmission
+// costs are the dominating limitation factor").
+//
+// Usage: micro_engine [--filter REGEX] [--csv PATH]
+//                     [--gate-vec-speedup MIN]
+//   --filter            shorthand for --benchmark_filter
+//   --csv               write results as CSV to PATH (benchmark runs)
+//                       or next to the stdout report (gate mode)
+//   --gate-vec-speedup  skip google-benchmark: time the link-expansion
+//                       scan on both engines, verify byte-identical
+//                       results, and exit non-zero unless the
+//                       vectorized path is at least MIN times faster.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "catalog/column_store.h"
+#include "common/string_util.h"
 #include "rules/query_builder.h"
 #include "rules/query_modificator.h"
 #include "sql/fingerprint.h"
@@ -246,6 +266,93 @@ void BM_BatchExpandThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchExpandThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --- Row vs vectorized link-expansion scan (DESIGN.md 5i) -------------------
+
+constexpr size_t kLinkScanRows = 100000;
+
+/// Dedicated 100k-row link table for the hot scan cell. The effectivity
+/// window predicate `eff_from <= K AND eff_to > K` is the paper's
+/// link-expansion filter shape and — being a pure range conjunction —
+/// never diverts to the equality-index row path, so both engines do an
+/// honest full scan.
+Database& LinkScanDb() {
+  static Database* kDb = [] {
+    auto* db = new Database();
+    Status created = db->Execute(
+        "CREATE TABLE biglink (obid INTEGER, left INTEGER, right INTEGER, "
+        "eff_from INTEGER, eff_to INTEGER)");
+    if (!created.ok()) std::abort();
+    size_t next = 0;
+    while (next < kLinkScanRows) {
+      std::string sql = "INSERT INTO biglink VALUES ";
+      const size_t batch = std::min<size_t>(1000, kLinkScanRows - next);
+      for (size_t j = 0; j < batch; ++j) {
+        const size_t i = next + j;
+        const size_t from = i % 100;
+        if (j > 0) sql += ", ";
+        sql += StrFormat("(%zu, %zu, %zu, %zu, %zu)", i, i / 8, i + 1, from,
+                         from + 10 + i % 37);
+      }
+      if (!db->Execute(sql).ok()) std::abort();
+      next += batch;
+    }
+    return db;
+  }();
+  return *kDb;
+}
+
+std::string LinkScanSql(int64_t k) {
+  return StrFormat(
+      "SELECT left, right FROM biglink WHERE eff_from <= %lld AND "
+      "eff_to > %lld",
+      static_cast<long long>(k), static_cast<long long>(k));
+}
+
+/// One cell of the grid: the effectivity scan at cut point K (higher K
+/// selects fewer rows), on one engine. Before timing, the two engines'
+/// result trees are verified byte-identical for this K.
+void LinkExpansionScan(benchmark::State& state, bool vectorized) {
+  Database& db = LinkScanDb();
+  const std::string sql = LinkScanSql(state.range(0));
+
+  db.options().exec.vectorized_execution = false;
+  Result<ResultSet> row_rs = db.Query(sql);
+  db.options().exec.vectorized_execution = true;
+  Result<ResultSet> vec_rs = db.Query(sql);
+  if (!row_rs.ok() || !vec_rs.ok() ||
+      row_rs->ToString(1 << 24) != vec_rs->ToString(1 << 24)) {
+    state.SkipWithError("vectorized result differs from row result");
+    return;
+  }
+
+  db.options().exec.vectorized_execution = vectorized;
+  for (auto _ : state) {
+    Result<ResultSet> result = db.Query(sql);
+    if (!result.ok()) {
+      db.options().exec.vectorized_execution = true;
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  db.options().exec.vectorized_execution = true;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kLinkScanRows));
+  state.counters["result_rows"] = static_cast<double>(vec_rs->num_rows());
+  state.counters["vec_batches"] = static_cast<double>(
+      vectorized ? (kLinkScanRows + kFragmentRows - 1) / kFragmentRows : 0);
+}
+
+void BM_LinkExpansionScanRow(benchmark::State& state) {
+  LinkExpansionScan(state, /*vectorized=*/false);
+}
+BENCHMARK(BM_LinkExpansionScanRow)->Arg(10)->Arg(50)->Arg(90);
+
+void BM_LinkExpansionScanVectorized(benchmark::State& state) {
+  LinkExpansionScan(state, /*vectorized=*/true);
+}
+BENCHMARK(BM_LinkExpansionScanVectorized)->Arg(10)->Arg(50)->Arg(90);
+
 void BM_FlatQueryScan(benchmark::State& state) {
   client::Experiment& e = *SharedExperiment();
   Database& db = e.server().database();
@@ -272,6 +379,152 @@ void BM_AggregateGroupBy(benchmark::State& state) {
 BENCHMARK(BM_AggregateGroupBy);
 
 }  // namespace
+
+/// CI gate: times the link-expansion scan grid on both engines with
+/// plain steady_clock (no google-benchmark — the gate must stay cheap
+/// and its output one CSV table), verifies byte-identical results, and
+/// fails unless every cell's vectorized path is at least `min_speedup`
+/// times faster than the row path. The CI floor is 3x; the calibrated
+/// model target (per_row_scan_s / per_row_scan_vec_s) is 5x, which
+/// local runs should meet.
+int RunLinkExpansionGate(double min_speedup, const std::string& csv_path) {
+  Database& db = LinkScanDb();
+  constexpr int64_t kCuts[] = {10, 50, 90};
+  constexpr int kRowIters = 5;
+  constexpr int kVecIters = 15;
+
+  auto best_seconds = [&](const std::string& sql, bool vectorized,
+                          int iters) {
+    db.options().exec.vectorized_execution = vectorized;
+    double best = 1e300;
+    for (int i = 0; i < iters; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      Result<ResultSet> result = db.Query(sql);
+      const auto stop = std::chrono::steady_clock::now();
+      if (!result.ok()) return -1.0;
+      best = std::min(best, std::chrono::duration<double>(stop - start)
+                                .count());
+    }
+    return best;
+  };
+
+  std::string csv =
+      "cell,k,result_rows,row_s_per_query,vec_s_per_query,speedup\n";
+  PrintBanner("micro_engine gate: vectorized link-expansion scan speedup");
+  std::printf("%-20s %4s %12s %12s %12s %9s\n", "cell", "k", "result_rows",
+              "row s/query", "vec s/query", "speedup");
+  bool ok = true;
+  for (int64_t k : kCuts) {
+    const std::string sql = LinkScanSql(k);
+    db.options().exec.vectorized_execution = false;
+    Result<ResultSet> row_rs = db.Query(sql);
+    db.options().exec.vectorized_execution = true;
+    Result<ResultSet> vec_rs = db.Query(sql);
+    if (!row_rs.ok() || !vec_rs.ok() ||
+        row_rs->ToString(1 << 24) != vec_rs->ToString(1 << 24)) {
+      std::fprintf(stderr, "k=%lld: engines disagree\n",
+                   static_cast<long long>(k));
+      return 1;
+    }
+    const double row_s = best_seconds(sql, /*vectorized=*/false, kRowIters);
+    const double vec_s = best_seconds(sql, /*vectorized=*/true, kVecIters);
+    db.options().exec.vectorized_execution = true;
+    if (row_s < 0 || vec_s <= 0) {
+      std::fprintf(stderr, "k=%lld: query failed\n",
+                   static_cast<long long>(k));
+      return 1;
+    }
+    const double speedup = row_s / vec_s;
+    const bool cell_ok = speedup >= min_speedup;
+    ok = ok && cell_ok;
+    std::printf("%-20s %4lld %12zu %12.6f %12.6f %8.2fx%s\n",
+                "link-expansion-scan", static_cast<long long>(k),
+                vec_rs->num_rows(), row_s, vec_s, speedup,
+                cell_ok ? "" : "  BELOW GATE");
+    csv += StrFormat("link-expansion-scan,%lld,%zu,%.9f,%.9f,%.3f\n",
+                     static_cast<long long>(k), vec_rs->num_rows(), row_s,
+                     vec_s, speedup);
+  }
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fputs(csv.c_str(), f);
+    std::fclose(f);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!ok) {
+    std::fprintf(stderr, "\nvectorized speedup below the %.1fx gate\n",
+                 min_speedup);
+    return 1;
+  }
+  std::printf("\nall cells at or above the %.1fx gate\n", min_speedup);
+  return 0;
+}
+
 }  // namespace pdm::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args = {argv[0]};
+  std::string filter;
+  std::string csv;
+  double gate = 0;
+  bool bad_usage = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take = [&](const char* flag, std::string* out) {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = arg.substr(prefix.size());
+        return true;
+      }
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          bad_usage = true;
+          return true;
+        }
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string gate_str;
+    if (take("--filter", &filter) || take("--csv", &csv)) continue;
+    if (take("--gate-vec-speedup", &gate_str)) {
+      if (!gate_str.empty()) gate = std::atof(gate_str.c_str());
+      if (gate <= 0) bad_usage = true;
+      continue;
+    }
+    args.push_back(argv[i]);  // google-benchmark flags pass through
+  }
+  if (bad_usage) {
+    std::fprintf(stderr,
+                 "usage: %s [--filter REGEX] [--csv PATH] "
+                 "[--gate-vec-speedup MIN] [benchmark flags]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (gate > 0) return pdm::bench::RunLinkExpansionGate(gate, csv);
+
+  std::string filter_flag;
+  std::string out_flag;
+  std::string fmt_flag;
+  if (!filter.empty()) {
+    filter_flag = "--benchmark_filter=" + filter;
+    args.push_back(filter_flag.data());
+  }
+  if (!csv.empty()) {
+    out_flag = "--benchmark_out=" + csv;
+    fmt_flag = "--benchmark_out_format=csv";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

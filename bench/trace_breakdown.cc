@@ -58,6 +58,7 @@ double ServerSecondsFromLog(const DbServer& server) {
     if (entry.coalesced) continue;
     sum += model::ServerSeconds(server.config().server_cost,
                                 !entry.plan_cache_hit, entry.rows_scanned,
+                                entry.vec_rows_scanned,
                                 entry.cte_rows_scanned, entry.result_rows);
   }
   return sum;

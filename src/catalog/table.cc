@@ -6,15 +6,15 @@ void TableUndo::Rollback() {
   // Reverse order: a statement that killed and then appended restores
   // the pre-statement picture exactly.
   for (auto it = appended.rbegin(); it != appended.rend(); ++it) {
-    Table::RowVersion& v = it->table->versions_[it->pos];
+    VersionMeta& m = it->table->versions_.meta(it->pos);
     // end == begin: invisible to every snapshot (begin <= ts < end is
     // unsatisfiable) and prunable by the next GC regardless of horizon.
-    v.end_ts.store(v.begin_ts, std::memory_order_release);
+    m.end_ts.store(m.begin_ts, std::memory_order_release);
     it->table->live_rows_.fetch_sub(1, std::memory_order_relaxed);
   }
   for (auto it = killed.rbegin(); it != killed.rend(); ++it) {
-    it->table->versions_[it->pos].end_ts.store(kMaxCommitTs,
-                                               std::memory_order_release);
+    it->table->versions_.meta(it->pos).end_ts.store(
+        kMaxCommitTs, std::memory_order_release);
     it->table->live_rows_.fetch_add(1, std::memory_order_relaxed);
   }
   appended.clear();
@@ -29,12 +29,11 @@ Status Table::Insert(Row row, uint64_t begin_ts) {
 }
 
 size_t Table::AppendVersion(Row row, uint64_t begin_ts, TableUndo* undo) {
-  const size_t pos = versions_.size();
-  RowVersion& v = versions_.Append(std::move(row), begin_ts);
+  const size_t pos = versions_.Append(std::move(row), begin_ts);
   // Index maintenance happens before the position is published: a
   // concurrent index lookup may already surface `pos`, but VisibleAt
   // rejects positions at or past the published bound.
-  MaintainIndexesForAppend(v.data, pos);
+  MaintainIndexesForAppend(pos);
   published_.store(pos + 1, std::memory_order_release);
   live_rows_.fetch_add(1, std::memory_order_relaxed);
   if (undo != nullptr) undo->appended.push_back({this, pos});
@@ -42,11 +41,11 @@ size_t Table::AppendVersion(Row row, uint64_t begin_ts, TableUndo* undo) {
 }
 
 bool Table::KillVersion(size_t pos, uint64_t end_ts, TableUndo* undo) {
-  RowVersion& v = versions_[pos];
+  VersionMeta& m = versions_.meta(pos);
   // First writer wins: a version killed by a writer that committed
   // after the caller's snapshot stays killed; the caller loses.
   uint64_t open = kMaxCommitTs;
-  if (!v.end_ts.compare_exchange_strong(open, end_ts,
+  if (!m.end_ts.compare_exchange_strong(open, end_ts,
                                         std::memory_order_acq_rel)) {
     return false;
   }
@@ -66,23 +65,24 @@ size_t Table::PruneVersions(uint64_t horizon) {
   // Exclusive by contract: no readers, no writers. Everything dead at
   // or before the horizon — plus rolled-back versions, whose end ==
   // begin makes them invisible to any snapshot — goes away. Counting
-  // pass first: a no-op pass must not disturb the version data (the
-  // rebuild below moves rows out of their versions).
+  // pass first: a no-op pass must not rebuild the fragment store.
   const size_t bound = versions_.size();
   size_t pruned = 0;
   for (size_t pos = 0; pos < bound; ++pos) {
-    const RowVersion& v = versions_[pos];
-    const uint64_t end = v.end_ts.load(std::memory_order_relaxed);
-    if (end <= horizon || end <= v.begin_ts) ++pruned;
+    const VersionMeta& m = versions_.meta(pos);
+    const uint64_t end = m.end_ts.load(std::memory_order_relaxed);
+    if (end <= horizon || end <= m.begin_ts) ++pruned;
   }
   if (pruned == 0) return 0;
-  VersionArena kept;
+  FragmentStore kept(versions_.num_columns());
+  Row scratch;
   for (size_t pos = 0; pos < bound; ++pos) {
-    RowVersion& v = versions_[pos];
-    const uint64_t end = v.end_ts.load(std::memory_order_relaxed);
-    if (end <= horizon || end <= v.begin_ts) continue;
-    RowVersion& survivor = kept.Append(std::move(v.data), v.begin_ts);
-    survivor.end_ts.store(end, std::memory_order_relaxed);
+    const VersionMeta& m = versions_.meta(pos);
+    const uint64_t end = m.end_ts.load(std::memory_order_relaxed);
+    if (end <= horizon || end <= m.begin_ts) continue;
+    versions_.MaterializeRow(pos, &scratch);
+    const size_t new_pos = kept.Append(std::move(scratch), m.begin_ts);
+    kept.meta(new_pos).end_ts.store(end, std::memory_order_relaxed);
   }
   versions_ = std::move(kept);
   published_.store(versions_.size(), std::memory_order_release);
@@ -90,13 +90,14 @@ size_t Table::PruneVersions(uint64_t horizon) {
   return pruned;
 }
 
-void Table::MaintainIndexesForAppend(const Row& row, size_t pos) {
+void Table::MaintainIndexesForAppend(size_t pos) {
   std::lock_guard<std::mutex> lock(index_mutex_);
   const uint64_t old_version = version_++;
   for (auto& [column, cached] : indexes_) {
     if (cached.built_version != old_version) continue;  // already stale
-    if (column < row.size() && !row[column].is_null()) {
-      cached.map[row[column]].push_back(pos);
+    if (column < versions_.num_columns()) {
+      Value key = versions_.Cell(pos, column);
+      if (!key.is_null()) cached.map[std::move(key)].push_back(pos);
     }
     cached.built_version = version_;
   }
@@ -109,9 +110,9 @@ Table::CachedIndex& Table::EnsureIndexLocked(size_t column) const {
     cached.map.clear();
     cached.map.reserve(bound);
     for (size_t pos = 0; pos < bound; ++pos) {
-      const Value& key = versions_[pos].data[column];
+      Value key = versions_.Cell(pos, column);
       if (key.is_null()) continue;
-      cached.map[key].push_back(pos);
+      cached.map[std::move(key)].push_back(pos);
     }
     cached.built_version = version_;
   }

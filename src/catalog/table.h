@@ -11,16 +11,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/column_store.h"
 #include "catalog/schema.h"
 #include "common/status.h"
 #include "common/value.h"
 
 namespace pdm {
-
-/// Commit timestamps (DESIGN.md 5h). 0 is the bulk-load timestamp (a
-/// row loaded before any writer is visible to every snapshot);
-/// kMaxCommitTs marks an open (never killed) version.
-inline constexpr uint64_t kMaxCommitTs = ~0ull;
 
 /// Undo log of one DML statement: enough to roll a failed statement
 /// back so its half-applied versions can never become visible once the
@@ -42,25 +38,32 @@ struct TableUndo {
   void Rollback();
 };
 
-/// In-memory multi-versioned row store for one table (DESIGN.md 5h).
-/// Each logical row is a chain of versions in append order; a version
-/// is visible to snapshot `ts` iff `begin_ts <= ts < end_ts`. Readers
-/// never block: UPDATE kills the old version (end_ts := write_ts) and
-/// appends a new one, DELETE only kills — concurrent scans at an older
-/// snapshot keep seeing the old version. Version order is append order,
-/// so scans stay deterministic and experiments reproducible.
+/// In-memory multi-versioned COLUMN-MAJOR row store for one table
+/// (DESIGN.md 5h/5i). Each logical row is a chain of versions in append
+/// order; a version is visible to snapshot `ts` iff
+/// `begin_ts <= ts < end_ts`. Readers never block: UPDATE kills the old
+/// version (end_ts := write_ts) and appends a new one, DELETE only
+/// kills — concurrent scans at an older snapshot keep seeing the old
+/// version. Version order is append order, so scans stay deterministic
+/// and experiments reproducible.
+///
+/// Storage is column-major in 1024-row fragments
+/// (catalog/column_store.h): per column a kind tag + 64-bit payload per
+/// cell, with string payloads in a lazily allocated side array. The
+/// vectorized executor (exec/vectorized.h) scans fragments directly via
+/// FragmentAt(); the legacy row API survives as an adapter —
+/// MaterializeRow/VersionData reassemble a Row on demand — so
+/// row-at-a-time operators, DML and tools keep working during the
+/// migration.
 ///
 /// Concurrency contract: any number of readers (scans, index lookups)
 /// may run concurrently with at most ONE writer (the engine serializes
-/// writers under Database's DML mutex). Versions live in a chunked
-/// arena whose chunks never move once allocated (a deque is NOT
-/// enough: push_back keeps element addresses stable but reallocates
-/// the deque's internal node map, which concurrent operator[] walks —
-/// a genuine data race). Versions become reachable only when
-/// `published_` is advanced with release ordering, so readers never
-/// observe a half-constructed version. PruneVersions (GC) is the only
-/// operation that moves versions and requires full exclusivity (no
-/// readers, no writers).
+/// writers under Database's DML mutex). Fragments live in a fixed-size
+/// directory of atomic pointers and never move once allocated; versions
+/// become reachable only when `published_` is advanced with release
+/// ordering, so readers never observe a half-constructed cell.
+/// PruneVersions (GC) is the only operation that moves versions and
+/// requires full exclusivity (no readers, no writers).
 ///
 /// Tables maintain lazily built per-column hash indexes (value ->
 /// version positions) that executors use for equality scans and index
@@ -77,7 +80,9 @@ class Table {
   using ColumnIndex =
       std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        versions_(schema_.num_columns()) {}
 
   // Tables are heavyweight (own all versions); handled by pointer.
   Table(const Table&) = delete;
@@ -97,17 +102,42 @@ class Table {
     return published_.load(std::memory_order_acquire);
   }
 
-  /// Row data of a published version. The reference is stable across
-  /// concurrent appends (arena storage); only PruneVersions moves it.
-  const Row& VersionData(size_t pos) const { return versions_[pos].data; }
+  /// Row data of a published version, reassembled from the column
+  /// fragments (adapter over the columnar layout; hot loops use
+  /// MaterializeRow with a recycled scratch row instead).
+  Row VersionData(size_t pos) const {
+    Row row;
+    versions_.MaterializeRow(pos, &row);
+    return row;
+  }
+
+  /// Reassembles version `pos` into *out, reusing its element storage
+  /// (string cells keep the target's heap buffer when possible).
+  void MaterializeRow(size_t pos, Row* out) const {
+    versions_.MaterializeRow(pos, out);
+  }
+
+  /// Single cell of a published version.
+  Value Cell(size_t pos, size_t col) const { return versions_.Cell(pos, col); }
+
+  /// Number of 1024-row fragments covering the published versions.
+  size_t num_fragments() const {
+    return (num_versions() + kFragmentRows - 1) >> kFragmentShift;
+  }
+
+  /// Borrowed column-major view of fragment `frag`, clipped to scan
+  /// bound `bound` (callers capture `bound = num_versions()` once per
+  /// scan). The vectorized executor's storage entry point.
+  FragmentSpan FragmentAt(size_t frag, size_t bound) const {
+    return versions_.Span(frag, bound);
+  }
 
   /// True if version `pos` is visible to snapshot `ts`. Positions at or
   /// past the published bound are never visible (an index may briefly
   /// carry a not-yet-published position).
   bool VisibleAt(size_t pos, uint64_t ts) const {
     if (pos >= published_.load(std::memory_order_acquire)) return false;
-    const RowVersion& v = versions_[pos];
-    return v.begin_ts <= ts && ts < v.end_ts.load(std::memory_order_acquire);
+    return MetaVisibleAt(versions_.meta(pos), ts);
   }
 
   /// Validates against the schema and appends one version beginning at
@@ -140,14 +170,15 @@ class Table {
   size_t UpdateRows(Pred predicate, Mut mutator, uint64_t write_ts) {
     const size_t bound = num_versions();
     size_t n = 0;
+    Row scratch;
     for (size_t pos = 0; pos < bound; ++pos) {
-      if (versions_[pos].end_ts.load(std::memory_order_relaxed) !=
+      if (versions_.meta(pos).end_ts.load(std::memory_order_relaxed) !=
           kMaxCommitTs) {
         continue;  // already dead
       }
-      const Row& row = versions_[pos].data;
-      if (!predicate(row)) continue;
-      Row copy = row;
+      versions_.MaterializeRow(pos, &scratch);
+      if (!predicate(scratch)) continue;
+      Row copy = scratch;
       mutator(copy);
       if (!KillVersion(pos, write_ts, nullptr)) continue;
       AppendVersion(std::move(copy), write_ts, nullptr);
@@ -163,24 +194,31 @@ class Table {
   size_t DeleteRows(Pred predicate, uint64_t write_ts) {
     const size_t bound = num_versions();
     size_t n = 0;
+    Row scratch;
     for (size_t pos = 0; pos < bound; ++pos) {
-      if (versions_[pos].end_ts.load(std::memory_order_relaxed) !=
+      if (versions_.meta(pos).end_ts.load(std::memory_order_relaxed) !=
           kMaxCommitTs) {
         continue;
       }
-      if (!predicate(versions_[pos].data)) continue;
+      versions_.MaterializeRow(pos, &scratch);
+      if (!predicate(scratch)) continue;
       if (KillVersion(pos, write_ts, nullptr)) ++n;
     }
     return n;
   }
 
   /// Calls `fn(row)` for every version visible at `ts`, in version
-  /// (i.e. insertion) order.
+  /// (i.e. insertion) order. The row reference is to a scratch buffer
+  /// valid only for the duration of the call.
   template <typename Fn>
   void ForEachVisible(uint64_t ts, Fn fn) const {
     const size_t bound = num_versions();
+    Row scratch;
     for (size_t pos = 0; pos < bound; ++pos) {
-      if (VisibleAt(pos, ts)) fn(versions_[pos].data);
+      if (MetaVisibleAt(versions_.meta(pos), ts)) {
+        versions_.MaterializeRow(pos, &scratch);
+        fn(scratch);
+      }
     }
   }
 
@@ -234,94 +272,6 @@ class Table {
  private:
   friend struct TableUndo;
 
-  /// One row version. `end_ts` is atomic: a writer kills a version
-  /// while readers evaluate visibility against it.
-  struct RowVersion {
-    Row data;
-    uint64_t begin_ts = 0;
-    std::atomic<uint64_t> end_ts{kMaxCommitTs};
-    RowVersion() = default;
-    RowVersion(Row d, uint64_t b) : data(std::move(d)), begin_ts(b) {}
-  };
-
-  /// Append-only version storage safe to index concurrently with
-  /// appends. Chunks are allocated once and never moved; the directory
-  /// of chunk pointers has fixed capacity, so the writer publishing a
-  /// new chunk (release store into its slot) never relocates anything
-  /// a reader may be walking. Single writer appends; readers access
-  /// positions below Table::published_ (whose release/acquire pair
-  /// orders the chunk stores); Reset()/move require full exclusivity.
-  class VersionArena {
-   public:
-    static constexpr size_t kChunkShift = 10;  // 1024 versions per chunk
-    static constexpr size_t kChunkSize = size_t{1} << kChunkShift;
-    static constexpr size_t kChunkMask = kChunkSize - 1;
-    static constexpr size_t kMaxChunks = size_t{1} << 12;  // 4M versions
-
-    VersionArena() = default;
-    VersionArena(VersionArena&& other) noexcept
-        : dir_(std::move(other.dir_)), size_(other.size_) {
-      other.size_ = 0;
-    }
-    VersionArena& operator=(VersionArena&& other) noexcept {
-      if (this != &other) {
-        FreeChunks();
-        dir_ = std::move(other.dir_);
-        size_ = other.size_;
-        other.size_ = 0;
-      }
-      return *this;
-    }
-    ~VersionArena() { FreeChunks(); }
-
-    /// Versions appended so far (writer-side count; readers bound
-    /// their scans by Table::published_ instead).
-    size_t size() const { return size_; }
-
-    RowVersion& operator[](size_t pos) {
-      return dir_[pos >> kChunkShift].load(std::memory_order_acquire)
-          [pos & kChunkMask];
-    }
-    const RowVersion& operator[](size_t pos) const {
-      return dir_[pos >> kChunkShift].load(std::memory_order_acquire)
-          [pos & kChunkMask];
-    }
-
-    /// Appends one version and returns it. Single writer only; the
-    /// slot stays invisible to readers until the caller advances
-    /// Table::published_.
-    RowVersion& Append(Row row, uint64_t begin_ts) {
-      if (dir_ == nullptr) {
-        dir_.reset(new std::atomic<RowVersion*>[kMaxChunks]());
-      }
-      const size_t chunk = size_ >> kChunkShift;
-      assert(chunk < kMaxChunks && "version arena capacity exhausted");
-      if ((size_ & kChunkMask) == 0) {
-        dir_[chunk].store(new RowVersion[kChunkSize],
-                          std::memory_order_release);
-      }
-      RowVersion& v =
-          dir_[chunk].load(std::memory_order_relaxed)[size_ & kChunkMask];
-      v.data = std::move(row);
-      v.begin_ts = begin_ts;
-      v.end_ts.store(kMaxCommitTs, std::memory_order_relaxed);
-      ++size_;
-      return v;
-    }
-
-   private:
-    void FreeChunks() {
-      if (dir_ == nullptr) return;
-      const size_t chunks = (size_ + kChunkSize - 1) >> kChunkShift;
-      for (size_t c = 0; c < chunks; ++c) {
-        delete[] dir_[c].load(std::memory_order_relaxed);
-      }
-    }
-
-    std::unique_ptr<std::atomic<RowVersion*>[]> dir_;
-    size_t size_ = 0;
-  };
-
   struct CachedIndex {
     ColumnIndex map;
     uint64_t built_version = 0;  // 0 = never built (version_ starts at 1)
@@ -330,7 +280,7 @@ class Table {
   /// Appends position `pos` (the about-to-publish version) to every
   /// in-sync index and bumps the table version; stale indexes stay
   /// stale.
-  void MaintainIndexesForAppend(const Row& row, size_t pos);
+  void MaintainIndexesForAppend(size_t pos);
 
   /// Builds (or rebuilds) the index on `column` if stale; requires
   /// `index_mutex_` held.
@@ -338,10 +288,10 @@ class Table {
 
   std::string name_;
   Schema schema_;
-  /// Version storage; chunks never move under a concurrent writer, so
-  /// readers' references/positions stay valid. Only positions below
-  /// `published_` are readable.
-  VersionArena versions_;
+  /// Column-major version storage; fragments never move under a
+  /// concurrent writer, so readers' spans/positions stay valid. Only
+  /// positions below `published_` are readable.
+  FragmentStore versions_;
   std::atomic<size_t> published_{0};
   std::atomic<size_t> live_rows_{0};
   uint64_t version_ = 1;  // index-freshness epoch, guarded by index_mutex_

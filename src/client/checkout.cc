@@ -97,11 +97,13 @@ Result<CheckOutResult> CheckOutClient::RunClientSide(int64_t root,
       }
       std::optional<size_t> obid_col = children.schema.FindColumn("obid");
       std::optional<size_t> type_col = children.schema.FindColumn("type");
-      for (const Row& row : children.rows) {
+      fetched_nodes.rows.reserve(fetched_nodes.rows.size() +
+                                 children.rows.size());
+      for (Row& row : children.rows) {
         int64_t child = row[*obid_col].int64_value();
         obids_by_type[row[*type_col].ToString()].push_back(child);
         frontier.push_back(child);
-        fetched_nodes.rows.push_back(row);
+        fetched_nodes.rows.push_back(std::move(row));
       }
     }
     PDM_ASSIGN_OR_RETURN(bool tree_ok,

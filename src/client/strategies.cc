@@ -69,9 +69,10 @@ Result<ResultSet> NavigationalStrategy::ExpandOnce(
     // Late evaluation: the rows crossed the WAN; filter at the client.
     ResultSet kept;
     kept.schema = rows.schema;
-    for (const Row& row : rows.rows) {
+    kept.rows.reserve(rows.rows.size());
+    for (Row& row : rows.rows) {
       PDM_ASSIGN_OR_RETURN(bool pass, late_filter->Passes(row));
-      if (pass) kept.rows.push_back(row);
+      if (pass) kept.rows.push_back(std::move(row));
     }
     return kept;
   }
@@ -180,13 +181,14 @@ Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
     std::optional<size_t> obid_col = children.schema.FindColumn("obid");
     std::optional<size_t> type_col = children.schema.FindColumn("type");
     std::optional<size_t> name_col = children.schema.FindColumn("name");
-    for (const Row& row : children.rows) {
+    kept_nodes.rows.reserve(kept_nodes.rows.size() + children.rows.size());
+    for (Row& row : children.rows) {
       int64_t child_obid = row[*obid_col].int64_value();
       size_t child_index =
           out.tree.AddNode(child_obid, row[*type_col].ToString(),
                            row[*name_col].ToString(), index);
       frontier.emplace_back(child_obid, child_index);
-      kept_nodes.rows.push_back(row);
+      kept_nodes.rows.push_back(std::move(row));
     }
   }
 
@@ -301,9 +303,10 @@ Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
         // Late evaluation: the rows crossed the WAN; filter here.
         ResultSet kept;
         kept.schema = rows.schema;
-        for (const Row& row : rows.rows) {
+        kept.rows.reserve(rows.rows.size());
+        for (Row& row : rows.rows) {
           PDM_ASSIGN_OR_RETURN(bool pass, filter->Passes(row));
-          if (pass) kept.rows.push_back(row);
+          if (pass) kept.rows.push_back(std::move(row));
         }
         rows = std::move(kept);
       }
@@ -314,13 +317,14 @@ Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
       std::optional<size_t> obid_col = rows.schema.FindColumn("obid");
       std::optional<size_t> type_col = rows.schema.FindColumn("type");
       std::optional<size_t> name_col = rows.schema.FindColumn("name");
-      for (const Row& row : rows.rows) {
+      kept_nodes.rows.reserve(kept_nodes.rows.size() + rows.rows.size());
+      for (Row& row : rows.rows) {
         int64_t child_obid = row[*obid_col].int64_value();
         size_t child_index =
             out.tree.AddNode(child_obid, row[*type_col].ToString(),
                              row[*name_col].ToString(), frontier[i].second);
         next.emplace_back(child_obid, child_index);
-        kept_nodes.rows.push_back(row);
+        kept_nodes.rows.push_back(std::move(row));
       }
     }
     frontier = std::move(next);
@@ -418,9 +422,10 @@ Result<ActionResult> NavigationalPipelinedStrategy::MultiLevelExpand(
       if (!early_ && filter != nullptr) {
         ResultSet filtered;
         filtered.schema = rows.schema;
-        for (const Row& row : rows.rows) {
+        filtered.rows.reserve(rows.rows.size());
+        for (Row& row : rows.rows) {
           PDM_ASSIGN_OR_RETURN(bool pass, filter->Passes(row));
-          if (pass) filtered.rows.push_back(row);
+          if (pass) filtered.rows.push_back(std::move(row));
         }
         rows = std::move(filtered);
       }
@@ -458,13 +463,14 @@ Result<ActionResult> NavigationalPipelinedStrategy::MultiLevelExpand(
       std::optional<size_t> obid_col = rows.schema.FindColumn("obid");
       std::optional<size_t> type_col = rows.schema.FindColumn("type");
       std::optional<size_t> name_col = rows.schema.FindColumn("name");
-      for (const Row& row : rows.rows) {
+      kept_nodes.rows.reserve(kept_nodes.rows.size() + rows.rows.size());
+      for (Row& row : rows.rows) {
         int64_t child_obid = row[*obid_col].int64_value();
         size_t child_index =
             out.tree.AddNode(child_obid, row[*type_col].ToString(),
                              row[*name_col].ToString(), parent_index[i]);
         next_parent_index.push_back(child_index);
-        kept_nodes.rows.push_back(row);
+        kept_nodes.rows.push_back(std::move(row));
       }
     }
     parent_index = std::move(next_parent_index);

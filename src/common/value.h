@@ -58,6 +58,27 @@ class Value {
     return is_int64() ? static_cast<double>(int64_value()) : double_value();
   }
 
+  // In-place mutation, used by hot materialization loops that recycle a
+  // scratch Row instead of constructing fresh Values: SetString keeps
+  // the existing heap buffer when the slot already holds a string.
+  void SetNull() { data_ = std::monostate{}; }
+  void SetBool(bool v) { data_ = v; }
+  void SetInt64(int64_t v) { data_ = v; }
+  void SetDouble(double v) { data_ = v; }
+  void SetString(const std::string& v) {
+    if (std::string* s = std::get_if<std::string>(&data_)) {
+      *s = v;  // reuse capacity
+    } else {
+      data_ = v;
+    }
+  }
+
+  /// Moves the string payload out (caller must know kind() == kString);
+  /// the Value is left holding a moved-from string.
+  std::string ReleaseString() {
+    return std::move(std::get<std::string>(data_));
+  }
+
   /// True if `a` and `b` are comparable: same kind, or both numeric.
   static bool Comparable(const Value& a, const Value& b);
 

@@ -348,9 +348,10 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
   };
   std::vector<PendingUpdate> pending;
   const size_t bound_versions = table->num_versions();
+  Row row;  // recycled materialization buffer
   for (size_t pos = 0; pos < bound_versions; ++pos) {
     if (!table->VisibleAt(pos, read_ts)) continue;
-    const Row& row = table->VersionData(pos);
+    table->MaterializeRow(pos, &row);
     if (bound.predicate != nullptr) {
       PDM_ASSIGN_OR_RETURN(bool pass,
                            EvaluatePredicate(*bound.predicate, row, &ctx));
@@ -418,13 +419,14 @@ Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
   // ExecuteUpdate for the conflict rule).
   std::vector<size_t> doomed;
   const size_t bound_versions = table->num_versions();
+  Row row;  // recycled materialization buffer
   for (size_t pos = 0; pos < bound_versions; ++pos) {
     if (!table->VisibleAt(pos, read_ts)) continue;
     bool pass = true;
     if (bound.predicate != nullptr) {
-      PDM_ASSIGN_OR_RETURN(
-          pass,
-          EvaluatePredicate(*bound.predicate, table->VersionData(pos), &ctx));
+      table->MaterializeRow(pos, &row);
+      PDM_ASSIGN_OR_RETURN(pass,
+                           EvaluatePredicate(*bound.predicate, row, &ctx));
     }
     if (pass) doomed.push_back(pos);
   }

@@ -28,6 +28,11 @@ struct ExecOptions {
   /// Hard bound on recursion rounds (defense against cyclic data under
   /// UNION ALL semantics).
   size_t max_recursion_iterations = 100000;
+  /// Run scan/filter/project/limit plans batch-at-a-time over the
+  /// columnar fragments (exec/vectorized.h) instead of pulling rows
+  /// through the Volcano operators. Plans the vectorized engine cannot
+  /// prove equivalent fall back to the row path automatically.
+  bool vectorized_execution = true;
 };
 
 /// Counters accumulated while executing one statement. Exposed through
@@ -45,6 +50,8 @@ struct ExecStats {
   size_t index_join_probes = 0;      // hash-join probes against an index
   size_t plan_cache_hits = 0;        // statement served from a cached plan
   size_t plan_cache_misses = 0;      // statement freshly parsed and bound
+  size_t vec_rows_scanned = 0;       // subset of rows_scanned done batchwise
+  size_t vec_batches = 0;            // fragment batches the vec engine ran
 
   void Reset() { *this = ExecStats{}; }
 };

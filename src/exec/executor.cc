@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "exec/expr_eval.h"
+#include "exec/vectorized.h"
 
 namespace pdm {
 
@@ -79,17 +80,20 @@ class ScanExecutor : public Executor {
   }
 
   Result<bool> Next(Row* row) override {
+    // Candidates materialize into a recycled scratch row (string cells
+    // reuse its capacity); only a row that passes the filter is handed
+    // out, by swap — no per-row Value copies on untouched columns.
     const uint64_t snapshot = ctx_->snapshot_ts();
     if (use_index_) {
       while (pos_ < candidates_.size()) {
         const size_t version_pos = candidates_[pos_++];
         if (!table_->VisibleAt(version_pos, snapshot)) continue;
-        const Row& candidate = table_->VersionData(version_pos);
+        table_->MaterializeRow(version_pos, &scratch_);
         ctx_->stats().rows_scanned++;
         PDM_ASSIGN_OR_RETURN(bool pass,
-                             EvaluatePredicate(*node_.filter, candidate, ctx_));
+                             EvaluatePredicate(*node_.filter, scratch_, ctx_));
         if (!pass) continue;
-        *row = candidate;
+        row->swap(scratch_);
         return true;
       }
       return false;
@@ -97,14 +101,14 @@ class ScanExecutor : public Executor {
     while (pos_ < bound_) {
       const size_t version_pos = pos_++;
       if (!table_->VisibleAt(version_pos, snapshot)) continue;
-      const Row& candidate = table_->VersionData(version_pos);
+      table_->MaterializeRow(version_pos, &scratch_);
       ctx_->stats().rows_scanned++;
       if (node_.filter != nullptr) {
         PDM_ASSIGN_OR_RETURN(bool pass,
-                             EvaluatePredicate(*node_.filter, candidate, ctx_));
+                             EvaluatePredicate(*node_.filter, scratch_, ctx_));
         if (!pass) continue;
       }
-      *row = candidate;
+      row->swap(scratch_);
       return true;
     }
     return false;
@@ -118,6 +122,7 @@ class ScanExecutor : public Executor {
   bool use_index_ = false;
   std::vector<size_t> candidates_;    // index hits (owned copy), if any
   size_t pos_ = 0;
+  Row scratch_;                       // recycled materialization buffer
 };
 
 class CteScanExecutor : public Executor {
@@ -390,11 +395,16 @@ class HashJoinExecutor : public Executor {
               !index_table_->VisibleAt(match, ctx_->snapshot_ts())) {
             continue;
           }
-          const Row& right_row = index_table_ != nullptr
-                                     ? index_table_->VersionData(match)
-                                     : right_rows_[match];
+          const Row* right_row;
+          if (index_table_ != nullptr) {
+            index_table_->MaterializeRow(match, &right_scratch_);
+            right_row = &right_scratch_;
+          } else {
+            right_row = &right_rows_[match];
+          }
           Row combined = left_row_;
-          combined.insert(combined.end(), right_row.begin(), right_row.end());
+          combined.insert(combined.end(), right_row->begin(),
+                          right_row->end());
           if (node_.residual != nullptr) {
             PDM_ASSIGN_OR_RETURN(
                 bool pass, EvaluatePredicate(*node_.residual, combined, ctx_));
@@ -424,6 +434,7 @@ class HashJoinExecutor : public Executor {
   std::vector<Row> right_rows_;
   const Table* index_table_ = nullptr;   // non-null = index-join mode
   std::vector<size_t> index_matches_;    // probe hits (owned copy)
+  Row right_scratch_;                    // index-join materialization buffer
   Row left_row_;
   bool have_left_ = false;
   const std::vector<size_t>* matches_ = nullptr;
@@ -776,6 +787,14 @@ Result<std::unique_ptr<Executor>> CreateExecutor(const PlanNode& plan,
 }
 
 Result<std::vector<Row>> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  // Scan/filter/project/limit plans run batch-at-a-time over the column
+  // fragments; anything the vectorized engine cannot prove equivalent
+  // (and any index-answerable scan) drops through to the row operators.
+  if (ctx->options().vectorized_execution) {
+    std::vector<Row> rows;
+    PDM_ASSIGN_OR_RETURN(bool handled, TryExecuteVectorized(plan, ctx, &rows));
+    if (handled) return rows;
+  }
   PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> executor,
                        CreateExecutor(plan, ctx));
   PDM_RETURN_NOT_OK(executor->Open());

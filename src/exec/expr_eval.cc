@@ -8,11 +8,8 @@
 
 namespace pdm {
 
-namespace {
-
-/// SQL equality producing NULL on NULL inputs; error on incomparable
-/// non-NULL kinds.
-Result<Value> SqlCompare(sql::BinaryOp op, const Value& a, const Value& b) {
+Result<Value> SqlCompareValues(sql::BinaryOp op, const Value& a,
+                               const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   if (!Value::Comparable(a, b)) {
     return Status::ExecutionError(
@@ -39,7 +36,8 @@ Result<Value> SqlCompare(sql::BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
-Result<Value> SqlArithmetic(sql::BinaryOp op, const Value& a, const Value& b) {
+Result<Value> SqlArithmeticValues(sql::BinaryOp op, const Value& a,
+                                  const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
   if (op == sql::BinaryOp::kConcat) {
     // Lenient concatenation: non-string operands are stringified.
@@ -89,8 +87,8 @@ Result<Value> SqlArithmetic(sql::BinaryOp op, const Value& a, const Value& b) {
   }
 }
 
-/// Kleene three-valued AND/OR over {TRUE, FALSE, NULL}.
-Result<Value> SqlLogic(sql::BinaryOp op, const Value& a, const Value& b) {
+Result<Value> SqlLogicValues(sql::BinaryOp op, const Value& a,
+                             const Value& b) {
   auto truth = [](const Value& v) -> Result<int> {  // 1 / 0 / -1 = unknown
     if (v.is_null()) return -1;
     if (v.is_bool()) return v.bool_value() ? 1 : 0;
@@ -107,6 +105,8 @@ Result<Value> SqlLogic(sql::BinaryOp op, const Value& a, const Value& b) {
   if (x == 0 && y == 0) return Value::Bool(false);
   return Value::Null();
 }
+
+namespace {
 
 /// Resolves the row a column reference reads from: the current row for
 /// level 0, otherwise the correlation stack.
@@ -294,7 +294,7 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Row& row,
             }
           }
           PDM_ASSIGN_OR_RETURN(Value b, EvaluateExpr(*e.rhs, row, ctx));
-          return SqlLogic(e.op, a, b);
+          return SqlLogicValues(e.op, a, b);
         }
         case sql::BinaryOp::kEq:
         case sql::BinaryOp::kNotEq:
@@ -304,12 +304,12 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Row& row,
         case sql::BinaryOp::kGreaterEq: {
           PDM_ASSIGN_OR_RETURN(Value a, EvaluateExpr(*e.lhs, row, ctx));
           PDM_ASSIGN_OR_RETURN(Value b, EvaluateExpr(*e.rhs, row, ctx));
-          return SqlCompare(e.op, a, b);
+          return SqlCompareValues(e.op, a, b);
         }
         default: {
           PDM_ASSIGN_OR_RETURN(Value a, EvaluateExpr(*e.lhs, row, ctx));
           PDM_ASSIGN_OR_RETURN(Value b, EvaluateExpr(*e.rhs, row, ctx));
-          return SqlArithmetic(e.op, a, b);
+          return SqlArithmeticValues(e.op, a, b);
         }
       }
     }
@@ -362,9 +362,12 @@ Result<Value> EvaluateExpr(const BoundExpr& expr, const Row& row,
       PDM_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e.operand, row, ctx));
       PDM_ASSIGN_OR_RETURN(Value lo, EvaluateExpr(*e.low, row, ctx));
       PDM_ASSIGN_OR_RETURN(Value hi, EvaluateExpr(*e.high, row, ctx));
-      PDM_ASSIGN_OR_RETURN(Value ge, SqlCompare(sql::BinaryOp::kGreaterEq, v, lo));
-      PDM_ASSIGN_OR_RETURN(Value le, SqlCompare(sql::BinaryOp::kLessEq, v, hi));
-      PDM_ASSIGN_OR_RETURN(Value both, SqlLogic(sql::BinaryOp::kAnd, ge, le));
+      PDM_ASSIGN_OR_RETURN(
+          Value ge, SqlCompareValues(sql::BinaryOp::kGreaterEq, v, lo));
+      PDM_ASSIGN_OR_RETURN(
+          Value le, SqlCompareValues(sql::BinaryOp::kLessEq, v, hi));
+      PDM_ASSIGN_OR_RETURN(Value both,
+                           SqlLogicValues(sql::BinaryOp::kAnd, ge, le));
       if (!e.negated) return both;
       if (both.is_null()) return Value::Null();
       return Value::Bool(!both.bool_value());

@@ -23,6 +23,8 @@ Status EvaluateSemiNaive(const BoundCte& cte, ExecContext* ctx,
     next_delta->push_back(std::move(row));
   };
 
+  result.reserve(seed_rows.size());
+  delta.reserve(seed_rows.size());
   for (Row& row : seed_rows) admit(std::move(row), &delta);
 
   const size_t max_iters = ctx->options().max_recursion_iterations;
@@ -40,6 +42,7 @@ Status EvaluateSemiNaive(const BoundCte& cte, ExecContext* ctx,
     std::vector<Row> next_delta;
     for (const PlanPtr& term : cte.recursive_terms) {
       PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*term, ctx));
+      next_delta.reserve(next_delta.size() + rows.size());
       for (Row& row : rows) admit(std::move(row), &next_delta);
     }
     delta = std::move(next_delta);

@@ -1,0 +1,656 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/string_util.h"
+#include "exec/expr_eval.h"
+#include "exec/vec_batch.h"
+
+namespace pdm {
+
+namespace {
+
+// The row engine's non-boolean error message depends on the operator
+// consuming the value; the tri-state evaluator threads the right one
+// through so both engines fail identically.
+constexpr const char* kNonBoolLogic = "boolean operator on non-boolean value";
+constexpr const char* kNonBoolNot = "NOT on non-boolean value";
+constexpr const char* kNonBoolPredicate =
+    "predicate did not evaluate to a boolean";
+
+// ---------------------------------------------------------------------------
+// Plan gate
+// ---------------------------------------------------------------------------
+
+/// Decomposed vectorizable plan. `filters` are in application order:
+/// the scan's pushed-down filter first, then FilterNodes innermost-out —
+/// the same per-row order the Volcano operators evaluate them in.
+struct VecPlan {
+  const ScanNode* scan = nullptr;
+  std::vector<const BoundExpr*> filters;
+  const std::vector<BoundExprPtr>* project = nullptr;  // null = SELECT *
+  bool has_limit = false;
+  int64_t limit = 0;
+};
+
+/// True if the row engine's ScanExecutor would answer `filter` through a
+/// column index (some `column = non-NULL-literal` conjunct in the
+/// top-level AND chain). Such scans stay on the row path: a hash probe
+/// on the point value beats any full-fragment sweep.
+bool HasIndexableEquality(const BoundExpr& filter) {
+  if (filter.kind != BoundExprKind::kBinary) return false;
+  const auto& bin = static_cast<const BoundBinary&>(filter);
+  if (bin.op == sql::BinaryOp::kAnd) {
+    return HasIndexableEquality(*bin.lhs) || HasIndexableEquality(*bin.rhs);
+  }
+  if (bin.op != sql::BinaryOp::kEq) return false;
+  const BoundExpr* col = bin.lhs.get();
+  const BoundExpr* lit = bin.rhs.get();
+  if (col->kind != BoundExprKind::kColumnRef) std::swap(col, lit);
+  return col->kind == BoundExprKind::kColumnRef &&
+         lit->kind == BoundExprKind::kLiteral &&
+         static_cast<const BoundColumnRef&>(*col).level == 0 &&
+         !static_cast<const BoundLiteral&>(*lit).value.is_null();
+}
+
+/// Whitelist of expressions the batch evaluator reproduces exactly.
+/// Tracks the widest level-0 column index so the caller can bounds-check
+/// against the table schema before committing to the vectorized path.
+bool CanVectorizeExpr(const BoundExpr& expr, size_t* max_col) {
+  switch (expr.kind) {
+    case BoundExprKind::kLiteral:
+      return true;
+    case BoundExprKind::kColumnRef: {
+      const auto& ref = static_cast<const BoundColumnRef&>(expr);
+      if (ref.level != 0) return false;  // correlated: row path only
+      *max_col = std::max(*max_col, ref.index);
+      return true;
+    }
+    case BoundExprKind::kUnary:
+      return CanVectorizeExpr(*static_cast<const BoundUnary&>(expr).operand,
+                              max_col);
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      return CanVectorizeExpr(*e.lhs, max_col) &&
+             CanVectorizeExpr(*e.rhs, max_col);
+    }
+    case BoundExprKind::kCast:
+      return CanVectorizeExpr(*static_cast<const BoundCast&>(expr).operand,
+                              max_col);
+    case BoundExprKind::kIsNull:
+      return CanVectorizeExpr(*static_cast<const BoundIsNull&>(expr).operand,
+                              max_col);
+    case BoundExprKind::kInList: {
+      const auto& e = static_cast<const BoundInList&>(expr);
+      // Expression items have per-row, per-item short-circuit order;
+      // only the binder's precomputed literal-set form maps onto a
+      // batch without re-deriving that order.
+      return e.use_literal_set && CanVectorizeExpr(*e.operand, max_col);
+    }
+    case BoundExprKind::kBetween: {
+      const auto& e = static_cast<const BoundBetween&>(expr);
+      return CanVectorizeExpr(*e.operand, max_col) &&
+             CanVectorizeExpr(*e.low, max_col) &&
+             CanVectorizeExpr(*e.high, max_col);
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      return CanVectorizeExpr(*e.operand, max_col) &&
+             CanVectorizeExpr(*e.pattern, max_col);
+    }
+    case BoundExprKind::kFunctionCall:  // opaque scalar function
+    case BoundExprKind::kCase:          // per-row WHEN short-circuit
+    case BoundExprKind::kSubquery:      // needs the row-path machinery
+      return false;
+  }
+  return false;
+}
+
+/// Peels Limit? -> Project? -> Filter* -> Scan; false on any other shape.
+bool Decompose(const PlanNode& plan, VecPlan* out) {
+  const PlanNode* node = &plan;
+  if (node->kind == PlanKind::kLimit) {
+    const auto& limit = static_cast<const LimitNode&>(*node);
+    out->has_limit = true;
+    out->limit = limit.limit;
+    node = limit.child.get();
+    if (node == nullptr) return false;
+  }
+  if (node->kind == PlanKind::kProject) {
+    const auto& project = static_cast<const ProjectNode&>(*node);
+    out->project = &project.exprs;
+    node = project.child.get();
+    if (node == nullptr) return false;  // SELECT without FROM
+  }
+  std::vector<const BoundExpr*> outer_first;
+  while (node->kind == PlanKind::kFilter) {
+    const auto& filter = static_cast<const FilterNode&>(*node);
+    outer_first.push_back(filter.predicate.get());
+    node = filter.child.get();
+  }
+  if (node->kind != PlanKind::kScan) return false;
+  out->scan = static_cast<const ScanNode*>(node);
+  if (out->scan->filter != nullptr) {
+    out->filters.push_back(out->scan->filter.get());
+  }
+  out->filters.insert(out->filters.end(), outer_first.rbegin(),
+                      outer_first.rend());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Dense tier: expression -> one Value per selected slot
+// ---------------------------------------------------------------------------
+
+Status EvalDense(const BoundExpr& expr, const FragmentSpan& span,
+                 const uint32_t* rows, size_t n, std::vector<Value>* out);
+
+/// AND/OR with the row engine's short-circuit: the rhs is evaluated only
+/// for slots the lhs did not already decide (bool FALSE for AND, bool
+/// TRUE for OR) — so an rhs that would error on a short-circuited slot
+/// stays silent, exactly as on the row path.
+Status EvalDenseLogic(const BoundBinary& e, const FragmentSpan& span,
+                      const uint32_t* rows, size_t n,
+                      std::vector<Value>* out) {
+  const bool is_and = e.op == sql::BinaryOp::kAnd;
+  std::vector<Value> lhs;
+  PDM_RETURN_NOT_OK(EvalDense(*e.lhs, span, rows, n, &lhs));
+  std::vector<uint32_t> rest_rows;
+  std::vector<size_t> rest_idx;
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs[i].is_bool() && lhs[i].bool_value() != is_and) continue;
+    rest_rows.push_back(rows[i]);
+    rest_idx.push_back(i);
+  }
+  std::vector<Value> rhs;
+  if (!rest_rows.empty()) {
+    PDM_RETURN_NOT_OK(
+        EvalDense(*e.rhs, span, rest_rows.data(), rest_rows.size(), &rhs));
+  }
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) (*out)[i] = Value::Bool(!is_and);
+  for (size_t j = 0; j < rest_idx.size(); ++j) {
+    Result<Value> v = SqlLogicValues(e.op, lhs[rest_idx[j]], rhs[j]);
+    if (!v.ok()) return v.status();
+    (*out)[rest_idx[j]] = std::move(v).value();
+  }
+  return Status::OK();
+}
+
+Status EvalDense(const BoundExpr& expr, const FragmentSpan& span,
+                 const uint32_t* rows, size_t n, std::vector<Value>* out) {
+  switch (expr.kind) {
+    case BoundExprKind::kLiteral: {
+      const Value& v = static_cast<const BoundLiteral&>(expr).value;
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) (*out)[i] = v;
+      return Status::OK();
+    }
+    case BoundExprKind::kColumnRef: {
+      const auto& ref = static_cast<const BoundColumnRef&>(expr);
+      const ColumnFragment& col = span.fragment->cols[ref.index];
+      out->resize(n);  // no clear: LoadInto recycles string capacity
+      for (size_t i = 0; i < n; ++i) col.LoadInto(rows[i], &(*out)[i]);
+      return Status::OK();
+    }
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(expr);
+      std::vector<Value> v;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &v));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (v[i].is_null()) {
+          (*out)[i] = Value::Null();
+        } else if (e.op == sql::UnaryOp::kNot) {
+          if (!v[i].is_bool()) return Status::ExecutionError(kNonBoolNot);
+          (*out)[i] = Value::Bool(!v[i].bool_value());
+        } else if (v[i].is_int64()) {
+          (*out)[i] = Value::Int64(-v[i].int64_value());
+        } else if (v[i].is_double()) {
+          (*out)[i] = Value::Double(-v[i].double_value());
+        } else {
+          return Status::ExecutionError("unary minus on non-numeric value");
+        }
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      if (e.op == sql::BinaryOp::kAnd || e.op == sql::BinaryOp::kOr) {
+        return EvalDenseLogic(e, span, rows, n, out);
+      }
+      std::vector<Value> a;
+      std::vector<Value> b;
+      PDM_RETURN_NOT_OK(EvalDense(*e.lhs, span, rows, n, &a));
+      PDM_RETURN_NOT_OK(EvalDense(*e.rhs, span, rows, n, &b));
+      const bool compare = e.op == sql::BinaryOp::kEq ||
+                           e.op == sql::BinaryOp::kNotEq ||
+                           e.op == sql::BinaryOp::kLess ||
+                           e.op == sql::BinaryOp::kLessEq ||
+                           e.op == sql::BinaryOp::kGreater ||
+                           e.op == sql::BinaryOp::kGreaterEq;
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        Result<Value> v = compare ? SqlCompareValues(e.op, a[i], b[i])
+                                  : SqlArithmeticValues(e.op, a[i], b[i]);
+        if (!v.ok()) return v.status();
+        (*out)[i] = std::move(v).value();
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kCast: {
+      const auto& e = static_cast<const BoundCast&>(expr);
+      std::vector<Value> v;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &v));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        Result<Value> c = CastValue(v[i], e.target_type);
+        if (!c.ok()) return c.status();
+        (*out)[i] = std::move(c).value();
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(expr);
+      std::vector<Value> v;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &v));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = Value::Bool(e.negated ? !v[i].is_null() : v[i].is_null());
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kInList: {
+      const auto& e = static_cast<const BoundInList&>(expr);
+      std::vector<Value> needle;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &needle));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (needle[i].is_null()) {
+          (*out)[i] = Value::Null();
+        } else if (e.literal_set.count(needle[i]) > 0) {
+          (*out)[i] = Value::Bool(!e.negated);
+        } else if (e.literal_list_has_null) {
+          (*out)[i] = Value::Null();
+        } else {
+          (*out)[i] = Value::Bool(e.negated);
+        }
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kBetween: {
+      const auto& e = static_cast<const BoundBetween&>(expr);
+      std::vector<Value> v;
+      std::vector<Value> lo;
+      std::vector<Value> hi;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &v));
+      PDM_RETURN_NOT_OK(EvalDense(*e.low, span, rows, n, &lo));
+      PDM_RETURN_NOT_OK(EvalDense(*e.high, span, rows, n, &hi));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        Result<Value> ge =
+            SqlCompareValues(sql::BinaryOp::kGreaterEq, v[i], lo[i]);
+        if (!ge.ok()) return ge.status();
+        Result<Value> le =
+            SqlCompareValues(sql::BinaryOp::kLessEq, v[i], hi[i]);
+        if (!le.ok()) return le.status();
+        Result<Value> both =
+            SqlLogicValues(sql::BinaryOp::kAnd, ge.value(), le.value());
+        if (!both.ok()) return both.status();
+        Value b = std::move(both).value();
+        if (e.negated && !b.is_null()) b = Value::Bool(!b.bool_value());
+        (*out)[i] = std::move(b);
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      std::vector<Value> text;
+      std::vector<Value> pattern;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &text));
+      PDM_RETURN_NOT_OK(EvalDense(*e.pattern, span, rows, n, &pattern));
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (text[i].is_null() || pattern[i].is_null()) {
+          (*out)[i] = Value::Null();
+          continue;
+        }
+        if (!text[i].is_string() || !pattern[i].is_string()) {
+          return Status::ExecutionError("LIKE requires string operands");
+        }
+        const bool match =
+            SqlLikeMatch(text[i].string_value(), pattern[i].string_value());
+        (*out)[i] = Value::Bool(e.negated ? !match : match);
+      }
+      return Status::OK();
+    }
+    case BoundExprKind::kFunctionCall:
+    case BoundExprKind::kCase:
+    case BoundExprKind::kSubquery:
+      break;  // rejected by CanVectorizeExpr
+  }
+  return Status::Internal("expression kind not vectorizable");
+}
+
+// ---------------------------------------------------------------------------
+// Tri tier: predicate -> {TRUE=1, FALSE=0, NULL=-1} per selected slot
+// ---------------------------------------------------------------------------
+
+using TriVec = std::vector<int8_t>;
+
+Status EvalTri(const BoundExpr& expr, const FragmentSpan& span,
+               const uint32_t* rows, size_t n, const char* nonbool_error,
+               TriVec* out);
+
+/// tri := cell <op> literal (or flipped), straight off the column
+/// arrays: no Value is constructed for any cell. Mirrors
+/// SqlCompareValues exactly — NULL on a NULL side, error on incomparable
+/// non-NULL kinds, exact int64 compare, mixed numerics via double.
+Status CompareColumnLiteral(sql::BinaryOp op, const ColumnSpan& col,
+                            const Value& lit, bool lit_on_left,
+                            const uint32_t* rows, size_t n, TriVec* out) {
+  out->resize(n);
+  if (lit.is_null()) {
+    std::fill(out->begin(), out->end(), int8_t{-1});
+    return Status::OK();
+  }
+  const ValueKind lk = lit.kind();
+  const bool lit_numeric = lit.is_numeric();
+  const int64_t li = lit.is_int64() ? lit.int64_value() : 0;
+  const double ld = lit_numeric ? lit.AsDouble() : 0.0;
+  const std::string* ls = lit.is_string() ? &lit.string_value() : nullptr;
+  const int lb = lit.is_bool() ? (lit.bool_value() ? 1 : 0) : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t slot = rows[i];
+    const ValueKind ck = static_cast<ValueKind>(col.kinds[slot]);
+    if (ck == ValueKind::kNull) {
+      (*out)[i] = -1;
+      continue;
+    }
+    int c;  // sign of (cell - literal)
+    if (ck == ValueKind::kInt64 && lk == ValueKind::kInt64) {
+      const int64_t x = static_cast<int64_t>(col.fixed[slot]);
+      c = x < li ? -1 : (x > li ? 1 : 0);
+    } else if ((ck == ValueKind::kInt64 || ck == ValueKind::kDouble) &&
+               lit_numeric) {
+      const double x =
+          ck == ValueKind::kInt64
+              ? static_cast<double>(static_cast<int64_t>(col.fixed[slot]))
+              : BitsToDouble(col.fixed[slot]);
+      c = x < ld ? -1 : (x > ld ? 1 : 0);
+    } else if (ck == ValueKind::kString && lk == ValueKind::kString) {
+      const int r = col.strs[slot].compare(*ls);
+      c = r < 0 ? -1 : (r > 0 ? 1 : 0);
+    } else if (ck == ValueKind::kBool && lk == ValueKind::kBool) {
+      c = (col.fixed[slot] != 0 ? 1 : 0) - lb;
+    } else {
+      const std::string cn(ValueKindName(ck));
+      const std::string ln(ValueKindName(lk));
+      return Status::ExecutionError(StrFormat(
+          "cannot compare %s with %s", lit_on_left ? ln.c_str() : cn.c_str(),
+          lit_on_left ? cn.c_str() : ln.c_str()));
+    }
+    if (lit_on_left) c = -c;
+    bool t;
+    switch (op) {
+      case sql::BinaryOp::kEq:
+        t = c == 0;
+        break;
+      case sql::BinaryOp::kNotEq:
+        t = c != 0;
+        break;
+      case sql::BinaryOp::kLess:
+        t = c < 0;
+        break;
+      case sql::BinaryOp::kLessEq:
+        t = c <= 0;
+        break;
+      case sql::BinaryOp::kGreater:
+        t = c > 0;
+        break;
+      case sql::BinaryOp::kGreaterEq:
+        t = c >= 0;
+        break;
+      default:
+        return Status::Internal("not a comparison operator");
+    }
+    (*out)[i] = t ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+/// Kleene AND/OR with row-engine short-circuit at batch granularity: the
+/// rhs runs only over slots the lhs left undecided.
+Status EvalTriLogic(const BoundBinary& e, const FragmentSpan& span,
+                    const uint32_t* rows, size_t n, TriVec* out) {
+  const bool is_and = e.op == sql::BinaryOp::kAnd;
+  const int8_t decided = is_and ? 0 : 1;
+  TriVec lhs;
+  PDM_RETURN_NOT_OK(EvalTri(*e.lhs, span, rows, n, kNonBoolLogic, &lhs));
+  std::vector<uint32_t> rest_rows;
+  std::vector<size_t> rest_idx;
+  for (size_t i = 0; i < n; ++i) {
+    if (lhs[i] == decided) continue;
+    rest_rows.push_back(rows[i]);
+    rest_idx.push_back(i);
+  }
+  TriVec rhs;
+  if (!rest_rows.empty()) {
+    PDM_RETURN_NOT_OK(EvalTri(*e.rhs, span, rest_rows.data(),
+                              rest_rows.size(), kNonBoolLogic, &rhs));
+  }
+  out->resize(n);
+  std::fill(out->begin(), out->end(), decided);
+  for (size_t j = 0; j < rest_idx.size(); ++j) {
+    const int8_t l = lhs[rest_idx[j]];
+    const int8_t r = rhs[j];
+    int8_t v;
+    if (is_and) {
+      v = r == 0 ? 0 : ((l == 1 && r == 1) ? 1 : int8_t{-1});
+    } else {
+      v = r == 1 ? 1 : ((l == 0 && r == 0) ? 0 : int8_t{-1});
+    }
+    (*out)[rest_idx[j]] = v;
+  }
+  return Status::OK();
+}
+
+Status EvalTri(const BoundExpr& expr, const FragmentSpan& span,
+               const uint32_t* rows, size_t n, const char* nonbool_error,
+               TriVec* out) {
+  switch (expr.kind) {
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      if (e.op == sql::BinaryOp::kAnd || e.op == sql::BinaryOp::kOr) {
+        return EvalTriLogic(e, span, rows, n, out);
+      }
+      const bool compare = e.op == sql::BinaryOp::kEq ||
+                           e.op == sql::BinaryOp::kNotEq ||
+                           e.op == sql::BinaryOp::kLess ||
+                           e.op == sql::BinaryOp::kLessEq ||
+                           e.op == sql::BinaryOp::kGreater ||
+                           e.op == sql::BinaryOp::kGreaterEq;
+      if (compare) {
+        const BoundExpr* l = e.lhs.get();
+        const BoundExpr* r = e.rhs.get();
+        if (l->kind == BoundExprKind::kColumnRef &&
+            r->kind == BoundExprKind::kLiteral) {
+          const auto& ref = static_cast<const BoundColumnRef&>(*l);
+          return CompareColumnLiteral(
+              e.op, span.column(ref.index),
+              static_cast<const BoundLiteral&>(*r).value,
+              /*lit_on_left=*/false, rows, n, out);
+        }
+        if (l->kind == BoundExprKind::kLiteral &&
+            r->kind == BoundExprKind::kColumnRef) {
+          const auto& ref = static_cast<const BoundColumnRef&>(*r);
+          return CompareColumnLiteral(
+              e.op, span.column(ref.index),
+              static_cast<const BoundLiteral&>(*l).value,
+              /*lit_on_left=*/true, rows, n, out);
+        }
+        std::vector<Value> a;
+        std::vector<Value> b;
+        PDM_RETURN_NOT_OK(EvalDense(*e.lhs, span, rows, n, &a));
+        PDM_RETURN_NOT_OK(EvalDense(*e.rhs, span, rows, n, &b));
+        out->resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          Result<Value> v = SqlCompareValues(e.op, a[i], b[i]);
+          if (!v.ok()) return v.status();
+          const Value& c = v.value();
+          (*out)[i] = c.is_null() ? int8_t{-1} : (c.bool_value() ? 1 : 0);
+        }
+        return Status::OK();
+      }
+      break;  // arithmetic result as a predicate: generic conversion
+    }
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(expr);
+      if (e.op == sql::UnaryOp::kNot) {
+        PDM_RETURN_NOT_OK(
+            EvalTri(*e.operand, span, rows, n, kNonBoolNot, out));
+        for (int8_t& t : *out) {
+          if (t != -1) t = t == 1 ? 0 : 1;
+        }
+        return Status::OK();
+      }
+      break;
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(expr);
+      out->resize(n);
+      if (e.operand->kind == BoundExprKind::kColumnRef) {
+        // Null-ness straight from the kind tags; never NULL-valued.
+        const auto& ref = static_cast<const BoundColumnRef&>(*e.operand);
+        const ColumnSpan col = span.column(ref.index);
+        for (size_t i = 0; i < n; ++i) {
+          const bool isnull = static_cast<ValueKind>(col.kinds[rows[i]]) ==
+                              ValueKind::kNull;
+          (*out)[i] = (e.negated ? !isnull : isnull) ? 1 : 0;
+        }
+        return Status::OK();
+      }
+      std::vector<Value> v;
+      PDM_RETURN_NOT_OK(EvalDense(*e.operand, span, rows, n, &v));
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = (e.negated ? !v[i].is_null() : v[i].is_null()) ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+  // Generic tier: dense-evaluate, then convert with the consuming
+  // operator's non-boolean error so failures match the row engine.
+  std::vector<Value> vals;
+  PDM_RETURN_NOT_OK(EvalDense(expr, span, rows, n, &vals));
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = vals[i];
+    if (v.is_null()) {
+      (*out)[i] = -1;
+    } else if (v.is_bool()) {
+      (*out)[i] = v.bool_value() ? 1 : 0;
+    } else {
+      return Status::ExecutionError(nonbool_error);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
+                                  std::vector<Row>* out) {
+  VecPlan vp;
+  if (!Decompose(plan, &vp)) return false;
+  size_t max_col = 0;
+  for (const BoundExpr* f : vp.filters) {
+    if (!CanVectorizeExpr(*f, &max_col)) return false;
+  }
+  if (vp.project != nullptr) {
+    for (const BoundExprPtr& e : *vp.project) {
+      if (!CanVectorizeExpr(*e, &max_col)) return false;
+    }
+  }
+  // Point lookups belong to the row engine's index scan.
+  if (vp.scan->filter != nullptr && HasIndexableEquality(*vp.scan->filter)) {
+    return false;
+  }
+  Result<Table*> table_or = ctx->catalog()->GetTable(vp.scan->table_name);
+  if (!table_or.ok()) return false;  // row path reports the same error
+  const Table& table = *table_or.value();
+  const size_t num_columns = table.schema().num_columns();
+  if ((!vp.filters.empty() || vp.project != nullptr) &&
+      max_col >= num_columns) {
+    return false;  // defensive: let the row path surface the binder bug
+  }
+
+  const uint64_t snapshot = ctx->snapshot_ts();
+  const size_t bound = table.num_versions();
+  const size_t frags = (bound + kFragmentRows - 1) >> kFragmentShift;
+  const size_t limit =
+      vp.has_limit
+          ? (vp.limit > 0 ? static_cast<size_t>(vp.limit) : 0)
+          : std::numeric_limits<size_t>::max();
+
+  out->clear();
+  ExecStats& stats = ctx->stats();
+  VecBatch batch;
+  TriVec tri;
+  std::vector<uint32_t> survivors;
+  std::vector<std::vector<Value>> proj_cols;
+  for (size_t frag = 0; frag < frags && out->size() < limit; ++frag) {
+    batch.span = table.FragmentAt(frag, bound);
+    batch.FillVisible(snapshot);
+    stats.vec_batches++;
+    stats.rows_scanned += batch.sel.size();
+    stats.vec_rows_scanned += batch.sel.size();
+    for (const BoundExpr* f : vp.filters) {
+      if (batch.sel.empty()) break;
+      PDM_RETURN_NOT_OK(EvalTri(*f, batch.span, batch.sel.data(),
+                                batch.sel.size(), kNonBoolPredicate, &tri));
+      survivors.clear();
+      for (size_t i = 0; i < batch.sel.size(); ++i) {
+        if (tri[i] == 1) survivors.push_back(batch.sel[i]);
+      }
+      batch.sel.swap(survivors);
+    }
+    if (batch.sel.empty()) continue;
+    const size_t take = std::min(batch.sel.size(), limit - out->size());
+    // Late materialization: only now do surviving slots become Values.
+    if (vp.project != nullptr) {
+      proj_cols.resize(vp.project->size());
+      for (size_t e = 0; e < vp.project->size(); ++e) {
+        PDM_RETURN_NOT_OK(EvalDense(*(*vp.project)[e], batch.span,
+                                    batch.sel.data(), take, &proj_cols[e]));
+      }
+      for (size_t i = 0; i < take; ++i) {
+        Row row;
+        row.reserve(proj_cols.size());
+        for (std::vector<Value>& col : proj_cols) {
+          row.push_back(std::move(col[i]));
+        }
+        out->push_back(std::move(row));
+      }
+    } else {
+      for (size_t i = 0; i < take; ++i) {
+        const uint32_t slot = batch.sel[i];
+        Row row;
+        row.reserve(num_columns);
+        for (size_t c = 0; c < num_columns; ++c) {
+          row.push_back(batch.span.fragment->cols[c].Load(slot));
+        }
+        out->push_back(std::move(row));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pdm

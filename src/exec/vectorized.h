@@ -1,0 +1,38 @@
+#ifndef PDM_EXEC_VECTORIZED_H_
+#define PDM_EXEC_VECTORIZED_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "exec/exec_context.h"
+#include "plan/plan_node.h"
+
+namespace pdm {
+
+/// Batch-at-a-time executor for the hot scan shape (DESIGN.md 5i):
+///
+///   Limit? -> Project? -> Filter* -> Scan
+///
+/// over a base table, with every expression in the vectorizable subset
+/// (literals, level-0 column refs, unary/binary operators, CAST,
+/// IS NULL, BETWEEN, LIKE, literal-set IN). Execution walks the table's
+/// 1024-row column fragments directly: a vectorized MVCC pass fills the
+/// initial selection vector from the snapshot, filters refine it
+/// column-at-a-time with row-engine short-circuit semantics, and only
+/// the surviving slots are materialized into Rows (late
+/// materialization — a filtered-out version never touches a Value).
+///
+/// Returns false — without touching *out or any stats — when the plan
+/// is outside that subset or the row engine would answer the scan from
+/// a column index; the caller must then run the Volcano path. On true,
+/// *out holds rows value-identical to the row engine's output (same
+/// order, same cells). Execution errors propagate as on the row path;
+/// the only divergence is error *timing* under LIMIT, where the row
+/// engine stops mid-fragment and this engine finishes the batch.
+Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
+                                  std::vector<Row>* out);
+
+}  // namespace pdm
+
+#endif  // PDM_EXEC_VECTORIZED_H_

@@ -255,11 +255,16 @@ ResponseTime PredictPipelinedFromTraffic(
 }
 
 double ServerSeconds(const ServerCostParams& params, bool parsed,
-                     size_t rows_scanned, size_t cte_rows_scanned,
-                     size_t result_rows) {
+                     size_t rows_scanned, size_t vec_rows_scanned,
+                     size_t cte_rows_scanned, size_t result_rows) {
   double seconds = params.statement_overhead_s;
   if (parsed) seconds += params.parse_plan_s;
-  seconds += params.per_row_scan_s * static_cast<double>(rows_scanned);
+  // vec_rows_scanned is a subset of rows_scanned (clamp defensively so
+  // inconsistent inputs cannot produce a negative row-engine share).
+  const size_t vec = vec_rows_scanned < rows_scanned ? vec_rows_scanned
+                                                     : rows_scanned;
+  seconds += params.per_row_scan_s * static_cast<double>(rows_scanned - vec);
+  seconds += params.per_row_scan_vec_s * static_cast<double>(vec);
   seconds += params.per_cte_row_s * static_cast<double>(cte_rows_scanned);
   seconds += params.per_result_row_s * static_cast<double>(result_rows);
   return seconds;

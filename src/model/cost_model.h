@@ -181,16 +181,24 @@ ResponseTime PredictPipelinedFromTraffic(
 struct ServerCostParams {
   double statement_overhead_s = 5.0e-5;  // dispatch + result framing
   double parse_plan_s = 2.0e-4;          // lex + parse + bind (cache miss)
-  double per_row_scan_s = 1.0e-6;        // base-table rows touched
+  double per_row_scan_s = 1.0e-6;        // base-table rows, row engine
+  /// Base-table rows swept by the vectorized engine (DESIGN.md 5i).
+  /// Calibrated at 1/5 of the row-engine rate — the CI-gated floor of
+  /// the measured columnar speedup (bench/micro_engine) — so t_server
+  /// attribution tracks which engine actually served the scan.
+  double per_row_scan_vec_s = 2.0e-7;
   double per_cte_row_s = 1.0e-6;         // recursive-CTE rows touched
   double per_result_row_s = 5.0e-7;      // rows serialized into the reply
 };
 
 /// Simulated server seconds of one statement. `parsed` is false when a
 /// cached plan skipped the parse/bind phase (engine/plan_cache.h).
+/// `vec_rows_scanned` is the subset of `rows_scanned` the vectorized
+/// engine handled; those rows are charged at the vectorized rate and
+/// the remainder at the row-engine rate.
 double ServerSeconds(const ServerCostParams& params, bool parsed,
-                     size_t rows_scanned, size_t cte_rows_scanned,
-                     size_t result_rows);
+                     size_t rows_scanned, size_t vec_rows_scanned,
+                     size_t cte_rows_scanned, size_t result_rows);
 
 // ---------------------------------------------------------------------------
 // Cross-client coalescing (DESIGN.md 5e)

@@ -98,7 +98,7 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
     status = db_.Execute(sql, out, &stats);
     double sim = model::ServerSeconds(
         config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-        stats.cte_rows_scanned, out->num_rows());
+        stats.vec_rows_scanned, stats.cte_rows_scanned, out->num_rows());
     span.set_sim_seconds(sim);
     ServerStatementHistogram().Observe(sim);
   }
@@ -113,7 +113,8 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
           std::string(sql), out->num_rows(), out->affected_rows, bytes,
           stats.plan_cache_hits > 0, /*batch_id=*/0, /*worker=*/0,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
-          stats.rows_scanned, stats.cte_rows_scanned});
+          stats.rows_scanned, stats.cte_rows_scanned,
+          stats.vec_rows_scanned});
     }
   }
   return Status::OK();
@@ -163,7 +164,8 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
       }
       double sim = model::ServerSeconds(
           config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-          stats.cte_rows_scanned, r.result.num_rows());
+          stats.vec_rows_scanned, stats.cte_rows_scanned,
+          r.result.num_rows());
       span.set_sim_seconds(sim);
       ServerStatementHistogram().Observe(sim);
     }
@@ -175,7 +177,8 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
           statements[i], r.result.num_rows(), r.result.affected_rows,
           r.response_bytes, stats.plan_cache_hits > 0, batch_id, worker,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
-          stats.rows_scanned, stats.cte_rows_scanned};
+          stats.rows_scanned, stats.cte_rows_scanned,
+          stats.vec_rows_scanned};
     }
   };
 
@@ -284,7 +287,8 @@ DbServer::WaveExecution DbServer::ExecuteWave(
       }
       double sim = model::ServerSeconds(
           config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-          stats.cte_rows_scanned, r.result.num_rows());
+          stats.vec_rows_scanned, stats.cte_rows_scanned,
+          r.result.num_rows());
       span.set_sim_seconds(sim);
       ServerStatementHistogram().Observe(sim);
     }
@@ -299,7 +303,8 @@ DbServer::WaveExecution DbServer::ExecuteWave(
           *items[i].sql, r.result.num_rows(), r.result.affected_rows,
           r.response_bytes, stats.plan_cache_hits > 0, /*batch_id=*/0,
           worker, wave_id, items[i].client_id, /*coalesced=*/false,
-          stats.rows_scanned, stats.cte_rows_scanned};
+          stats.rows_scanned, stats.cte_rows_scanned,
+          stats.vec_rows_scanned};
     }
   };
 

@@ -92,8 +92,11 @@ class DbServer {
     bool coalesced = false;
     /// Engine work of this statement (0 for coalesced fan-out slots):
     /// base-table and recursive-CTE rows touched (exec/exec_context.h).
+    /// `vec_rows_scanned` is the subset of `rows_scanned` swept by the
+    /// vectorized engine, charged at the cheaper per-row rate.
     size_t rows_scanned = 0;
     size_t cte_rows_scanned = 0;
+    size_t vec_rows_scanned = 0;
   };
 
   /// Outcome of one statement of a batch. Fail-fast-per-statement: an

@@ -222,13 +222,40 @@ TEST_P(PredicateOracleSweep, EngineMatchesOracle) {
     for (size_t i = 0; i < expected.size(); ++i) {
       EXPECT_EQ(result->At(i, 0).int64_value(), expected[i]) << pred.sql;
     }
+
+    // Row-vs-vectorized differential on the same predicate, without the
+    // ORDER BY so the plan keeps the Project->Filter->Scan shape the
+    // batch executor handles (both engines scan in slot order, so the
+    // unsorted output is deterministic too).
+    const std::string bare = "SELECT id FROM t WHERE " + pred.sql;
+    Result<ResultSet> vec = db.Query(bare);
+    ASSERT_TRUE(vec.ok()) << pred.sql << " -> " << vec.status();
+    db.options().exec.vectorized_execution = false;
+    Result<ResultSet> row_engine = db.Query(bare);
+    db.options().exec.vectorized_execution = true;
+    ASSERT_TRUE(row_engine.ok()) << pred.sql << " -> " << row_engine.status();
+    EXPECT_EQ(vec->ToString(10000), row_engine->ToString(10000)) << pred.sql;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PredicateOracleSweep,
                          ::testing::Range<uint64_t>(1, 9));
 
-// --- Optimizer on/off corpus ---------------------------------------------------
+// --- Optimizer / engine on-off corpora ---------------------------------------
+
+/// Queries over the generated PDM product shared by the switch-off
+/// differentials below.
+constexpr const char* kCorpus[] = {
+    "SELECT COUNT(*) FROM link WHERE left = 1 AND eff_from <= 50",
+    "SELECT a.obid, COUNT(*) FROM assy AS a JOIN link ON a.obid = "
+    "link.left GROUP BY a.obid HAVING COUNT(*) > 1 ORDER BY 1",
+    "SELECT obid FROM comp WHERE EXISTS (SELECT * FROM specified_by "
+    "WHERE specified_by.left = comp.obid) ORDER BY 1",
+    "SELECT material, AVG(weight) FROM comp WHERE acc = '+' GROUP BY "
+    "material ORDER BY 1",
+    "SELECT obid FROM assy WHERE obid IN (SELECT left FROM link "
+    "WHERE strc_opt = 1) ORDER BY 1",
+};
 
 TEST(OptimizerDifferential, SameResultsWithAllSwitchesOff) {
   client::ExperimentConfig config;
@@ -239,18 +266,6 @@ TEST(OptimizerDifferential, SameResultsWithAllSwitchesOff) {
       client::Experiment::Create(config);
   ASSERT_TRUE(experiment.ok());
   Database& db = (*experiment)->server().database();
-
-  const char* kCorpus[] = {
-      "SELECT COUNT(*) FROM link WHERE left = 1 AND eff_from <= 50",
-      "SELECT a.obid, COUNT(*) FROM assy AS a JOIN link ON a.obid = "
-      "link.left GROUP BY a.obid HAVING COUNT(*) > 1 ORDER BY 1",
-      "SELECT obid FROM comp WHERE EXISTS (SELECT * FROM specified_by "
-      "WHERE specified_by.left = comp.obid) ORDER BY 1",
-      "SELECT material, AVG(weight) FROM comp WHERE acc = '+' GROUP BY "
-      "material ORDER BY 1",
-      "SELECT obid FROM assy WHERE obid IN (SELECT left FROM link "
-      "WHERE strc_opt = 1) ORDER BY 1",
-  };
 
   std::vector<std::string> baseline;
   for (const char* sql : kCorpus) {
@@ -267,6 +282,51 @@ TEST(OptimizerDifferential, SameResultsWithAllSwitchesOff) {
     Result<ResultSet> rs = db.Query(kCorpus[i]);
     ASSERT_TRUE(rs.ok()) << kCorpus[i];
     EXPECT_EQ(rs->ToString(10000), baseline[i]) << kCorpus[i];
+  }
+}
+
+TEST(VecEngineDifferential, SameResultsWithVectorizedExecutionOff) {
+  client::ExperimentConfig config;
+  config.generator.depth = 3;
+  config.generator.branching = 3;
+  config.generator.sigma = 0.6;
+  Result<std::unique_ptr<client::Experiment>> experiment =
+      client::Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok());
+  Database& db = (*experiment)->server().database();
+
+  // The shared corpus plus scan/filter/project shapes the batch
+  // executor handles directly (no ORDER BY — both engines emit in slot
+  // order — and no bare equality conjunct, which would divert to the
+  // row engine's index scan anyway).
+  std::vector<std::string> queries(std::begin(kCorpus), std::end(kCorpus));
+  const char* kScanCorpus[] = {
+      "SELECT left, right FROM link WHERE eff_from <= 50 AND eff_to > 50",
+      "SELECT obid, weight FROM comp WHERE weight > 1.0 OR material IS NULL",
+      "SELECT obid, name FROM assy WHERE name LIKE '%3%' AND NOT frozen",
+      "SELECT obid FROM link WHERE strc_opt IN (0, 1) LIMIT 40",
+      "SELECT obid, weight * 2 FROM comp WHERE obid BETWEEN 10 AND 200",
+  };
+  queries.insert(queries.end(), std::begin(kScanCorpus),
+                 std::end(kScanCorpus));
+
+  std::vector<std::string> baseline;
+  bool any_vectorized = false;
+  for (const std::string& sql : queries) {
+    Result<ResultSet> rs = db.Query(sql);
+    ASSERT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    baseline.push_back(rs->ToString(10000));
+    any_vectorized |= db.last_stats().vec_batches > 0;
+  }
+  // The scan corpus must actually have exercised the batch executor.
+  EXPECT_TRUE(any_vectorized);
+
+  db.options().exec.vectorized_execution = false;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<ResultSet> rs = db.Query(queries[i]);
+    ASSERT_TRUE(rs.ok()) << queries[i];
+    EXPECT_EQ(db.last_stats().vec_batches, 0u) << queries[i];
+    EXPECT_EQ(rs->ToString(10000), baseline[i]) << queries[i];
   }
 }
 

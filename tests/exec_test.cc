@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "engine/database.h"
 
 namespace pdm {
@@ -293,6 +296,196 @@ TEST_F(ExecTest, DerivedTables) {
       "GROUP BY owner) AS t WHERE t.owner = 'ann'");
   ASSERT_EQ(rs.num_rows(), 1u);
   EXPECT_EQ(rs.At(0, 0).int64_value(), 2);
+}
+
+// --- Vectorized batch execution (DESIGN.md 5i) ------------------------------
+//
+// Edge cases around the 1024-row fragment geometry, the selection
+// vector, NULLs in filter columns, and the row-path fallbacks, all
+// through the Database facade. ExecStats.vec_batches/vec_rows_scanned
+// prove which engine actually ran: the row path never touches them.
+
+class VecExecTest : public ::testing::Test {
+ protected:
+  /// t(id, v, s): id = 0..rows-1, v = 2*id except NULL on every 7th
+  /// row, s = one of 'a'/'b'/'c' + id. Inserted in 256-row statements
+  /// so large tables don't blow up the parser.
+  static void Fill(Database* db, size_t rows) {
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE t (id INTEGER, v INTEGER, s VARCHAR)")
+            .ok());
+    size_t next = 0;
+    while (next < rows) {
+      std::string sql = "INSERT INTO t VALUES ";
+      const size_t batch = std::min<size_t>(256, rows - next);
+      for (size_t j = 0; j < batch; ++j) {
+        const size_t i = next + j;
+        if (j > 0) sql += ", ";
+        sql += "(" + std::to_string(i) + ", ";
+        sql += i % 7 == 0 ? "NULL" : std::to_string(2 * i);
+        sql += ", '";
+        sql += static_cast<char>('a' + i % 3);
+        sql += std::to_string(i) + "')";
+      }
+      ASSERT_TRUE(db->Execute(sql).ok());
+      next += batch;
+    }
+  }
+};
+
+TEST_F(VecExecTest, EmptyTableYieldsEmptyResult) {
+  Database db;
+  Fill(&db, 0);
+  Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE v >= 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->num_rows(), 0u);
+  EXPECT_EQ(db.last_stats().vec_batches, 0u);
+  EXPECT_EQ(db.last_stats().rows_scanned, 0u);
+}
+
+TEST_F(VecExecTest, ExactlyOneFragmentOfRows) {
+  Database db;
+  Fill(&db, 1024);
+  Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE id >= 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 1024u);
+  EXPECT_EQ(rs->At(1023, 0).int64_value(), 1023);
+  EXPECT_EQ(db.last_stats().vec_batches, 1u);
+  EXPECT_EQ(db.last_stats().vec_rows_scanned, 1024u);
+}
+
+TEST_F(VecExecTest, OneRowPastTheFragmentBoundary) {
+  Database db;
+  Fill(&db, 1025);
+  Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE id >= 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 1025u);
+  // Scan order is preserved across the boundary.
+  EXPECT_EQ(rs->At(1023, 0).int64_value(), 1023);
+  EXPECT_EQ(rs->At(1024, 0).int64_value(), 1024);
+  EXPECT_EQ(db.last_stats().vec_batches, 2u);
+  EXPECT_EQ(db.last_stats().vec_rows_scanned, 1025u);
+}
+
+TEST_F(VecExecTest, AllRowsFilteredLeavesEmptySelection) {
+  Database db;
+  Fill(&db, 100);
+  Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE id < 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->num_rows(), 0u);
+  // Every row was scanned vectorized, none survived the selection.
+  EXPECT_EQ(db.last_stats().vec_rows_scanned, 100u);
+  EXPECT_EQ(db.last_stats().rows_emitted, 0u);
+}
+
+TEST_F(VecExecTest, NullsInFilterColumnsFollowThreeValuedLogic) {
+  Database db;
+  Fill(&db, 70);  // v NULL on ids 0, 7, ..., 63: 10 NULLs, 60 values
+  auto count = [&](const std::string& where) {
+    Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE " + where);
+    EXPECT_TRUE(rs.ok()) << where << " -> " << rs.status();
+    return rs.ok() ? rs->num_rows() : size_t{0};
+  };
+  EXPECT_EQ(count("v >= 0"), 60u);
+  EXPECT_EQ(db.last_stats().vec_rows_scanned, 70u);
+  EXPECT_EQ(count("NOT (v >= 0)"), 0u);  // NULL stays filtered under NOT
+  EXPECT_EQ(count("v IS NULL"), 10u);
+  EXPECT_EQ(count("v IS NOT NULL"), 60u);
+  EXPECT_EQ(count("v >= 0 OR v IS NULL"), 70u);
+  EXPECT_EQ(count("v >= 0 AND s IS NOT NULL"), 60u);
+}
+
+TEST_F(VecExecTest, IndexableEqualityStaysOnTheRowIndexPath) {
+  Database db;
+  Fill(&db, 100);
+  Result<ResultSet> rs = db.Query("SELECT v FROM t WHERE id = 5");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 10);
+  // A point lookup beats any fragment sweep: the index scan must win.
+  EXPECT_EQ(db.last_stats().index_scans, 1u);
+  EXPECT_EQ(db.last_stats().rows_scanned, 1u);
+  EXPECT_EQ(db.last_stats().vec_batches, 0u);
+}
+
+TEST_F(VecExecTest, UnsupportedExpressionFallsBackToTheRowEngine) {
+  Database db;
+  Fill(&db, 10);
+  Result<ResultSet> rs = db.Query(
+      "SELECT id FROM t WHERE CASE WHEN v IS NULL THEN 0 ELSE v END >= 0");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->num_rows(), 10u);
+  EXPECT_EQ(db.last_stats().vec_batches, 0u);
+  EXPECT_EQ(db.last_stats().rows_scanned, 10u);
+}
+
+TEST_F(VecExecTest, LimitStopsAtTheFirstSatisfiedFragment) {
+  Database db;
+  Fill(&db, 2500);
+  Result<ResultSet> rs = db.Query("SELECT id FROM t WHERE id >= 10 LIMIT 5");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 5u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 10);
+  // Fragments 1 and 2 are never opened once the limit is satisfied.
+  EXPECT_EQ(db.last_stats().vec_batches, 1u);
+
+  Result<ResultSet> zero = db.Query("SELECT id FROM t WHERE id >= 0 LIMIT 0");
+  ASSERT_TRUE(zero.ok()) << zero.status();
+  EXPECT_EQ(zero->num_rows(), 0u);
+}
+
+TEST_F(VecExecTest, ProjectionExpressionsMaterializeLate) {
+  Database db;
+  Fill(&db, 50);
+  Result<ResultSet> rs = db.Query(
+      "SELECT id + 1, v * 2, s || '!' FROM t WHERE id BETWEEN 10 AND 12");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 3u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 11);
+  EXPECT_EQ(rs->At(0, 1).int64_value(), 40);
+  EXPECT_EQ(rs->At(0, 2).string_value(), "b10!");
+  EXPECT_EQ(db.last_stats().vec_batches, 1u);
+}
+
+TEST_F(VecExecTest, AgreesWithTheRowEngineOnOperatorMix) {
+  Database db;
+  Fill(&db, 1500);
+  const char* kQueries[] = {
+      "SELECT * FROM t WHERE v > 100",
+      "SELECT id, s FROM t WHERE s LIKE 'b%' AND v IS NOT NULL",
+      "SELECT id FROM t WHERE id IN (3, 1030, 9999) OR v < 10",
+      "SELECT v FROM t WHERE NOT (id BETWEEN 5 AND 1400)",
+      "SELECT id FROM t WHERE v >= 0 LIMIT 37",
+      "SELECT id, v + id FROM t WHERE 100 <= v AND v <= 120",
+  };
+  for (const char* sql : kQueries) {
+    Result<ResultSet> vec = db.Query(sql);
+    ASSERT_TRUE(vec.ok()) << sql << " -> " << vec.status();
+    db.options().exec.vectorized_execution = false;
+    Result<ResultSet> row = db.Query(sql);
+    db.options().exec.vectorized_execution = true;
+    ASSERT_TRUE(row.ok()) << sql << " -> " << row.status();
+    EXPECT_EQ(vec->ToString(100000), row->ToString(100000)) << sql;
+  }
+}
+
+TEST_F(VecExecTest, ErrorsMatchTheRowEngine) {
+  Database db;
+  Fill(&db, 20);
+  const char* kBadQueries[] = {
+      "SELECT id FROM t WHERE s > 1",   // incomparable kinds
+      "SELECT id FROM t WHERE v + 1",   // non-boolean predicate
+      "SELECT id FROM t WHERE NOT v",   // NOT on non-boolean
+  };
+  for (const char* sql : kBadQueries) {
+    Result<ResultSet> vec = db.Query(sql);
+    EXPECT_FALSE(vec.ok()) << sql;
+    db.options().exec.vectorized_execution = false;
+    Result<ResultSet> row = db.Query(sql);
+    db.options().exec.vectorized_execution = true;
+    EXPECT_FALSE(row.ok()) << sql;
+    EXPECT_EQ(vec.status().ToString(), row.status().ToString()) << sql;
+  }
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 // conflicts with full statement rollback, version-GC defer/prune
 // behaviour, conflict surfacing through mixed reader/writer waves, the
 // concurrent check-out workload driver (byte-identical reader trees,
-// server/client conflict counter reconciliation), and a table-level
-// snapshot-stability stress that doubles as a TSan canary.
+// server/client conflict counter reconciliation), a table-level
+// snapshot-stability stress that doubles as a TSan canary, and
+// vectorized visibility over the columnar fragments (version chains
+// crossing the fragment boundary, concurrent fragment scans).
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 #include "client/experiment.h"
 #include "common/status.h"
 #include "engine/database.h"
+#include "exec/vec_batch.h"
 #include "obs/metrics.h"
 #include "server/admission_queue.h"
 #include "server/db_server.h"
@@ -308,6 +311,116 @@ TEST(MvccTable, FixedSnapshotIsStableUnderConcurrentWriter) {
   // final clock still holds every logical row.
   EXPECT_EQ(table.num_rows(), static_cast<size_t>(kRows));
   EXPECT_EQ(table.SnapshotRows(kRounds).size(), static_cast<size_t>(kRows));
+}
+
+/// Vectorized visibility (DESIGN.md 5i): one row updated until its
+/// version chain crosses the 1024-row fragment boundary. Every pinned
+/// snapshot must see exactly its version through the batch scan, whose
+/// visibility pass walks both fragments (the range predicate keeps the
+/// query off the equality-index row path).
+TEST(MvccVectorized, VersionChainSpanningAFragmentBoundary) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE t (id INTEGER, v INTEGER);
+    INSERT INTO t VALUES (1, 0);
+  )sql")
+                  .ok());
+
+  // 1500 UPDATEs -> 1501 versions of the one logical row: fragment 0
+  // holds versions 0..1023, fragment 1 the rest. Checkpoints pin the
+  // snapshot right before selected commits, on both sides of and at the
+  // boundary.
+  constexpr int kUpdates = 1500;
+  std::vector<std::pair<uint64_t, int64_t>> checkpoints;
+  checkpoints.emplace_back(db.commit_clock(), 0);
+  for (int i = 1; i <= kUpdates; ++i) {
+    ASSERT_TRUE(db.Execute("UPDATE t SET v = v + 1 WHERE id = 1").ok());
+    if (i == 1 || i == 700 || i == 1023 || i == 1024 || i == kUpdates) {
+      checkpoints.emplace_back(db.commit_clock(), i);
+    }
+  }
+
+  for (const auto& [ts, expected] : checkpoints) {
+    ExecStats stats;
+    ResultSet rs;
+    ASSERT_TRUE(
+        db.Execute("SELECT v FROM t WHERE v >= 0", &rs, &stats, ts).ok());
+    ASSERT_EQ(rs.num_rows(), 1u) << "ts=" << ts;
+    EXPECT_EQ(rs.At(0, 0).int64_value(), expected) << "ts=" << ts;
+    // The whole chain spans two fragments, and only the one visible
+    // version enters the selection vector.
+    EXPECT_EQ(stats.vec_batches, 2u);
+    EXPECT_EQ(stats.vec_rows_scanned, 1u);
+    EXPECT_EQ(stats.rows_scanned, 1u);
+  }
+}
+
+/// TSan canary for the columnar path: readers sweep the fragment
+/// directory with FragmentAt + FillVisible (exactly what the batch
+/// executor does) while a writer keeps killing + appending versions.
+/// A pinned snapshot must keep resolving to the original rows.
+TEST(MvccVectorized, FragmentScanStableUnderConcurrentWriter) {
+  Table table("t", Schema({Column{"id", ColumnType::kInt64},
+                           Column{"name", ColumnType::kString}}));
+  constexpr int kRows = 300;  // spills the writer's appends past 1024
+  constexpr uint64_t kRounds = 100;
+  int64_t expected_sum = 0;
+  for (int i = 0; i < kRows; ++i) {
+    table.InsertUnchecked({Value::Int64(i), Value::String("v0")});
+    expected_sum += i;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      VecBatch batch;
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t bound = table.num_versions();
+        const size_t frags = (bound + kFragmentRows - 1) >> kFragmentShift;
+        size_t count = 0;
+        int64_t sum = 0;
+        bool originals_only = true;
+        for (size_t frag = 0; frag < frags; ++frag) {
+          batch.span = table.FragmentAt(frag, bound);
+          batch.FillVisible(/*ts=*/0);
+          const ColumnSpan ids = batch.span.column(0);
+          const ColumnSpan names = batch.span.column(1);
+          for (uint32_t slot : batch.sel) {
+            ++count;
+            sum += static_cast<int64_t>(ids.fixed[slot]);
+            if (names.strs[slot] != "v0") originals_only = false;
+          }
+        }
+        if (count != static_cast<size_t>(kRows) || sum != expected_sum ||
+            !originals_only) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (uint64_t ts = 1; ts <= kRounds; ++ts) {
+      table.UpdateRows(
+          [&](const Row& row) {
+            return row[0].int64_value() % 16 ==
+                   static_cast<int64_t>(ts % 16);
+          },
+          [&](Row& row) {
+            row[1] = Value::String("v" + std::to_string(ts));
+          },
+          ts);
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(table.num_versions(), static_cast<size_t>(kFragmentRows));
 }
 
 }  // namespace
