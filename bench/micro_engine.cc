@@ -5,15 +5,21 @@
 // ignores: "local query evaluation costs were ignored ... transmission
 // costs are the dominating limitation factor").
 //
-// Usage: micro_engine [--filter REGEX] [--csv PATH]
-//                     [--gate-vec-speedup MIN]
+// Usage: micro_engine [--filter REGEX] [--csv PATH] [--json PATH]
+//                     [--gate-vec-speedup MIN] [--gate-vec-join-speedup MIN]
 //   --filter            shorthand for --benchmark_filter
 //   --csv               write results as CSV to PATH (benchmark runs)
 //                       or next to the stdout report (gate mode)
+//   --json              gate mode only: also write the grid as JSON
+//                       (the BENCH_vec_join.json CI artifact)
 //   --gate-vec-speedup  skip google-benchmark: time the link-expansion
 //                       scan on both engines, verify byte-identical
 //                       results, and exit non-zero unless the
 //                       vectorized path is at least MIN times faster.
+//   --gate-vec-join-speedup
+//                       same, for the join/aggregate grid (hash-join
+//                       build, index join, GROUP BY and scalar
+//                       aggregation, recursive expand).
 
 #include <benchmark/benchmark.h>
 
@@ -308,6 +314,30 @@ std::string LinkScanSql(int64_t k) {
       static_cast<long long>(k), static_cast<long long>(k));
 }
 
+constexpr size_t kObjRows = kLinkScanRows / 8;  // one obj per 8 links
+
+/// Companion object table for the join/aggregate grid: biglink.left
+/// ranges over 0..kObjRows-1, so `l.left = o.obid` is the paper's
+/// link->object navigation join at benchmark scale.
+void EnsureBigObj(Database* db) {
+  if (db->Query("SELECT obid FROM bigobj LIMIT 1").ok()) return;
+  Status created = db->Execute(
+      "CREATE TABLE bigobj (obid INTEGER, grp INTEGER, weight DOUBLE)");
+  if (!created.ok()) std::abort();
+  size_t next = 0;
+  while (next < kObjRows) {
+    std::string sql = "INSERT INTO bigobj VALUES ";
+    const size_t batch = std::min<size_t>(1000, kObjRows - next);
+    for (size_t j = 0; j < batch; ++j) {
+      const size_t i = next + j;
+      if (j > 0) sql += ", ";
+      sql += StrFormat("(%zu, %zu, %zu.5)", i, i % 100, i % 17);
+    }
+    if (!db->Execute(sql).ok()) std::abort();
+    next += batch;
+  }
+}
+
 /// One cell of the grid: the effectivity scan at cut point K (higher K
 /// selects fewer rows), on one engine. Before timing, the two engines'
 /// result trees are verified byte-identical for this K.
@@ -464,13 +494,161 @@ int RunLinkExpansionGate(double min_speedup, const std::string& csv_path) {
   return 0;
 }
 
+/// CI gate for the join/aggregate tier (DESIGN.md 5j): times each grid
+/// cell on both engines (best-of-N steady_clock), verifies the results
+/// byte-identical per cell first, and fails unless every *gated* cell
+/// clears `min_speedup`. Ungated cells (the index join, whose row path
+/// already probes the shared lazy index, and the end-to-end recursive
+/// expand) are reported for EXPERIMENTS.md but don't fail the run.
+/// Writes the grid as CSV (--csv) and JSON (--json, the
+/// BENCH_vec_join.json CI artifact).
+int RunVecJoinGate(double min_speedup, const std::string& csv_path,
+                   const std::string& json_path) {
+  Database& db = LinkScanDb();
+  EnsureBigObj(&db);
+
+  struct Cell {
+    const char* name;
+    std::string sql;
+    bool gated;
+  };
+  std::vector<Cell> cells = {
+      {"hash-join-build",
+       "SELECT l.left, o.grp FROM biglink AS l "
+       "JOIN (SELECT obid, grp FROM bigobj WHERE grp < 50) AS o "
+       "ON l.left = o.obid WHERE l.eff_from <= 50",
+       true},
+      {"index-join",
+       "SELECT l.obid, o.grp FROM biglink AS l "
+       "JOIN bigobj AS o ON l.left = o.obid",
+       false},
+      {"group-by-agg",
+       "SELECT eff_from, COUNT(*), SUM(right), MIN(obid), MAX(obid) "
+       "FROM biglink GROUP BY eff_from",
+       true},
+      {"scalar-agg",
+       "SELECT COUNT(*), SUM(right), AVG(right) FROM biglink "
+       "WHERE eff_from <= 50",
+       true},
+  };
+  {
+    // End-to-end payoff cell: the recursive multi-level expand over the
+    // shared experiment product (per-level joins through the bridge).
+    client::Experiment& e = *SharedExperiment();
+    std::unique_ptr<sql::SelectStmt> stmt =
+        rules::BuildRecursiveTreeQuery(e.product().root_obid);
+    rules::QueryModificator modificator(&e.rule_table(), e.user());
+    if (modificator
+            .ApplyToRecursiveQuery(stmt.get(),
+                                   rules::RuleAction::kMultiLevelExpand)
+            .ok()) {
+      cells.push_back({"recursive-mle", stmt->ToSql(), false});
+    }
+  }
+
+  constexpr int kRowIters = 3;
+  constexpr int kVecIters = 8;
+  auto best_seconds = [](Database* target, const std::string& sql,
+                         bool vectorized, int iters) {
+    target->options().exec.vectorized_execution = vectorized;
+    double best = 1e300;
+    for (int i = 0; i < iters; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      Result<ResultSet> result = target->Query(sql);
+      const auto stop = std::chrono::steady_clock::now();
+      if (!result.ok()) return -1.0;
+      best = std::min(best,
+                      std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+  };
+
+  std::string csv =
+      "cell,gated,result_rows,row_s_per_query,vec_s_per_query,speedup\n";
+  std::string json = StrFormat("{\"gate\": %.2f, \"cells\": [", min_speedup);
+  PrintBanner("micro_engine gate: vectorized join/aggregate speedup");
+  std::printf("%-18s %6s %12s %12s %12s %9s\n", "cell", "gated",
+              "result_rows", "row s/query", "vec s/query", "speedup");
+  bool ok = true;
+  bool first = true;
+  for (const Cell& cell : cells) {
+    // The recursive cell runs against the experiment database; the grid
+    // cells against the dedicated benchmark tables.
+    Database& target = std::string(cell.name) == "recursive-mle"
+                           ? SharedExperiment()->server().database()
+                           : db;
+    target.options().exec.vectorized_execution = false;
+    Result<ResultSet> row_rs = target.Query(cell.sql);
+    target.options().exec.vectorized_execution = true;
+    Result<ResultSet> vec_rs = target.Query(cell.sql);
+    if (!row_rs.ok() || !vec_rs.ok() ||
+        row_rs->ToString(1 << 24) != vec_rs->ToString(1 << 24)) {
+      std::fprintf(stderr, "%s: engines disagree\n", cell.name);
+      return 1;
+    }
+    const double row_s = best_seconds(&target, cell.sql, false, kRowIters);
+    const double vec_s = best_seconds(&target, cell.sql, true, kVecIters);
+    target.options().exec.vectorized_execution = true;
+    if (row_s < 0 || vec_s <= 0) {
+      std::fprintf(stderr, "%s: query failed\n", cell.name);
+      return 1;
+    }
+    const double speedup = row_s / vec_s;
+    const bool cell_ok = !cell.gated || speedup >= min_speedup;
+    ok = ok && cell_ok;
+    std::printf("%-18s %6s %12zu %12.6f %12.6f %8.2fx%s\n", cell.name,
+                cell.gated ? "yes" : "no", vec_rs->num_rows(), row_s, vec_s,
+                speedup, cell_ok ? "" : "  BELOW GATE");
+    csv += StrFormat("%s,%s,%zu,%.9f,%.9f,%.3f\n", cell.name,
+                     cell.gated ? "yes" : "no", vec_rs->num_rows(), row_s,
+                     vec_s, speedup);
+    json += StrFormat(
+        "%s{\"cell\": \"%s\", \"gated\": %s, \"result_rows\": %zu, "
+        "\"row_s\": %.9f, \"vec_s\": %.9f, \"speedup\": %.3f}",
+        first ? "" : ", ", cell.name, cell.gated ? "true" : "false",
+        vec_rs->num_rows(), row_s, vec_s, speedup);
+    first = false;
+  }
+  json += "]}\n";
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fputs(csv.c_str(), f);
+    std::fclose(f);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "\nvectorized join/agg speedup below the %.1fx gate\n",
+                 min_speedup);
+    return 1;
+  }
+  std::printf("\nall gated cells at or above the %.1fx gate\n", min_speedup);
+  return 0;
+}
+
 }  // namespace pdm::bench
 
 int main(int argc, char** argv) {
   std::vector<char*> args = {argv[0]};
   std::string filter;
   std::string csv;
+  std::string json;
   double gate = 0;
+  double join_gate = 0;
   bool bad_usage = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -491,22 +669,35 @@ int main(int argc, char** argv) {
       return false;
     };
     std::string gate_str;
-    if (take("--filter", &filter) || take("--csv", &csv)) continue;
+    std::string join_gate_str;
+    if (take("--filter", &filter) || take("--csv", &csv) ||
+        take("--json", &json)) {
+      continue;
+    }
     if (take("--gate-vec-speedup", &gate_str)) {
       if (!gate_str.empty()) gate = std::atof(gate_str.c_str());
       if (gate <= 0) bad_usage = true;
+      continue;
+    }
+    if (take("--gate-vec-join-speedup", &join_gate_str)) {
+      if (!join_gate_str.empty()) join_gate = std::atof(join_gate_str.c_str());
+      if (join_gate <= 0) bad_usage = true;
       continue;
     }
     args.push_back(argv[i]);  // google-benchmark flags pass through
   }
   if (bad_usage) {
     std::fprintf(stderr,
-                 "usage: %s [--filter REGEX] [--csv PATH] "
-                 "[--gate-vec-speedup MIN] [benchmark flags]\n",
+                 "usage: %s [--filter REGEX] [--csv PATH] [--json PATH] "
+                 "[--gate-vec-speedup MIN] [--gate-vec-join-speedup MIN] "
+                 "[benchmark flags]\n",
                  argv[0]);
     return 2;
   }
   if (gate > 0) return pdm::bench::RunLinkExpansionGate(gate, csv);
+  if (join_gate > 0) {
+    return pdm::bench::RunVecJoinGate(join_gate, csv, json);
+  }
 
   std::string filter_flag;
   std::string out_flag;

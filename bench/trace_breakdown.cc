@@ -56,10 +56,7 @@ double ServerSecondsFromLog(const DbServer& server) {
   double sum = 0;
   for (const DbServer::StatementLogEntry& entry : server.statement_log()) {
     if (entry.coalesced) continue;
-    sum += model::ServerSeconds(server.config().server_cost,
-                                !entry.plan_cache_hit, entry.rows_scanned,
-                                entry.vec_rows_scanned,
-                                entry.cte_rows_scanned, entry.result_rows);
+    sum += model::ServerSeconds(server.config().server_cost, entry.Work());
   }
   return sum;
 }

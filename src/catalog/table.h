@@ -255,6 +255,17 @@ class Table {
   /// columns.
   bool HasFreshIndex(size_t column) const;
 
+  /// Records that a scan saw an equality filter on `column` without a
+  /// fresh index, and returns how many such sightings came before. The
+  /// vectorized router (exec/vectorized.cc) sweeps the first sighting
+  /// batchwise — comparable in cost to the full pass a lazy index build
+  /// would do anyway — and sends repeat offenders to the row path,
+  /// whose index build then amortizes across statements.
+  size_t NoteIndexDemand(size_t column) const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return index_demand_[column]++;
+  }
+
   /// Marks all cached indexes stale; called by mutations that cannot
   /// maintain them incrementally (today: only GC compaction).
   void InvalidateIndexes() {
@@ -299,6 +310,9 @@ class Table {
   /// and `version_`.
   mutable std::mutex index_mutex_;
   mutable std::map<size_t, CachedIndex> indexes_;
+  /// Equality-filter sightings per column that found no fresh index
+  /// (NoteIndexDemand); guarded by `index_mutex_`.
+  mutable std::map<size_t, size_t> index_demand_;
 };
 
 }  // namespace pdm

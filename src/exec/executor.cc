@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "exec/aggregate_state.h"
 #include "exec/expr_eval.h"
 #include "exec/vectorized.h"
 
@@ -275,12 +276,15 @@ class NestedLoopJoinExecutor : public Executor {
       if (!have_left_) {
         PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
         if (!has) return false;
+        ctx_->stats().join_probe_rows++;
         have_left_ = true;
         right_pos_ = 0;
       }
       while (right_pos_ < right_rows_.size()) {
         const Row& right_row = right_rows_[right_pos_++];
-        Row combined = left_row_;
+        Row combined;
+        combined.reserve(left_row_.size() + right_row.size());
+        combined.insert(combined.end(), left_row_.begin(), left_row_.end());
         combined.insert(combined.end(), right_row.begin(), right_row.end());
         if (node_.predicate != nullptr) {
           ctx_->stats().nl_join_probes++;
@@ -363,6 +367,7 @@ class HashJoinExecutor : public Executor {
       if (!have_left_) {
         PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
         if (!has) return false;
+        ctx_->stats().join_probe_rows++;
         have_left_ = true;
         match_pos_ = 0;
         if (index_table_ != nullptr) {
@@ -402,7 +407,9 @@ class HashJoinExecutor : public Executor {
           } else {
             right_row = &right_rows_[match];
           }
-          Row combined = left_row_;
+          Row combined;
+          combined.reserve(left_row_.size() + right_row->size());
+          combined.insert(combined.end(), left_row_.begin(), left_row_.end());
           combined.insert(combined.end(), right_row->begin(),
                           right_row->end());
           if (node_.residual != nullptr) {
@@ -462,6 +469,7 @@ class AggregateExecutor : public Executor {
     while (true) {
       PDM_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
       if (!has) break;
+      ctx_->stats().agg_input_rows++;
       Row key;
       key.reserve(node_.group_exprs.size());
       for (const BoundExprPtr& g : node_.group_exprs) {
@@ -493,10 +501,13 @@ class AggregateExecutor : public Executor {
   Result<bool> Next(Row* row) override {
     while (pos_ < groups_.size()) {
       GroupState& g = groups_[pos_++];
-      Row out = g.key;
+      // The group is finished: move its key cells out (group_index_
+      // holds its own copy) and size the output row once.
+      Row out = std::move(g.key);
+      out.reserve(out.size() + node_.aggregates.size());
       for (size_t i = 0; i < node_.aggregates.size(); ++i) {
         PDM_ASSIGN_OR_RETURN(Value v,
-                             Finalize(node_.aggregates[i], g.aggs[i]));
+                             FinalizeAgg(node_.aggregates[i], g.aggs[i]));
         out.push_back(std::move(v));
       }
       if (node_.having != nullptr) {
@@ -511,19 +522,14 @@ class AggregateExecutor : public Executor {
   }
 
  private:
-  struct AggState {
-    int64_t count = 0;
-    double sum_double = 0;
-    int64_t sum_int = 0;
-    bool saw_double = false;
-    Value extreme;  // MIN/MAX accumulator; starts NULL
-    std::unordered_set<Row, RowHash, RowEq> distinct_seen;
-  };
   struct GroupState {
     Row key;
     std::vector<AggState> aggs;
   };
 
+  /// Folds one input row into the group's accumulator. The value-level
+  /// semantics live in exec/aggregate_state.h, shared with the
+  /// vectorized aggregation.
   Status Accumulate(const BoundAggregate& agg, const Row& row,
                     AggState* state) {
     if (agg.agg_kind == AggKind::kCountStar) {
@@ -532,72 +538,7 @@ class AggregateExecutor : public Executor {
     }
     Result<Value> v = EvaluateExpr(*agg.arg, row, ctx_);
     if (!v.ok()) return v.status();
-    const Value& value = v.value();
-    if (value.is_null()) return Status::OK();  // aggregates skip NULLs
-    if (agg.distinct) {
-      Row key{value};
-      if (!state->distinct_seen.insert(std::move(key)).second) {
-        return Status::OK();
-      }
-    }
-    switch (agg.agg_kind) {
-      case AggKind::kCount:
-        state->count++;
-        break;
-      case AggKind::kSum:
-      case AggKind::kAvg:
-        if (!value.is_numeric()) {
-          return Status::ExecutionError(
-              std::string(AggKindName(agg.agg_kind)) +
-              " over non-numeric values");
-        }
-        state->count++;
-        if (value.is_double()) state->saw_double = true;
-        state->sum_double += value.AsDouble();
-        if (value.is_int64()) state->sum_int += value.int64_value();
-        break;
-      case AggKind::kMin:
-      case AggKind::kMax: {
-        if (state->extreme.is_null()) {
-          state->extreme = value;
-          break;
-        }
-        if (!Value::Comparable(state->extreme, value)) {
-          return Status::ExecutionError(
-              std::string(AggKindName(agg.agg_kind)) +
-              " over incomparable values");
-        }
-        int c = Value::Compare(value, state->extreme);
-        if ((agg.agg_kind == AggKind::kMin && c < 0) ||
-            (agg.agg_kind == AggKind::kMax && c > 0)) {
-          state->extreme = value;
-        }
-        break;
-      }
-      default:
-        return Status::Internal("unexpected aggregate kind");
-    }
-    return Status::OK();
-  }
-
-  Result<Value> Finalize(const BoundAggregate& agg, const AggState& state) {
-    switch (agg.agg_kind) {
-      case AggKind::kCountStar:
-      case AggKind::kCount:
-        return Value::Int64(state.count);
-      case AggKind::kSum:
-        if (state.count == 0) return Value::Null();
-        return state.saw_double ? Value::Double(state.sum_double)
-                                : Value::Int64(state.sum_int);
-      case AggKind::kAvg:
-        if (state.count == 0) return Value::Null();
-        return Value::Double(state.sum_double /
-                             static_cast<double>(state.count));
-      case AggKind::kMin:
-      case AggKind::kMax:
-        return state.extreme;
-    }
-    return Status::Internal("unexpected aggregate kind");
+    return AccumulateAggValue(agg, v.value(), state);
   }
 
   const AggregateNode& node_;
@@ -623,6 +564,10 @@ class SortExecutor : public Executor {
       if (!has) break;
       rows_.push_back(std::move(row));
     }
+    // stable_sort, not sort: rows with equal keys keep child order, so
+    // ORDER BY output is deterministic and byte-identical whether the
+    // child ran on the row path or through the batch->row bridge
+    // (both produce rows in version order).
     std::stable_sort(rows_.begin(), rows_.end(),
                      [this](const Row& a, const Row& b) {
                        for (const SortKey& key : node_.keys) {
@@ -701,6 +646,14 @@ class UnionExecutor : public Executor {
 
 Result<std::unique_ptr<Executor>> CreateExecutor(const PlanNode& plan,
                                                  ExecContext* ctx) {
+  // Batch->row bridge (DESIGN.md 5j): vec-coverable subtrees — scans,
+  // hash joins, aggregates — run batch-at-a-time even when the plan
+  // above them (Sort, CASE projections, ...) stays on the row path.
+  if (ctx->options().vectorized_execution) {
+    PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> vec,
+                         MaybeVecExecutor(plan, ctx));
+    if (vec != nullptr) return vec;
+  }
   switch (plan.kind) {
     case PlanKind::kScan:
       return std::unique_ptr<Executor>(std::make_unique<ScanExecutor>(

@@ -43,6 +43,7 @@ Status EvaluateSemiNaive(const BoundCte& cte, ExecContext* ctx,
     for (const PlanPtr& term : cte.recursive_terms) {
       PDM_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecutePlan(*term, ctx));
       next_delta.reserve(next_delta.size() + rows.size());
+      result.reserve(result.size() + rows.size());
       for (Row& row : rows) admit(std::move(row), &next_delta);
     }
     delta = std::move(next_delta);
@@ -83,6 +84,7 @@ Status EvaluateNaive(const BoundCte& cte, ExecContext* ctx,
       }
     }
     if (fresh.empty()) break;
+    result.reserve(result.size() + fresh.size());
     for (Row& row : fresh) result.push_back(std::move(row));
   }
   *out = std::move(result);

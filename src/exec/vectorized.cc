@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "catalog/table.h"
 #include "common/string_util.h"
+#include "exec/aggregate_state.h"
 #include "exec/expr_eval.h"
 #include "exec/vec_batch.h"
 
@@ -38,24 +42,51 @@ struct VecPlan {
   int64_t limit = 0;
 };
 
-/// True if the row engine's ScanExecutor would answer `filter` through a
-/// column index (some `column = non-NULL-literal` conjunct in the
-/// top-level AND chain). Such scans stay on the row path: a hash probe
-/// on the point value beats any full-fragment sweep.
-bool HasIndexableEquality(const BoundExpr& filter) {
-  if (filter.kind != BoundExprKind::kBinary) return false;
+/// Collects the column of every `column = non-NULL-literal` conjunct of
+/// the top-level AND chain — the conjuncts the row engine's
+/// ScanExecutor can answer through a column index.
+void CollectEqualityColumns(const BoundExpr& filter,
+                            std::vector<size_t>* out) {
+  if (filter.kind != BoundExprKind::kBinary) return;
   const auto& bin = static_cast<const BoundBinary&>(filter);
   if (bin.op == sql::BinaryOp::kAnd) {
-    return HasIndexableEquality(*bin.lhs) || HasIndexableEquality(*bin.rhs);
+    CollectEqualityColumns(*bin.lhs, out);
+    CollectEqualityColumns(*bin.rhs, out);
+    return;
   }
-  if (bin.op != sql::BinaryOp::kEq) return false;
+  if (bin.op != sql::BinaryOp::kEq) return;
   const BoundExpr* col = bin.lhs.get();
   const BoundExpr* lit = bin.rhs.get();
   if (col->kind != BoundExprKind::kColumnRef) std::swap(col, lit);
-  return col->kind == BoundExprKind::kColumnRef &&
-         lit->kind == BoundExprKind::kLiteral &&
-         static_cast<const BoundColumnRef&>(*col).level == 0 &&
-         !static_cast<const BoundLiteral&>(*lit).value.is_null();
+  if (col->kind == BoundExprKind::kColumnRef &&
+      lit->kind == BoundExprKind::kLiteral &&
+      static_cast<const BoundColumnRef&>(*col).level == 0 &&
+      !static_cast<const BoundLiteral&>(*lit).value.is_null()) {
+    out->push_back(static_cast<const BoundColumnRef&>(*col).index);
+  }
+}
+
+/// True when an equality scan belongs to the row engine's index path:
+/// some equality column already has a fresh index, or its demand
+/// history says the lazy build is about to amortize (second sighting
+/// onward). A first-touch point filter on a never-indexed column sweeps
+/// batchwise instead — the vectorized full pass costs no more than the
+/// full pass the lazy index build would do, and an index nobody asks
+/// for twice is never built.
+bool RouteScanToRowIndexPath(const ScanNode& scan, const Table& table) {
+  if (scan.filter == nullptr) return false;
+  std::vector<size_t> cols;
+  CollectEqualityColumns(*scan.filter, &cols);
+  if (cols.empty()) return false;
+  const size_t num_columns = table.schema().num_columns();
+  for (size_t c : cols) {
+    if (c < num_columns && table.HasFreshIndex(c)) return true;
+  }
+  bool repeat = false;
+  for (size_t c : cols) {
+    if (c < num_columns && table.NoteIndexDemand(c) > 0) repeat = true;
+  }
+  return repeat;
 }
 
 /// Whitelist of expressions the batch evaluator reproduces exactly.
@@ -563,6 +594,776 @@ Status EvalTri(const BoundExpr& expr, const FragmentSpan& span,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// VecSource: the shared batch producer under the bridge operators
+// ---------------------------------------------------------------------------
+
+/// A vec-coverable `Project? -> Filter* -> Scan` chain: the shape every
+/// bridge operator consumes batches from. `filters` are in the row
+/// engine's application order and reference table columns (they sit
+/// below the projection); `max_col` is the widest level-0 column any
+/// filter references (bounds-checked against the table schema on
+/// resolve). A non-empty `out_cols` is a trivial projection — output
+/// column c reads table column out_cols[c]; empty means identity.
+struct VecSourceSpec {
+  const ScanNode* scan = nullptr;
+  std::vector<const BoundExpr*> filters;
+  size_t max_col = 0;
+  std::vector<size_t> out_cols;
+
+  size_t TableCol(size_t c) const { return out_cols.empty() ? c : out_cols[c]; }
+  size_t Width(const Table& table) const {
+    return out_cols.empty() ? table.schema().num_columns() : out_cols.size();
+  }
+};
+
+/// Peels `Project? -> Filter* -> Scan` — the Project only when every
+/// expression is a bare level-0 column ref (the shape derived tables
+/// leave on a hash join's build side) — and gates the filters through
+/// the vectorizable-expression whitelist; false on any other shape.
+bool MatchVecSource(const PlanNode& plan, VecSourceSpec* out) {
+  const PlanNode* node = &plan;
+  if (node->kind == PlanKind::kProject) {
+    const auto& project = static_cast<const ProjectNode&>(*node);
+    if (project.child == nullptr || project.exprs.empty()) return false;
+    for (const BoundExprPtr& e : project.exprs) {
+      if (e->kind != BoundExprKind::kColumnRef) return false;
+      const auto& ref = static_cast<const BoundColumnRef&>(*e);
+      if (ref.level != 0) return false;
+      out->out_cols.push_back(ref.index);
+    }
+    node = project.child.get();
+  }
+  std::vector<const BoundExpr*> outer_first;
+  while (node->kind == PlanKind::kFilter) {
+    const auto& filter = static_cast<const FilterNode&>(*node);
+    outer_first.push_back(filter.predicate.get());
+    node = filter.child.get();
+  }
+  if (node->kind != PlanKind::kScan) return false;
+  out->scan = static_cast<const ScanNode*>(node);
+  if (out->scan->filter != nullptr) {
+    out->filters.push_back(out->scan->filter.get());
+  }
+  out->filters.insert(out->filters.end(), outer_first.rbegin(),
+                      outer_first.rend());
+  for (const BoundExpr* f : out->filters) {
+    if (!CanVectorizeExpr(*f, &out->max_col)) return false;
+  }
+  return true;
+}
+
+/// Resolves the source's base table, applying the bounds check and the
+/// row-index routing rule. nullptr = run this source (and whatever sits
+/// on top of it) on the row path.
+const Table* ResolveVecSource(const VecSourceSpec& spec, ExecContext* ctx) {
+  Result<Table*> table_or = ctx->catalog()->GetTable(spec.scan->table_name);
+  if (!table_or.ok()) return nullptr;  // row path reports the same error
+  const Table* table = table_or.value();
+  const size_t num_columns = table->schema().num_columns();
+  if (!spec.filters.empty() && spec.max_col >= num_columns) {
+    return nullptr;  // defensive: let the row path surface the binder bug
+  }
+  for (size_t c : spec.out_cols) {
+    if (c >= num_columns) return nullptr;
+  }
+  if (RouteScanToRowIndexPath(*spec.scan, *table)) return nullptr;
+  return table;
+}
+
+/// Streams the filtered batches of a resolved VecSource: per fragment a
+/// vectorized MVCC pass fills the selection vector, the filters shrink
+/// it, and only non-empty survivors come back. Charges the same stats
+/// the whole-plan vectorized scan does.
+class VecSourceCursor {
+ public:
+  VecSourceCursor(const VecSourceSpec* spec, const Table* table,
+                  ExecContext* ctx)
+      : spec_(spec), table_(table), ctx_(ctx) {
+    bound_ = table_->num_versions();
+    frags_ = (bound_ + kFragmentRows - 1) >> kFragmentShift;
+  }
+
+  Result<bool> NextBatch(VecBatch* batch) {
+    ExecStats& stats = ctx_->stats();
+    while (frag_ < frags_) {
+      batch->span = table_->FragmentAt(frag_++, bound_);
+      batch->FillVisible(ctx_->snapshot_ts());
+      stats.vec_batches++;
+      stats.rows_scanned += batch->sel.size();
+      stats.vec_rows_scanned += batch->sel.size();
+      for (const BoundExpr* f : spec_->filters) {
+        if (batch->sel.empty()) break;
+        PDM_RETURN_NOT_OK(EvalTri(*f, batch->span, batch->sel.data(),
+                                  batch->sel.size(), kNonBoolPredicate,
+                                  &tri_));
+        survivors_.clear();
+        for (size_t i = 0; i < batch->sel.size(); ++i) {
+          if (tri_[i] == 1) survivors_.push_back(batch->sel[i]);
+        }
+        batch->sel.swap(survivors_);
+      }
+      if (!batch->sel.empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  const VecSourceSpec* spec_;
+  const Table* table_;
+  ExecContext* ctx_;
+  size_t bound_ = 0;
+  size_t frags_ = 0;
+  size_t frag_ = 0;
+  TriVec tri_;
+  std::vector<uint32_t> survivors_;
+};
+
+// ---------------------------------------------------------------------------
+// Bridge operators (DESIGN.md 5j)
+// ---------------------------------------------------------------------------
+
+/// Batch->row bridge leaf: runs a `Filter* -> Scan` chain batchwise and
+/// streams the surviving rows to a row-path parent (Sort, CASE
+/// projection, NLJ, ...). Output rows and order are identical to the
+/// ScanExecutor/FilterExecutor chain's.
+class VecScanExecutor : public Executor {
+ public:
+  VecScanExecutor(VecSourceSpec spec, const Table* table, ExecContext* ctx)
+      : spec_(std::move(spec)), table_(table), ctx_(ctx) {}
+
+  Status Open() override {
+    cursor_ = std::make_unique<VecSourceCursor>(&spec_, table_, ctx_);
+    width_ = spec_.Width(*table_);
+    batch_.sel.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (pos_ >= batch_.sel.size()) {
+      pos_ = 0;
+      PDM_ASSIGN_OR_RETURN(bool has, cursor_->NextBatch(&batch_));
+      if (!has) return false;
+    }
+    // Late materialization of the fragment's survivors: whole rows, or
+    // just the projected columns when a Project was peeled. Filled
+    // straight into the caller's row so its capacity is reused across
+    // calls — no intermediate row buffer to churn.
+    const uint32_t slot = batch_.sel[pos_++];
+    row->clear();
+    row->reserve(width_);
+    for (size_t c = 0; c < width_; ++c) {
+      row->push_back(batch_.span.fragment->cols[spec_.TableCol(c)].Load(slot));
+    }
+    return true;
+  }
+
+ private:
+  VecSourceSpec spec_;
+  const Table* table_;
+  ExecContext* ctx_;
+  std::unique_ptr<VecSourceCursor> cursor_;
+  size_t width_ = 0;
+  VecBatch batch_;
+  size_t pos_ = 0;
+};
+
+// int64<->double conversion is exact below 2^53; the int64 probe-table
+// fast path is only engaged while every build key stays inside.
+constexpr int64_t kExactDoubleBound = int64_t{1} << 53;
+
+/// Moves an int64 fast-path build into generic Row-keyed form; called
+/// when a build key turns out non-int64 or beyond the exact range.
+void DemoteToGenericKeys(VecJoinBuild* b) {
+  b->table.reserve(b->int64_table.size());
+  for (auto& entry : b->int64_table) {
+    Row key;
+    key.push_back(Value::Int64(entry.first));
+    b->table.emplace(std::move(key), std::move(entry.second));
+  }
+  b->int64_table.clear();
+  b->int64_keys = false;
+}
+
+/// Builds the hash table of a vectorized build-mode join: batches off
+/// the VecSource, key cells read straight from the column arrays,
+/// NULL-key rows skipped (they can never match an equi-join — same as
+/// the row build), surviving rows late-materialized in scan order.
+Status BuildVecJoin(const HashJoinNode& node, const VecSourceSpec& spec,
+                    const Table& table, ExecContext* ctx, VecJoinBuild* b) {
+  ctx->stats().hash_join_builds++;
+  b->int64_keys = node.right_keys.size() == 1;
+  const size_t width = spec.Width(table);
+  VecSourceCursor cursor(&spec, &table, ctx);
+  VecBatch batch;
+  while (true) {
+    PDM_ASSIGN_OR_RETURN(bool has, cursor.NextBatch(&batch));
+    if (!has) break;
+    for (uint32_t slot : batch.sel) {
+      bool null_key = false;
+      for (size_t k : node.right_keys) {
+        if (static_cast<ValueKind>(
+                batch.span.column(spec.TableCol(k)).kinds[slot]) ==
+            ValueKind::kNull) {
+          null_key = true;
+          break;
+        }
+      }
+      if (null_key) continue;
+      const uint32_t idx = static_cast<uint32_t>(b->rows.size());
+      bool inserted = false;
+      if (b->int64_keys) {
+        const ColumnSpan kc =
+            batch.span.column(spec.TableCol(node.right_keys[0]));
+        if (static_cast<ValueKind>(kc.kinds[slot]) == ValueKind::kInt64) {
+          const int64_t x = static_cast<int64_t>(kc.fixed[slot]);
+          if (x > -kExactDoubleBound && x < kExactDoubleBound) {
+            b->int64_table[x].push_back(idx);
+            inserted = true;
+          }
+        }
+        if (!inserted) DemoteToGenericKeys(b);
+      }
+      if (!inserted) {
+        Row key;
+        key.reserve(node.right_keys.size());
+        for (size_t k : node.right_keys) {
+          key.push_back(
+              batch.span.fragment->cols[spec.TableCol(k)].Load(slot));
+        }
+        b->table[std::move(key)].push_back(idx);
+      }
+      Row row;
+      row.reserve(width);
+      for (size_t c = 0; c < width; ++c) {
+        row.push_back(
+            batch.span.fragment->cols[spec.TableCol(c)].Load(slot));
+      }
+      b->rows.push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+/// Maps an int64 probe key candidate from whatever kind the probe side
+/// holds. Every build key has |x| < 2^53 where the int64<->double
+/// conversion is exact, so an integral double in range is the only
+/// possible match — the same value-equality SqlCompareValues/RowEq
+/// would compute. Returns false for NULL / bool / string / inexact.
+bool ExactInt64Probe(ValueKind kind, uint64_t payload, int64_t* probe) {
+  if (kind == ValueKind::kInt64) {
+    *probe = static_cast<int64_t>(payload);
+    return true;
+  }
+  if (kind == ValueKind::kDouble) {
+    const double d = BitsToDouble(payload);
+    if (d > -static_cast<double>(kExactDoubleBound) &&
+        d < static_cast<double>(kExactDoubleBound) &&
+        static_cast<double>(static_cast<int64_t>(d)) == d) {
+      *probe = static_cast<int64_t>(d);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Vectorized build-mode hash join: the build side is a VecSource built
+/// batch-at-a-time (once per statement — the ExecContext caches the
+/// build keyed by plan node, so the recursive expand's per-level
+/// re-execution probes one shared build); probes go through the int64
+/// fast table when every build key allows it.
+///
+/// When the probe side is itself a VecSource the join runs in cursor
+/// mode: probe keys are read straight off the left column spans (no
+/// per-row virtual Next, no Value/Row key allocation on the int64
+/// path), and the left row is materialized only for probes that
+/// actually match. Emission order — per left row, matches in build
+/// order — is byte-identical to the row join either way.
+class VecHashJoinExecutor : public Executor {
+ public:
+  // Executor-probe mode: the left side streams rows (bridged or row
+  // path); used when the probe side is not a VecSource.
+  VecHashJoinExecutor(const HashJoinNode& node, std::unique_ptr<Executor> left,
+                      VecSourceSpec spec, const Table* table, ExecContext* ctx)
+      : node_(node),
+        left_(std::move(left)),
+        spec_(std::move(spec)),
+        table_(table),
+        ctx_(ctx) {}
+
+  // Cursor-probe mode: the left side is a VecSource consumed batchwise.
+  VecHashJoinExecutor(const HashJoinNode& node, VecSourceSpec left_spec,
+                      const Table* left_table, VecSourceSpec spec,
+                      const Table* table, ExecContext* ctx)
+      : node_(node),
+        lspec_(std::move(left_spec)),
+        ltable_(left_table),
+        spec_(std::move(spec)),
+        table_(table),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    if (ltable_ != nullptr) {
+      cursor_ = std::make_unique<VecSourceCursor>(&lspec_, ltable_, ctx_);
+      lwidth_ = lspec_.Width(*ltable_);
+      batch_.sel.clear();
+      probe_i_ = 0;
+    } else {
+      PDM_RETURN_NOT_OK(left_->Open());
+    }
+    build_ = ctx_->FindJoinBuild(&node_);
+    if (build_ == nullptr) {
+      VecJoinBuild* b = ctx_->EmplaceJoinBuild(&node_);
+      PDM_RETURN_NOT_OK(BuildVecJoin(node_, spec_, *table_, ctx_, b));
+      build_ = b;
+    }
+    left_ready_ = false;
+    matches_ = nullptr;
+    match_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (matches_ != nullptr) {
+        while (match_pos_ < matches_->size()) {
+          const Row& right_row = build_->rows[(*matches_)[match_pos_++]];
+          if (!left_ready_) MaterializeLeft();
+          Row combined;
+          combined.reserve(left_row_.size() + right_row.size());
+          combined.insert(combined.end(), left_row_.begin(), left_row_.end());
+          combined.insert(combined.end(), right_row.begin(), right_row.end());
+          if (node_.residual != nullptr) {
+            PDM_ASSIGN_OR_RETURN(
+                bool pass, EvaluatePredicate(*node_.residual, combined, ctx_));
+            if (!pass) continue;
+          }
+          *row = std::move(combined);
+          return true;
+        }
+        matches_ = nullptr;
+      }
+      if (ltable_ != nullptr) {
+        while (probe_i_ >= batch_.sel.size()) {
+          PDM_ASSIGN_OR_RETURN(bool has, cursor_->NextBatch(&batch_));
+          if (!has) return false;
+          probe_i_ = 0;
+          if (build_->int64_keys) {
+            key_span_ =
+                batch_.span.column(lspec_.TableCol(node_.left_keys[0]));
+          }
+        }
+        slot_ = batch_.sel[probe_i_++];
+        ctx_->stats().vec_join_probe_rows++;
+        left_ready_ = false;
+        match_pos_ = 0;
+        matches_ = ProbeSlot(slot_);
+      } else {
+        PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        ctx_->stats().vec_join_probe_rows++;
+        left_ready_ = true;
+        match_pos_ = 0;
+        matches_ = ProbeRow();
+      }
+    }
+  }
+
+ private:
+  // Cursor mode defers left materialization until the first emitted
+  // pair for this probe slot — non-matching probes never become Rows.
+  void MaterializeLeft() {
+    left_row_.clear();
+    left_row_.reserve(lwidth_);
+    for (size_t c = 0; c < lwidth_; ++c) {
+      left_row_.push_back(
+          batch_.span.fragment->cols[lspec_.TableCol(c)].Load(slot_));
+    }
+    left_ready_ = true;
+  }
+
+  /// Cursor-mode probe: key cells read straight off the column arrays
+  /// (key_span_ is re-derived once per batch, not per probe).
+  const std::vector<uint32_t>* ProbeSlot(uint32_t slot) const {
+    if (build_->int64_keys) {
+      int64_t probe = 0;
+      if (!ExactInt64Probe(static_cast<ValueKind>(key_span_.kinds[slot]),
+                           key_span_.fixed[slot], &probe)) {
+        return nullptr;
+      }
+      auto it = build_->int64_table.find(probe);
+      return it == build_->int64_table.end() ? nullptr : &it->second;
+    }
+    Row key;
+    key.reserve(node_.left_keys.size());
+    for (size_t k : node_.left_keys) {
+      const size_t col = lspec_.TableCol(k);
+      if (static_cast<ValueKind>(batch_.span.column(col).kinds[slot]) ==
+          ValueKind::kNull) {
+        return nullptr;
+      }
+      key.push_back(batch_.span.fragment->cols[col].Load(slot));
+    }
+    auto it = build_->table.find(key);
+    return it == build_->table.end() ? nullptr : &it->second;
+  }
+
+  /// Executor-probe mode: key cells come from the streamed left row.
+  const std::vector<uint32_t>* ProbeRow() const {
+    if (build_->int64_keys) {
+      const Value& key = left_row_[node_.left_keys[0]];
+      int64_t probe = 0;
+      bool exact = false;
+      if (key.is_int64()) {
+        probe = key.int64_value();
+        exact = true;
+      } else if (key.is_double()) {
+        const double d = key.double_value();
+        if (d > -static_cast<double>(kExactDoubleBound) &&
+            d < static_cast<double>(kExactDoubleBound) &&
+            static_cast<double>(static_cast<int64_t>(d)) == d) {
+          probe = static_cast<int64_t>(d);
+          exact = true;
+        }
+      }
+      if (!exact) return nullptr;  // NULL / bool / string / inexact double
+      auto it = build_->int64_table.find(probe);
+      return it == build_->int64_table.end() ? nullptr : &it->second;
+    }
+    Row key;
+    key.reserve(node_.left_keys.size());
+    for (size_t k : node_.left_keys) {
+      const Value& v = left_row_[k];
+      if (v.is_null()) return nullptr;
+      key.push_back(v);
+    }
+    auto it = build_->table.find(key);
+    return it == build_->table.end() ? nullptr : &it->second;
+  }
+
+  const HashJoinNode& node_;
+  std::unique_ptr<Executor> left_;  // executor-probe mode only
+  VecSourceSpec lspec_;             // cursor-probe mode only
+  const Table* ltable_ = nullptr;   // non-null selects cursor mode
+  VecSourceSpec spec_;
+  const Table* table_;
+  ExecContext* ctx_;
+  const VecJoinBuild* build_ = nullptr;
+  std::unique_ptr<VecSourceCursor> cursor_;
+  VecBatch batch_;
+  ColumnSpan key_span_{};
+  size_t lwidth_ = 0;
+  size_t probe_i_ = 0;
+  uint32_t slot_ = 0;
+  Row left_row_;
+  bool left_ready_ = false;
+  const std::vector<uint32_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Vectorized index join: same eligibility and probe pattern as the row
+/// executor's index-join mode (single key, bare base-table scan on the
+/// right, probes against the table's shared lazy index — preserving its
+/// cross-statement amortization), but matched right rows load straight
+/// from the column fragments into the combined row, skipping the
+/// MaterializeRow scratch copy the row path pays per pair.
+class VecIndexJoinExecutor : public Executor {
+ public:
+  VecIndexJoinExecutor(const HashJoinNode& node, std::unique_ptr<Executor> left,
+                       const Table* table, ExecContext* ctx)
+      : node_(node), left_(std::move(left)), table_(table), ctx_(ctx) {}
+
+  Status Open() override {
+    PDM_RETURN_NOT_OK(left_->Open());
+    bound_ = table_->num_versions();
+    have_left_ = false;
+    match_pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    const size_t rcols = table_->schema().num_columns();
+    while (true) {
+      if (!have_left_) {
+        PDM_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+        if (!has) return false;
+        ctx_->stats().vec_join_probe_rows++;
+        ctx_->stats().index_join_probes++;
+        have_left_ = true;
+        match_pos_ = 0;
+        positions_.clear();
+        const Value& key = left_row_[node_.left_keys[0]];
+        if (!key.is_null()) {
+          table_->IndexLookup(node_.right_keys[0], key, &positions_);
+        }
+      }
+      while (match_pos_ < positions_.size()) {
+        const size_t pos = positions_[match_pos_++];
+        if (!table_->VisibleAt(pos, ctx_->snapshot_ts())) continue;
+        const FragmentSpan span =
+            table_->FragmentAt(pos >> kFragmentShift, bound_);
+        const uint32_t slot = static_cast<uint32_t>(pos & kFragmentMask);
+        Row combined;
+        combined.reserve(left_row_.size() + rcols);
+        combined.insert(combined.end(), left_row_.begin(), left_row_.end());
+        for (size_t c = 0; c < rcols; ++c) {
+          combined.push_back(span.fragment->cols[c].Load(slot));
+        }
+        if (node_.residual != nullptr) {
+          PDM_ASSIGN_OR_RETURN(
+              bool pass, EvaluatePredicate(*node_.residual, combined, ctx_));
+          if (!pass) continue;
+        }
+        *row = std::move(combined);
+        return true;
+      }
+      have_left_ = false;
+    }
+  }
+
+ private:
+  const HashJoinNode& node_;
+  std::unique_ptr<Executor> left_;
+  const Table* table_;
+  ExecContext* ctx_;
+  size_t bound_ = 0;
+  Row left_row_;
+  bool have_left_ = false;
+  std::vector<size_t> positions_;
+  size_t match_pos_ = 0;
+};
+
+/// Vectorized hash aggregation over a VecSource: group keys evaluate
+/// dense per batch, COUNT/SUM/AVG on bare columns fold straight off the
+/// kind/payload arrays, everything else goes through the shared
+/// AggState value semantics. Group order (first seen) and float
+/// accumulation order (row order within each group) match the row
+/// aggregator exactly.
+class VecAggregateExecutor : public Executor {
+ public:
+  VecAggregateExecutor(const AggregateNode& node, VecSourceSpec spec,
+                       const Table* table, ExecContext* ctx)
+      : node_(node), spec_(std::move(spec)), table_(table), ctx_(ctx) {}
+
+  Status Open() override {
+    groups_.clear();
+    group_index_.clear();
+    int64_groups_.clear();
+    int64_active_ = true;
+    pos_ = 0;
+    const size_t nagg = node_.aggregates.size();
+    // A single bare-column group key gets an int64-keyed group index
+    // while every key value stays kInt64 (exact equality, no Row/Value
+    // churn per input row); the first non-int64 key demotes to the
+    // generic Row-keyed index, whose RowEq numeric equality matches the
+    // row aggregator's, preserving already-assigned group ids.
+    size_t fast_gcol = kNoFastGroup;
+    if (node_.group_exprs.size() == 1 &&
+        node_.group_exprs[0]->kind == BoundExprKind::kColumnRef) {
+      const auto& ref =
+          static_cast<const BoundColumnRef&>(*node_.group_exprs[0]);
+      if (ref.level == 0) fast_gcol = ref.index;
+    }
+    VecSourceCursor cursor(&spec_, table_, ctx_);
+    VecBatch batch;
+    std::vector<std::vector<Value>> gcols;
+    std::vector<uint32_t> gids;
+    std::vector<Value> vals;
+    while (true) {
+      PDM_ASSIGN_OR_RETURN(bool has, cursor.NextBatch(&batch));
+      if (!has) break;
+      const size_t n = batch.sel.size();
+      ctx_->stats().vec_agg_input_rows += n;
+      gids.resize(n);
+      if (node_.group_exprs.empty()) {
+        if (groups_.empty()) {
+          groups_.push_back(GroupState{Row{}, std::vector<AggState>(nagg)});
+        }
+        std::fill(gids.begin(), gids.end(), 0u);
+      } else if (fast_gcol != kNoFastGroup) {
+        const ColumnSpan gc = batch.span.column(fast_gcol);
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t slot = batch.sel[i];
+          if (int64_active_ &&
+              static_cast<ValueKind>(gc.kinds[slot]) == ValueKind::kInt64) {
+            const int64_t k = static_cast<int64_t>(gc.fixed[slot]);
+            auto it = int64_groups_.find(k);
+            if (it == int64_groups_.end()) {
+              gids[i] = static_cast<uint32_t>(groups_.size());
+              int64_groups_.emplace(k, groups_.size());
+              Row key;
+              key.push_back(Value::Int64(k));
+              groups_.push_back(
+                  GroupState{std::move(key), std::vector<AggState>(nagg)});
+            } else {
+              gids[i] = static_cast<uint32_t>(it->second);
+            }
+            continue;
+          }
+          if (int64_active_) DemoteGroups();
+          Row key;
+          key.push_back(batch.span.fragment->cols[fast_gcol].Load(slot));
+          auto it = group_index_.find(key);
+          if (it == group_index_.end()) {
+            gids[i] = static_cast<uint32_t>(groups_.size());
+            group_index_.emplace(key, groups_.size());
+            groups_.push_back(
+                GroupState{std::move(key), std::vector<AggState>(nagg)});
+          } else {
+            gids[i] = static_cast<uint32_t>(it->second);
+          }
+        }
+      } else {
+        gcols.resize(node_.group_exprs.size());
+        for (size_t g = 0; g < node_.group_exprs.size(); ++g) {
+          PDM_RETURN_NOT_OK(EvalDense(*node_.group_exprs[g], batch.span,
+                                      batch.sel.data(), n, &gcols[g]));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          Row key;
+          key.reserve(gcols.size());
+          for (const std::vector<Value>& col : gcols) key.push_back(col[i]);
+          auto it = group_index_.find(key);
+          if (it == group_index_.end()) {
+            gids[i] = static_cast<uint32_t>(groups_.size());
+            group_index_.emplace(key, groups_.size());
+            groups_.push_back(
+                GroupState{std::move(key), std::vector<AggState>(nagg)});
+          } else {
+            gids[i] = static_cast<uint32_t>(it->second);
+          }
+        }
+      }
+      for (size_t a = 0; a < nagg; ++a) {
+        const BoundAggregate& agg = node_.aggregates[a];
+        if (agg.agg_kind == AggKind::kCountStar) {
+          for (size_t i = 0; i < n; ++i) groups_[gids[i]].aggs[a].count++;
+          continue;
+        }
+        if (!agg.distinct && agg.arg->kind == BoundExprKind::kColumnRef) {
+          const auto& ref = static_cast<const BoundColumnRef&>(*agg.arg);
+          if (ref.level == 0 &&
+              (agg.agg_kind == AggKind::kCount ||
+               agg.agg_kind == AggKind::kSum ||
+               agg.agg_kind == AggKind::kAvg)) {
+            PDM_RETURN_NOT_OK(
+                AccumulateColumnKernel(agg, batch, ref.index, gids, a));
+            continue;
+          }
+        }
+        PDM_RETURN_NOT_OK(
+            EvalDense(*agg.arg, batch.span, batch.sel.data(), n, &vals));
+        for (size_t i = 0; i < n; ++i) {
+          PDM_RETURN_NOT_OK(
+              AccumulateAggValue(agg, vals[i], &groups_[gids[i]].aggs[a]));
+        }
+      }
+    }
+    // Scalar aggregate over empty input: one all-default group.
+    if (node_.group_exprs.empty() && groups_.empty()) {
+      groups_.push_back(GroupState{Row{}, std::vector<AggState>(nagg)});
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (pos_ < groups_.size()) {
+      GroupState& g = groups_[pos_++];
+      Row out = std::move(g.key);
+      out.reserve(out.size() + node_.aggregates.size());
+      for (size_t i = 0; i < node_.aggregates.size(); ++i) {
+        PDM_ASSIGN_OR_RETURN(Value v,
+                             FinalizeAgg(node_.aggregates[i], g.aggs[i]));
+        out.push_back(std::move(v));
+      }
+      if (node_.having != nullptr) {
+        PDM_ASSIGN_OR_RETURN(bool pass,
+                             EvaluatePredicate(*node_.having, out, ctx_));
+        if (!pass) continue;
+      }
+      *row = std::move(out);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  struct GroupState {
+    Row key;
+    std::vector<AggState> aggs;
+  };
+
+  static constexpr size_t kNoFastGroup = std::numeric_limits<size_t>::max();
+
+  /// Folds the int64 group index into the generic Row-keyed one; group
+  /// ids are preserved, so accumulation state never moves.
+  void DemoteGroups() {
+    group_index_.reserve(int64_groups_.size());
+    for (const auto& entry : int64_groups_) {
+      Row key;
+      key.push_back(Value::Int64(entry.first));
+      group_index_.emplace(std::move(key), entry.second);
+    }
+    int64_groups_.clear();
+    int64_active_ = false;
+  }
+
+  /// COUNT/SUM/AVG over a bare column: fold straight off the fragment's
+  /// kind/payload arrays in sel (= row) order — the exact accumulation
+  /// AccumulateAggValue would perform per loaded Value, minus the Value.
+  Status AccumulateColumnKernel(const BoundAggregate& agg,
+                                const VecBatch& batch, size_t col,
+                                const std::vector<uint32_t>& gids, size_t a) {
+    const ColumnSpan c = batch.span.column(col);
+    const size_t n = batch.sel.size();
+    if (agg.agg_kind == AggKind::kCount) {
+      for (size_t i = 0; i < n; ++i) {
+        if (static_cast<ValueKind>(c.kinds[batch.sel[i]]) !=
+            ValueKind::kNull) {
+          groups_[gids[i]].aggs[a].count++;
+        }
+      }
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t slot = batch.sel[i];
+      AggState& st = groups_[gids[i]].aggs[a];
+      switch (static_cast<ValueKind>(c.kinds[slot])) {
+        case ValueKind::kNull:
+          break;
+        case ValueKind::kInt64: {
+          const int64_t x = static_cast<int64_t>(c.fixed[slot]);
+          st.count++;
+          st.sum_double += static_cast<double>(x);
+          st.sum_int += x;
+          break;
+        }
+        case ValueKind::kDouble:
+          st.count++;
+          st.saw_double = true;
+          st.sum_double += BitsToDouble(c.fixed[slot]);
+          break;
+        default:
+          return Status::ExecutionError(
+              std::string(AggKindName(agg.agg_kind)) +
+              " over non-numeric values");
+      }
+    }
+    return Status::OK();
+  }
+
+  const AggregateNode& node_;
+  VecSourceSpec spec_;
+  const Table* table_;
+  ExecContext* ctx_;
+  std::vector<GroupState> groups_;
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index_;
+  std::unordered_map<int64_t, size_t> int64_groups_;
+  bool int64_active_ = true;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
@@ -578,13 +1379,12 @@ Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
       if (!CanVectorizeExpr(*e, &max_col)) return false;
     }
   }
-  // Point lookups belong to the row engine's index scan.
-  if (vp.scan->filter != nullptr && HasIndexableEquality(*vp.scan->filter)) {
-    return false;
-  }
   Result<Table*> table_or = ctx->catalog()->GetTable(vp.scan->table_name);
   if (!table_or.ok()) return false;  // row path reports the same error
   const Table& table = *table_or.value();
+  // Point lookups whose index is (or is about to be) worth it belong to
+  // the row engine's index scan.
+  if (RouteScanToRowIndexPath(*vp.scan, table)) return false;
   const size_t num_columns = table.schema().num_columns();
   if ((!vp.filters.empty() || vp.project != nullptr) &&
       max_col >= num_columns) {
@@ -651,6 +1451,105 @@ Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
     }
   }
   return true;
+}
+
+Result<std::unique_ptr<Executor>> MaybeVecExecutor(const PlanNode& plan,
+                                                   ExecContext* ctx) {
+  std::unique_ptr<Executor> none;
+  if (!ctx->options().vectorized_execution) return none;
+  switch (plan.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject: {
+      VecSourceSpec spec;
+      if (!MatchVecSource(plan, &spec)) return none;
+      // A bare unfiltered, unprojected scan materializes every row at
+      // full width either way — batching it under a row parent is pure
+      // sel-vector overhead, so leave that shape to ScanExecutor.
+      if (spec.filters.empty() && spec.out_cols.empty()) return none;
+      const Table* table = ResolveVecSource(spec, ctx);
+      if (table == nullptr) return none;
+      return std::unique_ptr<Executor>(
+          new VecScanExecutor(std::move(spec), table, ctx));
+    }
+    case PlanKind::kHashJoin: {
+      const auto& node = static_cast<const HashJoinNode&>(plan);
+      // Same eligibility split as HashJoinExecutor: single-key joins
+      // against a bare base-table scan probe the shared lazy index;
+      // everything else builds a hash table over the right side.
+      if (node.right_keys.size() == 1 &&
+          node.right->kind == PlanKind::kScan) {
+        const auto& scan = static_cast<const ScanNode&>(*node.right);
+        if (scan.filter == nullptr) {
+          Result<Table*> table_or = ctx->catalog()->GetTable(scan.table_name);
+          if (!table_or.ok()) return none;  // row path reports the error
+          if (node.right_keys[0] >=
+              table_or.value()->schema().num_columns()) {
+            return none;
+          }
+          PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> left,
+                               CreateExecutor(*node.left, ctx));
+          return std::unique_ptr<Executor>(new VecIndexJoinExecutor(
+              node, std::move(left), table_or.value(), ctx));
+        }
+      }
+      VecSourceSpec spec;
+      if (!MatchVecSource(*node.right, &spec)) return none;
+      const Table* table = ResolveVecSource(spec, ctx);
+      if (table == nullptr) return none;
+      for (size_t k : node.right_keys) {
+        if (k >= spec.Width(*table)) return none;
+      }
+      // Prefer cursor mode: probe keys come straight off the left
+      // column spans, and left rows materialize only on match.
+      VecSourceSpec lspec;
+      if (MatchVecSource(*node.left, &lspec)) {
+        const Table* ltable = ResolveVecSource(lspec, ctx);
+        if (ltable != nullptr) {
+          bool keys_ok = true;
+          for (size_t k : node.left_keys) {
+            if (k >= lspec.Width(*ltable)) {
+              keys_ok = false;
+              break;
+            }
+          }
+          if (keys_ok) {
+            return std::unique_ptr<Executor>(
+                new VecHashJoinExecutor(node, std::move(lspec), ltable,
+                                        std::move(spec), table, ctx));
+          }
+        }
+      }
+      PDM_ASSIGN_OR_RETURN(std::unique_ptr<Executor> left,
+                           CreateExecutor(*node.left, ctx));
+      return std::unique_ptr<Executor>(new VecHashJoinExecutor(
+          node, std::move(left), std::move(spec), table, ctx));
+    }
+    case PlanKind::kAggregate: {
+      const auto& node = static_cast<const AggregateNode&>(plan);
+      VecSourceSpec spec;
+      if (!MatchVecSource(*node.child, &spec)) return none;
+      // Group/argument expressions index the child's schema; a peeled
+      // projection would shift them, so require the identity shape.
+      if (!spec.out_cols.empty()) return none;
+      size_t max_col = spec.max_col;
+      for (const BoundExprPtr& g : node.group_exprs) {
+        if (!CanVectorizeExpr(*g, &max_col)) return none;
+      }
+      for (const BoundAggregate& agg : node.aggregates) {
+        if (agg.arg != nullptr && !CanVectorizeExpr(*agg.arg, &max_col)) {
+          return none;
+        }
+      }
+      const Table* table = ResolveVecSource(spec, ctx);
+      if (table == nullptr) return none;
+      if (max_col >= table->schema().num_columns()) return none;
+      return std::unique_ptr<Executor>(
+          new VecAggregateExecutor(node, std::move(spec), table, ctx));
+    }
+    default:
+      return none;
+  }
 }
 
 }  // namespace pdm

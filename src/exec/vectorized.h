@@ -1,11 +1,13 @@
 #ifndef PDM_EXEC_VECTORIZED_H_
 #define PDM_EXEC_VECTORIZED_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "common/value.h"
 #include "exec/exec_context.h"
+#include "exec/executor.h"
 #include "plan/plan_node.h"
 
 namespace pdm {
@@ -32,6 +34,30 @@ namespace pdm {
 /// engine stops mid-fragment and this engine finishes the batch.
 Result<bool> TryExecuteVectorized(const PlanNode& plan, ExecContext* ctx,
                                   std::vector<Row>* out);
+
+/// Batch->row bridge (DESIGN.md 5j): a Volcano executor that runs
+/// `plan`'s subtree batch-at-a-time when it is vec-coverable —
+///
+///   - a `Filter* -> Scan` chain over a base table (the VecSource
+///     shape), streamed fragment-wise to the row-path parent;
+///   - a hash join whose build side is a VecSource (batch build with
+///     late materialization, int64 fast-path probe table, per-statement
+///     build cache) or whose right side is index-join eligible (probes
+///     batched against the table's shared lazy index);
+///   - an aggregate whose input is a VecSource and whose group/argument
+///     expressions are vectorizable (column-kernel COUNT/SUM/AVG,
+///     shared AggState semantics for the rest).
+///
+/// Returns nullptr when the subtree is outside that coverage (or an
+/// equality scan is routed to the row engine's index path); the caller
+/// then builds the ordinary row operator. CreateExecutor calls this for
+/// every node, so a partially-covered plan (vectorized scan under a
+/// row-path Sort or CASE projection) consumes batches below the
+/// frontier instead of falling back wholesale. Output rows are
+/// byte-identical to the row path's; as with TryExecuteVectorized the
+/// only divergence is error timing at batch granularity.
+Result<std::unique_ptr<Executor>> MaybeVecExecutor(const PlanNode& plan,
+                                                   ExecContext* ctx);
 
 }  // namespace pdm
 

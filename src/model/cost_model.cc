@@ -254,19 +254,26 @@ ResponseTime PredictPipelinedFromTraffic(
   return rt;
 }
 
-double ServerSeconds(const ServerCostParams& params, bool parsed,
-                     size_t rows_scanned, size_t vec_rows_scanned,
-                     size_t cte_rows_scanned, size_t result_rows) {
+double ServerSeconds(const ServerCostParams& params, const ServerWork& work) {
   double seconds = params.statement_overhead_s;
-  if (parsed) seconds += params.parse_plan_s;
+  if (work.parsed) seconds += params.parse_plan_s;
   // vec_rows_scanned is a subset of rows_scanned (clamp defensively so
   // inconsistent inputs cannot produce a negative row-engine share).
-  const size_t vec = vec_rows_scanned < rows_scanned ? vec_rows_scanned
-                                                     : rows_scanned;
-  seconds += params.per_row_scan_s * static_cast<double>(rows_scanned - vec);
+  const size_t vec = work.vec_rows_scanned < work.rows_scanned
+                         ? work.vec_rows_scanned
+                         : work.rows_scanned;
+  seconds +=
+      params.per_row_scan_s * static_cast<double>(work.rows_scanned - vec);
   seconds += params.per_row_scan_vec_s * static_cast<double>(vec);
-  seconds += params.per_cte_row_s * static_cast<double>(cte_rows_scanned);
-  seconds += params.per_result_row_s * static_cast<double>(result_rows);
+  seconds += params.per_cte_row_s * static_cast<double>(work.cte_rows_scanned);
+  seconds += params.per_result_row_s * static_cast<double>(work.result_rows);
+  // The join/agg pairs are disjoint per-engine counters; no clamp.
+  seconds += params.per_row_join_s * static_cast<double>(work.join_probe_rows);
+  seconds +=
+      params.per_row_join_vec_s * static_cast<double>(work.vec_join_probe_rows);
+  seconds += params.per_row_agg_s * static_cast<double>(work.agg_input_rows);
+  seconds +=
+      params.per_row_agg_vec_s * static_cast<double>(work.vec_agg_input_rows);
   return seconds;
 }
 

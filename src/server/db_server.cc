@@ -74,6 +74,21 @@ obs::Histogram& ServerStatementHistogram() {
   return h;
 }
 
+/// One statement's engine work, shaped for model::ServerSeconds.
+model::ServerWork WorkOf(const ExecStats& stats, size_t result_rows) {
+  model::ServerWork work;
+  work.parsed = stats.plan_cache_hits == 0;
+  work.rows_scanned = stats.rows_scanned;
+  work.vec_rows_scanned = stats.vec_rows_scanned;
+  work.cte_rows_scanned = stats.cte_rows_scanned;
+  work.result_rows = result_rows;
+  work.join_probe_rows = stats.join_probe_rows;
+  work.vec_join_probe_rows = stats.vec_join_probe_rows;
+  work.agg_input_rows = stats.agg_input_rows;
+  work.vec_agg_input_rows = stats.vec_agg_input_rows;
+  return work;
+}
+
 }  // namespace
 
 DbServer::DbServer() : admission_(std::make_unique<AdmissionQueue>(this)) {}
@@ -96,9 +111,8 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
   {
     obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
     status = db_.Execute(sql, out, &stats);
-    double sim = model::ServerSeconds(
-        config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-        stats.vec_rows_scanned, stats.cte_rows_scanned, out->num_rows());
+    double sim =
+        model::ServerSeconds(config_.server_cost, WorkOf(stats, out->num_rows()));
     span.set_sim_seconds(sim);
     ServerStatementHistogram().Observe(sim);
   }
@@ -114,7 +128,9 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
           stats.plan_cache_hits > 0, /*batch_id=*/0, /*worker=*/0,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
           stats.rows_scanned, stats.cte_rows_scanned,
-          stats.vec_rows_scanned});
+          stats.vec_rows_scanned, stats.join_probe_rows,
+          stats.vec_join_probe_rows, stats.agg_input_rows,
+          stats.vec_agg_input_rows});
     }
   }
   return Status::OK();
@@ -162,10 +178,8 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
         // Lexical error: re-run through the text path for its diagnostics.
         r.status = db_.Execute(statements[i], &r.result, &stats);
       }
-      double sim = model::ServerSeconds(
-          config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-          stats.vec_rows_scanned, stats.cte_rows_scanned,
-          r.result.num_rows());
+      double sim = model::ServerSeconds(config_.server_cost,
+                                        WorkOf(stats, r.result.num_rows()));
       span.set_sim_seconds(sim);
       ServerStatementHistogram().Observe(sim);
     }
@@ -178,7 +192,9 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
           r.response_bytes, stats.plan_cache_hits > 0, batch_id, worker,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
           stats.rows_scanned, stats.cte_rows_scanned,
-          stats.vec_rows_scanned};
+          stats.vec_rows_scanned, stats.join_probe_rows,
+          stats.vec_join_probe_rows, stats.agg_input_rows,
+          stats.vec_agg_input_rows};
     }
   };
 
@@ -285,10 +301,8 @@ DbServer::WaveExecution DbServer::ExecuteWave(
       } else {
         r.status = db_.Execute(*items[i].sql, &r.result, &stats, snapshot_ts);
       }
-      double sim = model::ServerSeconds(
-          config_.server_cost, stats.plan_cache_hits == 0, stats.rows_scanned,
-          stats.vec_rows_scanned, stats.cte_rows_scanned,
-          r.result.num_rows());
+      double sim = model::ServerSeconds(config_.server_cost,
+                                        WorkOf(stats, r.result.num_rows()));
       span.set_sim_seconds(sim);
       ServerStatementHistogram().Observe(sim);
     }
@@ -304,7 +318,9 @@ DbServer::WaveExecution DbServer::ExecuteWave(
           r.response_bytes, stats.plan_cache_hits > 0, /*batch_id=*/0,
           worker, wave_id, items[i].client_id, /*coalesced=*/false,
           stats.rows_scanned, stats.cte_rows_scanned,
-          stats.vec_rows_scanned};
+          stats.vec_rows_scanned, stats.join_probe_rows,
+          stats.vec_join_probe_rows, stats.agg_input_rows,
+          stats.vec_agg_input_rows};
     }
   };
 

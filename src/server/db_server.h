@@ -97,6 +97,28 @@ class DbServer {
     size_t rows_scanned = 0;
     size_t cte_rows_scanned = 0;
     size_t vec_rows_scanned = 0;
+    /// Join-probe and aggregate-input rows, split by engine (disjoint
+    /// pairs, see exec/exec_context.h). Trailing so the coalesced
+    /// fan-out entry's aggregate-init keeps zero-defaulting them.
+    size_t join_probe_rows = 0;
+    size_t vec_join_probe_rows = 0;
+    size_t agg_input_rows = 0;
+    size_t vec_agg_input_rows = 0;
+
+    /// The entry's engine work, shaped for model::ServerSeconds.
+    model::ServerWork Work() const {
+      model::ServerWork work;
+      work.parsed = !plan_cache_hit;
+      work.rows_scanned = rows_scanned;
+      work.vec_rows_scanned = vec_rows_scanned;
+      work.cte_rows_scanned = cte_rows_scanned;
+      work.result_rows = result_rows;
+      work.join_probe_rows = join_probe_rows;
+      work.vec_join_probe_rows = vec_join_probe_rows;
+      work.agg_input_rows = agg_input_rows;
+      work.vec_agg_input_rows = vec_agg_input_rows;
+      return work;
+    }
   };
 
   /// Outcome of one statement of a batch. Fail-fast-per-statement: an

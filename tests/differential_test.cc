@@ -309,6 +309,26 @@ TEST(VecEngineDifferential, SameResultsWithVectorizedExecutionOff) {
   };
   queries.insert(queries.end(), std::begin(kScanCorpus),
                  std::end(kScanCorpus));
+  // Join/aggregate/ORDER BY shapes now covered by the batch->row
+  // bridge executors (DESIGN.md 5j): hash join builds over filtered
+  // scans, index joins, grouped and DISTINCT aggregation, and row-path
+  // sorts fed by bridged scans.
+  const char* kBridgeCorpus[] = {
+      "SELECT l.obid, a.name FROM link AS l JOIN assy AS a "
+      "ON l.left = a.obid WHERE a.weight > 0",
+      "SELECT l.obid, c.name FROM link AS l JOIN comp AS c "
+      "ON l.right = c.obid",
+      "SELECT hier, COUNT(*), MIN(eff_from), MAX(eff_to) FROM link "
+      "WHERE obid >= 0 GROUP BY hier",
+      "SELECT strc_opt, AVG(eff_to - eff_from) FROM link "
+      "WHERE eff_from >= 0 GROUP BY strc_opt",
+      "SELECT material, SUM(weight), COUNT(DISTINCT acc) FROM comp "
+      "WHERE obid >= 0 GROUP BY material HAVING COUNT(*) > 1",
+      "SELECT obid, left, right FROM link WHERE eff_from <= 100 "
+      "ORDER BY left, obid",
+  };
+  queries.insert(queries.end(), std::begin(kBridgeCorpus),
+                 std::end(kBridgeCorpus));
 
   std::vector<std::string> baseline;
   bool any_vectorized = false;

@@ -283,8 +283,13 @@ TEST_F(ExecTest, ComparingIncomparableKindsIsAnError) {
 }
 
 TEST_F(ExecTest, StatsCountScannedAndEmittedRows) {
+  // The first point lookup on a never-indexed column stays on the
+  // vectorized sweep (demand-based routing); the repeat proves the
+  // column is worth an index and moves to the row engine's index scan,
+  // which touches only the matching row.
   Q("SELECT * FROM nums WHERE n = 1");
-  // With the equality index the scan touches only the matching row.
+  EXPECT_EQ(db_.last_stats().index_scans, 0u);
+  Q("SELECT * FROM nums WHERE n = 1");
   EXPECT_EQ(db_.last_stats().rows_scanned, 1u);
   EXPECT_EQ(db_.last_stats().rows_emitted, 1u);
   EXPECT_EQ(db_.last_stats().index_scans, 1u);
@@ -395,17 +400,33 @@ TEST_F(VecExecTest, NullsInFilterColumnsFollowThreeValuedLogic) {
   EXPECT_EQ(count("v >= 0 AND s IS NOT NULL"), 60u);
 }
 
-TEST_F(VecExecTest, IndexableEqualityStaysOnTheRowIndexPath) {
+TEST_F(VecExecTest, PointLookupRoutingIsDemandBased) {
   Database db;
   Fill(&db, 100);
+  // First point lookup on a never-indexed column: no index exists and
+  // none has proven worth building, so the vectorized sweep answers it
+  // (the old routing sent every `col = literal` to the row path and
+  // paid a full row-at-a-time scan for a one-off query).
   Result<ResultSet> rs = db.Query("SELECT v FROM t WHERE id = 5");
   ASSERT_TRUE(rs.ok()) << rs.status();
   ASSERT_EQ(rs->num_rows(), 1u);
   EXPECT_EQ(rs->At(0, 0).int64_value(), 10);
-  // A point lookup beats any fragment sweep: the index scan must win.
+  EXPECT_EQ(db.last_stats().index_scans, 0u);
+  EXPECT_GT(db.last_stats().vec_batches, 0u);
+  // The repeat is the demand signal: the row engine builds the lazy
+  // index and the point lookup touches only the matching row.
+  rs = db.Query("SELECT v FROM t WHERE id = 6");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).int64_value(), 12);
   EXPECT_EQ(db.last_stats().index_scans, 1u);
   EXPECT_EQ(db.last_stats().rows_scanned, 1u);
   EXPECT_EQ(db.last_stats().vec_batches, 0u);
+  // Once fresh, the index keeps winning.
+  rs = db.Query("SELECT v FROM t WHERE id = 7");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(db.last_stats().index_scans, 1u);
+  EXPECT_EQ(db.last_stats().rows_scanned, 1u);
 }
 
 TEST_F(VecExecTest, UnsupportedExpressionFallsBackToTheRowEngine) {
