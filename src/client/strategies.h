@@ -23,6 +23,9 @@ struct ClientConfig {
   /// Which of the parallel product structures to traverse (physical by
   /// default; see pdm/pdm_schema.h hierarchy constants).
   std::string hierarchy = "phys";
+  /// Site label the client's action metrics report under; empty
+  /// inherits the WAN link's site (Experiment::Init syncs it).
+  std::string site;
 };
 
 /// Wire size of a homogenized response: `node_bytes` per object row;

@@ -140,6 +140,9 @@ Status Database::ExecuteCachedSelect(sql::StatementFingerprint fp,
                                      ResultSet* out, ExecStats* stats,
                                      uint64_t snapshot_ts) {
   stats->Reset();
+  // Expose the normalized key so server-side telemetry (slow-query log)
+  // can report it without re-lexing the statement text.
+  stats->fingerprint_key = fp.key;
   ResultSet scratch;
   if (out == nullptr) out = &scratch;
   out->schema = Schema();

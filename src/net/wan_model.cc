@@ -9,19 +9,18 @@
 
 namespace pdm::net {
 
-namespace {
-
-/// Process-wide per-exchange histogram. The reference is bound once and
-/// stays valid for the life of the process: MetricsRegistry never
-/// evicts an instrument, and ResetAll zeroes values in place (see the
-/// reset-then-record regression in tests/obs_test.cc).
-obs::Histogram& ExchangeHistogram() {
-  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
-      "wan.exchange_sim_seconds", obs::ExponentialBounds(0.01, 4.0, 10));
-  return h;
+WanLink::WanLink(WanConfig config)
+    : config_(std::move(config)), status_(config_.Validate()) {
+  // Per-site exchange histogram, bound once: the pointer stays valid
+  // for the life of the process (MetricsRegistry never evicts an
+  // instrument, and ResetAll zeroes values in place — see the
+  // reset-then-record regression in tests/obs_test.cc). Eager-register
+  // the ring drop counter alongside so the exporter surfaces it at
+  // zero before anything is lost.
+  exchange_hist_ = &obs::MetricsRegistry::Global().log_histogram(
+      "wan.exchange_sim_seconds", {{"site", config_.site}});
+  obs::MetricsRegistry::Global().counter("wan.exchange_log_dropped");
 }
-
-}  // namespace
 
 Status WanConfig::Validate() const {
   if (!std::isfinite(latency_s) || latency_s < 0) {
@@ -212,7 +211,7 @@ ExchangeTiming WanLink::CompleteExchange(size_t response_payload_bytes) {
     tracer.RecordSim(ctx, "wan:transfer", obs::ModelTerm::kTransfer, transfer,
                      StrFormat("charged=%.0fB", charged));
   }
-  ExchangeHistogram().Observe(timing.seconds());
+  exchange_hist_->Observe(timing.seconds());
   return timing;
 }
 

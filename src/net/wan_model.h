@@ -8,6 +8,10 @@
 
 #include "common/result.h"
 
+namespace pdm::obs {
+class LogHistogram;
+}  // namespace pdm::obs
+
 namespace pdm::net {
 
 /// How message volume is charged to the link.
@@ -28,6 +32,10 @@ struct WanConfig {
   double dtr_kbit = 256;       // data transfer rate, kbit/s
   size_t packet_bytes = 4096;  // size_p
   Accounting accounting = Accounting::kPaperModel;
+  /// Site label this link's metrics report under (the paper's worldwide
+  /// deployment: one link per remote site). Keep values low-cardinality
+  /// — they become metric dimensions.
+  std::string site = "local";
   /// Ring capacity of the per-exchange record log: once full, the
   /// oldest record is dropped per completed exchange
   /// (WanLink::exchanges_dropped() counts them). 0 = unbounded — only
@@ -119,8 +127,9 @@ struct ExchangeRecord {
 ///    occupancy (one response stream at a time).
 class WanLink {
  public:
-  explicit WanLink(WanConfig config)
-      : config_(config), status_(config.Validate()) {}
+  /// Binds the per-site exchange histogram at construction (defined in
+  /// wan_model.cc); an invalid config leaves the link inert.
+  explicit WanLink(WanConfig config);
 
   /// Validating factory; prefer this over direct construction when the
   /// config is not statically known-good.
@@ -195,6 +204,9 @@ class WanLink {
   WanConfig config_;
   Status status_;
   WanStats stats_;
+  /// Labeled "wan.exchange_sim_seconds"{site} instrument, bound once at
+  /// construction (registry pointers are stable for the process life).
+  obs::LogHistogram* exchange_hist_ = nullptr;
   /// Bounded ring (WanConfig::exchange_log_capacity).
   std::deque<ExchangeRecord> exchanges_;
   size_t exchanges_dropped_ = 0;

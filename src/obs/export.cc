@@ -37,8 +37,6 @@ std::string RenderBreakdownTable(const TermBreakdown& breakdown) {
   return out;
 }
 
-namespace {
-
 void AppendJsonEscaped(std::string* out, std::string_view text) {
   for (char c : text) {
     switch (c) {
@@ -56,6 +54,8 @@ void AppendJsonEscaped(std::string* out, std::string_view text) {
     }
   }
 }
+
+namespace {
 
 void AppendEvent(std::string* out, const SpanRecord& span, int pid,
                  uint64_t tid, double ts_us, double dur_us, bool* first) {

@@ -2,6 +2,7 @@
 #define PDM_OBS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +38,10 @@ TermBreakdown BreakdownByTerm(const std::vector<SpanRecord>& spans,
 /// Renders a fixed-width per-term table (one row per model term with at
 /// least one span) for bench output.
 std::string RenderBreakdownTable(const TermBreakdown& breakdown);
+
+/// Appends `text` to `out` with JSON string escaping (shared by the
+/// trace, snapshot and slow-query JSON writers).
+void AppendJsonEscaped(std::string* out, std::string_view text);
 
 /// Serializes spans as Chrome trace-event JSON ("traceEvents" array of
 /// "ph":"X" complete events), loadable in chrome://tracing and Perfetto.

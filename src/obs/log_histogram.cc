@@ -1,0 +1,160 @@
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace pdm::obs {
+
+namespace {
+
+constexpr uint64_t kEmptyMin = ~uint64_t{0};
+
+/// Largest nanosecond value the top bucket represents exactly; anything
+/// beyond clamps into it — for the buckets and for min/max, which track
+/// clamped nanos. Only the double sum keeps the true magnitude.
+constexpr uint64_t kMaxTrackableNanos =
+    ((uint64_t{LogHistogram::kSubBuckets} * 2 - 1)
+     << LogHistogram::kMaxShift);
+
+uint64_t ToNanos(double value_seconds) {
+  if (!(value_seconds > 0)) return 0;  // negatives and NaN clamp to 0
+  double nanos = value_seconds * 1e9;
+  if (nanos >= static_cast<double>(kMaxTrackableNanos)) {
+    return kMaxTrackableNanos;
+  }
+  return static_cast<uint64_t>(std::llround(nanos));
+}
+
+/// Relaxed double accumulation via compare-exchange on the bit pattern
+/// (the satellite fix for the old int64 nanounit sum, reused here).
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t observed = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double current = std::bit_cast<double>(observed);
+    uint64_t desired = std::bit_cast<uint64_t>(current + delta);
+    if (bits->compare_exchange_weak(observed, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinU64(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t observed = slot->load(std::memory_order_relaxed);
+  while (value < observed &&
+         !slot->compare_exchange_weak(observed, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxU64(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t observed = slot->load(std::memory_order_relaxed);
+  while (value > observed &&
+         !slot->compare_exchange_weak(observed, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram()
+    : buckets_(new std::atomic<uint64_t>[kNumBuckets]),
+      sum_bits_(std::bit_cast<uint64_t>(0.0)),
+      min_nanos_(kEmptyMin),
+      max_nanos_(0) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t LogHistogram::BucketIndex(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<size_t>(nanos);  // exact region
+  // Octave = position of the most significant bit; within the octave the
+  // top kSubBits bits after the msb select the linear sub-bucket.
+  int msb = 63 - std::countl_zero(nanos);
+  int shift = msb - kSubBits;
+  if (shift > kMaxShift) shift = kMaxShift;  // clamp into the top octave
+  uint64_t sub = nanos >> shift;             // in [kSubBuckets, 2*kSubBuckets)
+  if (sub >= 2 * kSubBuckets) sub = 2 * kSubBuckets - 1;
+  return static_cast<size_t>(shift + 1) * kSubBuckets +
+         static_cast<size_t>(sub - kSubBuckets);
+}
+
+double LogHistogram::BucketRepresentativeNanos(size_t index) {
+  if (index < kSubBuckets) return static_cast<double>(index);  // exact
+  int shift = static_cast<int>(index / kSubBuckets) - 1;
+  uint64_t sub = kSubBuckets + (index % kSubBuckets);
+  double low = static_cast<double>(sub << shift);
+  double width = static_cast<double>(uint64_t{1} << shift);
+  return low + width / 2.0;
+}
+
+void LogHistogram::Observe(double value_seconds) {
+  uint64_t nanos = ToNanos(value_seconds);
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, value_seconds < 0 ? 0.0 : value_seconds);
+  AtomicMinU64(&min_nanos_, nanos);
+  AtomicMaxU64(&max_nanos_, nanos);
+}
+
+uint64_t LogHistogram::total_count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double LogHistogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double LogHistogram::min() const {
+  uint64_t nanos = min_nanos_.load(std::memory_order_relaxed);
+  return nanos == kEmptyMin ? 0.0 : static_cast<double>(nanos) / 1e9;
+}
+
+double LogHistogram::max() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+double LogHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  // Nearest rank: element ceil(q * total) of the sorted observations
+  // (1-based); q = 0 degenerates to the first element.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketRepresentativeNanos(i) / 1e9;
+  }
+  return max();  // unreachable unless racing writers; max is safe
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  AtomicAddDouble(&sum_bits_, other.sum());
+  uint64_t other_min = other.min_nanos_.load(std::memory_order_relaxed);
+  if (other_min != kEmptyMin) AtomicMinU64(&min_nanos_, other_min);
+  AtomicMaxU64(&max_nanos_,
+               other.max_nanos_.load(std::memory_order_relaxed));
+}
+
+void LogHistogram::Reset() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(std::bit_cast<uint64_t>(0.0), std::memory_order_relaxed);
+  min_nanos_.store(kEmptyMin, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pdm::obs

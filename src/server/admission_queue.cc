@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
 namespace pdm {
+
+namespace {
+
+/// Queue-pressure gauges: live depth of the admission queue, sampled by
+/// the exporter (DESIGN.md 5k). Registry references are stable.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().gauge("queue.depth");
+  return g;
+}
+
+obs::Gauge& QueuePendingStatementsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().gauge("queue.pending_statements");
+  return g;
+}
+
+}  // namespace
 
 void AdmissionQueue::RegisterClient() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -50,6 +71,9 @@ std::vector<DbServer::BatchStatementResult> AdmissionQueue::Submit(
   sub.trace = obs::CurrentContext();
   sub.enqueue_time = std::chrono::steady_clock::now();
 
+  QueueDepthGauge().Increment();
+  QueuePendingStatementsGauge().Add(static_cast<int64_t>(statements.size()));
+
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(&sub);
   cv_.notify_all();  // our arrival may complete the barrier
@@ -96,13 +120,32 @@ void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
   }
   entry.clients = clients.size();
 
-  // Admission-to-drain wait, one span per submission on the submitter's
-  // trace (t_queue_wait). Recorded by the leader because only the drain
-  // moment defines the interval's end.
+  QueueDepthGauge().Sub(static_cast<int64_t>(wave.size()));
+  QueuePendingStatementsGauge().Sub(static_cast<int64_t>(statements));
+
+  // Admission-to-drain wait, computed unconditionally at the drain
+  // moment: it feeds the queue.wait_seconds histograms and the wave
+  // items' slow-query attribution even when tracing is off. One
+  // queue:wait span per submission still attaches to the submitter's
+  // trace when the tracer is on.
   obs::Tracer& tracer = obs::Tracer::Global();
-  if (tracer.enabled()) {
-    const auto drained = std::chrono::steady_clock::now();
-    for (const Submission* sub : wave) {
+  const auto drained = std::chrono::steady_clock::now();
+  std::vector<double> waits;
+  waits.reserve(wave.size());
+  obs::LogHistogram& wait_hist =
+      obs::MetricsRegistry::Global().log_histogram("queue.wait_seconds");
+  for (const Submission* sub : wave) {
+    const double wait_s =
+        std::chrono::duration<double>(drained - sub->enqueue_time).count();
+    waits.push_back(wait_s);
+    wait_hist.Observe(wait_s);
+    obs::MetricsRegistry::Global()
+        .log_histogram(
+            "queue.wait_seconds",
+            {{"client", StrFormat("%llu", static_cast<unsigned long long>(
+                                              sub->client_id))}})
+        .Observe(wait_s);
+    if (tracer.enabled()) {
       tracer.RecordWallRange(sub->trace, "queue:wait",
                              obs::ModelTerm::kQueueWait, sub->enqueue_time,
                              drained);
@@ -117,7 +160,7 @@ void AdmissionQueue::RunWaveLocked(std::unique_lock<std::mutex>& lock) {
       items.push_back(
           DbServer::WaveItem{sub->client_id, &sub->statements[i],
                              &sub->results[i], sub->trace,
-                             /*submission=*/s});
+                             /*submission=*/s, /*queue_wait_s=*/waits[s]});
     }
   }
 

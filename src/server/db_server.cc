@@ -1,6 +1,7 @@
 #include "server/db_server.h"
 
 #include <cctype>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <unordered_map>
@@ -68,10 +69,23 @@ obs::Counter& ServerStatementCounter() {
   return c;
 }
 
-obs::Histogram& ServerStatementHistogram() {
-  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
-      "server.statement_sim_seconds", obs::ExponentialBounds(1e-5, 4.0, 10));
-  return h;
+/// Slot of the per-server labeled-histogram cache for a (stmt_class,
+/// engine) pair. Class order: dml, expand, agg, join, point, scan.
+size_t StmtHistogramSlot(std::string_view stmt_class, std::string_view engine) {
+  size_t c = 5;  // scan
+  if (stmt_class == "dml") c = 0;
+  else if (stmt_class == "expand") c = 1;
+  else if (stmt_class == "agg") c = 2;
+  else if (stmt_class == "join") c = 3;
+  else if (stmt_class == "point") c = 4;
+  return c * 2 + (engine == "vec" ? 1 : 0);
+}
+
+/// Wall seconds since `start` on the steady clock.
+double WallSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 /// One statement's engine work, shaped for model::ServerSeconds.
@@ -91,11 +105,17 @@ model::ServerWork WorkOf(const ExecStats& stats, size_t result_rows) {
 
 }  // namespace
 
-DbServer::DbServer() : admission_(std::make_unique<AdmissionQueue>(this)) {}
+DbServer::DbServer() : DbServer(Config{}) {}
 
 DbServer::DbServer(Config config)
-    : config_(config),
-      admission_(std::make_unique<AdmissionQueue>(this)) {}
+    : config_(std::move(config)),
+      admission_(std::make_unique<AdmissionQueue>(this)) {
+  // Eager-register the ring drop counters so the exporter surfaces
+  // them at zero before anything is dropped — a dashboard that only
+  // shows a drop counter once data is already lost is late.
+  obs::MetricsRegistry::Global().counter("server.statement_log_dropped");
+  obs::MetricsRegistry::Global().counter("server.slow_query_log_dropped");
+}
 
 DbServer::~DbServer() = default;
 
@@ -108,15 +128,23 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
   // serial and batched/wave traffic interleave.
   ExecStats stats;
   Status status;
+  double sim = 0;
+  double wall = 0;
   {
     obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+    const auto wall_start = std::chrono::steady_clock::now();
     status = db_.Execute(sql, out, &stats);
-    double sim =
+    wall = WallSince(wall_start);
+    sim =
         model::ServerSeconds(config_.server_cost, WorkOf(stats, out->num_rows()));
     span.set_sim_seconds(sim);
-    ServerStatementHistogram().Observe(sim);
   }
   ServerStatementCounter().Increment();
+  std::string sql_text(sql);
+  RecordStatementTelemetry(sql_text, stats, out->num_rows(),
+                           /*response_bytes=*/0, sim, wall,
+                           /*queue_wait_s=*/0, /*wave_id=*/0, /*batch_id=*/0,
+                           /*client_id=*/0, stats.plan_cache_hits > 0);
   PDM_RETURN_NOT_OK(status);
   // Sizing walks every result row; skip it when nobody consumes it.
   if (response_bytes != nullptr || log_enabled_) {
@@ -124,7 +152,7 @@ Status DbServer::Execute(std::string_view sql, ResultSet* out,
     if (response_bytes != nullptr) *response_bytes = bytes;
     if (log_enabled_) {
       AppendLogEntry(StatementLogEntry{
-          std::string(sql), out->num_rows(), out->affected_rows, bytes,
+          std::move(sql_text), out->num_rows(), out->affected_rows, bytes,
           stats.plan_cache_hits > 0, /*batch_id=*/0, /*worker=*/0,
           /*wave_id=*/0, /*client_id=*/0, /*coalesced=*/false,
           stats.rows_scanned, stats.cte_rows_scanned,
@@ -169,8 +197,11 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
     BatchStatementResult& r = results[i];
     ExecStats stats;
     obs::ContextScope ctx_scope(batch_ctx);
+    double sim = 0;
+    double wall = 0;
     {
       obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+      const auto wall_start = std::chrono::steady_clock::now();
       if (fingerprints[i].ok()) {
         r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
                                             &r.result, &stats);
@@ -178,14 +209,18 @@ std::vector<DbServer::BatchStatementResult> DbServer::ExecuteBatch(
         // Lexical error: re-run through the text path for its diagnostics.
         r.status = db_.Execute(statements[i], &r.result, &stats);
       }
-      double sim = model::ServerSeconds(config_.server_cost,
-                                        WorkOf(stats, r.result.num_rows()));
+      wall = WallSince(wall_start);
+      sim = model::ServerSeconds(config_.server_cost,
+                                 WorkOf(stats, r.result.num_rows()));
       span.set_sim_seconds(sim);
-      ServerStatementHistogram().Observe(sim);
     }
     ServerStatementCounter().Increment();
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
+    RecordStatementTelemetry(statements[i], stats, r.result.num_rows(),
+                             r.response_bytes, sim, wall, /*queue_wait_s=*/0,
+                             /*wave_id=*/0, batch_id, /*client_id=*/0,
+                             stats.plan_cache_hits > 0);
     if (log_enabled_) {
       entries[i] = StatementLogEntry{
           statements[i], r.result.num_rows(), r.result.affected_rows,
@@ -293,18 +328,21 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     // The leader (or a pool worker) may be executing another client's
     // statement: charge the span to the submitter's trace, not ours.
     obs::ContextScope ctx_scope(items[i].trace);
+    double sim = 0;
+    double wall = 0;
     {
       obs::ScopedSpan span("server:statement", obs::ModelTerm::kServer);
+      const auto wall_start = std::chrono::steady_clock::now();
       if (fingerprints[i].ok()) {
         r.status = db_.ExecuteFingerprinted(std::move(*fingerprints[i]),
                                             &r.result, &stats, snapshot_ts);
       } else {
         r.status = db_.Execute(*items[i].sql, &r.result, &stats, snapshot_ts);
       }
-      double sim = model::ServerSeconds(config_.server_cost,
-                                        WorkOf(stats, r.result.num_rows()));
+      wall = WallSince(wall_start);
+      sim = model::ServerSeconds(config_.server_cost,
+                                 WorkOf(stats, r.result.num_rows()));
       span.set_sim_seconds(sim);
-      ServerStatementHistogram().Observe(sim);
     }
     ServerStatementCounter().Increment();
     if (IsRetryableConflict(r.status.code())) {
@@ -312,6 +350,10 @@ DbServer::WaveExecution DbServer::ExecuteWave(
     }
     if (!r.status.ok()) r.result = ResultSet();
     r.response_bytes = ResponseBytes(r.result);
+    RecordStatementTelemetry(*items[i].sql, stats, r.result.num_rows(),
+                             r.response_bytes, sim, wall,
+                             items[i].queue_wait_s, wave_id, /*batch_id=*/0,
+                             items[i].client_id, stats.plan_cache_hits > 0);
     if (log_enabled_) {
       entries[i] = StatementLogEntry{
           *items[i].sql, r.result.num_rows(), r.result.affected_rows,
@@ -478,6 +520,72 @@ size_t DbServer::ResponseBytes(const ResultSet& result) const {
   return result.WireSize() + 64;
 }
 
+void DbServer::RecordStatementTelemetry(
+    const std::string& sql, const ExecStats& stats, size_t result_rows,
+    size_t response_bytes, double sim_seconds, double wall_seconds,
+    double queue_wait_s, uint64_t wave_id, uint64_t batch_id,
+    uint64_t client_id, bool plan_cache_hit) {
+  const std::string_view stmt_class = ClassifyStatementClass(sql, stats);
+  const std::string_view engine = EngineLabel(stats);
+
+  // Dimensioned latency: one LogHistogram per (site, stmt_class,
+  // engine). Site is fixed per server, so the slot cache keys on the
+  // other two; a racing first fill stores the same stable pointer.
+  const size_t slot = StmtHistogramSlot(stmt_class, engine);
+  obs::LogHistogram* hist = stmt_histograms_[slot].load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    hist = &obs::MetricsRegistry::Global().log_histogram(
+        "server.statement_sim_seconds",
+        {{"site", config_.site},
+         {"stmt_class", std::string(stmt_class)},
+         {"engine", std::string(engine)}});
+    stmt_histograms_[slot].store(hist, std::memory_order_release);
+  }
+  hist->Observe(sim_seconds);
+
+  const SlowQueryLog::Limits limits{config_.slow_query_threshold,
+                                    config_.slow_query_log_capacity,
+                                    config_.slow_query_top_k};
+  if (!slow_query_log_.MightRecord(limits, sim_seconds, wall_seconds)) return;
+
+  SlowQueryRecord rec;
+  rec.sql = sql;
+  rec.fingerprint = stats.fingerprint_key;
+  rec.stmt_class = std::string(stmt_class);
+  rec.engine = std::string(engine);
+  rec.site = config_.site;
+  rec.plan_summary = StrFormat(
+      "scan=%zu(vec=%zu) cte=%zu probe=%zu(vec=%zu) agg=%zu(vec=%zu) "
+      "plan=%s",
+      stats.rows_scanned, stats.vec_rows_scanned, stats.cte_rows_scanned,
+      stats.join_probe_rows + stats.vec_join_probe_rows,
+      stats.vec_join_probe_rows,
+      stats.agg_input_rows + stats.vec_agg_input_rows,
+      stats.vec_agg_input_rows, plan_cache_hit ? "cached" : "parsed");
+  rec.wave_id = wave_id;
+  rec.batch_id = batch_id;
+  rec.client_id = client_id;
+  rec.plan_cache_hit = plan_cache_hit;
+  rec.result_rows = result_rows;
+  rec.response_bytes = response_bytes;
+  rec.rows_scanned = stats.rows_scanned;
+  rec.cte_rows_scanned = stats.cte_rows_scanned;
+  rec.vec_rows_scanned = stats.vec_rows_scanned;
+  rec.join_probe_rows = stats.join_probe_rows;
+  rec.vec_join_probe_rows = stats.vec_join_probe_rows;
+  rec.agg_input_rows = stats.agg_input_rows;
+  rec.vec_agg_input_rows = stats.vec_agg_input_rows;
+  rec.sim_server_seconds = sim_seconds;
+  rec.wall_seconds = wall_seconds;
+  rec.queue_wait_seconds = queue_wait_s;
+  size_t evicted = slow_query_log_.Note(limits, std::move(rec));
+  if (evicted > 0) {
+    obs::MetricsRegistry::Global()
+        .counter("server.slow_query_log_dropped")
+        .Add(evicted);
+  }
+}
+
 void DbServer::AppendLogEntry(StatementLogEntry entry) {
   std::lock_guard<std::mutex> lock(log_mutex_);
   statement_log_.push_back(std::move(entry));
@@ -514,6 +622,7 @@ void DbServer::ClearStatementLog() {
 
 void DbServer::ResetObservability() {
   ClearStatementLog();
+  slow_query_log_.Clear();
   db_.plan_cache().ResetStats();
   admission_->ClearWaveLog();
   // Process-wide surfaces: finished spans and every registered metric.

@@ -11,11 +11,15 @@
 #include <string_view>
 #include <vector>
 
+#include <array>
+
 #include "common/status.h"
 #include "engine/database.h"
 #include "exec/result_set.h"
 #include "model/cost_model.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/slow_query_log.h"
 #include "server/worker_pool.h"
 
 namespace pdm {
@@ -66,6 +70,17 @@ class DbServer {
     /// seconds from its ExecStats, so per-component reconciliation
     /// covers eq. (1)'s server term too.
     model::ServerCostParams server_cost;
+    /// Site label this server reports under in the dimensioned metrics
+    /// (DESIGN.md 5k): the paper's worldwide deployment is modeled as
+    /// one server per site, so the label is per-server, not per-call.
+    std::string site = "local";
+    /// Slow-query log (DESIGN.md 5k): statements whose simulated OR
+    /// wall cost exceeds the threshold land in a bounded ring; the K
+    /// most expensive by simulated cost are kept regardless.
+    /// threshold <= 0 disables the ring (top-K stays on).
+    double slow_query_threshold = 0.05;
+    size_t slow_query_log_capacity = 256;
+    size_t slow_query_top_k = 16;
   };
 
   /// One executed statement, as observed at the server boundary.
@@ -144,6 +159,9 @@ class DbServer {
     /// the whole submission to the writer lane, so its later statements
     /// read their own writes.
     size_t submission = 0;
+    /// Wall seconds this statement's submission spent in the admission
+    /// queue before its wave drained (reported by the slow-query log).
+    double queue_wait_s = 0;
   };
 
   /// What ExecuteWave did with a wave, reported back to the queue's
@@ -236,6 +254,15 @@ class DbServer {
   /// client's navigational queries are reusing server-side plans.
   PlanCacheStats plan_cache_stats() const { return db_.plan_cache().stats(); }
 
+  /// Slow-query log (DESIGN.md 5k): the over-threshold ring and the
+  /// always-on top-K of the most expensive statements, with per-term
+  /// breakdowns. Always on; tuned via Config::slow_query_*.
+  const SlowQueryLog& slow_query_log() const { return slow_query_log_; }
+  /// JSON array of the current top-K, most expensive first.
+  std::string SlowQueryTopKJson() const {
+    return SlowQueryRecordsToJson(slow_query_log_.TopK());
+  }
+
   /// Resets everything observability-only — the statement log, the
   /// plan-cache hit/miss counters, the admission queue's wave log, the
   /// process-wide metrics registry and the tracer's finished spans —
@@ -270,6 +297,17 @@ class DbServer {
   /// the ring capacity.
   void AppendLogEntry(StatementLogEntry entry);
 
+  /// Post-execution telemetry shared by all three paths (serial, batch,
+  /// wave): observes the dimensioned statement histogram
+  /// "server.statement_sim_seconds"{site, stmt_class, engine} and feeds
+  /// the slow-query log.
+  void RecordStatementTelemetry(const std::string& sql,
+                                const ExecStats& stats, size_t result_rows,
+                                size_t response_bytes, double sim_seconds,
+                                double wall_seconds, double queue_wait_s,
+                                uint64_t wave_id, uint64_t batch_id,
+                                uint64_t client_id, bool plan_cache_hit);
+
   Config config_;
   Database db_;
   bool log_enabled_ = false;
@@ -281,6 +319,11 @@ class DbServer {
   std::mutex pool_mutex_;
   std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<AdmissionQueue> admission_;
+  SlowQueryLog slow_query_log_;
+  /// Per-(stmt_class × engine) cache of the labeled statement-histogram
+  /// pointers (site is fixed per server). Registry instruments are
+  /// never evicted, so a benign racing fill stores the same pointer.
+  std::array<std::atomic<obs::LogHistogram*>, 12> stmt_histograms_{};
 };
 
 }  // namespace pdm

@@ -1,0 +1,123 @@
+#ifndef PDM_SERVER_SLOW_QUERY_LOG_H_
+#define PDM_SERVER_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/exec_context.h"
+
+namespace pdm {
+
+/// One statement captured by the slow-query log: the SQL, its
+/// fingerprint, a plan summary and the per-term breakdown a DBA needs
+/// to attribute the cost (DESIGN.md 5k) — the paper's "find the slow
+/// statements first" workflow as a server feature.
+struct SlowQueryRecord {
+  std::string sql;
+  /// Normalized fingerprint key (empty when the statement was not
+  /// fingerprintable — DDL, lexical errors).
+  std::string fingerprint;
+  std::string stmt_class;  // expand/point/join/agg/dml/scan
+  std::string engine;      // "vec" when the batch tier did the heavy rows
+  std::string site;
+  /// One-line plan/work summary (scan/join/agg rows, cache outcome).
+  std::string plan_summary;
+  uint64_t wave_id = 0;
+  uint64_t batch_id = 0;
+  uint64_t client_id = 0;
+  bool plan_cache_hit = false;
+  /// True when this statement's result was satisfied by wave-level
+  /// read coalescing rather than its own execution.
+  bool coalesced = false;
+  size_t result_rows = 0;
+  size_t response_bytes = 0;
+  size_t rows_scanned = 0;
+  size_t cte_rows_scanned = 0;
+  size_t vec_rows_scanned = 0;
+  size_t join_probe_rows = 0;
+  size_t vec_join_probe_rows = 0;
+  size_t agg_input_rows = 0;
+  size_t vec_agg_input_rows = 0;
+  /// Per-term cost split: the simulated t_server charge (deterministic,
+  /// the ranking key), the wall seconds this machine spent, and the
+  /// admission-queue wait (0 for non-wave traffic).
+  double sim_server_seconds = 0;
+  double wall_seconds = 0;
+  double queue_wait_seconds = 0;
+};
+
+/// Statement-class label for the dimensioned metrics and the slow-query
+/// log: dml | expand | agg | join | point | scan, decided from the SQL
+/// shape plus the realized ExecStats (a recursive expand is "expand"
+/// even though it also joins and scans).
+std::string_view ClassifyStatementClass(std::string_view sql,
+                                        const ExecStats& stats);
+
+/// Engine label: "vec" when any vectorized row counter is non-zero,
+/// "row" otherwise.
+std::string_view EngineLabel(const ExecStats& stats);
+
+/// Thread-safe slow-statement store with two surfaces:
+///  * an over-threshold ring — every statement whose simulated OR wall
+///    cost exceeded the threshold, bounded (oldest dropped, counted);
+///  * an always-on top-K — the K most expensive statements by simulated
+///    server seconds (deterministic across runs), kept via a min-heap
+///    so the common fast path is one comparison against the cached
+///    heap minimum.
+/// Thresholds/capacities arrive per call (they live in
+/// DbServer::Config, which benches mutate after construction).
+class SlowQueryLog {
+ public:
+  struct Limits {
+    /// Ring qualification: record when sim OR wall seconds exceed this.
+    /// <= 0 disables the ring.
+    double threshold_seconds = 0;
+    size_t ring_capacity = 256;
+    /// Top-K size; 0 disables the top-K surface.
+    size_t top_k = 16;
+  };
+
+  /// Cheap pre-check callable before building a record: false means
+  /// Note() would certainly discard it (no lock taken).
+  bool MightRecord(const Limits& limits, double sim_seconds,
+                   double wall_seconds) const;
+
+  /// Records (or discards) one statement; returns the number of ring
+  /// entries evicted by this call, so the caller can keep a drop
+  /// counter in whatever registry it reports through.
+  size_t Note(const Limits& limits, SlowQueryRecord record);
+
+  /// Over-threshold ring, oldest first.
+  std::vector<SlowQueryRecord> OverThreshold() const;
+  /// Ring entries evicted since the last Clear().
+  size_t dropped() const;
+  /// The top-K records, most expensive (sim seconds) first.
+  std::vector<SlowQueryRecord> TopK() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<SlowQueryRecord> ring_;
+  size_t dropped_ = 0;
+  /// Min-heap on sim_server_seconds (heap_[0] is the cheapest kept).
+  std::vector<SlowQueryRecord> heap_;
+  /// Relaxed cache of heap_[0].sim_server_seconds once the heap is
+  /// full — the lock-free fast-path bound. Stored as the double's bit
+  /// pattern; kUnsetBound (never a valid positive double) means "heap
+  /// not full yet, take the lock".
+  std::atomic<uint64_t> heap_min_bits_{~uint64_t{0}};
+};
+
+/// JSON array of records (schema mirrors SlowQueryRecord; consumed by
+/// bench artifacts and CI).
+std::string SlowQueryRecordsToJson(const std::vector<SlowQueryRecord>& records);
+
+}  // namespace pdm
+
+#endif  // PDM_SERVER_SLOW_QUERY_LOG_H_

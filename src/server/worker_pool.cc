@@ -1,6 +1,35 @@
 #include "server/worker_pool.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace pdm {
+
+namespace {
+
+/// Pool utilization metrics (DESIGN.md 5k): items executed, busy
+/// microseconds across workers, and a live gauge of workers currently
+/// draining items (the calling thread counts as one).
+obs::Counter& PoolItemsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("pool.items");
+  return c;
+}
+
+obs::Counter& PoolBusyMicrosCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().counter("pool.busy_micros");
+  return c;
+}
+
+obs::Gauge& PoolActiveWorkersGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().gauge("pool.active_workers");
+  return g;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(size_t threads) : threads_(threads == 0 ? 1 : threads) {
   workers_.reserve(threads_ - 1);
@@ -19,11 +48,23 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::RunItems(size_t worker) {
+  PoolActiveWorkersGauge().Increment();
+  const auto start = std::chrono::steady_clock::now();
+  size_t ran = 0;
   while (true) {
     size_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
-    if (item >= n_items_) return;
+    if (item >= n_items_) break;
     (*task_)(item, worker);
+    ++ran;
   }
+  if (ran > 0) {
+    PoolItemsCounter().Add(ran);
+    PoolBusyMicrosCounter().Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  PoolActiveWorkersGauge().Decrement();
 }
 
 void WorkerPool::WorkerMain(size_t worker) {
@@ -46,7 +87,15 @@ void WorkerPool::WorkerMain(size_t worker) {
 void WorkerPool::ParallelFor(size_t n, const Task& fn) {
   if (n == 0) return;
   if (threads_ == 1 || n == 1) {
+    // Inline path still counts its work so pool.items reflects every
+    // item regardless of thread count.
+    const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < n; ++i) fn(i, 0);
+    PoolItemsCounter().Add(n);
+    PoolBusyMicrosCounter().Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
     return;
   }
   {

@@ -327,6 +327,25 @@ TEST_F(ObsTest, ResetObservabilityResetsEverySurface) {
     EXPECT_EQ(h.total_count, 0u) << h.name;
     EXPECT_DOUBLE_EQ(h.sum, 0.0) << h.name;
   }
+  for (const obs::LabeledCounterSnapshot& c :
+       obs::MetricsRegistry::Global().LabeledCounterSnapshots()) {
+    EXPECT_EQ(c.value, 0u) << c.name;
+  }
+  for (const obs::LogHistogramSnapshot& h :
+       obs::MetricsRegistry::Global().LogHistogramSnapshots()) {
+    EXPECT_EQ(h.total_count, 0u) << h.name;
+    EXPECT_DOUBLE_EQ(h.sum, 0.0) << h.name;
+  }
+  // Gauges track live state (queue depth, active workers), not a
+  // measurement window: with the system idle they must read zero too.
+  for (const obs::GaugeSnapshot& g :
+       obs::MetricsRegistry::Global().GaugeSnapshots()) {
+    EXPECT_EQ(g.value, 0) << g.name;
+  }
+  // The slow-query log is part of the server's measurement window.
+  EXPECT_TRUE(e.server().slow_query_log().OverThreshold().empty());
+  EXPECT_TRUE(e.server().slow_query_log().TopK().empty());
+  EXPECT_EQ(e.server().slow_query_log().dropped(), 0u);
   // WAN stats are per-connection (client-side) state with their own
   // reset; clearing them completes the fresh measurement window.
   e.connection().ResetStats();
@@ -345,15 +364,18 @@ TEST_F(ObsTest, WanExchangeHistogramSurvivesResetAll) {
   link.RecordRoundTrip(100, 512);  // binds and populates the histogram
   obs::MetricsRegistry::Global().ResetAll();
   link.RecordRoundTrip(100, 512);
-  std::vector<obs::HistogramSnapshot> hists =
-      obs::MetricsRegistry::Global().HistogramSnapshots();
+  std::vector<obs::LogHistogramSnapshot> hists =
+      obs::MetricsRegistry::Global().LogHistogramSnapshots();
   auto it = std::find_if(hists.begin(), hists.end(),
-                         [](const obs::HistogramSnapshot& h) {
-                           return h.name == "wan.exchange_sim_seconds";
+                         [](const obs::LogHistogramSnapshot& h) {
+                           return h.name == "wan.exchange_sim_seconds" &&
+                                  h.labels ==
+                                      obs::LabelSet{{"site", "local"}};
                          });
   ASSERT_NE(it, hists.end());
   // Exactly the one post-reset exchange: the pre-reset count is gone and
-  // the post-reset observation was not lost.
+  // the post-reset observation was not lost — ResetAll zeroes instruments
+  // in place, so the WanLink's cached pointer stays valid.
   EXPECT_EQ(it->total_count, 1u);
 }
 

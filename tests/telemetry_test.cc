@@ -1,0 +1,479 @@
+// Tests for the quantile-accurate telemetry layer (DESIGN.md 5k): the
+// HDR-style LogHistogram's documented error bound against exact
+// nearest-rank quantiles, the double-accumulated Histogram sum (the
+// int64-nanounit overflow regression), labeled metric families and the
+// cardinality guard, the slow-query log's ring bound and top-K
+// exactness, DbServer's end-to-end slow-query capture, the snapshot
+// JSON round trip, and an 8-thread TSan canary on shared labeled
+// histograms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/experiment.h"
+#include "common/string_util.h"
+#include "exec/exec_context.h"
+#include "obs/log_histogram.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "server/db_server.h"
+#include "server/slow_query_log.h"
+
+namespace pdm {
+namespace {
+
+using client::Experiment;
+using client::ExperimentConfig;
+using model::ActionKind;
+using model::StrategyKind;
+
+/// Exact nearest-rank quantile of a sorted sample: the value of element
+/// ceil(q * n) (1-based) — the definition LogHistogram::Quantile
+/// documents, evaluated without bucketing.
+double ExactQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+/// Asserts Quantile(q) stays within the documented relative error of
+/// the exact nearest-rank answer for every probed quantile.
+void CheckQuantiles(const obs::LogHistogram& hist,
+                    std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = hist.Quantile(q);
+    // The bound is relative for values >= 1 ns; allow half a nanosecond
+    // of absolute slack for the sub-nanosecond linear region.
+    const double tolerance =
+        obs::LogHistogram::kMaxRelativeError * exact + 0.5e-9;
+    EXPECT_NEAR(approx, exact, tolerance) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, QuantileAccuracyUniform) {
+  std::mt19937 rng(20260808);
+  std::uniform_real_distribution<double> dist(1e-6, 1.0);
+  obs::LogHistogram hist;
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    double v = dist(rng);
+    values.push_back(v);
+    hist.Observe(v);
+  }
+  EXPECT_EQ(hist.total_count(), 20000u);
+  CheckQuantiles(hist, values);
+}
+
+TEST(LogHistogramTest, QuantileAccuracyExponential) {
+  // Latency-shaped: exponential with a 10 ms mean spans ~5 decades.
+  std::mt19937 rng(7);
+  std::exponential_distribution<double> dist(100.0);
+  obs::LogHistogram hist;
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    double v = dist(rng);
+    values.push_back(v);
+    hist.Observe(v);
+  }
+  CheckQuantiles(hist, values);
+}
+
+TEST(LogHistogramTest, QuantileAccuracyAdversarialBucketEdges) {
+  // Powers of two in nanoseconds sit exactly on octave boundaries — the
+  // worst case for a log-linear binning scheme's rounding.
+  obs::LogHistogram hist;
+  std::vector<double> values;
+  for (int k = 0; k <= 40; ++k) {
+    const double v = static_cast<double>(uint64_t{1} << k) * 1e-9;
+    for (int rep = 0; rep < 25; ++rep) {
+      values.push_back(v);
+      hist.Observe(v);
+    }
+  }
+  CheckQuantiles(hist, values);
+}
+
+TEST(LogHistogramTest, ExtremesClampWithoutLosingCounts) {
+  obs::LogHistogram hist;
+  hist.Observe(-1.0);    // clamps to 0
+  hist.Observe(0.0);
+  hist.Observe(1e9);     // ~31 years: clamps into the final bucket
+  EXPECT_EQ(hist.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  // min/max clamp to the trackable ceiling (~73 min) like the buckets;
+  // the sum keeps the true magnitude.
+  EXPECT_GT(hist.max(), 4000.0);
+  EXPECT_LT(hist.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), 1e9);
+  EXPECT_GT(hist.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogramTest, MergeAddsCountsAndMinMax) {
+  obs::LogHistogram a;
+  obs::LogHistogram b;
+  a.Observe(0.001);
+  b.Observe(0.1);
+  b.Observe(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.001);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_NEAR(a.sum(), 10.101, 1e-9);
+}
+
+// Regression: the fixed-bucket histogram used to accumulate its sum in
+// int64 nanounits, which overflowed past ~9.2e9 units and turned byte
+// totals negative. The double-bits CAS accumulator must reproduce large
+// sums exactly (single-threaded adds are deterministic).
+TEST(HistogramTest, LargeValueSumDoesNotOverflow) {
+  obs::Histogram hist({1.0, 1e6, 1e12});
+  hist.Observe(2e10);
+  hist.Observe(2e10);
+  hist.Observe(1e15);
+  EXPECT_DOUBLE_EQ(hist.sum(), 2e10 + 2e10 + 1e15);
+  EXPECT_EQ(hist.total_count(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelCardinalityGuardBoundsFamilies) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  // A family name unique to this test: the registry is process-global
+  // and admitted label sets are never evicted.
+  const std::string family = "test.cardinality_guard_counters";
+  for (int i = 0; i < 200; ++i) {
+    reg.counter(family, {{"id", StrFormat("%d", i)}}).Increment();
+  }
+  size_t admitted = 0;
+  uint64_t overflow_value = 0;
+  bool saw_overflow = false;
+  for (const obs::LabeledCounterSnapshot& c : reg.LabeledCounterSnapshots()) {
+    if (c.name != family) continue;
+    if (c.labels == obs::LabelSet{{"overflow", "true"}}) {
+      saw_overflow = true;
+      overflow_value = c.value;
+    } else {
+      ++admitted;
+      EXPECT_EQ(c.value, 1u) << "admitted instrument double-counted";
+    }
+  }
+  EXPECT_EQ(admitted, obs::MetricsRegistry::kMaxLabelSetsPerFamily);
+  ASSERT_TRUE(saw_overflow);
+  // Every rejected lookup lands on the shared overflow instrument.
+  EXPECT_EQ(overflow_value,
+            200u - obs::MetricsRegistry::kMaxLabelSetsPerFamily);
+  uint64_t dropped = 0;
+  for (const obs::CounterSnapshot& c : reg.CounterSnapshots()) {
+    if (c.name == "obs.label_sets_dropped") dropped = c.value;
+  }
+  EXPECT_GE(dropped, 200u - obs::MetricsRegistry::kMaxLabelSetsPerFamily);
+}
+
+TEST(MetricsRegistryTest, LogHistogramFamilyGuardSharesOverflow) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const std::string family = "test.cardinality_guard_hist";
+  for (int i = 0; i < 100; ++i) {
+    reg.log_histogram(family, {{"id", StrFormat("%d", i)}}).Observe(0.001);
+  }
+  size_t admitted = 0;
+  uint64_t overflow_count = 0;
+  for (const obs::LogHistogramSnapshot& h : reg.LogHistogramSnapshots()) {
+    if (h.name != family) continue;
+    if (h.labels == obs::LabelSet{{"overflow", "true"}}) {
+      overflow_count = h.total_count;
+    } else {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, obs::MetricsRegistry::kMaxLabelSetsPerFamily);
+  EXPECT_EQ(overflow_count,
+            100u - obs::MetricsRegistry::kMaxLabelSetsPerFamily);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsCanonicalized) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Counter& a =
+      reg.counter("test.label_order", {{"x", "1"}, {"y", "2"}});
+  obs::Counter& b =
+      reg.counter("test.label_order", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, GaugeTracksUpAndDown) {
+  obs::Gauge& g = obs::MetricsRegistry::Global().gauge("test.gauge");
+  g.Reset();
+  g.Increment();
+  g.Add(4);
+  g.Decrement();
+  EXPECT_EQ(g.value(), 4);
+  g.Sub(10);
+  EXPECT_EQ(g.value(), -6);
+  g.Set(42);
+  EXPECT_EQ(g.value(), 42);
+}
+
+SlowQueryRecord MakeRecord(double sim, double wall = 0) {
+  SlowQueryRecord r;
+  r.sql = StrFormat("SELECT %f", sim);
+  r.sim_server_seconds = sim;
+  r.wall_seconds = wall;
+  return r;
+}
+
+TEST(SlowQueryLogTest, RingIsBoundedAndCountsDrops) {
+  SlowQueryLog log;
+  SlowQueryLog::Limits limits{/*threshold_seconds=*/0.001,
+                              /*ring_capacity=*/4, /*top_k=*/3};
+  size_t evicted = 0;
+  for (int i = 1; i <= 10; ++i) {
+    SlowQueryRecord r = MakeRecord(0.01 * i);
+    ASSERT_TRUE(log.MightRecord(limits, r.sim_server_seconds, 0));
+    evicted += log.Note(limits, std::move(r));
+  }
+  std::vector<SlowQueryRecord> ring = log.OverThreshold();
+  ASSERT_EQ(ring.size(), 4u);  // oldest evicted, newest kept
+  EXPECT_DOUBLE_EQ(ring.front().sim_server_seconds, 0.07);
+  EXPECT_DOUBLE_EQ(ring.back().sim_server_seconds, 0.10);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(evicted, 6u);
+}
+
+TEST(SlowQueryLogTest, TopKIsExactAndSorted) {
+  SlowQueryLog log;
+  SlowQueryLog::Limits limits{/*threshold_seconds=*/0,
+                              /*ring_capacity=*/4, /*top_k=*/3};
+  // Interleaved order so the heap actually churns.
+  for (double sim : {0.05, 0.01, 0.09, 0.03, 0.07, 0.02, 0.08}) {
+    log.Note(limits, MakeRecord(sim));
+  }
+  std::vector<SlowQueryRecord> top = log.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_DOUBLE_EQ(top[0].sim_server_seconds, 0.09);
+  EXPECT_DOUBLE_EQ(top[1].sim_server_seconds, 0.08);
+  EXPECT_DOUBLE_EQ(top[2].sim_server_seconds, 0.07);
+  // Threshold disabled: nothing goes to the ring.
+  EXPECT_TRUE(log.OverThreshold().empty());
+  // The fast path rejects anything at or below the kept minimum once
+  // the heap is full...
+  EXPECT_FALSE(log.MightRecord(limits, 0.06, 0));
+  EXPECT_FALSE(log.MightRecord(limits, 0.07, 0));
+  // ...and admits anything more expensive.
+  EXPECT_TRUE(log.MightRecord(limits, 0.071, 0));
+  log.Clear();
+  EXPECT_TRUE(log.TopK().empty());
+  EXPECT_TRUE(log.MightRecord(limits, 1e-9, 0));  // heap empty again
+}
+
+TEST(SlowQueryLogTest, WallTimeAloneCanCrossThreshold) {
+  SlowQueryLog log;
+  SlowQueryLog::Limits limits{/*threshold_seconds=*/0.5,
+                              /*ring_capacity=*/8, /*top_k=*/0};
+  // Simulated cost is tiny but the wall clock stalled (lock wait, page
+  // fault storm): the statement still belongs in the slow log.
+  log.Note(limits, MakeRecord(1e-6, /*wall=*/2.0));
+  ASSERT_EQ(log.OverThreshold().size(), 1u);
+  EXPECT_FALSE(log.MightRecord(limits, 0.1, 0.1));
+}
+
+TEST(SlowQueryClassifyTest, ClassificationFollowsPrecedence) {
+  ExecStats stats;
+  EXPECT_EQ(ClassifyStatementClass("INSERT INTO t VALUES (1)", stats), "dml");
+  EXPECT_EQ(ClassifyStatementClass("  update t set a = 1", stats), "dml");
+  EXPECT_EQ(ClassifyStatementClass("DELETE FROM t", stats), "dml");
+  EXPECT_EQ(ClassifyStatementClass(
+                "WITH RECURSIVE r AS (SELECT 1) SELECT * FROM r", stats),
+            "expand");
+  EXPECT_EQ(ClassifyStatementClass(
+                "SELECT * FROM link WHERE link.left = 'x'", stats),
+            "expand");
+  stats.cte_rows_scanned = 5;
+  EXPECT_EQ(ClassifyStatementClass("SELECT 1", stats), "expand");
+  stats = ExecStats{};
+  stats.agg_input_rows = 10;
+  EXPECT_EQ(ClassifyStatementClass("SELECT count(*) FROM t", stats), "agg");
+  stats = ExecStats{};
+  stats.join_probe_rows = 10;
+  EXPECT_EQ(ClassifyStatementClass("SELECT ...", stats), "join");
+  stats = ExecStats{};
+  stats.index_scans = 1;
+  EXPECT_EQ(ClassifyStatementClass("SELECT ...", stats), "point");
+  stats = ExecStats{};
+  EXPECT_EQ(ClassifyStatementClass("SELECT * FROM t", stats), "scan");
+
+  EXPECT_EQ(EngineLabel(stats), "row");
+  stats.vec_rows_scanned = 1;
+  EXPECT_EQ(EngineLabel(stats), "vec");
+}
+
+TEST(DbServerTest, CapturesSlowQueriesWithBreakdown) {
+  obs::MetricsRegistry::Global().ResetAll();
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 3;
+  config.generator.sigma = 1.0;
+  Result<std::unique_ptr<Experiment>> experiment =
+      Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  Experiment& e = **experiment;
+  // Record everything: any positive simulated or wall cost qualifies.
+  e.server().mutable_config().slow_query_threshold = 1e-12;
+
+  ASSERT_TRUE(e.RunAction(StrategyKind::kNavigationalLate,
+                          ActionKind::kMultiLevelExpand)
+                  .ok());
+
+  std::vector<SlowQueryRecord> top = e.server().slow_query_log().TopK();
+  ASSERT_FALSE(top.empty());
+  const SlowQueryRecord& worst = top.front();
+  EXPECT_FALSE(worst.sql.empty());
+  EXPECT_FALSE(worst.fingerprint.empty());
+  EXPECT_EQ(worst.site, "local");
+  EXPECT_TRUE(worst.stmt_class == "expand" || worst.stmt_class == "scan" ||
+              worst.stmt_class == "point")
+      << worst.stmt_class;
+  EXPECT_GT(worst.sim_server_seconds, 0.0);
+  EXPECT_GE(worst.wall_seconds, 0.0);
+  // The per-term breakdown made it into the record and its summary.
+  EXPECT_NE(worst.plan_summary.find("scan="), std::string::npos);
+  EXPECT_FALSE(e.server().slow_query_log().OverThreshold().empty());
+
+  std::string json = e.server().SlowQueryTopKJson();
+  EXPECT_NE(json.find("\"sim_server_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"stmt_class\""), std::string::npos);
+
+  // The labeled statement histogram saw the same traffic.
+  bool saw_stmt_family = false;
+  for (const obs::LogHistogramSnapshot& h :
+       obs::MetricsRegistry::Global().LogHistogramSnapshots()) {
+    if (h.name == "server.statement_sim_seconds" && h.total_count > 0) {
+      saw_stmt_family = true;
+      obs::LabelSet expected_site{{"site", "local"}};
+      bool has_site = false;
+      for (const auto& [key, value] : h.labels) {
+        if (key == "site") has_site = value == "local";
+      }
+      EXPECT_TRUE(has_site) << h.name;
+    }
+  }
+  EXPECT_TRUE(saw_stmt_family);
+
+  // ResetObservability starts a fresh window.
+  e.server().ResetObservability();
+  EXPECT_TRUE(e.server().slow_query_log().TopK().empty());
+}
+
+TEST(SnapshotTest, JsonRoundTripPreservesEveryInstrument) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetAll();
+  reg.counter("test.rt_counter").Add(7);
+  reg.counter("test.rt_labeled", {{"site", "hq"}}).Add(3);
+  reg.gauge("test.rt_gauge").Set(-5);
+  reg.histogram("test.rt_hist", {1.0, 2.0}).Observe(1.5);
+  reg.log_histogram("test.rt_log").Observe(0.25);
+  reg.log_histogram("test.rt_log_labeled", {{"site", "hq"}, {"e", "vec"}})
+      .Observe(0.125);
+
+  obs::MetricsSnapshot snapshot =
+      obs::CaptureMetricsSnapshot("round-trip-test");
+  std::string json = obs::SnapshotToJson(snapshot);
+  Result<obs::MetricsSnapshot> parsed = obs::ParseSnapshotJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ(parsed->version, obs::MetricsSnapshot::kVersion);
+  EXPECT_EQ(parsed->label, "round-trip-test");
+  ASSERT_EQ(parsed->counters.size(), snapshot.counters.size());
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    EXPECT_EQ(parsed->counters[i].name, snapshot.counters[i].name);
+    EXPECT_EQ(parsed->counters[i].value, snapshot.counters[i].value);
+  }
+  ASSERT_EQ(parsed->gauges.size(), snapshot.gauges.size());
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    EXPECT_EQ(parsed->gauges[i].value, snapshot.gauges[i].value);
+  }
+  ASSERT_EQ(parsed->labeled_counters.size(),
+            snapshot.labeled_counters.size());
+  ASSERT_EQ(parsed->histograms.size(), snapshot.histograms.size());
+  ASSERT_EQ(parsed->log_histograms.size(), snapshot.log_histograms.size());
+  for (size_t i = 0; i < snapshot.log_histograms.size(); ++i) {
+    const obs::LogHistogramSnapshot& a = snapshot.log_histograms[i];
+    const obs::LogHistogramSnapshot& b = parsed->log_histograms[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.total_count, b.total_count);
+    EXPECT_DOUBLE_EQ(a.p50, b.p50);
+    EXPECT_DOUBLE_EQ(a.p999, b.p999);
+  }
+
+  // Prometheus text: dots become underscores, labels render, quantile
+  // summaries appear for log histograms.
+  std::string prom = obs::SnapshotToPrometheusText(snapshot);
+  EXPECT_NE(prom.find("test_rt_counter 7"), std::string::npos);
+  EXPECT_NE(prom.find("site=\"hq\""), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos);
+
+  // Malformed input and future versions are rejected, not misparsed.
+  EXPECT_FALSE(obs::ParseSnapshotJson("{not json").ok());
+  EXPECT_FALSE(obs::ParseSnapshotJson("{\"version\": 999}").ok());
+}
+
+// TSan canary: 8 writers share four labeled histograms (the realistic
+// site x engine shape) while 2 readers take quantile snapshots. Run
+// under PDM_THREAD_SANITIZE to verify the relaxed-atomic contract.
+TEST(TelemetryConcurrencyTest, LabeledHistogramsConcurrentObserve) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::vector<obs::LogHistogram*> hists;
+  for (const char* site : {"a", "b"}) {
+    for (const char* engine : {"row", "vec"}) {
+      hists.push_back(&reg.log_histogram(
+          "test.concurrent_stmt", {{"site", site}, {"engine", engine}}));
+      hists.back()->Reset();
+    }
+  }
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&hists, w] {
+      std::mt19937 rng(1000 + w);
+      std::exponential_distribution<double> dist(1000.0);
+      for (int i = 0; i < kPerWriter; ++i) {
+        hists[static_cast<size_t>(i + w) % hists.size()]->Observe(dist(rng));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&hists, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (obs::LogHistogram* h : hists) {
+          double p99 = h->Quantile(0.99);
+          EXPECT_GE(p99, 0.0);
+          (void)h->sum();
+          (void)h->total_count();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  uint64_t total = 0;
+  for (obs::LogHistogram* h : hists) total += h->total_count();
+  EXPECT_EQ(total, static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+}  // namespace
+}  // namespace pdm

@@ -1,0 +1,169 @@
+// metrics_diff: compares two metrics JSON snapshots (obs/snapshot.h)
+// and fails on quantile regressions beyond a threshold.
+//
+//   metrics_diff BASELINE.json CURRENT.json [--threshold PCT]
+//                [--gate-counter NAME ...]
+//
+// Compared surfaces:
+//  * log-histogram families present in BOTH snapshots: p50/p99/p999
+//    must not grow by more than PCT percent (default 10). Instruments
+//    with fewer than kMinCount observations on either side are skipped
+//    (quantiles of a handful of samples are noise, not signal).
+//  * counters named by --gate-counter (repeatable): any increase fails
+//    — meant for drop/error counters that must stay where they were.
+//
+// Exit codes: 0 = no regressions, 1 = regression found, 2 = usage or
+// parse error. CI runs a self-diff (same file twice) as a smoke test:
+// by construction it must exit 0 with zero regressions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/snapshot.h"
+
+namespace {
+
+constexpr uint64_t kMinCount = 16;
+
+struct Options {
+  std::string baseline_path;
+  std::string current_path;
+  double threshold_pct = 10.0;
+  std::vector<std::string> gate_counters;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--threshold PCT] "
+               "[--gate-counter NAME ...]\n",
+               argv0);
+  return 2;
+}
+
+/// "family{k=v,k=v}" — the identity a quantile series is matched by.
+std::string SeriesKey(const pdm::obs::LogHistogramSnapshot& h) {
+  std::string key = h.name;
+  key += '{';
+  for (size_t i = 0; i < h.labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += h.labels[i].first;
+    key += '=';
+    key += h.labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+double PctChange(double base, double cur) {
+  if (base <= 0) return cur > 0 ? 100.0 : 0.0;
+  return (cur - base) / base * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      opts.threshold_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--gate-counter") == 0 && i + 1 < argc) {
+      opts.gate_counters.emplace_back(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return Usage(argv[0]);
+  opts.baseline_path = positional[0];
+  opts.current_path = positional[1];
+
+  pdm::Result<pdm::obs::MetricsSnapshot> baseline =
+      pdm::obs::ReadSnapshotJsonFile(opts.baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "metrics_diff: %s: %s\n", opts.baseline_path.c_str(),
+                 baseline.status().message().c_str());
+    return 2;
+  }
+  pdm::Result<pdm::obs::MetricsSnapshot> current =
+      pdm::obs::ReadSnapshotJsonFile(opts.current_path);
+  if (!current.ok()) {
+    std::fprintf(stderr, "metrics_diff: %s: %s\n", opts.current_path.c_str(),
+                 current.status().message().c_str());
+    return 2;
+  }
+
+  std::map<std::string, const pdm::obs::LogHistogramSnapshot*> base_series;
+  for (const pdm::obs::LogHistogramSnapshot& h : baseline->log_histograms) {
+    base_series[SeriesKey(h)] = &h;
+  }
+
+  size_t compared = 0;
+  size_t regressions = 0;
+  std::printf("%-64s %8s %12s %12s %8s\n", "series", "quantile", "baseline",
+              "current", "change");
+  for (const pdm::obs::LogHistogramSnapshot& cur : current->log_histograms) {
+    const std::string key = SeriesKey(cur);
+    auto it = base_series.find(key);
+    if (it == base_series.end()) continue;  // new series: informational only
+    const pdm::obs::LogHistogramSnapshot& base = *it->second;
+    if (base.total_count < kMinCount || cur.total_count < kMinCount) continue;
+    struct Q {
+      const char* name;
+      double base;
+      double cur;
+    } quantiles[] = {{"p50", base.p50, cur.p50},
+                     {"p99", base.p99, cur.p99},
+                     {"p999", base.p999, cur.p999}};
+    for (const Q& q : quantiles) {
+      ++compared;
+      const double change = PctChange(q.base, q.cur);
+      const bool regressed = change > opts.threshold_pct;
+      if (regressed) ++regressions;
+      std::printf("%-64s %8s %12.6f %12.6f %+7.1f%%%s\n", key.c_str(), q.name,
+                  q.base, q.cur, change, regressed ? "  REGRESSION" : "");
+    }
+  }
+
+  std::map<std::string, uint64_t> base_counters;
+  for (const pdm::obs::CounterSnapshot& c : baseline->counters) {
+    base_counters[c.name] = c.value;
+  }
+  for (const std::string& gate : opts.gate_counters) {
+    uint64_t base_value = 0;
+    auto it = base_counters.find(gate);
+    if (it != base_counters.end()) base_value = it->second;
+    uint64_t cur_value = 0;
+    bool found = false;
+    for (const pdm::obs::CounterSnapshot& c : current->counters) {
+      if (c.name == gate) {
+        cur_value = c.value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "metrics_diff: gated counter '%s' missing from %s\n",
+                   gate.c_str(), opts.current_path.c_str());
+      return 2;
+    }
+    ++compared;
+    const bool regressed = cur_value > base_value;
+    if (regressed) ++regressions;
+    std::printf("%-64s %8s %12llu %12llu %8s%s\n", gate.c_str(), "count",
+                static_cast<unsigned long long>(base_value),
+                static_cast<unsigned long long>(cur_value),
+                cur_value > base_value ? "+" : "=",
+                regressed ? "  REGRESSION" : "");
+  }
+
+  std::printf("\n%zu comparisons, %zu regressions (threshold %+.1f%%)\n",
+              compared, regressions, opts.threshold_pct);
+  return regressions == 0 ? 0 : 1;
+}
