@@ -1,0 +1,271 @@
+// Extension table (DESIGN.md 5l): the worldwide multi-site topology —
+// three remote sites, each with a local read replica fed by an
+// asynchronous replication stream over the site's own WAN link, driven
+// by a deterministic open-loop arrival generator (Poisson-like
+// interarrivals, ~1000 simulated clients per site, reads local,
+// writes through to the primary).
+//
+// Reports, per site: arrivals (read/write split), action-latency
+// p50/p99, queue-wait p50/p99, utilization of the c simulated servers,
+// replication shipments and lag (mean/max), and the worst relative gap
+// between a non-queued shipment's simulated lag and the closed form
+// model::ReplicaStalenessSeconds.
+//
+// Fails non-zero if
+//   * the arrival schedules or the replica states differ across
+//     batch_threads (the open-loop generator must be a pure function of
+//     the seed — never of thread count or interleaving),
+//   * any replica diverges from the quiesced primary (expand tree or
+//     full replicated-table contents, byte-compared),
+//   * any site's reported max replication lag exceeds the bound,
+//   * the closed-form staleness term misses a non-queued shipment's
+//     simulated lag by more than the reconciliation gate (1%).
+//
+// --metrics PATH additionally writes the versioned metrics JSON
+// snapshot with the per-site histogram families
+// ("openloop.action_seconds"{site}, "openloop.queue_wait_seconds"{site},
+// "replication.lag_seconds"{site}) for the CI artifact + metrics_diff
+// presence gate.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/multisite.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace pdm::bench {
+namespace {
+
+/// Reconciliation gate on the staleness closed form, in percent.
+constexpr double kStalenessGatePct = 1.0;
+
+/// Hard bound on any site's reported max replication lag, in simulated
+/// seconds. The slowest configured link (ISDN-grade, 64 kbit/s,
+/// 0.4 s one-way latency) ships a one-statement batch in well under
+/// 1.5 s; channel queueing can stack a few shipments. 10 s of staleness
+/// is the "bounded" claim of the acceptance gate with generous margin —
+/// a replication stall or runaway payload blows straight past it.
+constexpr double kMaxLagBoundS = 10.0;
+
+client::MultiSiteOptions MakeOptions(size_t batch_threads) {
+  const model::TreeParams tree{3, 8, 0.6};
+  const model::NetworkParams net;
+  client::ExperimentConfig base = MakeExperimentConfig(tree, net);
+
+  client::MultiSiteOptions options;
+  options.generator = base.generator;
+  options.primary_wan = base.wan;
+  options.seed = 42;
+  options.batch_threads = batch_threads;
+
+  // Three sites on the paper's WAN grid corners: a well-connected
+  // continental site, a far overseas site on a thin line, and a nearby
+  // site on a mid-grade link. LANs are uniform campus links.
+  client::SiteSpec emea;
+  emea.name = "emea";
+  emea.wan.latency_s = 0.15;
+  emea.wan.dtr_kbit = 256;
+  client::SiteSpec apac;
+  apac.name = "apac";
+  apac.wan.latency_s = 0.4;
+  apac.wan.dtr_kbit = 64;
+  client::SiteSpec amer;
+  amer.name = "amer";
+  amer.wan.latency_s = 0.05;
+  amer.wan.dtr_kbit = 1024;
+  for (client::SiteSpec* site : {&emea, &apac, &amer}) {
+    site->lan.latency_s = 0.001;
+    site->lan.dtr_kbit = 10 * 1024;
+    // Stable open-loop operating point: write service at the slowest
+    // site is ~0.9 s, so the per-site write arrival rate (rate *
+    // write_fraction = 0.6/s) keeps c=1 utilization well below 1 and
+    // the queue from growing without bound.
+    site->clients = 1000;
+    site->arrival_rate_hz = 12;
+    site->arrivals = 150;
+    site->write_fraction = 0.05;
+  }
+  options.sites = {emea, apac, amer};
+  return options;
+}
+
+struct RunOutcome {
+  client::MultiSiteResult result;
+  /// Replica expand trees after quiesce, per site — the cross-thread
+  /// determinism fingerprint.
+  std::vector<std::string> replica_trees;
+};
+
+Result<RunOutcome> RunDeployment(const client::MultiSiteOptions& options) {
+  PDM_ASSIGN_OR_RETURN(std::unique_ptr<client::MultiSiteDeployment> deployment,
+                       client::MultiSiteDeployment::Create(options));
+  RunOutcome outcome;
+  PDM_ASSIGN_OR_RETURN(outcome.result, deployment->RunOpenLoop());
+  PDM_RETURN_NOT_OK(deployment->VerifyReplicaConsistency());
+  for (size_t s = 0; s < deployment->num_sites(); ++s) {
+    PDM_ASSIGN_OR_RETURN(
+        client::ActionResult expand,
+        deployment->primary().MakeStrategyOn(
+            &deployment->read_connection(s), options.read_strategy)
+            ->MultiLevelExpand(deployment->primary().product().root_obid));
+    outcome.replica_trees.push_back(expand.tree.ToString(1 << 20));
+  }
+  return outcome;
+}
+
+int Run(const std::string& metrics_path) {
+  PrintBanner("Multi-site extension: replicated sites, open-loop arrivals");
+
+  // Determinism gate across thread counts: the schedules are generated
+  // up front and must be byte-for-byte identical functions of the seed.
+  const client::MultiSiteOptions options1 = MakeOptions(1);
+  const client::MultiSiteOptions options4 = MakeOptions(4);
+  int failures = 0;
+  for (size_t s = 0; s < options1.sites.size(); ++s) {
+    const std::vector<client::ArrivalEvent> a =
+        client::GenerateArrivalSchedule(options1.sites[s], s, options1.seed);
+    const std::vector<client::ArrivalEvent> b =
+        client::GenerateArrivalSchedule(options4.sites[s], s, options4.seed);
+    bool identical = a.size() == b.size();
+    for (size_t i = 0; identical && i < a.size(); ++i) {
+      identical = a[i].arrival_s == b[i].arrival_s &&
+                  a[i].client_id == b[i].client_id &&
+                  a[i].is_write == b[i].is_write;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: site %zu arrival schedule differs across "
+                   "batch_threads\n",
+                   s);
+      ++failures;
+    }
+  }
+
+  Result<RunOutcome> run1 = RunDeployment(options1);
+  if (!run1.ok()) {
+    std::fprintf(stderr, "FAIL: batch_threads=1 run: %s\n",
+                 run1.status().ToString().c_str());
+    return 1;
+  }
+  Result<RunOutcome> run4 = RunDeployment(options4);
+  if (!run4.ok()) {
+    std::fprintf(stderr, "FAIL: batch_threads=4 run: %s\n",
+                 run4.status().ToString().c_str());
+    return 1;
+  }
+
+  // Replica end states must be identical across thread counts: same
+  // commit clock, same expand trees. (Queue waits and lag legitimately
+  // differ — c changes — but the data may not.)
+  if (run1->result.primary_commit_ts != run4->result.primary_commit_ts) {
+    std::fprintf(stderr,
+                 "FAIL: primary commit clock differs across batch_threads "
+                 "(%llu vs %llu)\n",
+                 static_cast<unsigned long long>(
+                     run1->result.primary_commit_ts),
+                 static_cast<unsigned long long>(
+                     run4->result.primary_commit_ts));
+    ++failures;
+  }
+  for (size_t s = 0; s < run1->replica_trees.size(); ++s) {
+    if (run1->replica_trees[s] != run4->replica_trees[s]) {
+      std::fprintf(stderr,
+                   "FAIL: site %zu replica tree differs across "
+                   "batch_threads\n",
+                   s);
+      ++failures;
+    }
+  }
+
+  const client::MultiSiteResult& result = run1->result;
+  std::printf(
+      "%-6s %5s %5s %4s | %8s %8s | %8s %8s | %5s | %5s %6s %8s %8s %5s | "
+      "%8s\n",
+      "site", "arrv", "reads", "wr", "p50(s)", "p99(s)", "qw50(s)",
+      "qw99(s)", "util", "ships", "stmts", "lag_m(s)", "lag_x(s)", "qud",
+      "model%");
+  for (const client::SiteReport& site : result.sites) {
+    std::printf(
+        "%-6s %5zu %5zu %4zu | %8.3f %8.3f | %8.3f %8.3f | %4.0f%% | %5zu "
+        "%6zu %8.3f %8.3f %5zu | %7.3f%%\n",
+        site.name.c_str(), site.arrivals, site.reads, site.writes,
+        site.p50_latency_s, site.p99_latency_s, site.p50_queue_wait_s,
+        site.p99_queue_wait_s, 100.0 * site.utilization, site.shipments,
+        site.shipped_statements, site.mean_lag_s, site.max_lag_s,
+        site.queued_shipments, site.staleness_model_err_pct);
+  }
+  std::printf(
+      "\n(total arrivals %zu; primary commit clock %llu; p50/p99 = open-loop "
+      "action latency,\nqw = queue wait on c=%zu simulated servers; model%% = "
+      "worst closed-form staleness gap\nover non-queued shipments, gate "
+      "%.1f%%; lag bound %.1f s)\n",
+      result.total_arrivals,
+      static_cast<unsigned long long>(result.primary_commit_ts),
+      options1.batch_threads, kStalenessGatePct, kMaxLagBoundS);
+
+  for (const client::SiteReport& site : result.sites) {
+    if (site.applied_commit_ts != result.primary_commit_ts) {
+      std::fprintf(stderr, "FAIL: site %s not caught up (%llu vs %llu)\n",
+                   site.name.c_str(),
+                   static_cast<unsigned long long>(site.applied_commit_ts),
+                   static_cast<unsigned long long>(result.primary_commit_ts));
+      ++failures;
+    }
+    if (site.writes > 0 && site.shipped_statements == 0) {
+      std::fprintf(stderr, "FAIL: site %s shipped no statements despite "
+                   "%zu writes\n",
+                   site.name.c_str(), site.writes);
+      ++failures;
+    }
+    if (site.max_lag_s > kMaxLagBoundS) {
+      std::fprintf(stderr,
+                   "FAIL: site %s max replication lag %.3f s exceeds the "
+                   "%.1f s bound\n",
+                   site.name.c_str(), site.max_lag_s, kMaxLagBoundS);
+      ++failures;
+    }
+    if (site.staleness_model_err_pct > kStalenessGatePct) {
+      std::fprintf(stderr,
+                   "FAIL: site %s staleness closed form off by %.3f%% "
+                   "(gate %.1f%%)\n",
+                   site.name.c_str(), site.staleness_model_err_pct,
+                   kStalenessGatePct);
+      ++failures;
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    obs::MetricsSnapshot snapshot =
+        obs::CaptureMetricsSnapshot("table_multisite");
+    Status written = obs::WriteSnapshotJsonFile(metrics_path, snapshot);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics export: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s (%zu log histograms)\n",
+                metrics_path.c_str(), snapshot.log_histograms.size());
+  }
+
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pdm::bench
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return pdm::bench::Run(metrics_path);
+}

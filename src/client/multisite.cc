@@ -1,0 +1,405 @@
+#include "client/multisite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "pdm/pdm_schema.h"
+#include "rules/procedures.h"
+
+namespace pdm::client {
+
+namespace {
+
+/// Exact empirical quantile: the ceil(q*n)-th smallest of `sorted`.
+double QuantileOf(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+model::NetworkParams NetParamsOf(const net::WanConfig& wan) {
+  model::NetworkParams net;
+  net.latency_s = wan.latency_s;
+  net.dtr_kbit = wan.dtr_kbit;
+  net.packet_bytes = static_cast<double>(wan.packet_bytes);
+  return net;
+}
+
+/// Full-content fingerprint of one replicated table, ordered so two
+/// byte-identical databases render byte-identical strings. Includes
+/// every column — in particular the checkedout flags the expand
+/// queries never read.
+Result<std::string> TableFingerprint(Database& db, const std::string& table) {
+  PDM_ASSIGN_OR_RETURN(
+      ResultSet rows,
+      db.Query(StrFormat("SELECT * FROM %s ORDER BY obid", table.c_str())));
+  return rows.ToString(1 << 20);
+}
+
+}  // namespace
+
+std::vector<ArrivalEvent> GenerateArrivalSchedule(const SiteSpec& site,
+                                                  size_t site_index,
+                                                  uint64_t seed) {
+  // Two sub-streams per site, keyed on the site's logical index only:
+  // one for the interarrival gaps, one for client assignment and the
+  // read/write draw. Nothing here may depend on threads, worker-pool
+  // width or submission interleaving — that is the whole determinism
+  // contract (Rng::ForStream).
+  Rng gaps = Rng::ForStream(seed, static_cast<uint64_t>(site_index) * 2);
+  Rng assign =
+      Rng::ForStream(seed, static_cast<uint64_t>(site_index) * 2 + 1);
+  std::vector<ArrivalEvent> schedule;
+  schedule.reserve(site.arrivals);
+  const double rate = site.arrival_rate_hz > 0 ? site.arrival_rate_hz : 1.0;
+  double t = 0;
+  for (size_t i = 0; i < site.arrivals; ++i) {
+    // Exponential interarrival via inverse transform; NextDouble() is in
+    // [0, 1), so log1p(-u) is finite.
+    t += -std::log1p(-gaps.NextDouble()) / rate;
+    ArrivalEvent event;
+    event.arrival_s = t;
+    event.client_id = assign.NextBelow(site.clients > 0 ? site.clients : 1);
+    event.is_write = assign.NextBool(site.write_fraction);
+    schedule.push_back(event);
+  }
+  return schedule;
+}
+
+Result<std::unique_ptr<MultiSiteDeployment>> MultiSiteDeployment::Create(
+    const MultiSiteOptions& options) {
+  std::unique_ptr<MultiSiteDeployment> deployment(new MultiSiteDeployment());
+  PDM_RETURN_NOT_OK(deployment->Init(options));
+  return deployment;
+}
+
+Status MultiSiteDeployment::Init(const MultiSiteOptions& options) {
+  options_ = options;
+  if (options_.sites.empty()) {
+    return Status::InvalidArgument("MultiSiteOptions: no sites configured");
+  }
+  ExperimentConfig primary_config;
+  primary_config.generator = options_.generator;
+  primary_config.wan = options_.primary_wan;
+  PDM_ASSIGN_OR_RETURN(primary_, Experiment::Create(primary_config));
+  primary_->server().mutable_config().batch_threads = options_.batch_threads;
+
+  // Expand/write targets: the root plus its direct children, obid-sorted
+  // (deterministic across runs — obids are generator-assigned).
+  {
+    PDM_ASSIGN_OR_RETURN(
+        ResultSet children,
+        primary_->server().database().Query(StrFormat(
+            "SELECT right FROM %s WHERE left = %lld AND hier = '%s' "
+            "ORDER BY right",
+            pdmsys::kLinkTable,
+            static_cast<long long>(primary_->product().root_obid),
+            pdmsys::kPhysicalHierarchy)));
+    targets_.push_back(primary_->product().root_obid);
+    for (size_t r = 0; r < children.num_rows(); ++r) {
+      if (children.At(r, 0).is_int64()) {
+        targets_.push_back(children.At(r, 0).int64_value());
+      }
+    }
+  }
+
+  // Capture starts now: every later commit is replicated. The replicas
+  // bootstrap below by re-running the same deterministic generator —
+  // the simulated equivalent of an initial full sync at this clock.
+  primary_->server().database().EnableCommitLog(true);
+
+  for (size_t i = 0; i < options_.sites.size(); ++i) {
+    SiteSpec spec = options_.sites[i];
+    spec.wan.site = spec.name;
+    spec.lan.site = spec.name;
+    PDM_RETURN_NOT_OK(spec.wan.Validate());
+    PDM_RETURN_NOT_OK(spec.lan.Validate());
+    auto site = std::make_unique<Site>();
+    site->spec = spec;
+
+    DbServer::Config replica_config;
+    replica_config.site = spec.name;
+    replica_config.batch_threads = options_.batch_threads;
+    site->replica = std::make_unique<ReplicaServer>(
+        &primary_->server().database(), replica_config);
+    PDM_ASSIGN_OR_RETURN(
+        pdmsys::GeneratedProduct replica_product,
+        pdmsys::GenerateProduct(&site->replica->database(),
+                                options_.generator));
+    if (replica_product.root_obid != primary_->product().root_obid ||
+        replica_product.total_nodes != primary_->product().total_nodes) {
+      return Status::Internal(StrFormat(
+          "site '%s' bootstrap diverged from the primary product",
+          spec.name.c_str()));
+    }
+    PDM_RETURN_NOT_OK(rules::RegisterPdmProcedures(
+        &site->replica->database(), &primary_->rule_table()));
+
+    site->channel = std::make_unique<net::ReplicationChannel>(spec.wan);
+    PDM_RETURN_NOT_OK(site->channel->status());
+
+    site->read_conn =
+        std::make_unique<Connection>(&site->replica->server(), spec.lan);
+    // Site reads drive the replica's admission queue: one registered
+    // client per replica, so every submission forms a wave and the
+    // queue instruments cover the open-loop read traffic.
+    site->read_conn->AttachToAdmissionQueue(i + 1);
+    // Writes go through to the primary over the site's WAN. Direct
+    // execution (not admission-attached): the open-loop driver issues
+    // them in simulated-arrival order, one at a time.
+    site->write_conn =
+        std::make_unique<Connection>(&primary_->server(), spec.wan);
+    site->read_strategy =
+        primary_->MakeStrategyOn(site->read_conn.get(),
+                                 options_.read_strategy);
+    site->write_target_obid =
+        targets_.size() > 1
+            ? targets_[1 + (i % (targets_.size() - 1))]
+            : targets_[0];
+
+    // Eager-register the site's open-loop families so exported
+    // snapshots carry them (at zero) even before the first event.
+    obs::MetricsRegistry::Global().log_histogram("openloop.action_seconds",
+                                                 {{"site", spec.name}});
+    obs::MetricsRegistry::Global().log_histogram(
+        "openloop.queue_wait_seconds", {{"site", spec.name}});
+    sites_.push_back(std::move(site));
+  }
+  return Status::OK();
+}
+
+Status MultiSiteDeployment::PumpSite(Site& site, double commit_s) {
+  PDM_ASSIGN_OR_RETURN(ReplicaServer::PumpResult pumped,
+                       site.replica->PumpReplication());
+  if (pumped.applied == 0) return Status::OK();
+  net::ReplicationShipment shipment = site.channel->Ship(
+      pumped.payload_bytes, pumped.applied, commit_s,
+      static_cast<double>(pumped.applied) *
+          options_.apply_seconds_per_statement);
+  site.shipments.push_back(shipment);
+  return Status::OK();
+}
+
+Result<MultiSiteResult> MultiSiteDeployment::RunOpenLoop() {
+  // Per-site schedules, then one global order by simulated arrival time
+  // (site index breaks exact ties deterministically). Processing in
+  // global arrival order makes engine state — and with it every service
+  // time and the whole replication stream — a pure function of the seed.
+  struct Indexed {
+    size_t site;
+    size_t pos;
+    double arrival_s;
+  };
+  std::vector<std::vector<ArrivalEvent>> schedules;
+  std::vector<Indexed> order;
+  for (size_t s = 0; s < sites_.size(); ++s) {
+    schedules.push_back(
+        GenerateArrivalSchedule(sites_[s]->spec, s, options_.seed));
+    for (size_t j = 0; j < schedules.back().size(); ++j) {
+      order.push_back(Indexed{s, j, schedules.back()[j].arrival_s});
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Indexed& a, const Indexed& b) {
+              if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+              if (a.site != b.site) return a.site < b.site;
+              return a.pos < b.pos;
+            });
+
+  // Open-loop queue state per site: c simulated servers, earliest-free
+  // first. Per-event latency = queue wait + service.
+  const size_t c = options_.batch_threads > 0 ? options_.batch_threads : 1;
+  struct SiteRun {
+    std::vector<double> free_s;  // per simulated server
+    std::vector<double> latencies;
+    std::vector<double> waits;
+    double service_sum = 0;
+    double end_s = 0;
+    size_t reads = 0;
+    size_t writes = 0;
+  };
+  std::vector<SiteRun> runs(sites_.size());
+  for (SiteRun& run : runs) run.free_s.assign(c, 0.0);
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const Indexed& idx : order) {
+    Site& site = *sites_[idx.site];
+    SiteRun& run = runs[idx.site];
+    const ArrivalEvent& event = schedules[idx.site][idx.pos];
+
+    double service_s = 0;
+    if (event.is_write) {
+      // Write-through: one UPDATE round trip to the primary over the
+      // site's WAN, flipping the site's designated check-out flag.
+      site.write_toggle = !site.write_toggle;
+      const std::string sql = StrFormat(
+          "UPDATE %s SET checkedout = %s WHERE obid = %lld",
+          pdmsys::kAssyTable, site.write_toggle ? "TRUE" : "FALSE",
+          static_cast<long long>(site.write_target_obid));
+      site.write_conn->ResetStats();
+      ResultSet out;
+      PDM_RETURN_NOT_OK(site.write_conn->Execute(sql, &out));
+      service_s = site.write_conn->stats().total_seconds();
+      run.writes += 1;
+    } else {
+      // Local read: expand a client-chosen node on the site replica.
+      const int64_t target =
+          targets_[event.client_id % targets_.size()];
+      PDM_ASSIGN_OR_RETURN(ActionResult result,
+                           site.read_strategy->SingleLevelExpand(target));
+      service_s = result.seconds();
+      run.reads += 1;
+    }
+
+    // Standard open-loop recursion: the event starts on the earliest
+    // free of the site's c servers, never before its arrival.
+    auto earliest = std::min_element(run.free_s.begin(), run.free_s.end());
+    const double start_s = std::max(event.arrival_s, *earliest);
+    const double completion_s = start_s + service_s;
+    *earliest = completion_s;
+    const double wait_s = start_s - event.arrival_s;
+    const double latency_s = completion_s - event.arrival_s;
+    run.waits.push_back(wait_s);
+    run.latencies.push_back(latency_s);
+    run.service_sum += service_s;
+    run.end_s = std::max(run.end_s, completion_s);
+    registry
+        .log_histogram("openloop.action_seconds", {{"site", site.spec.name}})
+        .Observe(latency_s);
+    registry
+        .log_histogram("openloop.queue_wait_seconds",
+                       {{"site", site.spec.name}})
+        .Observe(wait_s);
+
+    if (event.is_write) {
+      // Asynchronous replication: a site pulls the new commit at the
+      // writer's simulated completion time — but only if its channel is
+      // free (one shipment in flight per site). A busy channel lets
+      // commits accumulate and ships them as one batch on the next
+      // trigger, so replication lag stays bounded by the channel's
+      // shipment time instead of growing with a per-commit backlog.
+      for (std::unique_ptr<Site>& target_site : sites_) {
+        target_site->pending_commit_s = completion_s;
+        if (target_site->channel->busy_until_s() <= completion_s) {
+          PDM_RETURN_NOT_OK(
+              PumpSite(*target_site, target_site->pending_commit_s));
+        }
+      }
+    }
+  }
+
+  // Drain: ship whatever the busy-channel coalescing left pending, then
+  // build the per-site reports.
+  MultiSiteResult result;
+  result.primary_commit_ts = primary_->server().database().commit_clock();
+  for (size_t s = 0; s < sites_.size(); ++s) {
+    Site& site = *sites_[s];
+    SiteRun& run = runs[s];
+    PDM_RETURN_NOT_OK(PumpSite(site, site.pending_commit_s));
+
+    SiteReport report;
+    report.name = site.spec.name;
+    report.arrivals = run.latencies.size();
+    report.reads = run.reads;
+    report.writes = run.writes;
+    std::vector<double> sorted = run.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50_latency_s = QuantileOf(sorted, 0.5);
+    report.p99_latency_s = QuantileOf(sorted, 0.99);
+    sorted = run.waits;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50_queue_wait_s = QuantileOf(sorted, 0.5);
+    report.p99_queue_wait_s = QuantileOf(sorted, 0.99);
+    report.mean_service_s =
+        report.arrivals == 0
+            ? 0.0
+            : run.service_sum / static_cast<double>(report.arrivals);
+    report.end_s = run.end_s;
+    report.utilization =
+        run.end_s > 0
+            ? run.service_sum / (static_cast<double>(c) * run.end_s)
+            : 0.0;
+    report.shipments = site.channel->shipments();
+    report.shipped_statements = site.channel->statements_shipped();
+    report.mean_lag_s = site.channel->mean_lag_seconds();
+    report.max_lag_s = site.channel->max_lag_seconds();
+    const model::NetworkParams net = NetParamsOf(site.spec.wan);
+    for (const net::ReplicationShipment& shipment : site.shipments) {
+      if (shipment.queued) {
+        report.queued_shipments += 1;
+        continue;
+      }
+      const double expected = model::ReplicaStalenessSeconds(
+          net, static_cast<double>(shipment.payload_bytes),
+          shipment.apply_seconds);
+      const double err_pct =
+          expected > 0
+              ? std::abs(shipment.lag_seconds() - expected) / expected * 100.0
+              : 0.0;
+      report.staleness_model_err_pct =
+          std::max(report.staleness_model_err_pct, err_pct);
+    }
+    report.applied_commit_ts = site.replica->applied_commit_ts();
+    result.total_arrivals += report.arrivals;
+    result.sites.push_back(std::move(report));
+  }
+  return result;
+}
+
+Status MultiSiteDeployment::VerifyReplicaConsistency() {
+  // Quiesce: drain the stream everywhere, then compare against the
+  // primary at its latest snapshot.
+  for (std::unique_ptr<Site>& site : sites_) {
+    PDM_ASSIGN_OR_RETURN(ReplicaServer::PumpResult pumped,
+                         site->replica->PumpReplication());
+    (void)pumped;
+  }
+  const uint64_t primary_ts = primary_->server().database().commit_clock();
+  PDM_ASSIGN_OR_RETURN(ActionResult primary_expand,
+                       primary_->RunAction(options_.read_strategy,
+                                           model::ActionKind::kMultiLevelExpand));
+  const std::string primary_tree = primary_expand.tree.ToString(1 << 20);
+  for (std::unique_ptr<Site>& site : sites_) {
+    if (site->replica->applied_commit_ts() != primary_ts) {
+      return Status::Internal(StrFormat(
+          "site '%s' not caught up after drain: applied %llu, primary %llu",
+          site->spec.name.c_str(),
+          static_cast<unsigned long long>(site->replica->applied_commit_ts()),
+          static_cast<unsigned long long>(primary_ts)));
+    }
+    PDM_ASSIGN_OR_RETURN(
+        ActionResult replica_expand,
+        site->read_strategy->MultiLevelExpand(primary_->product().root_obid));
+    if (replica_expand.tree.ToString(1 << 20) != primary_tree) {
+      return Status::Internal(StrFormat(
+          "site '%s' replica expand tree differs from the quiesced primary",
+          site->spec.name.c_str()));
+    }
+    // The expand never reads the checkedout flags writes flip — compare
+    // the replicated tables' full contents too.
+    for (const std::string& table :
+         {std::string(pdmsys::kAssyTable), std::string(pdmsys::kCompTable),
+          std::string(pdmsys::kLinkTable)}) {
+      PDM_ASSIGN_OR_RETURN(
+          std::string primary_rows,
+          TableFingerprint(primary_->server().database(), table));
+      PDM_ASSIGN_OR_RETURN(std::string replica_rows,
+                           TableFingerprint(site->replica->database(), table));
+      if (primary_rows != replica_rows) {
+        return Status::Internal(StrFormat(
+            "site '%s' replica table '%s' differs from the primary",
+            site->spec.name.c_str(), table.c_str()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pdm::client

@@ -1,0 +1,182 @@
+#ifndef PDM_CLIENT_MULTISITE_H_
+#define PDM_CLIENT_MULTISITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/experiment.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/cost_model.h"
+#include "net/replication.h"
+#include "net/wan_model.h"
+#include "server/replica.h"
+
+namespace pdm::client {
+
+/// One remote site of the worldwide deployment (DESIGN.md 5l): a local
+/// read replica behind the site's WAN link, a population of simulated
+/// clients, and the site's open-loop arrival process.
+struct SiteSpec {
+  std::string name;    // site label (becomes a metric dimension)
+  /// Site <-> primary WAN link: write-through traffic and the
+  /// replication stream share it (each on its own simulated channel,
+  /// as the paper's sites each had their own line).
+  net::WanConfig wan;
+  /// Client <-> local-replica link (campus LAN: sub-ms latency, fast).
+  net::WanConfig lan;
+  size_t clients = 1000;        // simulated client population
+  double arrival_rate_hz = 40;  // open-loop Poisson arrival rate
+  size_t arrivals = 400;        // events generated for the run
+  double write_fraction = 0.05; // arrivals that write through to primary
+};
+
+struct MultiSiteOptions {
+  pdmsys::GeneratorConfig generator;  // the shared product's shape
+  /// The primary deployment's own (local) link — the Experiment every
+  /// site replicates from.
+  net::WanConfig primary_wan;
+  std::vector<SiteSpec> sites;
+  uint64_t seed = 42;
+  /// Simulated per-site service parallelism (the open-loop queue's c
+  /// servers) and the real worker-pool width of every DbServer. The
+  /// arrival schedule is independent of this by construction — the
+  /// determinism gate in bench/table_multisite replays it at several
+  /// values and asserts byte-identical schedules and replica states.
+  size_t batch_threads = 1;
+  model::StrategyKind read_strategy = model::StrategyKind::kBatchedEarly;
+  /// Replica-side apply cost charged per replayed DML statement in the
+  /// staleness accounting — a calibration knob like ServerCostParams,
+  /// shared with the closed form so the staleness term reconciles
+  /// exactly.
+  double apply_seconds_per_statement = 2.0e-4;
+};
+
+/// One open-loop arrival. The schedule is a pure function of
+/// (seed, site index, SiteSpec): Poisson-like interarrivals and client
+/// assignment come from Rng::ForStream sub-streams keyed on the site's
+/// *logical* index, never on threads or submission order.
+struct ArrivalEvent {
+  double arrival_s = 0;
+  uint64_t client_id = 0;  // within the site's population
+  bool is_write = false;
+};
+
+std::vector<ArrivalEvent> GenerateArrivalSchedule(const SiteSpec& site,
+                                                  size_t site_index,
+                                                  uint64_t seed);
+
+/// Per-site outcome of one open-loop run. Quantiles are exact (computed
+/// from the full per-event vectors); the same distributions are also
+/// exported as "openloop.action_seconds"{site} and
+/// "openloop.queue_wait_seconds"{site} histogram families.
+struct SiteReport {
+  std::string name;
+  size_t arrivals = 0;
+  size_t reads = 0;
+  size_t writes = 0;
+  double p50_latency_s = 0;     // arrival -> completion
+  double p99_latency_s = 0;
+  double p50_queue_wait_s = 0;  // arrival -> service start
+  double p99_queue_wait_s = 0;
+  double mean_service_s = 0;
+  double end_s = 0;             // completion of the site's last event
+  double utilization = 0;       // busy server-seconds / (c * end_s)
+  // Replication, over the whole run:
+  size_t shipments = 0;
+  size_t shipped_statements = 0;
+  double mean_lag_s = 0;
+  double max_lag_s = 0;
+  size_t queued_shipments = 0;  // found the channel busy at commit
+  /// Worst relative gap between a non-queued shipment's simulated lag
+  /// and model::ReplicaStalenessSeconds, in percent. Queued shipments
+  /// carry channel-wait on top of the closed form and are excluded.
+  double staleness_model_err_pct = 0;
+  uint64_t applied_commit_ts = 0;
+};
+
+struct MultiSiteResult {
+  std::vector<SiteReport> sites;
+  uint64_t primary_commit_ts = 0;
+  size_t total_arrivals = 0;
+};
+
+/// The worldwide topology of ROADMAP item 1: one primary deployment
+/// (Experiment) plus N sites, each with a bootstrapped local replica
+/// (ReplicaServer), an asynchronous replication channel over the site's
+/// WAN link, a read connection to the replica and a write-through
+/// connection to the primary. RunOpenLoop drives the deterministic
+/// arrival schedules through it and reports per-site tail latency,
+/// queue wait and replication lag.
+class MultiSiteDeployment {
+ public:
+  static Result<std::unique_ptr<MultiSiteDeployment>> Create(
+      const MultiSiteOptions& options);
+
+  Experiment& primary() { return *primary_; }
+  size_t num_sites() const { return sites_.size(); }
+  ReplicaServer& replica(size_t site) { return *sites_[site]->replica; }
+  net::ReplicationChannel& channel(size_t site) {
+    return *sites_[site]->channel;
+  }
+  Connection& read_connection(size_t site) {
+    return *sites_[site]->read_conn;
+  }
+  Connection& write_connection(size_t site) {
+    return *sites_[site]->write_conn;
+  }
+  const MultiSiteOptions& options() const { return options_; }
+
+  /// Runs every site's open-loop schedule to completion. Events are
+  /// processed in global simulated-arrival order, so engine state,
+  /// per-event service times and the replication stream are exactly
+  /// reproducible from the seed; each site's queueing (c = batch_threads
+  /// simulated servers) is evaluated by the standard open-loop
+  /// recursion on top of the deterministic service times.
+  Result<MultiSiteResult> RunOpenLoop();
+
+  /// Post-run consistency gate: drains replication at every site, then
+  /// asserts (a) applied commit ts == primary commit clock, (b) the
+  /// replica's multi-level expand tree is byte-identical to the
+  /// quiesced primary's, and (c) the replicated tables' full contents
+  /// (including the checkedout flags the expand never reads) match the
+  /// primary row for row.
+  Status VerifyReplicaConsistency();
+
+ private:
+  struct Site {
+    SiteSpec spec;
+    std::unique_ptr<ReplicaServer> replica;
+    std::unique_ptr<net::ReplicationChannel> channel;
+    std::unique_ptr<Connection> read_conn;   // -> local replica (LAN)
+    std::unique_ptr<Connection> write_conn;  // -> primary (WAN)
+    std::unique_ptr<AccessStrategy> read_strategy;
+    int64_t write_target_obid = 0;
+    bool write_toggle = false;
+    /// Simulated commit time of the newest primary commit this site has
+    /// not shipped yet — the `commit_s` of its next shipment, so lag is
+    /// always measured from the real commit, not the pump trigger.
+    double pending_commit_s = 0;
+    std::vector<net::ReplicationShipment> shipments;
+  };
+
+  MultiSiteDeployment() = default;
+
+  Status Init(const MultiSiteOptions& options);
+  /// Ships the primary commits a site has not applied yet, committed at
+  /// simulated time `commit_s`.
+  Status PumpSite(Site& site, double commit_s);
+
+  MultiSiteOptions options_;
+  std::unique_ptr<Experiment> primary_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  /// Visible expand targets: the product root plus its direct children,
+  /// obid-sorted. Reads expand targets_[client % size]; site i writes
+  /// the checkedout flag of child i % (size - 1).
+  std::vector<int64_t> targets_;
+};
+
+}  // namespace pdm::client
+
+#endif  // PDM_CLIENT_MULTISITE_H_

@@ -65,6 +65,63 @@ void Database::ReleaseSnapshot(uint64_t ts) {
   snapshot_cv_.notify_all();
 }
 
+void Database::EnableCommitLog(bool enable) {
+  // Hold the DML mutex so enablement is ordered against every commit:
+  // records either start exactly at the clock we stamp into the floor,
+  // or capture stays off for the whole statement.
+  std::lock_guard<std::mutex> dml(dml_mutex_);
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  if (enable && !commit_log_enabled_.load(std::memory_order_relaxed)) {
+    commit_log_.clear();
+    commit_log_floor_ = commit_clock();
+  }
+  commit_log_enabled_.store(enable, std::memory_order_release);
+}
+
+void Database::AppendCommitRecord(uint64_t commit_ts,
+                                  const sql::Statement& stmt,
+                                  size_t affected_rows) {
+  if (!commit_log_enabled_.load(std::memory_order_acquire)) return;
+  CommitRecord record;
+  record.commit_ts = commit_ts;
+  record.sql = stmt.ToSql();
+  record.affected_rows = affected_rows;
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  commit_log_.push_back(std::move(record));
+  if (commit_log_capacity_ > 0 && commit_log_.size() > commit_log_capacity_) {
+    commit_log_floor_ = commit_log_.front().commit_ts;
+    commit_log_.pop_front();
+    obs::MetricsRegistry::Global()
+        .counter("engine.commit_log_trimmed")
+        .Increment();
+  }
+}
+
+std::vector<Database::CommitRecord> Database::CommitLogSince(
+    uint64_t after_ts) const {
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  std::vector<CommitRecord> out;
+  for (const CommitRecord& record : commit_log_) {
+    if (record.commit_ts > after_ts) out.push_back(record);
+  }
+  return out;
+}
+
+size_t Database::commit_log_size() const {
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  return commit_log_.size();
+}
+
+uint64_t Database::commit_log_floor() const {
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  return commit_log_floor_;
+}
+
+void Database::set_commit_log_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(commit_log_mutex_);
+  commit_log_capacity_ = capacity;
+}
+
 size_t Database::GarbageCollectVersions() {
   // Writers pause for the pass (dml mutex); readers make it defer.
   std::lock_guard<std::mutex> dml(dml_mutex_);
@@ -315,6 +372,7 @@ Status Database::ExecuteInsert(const sql::InsertStmt& stmt, ResultSet* out,
     table->AppendVersion(std::move(row), write_ts, nullptr);
     out->affected_rows++;
   }
+  AppendCommitRecord(write_ts, stmt, rows.size());
   // Commit point: the release store makes every appended version
   // visible atomically to snapshots acquired from here on.
   commit_clock_.store(write_ts, std::memory_order_release);
@@ -395,6 +453,7 @@ Status Database::ExecuteUpdate(const sql::UpdateStmt& stmt, ResultSet* out,
     }
     table->AppendVersion(std::move(copy), write_ts, &undo);
   }
+  AppendCommitRecord(write_ts, stmt, pending.size());
   commit_clock_.store(write_ts, std::memory_order_release);
   out->affected_rows = pending.size();
   return Status::OK();
@@ -443,6 +502,7 @@ Status Database::ExecuteDelete(const sql::DeleteStmt& stmt, ResultSet* out,
           "' lost a first-writer-wins race; retry against a fresh snapshot");
     }
   }
+  AppendCommitRecord(write_ts, stmt, doomed.size());
   commit_clock_.store(write_ts, std::memory_order_release);
   out->affected_rows = doomed.size();
   return Status::OK();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -96,6 +97,50 @@ class Database {
   /// Registers a read snapshot at the current commit clock. Blocks only
   /// while a GC pass is compacting (a short, bounded window).
   Snapshot AcquireSnapshot();
+
+  /// One committed DML statement, captured at the commit point for
+  /// asynchronous replication (DESIGN.md 5l): the statement's canonical
+  /// SQL text (sql::Statement::ToSql), its commit timestamp, and the
+  /// rows it affected — the applier's divergence guard. Replaying the
+  /// records in commit order against a byte-identical bootstrap yields
+  /// a byte-identical replica: each record's predicates evaluate
+  /// against exactly the state the primary committed it on.
+  struct CommitRecord {
+    uint64_t commit_ts = 0;
+    std::string sql;
+    size_t affected_rows = 0;
+  };
+
+  /// Enables commit-record capture (off by default: serial workloads
+  /// without replicas should not pay ToSql per DML). Capture starts at
+  /// the *current* commit clock: a replica must be bootstrapped to this
+  /// state (same generator config) before applying records. Successful
+  /// DML only — a statement that lost a first-writer-wins race never
+  /// committed and is never logged.
+  void EnableCommitLog(bool enable);
+  bool commit_log_enabled() const {
+    return commit_log_enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Committed records with commit_ts > after_ts, in commit order
+  /// (thread-safe copy). The pull endpoint of the replication stream:
+  /// an applier passes its applied timestamp and gets everything it is
+  /// missing.
+  std::vector<CommitRecord> CommitLogSince(uint64_t after_ts) const;
+
+  size_t commit_log_size() const;
+
+  /// Commit timestamp every retained record is strictly newer than: the
+  /// clock at EnableCommitLog, advanced past trimmed records when the
+  /// bounded log (set_commit_log_capacity) evicts its oldest entries.
+  /// An applier whose applied timestamp is below this floor has lost
+  /// records and must re-bootstrap.
+  uint64_t commit_log_floor() const;
+
+  /// Bounds the retained records; 0 = unbounded (short-lived tests).
+  /// Evictions advance commit_log_floor() and count on the
+  /// "engine.commit_log_trimmed" metric.
+  void set_commit_log_capacity(size_t capacity);
 
   /// Current MVCC commit clock: the timestamp of the latest committed
   /// DML statement (0 = bulk-loaded data only).
@@ -206,6 +251,12 @@ class Database {
                      ExecStats* stats);
   /// Releases one registered snapshot (called by Snapshot handles).
   void ReleaseSnapshot(uint64_t ts);
+  /// Appends one commit record (no-op unless the log is enabled).
+  /// Called at the DML commit sites while dml_mutex_ is held, right
+  /// before the commit-clock store — the statement's success is already
+  /// decided, so every logged record is a real commit.
+  void AppendCommitRecord(uint64_t commit_ts, const sql::Statement& stmt,
+                          size_t affected_rows);
   Status ExecuteExplain(const sql::ExplainStmt& stmt, ResultSet* out);
   Status ExecuteCreateView(const sql::CreateViewStmt& stmt, ResultSet* out);
   Status ExecuteDropView(const sql::DropViewStmt& stmt, ResultSet* out);
@@ -233,6 +284,19 @@ class Database {
   std::condition_variable snapshot_cv_;
   std::multiset<uint64_t> active_snapshots_;
   bool gc_active_ = false;
+
+  // --- Replication commit log (DESIGN.md 5l) ---
+  /// Atomic so the commit sites can skip the log mutex entirely while
+  /// capture is off (the common case).
+  std::atomic<bool> commit_log_enabled_{false};
+  /// Guards the records; appenders additionally hold dml_mutex_, so
+  /// records are always in commit order. A separate mutex keeps pullers
+  /// (replication appliers on other threads) from contending with
+  /// writers for the DML lock.
+  mutable std::mutex commit_log_mutex_;
+  std::deque<CommitRecord> commit_log_;
+  size_t commit_log_capacity_ = 65536;
+  uint64_t commit_log_floor_ = 0;
 };
 
 }  // namespace pdm

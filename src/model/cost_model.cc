@@ -233,6 +233,17 @@ ResponseTime PredictFromTraffic(const NetworkParams& net,
   return rt;
 }
 
+double ReplicaStalenessSeconds(const NetworkParams& net, double payload_bytes,
+                               double apply_seconds) {
+  // The pull is one ordinary exchange: a one-packet request (the pull
+  // message always fits a packet), the DML payload as the response.
+  TrafficCounts counts;
+  counts.round_trips = 1;
+  counts.request_packets = 1;
+  counts.response_payload_bytes = payload_bytes;
+  return PredictFromTraffic(net, counts).total() + apply_seconds;
+}
+
 ResponseTime PredictPipelinedFromTraffic(
     const NetworkParams& net, const std::vector<ExchangeTraffic>& exchanges) {
   ResponseTime rt;

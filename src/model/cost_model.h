@@ -172,6 +172,25 @@ struct ExchangeTraffic {
 ResponseTime PredictPipelinedFromTraffic(
     const NetworkParams& net, const std::vector<ExchangeTraffic>& exchanges);
 
+// ---------------------------------------------------------------------------
+// Replica staleness (DESIGN.md 5l)
+// ---------------------------------------------------------------------------
+
+/// Closed-form visible staleness of one replication shipment: commit on
+/// the primary to applied-and-readable on the site replica, for a
+/// shipment that finds the replication channel idle. The stream is a
+/// pull over the site's WAN link — one one-packet pull request out, the
+/// batch's DML text back — so the paper's eq. (1)-(3) accounting applies
+/// verbatim with one round trip:
+///   staleness = 2*T_Lat + (size_p + payload + size_p/2) / dtr + t_apply
+/// where `payload_bytes` is the concatenated DML text of the shipped
+/// records and `apply_seconds` the replica-side replay cost. A shipment
+/// that found the channel busy additionally waits out the previous
+/// transfer (net::ReplicationShipment::queued); the simulator reports
+/// that queueing on top of this floor.
+double ReplicaStalenessSeconds(const NetworkParams& net, double payload_bytes,
+                               double apply_seconds);
+
 /// Simulated server-cost model — the t_server term of eq. (1), which
 /// the paper neglects ("transmission costs are the dominating
 /// limitation factor") but whose attribution the tracer reports. The

@@ -1,0 +1,64 @@
+#include "net/replication.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace pdm::net {
+
+ReplicationChannel::ReplicationChannel(WanConfig config)
+    : link_(std::move(config)) {
+  // Bound once; registry instruments are stable for the process life.
+  lag_hist_ = &obs::MetricsRegistry::Global().log_histogram(
+      "replication.lag_seconds", {{"site", link_.config().site}});
+  obs::MetricsRegistry::Global().counter("replication.shipped_statements",
+                                         {{"site", link_.config().site}});
+}
+
+ReplicationShipment ReplicationChannel::Ship(size_t payload_bytes,
+                                             size_t n_statements,
+                                             double commit_s,
+                                             double apply_seconds) {
+  ReplicationShipment shipment;
+  if (!link_.status().ok() || n_statements == 0) return shipment;
+  shipment.statements = n_statements;
+  shipment.payload_bytes = payload_bytes;
+  shipment.commit_s = commit_s;
+  shipment.apply_seconds = apply_seconds;
+  // One shipment in flight per site: a pull issued while the previous
+  // response is still streaming waits for the channel.
+  shipment.queued = busy_until_s_ > commit_s;
+  shipment.start_s = std::max(commit_s, busy_until_s_);
+  // The pull is an ordinary WAN exchange — request (the pull) padded to
+  // whole packets, response (the DML text) charged payload plus half a
+  // packet — so replication traffic shows up in the site's
+  // wan.exchange_sim_seconds and exchange records like any other.
+  shipment.link_seconds = link_.RecordBatchRoundTrip(
+      kReplicationPullBytes, payload_bytes, n_statements);
+  busy_until_s_ = shipment.start_s + shipment.link_seconds;
+  // Apply is replica CPU, not wire time: it extends the visible lag but
+  // leaves the channel free for the next pull.
+  shipment.end_s = busy_until_s_ + apply_seconds;
+
+  shipments_ += 1;
+  statements_shipped_ += n_statements;
+  const double lag = shipment.lag_seconds();
+  max_lag_s_ = std::max(max_lag_s_, lag);
+  sum_lag_s_ += lag;
+  lag_hist_->Observe(lag);
+  obs::MetricsRegistry::Global()
+      .counter("replication.shipped_statements", {{"site", link_.config().site}})
+      .Add(n_statements);
+  return shipment;
+}
+
+void ReplicationChannel::Reset() {
+  link_.ResetStats();
+  busy_until_s_ = 0;
+  shipments_ = 0;
+  statements_shipped_ = 0;
+  max_lag_s_ = 0;
+  sum_lag_s_ = 0;
+}
+
+}  // namespace pdm::net

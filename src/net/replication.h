@@ -1,0 +1,97 @@
+#ifndef PDM_NET_REPLICATION_H_
+#define PDM_NET_REPLICATION_H_
+
+#include <cstddef>
+
+#include "net/wan_model.h"
+
+namespace pdm::obs {
+class LogHistogram;
+}  // namespace pdm::obs
+
+namespace pdm::net {
+
+/// Wire size of the replication pull request ("send me everything past
+/// commit ts N"). One packet under every realistic packet size.
+inline constexpr size_t kReplicationPullBytes = 64;
+
+/// Timing of one replication shipment on the channel's simulated
+/// timeline: a batch of commit records committed at `commit_s`, pulled
+/// over the site's WAN link and applied at the replica.
+struct ReplicationShipment {
+  size_t statements = 0;
+  size_t payload_bytes = 0;   // concatenated DML text
+  double commit_s = 0;        // when the newest shipped record committed
+  double start_s = 0;         // when the pull left the replica
+  double link_seconds = 0;    // 2*T_Lat + transfer (paper accounting)
+  double apply_seconds = 0;   // replica-side apply cost
+  double end_s = 0;           // records applied and visible at the replica
+  /// Staleness this shipment's records were visible at: commit on the
+  /// primary to applied-and-readable on the replica.
+  double lag_seconds() const { return end_s - commit_s; }
+  /// True when the channel was still busy with the previous shipment at
+  /// commit time — the queued part of the lag is then start_s - commit_s
+  /// on top of the closed-form ship time.
+  bool queued = false;
+};
+
+/// The asynchronous replication stream of one site (DESIGN.md 5l):
+/// commit records are pulled from the primary over the site's own WAN
+/// link — one pull request out, one DML-payload response back, so the
+/// paper's packet accounting (request padded to whole packets, response
+/// charged payload plus half a packet) applies to replication traffic
+/// exactly as it does to query traffic. The channel serializes
+/// shipments (one in flight per site) and keeps the site's replication
+/// lag aggregates plus the "replication.lag_seconds"{site} histogram.
+///
+/// For a shipment that finds the channel idle the visible lag is the
+/// closed form model::ReplicaStalenessSeconds reconciles against:
+///   lag = 2*T_Lat + (size_p + payload + size_p/2) / dtr + t_apply
+class ReplicationChannel {
+ public:
+  /// An invalid config leaves the channel inert (see WanLink).
+  explicit ReplicationChannel(WanConfig config);
+
+  const Status& status() const { return link_.status(); }
+  const WanConfig& config() const { return link_.config(); }
+
+  /// Ships one batch of `n_statements` commit records totalling
+  /// `payload_bytes` of DML text, committed (the newest of them) at
+  /// simulated time `commit_s`, and applies them at the replica for
+  /// `apply_seconds`. Returns the shipment timing; an empty batch ships
+  /// nothing. `commit_s` must be non-decreasing across calls (commit
+  /// order is ship order).
+  ReplicationShipment Ship(size_t payload_bytes, size_t n_statements,
+                           double commit_s, double apply_seconds);
+
+  /// The underlying link (exchange records, WAN stats, site label).
+  const WanLink& link() const { return link_; }
+
+  /// Simulated time the channel becomes free for the next pull.
+  double busy_until_s() const { return busy_until_s_; }
+
+  size_t shipments() const { return shipments_; }
+  size_t statements_shipped() const { return statements_shipped_; }
+  double max_lag_seconds() const { return max_lag_s_; }
+  double sum_lag_seconds() const { return sum_lag_s_; }
+  double mean_lag_seconds() const {
+    return shipments_ == 0 ? 0.0 : sum_lag_s_ / static_cast<double>(shipments_);
+  }
+
+  /// Clears the aggregates and the timeline (next shipment starts at
+  /// simulated time zero on a free channel).
+  void Reset();
+
+ private:
+  WanLink link_;
+  obs::LogHistogram* lag_hist_ = nullptr;
+  double busy_until_s_ = 0;
+  size_t shipments_ = 0;
+  size_t statements_shipped_ = 0;
+  double max_lag_s_ = 0;
+  double sum_lag_s_ = 0;
+};
+
+}  // namespace pdm::net
+
+#endif  // PDM_NET_REPLICATION_H_

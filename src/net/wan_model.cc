@@ -20,6 +20,8 @@ WanLink::WanLink(WanConfig config)
   exchange_hist_ = &obs::MetricsRegistry::Global().log_histogram(
       "wan.exchange_sim_seconds", {{"site", config_.site}});
   obs::MetricsRegistry::Global().counter("wan.exchange_log_dropped");
+  obs::MetricsRegistry::Global().counter("wan.exchange_aborted",
+                                         {{"site", config_.site}});
 }
 
 Status WanConfig::Validate() const {
@@ -215,16 +217,38 @@ ExchangeTiming WanLink::CompleteExchange(size_t response_payload_bytes) {
   return timing;
 }
 
-void WanLink::AbortExchange() { exchange_open_ = false; }
+void WanLink::AbortExchange() {
+  if (!exchange_open_) return;  // idempotent; nothing to release
+  // Release the whole open-exchange state, not just the flag: a stale
+  // issue point / request size surviving here would silently corrupt
+  // the next Begin/Complete pair's accounting. The timeline fields
+  // (now_s_, link_busy_until_s_, last_transfer_start_s_) were never
+  // touched by BeginExchange, so clearing the open state restores the
+  // link exactly to its pre-BeginExchange occupancy.
+  exchange_open_ = false;
+  open_overlapped_ = false;
+  open_issue_s_ = 0;
+  open_request_bytes_ = 0;
+  open_statements_ = 0;
+  ++aborted_exchanges_;
+  obs::MetricsRegistry::Global()
+      .counter("wan.exchange_aborted", {{"site", config_.site}})
+      .Increment();
+}
 
 void WanLink::ResetStats() {
   stats_ = WanStats();
   exchanges_.clear();
   exchanges_dropped_ = 0;
+  aborted_exchanges_ = 0;
   now_s_ = 0;
   link_busy_until_s_ = 0;
   last_transfer_start_s_ = 0;
   exchange_open_ = false;
+  open_overlapped_ = false;
+  open_issue_s_ = 0;
+  open_request_bytes_ = 0;
+  open_statements_ = 0;
 }
 
 }  // namespace pdm::net

@@ -175,11 +175,22 @@ class WanLink {
   /// open (or the link is invalid).
   ExchangeTiming CompleteExchange(size_t response_payload_bytes);
 
-  /// Abandons the open exchange without accounting anything (fail-fast
-  /// paths that drained an in-flight batch whose action already failed).
+  /// Abandons the open exchange without accounting any traffic or time
+  /// (fail-fast paths that drained an in-flight batch whose action
+  /// already failed, e.g. a PendingBatch destroyed mid-pipeline). The
+  /// timeline is left exactly as if BeginExchange had never been called
+  /// — the next exchange issues at the previous *completed* exchange's
+  /// boundary — and every open-exchange field is cleared so no stale
+  /// issue point or request size can leak into a later completion.
+  /// Aborts are observable: aborted_exchanges() counts them, as does
+  /// the "wan.exchange_aborted"{site} metric family.
   void AbortExchange();
 
   bool exchange_open() const { return exchange_open_; }
+
+  /// Exchanges opened and then abandoned (never accounted) since the
+  /// last ResetStats.
+  size_t aborted_exchanges() const { return aborted_exchanges_; }
 
   const WanStats& stats() const { return stats_; }
 
@@ -210,6 +221,7 @@ class WanLink {
   /// Bounded ring (WanConfig::exchange_log_capacity).
   std::deque<ExchangeRecord> exchanges_;
   size_t exchanges_dropped_ = 0;
+  size_t aborted_exchanges_ = 0;
 
   // Timeline state (simulated seconds since the last ResetStats).
   double now_s_ = 0;                  // completion of the latest exchange

@@ -1,0 +1,86 @@
+#ifndef PDM_SERVER_REPLICA_H_
+#define PDM_SERVER_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "server/db_server.h"
+
+namespace pdm {
+
+/// A site-local read replica of a primary Database (DESIGN.md 5l). The
+/// replica owns a full DbServer (so site clients read it through the
+/// ordinary admission/batch/wave machinery) whose database is kept in
+/// sync by replaying the primary's commit log:
+///
+///  * Bootstrap: the caller loads the replica database to the exact
+///    state the primary had when its commit log was enabled — in this
+///    repo, by running the same deterministic pdmsys::GenerateProduct
+///    config, the simulated equivalent of an initial full sync.
+///  * Catch-up: PumpReplication() pulls every commit record past the
+///    applied timestamp and replays it in commit order. Each record
+///    carries the rows it affected on the primary; a mismatch on replay
+///    aborts the pump with an error (divergence guard) instead of
+///    silently forking the replica.
+///
+/// Replica reads are ordinary MVCC snapshot reads on the replica
+/// database: because records apply in commit order under the replica's
+/// own commit clock, every snapshot is a consistent prefix of the
+/// primary's history — a lagged timestamp, never a torn state. The
+/// applier may therefore race replica readers and GC freely; only one
+/// pump runs at a time.
+class ReplicaServer {
+ public:
+  /// `primary` must outlive the replica. The replica starts considered
+  /// in sync at the primary's *current* commit clock: construct it
+  /// after EnableCommitLog and bootstrap the database to that state
+  /// before the first pump.
+  ReplicaServer(Database* primary, DbServer::Config config);
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  DbServer& server() { return server_; }
+  Database& database() { return server_.database(); }
+
+  /// Commit timestamp of the newest applied record (acquire: pairs with
+  /// the applier's release store, so a reader that saw this value also
+  /// sees the applied data).
+  uint64_t applied_commit_ts() const {
+    return applied_ts_.load(std::memory_order_acquire);
+  }
+
+  /// Primary commits not yet applied here — staleness in commit-clock
+  /// ticks. Also published as the "replication.staleness_commits"{site}
+  /// gauge after every pump.
+  uint64_t StalenessCommits() const;
+
+  struct PumpResult {
+    size_t applied = 0;        // records replayed by this pump
+    size_t payload_bytes = 0;  // their concatenated DML text (with ';'
+                               // separators, as the wire ships batches)
+  };
+
+  /// Pulls every commit record past applied_commit_ts() from the
+  /// primary's commit log and replays it in commit order. Thread-safe;
+  /// concurrent pumps serialize. Fails without applying further records
+  /// if the primary trimmed records this replica never saw (re-bootstrap
+  /// required) or if a replayed statement diverges from its primary
+  /// outcome.
+  Result<PumpResult> PumpReplication();
+
+ private:
+  Status ApplyRecord(const Database::CommitRecord& record);
+
+  Database* primary_;
+  DbServer server_;
+  std::mutex pump_mutex_;
+  std::atomic<uint64_t> applied_ts_;
+};
+
+}  // namespace pdm
+
+#endif  // PDM_SERVER_REPLICA_H_

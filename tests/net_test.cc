@@ -332,6 +332,56 @@ TEST(WanPipeline, ExchangeLogIsABoundedRing) {
   EXPECT_EQ(link.exchanges_dropped(), 0u);
 }
 
+TEST(WanPipeline, AbortExchangeClearsOpenStateAndCounts) {
+  WanLink link(PaperWan());
+  // Regression: an aborted exchange used to leave the open-exchange
+  // bookkeeping (issue time, request bytes, statement count) populated
+  // and the abort itself unobservable. The next exchange must account
+  // exactly as if the aborted one never happened.
+  link.BeginExchange(100000, 9, /*overlap_previous=*/false);
+  link.AbortExchange();
+  EXPECT_FALSE(link.exchange_open());
+  EXPECT_EQ(link.aborted_exchanges(), 1u);
+  // Aborting with nothing open is a no-op, not a double count.
+  link.AbortExchange();
+  EXPECT_EQ(link.aborted_exchanges(), 1u);
+
+  WanLink reference(PaperWan());
+  link.BeginExchange(100, 2, /*overlap_previous=*/false);
+  ExchangeTiming after_abort = link.CompleteExchange(512);
+  reference.BeginExchange(100, 2, /*overlap_previous=*/false);
+  ExchangeTiming clean = reference.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(after_abort.seconds(), clean.seconds());
+  EXPECT_EQ(link.stats().statements, reference.stats().statements);
+  EXPECT_EQ(link.stats().request_packets, reference.stats().request_packets);
+
+  link.ResetStats();
+  EXPECT_EQ(link.aborted_exchanges(), 0u);
+}
+
+TEST(WanPipeline, AbortAfterDrainLeavesTimelineUntouched) {
+  // The fail-fast pipelined path drains server work, then aborts the
+  // in-flight exchange: the link timeline must be exactly what it was
+  // before BeginExchange, so a later overlapped issue hides under the
+  // *completed* transfer, not the aborted one.
+  WanLink link(PaperWan());
+  link.RecordBatchRoundTrip(100, 4096, /*n_statements=*/1);
+  WanLink reference(PaperWan());
+  reference.RecordBatchRoundTrip(100, 4096, /*n_statements=*/1);
+
+  link.BeginExchange(50000, 3, /*overlap_previous=*/true);
+  link.AbortExchange();
+  EXPECT_EQ(link.aborted_exchanges(), 1u);
+
+  link.BeginExchange(100, 1, /*overlap_previous=*/true);
+  ExchangeTiming after_abort = link.CompleteExchange(512);
+  reference.BeginExchange(100, 1, /*overlap_previous=*/true);
+  ExchangeTiming clean = reference.CompleteExchange(512);
+  EXPECT_DOUBLE_EQ(after_abort.issue_s, clean.issue_s);
+  EXPECT_DOUBLE_EQ(after_abort.hidden_s, clean.hidden_s);
+  EXPECT_DOUBLE_EQ(after_abort.seconds(), clean.seconds());
+}
+
 TEST(WanPipeline, ResetStatsClearsTheTimeline) {
   WanLink link(PaperWan());
   link.RecordRoundTrip(100, 65536);

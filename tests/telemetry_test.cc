@@ -22,6 +22,7 @@
 #include "obs/log_histogram.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "server/admission_queue.h"
 #include "server/db_server.h"
 #include "server/slow_query_log.h"
 
@@ -473,6 +474,92 @@ TEST(TelemetryConcurrencyTest, LabeledHistogramsConcurrentObserve) {
   uint64_t total = 0;
   for (obs::LogHistogram* h : hists) total += h->total_count();
   EXPECT_EQ(total, static_cast<uint64_t>(kWriters) * kPerWriter);
+}
+
+// Reset-everything regression (audit of DbServer::ResetObservability):
+// populate EVERY observability surface the server claims to reset —
+// all five registry instrument kinds (plain/labeled counters, gauges,
+// both histogram kinds), the statement log, the slow-query ring AND
+// top-K, the plan-cache counters, the admission queue's wave log and
+// the tracer's finished spans — then assert one ResetObservability call
+// leaves each of them empty. A surface that slips through here
+// double-counts in the next measurement window.
+TEST(DbServerTest, ResetObservabilityResetsEverySurface) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  ExperimentConfig config;
+  config.generator.depth = 2;
+  config.generator.branching = 3;
+  Result<std::unique_ptr<Experiment>> experiment = Experiment::Create(config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status();
+  Experiment& e = **experiment;
+  e.server().EnableStatementLog(true);
+  e.server().mutable_config().slow_query_threshold = 1e-12;
+
+  // Registry: one instrument of every kind, beyond what the action
+  // populates organically.
+  reg.counter("reset_test.counter").Add(3);
+  reg.counter("reset_test.labeled", {{"site", "hq"}}).Add(5);
+  reg.gauge("reset_test.gauge").Set(7);
+  reg.histogram("reset_test.hist", {1.0, 2.0}).Observe(1.5);
+  reg.log_histogram("reset_test.log", {{"site", "hq"}}).Observe(0.5);
+
+  // Wave traffic (queue wave log), statement log, slow-query log,
+  // plan-cache counters and tracer spans.
+  obs::Tracer::Global().Enable(true);
+  e.connection().AttachToAdmissionQueue(1);
+  ASSERT_TRUE(
+      e.RunAction(StrategyKind::kBatchedEarly, ActionKind::kMultiLevelExpand)
+          .ok());
+  ASSERT_TRUE(
+      e.RunAction(StrategyKind::kBatchedEarly, ActionKind::kMultiLevelExpand)
+          .ok());
+  obs::Tracer::Global().Enable(false);
+  e.connection().DetachFromAdmissionQueue();
+
+  ASSERT_GT(e.server().statement_log_size(), 0u);
+  ASSERT_FALSE(e.server().slow_query_log().TopK().empty());
+  ASSERT_FALSE(e.server().admission_queue().wave_log().empty());
+  ASSERT_GT(e.server().plan_cache_stats().hits, 0u);
+  ASSERT_FALSE(obs::Tracer::Global().Snapshot().empty());
+
+  e.server().ResetObservability();
+
+  EXPECT_EQ(e.server().statement_log_size(), 0u);
+  EXPECT_EQ(e.server().statement_log_dropped(), 0u);
+  EXPECT_TRUE(e.server().slow_query_log().TopK().empty());
+  EXPECT_TRUE(e.server().slow_query_log().OverThreshold().empty());
+  EXPECT_TRUE(e.server().admission_queue().wave_log().empty());
+  EXPECT_EQ(e.server().plan_cache_stats().hits, 0u);
+  EXPECT_EQ(e.server().plan_cache_stats().misses, 0u);
+  EXPECT_TRUE(obs::Tracer::Global().Snapshot().empty());
+
+  // Every registry instrument — including the labeled families and
+  // gauges the original ResetAll audit was about — reads zero. The
+  // instruments themselves survive (registry instruments are never
+  // evicted); only their values reset.
+  obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot("post-reset");
+  for (const obs::CounterSnapshot& c : snapshot.counters) {
+    EXPECT_EQ(c.value, 0u) << c.name;
+  }
+  for (const obs::GaugeSnapshot& g : snapshot.gauges) {
+    EXPECT_EQ(g.value, 0) << g.name;
+  }
+  for (const obs::LabeledCounterSnapshot& c : snapshot.labeled_counters) {
+    EXPECT_EQ(c.value, 0u) << c.name;
+  }
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    EXPECT_EQ(h.total_count, 0u) << h.name;
+    EXPECT_DOUBLE_EQ(h.sum, 0.0) << h.name;
+  }
+  for (const obs::LogHistogramSnapshot& h : snapshot.log_histograms) {
+    EXPECT_EQ(h.total_count, 0u) << h.name;
+    EXPECT_DOUBLE_EQ(h.sum, 0.0) << h.name;
+  }
+  bool saw_marker = false;
+  for (const obs::CounterSnapshot& c : snapshot.counters) {
+    if (c.name == "reset_test.counter") saw_marker = true;
+  }
+  EXPECT_TRUE(saw_marker);
 }
 
 }  // namespace

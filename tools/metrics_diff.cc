@@ -2,7 +2,7 @@
 // and fails on quantile regressions beyond a threshold.
 //
 //   metrics_diff BASELINE.json CURRENT.json [--threshold PCT]
-//                [--gate-counter NAME ...]
+//                [--gate-counter NAME ...] [--require-series SUBSTR ...]
 //
 // Compared surfaces:
 //  * log-histogram families present in BOTH snapshots: p50/p99/p999
@@ -11,6 +11,12 @@
 //    (quantiles of a handful of samples are noise, not signal).
 //  * counters named by --gate-counter (repeatable): any increase fails
 //    — meant for drop/error counters that must stay where they were.
+//  * --require-series SUBSTR (repeatable): the CURRENT snapshot must
+//    contain at least one histogram or labeled-counter series whose
+//    "family{k=v,...}" key contains SUBSTR — the presence gate for
+//    dimensioned families a bench is expected to export (e.g. the
+//    per-site "openloop.action_seconds{site=..." families). A missing
+//    series is a regression, not a usage error.
 //
 // Exit codes: 0 = no regressions, 1 = regression found, 2 = usage or
 // parse error. CI runs a self-diff (same file twice) as a smoke test:
@@ -35,28 +41,34 @@ struct Options {
   std::string current_path;
   double threshold_pct = 10.0;
   std::vector<std::string> gate_counters;
+  std::vector<std::string> require_series;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CURRENT.json [--threshold PCT] "
-               "[--gate-counter NAME ...]\n",
+               "[--gate-counter NAME ...] [--require-series SUBSTR ...]\n",
                argv0);
   return 2;
 }
 
-/// "family{k=v,k=v}" — the identity a quantile series is matched by.
-std::string SeriesKey(const pdm::obs::LogHistogramSnapshot& h) {
-  std::string key = h.name;
+std::string LabeledKey(const std::string& name,
+                       const pdm::obs::LabelSet& labels) {
+  std::string key = name;
   key += '{';
-  for (size_t i = 0; i < h.labels.size(); ++i) {
+  for (size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) key += ',';
-    key += h.labels[i].first;
+    key += labels[i].first;
     key += '=';
-    key += h.labels[i].second;
+    key += labels[i].second;
   }
   key += '}';
   return key;
+}
+
+/// "family{k=v,k=v}" — the identity a quantile series is matched by.
+std::string SeriesKey(const pdm::obs::LogHistogramSnapshot& h) {
+  return LabeledKey(h.name, h.labels);
 }
 
 double PctChange(double base, double cur) {
@@ -74,6 +86,8 @@ int main(int argc, char** argv) {
       opts.threshold_pct = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--gate-counter") == 0 && i + 1 < argc) {
       opts.gate_counters.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-series") == 0 && i + 1 < argc) {
+      opts.require_series.emplace_back(argv[++i]);
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -161,6 +175,31 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cur_value),
                 cur_value > base_value ? "+" : "=",
                 regressed ? "  REGRESSION" : "");
+  }
+
+  if (!opts.require_series.empty()) {
+    std::vector<std::string> current_keys;
+    for (const pdm::obs::LogHistogramSnapshot& h : current->log_histograms) {
+      current_keys.push_back(SeriesKey(h));
+    }
+    for (const pdm::obs::LabeledCounterSnapshot& c :
+         current->labeled_counters) {
+      current_keys.push_back(LabeledKey(c.name, c.labels));
+    }
+    for (const std::string& required : opts.require_series) {
+      ++compared;
+      bool present = false;
+      for (const std::string& key : current_keys) {
+        if (key.find(required) != std::string::npos) {
+          present = true;
+          break;
+        }
+      }
+      std::printf("%-64s %8s %12s %12s %8s%s\n", required.c_str(), "series",
+                  "-", present ? "present" : "MISSING", "",
+                  present ? "" : "  REGRESSION");
+      if (!present) ++regressions;
+    }
   }
 
   std::printf("\n%zu comparisons, %zu regressions (threshold %+.1f%%)\n",
